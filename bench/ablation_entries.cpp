@@ -1,0 +1,28 @@
+// Ablation: LUT entry count N in {4, 8, 16, 32} vs quantization-aware MSE
+// and hardware cost — the accuracy/area trade-off that motivates the
+// paper's small-entry INT8 design point.
+#include <cmath>
+
+#include "bench_util.h"
+#include "hw/pwl_unit_design.h"
+
+using namespace gqa;
+
+int main() {
+  std::printf("== Ablation: entry count vs accuracy and hardware cost ==\n");
+  TablePrinter table({"Entries", "GELU MSE", "EXP MSE", "DIV MSE",
+                      "INT8 area (um2)", "INT8 power (mW)"});
+  table.set_title("Entry-count ablation (GQA-LUT w/ RM, INT8, lambda=5)");
+  for (int entries : {4, 8, 16, 32}) {
+    const hw::SynthReport synth = hw::synthesize(
+        hw::PwlUnitSpec{hw::Precision::kInt8, entries, 8});
+    table.add_row(
+        {format("%d", entries),
+         sci(bench::avg_operator_mse(Op::kGelu, Method::kGqaRm, entries)),
+         sci(bench::avg_operator_mse(Op::kExp, Method::kGqaRm, entries)),
+         sci(bench::avg_operator_mse(Op::kDiv, Method::kGqaRm, entries)),
+         format("%.0f", synth.area_um2), fixed(synth.power_mw, 2)});
+  }
+  bench::emit(table, "ablation_entries");
+  return 0;
+}

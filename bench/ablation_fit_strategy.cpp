@@ -1,0 +1,32 @@
+// Ablation: per-segment least squares vs endpoint interpolation for
+// deriving (k, b) from breakpoints — the fit-strategy design choice called
+// out in DESIGN.md §5.
+#include "bench_util.h"
+#include "gqa/gqa_lut.h"
+
+using namespace gqa;
+
+int main() {
+  std::printf("== Ablation: slope/intercept fit strategy ==\n");
+  TablePrinter table({"Op", "Least squares", "Interpolation", "LS gain"});
+  table.set_title("Operator MSE by fit strategy (GQA-LUT w/ RM, 8-entry)");
+  for (Op op : paper_ops()) {
+    std::map<FitStrategy, double> mse;
+    for (FitStrategy strategy :
+         {FitStrategy::kLeastSquares, FitStrategy::kInterpolate}) {
+      FitOptions options;
+      options.fit_strategy = strategy;
+      const Approximator approx = Approximator::fit(op, Method::kGqaRm, options);
+      mse[strategy] = operator_level_mse(approx, SweepOptions{});
+    }
+    table.add_row({op_info(op).name, sci(mse[FitStrategy::kLeastSquares]),
+                   sci(mse[FitStrategy::kInterpolate]),
+                   fixed(mse[FitStrategy::kInterpolate] /
+                             mse[FitStrategy::kLeastSquares],
+                         2) + "x"});
+  }
+  table.set_footnote("Interpolation guarantees continuity; least squares "
+                     "minimizes the MSE objective directly.");
+  bench::emit(table, "ablation_fit_strategy");
+  return 0;
+}

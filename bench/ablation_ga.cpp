@@ -1,0 +1,74 @@
+// Ablation: genetic-algorithm hyperparameters (population, generations,
+// crossover and mutation probabilities) and fitness variants vs fit
+// quality. Validates the Table 1 defaults (Np=50, T=500, 0.7/0.2) and the
+// quantization-aware fitness interpretation documented in DESIGN.md §5.
+#include "bench_util.h"
+#include "gqa/gqa_lut.h"
+
+using namespace gqa;
+
+namespace {
+
+double run(GqaConfig config, std::uint64_t seed) {
+  config.ga.seed = seed;
+  return fit_gqa_lut(config).ga.best_fitness;
+}
+
+double avg_fitness(const GqaConfig& config, int seeds = 3) {
+  double sum = 0.0;
+  for (int s = 0; s < seeds; ++s) {
+    sum += run(config, 0xAB1A + static_cast<std::uint64_t>(s) * 101);
+  }
+  return sum / seeds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: GA hyperparameters (GELU, 8-entry) ==\n");
+  const GqaConfig base =
+      GqaConfig::preset(Op::kGelu, 8, MutationKind::kRoundingMutation);
+
+  TablePrinter pop({"Np", "T", "theta_c", "theta_m", "fitness (MSE)"});
+  pop.set_title("GA hyperparameter sweep (fitness = FXP-aware grid MSE)");
+  for (int np : {10, 25, 50, 100}) {
+    GqaConfig c = base;
+    c.ga.population_size = np;
+    pop.add_row({format("%d", np), "500", "0.7", "0.2", sci(avg_fitness(c))});
+  }
+  for (int t : {50, 150, 500, 1500}) {
+    GqaConfig c = base;
+    c.ga.generations = t;
+    pop.add_row({"50", format("%d", t), "0.7", "0.2", sci(avg_fitness(c))});
+  }
+  for (double cx : {0.0, 0.3, 0.7, 1.0}) {
+    GqaConfig c = base;
+    c.ga.crossover_prob = cx;
+    pop.add_row({"50", "500", format("%.1f", cx), "0.2", sci(avg_fitness(c))});
+  }
+  for (double mu : {0.0, 0.1, 0.2, 0.5}) {
+    GqaConfig c = base;
+    c.ga.mutation_prob = mu;
+    pop.add_row({"50", "500", "0.7", format("%.1f", mu), sci(avg_fitness(c))});
+  }
+  bench::emit(pop, "ablation_ga");
+
+  std::printf("\nFitness-variant ablation (deployed avg MSE across scales):\n");
+  for (auto [name, fitness] :
+       std::vector<std::pair<std::string, GqaConfig::Fitness>>{
+           {"FP32 (Alg. 1 literal)", GqaConfig::Fitness::kFp32},
+           {"FXP-aware (default)", GqaConfig::Fitness::kFxpAware},
+           {"Deployed-mean (oracle)", GqaConfig::Fitness::kDeployedMean}}) {
+    GqaConfig c = base;
+    c.fitness = fitness;
+    c.ga.seed = 0xF17;
+    const GqaFitResult result = fit_gqa_lut(c);
+    double deployed = 0.0;
+    SweepOptions opts;
+    for (int s = 0; s <= 6; ++s) {
+      deployed += scale_mse(result.table_for_scale(s), Op::kGelu, -s, opts).mse / 7.0;
+    }
+    std::printf("  %-24s -> deployed avg MSE %.3e\n", name.c_str(), deployed);
+  }
+  return 0;
+}

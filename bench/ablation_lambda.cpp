@@ -1,0 +1,29 @@
+// Ablation: decimal bitwidth lambda (fixed-point resolution of slopes and
+// intercepts) vs quantization-aware MSE. The paper fixes lambda = 5; this
+// sweep shows the sensitivity of that choice.
+#include "bench_util.h"
+#include "gqa/gqa_lut.h"
+
+using namespace gqa;
+
+int main() {
+  std::printf("== Ablation: lambda (k/b decimal bits) vs MSE ==\n");
+  TablePrinter table({"lambda", "GELU MSE", "HSWISH MSE", "EXP MSE"});
+  table.set_title("Lambda ablation (GQA-LUT w/ RM, 8-entry, INT8)");
+  for (int lambda : {3, 4, 5, 6, 7, 8}) {
+    std::vector<std::string> row = {format("%d", lambda)};
+    for (Op op : {Op::kGelu, Op::kHswish, Op::kExp}) {
+      FitOptions options;
+      options.lambda = lambda;
+      const Approximator approx = Approximator::fit(op, Method::kGqaRm, options);
+      SweepOptions sweep;
+      sweep.lambda = lambda;
+      row.push_back(sci(operator_level_mse(approx, sweep)));
+    }
+    table.add_row(row);
+  }
+  table.set_footnote("lambda > 5 shrinks the representable k/b range at "
+                     "8-bit storage; lambda < 5 coarsens the grid.");
+  bench::emit(table, "ablation_lambda");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: Rounding-Mutation mutate range [ma, mb] and theta_r vs the
+// deployed MSE at large scales — the regime RM exists to fix (Table 1
+// chooses [0,6] / [2,6] per operator and entry count).
+#include "bench_util.h"
+#include "gqa/gqa_lut.h"
+
+using namespace gqa;
+
+namespace {
+
+/// Deployed MSE at the largest scales (S = 2^0, 2^-1) and the full average.
+std::pair<double, double> deployed_profile(const GqaConfig& base,
+                                           std::uint64_t seed) {
+  GqaConfig config = base;
+  config.ga.seed = seed;
+  const GqaFitResult result = fit_gqa_lut(config);
+  SweepOptions opts;
+  double large = 0.0;
+  double avg = 0.0;
+  for (int s = 0; s <= 6; ++s) {
+    const double mse =
+        scale_mse(result.table_for_scale(s), config.op, -s, opts).mse;
+    if (s <= 1) large += mse / 2.0;
+    avg += mse / 7.0;
+  }
+  return {large, avg};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: RM mutate range and theta_r (GELU, 8-entry) ==\n");
+  TablePrinter table({"[ma, mb]", "theta_r", "large-S MSE", "avg MSE"});
+  table.set_title("Rounding-Mutation range ablation");
+  const GqaConfig base =
+      GqaConfig::preset(Op::kGelu, 8, MutationKind::kRoundingMutation);
+  for (auto [ma, mb] : std::vector<std::pair<int, int>>{
+           {0, 2}, {0, 6}, {2, 6}, {4, 6}, {0, 10}}) {
+    GqaConfig c = base;
+    c.rm.ma = ma;
+    c.rm.mb = mb;
+    double large = 0.0, avg = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      auto [l, a] = deployed_profile(c, 0x3A + static_cast<std::uint64_t>(s) * 97);
+      large += l / 3.0;
+      avg += a / 3.0;
+    }
+    table.add_row({format("[%d, %d]", ma, mb), format("%.2f", c.rm.theta_r),
+                   sci(large), sci(avg)});
+  }
+  for (double theta : {0.02, 0.05, 0.10}) {
+    GqaConfig c = base;
+    c.rm.theta_r = theta;
+    double large = 0.0, avg = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      auto [l, a] = deployed_profile(c, 0x3A + static_cast<std::uint64_t>(s) * 97);
+      large += l / 3.0;
+      avg += a / 3.0;
+    }
+    table.add_row({format("[%d, %d]", c.rm.ma, c.rm.mb),
+                   format("%.2f", theta), sci(large), sci(avg)});
+  }
+  bench::emit(table, "ablation_rm_range");
+  return 0;
+}

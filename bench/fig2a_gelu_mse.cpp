@@ -1,0 +1,60 @@
+// Figure 2(a): normalized MSE of NN-LUT vs GQA-LUT w/o RM vs GQA-LUT w/ RM
+// for 8-entry GELU approximation across INT8 scaling factors S = 2^0..2^-6,
+// plus the large-scale error breakdown that motivates Rounding Mutation.
+#include <cmath>
+
+#include "bench_util.h"
+
+using namespace gqa;
+
+int main() {
+  std::printf("== Figure 2(a): GELU 8-entry normalized MSE across scales ==\n");
+  const std::vector<Method> methods = all_methods();
+  std::map<Method, std::vector<double>> series;
+  for (Method m : methods) {
+    series[m] = bench::avg_scale_series(Op::kGelu, m, 8);
+  }
+
+  // The figure plots log10(2e4 * MSE) normalized to [0, 1] by the maximum.
+  double peak = 0.0;
+  for (const auto& [m, mses] : series) {
+    for (double v : mses) peak = std::max(peak, std::log10(2e4 * v));
+  }
+
+  TablePrinter table({"S", "NN-LUT", "GQA w/o RM", "GQA w/ RM",
+                      "NN/RM ratio"});
+  table.set_title("Fig. 2(a): normalized log10(2e4*MSE), GELU 8-entry");
+  for (int i = 0; i <= 6; ++i) {
+    const double nn = series[Method::kNnLut][static_cast<std::size_t>(i)];
+    const double g0 = series[Method::kGqaNoRm][static_cast<std::size_t>(i)];
+    const double g1 = series[Method::kGqaRm][static_cast<std::size_t>(i)];
+    table.add_row({pow2_label(-i), fixed(std::log10(2e4 * nn) / peak, 3),
+                   fixed(std::log10(2e4 * g0) / peak, 3),
+                   fixed(std::log10(2e4 * g1) / peak, 3),
+                   fixed(nn / g1, 2) + "x"});
+  }
+  bench::emit(table, "fig2a");
+
+  // Error-mass breakdown for GQA w/o RM (paper: large scales dominate with
+  // 92.5% of the total MSE).
+  auto share = [](const std::vector<double>& mses) {
+    double large = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < mses.size(); ++i) {
+      total += mses[i];
+      if (i < 3) large += mses[i];
+    }
+    return 100.0 * large / total;
+  };
+  std::printf("\nMSE breakdown (share of S in {2^0, 2^-1, 2^-2}):\n");
+  std::printf("  GQA-LUT w/o RM : %5.1f%%  (paper: 92.5%% dominant)\n",
+              share(series[Method::kGqaNoRm]));
+  std::printf("  GQA-LUT w/ RM  : %5.1f%%  (RM flattens the profile)\n",
+              share(series[Method::kGqaRm]));
+  std::printf("\nRaw MSE series (S = 2^0 .. 2^-6):\n");
+  for (Method m : methods) {
+    std::printf("  %-16s:", method_name(m).c_str());
+    for (double v : series[m]) std::printf(" %.2e", v);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 2(b): breakpoint-deviation analysis for EXP. A fitted breakpoint
+// quantized per Eq. 3 shifts by up to S/2; the induced local error is far
+// larger at S = 2^-1 than at S = 2^-3 (paper: 3.71e-3 vs 3.90e-4).
+#include <cmath>
+
+#include "bench_util.h"
+#include "gqa/gqa_lut.h"
+#include "pwl/fit_grid.h"
+
+using namespace gqa;
+
+int main() {
+  std::printf("== Figure 2(b): breakpoint quantization analysis (EXP) ==\n");
+  // GQA-LUT w/o RM fit, as in the paper's illustration.
+  GqaConfig config = GqaConfig::preset(Op::kExp, 8, MutationKind::kGaussian);
+  config.ga.seed = 0xF16B;
+  const GqaFitResult fit = fit_gqa_lut(config);
+  const OpInfo& info = op_info(Op::kExp);
+  const FitGrid grid =
+      FitGrid::make(info.f, info.range_lo, info.range_hi, 0.01);
+
+  TablePrinter table({"Breakpoint", "S", "Quantized p~", "Deviation",
+                      "Deployed MSE"});
+  table.set_title("Fig. 2(b): Eq.-3 deviation of each breakpoint, EXP 8-entry");
+
+  for (int s : {1, 3}) {
+    const double scale = std::ldexp(1.0, -s);
+    // Quantize all breakpoints at this scale; report the per-table MSE.
+    PwlTable deployed = fit.fxp_table;
+    for (std::size_t i = 0; i < deployed.breakpoints.size(); ++i) {
+      deployed.breakpoints[i] =
+          scale * std::round(deployed.breakpoints[i] / scale);
+    }
+    // Nudge ties apart (coincident quantized breakpoints).
+    for (std::size_t i = 1; i < deployed.breakpoints.size(); ++i) {
+      if (deployed.breakpoints[i] <= deployed.breakpoints[i - 1]) {
+        deployed.breakpoints[i] = deployed.breakpoints[i - 1] + 1e-9;
+      }
+    }
+    const double mse = grid.mse_of(deployed);
+    for (std::size_t i = 0; i < fit.fxp_table.breakpoints.size(); ++i) {
+      const double p = fit.fxp_table.breakpoints[i];
+      const double pq = scale * std::round(p / scale);
+      table.add_row({format("p%zu = %+.4f", i, p), pow2_label(-s),
+                     format("%+.4f", pq), format("%+.4f", pq - p),
+                     i == 0 ? sci(mse) : ""});
+    }
+    table.add_separator();
+  }
+  bench::emit(table, "fig2b");
+
+  std::printf("\nShape check: continuum MSE with quantized breakpoints\n");
+  for (int s : {1, 2, 3, 4}) {
+    const double scale = std::ldexp(1.0, -s);
+    PwlTable deployed = fit.fxp_table;
+    for (double& p : deployed.breakpoints) p = scale * std::round(p / scale);
+    for (std::size_t i = 1; i < deployed.breakpoints.size(); ++i) {
+      if (deployed.breakpoints[i] <= deployed.breakpoints[i - 1]) {
+        deployed.breakpoints[i] = deployed.breakpoints[i - 1] + 1e-9;
+      }
+    }
+    std::printf("  S = %-5s -> MSE %.3e %s\n", pow2_label(-s).c_str(),
+                grid.mse_of(deployed),
+                s == 1 ? "(paper: 3.71e-3)" : s == 3 ? "(paper: 3.90e-4)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 3: normalized MSE for GELU, HSWISH, and EXP across INT8 scaling
+// factors S = 2^0..2^-6 (plus the average), comparing NN-LUT against
+// GQA-LUT w/ RM at 8 and 16 entries, with the per-scale improvement ratios
+// the paper annotates.
+#include "bench_util.h"
+
+using namespace gqa;
+
+int main() {
+  std::printf("== Figure 3: per-scale MSE, NN-LUT vs GQA-LUT w/ RM ==\n");
+  for (Op op : {Op::kGelu, Op::kHswish, Op::kExp}) {
+    std::map<std::string, std::vector<double>> series;
+    for (int entries : {8, 16}) {
+      series[format("NN-LUT %d", entries)] =
+          bench::avg_scale_series(op, Method::kNnLut, entries);
+      series[format("GQA w/RM %d", entries)] =
+          bench::avg_scale_series(op, Method::kGqaRm, entries);
+    }
+
+    TablePrinter table({"S", "NN-LUT 8", "NN-LUT 16", "GQA w/RM 8",
+                        "GQA w/RM 16", "ratio 8", "ratio 16"});
+    table.set_title(format("Fig. 3 — %s (MSE; ratio = NN-LUT / GQA w/RM)",
+                           op_info(op).name.c_str()));
+    std::vector<double> avg(4, 0.0);
+    for (int i = 0; i <= 6; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      const double nn8 = series[format("NN-LUT %d", 8)][u];
+      const double nn16 = series[format("NN-LUT %d", 16)][u];
+      const double rm8 = series[format("GQA w/RM %d", 8)][u];
+      const double rm16 = series[format("GQA w/RM %d", 16)][u];
+      avg[0] += nn8 / 7.0;
+      avg[1] += nn16 / 7.0;
+      avg[2] += rm8 / 7.0;
+      avg[3] += rm16 / 7.0;
+      table.add_row({pow2_label(-i), sci(nn8), sci(nn16), sci(rm8), sci(rm16),
+                     fixed(nn8 / rm8, 2) + "x", fixed(nn16 / rm16, 2) + "x"});
+    }
+    table.add_separator();
+    table.add_row({"avg", sci(avg[0]), sci(avg[1]), sci(avg[2]), sci(avg[3]),
+                   fixed(avg[0] / avg[2], 2) + "x",
+                   fixed(avg[1] / avg[3], 2) + "x"});
+    bench::emit(table, format("fig3_%s", op_info(op).name.c_str()));
+    std::printf("\n");
+  }
+  return 0;
+}

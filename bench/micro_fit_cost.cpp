@@ -1,0 +1,44 @@
+// Microbenchmark (google-benchmark): wall-clock cost of fitting one
+// operator with each method. Highlights the paper's data-budget claim:
+// GQA-LUT needs only the 0.35-0.8K-point fitness grid while NN-LUT trains
+// on 100K samples.
+#include <benchmark/benchmark.h>
+
+#include "gqa/gqa_lut.h"
+#include "nnlut/nn_lut.h"
+
+namespace {
+
+using namespace gqa;
+
+void BM_Fit_GqaRm_Gelu(benchmark::State& state) {
+  for (auto _ : state) {
+    GqaConfig config = GqaConfig::preset(Op::kGelu, 8,
+                                         MutationKind::kRoundingMutation);
+    config.ga.seed = 0xF00;
+    benchmark::DoNotOptimize(fit_gqa_lut(config).fxp_mse);
+  }
+}
+BENCHMARK(BM_Fit_GqaRm_Gelu)->Unit(benchmark::kMillisecond);
+
+void BM_Fit_GqaGaussian_Gelu(benchmark::State& state) {
+  for (auto _ : state) {
+    GqaConfig config = GqaConfig::preset(Op::kGelu, 8, MutationKind::kGaussian);
+    config.ga.seed = 0xF00;
+    benchmark::DoNotOptimize(fit_gqa_lut(config).fxp_mse);
+  }
+}
+BENCHMARK(BM_Fit_GqaGaussian_Gelu)->Unit(benchmark::kMillisecond);
+
+void BM_Fit_NnLut_Gelu(benchmark::State& state) {
+  for (auto _ : state) {
+    NnLutConfig config = NnLutConfig::preset(Op::kGelu, 8);
+    config.seed = 0xF00;
+    benchmark::DoNotOptimize(fit_nn_lut(config).fxp_mse);
+  }
+}
+BENCHMARK(BM_Fit_NnLut_Gelu)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

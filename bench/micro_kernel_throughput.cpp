@@ -1,0 +1,64 @@
+// Microbenchmark (google-benchmark): software throughput of the
+// bit-accurate INT8 pwl kernel against libm reference evaluation and the
+// FP pwl table — the CPU-side cost of the simulation itself.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/approximator.h"
+#include "kernel/multirange_unit.h"
+
+namespace {
+
+using namespace gqa;
+
+const Approximator& gelu_approx() {
+  static const Approximator approx =
+      Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  return approx;
+}
+
+void BM_IntPwlUnit_Gelu(benchmark::State& state) {
+  const IntPwlUnit unit = gelu_approx().make_unit(-4);
+  std::int64_t q = -128;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.eval_real_from_code(q));
+    q = q >= 127 ? -128 : q + 1;
+  }
+}
+BENCHMARK(BM_IntPwlUnit_Gelu);
+
+void BM_FpPwlTable_Gelu(benchmark::State& state) {
+  const PwlTable& table = gelu_approx().fxp_table();
+  double x = -4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.eval(x));
+    x = x >= 4.0 ? -4.0 : x + 0.01;
+  }
+}
+BENCHMARK(BM_FpPwlTable_Gelu);
+
+void BM_LibmReference_Gelu(benchmark::State& state) {
+  double x = -4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0))));
+    x = x >= 4.0 ? -4.0 : x + 0.01;
+  }
+}
+BENCHMARK(BM_LibmReference_Gelu);
+
+void BM_MultiRangeUnit_Div(benchmark::State& state) {
+  static const Approximator approx =
+      Approximator::fit(Op::kDiv, Method::kGqaNoRm, {});
+  const MultiRangeUnit unit = approx.make_multirange_unit();
+  std::int64_t code = 1 << 14;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.eval_fxp(code, 16));
+    code = code >= (1 << 23) ? (1 << 14) : code + 4097;
+  }
+}
+BENCHMARK(BM_MultiRangeUnit_Div);
+
+}  // namespace
+
+BENCHMARK_MAIN();

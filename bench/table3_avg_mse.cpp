@@ -1,0 +1,94 @@
+// Table 3: average quantization-aware MSE of NN-LUT, GQA-LUT w/o RM, and
+// GQA-LUT w/ RM on all five operators at 8 and 16 entries. Also prints the
+// Table 1 hyperparameter presets and the Table 2 multi-range setup used.
+#include <cmath>
+
+#include "bench_util.h"
+#include "gqa/gqa_lut.h"
+#include "gqa/multirange.h"
+
+using namespace gqa;
+
+namespace {
+
+void print_table1() {
+  TablePrinter t({"Hyper-parameter", "GELU", "HSWISH", "EXP", "DIV", "RSQRT"});
+  t.set_title("Table 1: GQA-LUT configurations (presets in src/gqa)");
+  auto cfg = [](Op op, int entries) {
+    return GqaConfig::preset(op, entries, MutationKind::kRoundingMutation);
+  };
+  auto range_row = [&](Op op) {
+    const GqaConfig c = cfg(op, 8);
+    return format("(%g, %g)", c.range_lo, c.range_hi);
+  };
+  t.add_row({"[Rn, Rp]", range_row(Op::kGelu), range_row(Op::kHswish),
+             range_row(Op::kExp), range_row(Op::kDiv), range_row(Op::kRsqrt)});
+  auto theta_row = [&](Op op) { return format("%g", cfg(op, 8).rm.theta_r); };
+  t.add_row({"theta_r", theta_row(Op::kGelu), theta_row(Op::kHswish),
+             theta_row(Op::kExp), theta_row(Op::kDiv), theta_row(Op::kRsqrt)});
+  auto mab = [&](Op op, int entries) {
+    const GqaConfig c = cfg(op, entries);
+    return format("[%d, %d]", c.rm.ma, c.rm.mb);
+  };
+  t.add_row({"[ma, mb] (8)", mab(Op::kGelu, 8), mab(Op::kHswish, 8),
+             mab(Op::kExp, 8), "-", "-"});
+  t.add_row({"[ma, mb] (16)", mab(Op::kGelu, 16), mab(Op::kHswish, 16),
+             mab(Op::kExp, 16), "-", "-"});
+  auto data_row = [&](Op op) {
+    const GqaConfig c = cfg(op, 8);
+    return format("%.2gK",
+                  (c.range_hi - c.range_lo) / c.grid_step / 1000.0);
+  };
+  t.add_row({"Data size", data_row(Op::kGelu), data_row(Op::kHswish),
+             data_row(Op::kExp), data_row(Op::kDiv), data_row(Op::kRsqrt)});
+  t.set_footnote(
+      "Common: Nb=7, Np=50, theta_c=0.7, theta_m=0.2, T=500, lambda=5.");
+  bench::emit(t, "table1");
+}
+
+void print_table2() {
+  TablePrinter t({"Op", "IR", "SR0 / S'0", "SR1 / S'1", "SR2 / S'2"});
+  t.set_title("Table 2: multi-range input scaling (INT8 pwl)");
+  for (Op op : {Op::kDiv, Op::kRsqrt}) {
+    const MultiRangeConfig cfg = MultiRangeConfig::preset_for(op);
+    std::vector<std::string> row = {op_info(op).name,
+                                    format("(%g, %g)", cfg.ir_lo, cfg.ir_hi)};
+    for (const SubRange& sr : cfg.subranges) {
+      row.push_back(std::isinf(sr.hi)
+                        ? format("[%g, +inf)/2^%d", sr.lo, sr.scale_exp)
+                        : format("[%g, %g)/2^%d", sr.lo, sr.hi, sr.scale_exp));
+    }
+    t.add_row(row);
+  }
+  bench::emit(t, "table2");
+}
+
+}  // namespace
+
+int main() {
+  print_table1();
+  std::printf("\n");
+  print_table2();
+
+  std::printf("\n== Table 3: average MSE (quantization-aware protocol) ==\n");
+  TablePrinter table({"Method", "Entry", "GELU", "HSWISH", "EXP", "DIV",
+                      "RSQRT"});
+  table.set_title("Table 3: comparison of average MSE");
+  const std::vector<Op> ops = paper_ops();
+  for (Method m : all_methods()) {
+    for (int entries : {8, 16}) {
+      std::vector<std::string> row = {method_name(m), format("%d", entries)};
+      for (Op op : ops) {
+        row.push_back(sci(bench::avg_operator_mse(op, m, entries)));
+      }
+      table.add_row(row);
+    }
+    table.add_separator();
+  }
+  table.set_footnote(
+      "Paper (8-entry): NN-LUT 1.3e-3/1.2e-3/6.4e-4/2.7e-3/1.1e-2; "
+      "GQA w/o RM 1.5e-4/3.1e-4/1.3e-4/7.8e-4/1.2e-3; "
+      "GQA w/RM 9.4e-5/2.9e-4/1.2e-4/8.3e-4/1.7e-3.");
+  bench::emit(table, "table3");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 6: area and power of the LUT-pwl hardware units under the
+// calibrated 28-nm component model, for INT8/INT16/INT32/FP32 at 8 and 16
+// entries, plus the savings and entry-scaling ratios the paper reports.
+// Also emits the Verilog RTL of the INT8 unit (the artifact the paper
+// synthesizes with Design Compiler).
+#include "bench_util.h"
+#include "hw/pwl_unit_design.h"
+#include "hw/verilog_emitter.h"
+
+using namespace gqa;
+using namespace gqa::hw;
+
+int main() {
+  std::printf("== Table 6: hardware costs (28-nm class, 500 MHz) ==\n");
+  std::vector<SynthReport> rows;
+  for (Precision p : all_precisions()) {
+    for (int entries : {8, 16}) {
+      rows.push_back(synthesize(PwlUnitSpec{p, entries, 8}));
+    }
+  }
+
+  TablePrinter table({"Precision", "Entry", "Area (um2)", "Power (mW)",
+                      "Paper area", "Paper power"});
+  table.set_title("Table 6: LUT-pwl unit costs");
+  const std::map<std::pair<std::string, int>, std::pair<double, double>>
+      paper = {{{"INT8", 8}, {961, 0.40}},   {{"INT8", 16}, {1640, 0.78}},
+               {{"INT16", 8}, {2080, 0.85}}, {{"INT16", 16}, {3521, 1.47}},
+               {{"INT32", 8}, {5243, 1.93}}, {{"INT32", 16}, {8040, 3.14}},
+               {{"FP32", 8}, {5135, 2.02}},  {{"FP32", 16}, {7913, 3.47}}};
+  for (const SynthReport& r : rows) {
+    const auto key = std::make_pair(precision_name(r.spec.precision),
+                                    r.spec.entries);
+    table.add_row({precision_name(r.spec.precision),
+                   format("%d", r.spec.entries), format("%.0f", r.area_um2),
+                   fixed(r.power_mw, 2), format("%.0f", paper.at(key).first),
+                   fixed(paper.at(key).second, 2)});
+  }
+  bench::emit(table, "table6");
+
+  auto find = [&rows](Precision p, int e) -> const SynthReport& {
+    for (const SynthReport& r : rows) {
+      if (r.spec.precision == p && r.spec.entries == e) return r;
+    }
+    throw ContractViolation("missing synth row");
+  };
+  const SynthReport& int8_8 = find(Precision::kInt8, 8);
+  const SynthReport& int8_16 = find(Precision::kInt8, 16);
+  const SynthReport& int32_8 = find(Precision::kInt32, 8);
+  const SynthReport& fp32_8 = find(Precision::kFp32, 8);
+  std::printf("\nHeadline claims:\n");
+  std::printf("  INT8 vs FP32  : area -%.1f%% (paper 81.3%%), power -%.1f%% (paper 80.2%%)\n",
+              100.0 * (1.0 - int8_8.area_um2 / fp32_8.area_um2),
+              100.0 * (1.0 - int8_8.power_mw / fp32_8.power_mw));
+  std::printf("  INT8 vs INT32 : area -%.1f%% (paper 81.7%%), power -%.1f%% (paper 79.3%%)\n",
+              100.0 * (1.0 - int8_8.area_um2 / int32_8.area_um2),
+              100.0 * (1.0 - int8_8.power_mw / int32_8.power_mw));
+  std::printf("  16-entry vs 8 : area %.2fx (paper 1.71x), power %.2fx (paper 1.95x)\n",
+              int8_16.area_um2 / int8_8.area_um2,
+              int8_16.power_mw / int8_8.power_mw);
+
+  // Emit RTL for the INT8 8-entry GELU unit.
+  FitOptions fopts;
+  const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, fopts);
+  const QuantizedPwlTable qt =
+      approx.quantized(QuantParams{std::ldexp(1.0, -4), 8, true});
+  (void)std::system("mkdir -p bench_results");
+  write_file("bench_results/gqa_pwl_unit.v", emit_pwl_unit(qt));
+  write_file("bench_results/gqa_pwl_unit_tb.v", emit_testbench(qt));
+  std::printf("\nVerilog written to bench_results/gqa_pwl_unit{,_tb}.v\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Integer-only Softmax: the attention-core scenario that motivates the
+// paper. Scores arrive as INT8 codes with a power-of-two scale; EXP runs
+// through the 8-entry pwl kernel and the denominator reciprocal through
+// the multi-range DIV kernel — no floating-point arithmetic on the datapath.
+#include <cmath>
+#include <cstdio>
+
+#include "tfm/modules.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace gqa;
+  using namespace gqa::tfm;
+
+  // A row of attention scores (e.g. one query against 12 keys).
+  Rng rng(7);
+  const int n = 12;
+  Tensor scores(Shape{1, n});
+  for (int j = 0; j < n; ++j) {
+    scores.at(0, j) = static_cast<float>(rng.uniform(-6.0, 6.0));
+  }
+
+  // Quantize with a power-of-two scale (the paper's constraint for
+  // non-linear-op inputs, Section 3.1).
+  const QuantParams score_qp = make_po2_params(6.0 / 127.0, 8);
+  const QTensor q_scores = QTensor::quantize(scores, score_qp);
+
+  const Tensor reference = Softmax::forward_fp(scores);
+
+  std::printf("%-18s %-10s %-10s %-10s\n", "backend", "probs[0]", "probs[5]",
+              "max |err|");
+  auto report = [&](const char* name, const NonlinearProvider& nl) {
+    const QTensor probs = Softmax::forward_int(q_scores, nl);
+    double max_err = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double p = Softmax::prob_params().dequantize(probs.at(0, j));
+      max_err = std::max(max_err, std::abs(p - reference.at(0, j)));
+    }
+    std::printf("%-18s %-10.5f %-10.5f %-10.5f\n", name,
+                Softmax::prob_params().dequantize(probs.at(0, 0)),
+                Softmax::prob_params().dequantize(probs.at(0, 5)), max_err);
+  };
+
+  const auto exact = NonlinearProvider::exact();
+  report("exact (None)", exact);
+  for (Method m : all_methods()) {
+    const auto nl = NonlinearProvider::with_method(m, {Op::kExp, Op::kDiv});
+    report(method_name(m).c_str(), nl);
+  }
+
+  std::printf("\nFP32 reference row:");
+  for (int j = 0; j < n; ++j) std::printf(" %.4f", reference.at(0, j));
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Quickstart: fit GELU with GQA-LUT w/ RM, inspect the table, deploy it as
+// a bit-accurate INT8 hardware-unit model, and save/load it.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/approximator.h"
+#include "eval/protocol.h"
+
+int main() {
+  using namespace gqa;
+
+  // 1. Fit: Table-1 presets, 8 entries, lambda = 5, Rounding Mutation.
+  const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  std::printf("Fitted GELU with %s\n%s\n", method_name(approx.method()).c_str(),
+              approx.fxp_table().to_string().c_str());
+
+  // 2. Operator-level accuracy under the quantization-aware protocol.
+  const ScaleSweepResult sweep = sweep_scale_mse(approx);
+  std::printf("Quantization-aware MSE per scale:\n");
+  for (const ScalePoint& p : sweep.points) {
+    std::printf("  S = 2^%-3d -> MSE %.3e  (%d dequantized codes)\n",
+                p.exponent, p.mse, p.samples);
+  }
+  std::printf("  average: %.3e\n\n", sweep.avg_mse());
+
+  // 3. Deploy at S = 2^-4: the IntPwlUnit models the Figure 1(b) datapath
+  //    bit-for-bit (comparator chain, k*q multiplier, b<<s shifter, adder).
+  const IntPwlUnit unit = approx.make_unit(/*scale_exp=*/-4);
+  std::printf("INT8 unit @ S = 2^-4:\n");
+  for (double x : {-2.0, -0.5, 0.0, 0.5, 1.0, 3.0}) {
+    std::printf("  gelu(%+.2f) ~ %+.5f   (exact %+.5f)\n", x,
+                unit.eval_real(x), eval_op(Op::kGelu, x));
+  }
+
+  // 4. Persist and reload.
+  approx.save("gelu_gqa_rm.json");
+  const Approximator loaded = Approximator::load("gelu_gqa_rm.json");
+  std::printf("\nSaved and reloaded: eval(0.3) = %.6f (same table: %s)\n",
+              loaded.eval(0.3),
+              loaded.eval(0.3) == approx.eval(0.3) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,171 @@
+#include "core/approximator.h"
+
+#include <limits>
+
+#include "pwl/serialize.h"
+#include "util/contracts.h"
+#include "util/json.h"
+
+namespace gqa {
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kNnLut: return "NN-LUT";
+    case Method::kGqaNoRm: return "GQA-LUT w/o RM";
+    case Method::kGqaRm: return "GQA-LUT w/ RM";
+  }
+  return "?";
+}
+
+const std::vector<Method>& all_methods() {
+  static const std::vector<Method> methods = {Method::kNnLut, Method::kGqaNoRm,
+                                              Method::kGqaRm};
+  return methods;
+}
+
+namespace {
+
+std::uint64_t derive_seed(Op op, Method method, const FitOptions& options) {
+  if (options.seed != 0) return options.seed;
+  // Stable seed so every bench reproduces the same tables.
+  return 0x9E3779B97F4A7C15ULL ^
+         (static_cast<std::uint64_t>(op) << 16) ^
+         (static_cast<std::uint64_t>(method) << 8) ^
+         static_cast<std::uint64_t>(options.entries);
+}
+
+}  // namespace
+
+Approximator Approximator::fit(Op op, Method method,
+                               const FitOptions& options) {
+  GQA_EXPECTS(options.entries >= 2);
+  GQA_EXPECTS(options.ga_restarts >= 1);
+
+  Approximator approx;
+  approx.op_ = op;
+  approx.method_ = method;
+  approx.lambda_ = options.lambda;
+  const std::uint64_t seed = derive_seed(op, method, options);
+
+  if (method == Method::kNnLut) {
+    NnLutConfig cfg = NnLutConfig::preset(op, options.entries);
+    cfg.lambda = options.lambda;
+    cfg.seed = seed;
+    if (options.nn_epochs) cfg.epochs = *options.nn_epochs;
+    if (options.range_lo) cfg.range_lo = *options.range_lo;
+    if (options.range_hi) cfg.range_hi = *options.range_hi;
+    const NnLutFitResult result = fit_nn_lut(cfg);
+    approx.fp_table_ = result.fp_table;
+    approx.fxp_table_ = result.fxp_table;
+    return approx;
+  }
+
+  const MutationKind kind = method == Method::kGqaRm
+                                ? MutationKind::kRoundingMutation
+                                : MutationKind::kGaussian;
+  GqaConfig cfg = GqaConfig::preset(op, options.entries, kind);
+  cfg.lambda = options.lambda;
+  cfg.fit_strategy = options.fit_strategy;
+  if (options.ga_generations) cfg.ga.generations = *options.ga_generations;
+  if (options.range_lo) cfg.range_lo = *options.range_lo;
+  if (options.range_hi) cfg.range_hi = *options.range_hi;
+
+  double best_fitness = std::numeric_limits<double>::infinity();
+  std::map<int, double> best_deployed;
+  for (int r = 0; r < options.ga_restarts; ++r) {
+    cfg.ga.seed = seed + static_cast<std::uint64_t>(r) * 0x51D;
+    const GqaFitResult result = fit_gqa_lut(cfg);
+    if (result.ga.best_fitness < best_fitness) {
+      best_fitness = result.ga.best_fitness;
+      approx.fp_table_ = result.fp_table;
+      approx.fxp_table_ = result.fxp_table;
+    }
+    // Merge per-scale champion archives across restarts.
+    for (const ScaleCandidate& cand : result.per_scale) {
+      const auto it = best_deployed.find(cand.scale_exp);
+      if (it == best_deployed.end() || cand.deployed_mse < it->second) {
+        best_deployed[cand.scale_exp] = cand.deployed_mse;
+        approx.scale_tables_[cand.scale_exp] = cand.fxp_table;
+      }
+    }
+  }
+  return approx;
+}
+
+const PwlTable& Approximator::table_for_scale(int scale_exp) const {
+  const auto it = scale_tables_.find(scale_exp);
+  return it != scale_tables_.end() ? it->second : fxp_table_;
+}
+
+Approximator Approximator::from_table(Op op, Method method, PwlTable fxp_table,
+                                      int lambda) {
+  fxp_table.validate();
+  Approximator approx;
+  approx.op_ = op;
+  approx.method_ = method;
+  approx.lambda_ = lambda;
+  approx.fp_table_ = fxp_table;
+  approx.fxp_table_ = std::move(fxp_table);
+  return approx;
+}
+
+QuantizedPwlTable Approximator::quantized(const QuantParams& input,
+                                          int param_bits) const {
+  // Deployment grid exponent s from S = 2^-s.
+  const int s = -input.po2_exponent();
+  return quantize_table(table_for_scale(s), input, lambda_, param_bits);
+}
+
+IntPwlUnit Approximator::make_unit(int scale_exp, int input_bits,
+                                   int param_bits) const {
+  const QuantParams input{std::ldexp(1.0, scale_exp), input_bits, true};
+  return IntPwlUnit(quantized(input, param_bits));
+}
+
+MultiRangeUnit Approximator::make_multirange_unit(
+    int input_bits, int param_bits,
+    std::optional<MultiRangeConfig> config) const {
+  const MultiRangeConfig range =
+      config ? *config : MultiRangeConfig::preset_for(op_);
+  const QuantParams input{std::ldexp(1.0, -lambda_), input_bits, true};
+  return MultiRangeUnit(quantized(input, param_bits), range);
+}
+
+void Approximator::save(const std::string& path) const {
+  Json j = Json::object();
+  j["op"] = Json(op_info(op_).name);
+  j["method"] = Json(static_cast<int>(method_));
+  j["lambda"] = Json(lambda_);
+  j["fp_table"] = pwl_to_json(fp_table_);
+  j["fxp_table"] = pwl_to_json(fxp_table_);
+  Json scales = Json::array();
+  for (const auto& [exp, table] : scale_tables_) {
+    Json entry = Json::object();
+    entry["scale_exp"] = Json(exp);
+    entry["table"] = pwl_to_json(table);
+    scales.push_back(std::move(entry));
+  }
+  j["scale_tables"] = std::move(scales);
+  write_file(path, j.dump());
+}
+
+Approximator Approximator::load(const std::string& path) {
+  const Json j = Json::parse(read_file(path));
+  Approximator approx;
+  approx.op_ = op_from_name(j.at("op").as_string());
+  approx.method_ = static_cast<Method>(j.at("method").as_int());
+  approx.lambda_ = static_cast<int>(j.at("lambda").as_int());
+  approx.fp_table_ = pwl_from_json(j.at("fp_table"));
+  approx.fxp_table_ = pwl_from_json(j.at("fxp_table"));
+  if (j.contains("scale_tables")) {
+    const Json& scales = j.at("scale_tables");
+    for (std::size_t i = 0; i < scales.size(); ++i) {
+      const Json& entry = scales.at(i);
+      approx.scale_tables_[static_cast<int>(entry.at("scale_exp").as_int())] =
+          pwl_from_json(entry.at("table"));
+    }
+  }
+  return approx;
+}
+
+}  // namespace gqa

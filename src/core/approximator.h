@@ -1,0 +1,100 @@
+// One-call public API: fit any supported non-linear operator with any of
+// the three methods the paper compares, then deploy the result as FP
+// tables, quantized tables, or bit-accurate hardware-unit models.
+//
+//   auto approx = gqa::Approximator::fit(gqa::Op::kGelu,
+//                                        gqa::Method::kGqaRm);
+//   double y   = approx.eval(0.3);               // FP pwl
+//   auto unit  = approx.make_unit(-3);           // INT8 unit @ S = 2^-3
+//   double yq  = unit.eval_real(0.3);            // bit-accurate path
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "gqa/gqa_lut.h"
+#include "kernel/int_pwl_unit.h"
+#include "kernel/multirange_unit.h"
+#include "nnlut/nn_lut.h"
+
+namespace gqa {
+
+/// Approximation methods compared throughout the paper's evaluation.
+enum class Method {
+  kNnLut,    ///< NN-LUT baseline [11]
+  kGqaNoRm,  ///< GQA-LUT with Gaussian mutation
+  kGqaRm,    ///< GQA-LUT with Rounding Mutation (the paper's full method)
+};
+
+[[nodiscard]] std::string method_name(Method method);
+[[nodiscard]] const std::vector<Method>& all_methods();
+
+/// Knobs shared by all methods; method-specific details come from the
+/// per-op presets (Table 1) and can be overridden after construction.
+struct FitOptions {
+  int entries = 8;
+  int lambda = 5;
+  std::uint64_t seed = 0;  ///< 0 = derive deterministically from (op, method)
+  int ga_restarts = 3;     ///< GQA: independent GA runs, best kept
+  std::optional<int> ga_generations;  ///< override Table-1 T
+  std::optional<int> nn_epochs;       ///< override NN-LUT training epochs
+  std::optional<double> range_lo, range_hi;
+  FitStrategy fit_strategy = FitStrategy::kLeastSquares;
+};
+
+class Approximator {
+ public:
+  /// Fits `op` with `method`. Deterministic in (op, method, options).
+  [[nodiscard]] static Approximator fit(Op op, Method method,
+                                        const FitOptions& options = {});
+
+  /// Wraps an externally produced table (e.g. loaded from disk).
+  [[nodiscard]] static Approximator from_table(Op op, Method method,
+                                               PwlTable fxp_table, int lambda);
+
+  [[nodiscard]] Op op() const { return op_; }
+  [[nodiscard]] Method method() const { return method_; }
+  [[nodiscard]] int lambda() const { return lambda_; }
+  [[nodiscard]] const PwlTable& fp_table() const { return fp_table_; }
+  [[nodiscard]] const PwlTable& fxp_table() const { return fxp_table_; }
+
+  /// Deployment table for breakpoint grid 2^-s. GQA-LUT w/ RM returns the
+  /// per-scale champion archived during evolution; other methods fall back
+  /// to their single fxp table.
+  [[nodiscard]] const PwlTable& table_for_scale(int scale_exp) const;
+  [[nodiscard]] bool has_scale_tables() const { return !scale_tables_.empty(); }
+
+  /// FP-domain evaluation of the λ-rounded table.
+  [[nodiscard]] double eval(double x) const { return fxp_table_.eval(x); }
+
+  /// Quantizes the table for a given input domain (Eq. 3).
+  [[nodiscard]] QuantizedPwlTable quantized(const QuantParams& input,
+                                            int param_bits = 8) const;
+
+  /// INT unit for a power-of-two activation scale S = 2^scale_exp.
+  [[nodiscard]] IntPwlUnit make_unit(int scale_exp, int input_bits = 8,
+                                     int param_bits = 8) const;
+
+  /// Multi-range unit for DIV/RSQRT with the Table 2 preset (or a custom
+  /// config).
+  [[nodiscard]] MultiRangeUnit make_multirange_unit(
+      int input_bits = 8, int param_bits = 8,
+      std::optional<MultiRangeConfig> config = std::nullopt) const;
+
+  void save(const std::string& path) const;
+  [[nodiscard]] static Approximator load(const std::string& path);
+
+ private:
+  Approximator() = default;
+
+  Op op_ = Op::kGelu;
+  Method method_ = Method::kGqaRm;
+  int lambda_ = 5;
+  PwlTable fp_table_;
+  PwlTable fxp_table_;
+  std::map<int, PwlTable> scale_tables_;  ///< per deployment grid exponent s
+};
+
+}  // namespace gqa

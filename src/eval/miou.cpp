@@ -1,0 +1,65 @@
+#include "eval/miou.h"
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) * num_classes, 0) {
+  GQA_EXPECTS(num_classes >= 2);
+}
+
+void ConfusionMatrix::add(int truth, int prediction) {
+  GQA_EXPECTS(truth >= 0 && truth < classes_);
+  GQA_EXPECTS(prediction >= 0 && prediction < classes_);
+  ++counts_[static_cast<std::size_t>(truth) * classes_ + prediction];
+  ++total_;
+}
+
+void ConfusionMatrix::add(std::span<const int> truth,
+                          std::span<const int> prediction) {
+  GQA_EXPECTS_MSG(truth.size() == prediction.size(),
+                  "label maps must be aligned");
+  for (std::size_t i = 0; i < truth.size(); ++i) add(truth[i], prediction[i]);
+}
+
+double ConfusionMatrix::iou(int cls) const {
+  GQA_EXPECTS(cls >= 0 && cls < classes_);
+  std::int64_t tp = counts_[static_cast<std::size_t>(cls) * classes_ + cls];
+  std::int64_t fp = 0;
+  std::int64_t fn = 0;
+  for (int other = 0; other < classes_; ++other) {
+    if (other == cls) continue;
+    fp += counts_[static_cast<std::size_t>(other) * classes_ + cls];
+    fn += counts_[static_cast<std::size_t>(cls) * classes_ + other];
+  }
+  const std::int64_t uni = tp + fp + fn;
+  if (uni == 0) return -1.0;
+  return static_cast<double>(tp) / static_cast<double>(uni);
+}
+
+double ConfusionMatrix::mean_iou() const {
+  GQA_EXPECTS_MSG(total_ > 0, "empty confusion matrix");
+  double sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < classes_; ++c) {
+    const double value = iou(c);
+    if (value >= 0.0) {
+      sum += value;
+      ++present;
+    }
+  }
+  return present > 0 ? sum / present : 0.0;
+}
+
+double ConfusionMatrix::pixel_accuracy() const {
+  GQA_EXPECTS_MSG(total_ > 0, "empty confusion matrix");
+  std::int64_t correct = 0;
+  for (int c = 0; c < classes_; ++c) {
+    correct += counts_[static_cast<std::size_t>(c) * classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+}  // namespace gqa

@@ -1,0 +1,40 @@
+// Mean Intersection-over-Union — the standard semantic-segmentation metric
+// used by Tables 4/5 (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gqa {
+
+/// Streaming confusion matrix over `num_classes` labels.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Adds one (ground truth, prediction) pair.
+  void add(int truth, int prediction);
+  /// Adds aligned label maps.
+  void add(std::span<const int> truth, std::span<const int> prediction);
+
+  [[nodiscard]] int num_classes() const { return classes_; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+  /// IoU of one class; returns -1 when the class never appears (ignored by
+  /// mean_iou, matching standard practice).
+  [[nodiscard]] double iou(int cls) const;
+
+  /// Mean IoU over classes with non-empty union, in [0, 1].
+  [[nodiscard]] double mean_iou() const;
+
+  /// Overall pixel accuracy.
+  [[nodiscard]] double pixel_accuracy() const;
+
+ private:
+  int classes_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> counts_;  ///< counts_[truth * classes + pred]
+};
+
+}  // namespace gqa

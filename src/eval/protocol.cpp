@@ -1,0 +1,195 @@
+#include "eval/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "kernel/int_pwl_unit.h"
+#include "kernel/multirange_unit.h"
+#include "core/approximator.h"
+#include "pwl/quantized_table.h"
+#include "util/contracts.h"
+
+namespace gqa {
+
+namespace {
+
+SweepOptions with_defaults(SweepOptions opts, Op op) {
+  if (opts.range_lo == opts.range_hi) {
+    const OpInfo& info = op_info(op);
+    opts.range_lo = info.range_lo;
+    opts.range_hi = info.range_hi;
+  }
+  GQA_EXPECTS(opts.range_lo < opts.range_hi);
+  GQA_EXPECTS(opts.exp_lo <= opts.exp_hi);
+  return opts;
+}
+
+}  // namespace
+
+double ScaleSweepResult::avg_mse() const {
+  GQA_EXPECTS(!points.empty());
+  double sum = 0.0;
+  for (const ScalePoint& p : points) sum += p.mse;
+  return sum / static_cast<double>(points.size());
+}
+
+double ScaleSweepResult::max_mse() const {
+  GQA_EXPECTS(!points.empty());
+  double best = points.front().mse;
+  for (const ScalePoint& p : points) best = std::max(best, p.mse);
+  return best;
+}
+
+double ScaleSweepResult::large_scale_share(int n_large) const {
+  GQA_EXPECTS(!points.empty());
+  // Points are ordered largest scale first (exp_hi down to exp_lo).
+  double large = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    total += points[i].mse;
+    if (static_cast<int>(i) < n_large) large += points[i].mse;
+  }
+  return total > 0.0 ? large / total : 0.0;
+}
+
+ScalePoint scale_mse(const PwlTable& fxp_table, Op op, int exponent,
+                     const SweepOptions& opts_in) {
+  const SweepOptions opts = with_defaults(opts_in, op);
+  const OpInfo& info = op_info(op);
+
+  const QuantParams input{std::ldexp(1.0, exponent), opts.input_bits, true};
+  const QuantizedPwlTable qt =
+      quantize_table(fxp_table, input, opts.lambda, opts.param_bits);
+  const IntPwlUnit unit(qt);
+
+  // Integer codes whose dequantized value falls inside [Rn, Rp].
+  const auto q_lo = std::max<std::int64_t>(
+      input.qmin(),
+      static_cast<std::int64_t>(std::ceil(opts.range_lo / input.scale)));
+  const auto q_hi = std::min<std::int64_t>(
+      input.qmax(),
+      static_cast<std::int64_t>(std::floor(opts.range_hi / input.scale)));
+  GQA_EXPECTS_MSG(q_lo <= q_hi, "no integer codes fall inside the range");
+
+  ScalePoint point;
+  point.exponent = exponent;
+  double sse = 0.0;
+  for (std::int64_t q = q_lo; q <= q_hi; ++q) {
+    const double x = input.dequantize(q);
+    const double err = unit.eval_real_from_code(q) - info.f(x);
+    sse += err * err;
+    ++point.samples;
+  }
+  point.mse = sse / static_cast<double>(point.samples);
+  return point;
+}
+
+ScaleSweepResult sweep_scale_mse(const PwlTable& fxp_table, Op op,
+                                 SweepOptions opts) {
+  opts = with_defaults(opts, op);
+  ScaleSweepResult result;
+  for (int e = opts.exp_hi; e >= opts.exp_lo; --e) {
+    result.points.push_back(scale_mse(fxp_table, op, e, opts));
+  }
+  return result;
+}
+
+double fxp_domain_mse(const PwlTable& fxp_table, Op op,
+                      const SweepOptions& opts_in) {
+  const SweepOptions opts = with_defaults(opts_in, op);
+  const OpInfo& info = op_info(op);
+
+  // DIV/RSQRT breakpoints live on the λ-frac fixed-point grid (Table 2).
+  const QuantParams input{std::ldexp(1.0, -opts.lambda), opts.input_bits, true};
+  const QuantizedPwlTable qt =
+      quantize_table(fxp_table, input, opts.lambda, opts.param_bits);
+  const IntPwlUnit unit(qt);
+
+  const auto q_lo = static_cast<std::int64_t>(
+      std::ceil(opts.range_lo / input.scale));
+  const auto q_hi = std::min<std::int64_t>(
+      input.qmax(),
+      static_cast<std::int64_t>(std::floor(opts.range_hi / input.scale)));
+  GQA_EXPECTS(q_lo <= q_hi);
+
+  double sse = 0.0;
+  int n = 0;
+  for (std::int64_t q = q_lo; q <= q_hi; ++q) {
+    const double x = input.dequantize(q);
+    if (x < opts.range_lo || x > opts.range_hi) continue;
+    const double err = unit.eval_real_from_code(q) - info.f(x);
+    sse += err * err;
+    ++n;
+  }
+  GQA_ENSURES(n > 0);
+  return sse / static_cast<double>(n);
+}
+
+double multirange_wide_mse(const PwlTable& fxp_table,
+                           const MultiRangeConfig& config,
+                           const SweepOptions& opts) {
+  config.validate();
+  const OpInfo& info = op_info(config.op);
+
+  const QuantParams input{std::ldexp(1.0, -opts.lambda), opts.input_bits, true};
+  const QuantizedPwlTable qt =
+      quantize_table(fxp_table, input, opts.lambda, opts.param_bits);
+  const MultiRangeUnit unit(qt, config);
+
+  // Sweep IR plus every finite sub-range on a log-spaced grid; score the
+  // relative error because |f| spans several decades.
+  double hi = config.ir_hi;
+  for (const SubRange& sr : config.subranges) {
+    if (std::isfinite(sr.hi)) hi = std::max(hi, sr.hi);
+  }
+  const double lo = config.ir_lo;
+  constexpr int kSamples = 4000;
+  double sse = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double t = static_cast<double>(i) / (kSamples - 1);
+    const double x = lo * std::pow(hi / lo, t);
+    const double ref = info.f(x);
+    const double err = (unit.eval_real(x) - ref) / ref;
+    sse += err * err;
+  }
+  return sse / kSamples;
+}
+
+double operator_level_mse(const PwlTable& fxp_table, Op op,
+                          const SweepOptions& opts) {
+  if (op_info(op).scale_dependent) {
+    return sweep_scale_mse(fxp_table, op, opts).avg_mse();
+  }
+  return fxp_domain_mse(fxp_table, op, opts);
+}
+
+ScaleSweepResult sweep_scale_mse(const Approximator& approx,
+                                 SweepOptions opts) {
+  opts = with_defaults(opts, approx.op());
+  ScaleSweepResult result;
+  for (int e = opts.exp_hi; e >= opts.exp_lo; --e) {
+    // Input scale S = 2^e corresponds to deployment grid exponent s = -e.
+    result.points.push_back(
+        scale_mse(approx.table_for_scale(-e), approx.op(), e, opts));
+  }
+  return result;
+}
+
+double operator_level_mse(const Approximator& approx, SweepOptions opts) {
+  const Op op = approx.op();
+  if (op_info(op).scale_dependent) {
+    return sweep_scale_mse(approx, opts).avg_mse();
+  }
+  return fxp_domain_mse(approx.table_for_scale(opts.lambda), op, opts);
+}
+
+std::vector<double> normalize_series(const std::vector<double>& values) {
+  GQA_EXPECTS(!values.empty());
+  const double peak = *std::max_element(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(peak > 0.0 ? v / peak : 0.0);
+  return out;
+}
+
+}  // namespace gqa

@@ -1,0 +1,88 @@
+// Operator-level accuracy protocol of §4.1.
+//
+// Scale-dependent operators (GELU, HSWISH, EXP): for each power-of-two
+// scale S = 2^e the input is sampled *from the dequantized integer grid*
+// x = S·q restricted to the approximation range [Rn, Rp]; the candidate
+// table is quantized per Eq. 3 and evaluated through the bit-accurate
+// IntPwlUnit; MSE is taken against the double-precision reference. Large S
+// therefore sees both a coarse input grid and breakpoint deviation, which
+// is exactly the regime the paper analyses in Fig. 2.
+//
+// Wide-range operators (DIV, RSQRT): input is every λ-frac fixed-point
+// code inside the breakpoint interval IR (they "receive merely quantized
+// input", §4.1); multirange_wide_mse additionally scores the Table 2
+// multi-range path across the full sub-range union.
+#pragma once
+
+#include <vector>
+
+#include "gqa/multirange.h"
+#include "numerics/nonlinear.h"
+#include "pwl/pwl_table.h"
+
+namespace gqa {
+
+struct SweepOptions {
+  int lambda = 5;
+  int param_bits = 8;
+  int input_bits = 8;
+  int exp_hi = 0;    ///< largest scale exponent (S = 2^0)
+  int exp_lo = -6;   ///< smallest scale exponent (S = 2^-6)
+  double range_lo = 0.0;  ///< Rn (set from the op when 0-width)
+  double range_hi = 0.0;  ///< Rp
+};
+
+struct ScalePoint {
+  int exponent = 0;  ///< S = 2^exponent
+  double mse = 0.0;
+  int samples = 0;
+};
+
+struct ScaleSweepResult {
+  std::vector<ScalePoint> points;
+  [[nodiscard]] double avg_mse() const;
+  [[nodiscard]] double max_mse() const;
+  /// Fraction of total MSE mass contributed by the `n_large` largest scales
+  /// (the Fig. 2(a) breakdown).
+  [[nodiscard]] double large_scale_share(int n_large = 3) const;
+};
+
+/// Quantization-aware MSE at one scale S = 2^exponent.
+[[nodiscard]] ScalePoint scale_mse(const PwlTable& fxp_table, Op op,
+                                   int exponent, const SweepOptions& opts);
+
+/// Sweep across S = 2^exp_hi .. 2^exp_lo (Fig. 3 protocol).
+[[nodiscard]] ScaleSweepResult sweep_scale_mse(const PwlTable& fxp_table,
+                                               Op op, SweepOptions opts);
+
+/// Fixed-point-domain MSE for DIV/RSQRT over the IR interval: every λ-frac
+/// code in [Rn, Rp] is evaluated bit-accurately.
+[[nodiscard]] double fxp_domain_mse(const PwlTable& fxp_table, Op op,
+                                    const SweepOptions& opts);
+
+/// Wide-range MSE through the MultiRangeUnit across IR plus all finite
+/// sub-ranges of `config` (relative squared error, since |f| spans decades).
+[[nodiscard]] double multirange_wide_mse(const PwlTable& fxp_table,
+                                         const MultiRangeConfig& config,
+                                         const SweepOptions& opts);
+
+/// Table-3-style summary for any op: scale sweep average for
+/// scale-dependent ops, IR fixed-point MSE for DIV/RSQRT.
+[[nodiscard]] double operator_level_mse(const PwlTable& fxp_table, Op op,
+                                        const SweepOptions& opts);
+
+/// Normalizes a series to [0, 1] by its maximum (figure rendering).
+[[nodiscard]] std::vector<double> normalize_series(
+    const std::vector<double>& values);
+
+class Approximator;
+
+/// Approximator-aware variants: at each scale the method's deployment table
+/// for that grid is used (GQA-LUT w/ RM deploys per-scale champions; other
+/// methods always use their single table).
+[[nodiscard]] ScaleSweepResult sweep_scale_mse(const Approximator& approx,
+                                               SweepOptions opts = {});
+[[nodiscard]] double operator_level_mse(const Approximator& approx,
+                                        SweepOptions opts = {});
+
+}  // namespace gqa

@@ -1,0 +1,169 @@
+#include "eval/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace gqa {
+
+using tfm::Shape;
+using tfm::Tensor;
+
+void class_color(int cls, double rgb[3]) {
+  // Hand-picked anchors for the layout classes, hashed hues for objects.
+  switch (cls) {
+    case 0: rgb[0] = -0.25; rgb[1] = 0.35; rgb[2] = 0.85; return;  // sky
+    case 1: rgb[0] = 0.15; rgb[1] = -0.15; rgb[2] = -0.55; return; // ground
+    case 2: rgb[0] = -0.45; rgb[1] = -0.45; rgb[2] = -0.40; return;// road
+    default: break;
+  }
+  // Object categories get maximally separated colours: the corners of the
+  // RGB cube first, then hashed hues for any further classes.
+  static constexpr double kCorners[8][3] = {
+      {0.9, 0.9, 0.9},   {0.9, -0.9, -0.9}, {-0.9, 0.9, -0.9},
+      {-0.9, -0.9, 0.9}, {0.9, 0.9, -0.9},  {-0.9, 0.9, 0.9},
+      {0.9, -0.9, 0.9},  {-0.9, -0.9, -0.9}};
+  if (cls - 3 < 8) {
+    for (int c = 0; c < 3; ++c) rgb[c] = kCorners[cls - 3][c];
+    return;
+  }
+  std::uint64_t h = static_cast<std::uint64_t>(cls) * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  for (int c = 0; c < 3; ++c) {
+    rgb[c] = -0.9 + 1.8 * static_cast<double>((h >> (c * 16)) & 0xFFFF) / 65535.0;
+  }
+}
+
+LabeledScene make_scene(const SceneOptions& options, std::uint64_t seed) {
+  GQA_EXPECTS(options.size >= 8);
+  GQA_EXPECTS(options.num_classes >= 4);
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + 0x1CEB00DA);
+  const int n = options.size;
+  LabeledScene scene;
+  scene.size = n;
+  scene.image = Tensor(Shape{3, n, n});
+  scene.labels.assign(static_cast<std::size_t>(n) * n, 0);
+
+  auto paint = [&scene, n](int x, int y, int cls, const double rgb[3],
+                           double alpha) {
+    for (int c = 0; c < 3; ++c) {
+      float& v = scene.image.at(c, y, x);
+      v = static_cast<float>((1.0 - alpha) * v + alpha * rgb[c]);
+    }
+    if (alpha >= 0.5) {
+      scene.labels[static_cast<std::size_t>(y) * n + x] = cls;
+    }
+  };
+
+  // Sky above a random horizon, ground below.
+  const double horizon = rng.uniform(0.3, 0.7);
+  double sky[3], ground[3];
+  class_color(0, sky);
+  class_color(1, ground);
+  for (int c = 0; c < 3; ++c) {
+    sky[c] += rng.uniform(-options.color_jitter, options.color_jitter);
+    ground[c] += rng.uniform(-options.color_jitter, options.color_jitter);
+  }
+  for (int y = 0; y < n; ++y) {
+    const double t = static_cast<double>(y) / n;
+    for (int x = 0; x < n; ++x) {
+      if (t < horizon) {
+        double shade[3] = {sky[0] * (1.0 - 0.3 * t / horizon),
+                           sky[1] * (1.0 - 0.3 * t / horizon), sky[2]};
+        paint(x, y, 0, shade, 1.0);
+      } else {
+        double tex[3];
+        for (int c = 0; c < 3; ++c) {
+          tex[c] = ground[c] + 0.08 * std::sin(0.55 * x + 2.0 * c + 0.3 * y);
+        }
+        paint(x, y, 1, tex, 1.0);
+      }
+    }
+  }
+
+  // Road band below the horizon.
+  double road[3];
+  class_color(2, road);
+  const int road_y = static_cast<int>(horizon * n) +
+                     static_cast<int>(rng.uniform(1.0, 6.0));
+  const int road_h = std::max(3, n / 8);
+  for (int y = road_y; y < std::min(n, road_y + road_h); ++y) {
+    for (int x = 0; x < n; ++x) {
+      double tex[3];
+      const bool lane_mark = (x % (n / 8)) < 2 && ((y - road_y) == road_h / 2);
+      for (int c = 0; c < 3; ++c) tex[c] = lane_mark ? 0.8 : road[c];
+      paint(x, y, 2, tex, 1.0);
+    }
+  }
+
+  // Object blobs with class-conditioned colours.
+  for (int b = 0; b < options.blobs; ++b) {
+    const int cls = 3 + static_cast<int>(rng.uniform_int(
+        0, std::min(options.object_classes, options.num_classes - 3) - 1));
+    double base[3];
+    class_color(cls, base);
+    for (int c = 0; c < 3; ++c) {
+      base[c] = std::clamp(
+          base[c] + rng.uniform(-options.color_jitter, options.color_jitter),
+          -1.0, 1.0);
+    }
+    const double cx = rng.uniform(0.1, 0.9) * n;
+    const double cy = rng.uniform(0.15, 0.95) * n;
+    const double rx = rng.uniform(0.12, 0.28) * n;
+    const double ry = rng.uniform(0.12, 0.28) * n;
+    const double angle = rng.uniform(0.0, M_PI);
+    const double ca = std::cos(angle);
+    const double sa = std::sin(angle);
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x) {
+        const double dx = (x - cx) * ca + (y - cy) * sa;
+        const double dy = -(x - cx) * sa + (y - cy) * ca;
+        const double d = (dx * dx) / (rx * rx) + (dy * dy) / (ry * ry);
+        if (d < 1.0) {
+          const double alpha = std::min(1.0, 2.5 * (1.0 - d));
+          paint(x, y, cls, base, alpha);
+        }
+      }
+    }
+  }
+
+  // Sensor noise + clamp (labels unaffected).
+  for (float& v : scene.image.data()) {
+    v = static_cast<float>(std::clamp(
+        static_cast<double>(v) + rng.normal(0.0, options.noise), -1.0, 1.0));
+  }
+  return scene;
+}
+
+std::vector<LabeledScene> make_scene_set(const SceneOptions& options, int count,
+                                         std::uint64_t base_seed) {
+  GQA_EXPECTS(count >= 1);
+  std::vector<LabeledScene> scenes;
+  scenes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    scenes.push_back(
+        make_scene(options, base_seed + static_cast<std::uint64_t>(i)));
+  }
+  return scenes;
+}
+
+std::vector<int> downsample_labels(const std::vector<int>& labels, int size,
+                                   int h, int w) {
+  GQA_EXPECTS(static_cast<int>(labels.size()) == size * size);
+  GQA_EXPECTS(h >= 1 && w >= 1 && h <= size && w <= size);
+  std::vector<int> out(static_cast<std::size_t>(h) * w);
+  for (int y = 0; y < h; ++y) {
+    // Sample the cell centre (nearest-neighbour downsampling).
+    const int sy = std::min(size - 1, y * size / h + size / (2 * h));
+    for (int x = 0; x < w; ++x) {
+      const int sx = std::min(size - 1, x * size / w + size / (2 * w));
+      out[static_cast<std::size_t>(y) * w + x] =
+          labels[static_cast<std::size_t>(sy) * size + sx];
+    }
+  }
+  return out;
+}
+
+}  // namespace gqa

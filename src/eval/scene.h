@@ -1,0 +1,49 @@
+// Synthetic urban-scene workload generator — the Cityscapes substitute
+// (see DESIGN.md §3). Scenes are layered compositions of a sky/ground
+// gradient, road stripes, and elliptical object blobs; every layer carries
+// a semantic class with a class-conditioned colour palette, so the scene
+// comes with dense ground-truth labels. Segmentation heads are trained on
+// these labels (the reproduction's stand-in for Cityscapes fine-tuning)
+// and mIoU is evaluated against them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tfm/tensor.h"
+
+namespace gqa {
+
+struct SceneOptions {
+  int size = 64;          ///< square image side
+  int num_classes = 19;   ///< Cityscapes-like label count
+  int object_classes = 6; ///< distinct object categories (classes 3..3+n-1)
+  int blobs = 6;          ///< object count
+  double noise = 0.03;    ///< sensor noise stddev
+  double color_jitter = 0.08;  ///< per-instance deviation from class colour
+};
+
+/// A scene with dense per-pixel ground truth (classes 0 = sky, 1 = ground,
+/// 2 = road, 3.. = object categories).
+struct LabeledScene {
+  tfm::Tensor image;        ///< {3, size, size}, values in [-1, 1]
+  std::vector<int> labels;  ///< size*size class ids, row-major
+  int size = 0;
+};
+
+/// Deterministic class base colour in [-1, 1]^3.
+void class_color(int cls, double rgb[3]);
+
+/// Deterministic scene for (options, seed).
+[[nodiscard]] LabeledScene make_scene(const SceneOptions& options,
+                                      std::uint64_t seed);
+
+/// A fixed set of `count` scenes (seeds salted from base_seed).
+[[nodiscard]] std::vector<LabeledScene> make_scene_set(
+    const SceneOptions& options, int count, std::uint64_t base_seed = 0xC17);
+
+/// Nearest-neighbour downsample of a label map to h x w.
+[[nodiscard]] std::vector<int> downsample_labels(const std::vector<int>& labels,
+                                                 int size, int h, int w);
+
+}  // namespace gqa

@@ -1,0 +1,107 @@
+#include "genetic/genetic.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+GeneticOptimizer::GeneticOptimizer(GaConfig config) : config_(config) {
+  GQA_EXPECTS(config_.population_size >= 2);
+  GQA_EXPECTS(config_.generations >= 1);
+  GQA_EXPECTS(config_.crossover_prob >= 0.0 && config_.crossover_prob <= 1.0);
+  GQA_EXPECTS(config_.mutation_prob >= 0.0 && config_.mutation_prob <= 1.0);
+  GQA_EXPECTS(config_.tournament_size >= 1 &&
+              config_.tournament_size <= config_.population_size);
+  GQA_EXPECTS(config_.elite_count >= 0 &&
+              config_.elite_count < config_.population_size);
+}
+
+void GeneticOptimizer::segment_swap_crossover(Genome& a, Genome& b, Rng& rng) {
+  GQA_EXPECTS(a.size() == b.size());
+  if (a.empty()) return;
+  const std::size_t n = a.size();
+  std::size_t lo = rng.index(n);
+  std::size_t hi = rng.index(n);
+  if (lo > hi) std::swap(lo, hi);
+  for (std::size_t i = lo; i <= hi; ++i) std::swap(a[i], b[i]);
+}
+
+GaResult GeneticOptimizer::run(const InitFn& init, const FitnessFn& fitness,
+                               const MutateFn& mutate, const RepairFn& repair,
+                               const PopulationHook& hook) const {
+  GQA_EXPECTS_MSG(init != nullptr, "GA needs an initializer");
+  GQA_EXPECTS_MSG(fitness != nullptr, "GA needs a fitness function");
+  GQA_EXPECTS_MSG(mutate != nullptr, "GA needs a mutation operator");
+
+  Rng rng(config_.seed);
+  const auto pop_size = static_cast<std::size_t>(config_.population_size);
+
+  std::vector<Genome> population;
+  population.reserve(pop_size);
+  for (std::size_t i = 0; i < pop_size; ++i) {
+    Genome g = init(rng);
+    if (repair) repair(g);
+    population.push_back(std::move(g));
+  }
+
+  GaResult result;
+  result.best_fitness = std::numeric_limits<double>::infinity();
+  result.history.reserve(static_cast<std::size_t>(config_.generations));
+
+  std::vector<double> scores(pop_size);
+
+  for (int gen = 0; gen < config_.generations; ++gen) {
+    // Genetic operators (Alg. 1 lines 9-16): each individual may cross with
+    // a random partner and may mutate.
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      if (rng.canonical() < config_.crossover_prob) {
+        std::size_t j = rng.index(pop_size - 1);
+        if (j >= i) ++j;  // uniform over population \ {i}
+        segment_swap_crossover(population[i], population[j], rng);
+        if (repair) {
+          repair(population[i]);
+          repair(population[j]);
+        }
+      }
+      if (rng.canonical() < config_.mutation_prob) {
+        mutate(population[i], rng);
+        if (repair) repair(population[i]);
+      }
+    }
+
+    // Evaluation.
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      scores[i] = fitness(population[i]);
+      ++result.evaluations;
+      if (scores[i] < result.best_fitness) {
+        result.best_fitness = scores[i];
+        result.best = population[i];
+      }
+    }
+    result.history.push_back(result.best_fitness);
+    if (hook) hook(gen, population, scores);
+
+    // Tournament selection (Alg. 1 line 18) into the next generation, with
+    // the global elite re-injected so progress is never lost.
+    std::vector<Genome> next;
+    next.reserve(pop_size);
+    for (int e = 0; e < config_.elite_count; ++e) next.push_back(result.best);
+    while (next.size() < pop_size) {
+      std::size_t winner = rng.index(pop_size);
+      for (int t = 1; t < config_.tournament_size; ++t) {
+        const std::size_t challenger = rng.index(pop_size);
+        if (scores[challenger] < scores[winner]) winner = challenger;
+      }
+      next.push_back(population[winner]);
+    }
+    population = std::move(next);
+  }
+
+  GQA_ENSURES(!result.best.empty() || config_.generations == 0);
+  return result;
+}
+
+}  // namespace gqa

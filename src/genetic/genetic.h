@@ -1,0 +1,70 @@
+// Generic real-coded genetic optimizer implementing the evolutionary loop of
+// Algorithm 1: stochastic segment-swap crossover, pluggable mutation, 3-way
+// tournament selection, and single-elite preservation so the best fitness is
+// monotone non-increasing across generations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gqa {
+
+/// Hyperparameters of the evolutionary loop. Defaults match Table 1's
+/// common settings (Np = 50, T = 500, θc = 0.7, θm = 0.2).
+struct GaConfig {
+  int population_size = 50;     ///< Np
+  int generations = 500;        ///< T
+  double crossover_prob = 0.7;  ///< θc
+  double mutation_prob = 0.2;   ///< θm
+  int tournament_size = 3;
+  int elite_count = 1;          ///< individuals copied verbatim each round
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+using Genome = std::vector<double>;
+/// Fitness: lower is better (the paper uses MSE).
+using FitnessFn = std::function<double(const Genome&)>;
+/// In-place mutation of one genome.
+using MutateFn = std::function<void(Genome&, Rng&)>;
+/// In-place constraint repair (sorting, clipping, separation).
+using RepairFn = std::function<void(Genome&)>;
+/// Creates one random genome.
+using InitFn = std::function<Genome(Rng&)>;
+/// Observation hook called once per generation after fitness evaluation,
+/// before selection: (generation, population, scores). Used by GQA-LUT to
+/// archive deployment-ready candidates across the whole evolution.
+using PopulationHook =
+    std::function<void(int, const std::vector<Genome>&, const std::vector<double>&)>;
+
+struct GaResult {
+  Genome best;
+  double best_fitness = 0.0;
+  std::vector<double> history;  ///< best-so-far fitness after each generation
+  std::int64_t evaluations = 0;
+};
+
+class GeneticOptimizer {
+ public:
+  explicit GeneticOptimizer(GaConfig config);
+
+  /// Runs the evolutionary loop. All functions must be valid; `repair` may
+  /// be empty when genomes are unconstrained.
+  [[nodiscard]] GaResult run(const InitFn& init, const FitnessFn& fitness,
+                             const MutateFn& mutate,
+                             const RepairFn& repair = {},
+                             const PopulationHook& hook = {}) const;
+
+  /// Swaps a random contiguous segment between two genomes of equal length
+  /// (Algorithm 1 line 12). Exposed for direct testing.
+  static void segment_swap_crossover(Genome& a, Genome& b, Rng& rng);
+
+  [[nodiscard]] const GaConfig& config() const { return config_; }
+
+ private:
+  GaConfig config_;
+};
+
+}  // namespace gqa

@@ -1,0 +1,95 @@
+#include "gqa/multirange.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace gqa {
+
+MultiRangeConfig MultiRangeConfig::div_preset() {
+  MultiRangeConfig cfg;
+  cfg.op = Op::kDiv;
+  cfg.ir_lo = 0.5;
+  cfg.ir_hi = 4.0;
+  cfg.subranges = {
+      {4.0, 32.0, -3},
+      {32.0, 256.0, -6},
+      {256.0, std::numeric_limits<double>::infinity(), -6},
+  };
+  return cfg;
+}
+
+MultiRangeConfig MultiRangeConfig::rsqrt_preset() {
+  MultiRangeConfig cfg;
+  cfg.op = Op::kRsqrt;
+  cfg.ir_lo = 0.25;
+  cfg.ir_hi = 4.0;
+  cfg.subranges = {
+      {4.0, 64.0, -4},
+      {64.0, 1024.0, -8},
+      {1024.0, std::numeric_limits<double>::infinity(), -12},
+  };
+  return cfg;
+}
+
+MultiRangeConfig MultiRangeConfig::preset_for(Op op) {
+  switch (op) {
+    case Op::kDiv: return div_preset();
+    case Op::kRsqrt: return rsqrt_preset();
+    default:
+      throw ContractViolation(
+          "multi-range scaling is defined for DIV and RSQRT only");
+  }
+}
+
+int MultiRangeConfig::select_exponent(double x) const {
+  for (const SubRange& sr : subranges) {
+    if (x >= sr.lo && x < sr.hi) return sr.scale_exp;
+  }
+  return 0;  // inside IR (or below it; clamped by the first pwl segment)
+}
+
+int MultiRangeConfig::output_exponent(int input_exp) const {
+  if (op == Op::kDiv) return input_exp;
+  // RSQRT: 1/sqrt(x * 2^e / 2^e) = 2^{e/2} / sqrt(x * 2^e).
+  GQA_EXPECTS_MSG(input_exp % 2 == 0,
+                  "RSQRT multi-range exponents must be even");
+  return input_exp / 2;
+}
+
+double MultiRangeConfig::eval(const std::function<double(double)>& pwl,
+                              double x) const {
+  const int e = select_exponent(x);
+  const double scaled = std::ldexp(x, e);           // x * S'
+  const double approx = pwl(scaled);                // pwl inside IR
+  return std::ldexp(approx, output_exponent(e));    // rescale back
+}
+
+void MultiRangeConfig::validate() const {
+  GQA_EXPECTS(ir_lo < ir_hi);
+  double prev_hi = ir_hi;
+  for (const SubRange& sr : subranges) {
+    GQA_EXPECTS_MSG(sr.lo == prev_hi, "sub-ranges must tile contiguously");
+    GQA_EXPECTS(sr.lo < sr.hi);
+    GQA_EXPECTS_MSG(sr.scale_exp <= 0, "sub-range scales must compress");
+    prev_hi = sr.hi;
+  }
+}
+
+std::string MultiRangeConfig::to_string() const {
+  std::string out = format("%s IR=(%.3g, %.3g)", op_info(op).name.c_str(),
+                           ir_lo, ir_hi);
+  for (std::size_t i = 0; i < subranges.size(); ++i) {
+    const SubRange& sr = subranges[i];
+    if (std::isinf(sr.hi)) {
+      out += format("  SR%zu=[%.3g, +inf)/2^%d", i, sr.lo, sr.scale_exp);
+    } else {
+      out += format("  SR%zu=[%.3g, %.3g)/2^%d", i, sr.lo, sr.hi, sr.scale_exp);
+    }
+  }
+  return out;
+}
+
+}  // namespace gqa

@@ -1,0 +1,54 @@
+// Multi-Range Input Scaling (§3.1, Table 2). Wide-range operators (DIV,
+// RSQRT) receive fixed-point intermediate values rather than quantized
+// activations, so their input range extends far beyond the breakpoint
+// interval IR = [Rn, Rp]. The range outside IR is split into sub-ranges
+// SR_i, each mapped back into IR by a manually chosen power-of-two factor
+// S'_i; the pwl output is then rescaled by S'_i (DIV) or sqrt(S'_i)
+// (RSQRT).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numerics/nonlinear.h"
+
+namespace gqa {
+
+/// One sub-range [lo, hi) with its power-of-two scale S' = 2^scale_exp.
+struct SubRange {
+  double lo = 0.0;
+  double hi = 0.0;
+  int scale_exp = 0;  ///< negative: S' < 1 compresses into IR
+};
+
+/// Full multi-range configuration for one operator.
+struct MultiRangeConfig {
+  Op op = Op::kDiv;
+  double ir_lo = 0.0;  ///< Rn of the fitted pwl
+  double ir_hi = 0.0;  ///< Rp of the fitted pwl
+  std::vector<SubRange> subranges;
+
+  /// Table 2 presets.
+  [[nodiscard]] static MultiRangeConfig div_preset();
+  [[nodiscard]] static MultiRangeConfig rsqrt_preset();
+  [[nodiscard]] static MultiRangeConfig preset_for(Op op);
+
+  /// Scale exponent for input `x`: 0 inside IR, the matching sub-range
+  /// exponent beyond it. Values below IR also return 0 (clamped by the
+  /// pwl's first segment).
+  [[nodiscard]] int select_exponent(double x) const;
+
+  /// Output rescale exponent for the op given the input exponent:
+  /// DIV -> e, RSQRT -> e/2 (Table 2 exponents are even by construction).
+  [[nodiscard]] int output_exponent(int input_exp) const;
+
+  /// Reference multi-range evaluation in real arithmetic: rescales x into
+  /// IR, applies `pwl`, rescales the result. Used for operator-level MSE.
+  [[nodiscard]] double eval(const std::function<double(double)>& pwl,
+                            double x) const;
+
+  void validate() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace gqa

@@ -1,0 +1,116 @@
+#include "gqa/objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/rounding.h"
+#include "numerics/saturate.h"
+#include "util/contracts.h"
+
+namespace gqa {
+
+QuantAwareObjective::QuantAwareObjective(const FitGrid& grid, int lambda,
+                                         std::vector<int> scale_exps,
+                                         int input_bits)
+    : grid_(&grid),
+      lambda_(lambda),
+      input_bits_(input_bits),
+      scale_exps_(std::move(scale_exps)) {
+  GQA_EXPECTS_MSG(!scale_exps_.empty(), "need at least one deployment scale");
+  GQA_EXPECTS(lambda_ >= 0 && lambda_ <= 16);
+  GQA_EXPECTS(input_bits_ >= 4 && input_bits_ <= 32);
+
+  for (int s : scale_exps_) {
+    ScaleGrid sg;
+    sg.exponent = s;
+    sg.scale = std::ldexp(1.0, -s);
+    const std::int64_t q_min = int_min(input_bits_, true);
+    const std::int64_t q_max = int_max(input_bits_, true);
+    const auto q_lo = std::max(
+        q_min, static_cast<std::int64_t>(std::ceil(grid.lo() / sg.scale)));
+    const auto q_hi = std::min(
+        q_max, static_cast<std::int64_t>(std::floor(grid.hi() / sg.scale)));
+    GQA_EXPECTS_MSG(q_lo <= q_hi,
+                    "no integer codes inside the range at this scale");
+    for (std::int64_t q = q_lo; q <= q_hi; ++q) {
+      const double x = sg.scale * static_cast<double>(q);
+      sg.xs.push_back(x);
+      sg.fs.push_back(grid.target()(x));
+    }
+    scale_grids_.push_back(std::move(sg));
+  }
+}
+
+double QuantAwareObjective::mse_on(const ScaleGrid& sg,
+                                   const std::vector<double>& bounds,
+                                   const std::vector<double>& ks,
+                                   const std::vector<double>& bs) const {
+  double sse = 0.0;
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < sg.xs.size(); ++i) {
+    const double x = sg.xs[i];
+    while (seg < bounds.size() && x >= bounds[seg]) ++seg;
+    const double err = ks[seg] * x + bs[seg] - sg.fs[i];
+    sse += err * err;
+  }
+  return sse / static_cast<double>(sg.xs.size());
+}
+
+std::vector<double> QuantAwareObjective::per_scale_mse(
+    const Genome& breakpoints) const {
+  const std::size_t nseg = breakpoints.size() + 1;
+  // Deployed (k, b): least squares on unquantized segments, λ-rounded.
+  std::vector<double> ks(nseg);
+  std::vector<double> bs(nseg);
+  std::size_t lo_idx = 0;
+  for (std::size_t i = 0; i < nseg; ++i) {
+    const std::size_t hi_idx = i < breakpoints.size()
+                                   ? grid_->lower_index(breakpoints[i])
+                                   : grid_->size();
+    GQA_EXPECTS_MSG(hi_idx >= lo_idx, "breakpoints must be sorted");
+    const SegmentFit fit = grid_->fit_segment(lo_idx, hi_idx);
+    ks[i] = round_to_grid(fit.k, lambda_);
+    bs[i] = round_to_grid(fit.b, lambda_);
+    lo_idx = hi_idx;
+  }
+
+  std::vector<double> out;
+  out.reserve(scale_grids_.size());
+  std::vector<double> bounds(breakpoints.size());
+  for (const ScaleGrid& sg : scale_grids_) {
+    // Eq. 3: p̃ = clip(round(p / S), Qn, Qp), compared in the code domain;
+    // equivalently the boundary sits at p̃ · S in x space.
+    for (std::size_t i = 0; i < breakpoints.size(); ++i) {
+      const std::int64_t code = saturate(
+          round_to_int(breakpoints[i] / sg.scale), input_bits_, true);
+      bounds[i] = sg.scale * static_cast<double>(code);
+    }
+    out.push_back(mse_on(sg, bounds, ks, bs));
+  }
+  return out;
+}
+
+double QuantAwareObjective::operator()(const Genome& breakpoints) const {
+  const std::vector<double> mses = per_scale_mse(breakpoints);
+  double total = 0.0;
+  for (double m : mses) total += m;
+  return total / static_cast<double>(mses.size());
+}
+
+double QuantAwareObjective::deployed_mse(const PwlTable& fxp_table,
+                                         int scale_exp) const {
+  const auto it = std::find_if(
+      scale_grids_.begin(), scale_grids_.end(),
+      [scale_exp](const ScaleGrid& sg) { return sg.exponent == scale_exp; });
+  GQA_EXPECTS_MSG(it != scale_grids_.end(), "scale not in the objective set");
+
+  std::vector<double> bounds(fxp_table.breakpoints.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const std::int64_t code = saturate(
+        round_to_int(fxp_table.breakpoints[i] / it->scale), input_bits_, true);
+    bounds[i] = it->scale * static_cast<double>(code);
+  }
+  return mse_on(*it, bounds, fxp_table.slopes, fxp_table.intercepts);
+}
+
+}  // namespace gqa

@@ -1,0 +1,53 @@
+#include "gqa/rounding_mutation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/rounding.h"
+#include "util/contracts.h"
+
+namespace gqa {
+
+void rounding_mutation(Genome& genome, const RmParams& params, Rng& rng) {
+  GQA_EXPECTS(params.theta_r >= 0.0 && params.theta_r <= 1.0);
+  GQA_EXPECTS(params.ma >= 0 && params.ma <= params.mb);
+  GQA_EXPECTS_MSG((params.mb + 1) * params.theta_r <= 1.0 + 1e-12,
+                  "mutate range and theta_r must keep probabilities <= 1");
+
+  for (double& p : genome) {
+    const double rand_p = rng.canonical();
+    for (int i = params.ma; i <= params.mb; ++i) {
+      const double lo = static_cast<double>(i) * params.theta_r;
+      const double hi = static_cast<double>(i + 1) * params.theta_r;
+      if (rand_p >= lo && rand_p < hi) {
+        p = round_to_grid(p, i);  // ⌊p·2^i⌉ / 2^i
+        break;                    // mutate only once (Alg. 2 line 8)
+      }
+    }
+  }
+  std::sort(genome.begin(), genome.end());  // Alg. 2 line 12
+}
+
+MutateFn make_rounding_mutation(const RmParams& params) {
+  return [params](Genome& genome, Rng& rng) {
+    rounding_mutation(genome, params, rng);
+  };
+}
+
+MutateFn make_gaussian_mutation(double sigma, double per_element_prob) {
+  GQA_EXPECTS(sigma >= 0.0);
+  GQA_EXPECTS(per_element_prob >= 0.0 && per_element_prob <= 1.0);
+  return [sigma, per_element_prob](Genome& genome, Rng& rng) {
+    for (double& p : genome) {
+      if (rng.bernoulli(per_element_prob)) p += rng.normal(0.0, sigma);
+    }
+    std::sort(genome.begin(), genome.end());
+  };
+}
+
+bool on_grid(double value, int exponent) {
+  const double scaled = std::ldexp(value, exponent);
+  return scaled == std::nearbyint(scaled);
+}
+
+}  // namespace gqa

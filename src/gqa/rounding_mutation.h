@@ -1,0 +1,36 @@
+// Rounding Mutation (Algorithm 2 of the paper). Instead of Gaussian noise,
+// each breakpoint is stochastically snapped onto a fixed-point grid
+// 2^-i for i ∈ [ma, mb]: with rand ∈ [0,1), exponent i is chosen when
+// i·θr <= rand < (i+1)·θr. This "images" the deployment-time fixed-point
+// conversion as mutation pressure, so surviving breakpoints are inherently
+// robust to quantization (no breakpoint deviation at large scales).
+#pragma once
+
+#include "genetic/genetic.h"
+
+namespace gqa {
+
+/// RM hyperparameters (Table 1). θr = 0 disables mutation entirely — the
+/// configuration the paper uses for DIV/RSQRT.
+struct RmParams {
+  double theta_r = 0.05;  ///< per-exponent selection probability
+  int ma = 0;             ///< smallest grid exponent (coarsest grid 2^-ma)
+  int mb = 6;             ///< largest grid exponent (finest grid 2^-mb)
+};
+
+/// Mutates `genome` in place per Algorithm 2 (sorting included).
+void rounding_mutation(Genome& genome, const RmParams& params, Rng& rng);
+
+/// Adapts rounding_mutation to the GA's MutateFn interface.
+[[nodiscard]] MutateFn make_rounding_mutation(const RmParams& params);
+
+/// Conventional Gaussian mutation used by GQA-LUT w/o RM: each element is
+/// perturbed with probability `per_element_prob` by N(0, sigma), then the
+/// genome is re-sorted.
+[[nodiscard]] MutateFn make_gaussian_mutation(double sigma,
+                                              double per_element_prob = 0.3);
+
+/// True when `value` lies exactly on the 2^-exponent grid.
+[[nodiscard]] bool on_grid(double value, int exponent);
+
+}  // namespace gqa

@@ -1,0 +1,75 @@
+#include "hw/components.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace gqa::hw {
+
+// Unit-gate estimates (GE = NAND2 equivalents) from standard synthesis
+// rules of thumb: FA ≈ 4.5 GE (mirror adder), DFF ≈ 5 GE, 2:1 mux ≈ 2 GE.
+double ge_full_adder() { return 4.5; }
+double ge_register_bit() { return 5.0; }
+double ge_mux2_bit() { return 2.0; }
+
+double ge_adder(int width) {
+  GQA_EXPECTS(width >= 1);
+  return ge_full_adder() * static_cast<double>(width);
+}
+
+double ge_multiplier(int wa, int wb) {
+  GQA_EXPECTS(wa >= 1 && wb >= 1);
+  // Booth radix-4 multiplier: ceil(wa/2)+1 partial products of wb+2 bits
+  // (recode + mux ≈ 2.5 GE/bit) reduced by a carry-save tree, final CPA.
+  const double rows = std::ceil(static_cast<double>(wa) / 2.0) + 1.0;
+  const double pp_bits = static_cast<double>(wb) + 2.0;
+  const double recode = rows * pp_bits * 2.5;
+  const double tree = (rows - 1.0) * pp_bits * ge_full_adder();
+  const double cpa = ge_adder(wa + wb);
+  return recode + tree + cpa;
+}
+
+double ge_comparator(int width) {
+  GQA_EXPECTS(width >= 1);
+  // Subtract-based magnitude comparator ≈ 2.5 GE/bit.
+  return 2.5 * static_cast<double>(width);
+}
+
+double ge_barrel_shifter(int width, int max_shift) {
+  GQA_EXPECTS(width >= 1 && max_shift >= 0);
+  if (max_shift == 0) return 0.0;
+  const int stages = static_cast<int>(std::ceil(std::log2(max_shift + 1)));
+  return static_cast<double>(stages) * width * ge_mux2_bit();
+}
+
+double ge_storage(int bits) {
+  GQA_EXPECTS(bits >= 0);
+  return ge_register_bit() * static_cast<double>(bits);
+}
+
+double ge_priority_encoder(int n) {
+  GQA_EXPECTS(n >= 1);
+  // Chain of gating cells plus log2(n)-bit one-hot-to-binary.
+  return 3.0 * static_cast<double>(n) +
+         2.0 * std::ceil(std::log2(static_cast<double>(n) + 1.0));
+}
+
+double ge_fp32_multiplier() {
+  // 24x24 mantissa multiplier + exponent adder + normalize/round/exception
+  // logic of an IEEE-compliant unit.
+  return ge_multiplier(24, 24) + ge_adder(8) + 24 * ge_mux2_bit() + 320.0;
+}
+
+double ge_fp32_adder() {
+  // Align shifter (24b, up to 24) + 24b adder + leading-zero anticipation +
+  // normalize shifter + round/exception logic.
+  return ge_barrel_shifter(24, 24) + ge_adder(25) +
+         ge_barrel_shifter(24, 24) + 420.0;
+}
+
+double ge_fp32_comparator() {
+  // Sign/exponent/mantissa compare ≈ 32-bit magnitude compare + fixups.
+  return ge_comparator(32) + 12.0;
+}
+
+}  // namespace gqa::hw

@@ -1,0 +1,60 @@
+// Structural hardware cost model of the LUT-pwl units (§4.3).
+//
+// The paper synthesizes Verilog with Synopsys DC on TSMC 28 nm; this
+// reproduction substitutes a gate-equivalent (GE) component model: each
+// datapath element contributes GE counts taken from standard unit-gate
+// estimates (array multiplier ≈ w_a·w_b full adders, ripple comparator,
+// barrel shifter, register bits), converted to area via a 28-nm
+// NAND2-equivalent footprint and calibrated against one anchor point
+// (INT8 / 8-entry = 961 um², 0.40 mW @ 500 MHz). Relative costs across
+// precisions/entry counts — the claims of Table 6 — follow from structure,
+// not from the anchor.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace gqa::hw {
+
+/// Technology constants for the cost conversion.
+struct TechLib {
+  std::string name = "28nm-class";
+  double um2_per_ge = 0.49;     ///< NAND2-equivalent footprint
+  double uw_per_ge_mhz = 1.45e-3;  ///< dynamic power density per GE per MHz
+  double clock_mhz = 500.0;        ///< §4.3 operating frequency
+  /// Global calibration factor applied after composition (fit once against
+  /// the INT8/8-entry anchor; identical for every configuration).
+  double area_calibration = 1.0;
+  double power_calibration = 1.0;
+};
+
+/// Gate-equivalent costs of datapath primitives.
+/// All widths are in bits; results in GE.
+[[nodiscard]] double ge_full_adder();
+[[nodiscard]] double ge_register_bit();
+[[nodiscard]] double ge_mux2_bit();
+
+/// w-bit ripple-carry adder.
+[[nodiscard]] double ge_adder(int width);
+/// wa x wb array multiplier (unit-gate model: wa*wb AND + (wa-1)*wb FA).
+[[nodiscard]] double ge_multiplier(int wa, int wb);
+/// w-bit magnitude comparator.
+[[nodiscard]] double ge_comparator(int width);
+/// Barrel shifter: `width`-bit value, log2(max_shift) stages of muxes.
+[[nodiscard]] double ge_barrel_shifter(int width, int max_shift);
+/// Storage: `bits` register bits (LUT entries are flop-based at this size).
+[[nodiscard]] double ge_storage(int bits);
+/// Priority encoder over n request lines.
+[[nodiscard]] double ge_priority_encoder(int n);
+
+/// FP32 datapath elements (for the Figure 1(a) high-precision unit):
+/// mantissa multiplier + exponent adder + normalizer, and an FP adder with
+/// alignment/normalization shifters.
+[[nodiscard]] double ge_fp32_multiplier();
+[[nodiscard]] double ge_fp32_adder();
+[[nodiscard]] double ge_fp32_comparator();
+
+/// Itemized gate budget of a unit: component name -> GE.
+using GeBreakdown = std::map<std::string, double>;
+
+}  // namespace gqa::hw

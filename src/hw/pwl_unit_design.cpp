@@ -1,0 +1,162 @@
+#include "hw/pwl_unit_design.h"
+
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace gqa::hw {
+
+std::string precision_name(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return "INT8";
+    case Precision::kInt16: return "INT16";
+    case Precision::kInt32: return "INT32";
+    case Precision::kFp32: return "FP32";
+  }
+  return "?";
+}
+
+int precision_bits(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return 8;
+    case Precision::kInt16: return 16;
+    case Precision::kInt32: return 32;
+    case Precision::kFp32: return 32;
+  }
+  return 0;
+}
+
+bool precision_is_float(Precision p) { return p == Precision::kFp32; }
+
+const std::vector<Precision>& all_precisions() {
+  static const std::vector<Precision> ps = {
+      Precision::kInt8, Precision::kInt16, Precision::kInt32,
+      Precision::kFp32};
+  return ps;
+}
+
+namespace {
+
+GeBreakdown compose_int_unit(const PwlUnitSpec& spec) {
+  const int w = precision_bits(spec.precision);
+  const int n = spec.entries;
+  GeBreakdown ge;
+  // LUT storage: n entries of (k, b) plus n-1 breakpoints (Figure 1(b)).
+  ge["lut_storage"] = ge_storage(n * 2 * w + (n - 1) * w);
+  // Comparator chain over the breakpoints plus index encode.
+  ge["comparators"] = (n - 1) * ge_comparator(w) + ge_priority_encoder(n);
+  // k * q multiplier.
+  ge["multiplier"] = ge_multiplier(w, w);
+  // Intercept barrel shifter b << s (runtime scale alignment, Eq. 3).
+  ge["shifter"] = ge_barrel_shifter(w + spec.max_shift, spec.max_shift);
+  // Accumulating adder at product width.
+  ge["adder"] = ge_adder(2 * w + 1);
+  // Output register + control.
+  ge["output_reg"] = ge_storage(2 * w);
+  ge["control"] = 40.0 + 2.0 * n;
+  return ge;
+}
+
+GeBreakdown compose_fp_unit(const PwlUnitSpec& spec) {
+  const int n = spec.entries;
+  GeBreakdown ge;
+  // FP32 parameters: k, b per entry plus breakpoints, all 32-bit.
+  ge["lut_storage"] = ge_storage(n * 2 * 32 + (n - 1) * 32);
+  ge["comparators"] = (n - 1) * ge_fp32_comparator() + ge_priority_encoder(n);
+  ge["multiplier"] = ge_fp32_multiplier();
+  ge["adder"] = ge_fp32_adder();
+  ge["output_reg"] = ge_storage(32);
+  ge["control"] = 40.0 + 2.0 * n;
+  return ge;
+}
+
+double total_ge(const GeBreakdown& ge) {
+  double sum = 0.0;
+  for (const auto& [name, value] : ge) sum += value;
+  return sum;
+}
+
+// Switching-activity weights per component group. Flop-based LUT storage is
+// clock-dominated (the clock tree toggles every cycle regardless of data),
+// which is why Table 6 power grows faster with entry count than area does.
+double activity(const std::string& component) {
+  if (component == "lut_storage") return 0.80;
+  if (component == "comparators") return 0.50;
+  if (component == "multiplier") return 0.60;
+  if (component == "shifter") return 0.45;
+  if (component == "adder") return 0.55;
+  if (component == "output_reg") return 0.80;
+  return 0.40;  // control and everything else
+}
+
+}  // namespace
+
+SynthReport synthesize(const PwlUnitSpec& spec, const TechLib& tech) {
+  GQA_EXPECTS(spec.entries >= 2 && spec.entries <= 256);
+  GQA_EXPECTS(spec.max_shift >= 0 && spec.max_shift <= 32);
+
+  SynthReport report;
+  report.spec = spec;
+  report.breakdown = precision_is_float(spec.precision)
+                         ? compose_fp_unit(spec)
+                         : compose_int_unit(spec);
+  report.gate_equivalents = total_ge(report.breakdown);
+  report.area_um2 =
+      report.gate_equivalents * tech.um2_per_ge * tech.area_calibration;
+
+  double weighted_ge = 0.0;
+  for (const auto& [name, ge] : report.breakdown)
+    weighted_ge += ge * activity(name);
+  report.power_mw = weighted_ge * tech.uw_per_ge_mhz * tech.clock_mhz *
+                    tech.power_calibration / 1000.0;
+  return report;
+}
+
+const TechLib& calibrated_tech() {
+  static const TechLib tech = [] {
+    TechLib t;
+    // Calibrate the global factors on the paper's INT8/8-entry anchor
+    // (961 um², 0.40 mW). One scalar each; all ratios stay structural.
+    TechLib raw;
+    raw.area_calibration = 1.0;
+    raw.power_calibration = 1.0;
+    const SynthReport anchor =
+        synthesize(PwlUnitSpec{Precision::kInt8, 8, 8}, raw);
+    t.area_calibration = 961.0 / anchor.area_um2;
+    t.power_calibration = 0.40 / anchor.power_mw;
+    return t;
+  }();
+  return tech;
+}
+
+std::string format_report(const std::vector<SynthReport>& rows) {
+  TablePrinter table({"Precision", "Entry", "Area (um2)", "Power (mW)",
+                      "GE", "Area vs FP32"});
+  // Find the FP32 unit with the same entry count for the savings column.
+  auto fp32_area = [&rows](int entries) -> double {
+    for (const SynthReport& r : rows) {
+      if (r.spec.precision == Precision::kFp32 && r.spec.entries == entries)
+        return r.area_um2;
+    }
+    return 0.0;
+  };
+  std::ostringstream os;
+  for (const SynthReport& r : rows) {
+    const double ref = fp32_area(r.spec.entries);
+    std::string saving = "-";
+    if (ref > 0.0 && r.spec.precision != Precision::kFp32) {
+      saving = gqa::format("-%.1f%%", 100.0 * (1.0 - r.area_um2 / ref));
+    }
+    table.add_row({precision_name(r.spec.precision),
+                   gqa::format("%d", r.spec.entries),
+                   gqa::format("%.0f", r.area_um2),
+                   gqa::format("%.2f", r.power_mw),
+                   gqa::format("%.0f", r.gate_equivalents), saving});
+  }
+  table.print(os);
+  return os.str();
+}
+
+}  // namespace gqa::hw

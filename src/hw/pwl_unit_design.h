@@ -1,0 +1,49 @@
+// Composition of the two LUT-pwl hardware units of Figure 1 from the
+// component library, with synthesis-style area/power reporting (Table 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/components.h"
+
+namespace gqa::hw {
+
+/// Datapath precision of input and LUT parameters (Table 6 rows).
+enum class Precision { kInt8, kInt16, kInt32, kFp32 };
+
+[[nodiscard]] std::string precision_name(Precision p);
+[[nodiscard]] int precision_bits(Precision p);
+[[nodiscard]] bool precision_is_float(Precision p);
+[[nodiscard]] const std::vector<Precision>& all_precisions();
+
+/// One pwl unit configuration.
+struct PwlUnitSpec {
+  Precision precision = Precision::kInt8;
+  int entries = 8;
+  /// INT units only: barrel-shifter reach for the b << s intercept align
+  /// (Figure 1(b)); FP32 units skip the quantization stage entirely.
+  int max_shift = 8;
+};
+
+/// Synthesis-style report.
+struct SynthReport {
+  PwlUnitSpec spec;
+  double gate_equivalents = 0.0;
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+  GeBreakdown breakdown;  ///< per component group, GE
+};
+
+/// The default technology library calibrated so that the INT8 / 8-entry
+/// unit matches the paper's anchor (961 um², 0.40 mW @ 500 MHz).
+[[nodiscard]] const TechLib& calibrated_tech();
+
+/// Composes the unit and converts GE to area/power under `tech`.
+[[nodiscard]] SynthReport synthesize(const PwlUnitSpec& spec,
+                                     const TechLib& tech = calibrated_tech());
+
+/// Renders a Table-6-style report for a set of specs.
+[[nodiscard]] std::string format_report(const std::vector<SynthReport>& rows);
+
+}  // namespace gqa::hw

@@ -1,0 +1,32 @@
+// Synthesizable Verilog generation for the Figure 1(b) integer pwl unit —
+// the RTL artifact the paper synthesizes with Design Compiler. The emitted
+// module is purely structural-behavioural (comparator chain, LUT case
+// statements, multiply/shift/add) with a single registered output stage.
+#pragma once
+
+#include <string>
+
+#include "hw/pwl_unit_design.h"
+#include "pwl/quantized_table.h"
+
+namespace gqa::hw {
+
+struct VerilogOptions {
+  std::string module_name = "gqa_pwl_unit";
+  bool registered_output = true;
+  /// Emit the LUT parameter ROM contents from a fitted table; when false
+  /// the parameters become input ports (a programmable unit).
+  bool hardwired_parameters = true;
+};
+
+/// Emits a module for a quantized table (hardwired parameters) or a
+/// programmable unit with the table's geometry.
+[[nodiscard]] std::string emit_pwl_unit(const QuantizedPwlTable& table,
+                                        const VerilogOptions& options = {});
+
+/// Emits a testbench driving every input code through the unit and
+/// checking against precomputed outputs (self-checking).
+[[nodiscard]] std::string emit_testbench(const QuantizedPwlTable& table,
+                                         const VerilogOptions& options = {});
+
+}  // namespace gqa::hw

@@ -1,0 +1,44 @@
+#include "kernel/int_pwl_unit.h"
+
+#include <cmath>
+
+#include "numerics/rounding.h"
+#include "numerics/saturate.h"
+#include "util/contracts.h"
+
+namespace gqa {
+
+IntPwlUnit::IntPwlUnit(QuantizedPwlTable table, IntPwlUnitConfig config)
+    : table_(std::move(table)), config_(config) {
+  table_.validate();
+  GQA_EXPECTS(config_.acc_bits >= table_.input.bits + table_.param_fmt.width);
+  GQA_EXPECTS(config_.max_shift >= 0 && config_.max_shift < 32);
+  shift_s_ = table_.intercept_shift();
+  GQA_EXPECTS_MSG(std::abs(shift_s_) <= config_.max_shift,
+                  "input scale exceeds the shifter range");
+  acc_scale_ = table_.input.scale * std::ldexp(1.0, -table_.lambda());
+}
+
+std::int64_t IntPwlUnit::eval_code(std::int64_t q) const {
+  GQA_EXPECTS_MSG(fits(q, table_.input.bits, table_.input.is_signed),
+                  "input code exceeds the input bus width");
+  const auto i = static_cast<std::size_t>(table_.segment_index(q));
+  const std::int64_t prod = table_.k_code[i] * q;  // width in+param bits
+  // Runtime intercept alignment b̃ = b / S: left shift for S < 1, rounding
+  // right shift for S > 1.
+  const std::int64_t b = table_.b_code[i];
+  const std::int64_t b_aligned =
+      shift_s_ >= 0 ? sat_shl(b, shift_s_, config_.acc_bits)
+                    : shift_round(b, -shift_s_);
+  return sat_add(prod, b_aligned, config_.acc_bits);
+}
+
+double IntPwlUnit::eval_real_from_code(std::int64_t q) const {
+  return static_cast<double>(eval_code(q)) * acc_scale_;
+}
+
+double IntPwlUnit::eval_real(double x) const {
+  return eval_real_from_code(table_.input.quantize(x));
+}
+
+}  // namespace gqa

@@ -1,0 +1,54 @@
+// Bit-accurate software model of the Figure 1(b) hardware unit:
+//
+//   q (INT8/16) ──┬─> comparator chain over p̃_i ──> entry index i
+//                 └─> multiplier k_i · q ──┐
+//        LUT b_i ──> shifter b_i << s ─────┴─> adder ──> acc (λ frac bits)
+//
+// All internal buses have explicit widths and saturate. The dequantized
+// output is S · acc · 2^-λ, which equals k_i·x̃ + b_i for x̃ = S·q — i.e.
+// pwl(S·q) = S·pwl_q(q), the separability property of §3.1.
+#pragma once
+
+#include <cstdint>
+
+#include "pwl/quantized_table.h"
+
+namespace gqa {
+
+/// Bus widths of the datapath. Defaults cover INT8/INT16 inputs with the
+/// paper's shift range (multi-range scaling uses shifts up to 12).
+struct IntPwlUnitConfig {
+  int acc_bits = 32;   ///< accumulator width (saturating adder output)
+  int max_shift = 16;  ///< barrel shifter capability for b << s
+};
+
+class IntPwlUnit {
+ public:
+  /// The table's input scale must be a power of two (validated).
+  explicit IntPwlUnit(QuantizedPwlTable table,
+                      IntPwlUnitConfig config = IntPwlUnitConfig{});
+
+  /// Integer path: input code -> accumulator code with λ frac bits.
+  /// The input code must fit the table's input width (hardware bus).
+  [[nodiscard]] std::int64_t eval_code(std::int64_t q) const;
+
+  /// Dequantized output value S · acc · 2^-λ.
+  [[nodiscard]] double eval_real_from_code(std::int64_t q) const;
+
+  /// Quantizes a real input and evaluates (round-trips through the bus).
+  [[nodiscard]] double eval_real(double x) const;
+
+  [[nodiscard]] const QuantizedPwlTable& table() const { return table_; }
+  [[nodiscard]] const IntPwlUnitConfig& config() const { return config_; }
+
+  /// Scale of the accumulator codes: S · 2^-λ.
+  [[nodiscard]] double acc_scale() const { return acc_scale_; }
+
+ private:
+  QuantizedPwlTable table_;
+  IntPwlUnitConfig config_;
+  int shift_s_;       ///< b << s where S = 2^-s; negative s shifts right
+  double acc_scale_;
+};
+
+}  // namespace gqa

@@ -1,0 +1,53 @@
+#include "kernel/multirange_unit.h"
+
+#include <cmath>
+
+#include "numerics/rounding.h"
+#include "numerics/saturate.h"
+#include "util/contracts.h"
+
+namespace gqa {
+
+MultiRangeUnit::MultiRangeUnit(QuantizedPwlTable table,
+                               MultiRangeConfig range_config,
+                               IntPwlUnitConfig unit_config)
+    : unit_(std::move(table), unit_config), range_(std::move(range_config)) {
+  range_.validate();
+  const QuantizedPwlTable& t = unit_.table();
+  GQA_EXPECTS_MSG(t.input.scale == std::ldexp(1.0, -t.lambda()),
+                  "multi-range pwl input must be λ-frac fixed point");
+}
+
+double MultiRangeUnit::eval_fxp(std::int64_t code, int in_frac) const {
+  GQA_EXPECTS(in_frac >= 0 && in_frac <= 48);
+  const double value = std::ldexp(static_cast<double>(code), -in_frac);
+  // Range detection compares against constants; expressing it on the real
+  // value is exact because thresholds are representable in the bus format.
+  const int e = range_.select_exponent(value);
+
+  // Shift into IR: x' = x * 2^e (e <= 0 compresses, a right shift).
+  const std::int64_t scaled = e <= 0 ? shift_round(code, -e)
+                                     : sat_shl(code, e, 62);
+
+  // Align to the pwl input bus: λ fractional bits, 8/16-bit saturating.
+  const QuantizedPwlTable& t = unit_.table();
+  const int lambda = t.lambda();
+  const std::int64_t bus =
+      in_frac >= lambda
+          ? saturate(shift_round(scaled, in_frac - lambda), t.input.bits,
+                     t.input.is_signed)
+          : saturate(sat_shl(scaled, lambda - in_frac, 62), t.input.bits,
+                     t.input.is_signed);
+
+  const double pwl_value = unit_.eval_real_from_code(bus);
+  return std::ldexp(pwl_value, range_.output_exponent(e));
+}
+
+double MultiRangeUnit::eval_real(double x) const {
+  GQA_EXPECTS_MSG(std::isfinite(x), "multi-range input must be finite");
+  constexpr int kBusFrac = 16;
+  const std::int64_t code = round_to_int(std::ldexp(x, kBusFrac));
+  return eval_fxp(code, kBusFrac);
+}
+
+}  // namespace gqa

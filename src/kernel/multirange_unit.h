@@ -1,0 +1,41 @@
+// Multi-range wrapper around IntPwlUnit for the wide-range operators DIV
+// and RSQRT (§3.1, Table 2). The incoming value is a wide fixed-point
+// intermediate (e.g. a Softmax denominator or a LayerNorm variance), not a
+// quantized activation:
+//
+//   range detect (comparators) -> shift x by log2(S'_i) into IR
+//   -> saturate to the 8-bit λ-frac pwl input bus -> IntPwlUnit
+//   -> rescale the result by S'_i (DIV) or sqrt(S'_i) (RSQRT).
+#pragma once
+
+#include <cstdint>
+
+#include "gqa/multirange.h"
+#include "kernel/int_pwl_unit.h"
+
+namespace gqa {
+
+class MultiRangeUnit {
+ public:
+  /// `table` must use the 8-bit λ-frac fixed-point input domain
+  /// (scale = 2^-λ) that Table 2 prescribes for DIV/RSQRT breakpoints.
+  MultiRangeUnit(QuantizedPwlTable table, MultiRangeConfig range_config,
+                 IntPwlUnitConfig unit_config = IntPwlUnitConfig{});
+
+  /// Bit-accurate path: `code` is a fixed-point input with `in_frac`
+  /// fractional bits (value = code · 2^-in_frac). Returns the dequantized
+  /// approximation of f(value).
+  [[nodiscard]] double eval_fxp(std::int64_t code, int in_frac) const;
+
+  /// Encodes a real input into a 16.16 fixed-point bus and evaluates.
+  [[nodiscard]] double eval_real(double x) const;
+
+  [[nodiscard]] const MultiRangeConfig& range_config() const { return range_; }
+  [[nodiscard]] const IntPwlUnit& unit() const { return unit_; }
+
+ private:
+  IntPwlUnit unit_;
+  MultiRangeConfig range_;
+};
+
+}  // namespace gqa

@@ -1,0 +1,271 @@
+#include "nnlut/nn_lut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "pwl/fit_grid.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace gqa {
+
+NnLutConfig NnLutConfig::preset(Op op, int entries) {
+  NnLutConfig cfg;
+  cfg.op = op;
+  const OpInfo& info = op_info(op);
+  cfg.range_lo = info.range_lo;
+  cfg.range_hi = info.range_hi;
+  cfg.entries = entries;
+  return cfg;
+}
+
+void NnLutConfig::validate() const {
+  GQA_EXPECTS(range_lo < range_hi);
+  GQA_EXPECTS(entries >= 2);
+  GQA_EXPECTS(lambda >= 0 && lambda <= 16);
+  GQA_EXPECTS(samples >= 16);
+  GQA_EXPECTS(epochs >= 1);
+  GQA_EXPECTS(batch_size >= 1);
+  GQA_EXPECTS(learning_rate > 0.0);
+}
+
+double NnLutNetwork::forward(double x) const {
+  double y = d;
+  for (std::size_t j = 0; j < w.size(); ++j) {
+    const double z = w[j] * x + c[j];
+    if (z > 0.0) y += v[j] * z;
+  }
+  return y;
+}
+
+namespace {
+
+/// Adam state for one parameter vector.
+struct AdamState {
+  std::vector<double> m, s;
+  explicit AdamState(std::size_t n) : m(n, 0.0), s(n, 0.0) {}
+};
+
+void adam_step(std::vector<double>& params, const std::vector<double>& grads,
+               AdamState& state, double lr, int t) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  const double bc1 = 1.0 - std::pow(kBeta1, t);
+  const double bc2 = 1.0 - std::pow(kBeta2, t);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    state.m[i] = kBeta1 * state.m[i] + (1.0 - kBeta1) * grads[i];
+    state.s[i] = kBeta2 * state.s[i] + (1.0 - kBeta2) * grads[i] * grads[i];
+    const double mhat = state.m[i] / bc1;
+    const double shat = state.s[i] / bc2;
+    params[i] -= lr * mhat / (std::sqrt(shat) + kEps);
+  }
+}
+
+}  // namespace
+
+PwlTable extract_pwl(const NnLutNetwork& net, double lo, double hi,
+                     int entries) {
+  GQA_EXPECTS(lo < hi);
+  GQA_EXPECTS(entries >= 2);
+  const std::size_t h = net.w.size();
+  GQA_EXPECTS(net.c.size() == h && net.v.size() == h);
+
+  // Leftmost segment: ReLUs with w < 0 are active as x -> -inf.
+  double k = 0.0;
+  double b = net.d;
+  struct Knot {
+    double t;
+    double dk;  ///< slope change when crossing left -> right
+  };
+  std::vector<Knot> knots;
+  knots.reserve(h);
+  constexpr double kDeadUnit = 1e-9;
+  for (std::size_t j = 0; j < h; ++j) {
+    if (std::abs(net.w[j]) < kDeadUnit) {
+      // Degenerate unit: constant contribution v*relu(c).
+      if (net.c[j] > 0.0) b += net.v[j] * net.c[j];
+      continue;
+    }
+    if (net.w[j] < 0.0) {
+      k += net.v[j] * net.w[j];
+      b += net.v[j] * net.c[j];
+    }
+    // Crossing the knot toggles the unit; slope change is v*|w| either way.
+    knots.push_back({-net.c[j] / net.w[j], net.v[j] * std::abs(net.w[j])});
+  }
+  std::sort(knots.begin(), knots.end(),
+            [](const Knot& a, const Knot& c) { return a.t < c.t; });
+
+  // Walk knots building the full continuous pwl, keeping only the part
+  // intersecting [lo, hi].
+  PwlTable table;
+  for (const Knot& knot : knots) {
+    const double k_next = k + knot.dk;
+    const double b_next = b + (k - k_next) * knot.t;  // continuity at t
+    if (knot.t <= lo) {
+      // Segment left of the range is invisible; adopt the right side.
+      k = k_next;
+      b = b_next;
+      continue;
+    }
+    if (knot.t >= hi) break;  // everything further right is invisible
+    // Coincident knots create a zero-width segment; skip the push and let
+    // the running (k, b) absorb both slope changes.
+    if (!table.breakpoints.empty() &&
+        knot.t <= table.breakpoints.back() + 1e-12) {
+      k = k_next;
+      b = b_next;
+      continue;
+    }
+    table.slopes.push_back(k);
+    table.intercepts.push_back(b);
+    table.breakpoints.push_back(knot.t);
+    k = k_next;
+    b = b_next;
+  }
+  table.slopes.push_back(k);
+  table.intercepts.push_back(b);
+
+  // Normalize to exactly `entries` segments: pad by splitting the widest
+  // segments with redundant breakpoints (identical line on both sides keeps
+  // the function unchanged).
+  while (table.entries() < entries) {
+    double widest = -1.0;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < table.slopes.size(); ++i) {
+      const double a = i == 0 ? lo : table.breakpoints[i - 1];
+      const double c = i < table.breakpoints.size() ? table.breakpoints[i] : hi;
+      if (c - a > widest) {
+        widest = c - a;
+        at = i;
+      }
+    }
+    const double a = at == 0 ? lo : table.breakpoints[at - 1];
+    const double c =
+        at < table.breakpoints.size() ? table.breakpoints[at] : hi;
+    const double mid = 0.5 * (a + c);
+    table.breakpoints.insert(table.breakpoints.begin() + static_cast<std::ptrdiff_t>(at), mid);
+    table.slopes.insert(table.slopes.begin() + static_cast<std::ptrdiff_t>(at), table.slopes[at]);
+    table.intercepts.insert(table.intercepts.begin() + static_cast<std::ptrdiff_t>(at),
+                            table.intercepts[at]);
+  }
+  // Too many knots inside the range (can happen when entries < hidden+1 by
+  // user request): merge the narrowest segments.
+  while (table.entries() > entries) {
+    double narrowest = 1e300;
+    std::size_t at = 0;  // breakpoint index to remove
+    for (std::size_t i = 0; i < table.breakpoints.size(); ++i) {
+      const double a = i == 0 ? lo : table.breakpoints[i - 1];
+      const double width = table.breakpoints[i] - a;
+      if (width < narrowest) {
+        narrowest = width;
+        at = i;
+      }
+    }
+    table.breakpoints.erase(table.breakpoints.begin() + static_cast<std::ptrdiff_t>(at));
+    table.slopes.erase(table.slopes.begin() + static_cast<std::ptrdiff_t>(at));
+    table.intercepts.erase(table.intercepts.begin() + static_cast<std::ptrdiff_t>(at));
+  }
+  table.validate();
+  return table;
+}
+
+NnLutFitResult fit_nn_lut(const NnLutConfig& config) {
+  config.validate();
+  const OpInfo& info = op_info(config.op);
+  Rng rng(config.seed);
+
+  const int h = config.entries - 1;
+  NnLutNetwork net;
+  net.w.assign(static_cast<std::size_t>(h), 1.0);
+  net.c.resize(static_cast<std::size_t>(h));
+  net.v.resize(static_cast<std::size_t>(h));
+  // Knots spread uniformly across the range; small random output weights.
+  const double span = config.range_hi - config.range_lo;
+  for (int j = 0; j < h; ++j) {
+    const double t = config.range_lo +
+                     span * (static_cast<double>(j) + 1.0) /
+                         (static_cast<double>(h) + 1.0);
+    net.c[static_cast<std::size_t>(j)] = -t;
+    net.v[static_cast<std::size_t>(j)] = rng.normal(0.0, 0.1);
+  }
+  net.d = info.f(config.range_lo);
+
+  // Training data: uniform samples over [Rn, Rp] as in [11].
+  std::vector<double> xs(static_cast<std::size_t>(config.samples));
+  std::vector<double> ys(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.uniform(config.range_lo, config.range_hi);
+    ys[i] = info.f(xs[i]);
+  }
+
+  AdamState aw(net.w.size()), ac(net.c.size()), av(net.v.size()), ad(1);
+  std::vector<double> gw(net.w.size()), gc(net.c.size()), gv(net.v.size());
+  std::vector<double> gd(1);
+  std::vector<std::size_t> order(xs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  int step = 0;
+  double epoch_loss = 0.0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    // Cosine learning-rate decay stabilizes the final knot positions.
+    const double lr = config.learning_rate *
+                      0.5 * (1.0 + std::cos(M_PI * epoch / config.epochs));
+    epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t end =
+          std::min(order.size(), start + static_cast<std::size_t>(config.batch_size));
+      const double inv_n = 1.0 / static_cast<double>(end - start);
+      std::fill(gw.begin(), gw.end(), 0.0);
+      std::fill(gc.begin(), gc.end(), 0.0);
+      std::fill(gv.begin(), gv.end(), 0.0);
+      gd[0] = 0.0;
+      for (std::size_t idx = start; idx < end; ++idx) {
+        const double x = xs[order[idx]];
+        const double y = ys[order[idx]];
+        const double pred = net.forward(x);
+        const double err = pred - y;
+        epoch_loss += err * err * inv_n;
+        const double g = 2.0 * err * inv_n;
+        gd[0] += g;
+        for (std::size_t j = 0; j < net.w.size(); ++j) {
+          const double z = net.w[j] * x + net.c[j];
+          if (z > 0.0) {
+            gv[j] += g * z;
+            gw[j] += g * net.v[j] * x;
+            gc[j] += g * net.v[j];
+          }
+        }
+      }
+      ++step;
+      adam_step(net.w, gw, aw, lr, step);
+      adam_step(net.c, gc, ac, lr, step);
+      adam_step(net.v, gv, av, lr, step);
+      std::vector<double> dvec{net.d};
+      adam_step(dvec, gd, ad, lr, step);
+      net.d = dvec[0];
+    }
+  }
+
+  NnLutFitResult result;
+  result.config = config;
+  result.network = net;
+  result.final_train_loss =
+      epoch_loss / std::ceil(static_cast<double>(config.samples) /
+                             static_cast<double>(config.batch_size));
+  result.fp_table =
+      extract_pwl(net, config.range_lo, config.range_hi, config.entries);
+  result.fxp_table = result.fp_table.rounded_to_fxp(config.lambda);
+
+  const FitGrid grid = FitGrid::make(info.f, config.range_lo, config.range_hi,
+                                     config.grid_step);
+  result.fp_mse = grid.mse_of(result.fp_table);
+  result.fxp_mse = grid.mse_of(result.fxp_table);
+  return result;
+}
+
+}  // namespace gqa

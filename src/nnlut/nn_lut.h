@@ -1,0 +1,65 @@
+// NN-LUT baseline (Yu et al., DAC'22 [11]) re-implemented from scratch as
+// the paper does for its comparison (§4.1): a single-hidden-layer ReLU
+// network y = d + Σ_j v_j · relu(w_j x + c_j) is trained with Adam on 100K
+// uniform samples; because such a network is exactly piecewise linear with
+// knots at t_j = -c_j / w_j, the trained weights convert *exactly* into an
+// N-entry pwl table, which is then pushed through the same fixed-point
+// conversion path as GQA-LUT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numerics/nonlinear.h"
+#include "pwl/pwl_table.h"
+
+namespace gqa {
+
+struct NnLutConfig {
+  Op op = Op::kGelu;
+  double range_lo = -4.0;
+  double range_hi = 4.0;
+  int entries = 8;       ///< hidden units = entries - 1
+  int lambda = 5;        ///< FXP conversion, matching GQA-LUT (§4.1)
+  int samples = 100000;  ///< training set size reported by [11]
+  int epochs = 60;
+  int batch_size = 512;
+  double learning_rate = 2e-2;
+  std::uint64_t seed = 0xBEEF;
+  double grid_step = 0.01;  ///< evaluation grid (same as GQA-LUT)
+
+  [[nodiscard]] static NnLutConfig preset(Op op, int entries);
+  void validate() const;
+};
+
+/// The trained network, exposed for inspection and testing.
+struct NnLutNetwork {
+  std::vector<double> w;  ///< input weights, size H
+  std::vector<double> c;  ///< input biases, size H
+  std::vector<double> v;  ///< output weights, size H
+  double d = 0.0;         ///< output bias
+
+  [[nodiscard]] double forward(double x) const;
+};
+
+struct NnLutFitResult {
+  NnLutConfig config;
+  NnLutNetwork network;
+  PwlTable fp_table;   ///< exact pwl realization of the network, N entries
+  PwlTable fxp_table;  ///< slopes/intercepts rounded to λ decimal bits
+  double fp_mse = 0.0;
+  double fxp_mse = 0.0;
+  double final_train_loss = 0.0;
+};
+
+/// Trains the network and extracts the table.
+[[nodiscard]] NnLutFitResult fit_nn_lut(const NnLutConfig& config);
+
+/// Exact pwl extraction from network weights, restricted to [lo, hi] and
+/// normalized to exactly `entries` segments (knots outside the range are
+/// merged; missing knots are padded by splitting the widest segments).
+/// Exposed for unit testing.
+[[nodiscard]] PwlTable extract_pwl(const NnLutNetwork& net, double lo,
+                                   double hi, int entries);
+
+}  // namespace gqa

@@ -1,0 +1,53 @@
+#include "numerics/dyadic.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace gqa {
+
+Dyadic Dyadic::from_real(double real, int bits) {
+  GQA_EXPECTS(bits >= 1 && bits <= 30);
+  GQA_EXPECTS_MSG(std::isfinite(real), "dyadic multiplier must be finite");
+  if (real == 0.0) return Dyadic{0, 0};
+
+  // Normalize |real| into [2^(bits-1), 2^bits) so the multiplier uses all
+  // available precision, then round.
+  int exp = 0;
+  const double mant = std::frexp(std::abs(real), &exp);  // mant in [0.5, 1)
+  int shift = bits - exp;
+  std::int64_t mult = round_to_int(std::ldexp(mant, bits));  // in [2^(b-1), 2^b]
+  if (mult == (std::int64_t{1} << bits)) {  // rounding bumped to the next octave
+    mult >>= 1;
+    --shift;
+  }
+  if (real < 0) mult = -mult;
+  // Negative shift (|real| >= 2^bits) cannot be represented by a
+  // right-shifting requantizer; fold into the multiplier when it fits.
+  while (shift < 0) {
+    mult *= 2;
+    ++shift;
+    GQA_EXPECTS_MSG(std::abs(mult) < (std::int64_t{1} << 31),
+                    "dyadic multiplier overflow: real value too large");
+  }
+  return Dyadic{static_cast<std::int32_t>(mult), shift};
+}
+
+std::string Dyadic::to_string() const {
+  return format("%d * 2^-%d", mult, shift);
+}
+
+bool is_power_of_two(double value) {
+  if (value <= 0.0 || !std::isfinite(value)) return false;
+  int exp = 0;
+  return std::frexp(value, &exp) == 0.5;
+}
+
+int nearest_po2_exponent(double value) {
+  GQA_EXPECTS_MSG(value > 0.0 && std::isfinite(value),
+                  "po2 exponent needs a positive finite value");
+  return static_cast<int>(round_to_int(std::log2(value)));
+}
+
+}  // namespace gqa

@@ -1,0 +1,46 @@
+// Dyadic rational arithmetic per Jacob et al. (CVPR'18): a real multiplier
+// M is approximated as mult * 2^-shift with an integer `mult`, so that
+// requantization between integer domains needs only one integer multiply
+// and one rounding shift. This is the integer-only pipeline the paper's
+// Transformer evaluation follows (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "numerics/rounding.h"
+
+namespace gqa {
+
+/// Fixed multiplier of the form mult * 2^-shift.
+struct Dyadic {
+  std::int32_t mult = 0;  ///< integer multiplier, |mult| < 2^bits
+  int shift = 0;          ///< right-shift amount, >= 0
+
+  /// Builds the closest dyadic approximation to `real` with a multiplier of
+  /// at most `bits` significant bits. `real` must be finite; real == 0 maps
+  /// to mult = 0.
+  [[nodiscard]] static Dyadic from_real(double real, int bits = 15);
+
+  /// Applies the multiplier to an integer with round-to-nearest.
+  [[nodiscard]] std::int64_t apply(std::int64_t value) const {
+    return shift_round(value * mult, shift);
+  }
+
+  [[nodiscard]] double real() const {
+    return std::ldexp(static_cast<double>(mult), -shift);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Dyadic&, const Dyadic&) = default;
+};
+
+/// True when `value` is an exact power of two (value = 2^k for integer k).
+[[nodiscard]] bool is_power_of_two(double value);
+
+/// Returns round(log2(value)) for positive `value`; the paper's learnable
+/// power-of-two scale derivation S = 2^round(log2 alpha).
+[[nodiscard]] int nearest_po2_exponent(double value);
+
+}  // namespace gqa

@@ -1,0 +1,34 @@
+#include "numerics/fxp.h"
+
+#include "util/strings.h"
+
+namespace gqa {
+
+std::string FxpFormat::to_string() const {
+  return format("%sQ%d.%d", is_signed ? "s" : "u", integer_bits(), frac);
+}
+
+std::int64_t fxp_encode(double value, const FxpFormat& fmt, RoundMode mode) {
+  GQA_EXPECTS(fmt.width >= 2 && fmt.width <= 62);
+  GQA_EXPECTS(fmt.frac >= 0 && fmt.frac < fmt.width + 32);
+  GQA_EXPECTS_MSG(std::isfinite(value), "cannot encode non-finite value");
+  const double scaled = std::ldexp(value, fmt.frac);
+  // Saturate rather than throw: hardware clips.
+  const double hi = static_cast<double>(int_max(fmt.width, fmt.is_signed));
+  const double lo = static_cast<double>(int_min(fmt.width, fmt.is_signed));
+  if (scaled >= hi) return int_max(fmt.width, fmt.is_signed);
+  if (scaled <= lo) return int_min(fmt.width, fmt.is_signed);
+  return saturate(round_to_int(scaled, mode), fmt.width, fmt.is_signed);
+}
+
+double fxp_decode(std::int64_t code, const FxpFormat& fmt) {
+  GQA_EXPECTS_MSG(fits(code, fmt.width, fmt.is_signed),
+                  "code out of range for format " + fmt.to_string());
+  return std::ldexp(static_cast<double>(code), -fmt.frac);
+}
+
+double fxp_round(double value, const FxpFormat& fmt, RoundMode mode) {
+  return fxp_decode(fxp_encode(value, fmt, mode), fmt);
+}
+
+}  // namespace gqa

@@ -1,0 +1,47 @@
+// Fixed-point value representation (Q-format). A FxpFormat describes a
+// signed/unsigned integer of `width` bits whose codes are interpreted with
+// `frac` fractional bits: real = code * 2^-frac.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "numerics/rounding.h"
+#include "numerics/saturate.h"
+
+namespace gqa {
+
+/// Describes a fixed-point number format, e.g. FxpFormat{8, 5, true} is
+/// a signed Q2.5 with range [-4, 3.96875].
+struct FxpFormat {
+  int width = 8;           ///< total bits including sign
+  int frac = 5;            ///< fractional (decimal) bits, the paper's λ
+  bool is_signed = true;
+
+  [[nodiscard]] int integer_bits() const {
+    return width - frac - (is_signed ? 1 : 0);
+  }
+  [[nodiscard]] double resolution() const { return std::ldexp(1.0, -frac); }
+  [[nodiscard]] double min_value() const {
+    return static_cast<double>(int_min(width, is_signed)) * resolution();
+  }
+  [[nodiscard]] double max_value() const {
+    return static_cast<double>(int_max(width, is_signed)) * resolution();
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FxpFormat&, const FxpFormat&) = default;
+};
+
+/// Encodes `value` into the code domain of `fmt` with saturation.
+[[nodiscard]] std::int64_t fxp_encode(double value, const FxpFormat& fmt,
+                                      RoundMode mode = RoundMode::kNearestAway);
+
+/// Decodes a code back to its real value. The code must fit `fmt`.
+[[nodiscard]] double fxp_decode(std::int64_t code, const FxpFormat& fmt);
+
+/// Round-trips a real through `fmt` (quantization to the representable grid).
+[[nodiscard]] double fxp_round(double value, const FxpFormat& fmt,
+                               RoundMode mode = RoundMode::kNearestAway);
+
+}  // namespace gqa

@@ -1,0 +1,93 @@
+#include "numerics/nonlinear.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace gqa {
+
+namespace {
+
+double gelu(double x) { return 0.5 * x * (1.0 + std::erf(x / std::sqrt(2.0))); }
+
+double relu6(double x) { return std::min(std::max(x, 0.0), 6.0); }
+
+double hswish(double x) { return x * relu6(x + 3.0) / 6.0; }
+
+double reciprocal(double x) {
+  GQA_EXPECTS_MSG(x != 0.0, "DIV reference undefined at x = 0");
+  return 1.0 / x;
+}
+
+double rsqrt(double x) {
+  GQA_EXPECTS_MSG(x > 0.0, "RSQRT reference undefined for x <= 0");
+  return 1.0 / std::sqrt(x);
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+double silu(double x) { return x * sigmoid(x); }
+
+double softplus(double x) {
+  // Overflow-safe formulation.
+  return x > 30.0 ? x : std::log1p(std::exp(x));
+}
+
+const std::vector<OpInfo>& registry() {
+  // Ranges for the paper's five ops follow Table 1; extension ops use
+  // conventional activation ranges.
+  static const std::vector<OpInfo> ops = {
+      {Op::kGelu, "GELU", -4.0, 4.0, true, gelu},
+      {Op::kHswish, "HSWISH", -4.0, 4.0, true, hswish},
+      {Op::kExp, "EXP", -8.0, 0.0, true, [](double x) { return std::exp(x); }},
+      {Op::kDiv, "DIV", 0.5, 4.0, false, reciprocal},
+      {Op::kRsqrt, "RSQRT", 0.25, 4.0, false, rsqrt},
+      {Op::kSigmoid, "SIGMOID", -8.0, 8.0, true, sigmoid},
+      {Op::kSilu, "SILU", -8.0, 8.0, true, silu},
+      {Op::kTanh, "TANH", -4.0, 4.0, true, [](double x) { return std::tanh(x); }},
+      {Op::kSoftplus, "SOFTPLUS", -8.0, 8.0, true, softplus},
+      {Op::kErf, "ERF", -4.0, 4.0, true, [](double x) { return std::erf(x); }},
+  };
+  return ops;
+}
+
+}  // namespace
+
+double eval_op(Op op, double x) { return op_info(op).f(x); }
+
+const OpInfo& op_info(Op op) {
+  for (const OpInfo& info : registry()) {
+    if (info.op == op) return info;
+  }
+  throw ContractViolation("op_info: unknown operator");
+}
+
+Op op_from_name(const std::string& name) {
+  const std::string upper = [&] {
+    std::string u = name;
+    for (char& c : u) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return u;
+  }();
+  for (const OpInfo& info : registry()) {
+    if (info.name == upper) return info.op;
+  }
+  throw ContractViolation("op_from_name: unknown operator '" + name + "'");
+}
+
+const std::vector<Op>& all_ops() {
+  static const std::vector<Op> ops = [] {
+    std::vector<Op> v;
+    for (const OpInfo& info : registry()) v.push_back(info.op);
+    return v;
+  }();
+  return ops;
+}
+
+const std::vector<Op>& paper_ops() {
+  static const std::vector<Op> ops = {Op::kGelu, Op::kHswish, Op::kExp,
+                                      Op::kDiv, Op::kRsqrt};
+  return ops;
+}
+
+}  // namespace gqa

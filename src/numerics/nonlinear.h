@@ -1,0 +1,55 @@
+// Reference (double-precision) implementations of the non-linear operations
+// the paper approximates, plus extension operators exposed through the same
+// registry so downstream users can fit arbitrary ops.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gqa {
+
+/// Non-linear operators supported by the fitting pipeline.
+/// The first five are the paper's evaluation set (Table 1).
+enum class Op {
+  kGelu,      ///< 0.5 x (1 + erf(x/sqrt(2))) — Transformer FFN activation
+  kHswish,    ///< x * relu6(x + 3) / 6       — lightweight-ViT activation
+  kExp,       ///< e^x                        — Softmax numerator
+  kDiv,       ///< 1 / x                      — Softmax denominator
+  kRsqrt,     ///< 1 / sqrt(x)                — LayerNorm
+  // Extension set (not in the paper's tables; exercised by examples/tests).
+  kSigmoid,
+  kSilu,
+  kTanh,
+  kSoftplus,
+  kErf,
+};
+
+/// Static description of an operator: reference function and the default
+/// breakpoint search range from Table 1.
+struct OpInfo {
+  Op op;
+  std::string name;            ///< upper-case paper name, e.g. "GELU"
+  double range_lo;             ///< default Rn
+  double range_hi;             ///< default Rp
+  bool scale_dependent;        ///< true when the op input carries a quant scale
+                               ///< (GELU/HSWISH/EXP); DIV/RSQRT take FXP input
+  std::function<double(double)> f;
+};
+
+/// Evaluates the exact reference op.
+[[nodiscard]] double eval_op(Op op, double x);
+
+/// Metadata lookup (name, default range, reference function).
+[[nodiscard]] const OpInfo& op_info(Op op);
+
+/// Parses "gelu"/"GELU" etc.; throws ContractViolation for unknown names.
+[[nodiscard]] Op op_from_name(const std::string& name);
+
+/// All operators in registry order.
+[[nodiscard]] const std::vector<Op>& all_ops();
+
+/// The paper's five evaluation operators (Table 1 order).
+[[nodiscard]] const std::vector<Op>& paper_ops();
+
+}  // namespace gqa

@@ -1,0 +1,62 @@
+// Rounding primitives used across quantization and fixed-point conversion.
+// The paper's ⌊·⌉ operator is round-to-nearest; ties away from zero matches
+// the behaviour of std::lround and of the RTL rounding stage we emit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+enum class RoundMode {
+  kNearestAway,  ///< round half away from zero (default, ⌊·⌉ in the paper)
+  kNearestEven,  ///< round half to even (IEEE-754 style)
+  kFloor,        ///< truncate toward negative infinity
+  kCeil,         ///< toward positive infinity
+  kTowardZero,   ///< truncate toward zero
+};
+
+/// Rounds `value` to an integer according to `mode`.
+[[nodiscard]] inline std::int64_t round_to_int(double value,
+                                               RoundMode mode = RoundMode::kNearestAway) {
+  GQA_EXPECTS_MSG(std::isfinite(value), "cannot round non-finite value");
+  switch (mode) {
+    case RoundMode::kNearestAway:
+      return static_cast<std::int64_t>(std::llround(value));
+    case RoundMode::kNearestEven: {
+      const double nearest = std::nearbyint(value);  // honors FE_TONEAREST
+      return static_cast<std::int64_t>(nearest);
+    }
+    case RoundMode::kFloor:
+      return static_cast<std::int64_t>(std::floor(value));
+    case RoundMode::kCeil:
+      return static_cast<std::int64_t>(std::ceil(value));
+    case RoundMode::kTowardZero:
+      return static_cast<std::int64_t>(std::trunc(value));
+  }
+  return 0;  // unreachable
+}
+
+/// Rounds `value` onto the grid of stride 2^-frac_bits (the paper's
+/// ⌊v·2^λ⌉ / 2^λ fixed-point conversion).
+[[nodiscard]] inline double round_to_grid(double value, int frac_bits,
+                                          RoundMode mode = RoundMode::kNearestAway) {
+  const double scale = std::ldexp(1.0, frac_bits);  // 2^frac_bits
+  return static_cast<double>(round_to_int(value * scale, mode)) / scale;
+}
+
+/// Right-shift with round-to-nearest-away on the shifted-out bits; the
+/// behaviour of a hardware rounding shifter. `shift` must be >= 0.
+[[nodiscard]] inline std::int64_t shift_round(std::int64_t value, int shift) {
+  GQA_EXPECTS(shift >= 0 && shift < 63);
+  if (shift == 0) return value;
+  const std::int64_t offset = std::int64_t{1} << (shift - 1);
+  if (value >= 0) return (value + offset) >> shift;
+  // Arithmetic shift of negatives rounds toward -inf; bias to round half
+  // away from zero.
+  return -((-value + offset) >> shift);
+}
+
+}  // namespace gqa

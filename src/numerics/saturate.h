@@ -1,0 +1,58 @@
+// Width-limited integer helpers modelling hardware datapaths where every
+// bus has an explicit bit width and overflow saturates (never wraps).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+/// Smallest representable code of a `bits`-wide integer.
+[[nodiscard]] constexpr std::int64_t int_min(int bits, bool is_signed) {
+  return is_signed ? -(std::int64_t{1} << (bits - 1)) : 0;
+}
+
+/// Largest representable code of a `bits`-wide integer.
+[[nodiscard]] constexpr std::int64_t int_max(int bits, bool is_signed) {
+  return is_signed ? (std::int64_t{1} << (bits - 1)) - 1
+                   : (std::int64_t{1} << bits) - 1;
+}
+
+/// Clamps `value` into the representable range of a `bits`-wide integer.
+[[nodiscard]] inline std::int64_t saturate(std::int64_t value, int bits,
+                                           bool is_signed = true) {
+  GQA_EXPECTS(bits >= 1 && bits <= 62);
+  const std::int64_t lo = int_min(bits, is_signed);
+  const std::int64_t hi = int_max(bits, is_signed);
+  if (value < lo) return lo;
+  if (value > hi) return hi;
+  return value;
+}
+
+/// True when `value` fits a `bits`-wide integer without clipping.
+[[nodiscard]] inline bool fits(std::int64_t value, int bits,
+                               bool is_signed = true) {
+  return value >= int_min(bits, is_signed) && value <= int_max(bits, is_signed);
+}
+
+/// Saturating add of two values already confined to `bits` width.
+[[nodiscard]] inline std::int64_t sat_add(std::int64_t a, std::int64_t b,
+                                          int bits, bool is_signed = true) {
+  return saturate(a + b, bits, is_signed);
+}
+
+/// Saturating left shift (models a barrel shifter with a bounded output bus).
+[[nodiscard]] inline std::int64_t sat_shl(std::int64_t value, int shift,
+                                          int bits, bool is_signed = true) {
+  GQA_EXPECTS(shift >= 0 && shift < 62);
+  // Detect overflow before shifting to avoid UB on int64.
+  const std::int64_t hi = int_max(bits, is_signed);
+  const std::int64_t lo = int_min(bits, is_signed);
+  if (value > (hi >> shift)) return hi;
+  if (is_signed && value < (lo >> shift)) return lo;
+  return saturate(value << shift, bits, is_signed);
+}
+
+}  // namespace gqa

@@ -1,0 +1,241 @@
+#include "pwl/fit_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/rounding.h"
+#include "util/contracts.h"
+
+namespace gqa {
+
+FitGrid FitGrid::make(const std::function<double(double)>& f, double lo,
+                      double hi, double step) {
+  GQA_EXPECTS_MSG(f != nullptr, "fit grid needs a target function");
+  GQA_EXPECTS_MSG(std::isfinite(lo) && std::isfinite(hi) && lo < hi,
+                  "fit range must be finite and non-empty");
+  GQA_EXPECTS_MSG(step > 0.0, "grid step must be positive");
+
+  FitGrid g;
+  g.lo_ = lo;
+  g.hi_ = hi;
+  g.step_ = step;
+  g.f_ = f;
+  const auto count = static_cast<std::size_t>(std::floor((hi - lo) / step)) + 1;
+  GQA_EXPECTS_MSG(count >= 4, "fit grid too coarse for the range");
+  g.xs_.reserve(count);
+  g.ys_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x = lo + static_cast<double>(i) * step;
+    const double y = f(x);
+    GQA_EXPECTS_MSG(std::isfinite(y), "target function returned non-finite value");
+    g.xs_.push_back(x);
+    g.ys_.push_back(y);
+  }
+
+  const std::size_t n = g.xs_.size();
+  g.sum_x_.assign(n + 1, 0.0);
+  g.sum_xx_.assign(n + 1, 0.0);
+  g.sum_y_.assign(n + 1, 0.0);
+  g.sum_xy_.assign(n + 1, 0.0);
+  g.sum_yy_.assign(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = g.xs_[i];
+    const double y = g.ys_[i];
+    g.sum_x_[i + 1] = g.sum_x_[i] + x;
+    g.sum_xx_[i + 1] = g.sum_xx_[i] + x * x;
+    g.sum_y_[i + 1] = g.sum_y_[i] + y;
+    g.sum_xy_[i + 1] = g.sum_xy_[i] + x * y;
+    g.sum_yy_[i + 1] = g.sum_yy_[i] + y * y;
+  }
+  return g;
+}
+
+std::size_t FitGrid::lower_index(double value) const {
+  const auto it = std::lower_bound(xs_.begin(), xs_.end(), value);
+  return static_cast<std::size_t>(it - xs_.begin());
+}
+
+SegmentFit FitGrid::fit_segment(std::size_t lo_idx, std::size_t hi_idx) const {
+  GQA_EXPECTS(lo_idx <= hi_idx && hi_idx <= size());
+  SegmentFit fit;
+  fit.n = hi_idx - lo_idx;
+  if (fit.n == 0) return fit;
+
+  const double n = static_cast<double>(fit.n);
+  const double sx = sum_x_[hi_idx] - sum_x_[lo_idx];
+  const double sxx = sum_xx_[hi_idx] - sum_xx_[lo_idx];
+  const double sy = sum_y_[hi_idx] - sum_y_[lo_idx];
+  const double sxy = sum_xy_[hi_idx] - sum_xy_[lo_idx];
+  const double syy = sum_yy_[hi_idx] - sum_yy_[lo_idx];
+
+  const double denom = n * sxx - sx * sx;
+  if (fit.n == 1 || std::abs(denom) < 1e-12 * std::max(1.0, n * sxx)) {
+    // Single point or numerically vertical: constant fit.
+    fit.k = 0.0;
+    fit.b = sy / n;
+    fit.sse = std::max(0.0, syy - fit.b * sy);
+    return fit;
+  }
+  fit.k = (n * sxy - sx * sy) / denom;
+  fit.b = (sy - fit.k * sx) / n;
+  // SSE identity under the optimal (k, b): residual orthogonality collapses
+  // the quadratic form to Syy - k*Sxy - b*Sy.
+  fit.sse = std::max(0.0, syy - fit.k * sxy - fit.b * sy);
+  return fit;
+}
+
+double FitGrid::segment_sse(std::size_t lo_idx, std::size_t hi_idx, double k,
+                            double b) const {
+  GQA_EXPECTS(lo_idx <= hi_idx && hi_idx <= size());
+  const double n = static_cast<double>(hi_idx - lo_idx);
+  if (n == 0.0) return 0.0;
+  const double sx = sum_x_[hi_idx] - sum_x_[lo_idx];
+  const double sxx = sum_xx_[hi_idx] - sum_xx_[lo_idx];
+  const double sy = sum_y_[hi_idx] - sum_y_[lo_idx];
+  const double sxy = sum_xy_[hi_idx] - sum_xy_[lo_idx];
+  const double syy = sum_yy_[hi_idx] - sum_yy_[lo_idx];
+  // Expansion of sum((y - kx - b)^2); exact, no pass over the data.
+  const double sse = syy - 2.0 * k * sxy - 2.0 * b * sy + k * k * sxx +
+                     2.0 * k * b * sx + n * b * b;
+  return std::max(0.0, sse);
+}
+
+double FitGrid::fitness(std::span<const double> breakpoints) const {
+  double sse = 0.0;
+  std::size_t lo_idx = 0;
+  for (double p : breakpoints) {
+    const std::size_t hi_idx = lower_index(p);
+    // Guard against unsorted input instead of silently mis-fitting.
+    GQA_EXPECTS_MSG(hi_idx >= lo_idx, "breakpoints must be sorted");
+    sse += fit_segment(lo_idx, hi_idx).sse;
+    lo_idx = hi_idx;
+  }
+  sse += fit_segment(lo_idx, size()).sse;
+  return sse / static_cast<double>(size());
+}
+
+double FitGrid::fitness_quant_aware(std::span<const double> breakpoints,
+                                    int lambda,
+                                    std::span<const int> scale_exps) const {
+  GQA_EXPECTS_MSG(!scale_exps.empty(), "need at least one deployment scale");
+  const std::size_t nseg = breakpoints.size() + 1;
+
+  // Deployed (k, b): least squares on the *unquantized* segments, λ-rounded
+  // (Alg. 1 line 22) — these stay fixed across deployment scales.
+  struct Line {
+    double k, b;
+  };
+  std::vector<Line> lines(nseg);
+  {
+    std::size_t lo_idx = 0;
+    for (std::size_t i = 0; i < nseg; ++i) {
+      const std::size_t hi_idx =
+          i < breakpoints.size() ? lower_index(breakpoints[i]) : size();
+      GQA_EXPECTS_MSG(hi_idx >= lo_idx, "breakpoints must be sorted");
+      const SegmentFit fit = fit_segment(lo_idx, hi_idx);
+      lines[i] = {round_to_grid(fit.k, lambda), round_to_grid(fit.b, lambda)};
+      lo_idx = hi_idx;
+    }
+  }
+
+  double total = 0.0;
+  for (int s : scale_exps) {
+    // Eq. 3 at S = 2^-s: p̃ = round(p·2^s)/2^s. Rounding is monotone, so
+    // quantized breakpoints stay sorted (ties yield empty segments).
+    double sse = 0.0;
+    std::size_t lo_idx = 0;
+    for (std::size_t i = 0; i < nseg; ++i) {
+      std::size_t hi_idx = size();
+      if (i < breakpoints.size()) {
+        const double pq = round_to_grid(breakpoints[i], s);
+        hi_idx = std::max(lower_index(pq), lo_idx);
+      }
+      sse += segment_sse(lo_idx, hi_idx, lines[i].k, lines[i].b);
+      lo_idx = hi_idx;
+    }
+    total += sse / static_cast<double>(size());
+  }
+  return total / static_cast<double>(scale_exps.size());
+}
+
+double FitGrid::fitness_fxp(std::span<const double> breakpoints,
+                            int lambda) const {
+  double sse = 0.0;
+  std::size_t lo_idx = 0;
+  auto rounded_sse = [this, lambda](std::size_t lo, std::size_t hi) {
+    const SegmentFit fit = fit_segment(lo, hi);
+    if (fit.n == 0) return 0.0;
+    const double k = round_to_grid(fit.k, lambda);
+    const double b = round_to_grid(fit.b, lambda);
+    return segment_sse(lo, hi, k, b);
+  };
+  for (double p : breakpoints) {
+    const std::size_t hi_idx = lower_index(p);
+    GQA_EXPECTS_MSG(hi_idx >= lo_idx, "breakpoints must be sorted");
+    sse += rounded_sse(lo_idx, hi_idx);
+    lo_idx = hi_idx;
+  }
+  sse += rounded_sse(lo_idx, size());
+  return sse / static_cast<double>(size());
+}
+
+PwlTable FitGrid::fit_table(std::span<const double> breakpoints,
+                            FitStrategy strategy) const {
+  PwlTable table;
+  table.breakpoints.assign(breakpoints.begin(), breakpoints.end());
+  GQA_EXPECTS_MSG(std::is_sorted(table.breakpoints.begin(), table.breakpoints.end()),
+                  "breakpoints must be sorted");
+
+  const std::size_t entries = breakpoints.size() + 1;
+  table.slopes.resize(entries);
+  table.intercepts.resize(entries);
+
+  if (strategy == FitStrategy::kLeastSquares) {
+    std::size_t lo_idx = 0;
+    for (std::size_t i = 0; i < entries; ++i) {
+      const std::size_t hi_idx =
+          i < breakpoints.size() ? lower_index(breakpoints[i]) : size();
+      SegmentFit fit = fit_segment(lo_idx, hi_idx);
+      if (fit.n == 0) {
+        // Empty segment (two breakpoints between adjacent grid points):
+        // fall back to interpolation so the table stays well defined.
+        const double a = i == 0 ? lo_ : breakpoints[i - 1];
+        const double b = i < breakpoints.size() ? breakpoints[i] : hi_;
+        const double fa = f_(a);
+        const double fb = f_(b);
+        fit.k = b > a ? (fb - fa) / (b - a) : 0.0;
+        fit.b = fa - fit.k * a;
+      }
+      table.slopes[i] = fit.k;
+      table.intercepts[i] = fit.b;
+      lo_idx = hi_idx;
+    }
+  } else {
+    for (std::size_t i = 0; i < entries; ++i) {
+      const double a = i == 0 ? lo_ : breakpoints[i - 1];
+      const double b = i < breakpoints.size() ? breakpoints[i] : hi_;
+      const double fa = f_(a);
+      const double fb = f_(b);
+      const double k = b > a ? (fb - fa) / (b - a) : 0.0;
+      table.slopes[i] = k;
+      table.intercepts[i] = fa - k * a;
+    }
+  }
+  return table;
+}
+
+double FitGrid::mse_of(const PwlTable& table) const {
+  table.validate();
+  double sse = 0.0;
+  std::size_t lo_idx = 0;
+  for (std::size_t i = 0; i < table.slopes.size(); ++i) {
+    const std::size_t hi_idx = i < table.breakpoints.size()
+                                   ? lower_index(table.breakpoints[i])
+                                   : size();
+    sse += segment_sse(lo_idx, hi_idx, table.slopes[i], table.intercepts[i]);
+    lo_idx = hi_idx;
+  }
+  return sse / static_cast<double>(size());
+}
+
+}  // namespace gqa

@@ -1,0 +1,109 @@
+// Sampled fitting grid with O(1) per-segment least squares.
+//
+// Algorithm 1 evaluates each candidate breakpoint set by building the
+// optimal pwl and accumulating squared error over a fixed grid
+// (step 0.01 across [Rn, Rp]). Doing that naively costs O(grid) per
+// individual. We precompute prefix sums of {1, x, x^2, y, x*y, y^2} once;
+// the optimal slope/intercept of any segment and its exact sum of squared
+// errors then follow from the normal equations in O(1), making the full
+// fitness O(N log G) per individual with identical results.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "pwl/pwl_table.h"
+
+namespace gqa {
+
+/// How slopes/intercepts are derived from breakpoints.
+enum class FitStrategy {
+  kLeastSquares,  ///< per-segment least squares on the grid (default)
+  kInterpolate,   ///< line through the segment's endpoint function values
+};
+
+/// Least-squares result for one segment.
+struct SegmentFit {
+  double k = 0.0;    ///< slope
+  double b = 0.0;    ///< intercept
+  double sse = 0.0;  ///< sum of squared residuals on the grid
+  std::size_t n = 0; ///< grid points covered
+};
+
+/// Immutable sampled view of a target function on [lo, hi] with prefix sums.
+class FitGrid {
+ public:
+  /// Samples `f` on {lo, lo+step, ..., <= hi}. Throws on invalid ranges.
+  static FitGrid make(const std::function<double(double)>& f, double lo,
+                      double hi, double step = 0.01);
+
+  [[nodiscard]] std::size_t size() const { return xs_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double step() const { return step_; }
+  [[nodiscard]] double x(std::size_t i) const { return xs_[i]; }
+  [[nodiscard]] double y(std::size_t i) const { return ys_[i]; }
+  [[nodiscard]] std::span<const double> xs() const { return xs_; }
+  [[nodiscard]] std::span<const double> ys() const { return ys_; }
+
+  /// Index of the first grid point with x >= value (== size() if none).
+  [[nodiscard]] std::size_t lower_index(double value) const;
+
+  /// The sampled target function (exact, not interpolated).
+  [[nodiscard]] const std::function<double(double)>& target() const {
+    return f_;
+  }
+
+  /// Optimal least-squares line over grid rows [lo_idx, hi_idx).
+  [[nodiscard]] SegmentFit fit_segment(std::size_t lo_idx,
+                                       std::size_t hi_idx) const;
+
+  /// SSE of a *given* line over grid rows [lo_idx, hi_idx).
+  [[nodiscard]] double segment_sse(std::size_t lo_idx, std::size_t hi_idx,
+                                   double k, double b) const;
+
+  /// MSE of the optimal pwl with the given sorted breakpoints — the GA
+  /// fitness (lower is better). Equivalent to fit_table + mse_of but O(N).
+  [[nodiscard]] double fitness(std::span<const double> breakpoints) const;
+
+  /// Quantization-aware fitness: per segment the least-squares (k, b) are
+  /// rounded onto the 2^-lambda fixed-point grid *before* scoring, so the
+  /// search favours breakpoints whose derived parameters survive the FXP
+  /// conversion of Alg. 1 line 22. Still O(N) per call via the closed-form
+  /// SSE of an arbitrary line.
+  [[nodiscard]] double fitness_fxp(std::span<const double> breakpoints,
+                                   int lambda) const;
+
+  /// Fully quantization-aware fitness (the objective GQA-LUT optimizes):
+  /// slopes/intercepts are λ-rounded as in fitness_fxp, and — per Eq. 3 —
+  /// the MSE is averaged over deployment grids: for each scale exponent s
+  /// in `scale_exps`, breakpoints are snapped to round(p·2^s)/2^s (the
+  /// breakpoint-deviation effect of Fig. 2(b)) while the (k, b) derived
+  /// from the un-quantized segments stay fixed. Gaussian mutation sees this
+  /// landscape as a staircase; Rounding Mutation moves exactly between its
+  /// steps.
+  [[nodiscard]] double fitness_quant_aware(std::span<const double> breakpoints,
+                                           int lambda,
+                                           std::span<const int> scale_exps) const;
+
+  /// Builds the full pwl table for the given sorted breakpoints.
+  [[nodiscard]] PwlTable fit_table(std::span<const double> breakpoints,
+                                   FitStrategy strategy = FitStrategy::kLeastSquares) const;
+
+  /// Grid MSE of an arbitrary table (used to score quantized tables too).
+  [[nodiscard]] double mse_of(const PwlTable& table) const;
+
+ private:
+  FitGrid() = default;
+
+  double lo_ = 0.0, hi_ = 0.0, step_ = 0.0;
+  std::vector<double> xs_, ys_;
+  // Prefix sums, length size()+1; index i holds the sum over rows [0, i).
+  std::vector<double> sum_x_, sum_xx_, sum_y_, sum_xy_, sum_yy_;
+  std::function<double(double)> f_;
+
+  friend class FitGridTestPeer;
+};
+
+}  // namespace gqa

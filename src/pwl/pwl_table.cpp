@@ -1,0 +1,74 @@
+#include "pwl/pwl_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/rounding.h"
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace gqa {
+
+int PwlTable::segment_index(double x) const {
+  // Number of breakpoints <= x; p_i == x belongs to segment i+1 because
+  // Eq. 1 uses half-open intervals [p_{i-1}, p_i).
+  const auto it = std::upper_bound(breakpoints.begin(), breakpoints.end(), x);
+  return static_cast<int>(it - breakpoints.begin());
+}
+
+double PwlTable::eval(double x) const {
+  const int i = segment_index(x);
+  return slopes[static_cast<std::size_t>(i)] * x +
+         intercepts[static_cast<std::size_t>(i)];
+}
+
+std::vector<double> PwlTable::eval(std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(eval(x));
+  return out;
+}
+
+void PwlTable::validate() const {
+  GQA_EXPECTS_MSG(!slopes.empty(), "pwl table has no entries");
+  GQA_EXPECTS_MSG(slopes.size() == intercepts.size(),
+                  "slope/intercept count mismatch");
+  GQA_EXPECTS_MSG(breakpoints.size() + 1 == slopes.size(),
+                  "breakpoint count must be entries-1");
+  for (std::size_t i = 1; i < breakpoints.size(); ++i) {
+    GQA_EXPECTS_MSG(breakpoints[i - 1] < breakpoints[i],
+                    "breakpoints must be strictly ascending");
+  }
+  for (double p : breakpoints) GQA_EXPECTS(std::isfinite(p));
+  for (double k : slopes) GQA_EXPECTS(std::isfinite(k));
+  for (double b : intercepts) GQA_EXPECTS(std::isfinite(b));
+}
+
+PwlTable PwlTable::rounded_to_fxp(int lambda) const {
+  GQA_EXPECTS_MSG(lambda >= 0 && lambda <= 30, "lambda out of range");
+  PwlTable out = *this;
+  for (double& k : out.slopes) k = round_to_grid(k, lambda);
+  for (double& b : out.intercepts) b = round_to_grid(b, lambda);
+  return out;
+}
+
+std::string PwlTable::to_string() const {
+  std::string out = format("PwlTable[%d entries]\n", entries());
+  for (int i = 0; i < entries(); ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    std::string span;
+    if (i == 0) {
+      span = breakpoints.empty() ? "(-inf, +inf)"
+                                 : format("(-inf, %.4f)", breakpoints[0]);
+    } else if (i == entries() - 1) {
+      span = format("[%.4f, +inf)", breakpoints[u - 1]);
+    } else {
+      span = format("[%.4f, %.4f)", breakpoints[u - 1], breakpoints[u]);
+    }
+    out += format("  seg %2d %-22s k=%+.6f b=%+.6f\n", i, span.c_str(),
+                  slopes[u], intercepts[u]);
+  }
+  return out;
+}
+
+}  // namespace gqa

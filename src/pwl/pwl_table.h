@@ -1,0 +1,43 @@
+// Piece-wise linear tables (Eq. 1 of the paper):
+//   pwl(x) = k_i * x + b_i  on segment i,
+// where segment boundaries are the sorted breakpoints {p_0 .. p_{N-2}}:
+//   segment 0:      x <  p_0
+//   segment i:      p_{i-1} <= x < p_i
+//   segment N-1:    x >= p_{N-2}
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gqa {
+
+/// FP-domain pwl table with N entries and N-1 breakpoints.
+struct PwlTable {
+  std::vector<double> breakpoints;  ///< sorted ascending, size N-1
+  std::vector<double> slopes;       ///< size N
+  std::vector<double> intercepts;   ///< size N
+
+  [[nodiscard]] int entries() const { return static_cast<int>(slopes.size()); }
+
+  /// Index of the segment containing `x` (Eq. 1 comparator semantics).
+  [[nodiscard]] int segment_index(double x) const;
+
+  /// Evaluates the approximation at `x`.
+  [[nodiscard]] double eval(double x) const;
+
+  /// Evaluates a batch.
+  [[nodiscard]] std::vector<double> eval(std::span<const double> xs) const;
+
+  /// Throws ContractViolation unless sizes are consistent, breakpoints are
+  /// sorted strictly ascending, and all values are finite.
+  void validate() const;
+
+  /// Returns a copy whose slopes and intercepts are rounded onto the
+  /// 2^-lambda fixed-point grid (Alg. 1 line 22). Breakpoints unchanged.
+  [[nodiscard]] PwlTable rounded_to_fxp(int lambda) const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace gqa

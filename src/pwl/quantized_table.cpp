@@ -1,0 +1,106 @@
+#include "pwl/quantized_table.h"
+
+#include <algorithm>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace gqa {
+
+int QuantizedPwlTable::segment_index(std::int64_t q) const {
+  const auto it = std::upper_bound(p_code.begin(), p_code.end(), q);
+  return static_cast<int>(it - p_code.begin());
+}
+
+double QuantizedPwlTable::slope_value(int i) const {
+  return fxp_decode(k_code[static_cast<std::size_t>(i)], param_fmt);
+}
+
+double QuantizedPwlTable::intercept_value(int i) const {
+  return fxp_decode(b_code[static_cast<std::size_t>(i)], param_fmt);
+}
+
+void QuantizedPwlTable::validate() const {
+  GQA_EXPECTS_MSG(!k_code.empty(), "quantized table has no entries");
+  GQA_EXPECTS(k_code.size() == b_code.size());
+  GQA_EXPECTS(p_code.size() + 1 == k_code.size());
+  GQA_EXPECTS_MSG(input.scale_is_po2(), "input scale must be a power of two");
+  GQA_EXPECTS_MSG(std::is_sorted(p_code.begin(), p_code.end()),
+                  "quantized breakpoints must be sorted");
+  for (std::int64_t k : k_code)
+    GQA_EXPECTS(fits(k, param_fmt.width, param_fmt.is_signed));
+  for (std::int64_t b : b_code)
+    GQA_EXPECTS(fits(b, param_fmt.width, param_fmt.is_signed));
+  for (std::int64_t p : p_code)
+    GQA_EXPECTS(fits(p, input.bits, input.is_signed));
+}
+
+std::string QuantizedPwlTable::to_string() const {
+  std::string out = format("QuantizedPwlTable[%d entries, %s params, input %s]\n",
+                           entries(), param_fmt.to_string().c_str(),
+                           input.to_string().c_str());
+  for (int i = 0; i < entries(); ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    out += format("  seg %2d k=%lld b=%lld", i,
+                  static_cast<long long>(k_code[u]),
+                  static_cast<long long>(b_code[u]));
+    if (u < p_code.size())
+      out += format("  p=%lld", static_cast<long long>(p_code[u]));
+    out += '\n';
+  }
+  return out;
+}
+
+QuantizedPwlTable quantize_table(const PwlTable& table,
+                                 const QuantParams& input, int lambda,
+                                 int param_bits) {
+  table.validate();
+  GQA_EXPECTS_MSG(input.scale_is_po2(),
+                  "quantization-aware pwl needs a power-of-two input scale");
+  GQA_EXPECTS(lambda >= 0 && lambda < param_bits + 16);
+  GQA_EXPECTS(param_bits >= 4 && param_bits <= 32);
+
+  QuantizedPwlTable qt;
+  qt.param_fmt = FxpFormat{param_bits, lambda, true};
+  qt.input = input;
+  qt.k_code.reserve(table.slopes.size());
+  qt.b_code.reserve(table.intercepts.size());
+  qt.p_code.reserve(table.breakpoints.size());
+  for (double k : table.slopes) qt.k_code.push_back(fxp_encode(k, qt.param_fmt));
+  for (double b : table.intercepts)
+    qt.b_code.push_back(fxp_encode(b, qt.param_fmt));
+  for (double p : table.breakpoints) qt.p_code.push_back(input.quantize(p));
+  // Quantization can collapse adjacent breakpoints onto the same code; the
+  // comparator chain still works (empty segments are simply never selected),
+  // but the codes must stay sorted.
+  std::sort(qt.p_code.begin(), qt.p_code.end());
+  qt.validate();
+  return qt;
+}
+
+PwlTable dequantize_table(const QuantizedPwlTable& qt) {
+  qt.validate();
+  PwlTable t;
+  t.slopes.reserve(qt.k_code.size());
+  t.intercepts.reserve(qt.b_code.size());
+  t.breakpoints.reserve(qt.p_code.size());
+  for (std::size_t i = 0; i < qt.k_code.size(); ++i) {
+    t.slopes.push_back(fxp_decode(qt.k_code[i], qt.param_fmt));
+    t.intercepts.push_back(fxp_decode(qt.b_code[i], qt.param_fmt));
+  }
+  // Dequantized breakpoints can tie after clipping; nudge ties apart by a
+  // quarter step so PwlTable's strict ordering holds. Evaluation is
+  // unaffected because no integer input falls strictly between the nudged
+  // pair.
+  double prev = -1e300;
+  for (std::size_t i = 0; i < qt.p_code.size(); ++i) {
+    double p = qt.input.dequantize(qt.p_code[i]);
+    if (p <= prev) p = prev + qt.input.scale * 0.25;
+    t.breakpoints.push_back(p);
+    prev = p;
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace gqa

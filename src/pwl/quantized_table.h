@@ -1,0 +1,57 @@
+// Quantization of a fitted pwl table per Eq. 3 of the paper:
+//   k̃_i = k_i (stored as λ-frac fixed point, width = param_bits)
+//   b_i stored likewise; b̃_i = b_i / S is produced at runtime by a shifter
+//   p̃_i = clip(round(p_i / S), Qn, Qp)  — the INT-domain breakpoints
+// The quantized table is what the Figure 1(b) hardware unit holds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numerics/fxp.h"
+#include "pwl/pwl_table.h"
+#include "quant/quant_params.h"
+
+namespace gqa {
+
+/// Integer-domain pwl parameters for a given input quantization.
+struct QuantizedPwlTable {
+  FxpFormat param_fmt;              ///< storage format of k/b codes (frac = λ)
+  QuantParams input;                ///< input code domain; scale must be po2
+  std::vector<std::int64_t> k_code; ///< slope codes, λ frac bits
+  std::vector<std::int64_t> b_code; ///< intercept codes, λ frac bits (pre-shift)
+  std::vector<std::int64_t> p_code; ///< quantized breakpoints, input codes
+
+  [[nodiscard]] int entries() const { return static_cast<int>(k_code.size()); }
+  [[nodiscard]] int lambda() const { return param_fmt.frac; }
+
+  /// Left-shift amount applied to intercepts at runtime: s = -log2(S).
+  /// Positive when S < 1 (the common case).
+  [[nodiscard]] int intercept_shift() const { return -input.po2_exponent(); }
+
+  /// Segment index for an input code (comparator semantics of Eq. 1).
+  [[nodiscard]] int segment_index(std::int64_t q) const;
+
+  /// The slope/intercept reals implied by the stored codes (for analysis).
+  [[nodiscard]] double slope_value(int i) const;
+  [[nodiscard]] double intercept_value(int i) const;
+
+  void validate() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Quantizes a (already FXP-rounded or raw FP) table for the given input
+/// quantization. `param_bits` is the LUT storage width (8 or 16 in the
+/// paper's Table 6). Requires a power-of-two input scale.
+[[nodiscard]] QuantizedPwlTable quantize_table(const PwlTable& table,
+                                               const QuantParams& input,
+                                               int lambda, int param_bits);
+
+/// The FP-domain table the quantized parameters *actually* realize:
+/// slopes/intercepts decoded from codes, breakpoints dequantized. Evaluating
+/// this on dequantized inputs reproduces the integer kernel in real
+/// arithmetic (used for cross-checks in tests).
+[[nodiscard]] PwlTable dequantize_table(const QuantizedPwlTable& qt);
+
+}  // namespace gqa

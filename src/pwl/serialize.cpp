@@ -1,0 +1,90 @@
+#include "pwl/serialize.h"
+
+#include "util/json.h"
+
+namespace gqa {
+
+namespace {
+constexpr int kFormatVersion = 1;
+
+Json int_array(const std::vector<std::int64_t>& values) {
+  Json arr = Json::array();
+  for (std::int64_t v : values) arr.push_back(Json(v));
+  return arr;
+}
+
+std::vector<std::int64_t> to_int_array(const Json& arr) {
+  std::vector<std::int64_t> out;
+  out.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) out.push_back(arr.at(i).as_int());
+  return out;
+}
+}  // namespace
+
+Json pwl_to_json(const PwlTable& table) {
+  table.validate();
+  Json j = Json::object();
+  j["version"] = Json(kFormatVersion);
+  j["kind"] = Json("pwl_table");
+  j["breakpoints"] = Json::array_of(table.breakpoints);
+  j["slopes"] = Json::array_of(table.slopes);
+  j["intercepts"] = Json::array_of(table.intercepts);
+  return j;
+}
+
+PwlTable pwl_from_json(const Json& j) {
+  PwlTable t;
+  t.breakpoints = j.at("breakpoints").as_double_array();
+  t.slopes = j.at("slopes").as_double_array();
+  t.intercepts = j.at("intercepts").as_double_array();
+  t.validate();
+  return t;
+}
+
+Json quantized_to_json(const QuantizedPwlTable& table) {
+  table.validate();
+  Json j = Json::object();
+  j["version"] = Json(kFormatVersion);
+  j["kind"] = Json("quantized_pwl_table");
+  j["param_width"] = Json(table.param_fmt.width);
+  j["lambda"] = Json(table.param_fmt.frac);
+  j["input_bits"] = Json(table.input.bits);
+  j["input_signed"] = Json(table.input.is_signed);
+  j["input_scale"] = Json(table.input.scale);
+  j["k_code"] = int_array(table.k_code);
+  j["b_code"] = int_array(table.b_code);
+  j["p_code"] = int_array(table.p_code);
+  return j;
+}
+
+QuantizedPwlTable quantized_from_json(const Json& j) {
+  QuantizedPwlTable t;
+  t.param_fmt = FxpFormat{static_cast<int>(j.at("param_width").as_int()),
+                          static_cast<int>(j.at("lambda").as_int()), true};
+  t.input = QuantParams{j.at("input_scale").as_number(),
+                        static_cast<int>(j.at("input_bits").as_int()),
+                        j.at("input_signed").as_bool()};
+  t.k_code = to_int_array(j.at("k_code"));
+  t.b_code = to_int_array(j.at("b_code"));
+  t.p_code = to_int_array(j.at("p_code"));
+  t.validate();
+  return t;
+}
+
+void save_pwl(const PwlTable& table, const std::string& path) {
+  write_file(path, pwl_to_json(table).dump());
+}
+
+PwlTable load_pwl(const std::string& path) {
+  return pwl_from_json(Json::parse(read_file(path)));
+}
+
+void save_quantized(const QuantizedPwlTable& table, const std::string& path) {
+  write_file(path, quantized_to_json(table).dump());
+}
+
+QuantizedPwlTable load_quantized(const std::string& path) {
+  return quantized_from_json(Json::parse(read_file(path)));
+}
+
+}  // namespace gqa

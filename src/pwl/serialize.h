@@ -1,0 +1,27 @@
+// JSON (de)serialization of fitted tables so deployments can ship LUT
+// parameter files produced by the fitting pipeline.
+#pragma once
+
+#include <string>
+
+#include "pwl/pwl_table.h"
+#include "pwl/quantized_table.h"
+
+namespace gqa {
+
+class Json;
+
+[[nodiscard]] Json pwl_to_json(const PwlTable& table);
+[[nodiscard]] PwlTable pwl_from_json(const Json& j);
+
+[[nodiscard]] Json quantized_to_json(const QuantizedPwlTable& table);
+[[nodiscard]] QuantizedPwlTable quantized_from_json(const Json& j);
+
+/// Saves/loads a table to/from a file.
+void save_pwl(const PwlTable& table, const std::string& path);
+[[nodiscard]] PwlTable load_pwl(const std::string& path);
+
+void save_quantized(const QuantizedPwlTable& table, const std::string& path);
+[[nodiscard]] QuantizedPwlTable load_quantized(const std::string& path);
+
+}  // namespace gqa

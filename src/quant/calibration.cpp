@@ -1,0 +1,58 @@
+#include "quant/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+void RangeObserver::observe(double value) {
+  GQA_EXPECTS_MSG(std::isfinite(value), "observed value must be finite");
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+void RangeObserver::observe(std::span<const float> values) {
+  for (float v : values) observe(static_cast<double>(v));
+}
+
+void RangeObserver::observe(std::span<const double> values) {
+  for (double v : values) observe(v);
+}
+
+double RangeObserver::min() const {
+  GQA_EXPECTS_MSG(count_ > 0, "no values observed");
+  return min_;
+}
+
+double RangeObserver::max() const {
+  GQA_EXPECTS_MSG(count_ > 0, "no values observed");
+  return max_;
+}
+
+double RangeObserver::amax() const {
+  GQA_EXPECTS_MSG(count_ > 0, "no values observed");
+  return std::max(std::abs(min_), std::abs(max_));
+}
+
+QuantParams RangeObserver::make_params(int bits, bool is_signed) const {
+  const double a = std::max(amax(), 1e-8);
+  return QuantParams{symmetric_scale(a, bits, is_signed), bits, is_signed};
+}
+
+QuantParams RangeObserver::make_po2(int bits, bool is_signed) const {
+  const QuantParams base = make_params(bits, is_signed);
+  // Snap up: choose the smallest power of two >= the min-max scale so the
+  // observed range never clips.
+  const double exact = base.scale;
+  const double snapped = std::ldexp(1.0, static_cast<int>(std::ceil(std::log2(exact))));
+  return QuantParams{snapped, bits, is_signed};
+}
+
+}  // namespace gqa

@@ -1,0 +1,40 @@
+// Activation-range calibration. The paper fine-tunes scales with LSQ; this
+// reproduction replaces gradient training by observing ranges over a
+// calibration set and snapping the resulting scale to a power of two, which
+// preserves the paper's constraint that non-linear-op inputs carry
+// power-of-two scales (§3.1, §4.2).
+#pragma once
+
+#include <span>
+
+#include "quant/quant_params.h"
+
+namespace gqa {
+
+/// Streaming range observer (min-max with optional percentile clipping).
+class RangeObserver {
+ public:
+  void observe(double value);
+  void observe(std::span<const float> values);
+  void observe(std::span<const double> values);
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Largest absolute observed value.
+  [[nodiscard]] double amax() const;
+  [[nodiscard]] std::size_t count() const { return count_; }
+
+  /// Symmetric quantization parameters from the observed range.
+  [[nodiscard]] QuantParams make_params(int bits, bool is_signed = true) const;
+
+  /// Same, with the scale snapped to the nearest power of two.
+  [[nodiscard]] QuantParams make_po2(int bits, bool is_signed = true) const;
+
+ private:
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace gqa

@@ -1,0 +1,54 @@
+#include "quant/quant_params.h"
+
+#include <cmath>
+
+#include "numerics/dyadic.h"
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace gqa {
+
+std::vector<std::int64_t> QuantParams::quantize(std::span<const double> xs) const {
+  std::vector<std::int64_t> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back(quantize(x));
+  return out;
+}
+
+std::vector<double> QuantParams::dequantize(std::span<const std::int64_t> qs) const {
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (std::int64_t q : qs) out.push_back(dequantize(q));
+  return out;
+}
+
+bool QuantParams::scale_is_po2() const { return is_power_of_two(scale); }
+
+int QuantParams::po2_exponent() const {
+  GQA_EXPECTS_MSG(scale_is_po2(), "scale is not a power of two");
+  return static_cast<int>(std::llround(std::log2(scale)));
+}
+
+std::string QuantParams::to_string() const {
+  return format("%sINT%d S=%.6g", is_signed ? "" : "U", bits, scale);
+}
+
+QuantParams make_po2_params(double alpha, int bits, bool is_signed) {
+  GQA_EXPECTS_MSG(alpha > 0.0 && std::isfinite(alpha),
+                  "po2 quantization needs a positive finite alpha");
+  GQA_EXPECTS(bits >= 2 && bits <= 32);
+  QuantParams qp;
+  qp.scale = std::ldexp(1.0, nearest_po2_exponent(alpha));
+  qp.bits = bits;
+  qp.is_signed = is_signed;
+  return qp;
+}
+
+double symmetric_scale(double amax, int bits, bool is_signed) {
+  GQA_EXPECTS_MSG(amax > 0.0 && std::isfinite(amax),
+                  "symmetric scale needs positive amax");
+  GQA_EXPECTS(bits >= 2 && bits <= 32);
+  return amax / static_cast<double>(int_max(bits, is_signed));
+}
+
+}  // namespace gqa

@@ -1,0 +1,64 @@
+// Uniform symmetric quantization (Eq. 2 of the paper):
+//   q = clip(round(x / S), Qn, Qp),   x̃ = S * q
+// with power-of-two scale support for the quantization-aware pwl pipeline.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "numerics/rounding.h"
+#include "numerics/saturate.h"
+
+namespace gqa {
+
+/// Per-tensor quantization parameters.
+struct QuantParams {
+  double scale = 1.0;     ///< S: dequantized = scale * code
+  int bits = 8;           ///< code width
+  bool is_signed = true;  ///< signed [Qn, Qp] = [-2^(k-1), 2^(k-1)-1]
+
+  [[nodiscard]] std::int64_t qmin() const { return int_min(bits, is_signed); }
+  [[nodiscard]] std::int64_t qmax() const { return int_max(bits, is_signed); }
+
+  /// Quantizes one value (Eq. 2).
+  [[nodiscard]] std::int64_t quantize(double x) const {
+    return saturate(round_to_int(x / scale), bits, is_signed);
+  }
+
+  /// Dequantizes one code.
+  [[nodiscard]] double dequantize(std::int64_t q) const {
+    return scale * static_cast<double>(q);
+  }
+
+  /// Quantize → dequantize round trip (the "fake-quant" value).
+  [[nodiscard]] double fake_quantize(double x) const {
+    return dequantize(quantize(x));
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> quantize(std::span<const double> xs) const;
+  [[nodiscard]] std::vector<double> dequantize(std::span<const std::int64_t> qs) const;
+
+  /// True when scale is an exact power of two.
+  [[nodiscard]] bool scale_is_po2() const;
+
+  /// log2(scale); only valid for power-of-two scales.
+  [[nodiscard]] int po2_exponent() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const QuantParams&, const QuantParams&) = default;
+};
+
+/// Builds power-of-two quantization parameters from a learnable-alpha style
+/// real scale: S = 2^round(log2 alpha) (§3.1).
+[[nodiscard]] QuantParams make_po2_params(double alpha, int bits,
+                                          bool is_signed = true);
+
+/// Symmetric scale covering [-amax, amax] with the given width (min-max
+/// method); amax must be positive.
+[[nodiscard]] double symmetric_scale(double amax, int bits,
+                                     bool is_signed = true);
+
+}  // namespace gqa

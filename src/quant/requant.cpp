@@ -1,0 +1,15 @@
+#include "quant/requant.h"
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+Requantizer::Requantizer(double in_scale, const QuantParams& out) : out_(out) {
+  GQA_EXPECTS_MSG(in_scale > 0.0 && std::isfinite(in_scale),
+                  "input scale must be positive finite");
+  GQA_EXPECTS_MSG(out.scale > 0.0, "output scale must be positive");
+  exact_ratio_ = in_scale / out.scale;
+  multiplier_ = Dyadic::from_real(exact_ratio_);
+}
+
+}  // namespace gqa

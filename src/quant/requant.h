@@ -1,0 +1,39 @@
+// Requantization between integer domains following the dyadic pipeline
+// (Jacob et al.): out_q = clip(round(in_q * M)), M = S_in / S_out realized
+// as an integer multiplier plus shift. Used by every quantized Transformer
+// module between matmul accumulators and INT8 activations.
+#pragma once
+
+#include <cstdint>
+
+#include "numerics/dyadic.h"
+#include "quant/quant_params.h"
+
+namespace gqa {
+
+/// Converts INT32-accumulator codes from one scale to another.
+class Requantizer {
+ public:
+  Requantizer() = default;
+
+  /// in_scale: scale of incoming codes; out: target parameters.
+  Requantizer(double in_scale, const QuantParams& out);
+
+  /// Requantizes a single accumulator value.
+  [[nodiscard]] std::int64_t apply(std::int64_t acc) const {
+    return saturate(multiplier_.apply(acc), out_.bits, out_.is_signed);
+  }
+
+  [[nodiscard]] const Dyadic& multiplier() const { return multiplier_; }
+  [[nodiscard]] const QuantParams& output_params() const { return out_; }
+
+  /// Exact real ratio being approximated (for error analysis in tests).
+  [[nodiscard]] double exact_ratio() const { return exact_ratio_; }
+
+ private:
+  Dyadic multiplier_{0, 0};
+  QuantParams out_;
+  double exact_ratio_ = 0.0;
+};
+
+}  // namespace gqa

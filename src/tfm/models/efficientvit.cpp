@@ -1,0 +1,241 @@
+#include "tfm/models/efficientvit.h"
+
+#include "tfm/probe.h"
+#include "util/contracts.h"
+
+namespace gqa::tfm {
+
+namespace {
+
+template <typename T>
+T upsample2x(const T& x) {
+  const int c = x.shape()[0];
+  const int h = x.shape()[1];
+  const int w = x.shape()[2];
+  T y = [&] {
+    if constexpr (std::is_same_v<T, QTensor>) {
+      return QTensor(Shape{c, 2 * h, 2 * w}, x.params());
+    } else {
+      return Tensor(Shape{c, 2 * h, 2 * w});
+    }
+  }();
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oy = 0; oy < 2 * h; ++oy) {
+      for (int ox = 0; ox < 2 * w; ++ox) {
+        y.at(ch, oy, ox) = x.at(ch, oy / 2, ox / 2);
+      }
+    }
+  }
+  return y;
+}
+
+template <typename Fn, typename TensorT>
+TensorT attn_tokens(Fn&& attn, const TensorT& map) {
+  const int h = map.shape()[1];
+  const int w = map.shape()[2];
+  auto tokens = to_tokens(map);
+  auto out = attn(tokens);
+  return from_tokens(out, h, w);
+}
+
+}  // namespace
+
+EfficientViTB0Like::EfficientViTB0Like(const EfficientViTConfig& config)
+    : config_(config) {
+  GQA_EXPECTS(config.widths.size() == 4);
+  Rng rng(config.seed);
+  const auto& w = config.widths;
+  // Stem: 3x3 stride-2 conv + HSWISH -> H/2.
+  stem_ = std::make_unique<Conv2d>(config.in_channels, w[0], 3, 2, 1, rng);
+  stem_->set_po2_output(true);  // HSWISH pwl consumes the stem output
+  // Stage 1: MBConv stride 2 -> H/4.
+  stage1_ = std::make_unique<MbConv>(w[0], w[1], config.expand, 2, rng);
+  // Stage 2: MBConv stride 2 -> H/8.
+  stage2_ = std::make_unique<MbConv>(w[1], w[2], config.expand, 2, rng);
+  // Stage 3: MBConv (stride 1) + EfficientViT module at H/8.
+  stage3_ = std::make_unique<MbConv>(w[2], w[2], config.expand, 1, rng);
+  evit3_.attn = std::make_unique<LinearAttention>(w[2], rng);
+  evit3_.ffn = std::make_unique<MbConv>(w[2], w[2], config.expand, 1, rng);
+  // Stage 4: MBConv stride 2 -> H/16 + EfficientViT module.
+  stage4_ = std::make_unique<MbConv>(w[2], w[3], config.expand, 2, rng);
+  evit4_.attn = std::make_unique<LinearAttention>(w[3], rng);
+  evit4_.ffn = std::make_unique<MbConv>(w[3], w[3], config.expand, 1, rng);
+  // Multi-scale head at H/8.
+  head_conv_ = std::make_unique<Conv2d>(w[2] + w[3], config.head_dim, 1, 1, 0,
+                                        rng);
+  head_conv_->set_po2_output(true);  // HSWISH pwl consumes the head features
+  classifier_ = std::make_unique<Conv2d>(config.head_dim, config.num_classes,
+                                         1, 1, 0, rng);
+}
+
+namespace {
+
+Tensor concat_maps(const Tensor& a, const Tensor& b) {
+  GQA_EXPECTS(a.shape()[1] == b.shape()[1] && a.shape()[2] == b.shape()[2]);
+  const int ca = a.shape()[0];
+  const int cb = b.shape()[0];
+  const int h = a.shape()[1];
+  const int w = a.shape()[2];
+  Tensor y(Shape{ca + cb, h, w});
+  for (int c = 0; c < ca; ++c)
+    for (int yy = 0; yy < h; ++yy)
+      for (int xx = 0; xx < w; ++xx) y.at(c, yy, xx) = a.at(c, yy, xx);
+  for (int c = 0; c < cb; ++c)
+    for (int yy = 0; yy < h; ++yy)
+      for (int xx = 0; xx < w; ++xx) y.at(ca + c, yy, xx) = b.at(c, yy, xx);
+  return y;
+}
+
+}  // namespace
+
+Tensor EfficientViTB0Like::penultimate_fp(const Tensor& image) const {
+  Tensor x = stem_act_.forward_fp(stem_->forward_fp(image));
+  x = stage1_->forward_fp(x);
+  x = stage2_->forward_fp(x);
+  x = stage3_->forward_fp(x);
+  {
+    const Tensor a = attn_tokens(
+        [this](const Tensor& t) { return evit3_.attn->forward_fp(t); }, x);
+    x = evit3_.add.forward_fp(x, a);
+    x = evit3_.ffn->forward_fp(x);
+  }
+  const Tensor f3 = x;
+  x = stage4_->forward_fp(x);
+  {
+    const Tensor a = attn_tokens(
+        [this](const Tensor& t) { return evit4_.attn->forward_fp(t); }, x);
+    x = evit4_.add.forward_fp(x, a);
+    x = evit4_.ffn->forward_fp(x);
+  }
+  const Tensor fused = concat_maps(f3, upsample2x(x));
+  const Tensor feat = head_act_.forward_fp(head_conv_->forward_fp(fused));
+  return to_tokens(feat);
+}
+
+Tensor EfficientViTB0Like::forward_fp(const Tensor& image) const {
+  const Tensor tokens = penultimate_fp(image);
+  const int side = config_.image_size / 8;
+  return classifier_->forward_fp(from_tokens(tokens, side, side));
+}
+
+void EfficientViTB0Like::train_classifier(
+    const std::vector<Tensor>& images,
+    const std::vector<std::vector<int>>& eighth_labels, int epochs,
+    double learning_rate) {
+  GQA_EXPECTS(images.size() == eighth_labels.size() && !images.empty());
+  std::vector<Tensor> features;
+  features.reserve(images.size());
+  for (const Tensor& image : images) features.push_back(penultimate_fp(image));
+  // A 1x1 conv classifier is a per-pixel linear map; its weight layout
+  // {classes, dim, 1, 1} matches the probe's row-major {classes, dim}.
+  (void)train_softmax_probe(
+      features, eighth_labels, config_.num_classes,
+      std::span<float>(classifier_->weights().data()),
+      std::span<float>(classifier_->bias().data()), epochs, learning_rate,
+      config_.seed ^ 0x7EA1);
+}
+
+void EfficientViTB0Like::calibrate(const Tensor& image) {
+  input_obs_.observe(std::span<const float>(image.data()));
+  Tensor x = stem_act_.calibrate(stem_->calibrate(image));
+  x = stage1_->calibrate(x);
+  x = stage2_->calibrate(x);
+  x = stage3_->calibrate(x);
+  {
+    const Tensor a = attn_tokens(
+        [this](const Tensor& t) { return evit3_.attn->calibrate(t); }, x);
+    x = evit3_.add.calibrate(x, a);
+    x = evit3_.ffn->calibrate(x);
+  }
+  const Tensor f3 = x;
+  fuse_obs_.observe(std::span<const float>(f3.data()));
+  x = stage4_->calibrate(x);
+  {
+    const Tensor a = attn_tokens(
+        [this](const Tensor& t) { return evit4_.attn->calibrate(t); }, x);
+    x = evit4_.add.calibrate(x, a);
+    x = evit4_.ffn->calibrate(x);
+  }
+  fuse_obs_.observe(std::span<const float>(x.data()));
+  const Tensor fused = concat_maps(f3, upsample2x(x));
+  (void)classifier_->calibrate(
+      head_act_.calibrate(head_conv_->calibrate(fused)));
+}
+
+void EfficientViTB0Like::freeze() {
+  GQA_EXPECTS_MSG(!input_obs_.empty(), "freeze() requires prior calibration");
+  const QuantPolicy policy;
+  input_qp_ = input_obs_.make_po2(policy.act_bits);
+  QuantParams qp = stem_->freeze(input_qp_, policy);
+  qp = stem_act_.freeze(qp, policy);
+  qp = stage1_->freeze(qp, policy);
+  qp = stage2_->freeze(qp, policy);
+  qp = stage3_->freeze(qp, policy);
+  {
+    const QuantParams a_qp = evit3_.attn->freeze(qp, policy);
+    qp = evit3_.add.freeze(qp, a_qp, policy);
+    qp = evit3_.ffn->freeze(qp, policy);
+  }
+  const QuantParams f3_qp = qp;
+  qp = stage4_->freeze(qp, policy);
+  {
+    const QuantParams a_qp = evit4_.attn->freeze(qp, policy);
+    qp = evit4_.add.freeze(qp, a_qp, policy);
+    qp = evit4_.ffn->freeze(qp, policy);
+  }
+  // Concat requantization onto a shared scale.
+  fuse_qp_ = fuse_obs_.make_params(policy.act_bits);
+  rq_f3_ = Requantizer(f3_qp.scale, fuse_qp_);
+  rq_f4_ = Requantizer(qp.scale, fuse_qp_);
+  qp = head_conv_->freeze(fuse_qp_, policy);
+  qp = head_act_.freeze(qp, policy);
+  (void)classifier_->freeze(qp, policy);
+  frozen_ = true;
+}
+
+QTensor EfficientViTB0Like::forward_int(const Tensor& image,
+                                        const NonlinearProvider& nl) const {
+  GQA_EXPECTS_MSG(frozen_, "forward_int() requires freeze()");
+  QTensor x = QTensor::quantize(image, input_qp_);
+  x = stem_act_.forward_int(stem_->forward_int(x), nl);
+  x = stage1_->forward_int(x, nl);
+  x = stage2_->forward_int(x, nl);
+  x = stage3_->forward_int(x, nl);
+  {
+    const QTensor a = attn_tokens(
+        [this, &nl](const QTensor& t) { return evit3_.attn->forward_int(t, nl); },
+        x);
+    x = evit3_.add.forward_int(x, a);
+    x = evit3_.ffn->forward_int(x, nl);
+  }
+  const QTensor f3 = x;
+  x = stage4_->forward_int(x, nl);
+  {
+    const QTensor a = attn_tokens(
+        [this, &nl](const QTensor& t) { return evit4_.attn->forward_int(t, nl); },
+        x);
+    x = evit4_.add.forward_int(x, a);
+    x = evit4_.ffn->forward_int(x, nl);
+  }
+  // Integer concat on the shared fuse scale.
+  const QTensor f4_up = upsample2x(x);
+  const int h = f3.shape()[1];
+  const int w = f3.shape()[2];
+  const int c3 = f3.shape()[0];
+  const int c4 = f4_up.shape()[0];
+  QTensor fused(Shape{c3 + c4, h, w}, fuse_qp_);
+  for (int c = 0; c < c3; ++c)
+    for (int yy = 0; yy < h; ++yy)
+      for (int xx = 0; xx < w; ++xx)
+        fused.at(c, yy, xx) =
+            static_cast<std::int32_t>(rq_f3_.apply(f3.at(c, yy, xx)));
+  for (int c = 0; c < c4; ++c)
+    for (int yy = 0; yy < h; ++yy)
+      for (int xx = 0; xx < w; ++xx)
+        fused.at(c3 + c, yy, xx) =
+            static_cast<std::int32_t>(rq_f4_.apply(f4_up.at(c, yy, xx)));
+  QTensor feat = head_act_.forward_int(head_conv_->forward_int(fused), nl);
+  return classifier_->forward_int(feat);
+}
+
+}  // namespace gqa::tfm

@@ -1,0 +1,317 @@
+#include "tfm/models/segformer.h"
+
+#include <cmath>
+
+#include "tfm/probe.h"
+#include "util/contracts.h"
+
+namespace gqa::tfm {
+
+namespace {
+
+/// Nearest-neighbour upsample of a {C,h,w} map to {C,H,W} (integer-exact:
+/// codes are replicated, scales unchanged).
+template <typename T>
+T upsample_nearest(const T& x, int out_h, int out_w) {
+  const int c = x.shape()[0];
+  const int h = x.shape()[1];
+  const int w = x.shape()[2];
+  T y = [&] {
+    if constexpr (std::is_same_v<T, QTensor>) {
+      return QTensor(Shape{c, out_h, out_w}, x.params());
+    } else {
+      return Tensor(Shape{c, out_h, out_w});
+    }
+  }();
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oy = 0; oy < out_h; ++oy) {
+      const int iy = oy * h / out_h;
+      for (int ox = 0; ox < out_w; ++ox) {
+        const int ix = ox * w / out_w;
+        y.at(ch, oy, ox) = x.at(ch, iy, ix);
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+SegformerB0Like::SegformerB0Like(const SegformerConfig& config)
+    : config_(config) {
+  GQA_EXPECTS(config.dims.size() == 4 && config.heads.size() == 4 &&
+              config.sr_ratios.size() == 4 && config.depths.size() == 4);
+  GQA_EXPECTS(config.image_size % 32 == 0 || config.image_size % 16 == 0);
+  Rng rng(config.seed);
+
+  int in_ch = config.in_channels;
+  for (int s = 0; s < 4; ++s) {
+    Stage stage;
+    const int dim = config.dims[static_cast<std::size_t>(s)];
+    // Overlapped patch embedding: 7x7 stride 4 for stage 0, 3x3 stride 2
+    // afterwards (Segformer design).
+    if (s == 0) {
+      stage.patch_embed = std::make_unique<Conv2d>(in_ch, dim, 7, 4, 3, rng);
+    } else {
+      stage.patch_embed = std::make_unique<Conv2d>(in_ch, dim, 3, 2, 1, rng);
+    }
+    stage.embed_norm = std::make_unique<LayerNorm>(dim, rng);
+    for (int b = 0; b < config.depths[static_cast<std::size_t>(s)]; ++b) {
+      Block block;
+      block.ln1 = std::make_unique<LayerNorm>(dim, rng);
+      block.attn = std::make_unique<AttentionSR>(
+          dim, config.heads[static_cast<std::size_t>(s)],
+          config.sr_ratios[static_cast<std::size_t>(s)], rng);
+      block.ln2 = std::make_unique<LayerNorm>(dim, rng);
+      block.ffn = std::make_unique<MixFfn>(dim, dim * config.mlp_ratio, rng);
+      stage.blocks.push_back(std::move(block));
+    }
+    stage.out_norm = std::make_unique<LayerNorm>(dim, rng);
+    stages_.push_back(std::move(stage));
+    in_ch = dim;
+  }
+
+  for (int s = 0; s < 4; ++s) {
+    head_linears_.push_back(std::make_unique<Linear>(
+        config.dims[static_cast<std::size_t>(s)], config.decoder_dim, rng));
+  }
+  head_fuse_ = std::make_unique<Linear>(4 * config.decoder_dim,
+                                        config.decoder_dim, rng);
+  head_classifier_ =
+      std::make_unique<Linear>(config.decoder_dim, config.num_classes, rng);
+  head_rq_.resize(4);
+}
+
+Tensor SegformerB0Like::penultimate_fp(const Tensor& image) const {
+  GQA_EXPECTS(image.shape().rank() == 3 &&
+              image.shape()[0] == config_.in_channels);
+  Tensor x = image;
+  std::vector<Tensor> features;
+  for (const Stage& stage : stages_) {
+    Tensor map = stage.patch_embed->forward_fp(x);
+    const int h = map.shape()[1];
+    const int w = map.shape()[2];
+    Tensor tokens = stage.embed_norm->forward_fp(to_tokens(map));
+    for (const Block& block : stage.blocks) {
+      Tensor a = block.attn->forward_fp(block.ln1->forward_fp(tokens), h, w);
+      tokens = block.add1.forward_fp(tokens, a);
+      Tensor f = block.ffn->forward_fp(block.ln2->forward_fp(tokens), h, w);
+      tokens = block.add2.forward_fp(tokens, f);
+    }
+    tokens = stage.out_norm->forward_fp(tokens);
+    x = from_tokens(tokens, h, w);
+    features.push_back(x);
+  }
+
+  // Decode head at 1/4 resolution.
+  const int oh = features[0].shape()[1];
+  const int ow = features[0].shape()[2];
+  Tensor fused(Shape{oh * ow, 4 * config_.decoder_dim});
+  for (int s = 0; s < 4; ++s) {
+    Tensor proj = head_linears_[static_cast<std::size_t>(s)]->forward_fp(
+        to_tokens(features[static_cast<std::size_t>(s)]));
+    Tensor up = upsample_nearest(
+        from_tokens(proj, features[static_cast<std::size_t>(s)].shape()[1],
+                    features[static_cast<std::size_t>(s)].shape()[2]),
+        oh, ow);
+    const Tensor up_tokens = to_tokens(up);
+    for (int i = 0; i < oh * ow; ++i) {
+      for (int d = 0; d < config_.decoder_dim; ++d) {
+        fused.at(i, s * config_.decoder_dim + d) = up_tokens.at(i, d);
+      }
+    }
+  }
+  Tensor y = head_fuse_->forward_fp(fused);
+  for (float& v : y.data()) v = std::max(v, 0.0F);  // head ReLU
+  return y;
+}
+
+Tensor SegformerB0Like::forward_fp(const Tensor& image) const {
+  const Tensor y = penultimate_fp(image);
+  const int side = config_.image_size / 4;
+  return from_tokens(head_classifier_->forward_fp(y), side, side);
+}
+
+void SegformerB0Like::train_classifier(
+    const std::vector<Tensor>& images,
+    const std::vector<std::vector<int>>& quarter_labels, int epochs,
+    double learning_rate) {
+  GQA_EXPECTS(images.size() == quarter_labels.size() && !images.empty());
+  std::vector<Tensor> features;
+  features.reserve(images.size());
+  for (const Tensor& image : images) features.push_back(penultimate_fp(image));
+  (void)train_softmax_probe(
+      features, quarter_labels, config_.num_classes,
+      std::span<float>(head_classifier_->weights().data()),
+      std::span<float>(head_classifier_->bias().data()), epochs, learning_rate,
+      config_.seed ^ 0x7EA1);
+}
+
+void SegformerB0Like::calibrate(const Tensor& image) {
+  input_obs_.observe(std::span<const float>(image.data()));
+  Tensor x = image;
+  std::vector<Tensor> features;
+  for (Stage& stage : stages_) {
+    Tensor map = stage.patch_embed->calibrate(x);
+    const int h = map.shape()[1];
+    const int w = map.shape()[2];
+    Tensor tokens = stage.embed_norm->calibrate(to_tokens(map));
+    for (Block& block : stage.blocks) {
+      Tensor a = block.attn->calibrate(block.ln1->calibrate(tokens), h, w);
+      tokens = block.add1.calibrate(tokens, a);
+      Tensor f = block.ffn->calibrate(block.ln2->calibrate(tokens), h, w);
+      tokens = block.add2.calibrate(tokens, f);
+    }
+    tokens = stage.out_norm->calibrate(tokens);
+    x = from_tokens(tokens, h, w);
+    features.push_back(x);
+  }
+
+  const int oh = features[0].shape()[1];
+  const int ow = features[0].shape()[2];
+  Tensor fused(Shape{oh * ow, 4 * config_.decoder_dim});
+  for (int s = 0; s < 4; ++s) {
+    Tensor proj = head_linears_[static_cast<std::size_t>(s)]->calibrate(
+        to_tokens(features[static_cast<std::size_t>(s)]));
+    head_obs_.observe(std::span<const float>(proj.data()));
+    Tensor up = upsample_nearest(
+        from_tokens(proj, features[static_cast<std::size_t>(s)].shape()[1],
+                    features[static_cast<std::size_t>(s)].shape()[2]),
+        oh, ow);
+    const Tensor up_tokens = to_tokens(up);
+    for (int i = 0; i < oh * ow; ++i) {
+      for (int d = 0; d < config_.decoder_dim; ++d) {
+        fused.at(i, s * config_.decoder_dim + d) = up_tokens.at(i, d);
+      }
+    }
+  }
+  Tensor y = head_fuse_->calibrate(fused);
+  for (float& v : y.data()) v = std::max(v, 0.0F);
+  (void)head_classifier_->calibrate(y);
+}
+
+void SegformerB0Like::freeze() {
+  GQA_EXPECTS_MSG(!input_obs_.empty(), "freeze() requires prior calibration");
+  const QuantPolicy policy;
+  input_qp_ = input_obs_.make_po2(policy.act_bits);
+  QuantParams qp = input_qp_;
+  std::vector<QuantParams> feature_qps;
+  for (Stage& stage : stages_) {
+    qp = stage.patch_embed->freeze(qp, policy);
+    qp = stage.embed_norm->freeze(qp, policy);
+    stage.token_qp = qp;
+    for (Block& block : stage.blocks) {
+      const QuantParams ln1_qp = block.ln1->freeze(qp, policy);
+      const QuantParams attn_qp = block.attn->freeze(ln1_qp, policy);
+      qp = block.add1.freeze(qp, attn_qp, policy);
+      const QuantParams ln2_qp = block.ln2->freeze(qp, policy);
+      const QuantParams ffn_qp = block.ffn->freeze(ln2_qp, policy);
+      qp = block.add2.freeze(qp, ffn_qp, policy);
+    }
+    qp = stage.out_norm->freeze(qp, policy);
+    feature_qps.push_back(qp);
+  }
+
+  const QuantPolicy policy_head;
+  head_qp_ = head_obs_.make_po2(policy_head.act_bits);
+  QuantParams fused_qp = head_qp_;
+  for (int s = 0; s < 4; ++s) {
+    const QuantParams proj_qp = head_linears_[static_cast<std::size_t>(s)]
+                                    ->freeze(feature_qps[static_cast<std::size_t>(s)],
+                                             policy_head);
+    head_rq_[static_cast<std::size_t>(s)] =
+        Requantizer(proj_qp.scale, head_qp_);
+  }
+  QuantParams y_qp = head_fuse_->freeze(fused_qp, policy_head);
+  (void)head_classifier_->freeze(y_qp, policy_head);
+  frozen_ = true;
+}
+
+QTensor SegformerB0Like::forward_int(const Tensor& image,
+                                     const NonlinearProvider& nl) const {
+  GQA_EXPECTS_MSG(frozen_, "forward_int() requires freeze()");
+  QTensor x = QTensor::quantize(image, input_qp_);
+  std::vector<QTensor> features;
+  for (const Stage& stage : stages_) {
+    QTensor map = stage.patch_embed->forward_int(x);
+    const int h = map.shape()[1];
+    const int w = map.shape()[2];
+    QTensor tokens = stage.embed_norm->forward_int(to_tokens(map), nl);
+    for (const Block& block : stage.blocks) {
+      QTensor a = block.attn->forward_int(block.ln1->forward_int(tokens, nl),
+                                          h, w, nl);
+      tokens = block.add1.forward_int(tokens, a);
+      QTensor f = block.ffn->forward_int(block.ln2->forward_int(tokens, nl),
+                                         h, w, nl);
+      tokens = block.add2.forward_int(tokens, f);
+    }
+    tokens = stage.out_norm->forward_int(tokens, nl);
+    x = from_tokens(tokens, h, w);
+    features.push_back(x);
+  }
+
+  const int oh = features[0].shape()[1];
+  const int ow = features[0].shape()[2];
+  QTensor fused(Shape{oh * ow, 4 * config_.decoder_dim}, head_qp_);
+  for (int s = 0; s < 4; ++s) {
+    QTensor proj = head_linears_[static_cast<std::size_t>(s)]->forward_int(
+        to_tokens(features[static_cast<std::size_t>(s)]));
+    // Requantize onto the common head scale, then upsample codes.
+    QTensor aligned(proj.shape(), head_qp_);
+    for (std::size_t i = 0; i < proj.data().size(); ++i) {
+      aligned.data()[i] = static_cast<std::int32_t>(
+          head_rq_[static_cast<std::size_t>(s)].apply(proj.data()[i]));
+    }
+    QTensor up = upsample_nearest(
+        from_tokens(aligned, features[static_cast<std::size_t>(s)].shape()[1],
+                    features[static_cast<std::size_t>(s)].shape()[2]),
+        oh, ow);
+    const QTensor up_tokens = to_tokens(up);
+    for (int i = 0; i < oh * ow; ++i) {
+      for (int d = 0; d < config_.decoder_dim; ++d) {
+        fused.at(i, s * config_.decoder_dim + d) = up_tokens.at(i, d);
+      }
+    }
+  }
+  QTensor y = head_fuse_->forward_int(fused);
+  for (std::int32_t& v : y.data()) v = std::max(v, 0);  // integer ReLU
+  return from_tokens(head_classifier_->forward_int(y), oh, ow);
+}
+
+std::vector<int> SegformerB0Like::argmax_labels(const Tensor& logits) {
+  GQA_EXPECTS(logits.shape().rank() == 3);
+  const int c = logits.shape()[0];
+  const int h = logits.shape()[1];
+  const int w = logits.shape()[2];
+  std::vector<int> labels(static_cast<std::size_t>(h) * w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int best = 0;
+      for (int ch = 1; ch < c; ++ch) {
+        if (logits.at(ch, y, x) > logits.at(best, y, x)) best = ch;
+      }
+      labels[static_cast<std::size_t>(y) * w + x] = best;
+    }
+  }
+  return labels;
+}
+
+std::vector<int> SegformerB0Like::argmax_labels(const QTensor& logits) {
+  GQA_EXPECTS(logits.shape().rank() == 3);
+  const int c = logits.shape()[0];
+  const int h = logits.shape()[1];
+  const int w = logits.shape()[2];
+  std::vector<int> labels(static_cast<std::size_t>(h) * w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int best = 0;
+      for (int ch = 1; ch < c; ++ch) {
+        if (logits.at(ch, y, x) > logits.at(best, y, x)) best = ch;
+      }
+      labels[static_cast<std::size_t>(y) * w + x] = best;
+    }
+  }
+  return labels;
+}
+
+}  // namespace gqa::tfm

@@ -1,0 +1,817 @@
+#include "tfm/modules.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/nonlinear.h"
+#include "numerics/rounding.h"
+#include "util/contracts.h"
+
+namespace gqa::tfm {
+
+namespace {
+
+/// Symmetric per-tensor weight quantization to INT8 codes.
+double quantize_weights(const Tensor& w, std::vector<std::int8_t>& codes) {
+  const double scale = std::max(w.amax(), 1e-8) / 127.0;
+  codes.resize(w.data().size());
+  for (std::size_t i = 0; i < w.data().size(); ++i) {
+    codes[i] = static_cast<std::int8_t>(saturate(
+        round_to_int(static_cast<double>(w.data()[i]) / scale), 8, true));
+  }
+  return scale;
+}
+
+std::vector<std::int32_t> quantize_bias(const Tensor& b, double acc_scale) {
+  std::vector<std::int32_t> codes(b.data().size());
+  for (std::size_t i = 0; i < b.data().size(); ++i) {
+    codes[i] = static_cast<std::int32_t>(saturate(
+        round_to_int(static_cast<double>(b.data()[i]) / acc_scale), 31, true));
+  }
+  return codes;
+}
+
+int conv_out_size(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Linear ---
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_(in_features), out_(out_features) {
+  GQA_EXPECTS(in_features >= 1 && out_features >= 1);
+  const double std = std::sqrt(2.0 / (in_features + out_features));
+  w_ = Tensor::randn(Shape{out_, in_}, rng, std);
+  b_ = Tensor::randn(Shape{out_}, rng, 0.02);
+}
+
+Tensor Linear::forward_fp(const Tensor& x) const {
+  GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == in_);
+  const int n = x.shape()[0];
+  Tensor y(Shape{n, out_});
+  for (int i = 0; i < n; ++i) {
+    for (int o = 0; o < out_; ++o) {
+      double acc = b_.at(o);
+      for (int k = 0; k < in_; ++k) acc += x.at(i, k) * w_.at(o, k);
+      y.at(i, o) = static_cast<float>(acc);
+    }
+  }
+  return y;
+}
+
+Tensor Linear::calibrate(const Tensor& x) {
+  Tensor y = forward_fp(x);
+  out_obs_.observe(std::span<const float>(y.data()));
+  return y;
+}
+
+QuantParams Linear::freeze(const QuantParams& in_qp,
+                           const QuantPolicy& policy) {
+  GQA_EXPECTS_MSG(!out_obs_.empty(), "freeze() requires prior calibration");
+  in_qp_ = in_qp;
+  w_scale_ = quantize_weights(w_, wq_);
+  const double acc_scale = in_qp.scale * w_scale_;
+  bq_ = quantize_bias(b_, acc_scale);
+  out_qp_ = po2_out_ ? out_obs_.make_po2(policy.act_bits)
+                     : out_obs_.make_params(policy.act_bits);
+  rq_ = Requantizer(acc_scale, out_qp_);
+  return out_qp_;
+}
+
+QTensor Linear::forward_int(const QTensor& x) const {
+  GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == in_);
+  GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
+  const int n = x.shape()[0];
+  QTensor y(Shape{n, out_}, out_qp_);
+  for (int i = 0; i < n; ++i) {
+    for (int o = 0; o < out_; ++o) {
+      std::int64_t acc = bq_[static_cast<std::size_t>(o)];
+      const std::size_t wrow = static_cast<std::size_t>(o) * in_;
+      for (int k = 0; k < in_; ++k) {
+        acc += static_cast<std::int64_t>(x.at(i, k)) * wq_[wrow + k];
+      }
+      y.at(i, o) = static_cast<std::int32_t>(rq_.apply(acc));
+    }
+  }
+  return y;
+}
+
+// --------------------------------------------------------------- Conv2d ---
+
+Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
+               Rng& rng, bool depthwise)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      depthwise_(depthwise) {
+  GQA_EXPECTS(in_ch >= 1 && out_ch >= 1 && kernel >= 1 && stride >= 1);
+  if (depthwise_) GQA_EXPECTS_MSG(in_ch == out_ch, "depthwise needs in==out");
+  const int fan_in = (depthwise_ ? 1 : in_ch) * kernel * kernel;
+  const double std = std::sqrt(2.0 / fan_in);
+  w_ = Tensor::randn(Shape{out_ch_, depthwise_ ? 1 : in_ch_, kernel_, kernel_},
+                     rng, std);
+  b_ = Tensor::randn(Shape{out_ch_}, rng, 0.02);
+}
+
+Tensor Conv2d::forward_fp(const Tensor& x) const {
+  GQA_EXPECTS(x.shape().rank() == 3 && x.shape()[0] == in_ch_);
+  const int h = x.shape()[1];
+  const int w = x.shape()[2];
+  const int oh = conv_out_size(h, kernel_, stride_, pad_);
+  const int ow = conv_out_size(w, kernel_, stride_, pad_);
+  Tensor y(Shape{out_ch_, oh, ow});
+  for (int oc = 0; oc < out_ch_; ++oc) {
+    const int ic_lo = depthwise_ ? oc : 0;
+    const int ic_hi = depthwise_ ? oc + 1 : in_ch_;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        double acc = b_.at(oc);
+        for (int ic = ic_lo; ic < ic_hi; ++ic) {
+          const int wc = depthwise_ ? 0 : ic;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ - pad_ + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ - pad_ + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += x.at(ic, iy, ix) * w_.at(oc, wc, ky, kx);
+            }
+          }
+        }
+        y.at(oc, oy, ox) = static_cast<float>(acc);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::calibrate(const Tensor& x) {
+  Tensor y = forward_fp(x);
+  out_obs_.observe(std::span<const float>(y.data()));
+  return y;
+}
+
+QuantParams Conv2d::freeze(const QuantParams& in_qp,
+                           const QuantPolicy& policy) {
+  GQA_EXPECTS_MSG(!out_obs_.empty(), "freeze() requires prior calibration");
+  in_qp_ = in_qp;
+  w_scale_ = quantize_weights(w_, wq_);
+  const double acc_scale = in_qp.scale * w_scale_;
+  bq_ = quantize_bias(b_, acc_scale);
+  out_qp_ = po2_out_ ? out_obs_.make_po2(policy.act_bits)
+                     : out_obs_.make_params(policy.act_bits);
+  rq_ = Requantizer(acc_scale, out_qp_);
+  return out_qp_;
+}
+
+QTensor Conv2d::forward_int(const QTensor& x) const {
+  GQA_EXPECTS(x.shape().rank() == 3 && x.shape()[0] == in_ch_);
+  GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
+  const int h = x.shape()[1];
+  const int w = x.shape()[2];
+  const int oh = conv_out_size(h, kernel_, stride_, pad_);
+  const int ow = conv_out_size(w, kernel_, stride_, pad_);
+  QTensor y(Shape{out_ch_, oh, ow}, out_qp_);
+  const std::size_t kk = static_cast<std::size_t>(kernel_) * kernel_;
+  const std::size_t per_oc = (depthwise_ ? 1 : static_cast<std::size_t>(in_ch_)) * kk;
+  for (int oc = 0; oc < out_ch_; ++oc) {
+    const int ic_lo = depthwise_ ? oc : 0;
+    const int ic_hi = depthwise_ ? oc + 1 : in_ch_;
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        std::int64_t acc = bq_[static_cast<std::size_t>(oc)];
+        for (int ic = ic_lo; ic < ic_hi; ++ic) {
+          const int wc = depthwise_ ? 0 : ic;
+          const std::size_t base =
+              static_cast<std::size_t>(oc) * per_oc + static_cast<std::size_t>(wc) * kk;
+          for (int ky = 0; ky < kernel_; ++ky) {
+            const int iy = oy * stride_ - pad_ + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int kx = 0; kx < kernel_; ++kx) {
+              const int ix = ox * stride_ - pad_ + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += static_cast<std::int64_t>(x.at(ic, iy, ix)) *
+                     wq_[base + static_cast<std::size_t>(ky) * kernel_ + kx];
+            }
+          }
+        }
+        y.at(oc, oy, ox) = static_cast<std::int32_t>(rq_.apply(acc));
+      }
+    }
+  }
+  return y;
+}
+
+// ------------------------------------------------------------ LayerNorm ---
+
+LayerNorm::LayerNorm(int dim, Rng& rng) : dim_(dim) {
+  GQA_EXPECTS(dim >= 2);
+  gamma_ = Tensor(Shape{dim_});
+  beta_ = Tensor(Shape{dim_});
+  for (int i = 0; i < dim_; ++i) {
+    gamma_.at(i) = static_cast<float>(1.0 + rng.normal(0.0, 0.05));
+    beta_.at(i) = static_cast<float>(rng.normal(0.0, 0.05));
+  }
+}
+
+Tensor LayerNorm::forward_fp(const Tensor& x) const {
+  GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == dim_);
+  const int n = x.shape()[0];
+  Tensor y(x.shape());
+  for (int i = 0; i < n; ++i) {
+    double mean = 0.0;
+    for (int d = 0; d < dim_; ++d) mean += x.at(i, d);
+    mean /= dim_;
+    double var = 0.0;
+    for (int d = 0; d < dim_; ++d) {
+      const double c = x.at(i, d) - mean;
+      var += c * c;
+    }
+    var /= dim_;
+    const double inv = 1.0 / std::sqrt(var + 1e-5);
+    for (int d = 0; d < dim_; ++d) {
+      y.at(i, d) = static_cast<float>((x.at(i, d) - mean) * inv * gamma_.at(d) +
+                                      beta_.at(d));
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::calibrate(const Tensor& x) {
+  Tensor y = forward_fp(x);
+  out_obs_.observe(std::span<const float>(y.data()));
+  return y;
+}
+
+QuantParams LayerNorm::freeze(const QuantParams& in_qp,
+                              const QuantPolicy& policy) {
+  GQA_EXPECTS_MSG(!out_obs_.empty(), "freeze() requires prior calibration");
+  in_qp_ = in_qp;
+  out_qp_ = out_obs_.make_params(policy.act_bits);
+  return out_qp_;
+}
+
+QTensor LayerNorm::forward_int(const QTensor& x,
+                               const NonlinearProvider& nl) const {
+  GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == dim_);
+  const int n = x.shape()[0];
+  QTensor y(x.shape(), out_qp_);
+  constexpr int kVarFrac = 8;  ///< fractional bits of the variance bus
+  for (int i = 0; i < n; ++i) {
+    // Exact integer moments via the D-scaled centering trick:
+    // c'_d = D·q_d − Σq  has value D·S·(x_d − μ), no mean rounding.
+    std::int64_t sum = 0;
+    for (int d = 0; d < dim_; ++d) sum += x.at(i, d);
+    // W = (Σ c'²)/D³ has value S²σ²·D⁰... normalized so that
+    // n_d = c'_d / (D·σ_q) with σ_q in code units; the quant scale cancels.
+    std::int64_t ssq = 0;  // Σ c'² / D, rounded — fits int64 for D ≤ 4096
+    std::int64_t raw = 0;
+    for (int d = 0; d < dim_; ++d) {
+      const std::int64_t c = static_cast<std::int64_t>(dim_) * x.at(i, d) - sum;
+      raw += c * c;
+    }
+    ssq = shift_round(raw, 0) / dim_;  // Σc'²/D, exact division remainder dropped
+    // Variance bus: W_code = (Σc'²/D) · 2^kVarFrac / D²  (value = σ_q²·D⁰·2^f)
+    const double var_codes =
+        static_cast<double>(ssq) / (static_cast<double>(dim_) * dim_);
+    std::int64_t w_code = std::max<std::int64_t>(
+        1, round_to_int(std::ldexp(var_codes, kVarFrac)));
+    // Power-of-4 pre-normalization into the RSQRT multi-range span
+    // [0.25, 16384): rsqrt(W) = 2^-t · rsqrt(W·2^-2t).
+    int t = 0;
+    while (std::ldexp(static_cast<double>(w_code), -kVarFrac - 2 * t) >=
+           16384.0) {
+      ++t;
+    }
+    const std::int64_t w_shifted = shift_round(w_code, 2 * t);
+    const double inv_sigma_q =
+        std::ldexp(nl.rsqrt_fxp(std::max<std::int64_t>(1, w_shifted), kVarFrac),
+                   -t);
+    // n_d = c'_d/(D·σ_q); y = γ n + β quantized to the output scale.
+    for (int d = 0; d < dim_; ++d) {
+      const std::int64_t c = static_cast<std::int64_t>(dim_) * x.at(i, d) - sum;
+      const double norm = static_cast<double>(c) * inv_sigma_q / dim_;
+      const double val = gamma_.at(d) * norm + beta_.at(d);
+      y.at(i, d) = static_cast<std::int32_t>(out_qp_.quantize(val));
+    }
+  }
+  return y;
+}
+
+// -------------------------------------------------------------- Softmax ---
+
+Tensor Softmax::forward_fp(const Tensor& rows) {
+  GQA_EXPECTS(rows.shape().rank() == 2);
+  const int n = rows.shape()[0];
+  const int m = rows.shape()[1];
+  Tensor y(rows.shape());
+  for (int i = 0; i < n; ++i) {
+    double peak = rows.at(i, 0);
+    for (int j = 1; j < m; ++j) peak = std::max<double>(peak, rows.at(i, j));
+    double sum = 0.0;
+    for (int j = 0; j < m; ++j) {
+      const double e = std::exp(rows.at(i, j) - peak);
+      y.at(i, j) = static_cast<float>(e);
+      sum += e;
+    }
+    for (int j = 0; j < m; ++j) y.at(i, j) = static_cast<float>(y.at(i, j) / sum);
+  }
+  return y;
+}
+
+QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl) {
+  GQA_EXPECTS(rows.shape().rank() == 2);
+  GQA_EXPECTS_MSG(rows.params().scale_is_po2(),
+                  "Softmax input scale must be a power of two (§3.1)");
+  const int sx = rows.params().po2_exponent();
+  const int n = rows.shape()[0];
+  const int m = rows.shape()[1];
+  QTensor y(rows.shape(), prob_params());
+  // exp outputs are exact multiples of 2^(sx - λ); summing then encoding
+  // with frac = λ - sx keeps the DIV input bit-exact.
+  const int sum_frac = std::min(40, std::max(8, 12 - sx));
+  for (int i = 0; i < n; ++i) {
+    std::int32_t peak = rows.at(i, 0);
+    for (int j = 1; j < m; ++j) peak = std::max(peak, rows.at(i, j));
+    double sum = 0.0;
+    std::vector<double> exps(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) {
+      const std::int64_t d = static_cast<std::int64_t>(rows.at(i, j)) - peak;
+      const double e = nl.exp_code(d, sx);
+      exps[static_cast<std::size_t>(j)] = e;
+      sum += e;
+    }
+    const std::int64_t sum_code =
+        std::max<std::int64_t>(1, round_to_int(std::ldexp(sum, sum_frac)));
+    const double recip = nl.recip_fxp(sum_code, sum_frac);
+    for (int j = 0; j < m; ++j) {
+      const double p = exps[static_cast<std::size_t>(j)] * recip;
+      y.at(i, j) = static_cast<std::int32_t>(prob_params().quantize(p));
+    }
+  }
+  return y;
+}
+
+// ----------------------------------------------------------- Activation ---
+
+Tensor Activation::forward_fp(const Tensor& x) const {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    y.data()[i] =
+        static_cast<float>(eval_op(op_, static_cast<double>(x.data()[i])));
+  }
+  return y;
+}
+
+Tensor Activation::calibrate(const Tensor& x) {
+  Tensor y = forward_fp(x);
+  out_obs_.observe(std::span<const float>(y.data()));
+  return y;
+}
+
+QuantParams Activation::freeze(const QuantParams& in_qp,
+                               const QuantPolicy& policy) {
+  GQA_EXPECTS_MSG(!out_obs_.empty(), "freeze() requires prior calibration");
+  GQA_EXPECTS_MSG(in_qp.scale_is_po2(),
+                  "activation input scale must be a power of two (§3.1)");
+  in_qp_ = in_qp;
+  out_qp_ = out_obs_.make_params(policy.act_bits);
+  return out_qp_;
+}
+
+QTensor Activation::forward_int(const QTensor& x,
+                                const NonlinearProvider& nl) const {
+  GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
+  const int sx = x.params().po2_exponent();
+  QTensor y(x.shape(), out_qp_);
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    const double v = op_ == Op::kGelu ? nl.gelu_code(x.data()[i], sx)
+                                      : nl.hswish_code(x.data()[i], sx);
+    y.data()[i] = static_cast<std::int32_t>(out_qp_.quantize(v));
+  }
+  return y;
+}
+
+// ---------------------------------------------------------- ResidualAdd ---
+
+Tensor ResidualAdd::forward_fp(const Tensor& a, const Tensor& b) const {
+  GQA_EXPECTS(a.shape() == b.shape());
+  Tensor y(a.shape());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    y.data()[i] = a.data()[i] + b.data()[i];
+  }
+  return y;
+}
+
+Tensor ResidualAdd::calibrate(const Tensor& a, const Tensor& b) {
+  Tensor y = forward_fp(a, b);
+  out_obs_.observe(std::span<const float>(y.data()));
+  return y;
+}
+
+QuantParams ResidualAdd::freeze(const QuantParams& a_qp,
+                                const QuantParams& b_qp,
+                                const QuantPolicy& policy) {
+  GQA_EXPECTS_MSG(!out_obs_.empty(), "freeze() requires prior calibration");
+  out_qp_ = out_obs_.make_params(policy.act_bits);
+  rq_a_ = Requantizer(a_qp.scale, out_qp_);
+  rq_b_ = Requantizer(b_qp.scale, out_qp_);
+  return out_qp_;
+}
+
+QTensor ResidualAdd::forward_int(const QTensor& a, const QTensor& b) const {
+  GQA_EXPECTS(a.shape() == b.shape());
+  QTensor y(a.shape(), out_qp_);
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const std::int64_t v = rq_a_.apply(a.data()[i]) + rq_b_.apply(b.data()[i]);
+    y.data()[i] = static_cast<std::int32_t>(
+        saturate(v, out_qp_.bits, out_qp_.is_signed));
+  }
+  return y;
+}
+
+// ---------------------------------------------------------- AttentionSR ---
+
+AttentionSR::AttentionSR(int dim, int heads, int sr_ratio, Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      sr_(sr_ratio),
+      q_lin_(dim, dim, rng),
+      k_lin_(dim, dim, rng),
+      v_lin_(dim, dim, rng),
+      proj_(dim, dim, rng) {
+  GQA_EXPECTS(dim % heads == 0);
+  GQA_EXPECTS(sr_ratio >= 1);
+  if (sr_ > 1) {
+    sr_conv_ = std::make_unique<Conv2d>(dim, dim, sr_, sr_, 0, rng);
+  }
+}
+
+namespace {
+
+/// Head-sliced score computation: scores[i,j] = q_i · k_j / sqrt(dh).
+Tensor head_scores(const Tensor& q, const Tensor& k, int head, int dh) {
+  const int n = q.shape()[0];
+  const int m = k.shape()[0];
+  const double inv = 1.0 / std::sqrt(static_cast<double>(dh));
+  Tensor s(Shape{n, m});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (int d = 0; d < dh; ++d) {
+        acc += q.at(i, head * dh + d) * k.at(j, head * dh + d);
+      }
+      s.at(i, j) = static_cast<float>(acc * inv);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Tensor AttentionSR::forward_fp(const Tensor& tokens, int h, int w) const {
+  const Tensor q = q_lin_.forward_fp(tokens);
+  Tensor kv_src = tokens;
+  if (sr_conv_) {
+    kv_src = to_tokens(sr_conv_->forward_fp(from_tokens(tokens, h, w)));
+  }
+  const Tensor k = k_lin_.forward_fp(kv_src);
+  const Tensor v = v_lin_.forward_fp(kv_src);
+  const int n = tokens.shape()[0];
+  const int dh = dim_ / heads_;
+  Tensor ctx(Shape{n, dim_});
+  for (int head = 0; head < heads_; ++head) {
+    const Tensor probs = Softmax::forward_fp(head_scores(q, k, head, dh));
+    const int m = probs.shape()[1];
+    for (int i = 0; i < n; ++i) {
+      for (int d = 0; d < dh; ++d) {
+        double acc = 0.0;
+        for (int j = 0; j < m; ++j) acc += probs.at(i, j) * v.at(j, head * dh + d);
+        ctx.at(i, head * dh + d) = static_cast<float>(acc);
+      }
+    }
+  }
+  return proj_.forward_fp(ctx);
+}
+
+Tensor AttentionSR::calibrate(const Tensor& tokens, int h, int w) {
+  const Tensor q = q_lin_.calibrate(tokens);
+  Tensor kv_src = tokens;
+  if (sr_conv_) {
+    kv_src = to_tokens(sr_conv_->calibrate(from_tokens(tokens, h, w)));
+  }
+  const Tensor k = k_lin_.calibrate(kv_src);
+  const Tensor v = v_lin_.calibrate(kv_src);
+  const int n = tokens.shape()[0];
+  const int dh = dim_ / heads_;
+  Tensor ctx(Shape{n, dim_});
+  for (int head = 0; head < heads_; ++head) {
+    Tensor scores = head_scores(q, k, head, dh);
+    score_obs_.observe(std::span<const float>(scores.data()));
+    const Tensor probs = Softmax::forward_fp(scores);
+    const int m = probs.shape()[1];
+    for (int i = 0; i < n; ++i) {
+      for (int d = 0; d < dh; ++d) {
+        double acc = 0.0;
+        for (int j = 0; j < m; ++j) acc += probs.at(i, j) * v.at(j, head * dh + d);
+        ctx.at(i, head * dh + d) = static_cast<float>(acc);
+      }
+    }
+  }
+  attn_obs_.observe(std::span<const float>(ctx.data()));
+  return proj_.calibrate(ctx);
+}
+
+QuantParams AttentionSR::freeze(const QuantParams& in_qp,
+                                const QuantPolicy& policy) {
+  const QuantParams q_qp = q_lin_.freeze(in_qp, policy);
+  QuantParams kv_in = in_qp;
+  if (sr_conv_) kv_in = sr_conv_->freeze(in_qp, policy);
+  const QuantParams k_qp = k_lin_.freeze(kv_in, policy);
+  const QuantParams v_qp = v_lin_.freeze(kv_in, policy);
+
+  // Scores: accumulator scale Sq·Sk with the 1/sqrt(dh) factor folded into
+  // the dyadic requantizer; the Softmax input scale must be po2 (§4.2).
+  score_qp_ = score_obs_.make_po2(policy.act_bits);
+  const int dh = dim_ / heads_;
+  rq_score_ = Requantizer(q_qp.scale * k_qp.scale / std::sqrt(static_cast<double>(dh)),
+                          score_qp_);
+
+  attn_qp_ = attn_obs_.make_params(policy.act_bits);
+  rq_attn_ = Requantizer(Softmax::prob_params().scale * v_qp.scale, attn_qp_);
+  return proj_.freeze(attn_qp_, policy);
+}
+
+QTensor AttentionSR::forward_int(const QTensor& tokens, int h, int w,
+                                 const NonlinearProvider& nl) const {
+  const QTensor q = q_lin_.forward_int(tokens);
+  QTensor kv_src = tokens;
+  if (sr_conv_) {
+    kv_src = to_tokens(sr_conv_->forward_int(from_tokens(tokens, h, w)));
+  }
+  const QTensor k = k_lin_.forward_int(kv_src);
+  const QTensor v = v_lin_.forward_int(kv_src);
+  const int n = tokens.shape()[0];
+  const int m = kv_src.shape()[0];
+  const int dh = dim_ / heads_;
+  QTensor ctx(Shape{n, dim_}, attn_qp_);
+  for (int head = 0; head < heads_; ++head) {
+    // Integer scores + requant to the po2 Softmax input scale.
+    QTensor scores(Shape{n, m}, score_qp_);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        std::int64_t acc = 0;
+        for (int d = 0; d < dh; ++d) {
+          acc += static_cast<std::int64_t>(q.at(i, head * dh + d)) *
+                 k.at(j, head * dh + d);
+        }
+        scores.at(i, j) = static_cast<std::int32_t>(rq_score_.apply(acc));
+      }
+    }
+    const QTensor probs = Softmax::forward_int(scores, nl);
+    for (int i = 0; i < n; ++i) {
+      for (int d = 0; d < dh; ++d) {
+        std::int64_t acc = 0;
+        for (int j = 0; j < m; ++j) {
+          acc += static_cast<std::int64_t>(probs.at(i, j)) *
+                 v.at(j, head * dh + d);
+        }
+        ctx.at(i, head * dh + d) = static_cast<std::int32_t>(rq_attn_.apply(acc));
+      }
+    }
+  }
+  return proj_.forward_int(ctx);
+}
+
+// ------------------------------------------------------ LinearAttention ---
+
+LinearAttention::LinearAttention(int dim, Rng& rng)
+    : dim_(dim),
+      q_lin_(dim, dim, rng),
+      k_lin_(dim, dim, rng),
+      v_lin_(dim, dim, rng),
+      proj_(dim, dim, rng) {}
+
+namespace {
+
+double relu(double x) { return x > 0.0 ? x : 0.0; }
+
+}  // namespace
+
+Tensor LinearAttention::forward_fp(const Tensor& tokens) const {
+  const Tensor q = q_lin_.forward_fp(tokens);
+  const Tensor k = k_lin_.forward_fp(tokens);
+  const Tensor v = v_lin_.forward_fp(tokens);
+  const int n = tokens.shape()[0];
+  // kv[c][d] = Σ_n relu(k)·v ; z[c] = Σ_n relu(k).
+  Tensor kv(Shape{dim_, dim_});
+  Tensor z(Shape{dim_});
+  for (int j = 0; j < n; ++j) {
+    for (int c = 0; c < dim_; ++c) {
+      const double kc = relu(k.at(j, c));
+      if (kc == 0.0) continue;
+      z.at(c) += static_cast<float>(kc);
+      for (int d = 0; d < dim_; ++d) kv.at(c, d) += static_cast<float>(kc * v.at(j, d));
+    }
+  }
+  Tensor out(Shape{n, dim_});
+  for (int i = 0; i < n; ++i) {
+    double den = 1e-6;
+    for (int c = 0; c < dim_; ++c) den += relu(q.at(i, c)) * z.at(c);
+    const double inv = 1.0 / den;
+    for (int d = 0; d < dim_; ++d) {
+      double num = 0.0;
+      for (int c = 0; c < dim_; ++c) num += relu(q.at(i, c)) * kv.at(c, d);
+      out.at(i, d) = static_cast<float>(num * inv);
+    }
+  }
+  return proj_.forward_fp(out);
+}
+
+Tensor LinearAttention::calibrate(const Tensor& tokens) {
+  const Tensor q = q_lin_.calibrate(tokens);
+  const Tensor k = k_lin_.calibrate(tokens);
+  const Tensor v = v_lin_.calibrate(tokens);
+  const int n = tokens.shape()[0];
+  Tensor kv(Shape{dim_, dim_});
+  Tensor z(Shape{dim_});
+  for (int j = 0; j < n; ++j) {
+    for (int c = 0; c < dim_; ++c) {
+      const double kc = relu(k.at(j, c));
+      if (kc == 0.0) continue;
+      z.at(c) += static_cast<float>(kc);
+      for (int d = 0; d < dim_; ++d) kv.at(c, d) += static_cast<float>(kc * v.at(j, d));
+    }
+  }
+  Tensor out(Shape{n, dim_});
+  for (int i = 0; i < n; ++i) {
+    double den = 1e-6;
+    for (int c = 0; c < dim_; ++c) den += relu(q.at(i, c)) * z.at(c);
+    den_obs_.observe(den);
+    const double inv = 1.0 / den;
+    for (int d = 0; d < dim_; ++d) {
+      double num = 0.0;
+      for (int c = 0; c < dim_; ++c) num += relu(q.at(i, c)) * kv.at(c, d);
+      out.at(i, d) = static_cast<float>(num * inv);
+    }
+  }
+  out_obs_.observe(std::span<const float>(out.data()));
+  return proj_.calibrate(out);
+}
+
+QuantParams LinearAttention::freeze(const QuantParams& in_qp,
+                                    const QuantPolicy& policy) {
+  const QuantParams q_qp = q_lin_.freeze(in_qp, policy);
+  (void)k_lin_.freeze(in_qp, policy);
+  (void)v_lin_.freeze(in_qp, policy);
+  (void)q_qp;
+  // Pre-scale the denominator into the DIV multi-range span [0.5, 256):
+  // recip(x) = 2^g · recip(x·2^g), exact for power-of-two g.
+  const double den_peak = std::max(den_obs_.max(), 1e-6);
+  den_prescale_exp_ = -std::max(0, nearest_po2_exponent(den_peak) - 6);
+  out_qp_ = out_obs_.make_params(policy.act_bits);
+  return proj_.freeze(out_qp_, policy);
+}
+
+QTensor LinearAttention::forward_int(const QTensor& tokens,
+                                     const NonlinearProvider& nl) const {
+  const QTensor q = q_lin_.forward_int(tokens);
+  const QTensor k = k_lin_.forward_int(tokens);
+  const QTensor v = v_lin_.forward_int(tokens);
+  const int n = tokens.shape()[0];
+  const double sq = q.params().scale;
+  const double sk = k.params().scale;
+  const double sv = v.params().scale;
+
+  // Integer relu is a clamp at zero (symmetric scales preserve zero).
+  std::vector<std::int64_t> kv(static_cast<std::size_t>(dim_) * dim_, 0);
+  std::vector<std::int64_t> z(static_cast<std::size_t>(dim_), 0);
+  for (int j = 0; j < n; ++j) {
+    for (int c = 0; c < dim_; ++c) {
+      const std::int64_t kc = std::max<std::int64_t>(0, k.at(j, c));
+      if (kc == 0) continue;
+      z[static_cast<std::size_t>(c)] += kc;
+      for (int d = 0; d < dim_; ++d) {
+        kv[static_cast<std::size_t>(c) * dim_ + d] += kc * v.at(j, d);
+      }
+    }
+  }
+
+  constexpr int kDenFrac = 16;
+  QTensor out(Shape{n, dim_}, out_qp_);
+  for (int i = 0; i < n; ++i) {
+    std::int64_t den_acc = 0;
+    for (int c = 0; c < dim_; ++c) {
+      den_acc += std::max<std::int64_t>(0, q.at(i, c)) *
+                 z[static_cast<std::size_t>(c)];
+    }
+    // den value = den_acc·Sq·Sk; pre-scaled by 2^g into the DIV span.
+    const double den_value = std::max(
+        1e-6, static_cast<double>(den_acc) * sq * sk);
+    const std::int64_t den_code = std::max<std::int64_t>(
+        1, round_to_int(std::ldexp(den_value, den_prescale_exp_ + kDenFrac)));
+    const double inv =
+        std::ldexp(nl.recip_fxp(den_code, kDenFrac), den_prescale_exp_);
+    for (int d = 0; d < dim_; ++d) {
+      std::int64_t num_acc = 0;
+      for (int c = 0; c < dim_; ++c) {
+        num_acc += std::max<std::int64_t>(0, q.at(i, c)) *
+                   kv[static_cast<std::size_t>(c) * dim_ + d];
+      }
+      const double value = static_cast<double>(num_acc) * sq * sk * sv * inv;
+      out.at(i, d) = static_cast<std::int32_t>(out_qp_.quantize(value));
+    }
+  }
+  return proj_.forward_int(out);
+}
+
+// --------------------------------------------------------------- MixFfn ---
+
+MixFfn::MixFfn(int dim, int hidden, Rng& rng)
+    : fc1_(dim, hidden, rng),
+      fc2_(hidden, dim, rng),
+      dw_(hidden, hidden, 3, 1, 1, rng, /*depthwise=*/true),
+      act_(Op::kGelu) {
+  dw_.set_po2_output(true);  // GELU pwl consumes the dwconv output
+}
+
+Tensor MixFfn::forward_fp(const Tensor& tokens, int h, int w) const {
+  Tensor x = fc1_.forward_fp(tokens);
+  x = to_tokens(dw_.forward_fp(from_tokens(x, h, w)));
+  x = act_.forward_fp(x);
+  return fc2_.forward_fp(x);
+}
+
+Tensor MixFfn::calibrate(const Tensor& tokens, int h, int w) {
+  Tensor x = fc1_.calibrate(tokens);
+  x = to_tokens(dw_.calibrate(from_tokens(x, h, w)));
+  x = act_.calibrate(x);
+  return fc2_.calibrate(x);
+}
+
+QuantParams MixFfn::freeze(const QuantParams& in_qp,
+                           const QuantPolicy& policy) {
+  QuantParams qp = fc1_.freeze(in_qp, policy);
+  qp = dw_.freeze(qp, policy);
+  qp = act_.freeze(qp, policy);
+  return fc2_.freeze(qp, policy);
+}
+
+QTensor MixFfn::forward_int(const QTensor& tokens, int h, int w,
+                            const NonlinearProvider& nl) const {
+  QTensor x = fc1_.forward_int(tokens);
+  x = to_tokens(dw_.forward_int(from_tokens(x, h, w)));
+  x = act_.forward_int(x, nl);
+  return fc2_.forward_int(x);
+}
+
+// --------------------------------------------------------------- MbConv ---
+
+MbConv::MbConv(int in_ch, int out_ch, int expand, int stride, Rng& rng)
+    : residual_(in_ch == out_ch && stride == 1),
+      expand_(in_ch, in_ch * expand, 1, 1, 0, rng),
+      dw_(in_ch * expand, in_ch * expand, 3, stride, 1, rng, /*depthwise=*/true),
+      project_(in_ch * expand, out_ch, 1, 1, 0, rng),
+      act1_(Op::kHswish),
+      act2_(Op::kHswish) {
+  expand_.set_po2_output(true);  // HSWISH pwl consumes both conv outputs
+  dw_.set_po2_output(true);
+}
+
+Tensor MbConv::forward_fp(const Tensor& x) const {
+  Tensor y = act1_.forward_fp(expand_.forward_fp(x));
+  y = act2_.forward_fp(dw_.forward_fp(y));
+  y = project_.forward_fp(y);
+  return residual_ ? add_.forward_fp(y, x) : y;
+}
+
+Tensor MbConv::calibrate(const Tensor& x) {
+  Tensor y = act1_.calibrate(expand_.calibrate(x));
+  y = act2_.calibrate(dw_.calibrate(y));
+  y = project_.calibrate(y);
+  return residual_ ? add_.calibrate(y, x) : y;
+}
+
+QuantParams MbConv::freeze(const QuantParams& in_qp,
+                           const QuantPolicy& policy) {
+  QuantParams qp = expand_.freeze(in_qp, policy);
+  qp = act1_.freeze(qp, policy);
+  qp = dw_.freeze(qp, policy);
+  qp = act2_.freeze(qp, policy);
+  qp = project_.freeze(qp, policy);
+  return residual_ ? add_.freeze(qp, in_qp, policy) : qp;
+}
+
+QTensor MbConv::forward_int(const QTensor& x,
+                            const NonlinearProvider& nl) const {
+  QTensor y = act1_.forward_int(expand_.forward_int(x), nl);
+  y = act2_.forward_int(dw_.forward_int(y), nl);
+  y = project_.forward_int(y);
+  return residual_ ? add_.forward_int(y, x) : y;
+}
+
+}  // namespace gqa::tfm

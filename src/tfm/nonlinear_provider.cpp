@@ -1,0 +1,84 @@
+#include "tfm/nonlinear_provider.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace gqa::tfm {
+
+NonlinearProvider NonlinearProvider::exact() { return NonlinearProvider{}; }
+
+NonlinearProvider NonlinearProvider::with_method(Method method,
+                                                 std::set<Op> replaced,
+                                                 int entries) {
+  NonlinearProvider p;
+  p.method_ = method;
+  p.replaced_ = std::move(replaced);
+  p.entries_ = entries;
+  FitOptions options;
+  options.entries = entries;
+  for (Op op : p.replaced_) {
+    p.approx_.emplace(op, Approximator::fit(op, method, options));
+  }
+  return p;
+}
+
+const IntPwlUnit& NonlinearProvider::unit_for(Op op, int scale_exp) const {
+  const auto key = std::make_pair(static_cast<int>(op), scale_exp);
+  const auto it = unit_cache_.find(key);
+  if (it != unit_cache_.end()) return it->second;
+  const Approximator& approx = approx_.at(op);
+  return unit_cache_.emplace(key, approx.make_unit(scale_exp)).first->second;
+}
+
+const MultiRangeUnit& NonlinearProvider::multirange_for(Op op) const {
+  const auto it = multirange_cache_.find(static_cast<int>(op));
+  if (it != multirange_cache_.end()) return it->second;
+  const Approximator& approx = approx_.at(op);
+  return multirange_cache_
+      .emplace(static_cast<int>(op), approx.make_multirange_unit())
+      .first->second;
+}
+
+double NonlinearProvider::act_code(Op op, std::int64_t q, int scale_exp) const {
+  if (!replaces(op)) {
+    return eval_op(op, std::ldexp(static_cast<double>(q), scale_exp));
+  }
+  const IntPwlUnit& unit = unit_for(op, scale_exp);
+  // Activation codes are INT8 by construction; saturate defensively to the
+  // unit's input bus (hardware behaviour for e.g. max-subtracted Softmax
+  // inputs that exceed the bus).
+  const std::int64_t bus = saturate(q, unit.table().input.bits,
+                                    unit.table().input.is_signed);
+  return unit.eval_real_from_code(bus);
+}
+
+double NonlinearProvider::exp_code(std::int64_t q, int scale_exp) const {
+  return act_code(Op::kExp, q, scale_exp);
+}
+
+double NonlinearProvider::gelu_code(std::int64_t q, int scale_exp) const {
+  return act_code(Op::kGelu, q, scale_exp);
+}
+
+double NonlinearProvider::hswish_code(std::int64_t q, int scale_exp) const {
+  return act_code(Op::kHswish, q, scale_exp);
+}
+
+double NonlinearProvider::recip_fxp(std::int64_t code, int frac) const {
+  GQA_EXPECTS_MSG(code > 0, "reciprocal input must be positive");
+  if (!replaces(Op::kDiv)) {
+    return 1.0 / std::ldexp(static_cast<double>(code), -frac);
+  }
+  return multirange_for(Op::kDiv).eval_fxp(code, frac);
+}
+
+double NonlinearProvider::rsqrt_fxp(std::int64_t code, int frac) const {
+  GQA_EXPECTS_MSG(code > 0, "rsqrt input must be positive");
+  if (!replaces(Op::kRsqrt)) {
+    return 1.0 / std::sqrt(std::ldexp(static_cast<double>(code), -frac));
+  }
+  return multirange_for(Op::kRsqrt).eval_fxp(code, frac);
+}
+
+}  // namespace gqa::tfm

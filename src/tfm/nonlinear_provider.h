@@ -1,0 +1,62 @@
+// Pluggable non-linearity backend for the quantized Transformer modules.
+//
+// The "None" baseline of Tables 4/5 computes every non-linear op exactly on
+// dequantized values; each replacement row swaps one (or all) op(s) for the
+// bit-accurate pwl kernels produced by a fitting method. The provider owns
+// the fitted approximators and a cache of per-scale hardware units.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/approximator.h"
+
+namespace gqa::tfm {
+
+class NonlinearProvider {
+ public:
+  /// Exact reference backend (the fine-tuning baseline "None").
+  [[nodiscard]] static NonlinearProvider exact();
+
+  /// pwl backend: `replaced` ops go through `method`-fitted kernels, all
+  /// other ops stay exact — reproducing the per-row replacements of
+  /// Tables 4/5. `entries` matches the paper's 8-entry deployment.
+  [[nodiscard]] static NonlinearProvider with_method(Method method,
+                                                    std::set<Op> replaced,
+                                                    int entries = 8);
+
+  [[nodiscard]] bool replaces(Op op) const { return replaced_.count(op) > 0; }
+
+  /// exp(S·q) for an integer code with S = 2^scale_exp (Softmax numerator).
+  [[nodiscard]] double exp_code(std::int64_t q, int scale_exp) const;
+
+  /// GELU(S·q) / HSWISH(S·q) for integer activation codes.
+  [[nodiscard]] double gelu_code(std::int64_t q, int scale_exp) const;
+  [[nodiscard]] double hswish_code(std::int64_t q, int scale_exp) const;
+
+  /// 1/x for a fixed-point value code·2^-frac (Softmax denominator,
+  /// linear-attention normalizer). Uses the Table 2 multi-range unit.
+  [[nodiscard]] double recip_fxp(std::int64_t code, int frac) const;
+
+  /// 1/sqrt(x) for a fixed-point value code·2^-frac (LayerNorm).
+  [[nodiscard]] double rsqrt_fxp(std::int64_t code, int frac) const;
+
+ private:
+  NonlinearProvider() = default;
+
+  [[nodiscard]] const IntPwlUnit& unit_for(Op op, int scale_exp) const;
+  [[nodiscard]] const MultiRangeUnit& multirange_for(Op op) const;
+  [[nodiscard]] double act_code(Op op, std::int64_t q, int scale_exp) const;
+
+  std::optional<Method> method_;  ///< nullopt = exact backend
+  std::set<Op> replaced_;
+  int entries_ = 8;
+  std::map<Op, Approximator> approx_;
+  // Unit caches are deployment artifacts, not logical state.
+  mutable std::map<std::pair<int, int>, IntPwlUnit> unit_cache_;
+  mutable std::map<int, MultiRangeUnit> multirange_cache_;
+};
+
+}  // namespace gqa::tfm

@@ -1,0 +1,91 @@
+#include "tfm/probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace gqa::tfm {
+
+double train_softmax_probe(const std::vector<Tensor>& features,
+                           const std::vector<std::vector<int>>& labels,
+                           int classes, std::span<float> weights,
+                           std::span<float> bias, int epochs,
+                           double learning_rate, std::uint64_t seed) {
+  GQA_EXPECTS(!features.empty());
+  GQA_EXPECTS(features.size() == labels.size());
+  GQA_EXPECTS(classes >= 2 && epochs >= 1 && learning_rate > 0.0);
+  const int dim = features.front().shape()[1];
+  GQA_EXPECTS(static_cast<int>(weights.size()) == classes * dim);
+  GQA_EXPECTS(static_cast<int>(bias.size()) == classes);
+
+  // Flatten (feature row, label) pairs.
+  struct Sample {
+    const Tensor* f;
+    int row;
+    int label;
+  };
+  std::vector<Sample> samples;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    GQA_EXPECTS(features[i].shape().rank() == 2 &&
+                features[i].shape()[1] == dim);
+    GQA_EXPECTS(labels[i].size() ==
+                static_cast<std::size_t>(features[i].shape()[0]));
+    for (int r = 0; r < features[i].shape()[0]; ++r) {
+      const int cls = labels[i][static_cast<std::size_t>(r)];
+      GQA_EXPECTS(cls >= 0 && cls < classes);
+      samples.push_back({&features[i], r, cls});
+    }
+  }
+
+  Rng rng(seed);
+  std::vector<double> logits(static_cast<std::size_t>(classes));
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double epoch_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    const double lr = learning_rate * (1.0 - 0.9 * epoch / epochs);
+    epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const Sample& s = samples[idx];
+      // Forward.
+      double peak = -1e300;
+      for (int c = 0; c < classes; ++c) {
+        double z = bias[static_cast<std::size_t>(c)];
+        const std::size_t wrow = static_cast<std::size_t>(c) * dim;
+        for (int d = 0; d < dim; ++d) {
+          z += static_cast<double>(weights[wrow + d]) * s.f->at(s.row, d);
+        }
+        logits[static_cast<std::size_t>(c)] = z;
+        peak = std::max(peak, z);
+      }
+      double denom = 0.0;
+      for (int c = 0; c < classes; ++c) {
+        logits[static_cast<std::size_t>(c)] =
+            std::exp(logits[static_cast<std::size_t>(c)] - peak);
+        denom += logits[static_cast<std::size_t>(c)];
+      }
+      epoch_loss -= std::log(
+          std::max(1e-12, logits[static_cast<std::size_t>(s.label)] / denom));
+      // SGD step: dL/dz_c = p_c - 1[c == y].
+      for (int c = 0; c < classes; ++c) {
+        const double p = logits[static_cast<std::size_t>(c)] / denom;
+        const double g = p - (c == s.label ? 1.0 : 0.0);
+        if (std::abs(g) < 1e-9) continue;
+        float* wrow = weights.data() + static_cast<std::size_t>(c) * dim;
+        for (int d = 0; d < dim; ++d) {
+          wrow[d] -= static_cast<float>(lr * g * s.f->at(s.row, d));
+        }
+        bias[static_cast<std::size_t>(c)] -= static_cast<float>(lr * g);
+      }
+    }
+    epoch_loss /= static_cast<double>(samples.size());
+  }
+  return epoch_loss;
+}
+
+}  // namespace gqa::tfm

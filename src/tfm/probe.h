@@ -1,0 +1,29 @@
+// Softmax linear-probe training for the segmentation classifiers.
+//
+// The paper fine-tunes whole models on Cityscapes; this reproduction
+// trains each model's final classifier on the synthetic labeled scenes
+// (frozen random backbone), which gives the decision margins needed for
+// the mIoU study while keeping the build self-contained (DESIGN.md §3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tfm/tensor.h"
+
+namespace gqa::tfm {
+
+/// Trains a `classes x dim (+bias)` softmax classifier with mini-batch SGD
+/// and cross-entropy on per-pixel features.
+///
+/// `features[i]` is a {N, dim} token matrix; `labels[i]` holds N class ids.
+/// `weights` is the row-major {classes, dim} parameter span; `bias` has
+/// `classes` entries. Returns the final average cross-entropy.
+double train_softmax_probe(const std::vector<Tensor>& features,
+                           const std::vector<std::vector<int>>& labels,
+                           int classes, std::span<float> weights,
+                           std::span<float> bias, int epochs,
+                           double learning_rate, std::uint64_t seed);
+
+}  // namespace gqa::tfm

@@ -1,0 +1,106 @@
+#include "tfm/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace gqa::tfm {
+
+std::string Shape::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += format("%d", dims[i]);
+  }
+  return out + "}";
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, double stddev) {
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+double Tensor::amax() const {
+  double peak = 0.0;
+  for (float v : data_) peak = std::max(peak, std::abs(static_cast<double>(v)));
+  return peak;
+}
+
+QTensor QTensor::quantize(const Tensor& values, const QuantParams& qp) {
+  QTensor q(values.shape(), qp);
+  for (std::size_t i = 0; i < values.data().size(); ++i) {
+    q.data_[i] = static_cast<std::int32_t>(
+        qp.quantize(static_cast<double>(values.data()[i])));
+  }
+  return q;
+}
+
+Tensor QTensor::dequantize() const {
+  Tensor t(shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    t.data()[i] = static_cast<float>(qp_.dequantize(data_[i]));
+  }
+  return t;
+}
+
+namespace {
+
+template <typename T>
+T tokens_impl(const T& chw) {
+  GQA_EXPECTS(chw.shape().rank() == 3);
+  const int c = chw.shape()[0];
+  const int h = chw.shape()[1];
+  const int w = chw.shape()[2];
+  T out = [&] {
+    if constexpr (std::is_same_v<T, QTensor>) {
+      return QTensor(Shape{h * w, c}, chw.params());
+    } else {
+      return Tensor(Shape{h * w, c});
+    }
+  }();
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        out.at(y * w + x, ch) = chw.at(ch, y, x);
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+T from_tokens_impl(const T& tokens, int h, int w) {
+  GQA_EXPECTS(tokens.shape().rank() == 2);
+  GQA_EXPECTS(tokens.shape()[0] == h * w);
+  const int c = tokens.shape()[1];
+  T out = [&] {
+    if constexpr (std::is_same_v<T, QTensor>) {
+      return QTensor(Shape{c, h, w}, tokens.params());
+    } else {
+      return Tensor(Shape{c, h, w});
+    }
+  }();
+  for (int ch = 0; ch < c; ++ch) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        out.at(ch, y, x) = tokens.at(y * w + x, ch);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor to_tokens(const Tensor& chw) { return tokens_impl(chw); }
+Tensor from_tokens(const Tensor& tokens, int h, int w) {
+  return from_tokens_impl(tokens, h, w);
+}
+QTensor to_tokens(const QTensor& chw) { return tokens_impl(chw); }
+QTensor from_tokens(const QTensor& tokens, int h, int w) {
+  return from_tokens_impl(tokens, h, w);
+}
+
+}  // namespace gqa::tfm

@@ -1,0 +1,140 @@
+// Minimal dense tensors for the Transformer substrate. Two storage kinds:
+//   Tensor  — float32 values (reference path, weights)
+//   QTensor — int32 codes with per-tensor QuantParams (integer-only path;
+//             activations are INT8-range codes, accumulators INT32-range)
+// Shapes are row-major; feature maps use {C, H, W}, token matrices {N, D}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/quant_params.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace gqa::tfm {
+
+struct Shape {
+  std::vector<int> dims;
+
+  Shape() = default;
+  Shape(std::initializer_list<int> d) : dims(d) {}
+
+  [[nodiscard]] int rank() const { return static_cast<int>(dims.size()); }
+  [[nodiscard]] std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (int d : dims) n *= d;
+    return n;
+  }
+  [[nodiscard]] int operator[](int i) const {
+    return dims[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
+
+  [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  /// He/Xavier-style normal init with the given stddev.
+  [[nodiscard]] static Tensor randn(Shape shape, Rng& rng, double stddev);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return shape_.numel(); }
+  [[nodiscard]] std::vector<float>& data() { return data_; }
+  [[nodiscard]] const std::vector<float>& data() const { return data_; }
+
+  // Rank-specific accessors (contract-checked in debug paths).
+  [[nodiscard]] float& at(int i) { return data_[idx1(i)]; }
+  [[nodiscard]] float at(int i) const { return data_[idx1(i)]; }
+  [[nodiscard]] float& at(int i, int j) { return data_[idx2(i, j)]; }
+  [[nodiscard]] float at(int i, int j) const { return data_[idx2(i, j)]; }
+  [[nodiscard]] float& at(int i, int j, int k) { return data_[idx3(i, j, k)]; }
+  [[nodiscard]] float at(int i, int j, int k) const { return data_[idx3(i, j, k)]; }
+  [[nodiscard]] float& at(int i, int j, int k, int l) { return data_[idx4(i, j, k, l)]; }
+  [[nodiscard]] float at(int i, int j, int k, int l) const { return data_[idx4(i, j, k, l)]; }
+
+  /// Largest absolute value (calibration helper).
+  [[nodiscard]] double amax() const;
+
+ private:
+  [[nodiscard]] std::size_t idx1(int i) const {
+    GQA_ASSERT(shape_.rank() == 1);
+    return static_cast<std::size_t>(i);
+  }
+  [[nodiscard]] std::size_t idx2(int i, int j) const {
+    GQA_ASSERT(shape_.rank() == 2);
+    return static_cast<std::size_t>(i) * shape_[1] + j;
+  }
+  [[nodiscard]] std::size_t idx3(int i, int j, int k) const {
+    GQA_ASSERT(shape_.rank() == 3);
+    return (static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k;
+  }
+  [[nodiscard]] std::size_t idx4(int i, int j, int k, int l) const {
+    GQA_ASSERT(shape_.rank() == 4);
+    return ((static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k) *
+               shape_[3] + l;
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Integer-code tensor with per-tensor quantization parameters.
+class QTensor {
+ public:
+  QTensor() = default;
+  QTensor(Shape shape, QuantParams qp)
+      : shape_(std::move(shape)),
+        qp_(qp),
+        data_(static_cast<std::size_t>(shape_.numel()), 0) {}
+
+  /// Quantizes a float tensor (Eq. 2).
+  [[nodiscard]] static QTensor quantize(const Tensor& values,
+                                        const QuantParams& qp);
+
+  /// Dequantizes to float.
+  [[nodiscard]] Tensor dequantize() const;
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] const QuantParams& params() const { return qp_; }
+  [[nodiscard]] std::vector<std::int32_t>& data() { return data_; }
+  [[nodiscard]] const std::vector<std::int32_t>& data() const { return data_; }
+
+  [[nodiscard]] std::int32_t& at(int i, int j) {
+    GQA_ASSERT(shape_.rank() == 2);
+    return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+  }
+  [[nodiscard]] std::int32_t at(int i, int j) const {
+    GQA_ASSERT(shape_.rank() == 2);
+    return data_[static_cast<std::size_t>(i) * shape_[1] + j];
+  }
+  [[nodiscard]] std::int32_t& at(int i, int j, int k) {
+    GQA_ASSERT(shape_.rank() == 3);
+    return data_[(static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k];
+  }
+  [[nodiscard]] std::int32_t at(int i, int j, int k) const {
+    GQA_ASSERT(shape_.rank() == 3);
+    return data_[(static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k];
+  }
+
+ private:
+  Shape shape_;
+  QuantParams qp_;
+  std::vector<std::int32_t> data_;
+};
+
+/// {C,H,W} feature map <-> {H*W, C} token matrix.
+[[nodiscard]] Tensor to_tokens(const Tensor& chw);
+[[nodiscard]] Tensor from_tokens(const Tensor& tokens, int h, int w);
+[[nodiscard]] QTensor to_tokens(const QTensor& chw);
+[[nodiscard]] QTensor from_tokens(const QTensor& tokens, int h, int w);
+
+}  // namespace gqa::tfm

@@ -1,0 +1,15 @@
+#include "util/contracts.h"
+
+#include <sstream>
+
+namespace gqa::detail {
+
+void contract_fail(const char* kind, const char* condition, const char* file,
+                   int line, const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << condition << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace gqa::detail

@@ -1,0 +1,57 @@
+// Contract checking in the spirit of the C++ Core Guidelines (I.5/I.7,
+// "Prefer Expects()/Ensures()"). Violations throw gqa::ContractViolation so
+// tests can assert on failure paths; they are never compiled out because the
+// library is used for bit-accurate hardware modelling where silent
+// out-of-range values would corrupt results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gqa {
+
+/// Thrown when a precondition, postcondition, or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line,
+                                const std::string& message);
+}  // namespace detail
+
+}  // namespace gqa
+
+/// Precondition check: throws gqa::ContractViolation when `cond` is false.
+#define GQA_EXPECTS(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::gqa::detail::contract_fail("Precondition", #cond, __FILE__,        \
+                                   __LINE__, {});                          \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define GQA_EXPECTS_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::gqa::detail::contract_fail("Precondition", #cond, __FILE__,        \
+                                   __LINE__, (msg));                       \
+  } while (false)
+
+/// Postcondition check: throws gqa::ContractViolation when `cond` is false.
+#define GQA_ENSURES(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::gqa::detail::contract_fail("Postcondition", #cond, __FILE__,       \
+                                   __LINE__, {});                          \
+  } while (false)
+
+/// Invariant check inside algorithm bodies.
+#define GQA_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::gqa::detail::contract_fail("Invariant", #cond, __FILE__, __LINE__, \
+                                   {});                                    \
+  } while (false)

@@ -1,0 +1,33 @@
+// CSV emission for experiment results. Bench binaries dump their raw series
+// next to the console tables so downstream plotting does not need to
+// re-parse pretty-printed output.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gqa {
+
+/// Writes rows of cells to a CSV file; fields containing commas or quotes
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience overload for numeric series.
+  void write_row(const std::vector<double>& cells);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static std::string escape(const std::string& field);
+
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace gqa

@@ -1,0 +1,30 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace gqa {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(value);
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+bool env_flag(const char* name, bool fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const std::string v = to_lower(raw);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+}  // namespace gqa

@@ -1,0 +1,84 @@
+// Deterministic random number generation. Every stochastic component in the
+// library (genetic search, NN-LUT training, weight init, scene synthesis)
+// takes an explicit seed so that experiment tables are bit-reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+/// Seeded pseudo-random source wrapping std::mt19937_64.
+///
+/// The class is cheap to copy; independent streams are derived with fork().
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    GQA_EXPECTS(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double canonical() { return uniform(0.0, 1.0); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    GQA_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n).
+  std::size_t index(std::size_t n) {
+    GQA_EXPECTS(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Normal sample N(mean, stddev).
+  double normal(double mean, double stddev) {
+    GQA_EXPECTS(stddev >= 0.0);
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p) {
+    GQA_EXPECTS(p >= 0.0 && p <= 1.0);
+    return canonical() < p;
+  }
+
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  /// Derives an independent child stream; deterministic in (seed, salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    // SplitMix64 finalizer decorrelates parent seed and salt.
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (salt + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gqa

@@ -1,0 +1,35 @@
+// Small string helpers shared by report printers and serializers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gqa {
+
+/// printf-style formatting into std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Scientific notation with `digits` significant digits, e.g. "1.3e-03".
+[[nodiscard]] std::string sci(double value, int digits = 2);
+
+/// Fixed-point with `digits` decimals, e.g. "74.53".
+[[nodiscard]] std::string fixed(double value, int digits = 2);
+
+/// Formats a power of two as "2^-3" for exponent -3.
+[[nodiscard]] std::string pow2_label(int exponent);
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+[[nodiscard]] std::string trim(std::string_view text);
+
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Joins elements with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+}  // namespace gqa

@@ -1,0 +1,112 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GQA_EXPECTS(!headers_.empty());
+}
+
+void TablePrinter::set_title(std::string title) { title_ = std::move(title); }
+
+void TablePrinter::set_footnote(std::string footnote) {
+  footnote_ = std::move(footnote);
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  GQA_EXPECTS_MSG(cells.size() == headers_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+  separator_before_.push_back(false);
+}
+
+void TablePrinter::add_separator() {
+  // Marks that the *next* row should be preceded by a rule.
+  separator_before_.push_back(true);
+  rows_.emplace_back();  // placeholder; skipped while printing
+}
+
+namespace {
+
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& headers,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  return widths;
+}
+
+void print_rule(std::ostream& os, const std::vector<std::size_t>& widths) {
+  os << '+';
+  for (std::size_t w : widths) {
+    for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+    os << '+';
+  }
+  os << '\n';
+}
+
+void print_cells(std::ostream& os, const std::vector<std::string>& cells,
+                 const std::vector<std::size_t>& widths) {
+  os << '|';
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+    os << ' ' << cell;
+    for (std::size_t i = cell.size(); i < widths[c] + 1; ++i) os << ' ';
+    os << '|';
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void TablePrinter::print(std::ostream& os) const {
+  const auto widths = column_widths(headers_, rows_);
+  if (!title_.empty()) os << title_ << '\n';
+  print_rule(os, widths);
+  print_cells(os, headers_, widths);
+  print_rule(os, widths);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (separator_before_[r] && rows_[r].empty()) {
+      print_rule(os, widths);
+      continue;
+    }
+    print_cells(os, rows_[r], widths);
+  }
+  print_rule(os, widths);
+  if (!footnote_.empty()) os << footnote_ << '\n';
+}
+
+std::string TablePrinter::to_markdown() const {
+  std::string out;
+  if (!title_.empty()) out += "### " + title_ + "\n\n";
+  auto emit_row = [&out](const std::vector<std::string>& cells) {
+    out += '|';
+    for (const auto& c : cells) {
+      out += ' ';
+      out += c;
+      out += " |";
+    }
+    out += '\n';
+  };
+  emit_row(headers_);
+  out += '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) out += "---|";
+  out += '\n';
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].empty()) continue;
+    emit_row(rows_[r]);
+  }
+  if (!footnote_.empty()) out += "\n" + footnote_ + "\n";
+  return out;
+}
+
+}  // namespace gqa

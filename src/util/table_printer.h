@@ -1,0 +1,41 @@
+// Fixed-width console table used by every bench binary to print the
+// paper-style tables (Table 3..6) and figure series in a readable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gqa {
+
+/// Column-aligned text table with an optional title and footnote.
+///
+/// Usage:
+///   TablePrinter t({"Method", "Entry", "GELU"});
+///   t.add_row({"NN-LUT", "8", "1.3e-03"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void set_title(std::string title);
+  void set_footnote(std::string footnote);
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next added row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  /// Renders as GitHub-flavoured markdown (used for EXPERIMENTS.md capture).
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> separator_before_;
+  std::string title_;
+  std::string footnote_;
+};
+
+}  // namespace gqa

@@ -1,0 +1,26 @@
+// Wall-clock timing for fit-cost reporting.
+#pragma once
+
+#include <chrono>
+
+namespace gqa {
+
+/// Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gqa

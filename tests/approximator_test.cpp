@@ -1,0 +1,137 @@
+// Tests for the public API facade: fitting with every method, per-scale
+// deployment tables, and persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/approximator.h"
+#include "eval/protocol.h"
+#include "util/contracts.h"
+
+namespace gqa {
+namespace {
+
+TEST(Approximator, MethodNames) {
+  EXPECT_EQ(method_name(Method::kNnLut), "NN-LUT");
+  EXPECT_EQ(method_name(Method::kGqaNoRm), "GQA-LUT w/o RM");
+  EXPECT_EQ(method_name(Method::kGqaRm), "GQA-LUT w/ RM");
+  EXPECT_EQ(all_methods().size(), 3u);
+}
+
+class FitEveryMethod : public ::testing::TestWithParam<Method> {};
+
+TEST_P(FitEveryMethod, ProducesUsableTables) {
+  FitOptions options;
+  options.ga_restarts = 1;
+  options.nn_epochs = 20;
+  const Approximator approx = Approximator::fit(Op::kGelu, GetParam(), options);
+  approx.fxp_table().validate();
+  EXPECT_EQ(approx.fxp_table().entries(), 8);
+  EXPECT_EQ(approx.op(), Op::kGelu);
+  EXPECT_EQ(approx.method(), GetParam());
+  // The table approximates GELU decently in FP.
+  EXPECT_NEAR(approx.eval(0.0), 0.0, 0.1);
+  EXPECT_NEAR(approx.eval(2.0), eval_op(Op::kGelu, 2.0), 0.12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, FitEveryMethod,
+                         ::testing::Values(Method::kNnLut, Method::kGqaNoRm,
+                                           Method::kGqaRm));
+
+TEST(Approximator, DeterministicAcrossCalls) {
+  const Approximator a = Approximator::fit(Op::kExp, Method::kGqaRm, {});
+  const Approximator b = Approximator::fit(Op::kExp, Method::kGqaRm, {});
+  EXPECT_EQ(a.fxp_table().breakpoints, b.fxp_table().breakpoints);
+  EXPECT_EQ(a.fxp_table().slopes, b.fxp_table().slopes);
+}
+
+TEST(Approximator, RmVariantCarriesScaleTables) {
+  const Approximator rm = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  EXPECT_TRUE(rm.has_scale_tables());
+  // Champion tables exist for the deployment sweep s = 0..6.
+  for (int s = 0; s <= 6; ++s) {
+    EXPECT_NO_THROW(rm.table_for_scale(s).validate());
+  }
+  const Approximator gauss = Approximator::fit(Op::kGelu, Method::kGqaNoRm, {});
+  EXPECT_FALSE(gauss.has_scale_tables());
+  EXPECT_EQ(&gauss.table_for_scale(3), &gauss.fxp_table());
+}
+
+TEST(Approximator, QuantizedUsesMatchingChampion) {
+  const Approximator rm = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  const QuantParams input{0.125, 8, true};  // S = 2^-3 -> champion s = 3
+  const QuantizedPwlTable qt = rm.quantized(input);
+  const PwlTable& champion = rm.table_for_scale(3);
+  ASSERT_EQ(qt.k_code.size(), champion.slopes.size());
+  for (std::size_t i = 0; i < champion.slopes.size(); ++i) {
+    EXPECT_EQ(qt.k_code[i],
+              fxp_encode(champion.slopes[i], qt.param_fmt));
+  }
+}
+
+TEST(Approximator, MakeUnitAndMultirange) {
+  const Approximator gelu = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  const IntPwlUnit unit = gelu.make_unit(-4);
+  EXPECT_EQ(unit.table().input.bits, 8);
+  EXPECT_NEAR(unit.eval_real(1.0), eval_op(Op::kGelu, 1.0), 0.08);
+
+  const Approximator div = Approximator::fit(Op::kDiv, Method::kGqaNoRm, {});
+  const MultiRangeUnit mr = div.make_multirange_unit();
+  EXPECT_NEAR(mr.eval_real(2.0), 0.5, 0.05);
+  // GELU has no multi-range preset.
+  EXPECT_THROW((void)gelu.make_multirange_unit(), ContractViolation);
+}
+
+TEST(Approximator, SaveLoadRoundTrip) {
+  const Approximator original = Approximator::fit(Op::kExp, Method::kGqaRm, {});
+  const std::string path = "/tmp/gqa_approx_test.json";
+  original.save(path);
+  const Approximator loaded = Approximator::load(path);
+  EXPECT_EQ(loaded.op(), Op::kExp);
+  EXPECT_EQ(loaded.method(), Method::kGqaRm);
+  EXPECT_EQ(loaded.lambda(), original.lambda());
+  EXPECT_EQ(loaded.fxp_table().breakpoints, original.fxp_table().breakpoints);
+  EXPECT_EQ(loaded.has_scale_tables(), original.has_scale_tables());
+  for (int s = 0; s <= 6; ++s) {
+    EXPECT_EQ(loaded.table_for_scale(s).breakpoints,
+              original.table_for_scale(s).breakpoints);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Approximator, FromTableWrapsExternalData) {
+  PwlTable t;
+  t.breakpoints = {0.0};
+  t.slopes = {0.0, 1.0};
+  t.intercepts = {0.0, 0.0};  // relu
+  const Approximator approx =
+      Approximator::from_table(Op::kGelu, Method::kGqaRm, t, 5);
+  EXPECT_DOUBLE_EQ(approx.eval(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(approx.eval(2.0), 2.0);
+}
+
+TEST(Approximator, CustomRangeOverride) {
+  FitOptions options;
+  options.range_lo = -2.0;
+  options.range_hi = 2.0;
+  options.ga_restarts = 1;
+  const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, options);
+  for (double p : approx.fxp_table().breakpoints) {
+    EXPECT_GE(p, -2.0);
+    EXPECT_LE(p, 2.0);
+  }
+}
+
+TEST(Approximator, InvalidOptionsThrow) {
+  FitOptions options;
+  options.entries = 1;
+  EXPECT_THROW(Approximator::fit(Op::kGelu, Method::kGqaRm, options),
+               ContractViolation);
+  options = FitOptions{};
+  options.ga_restarts = 0;
+  EXPECT_THROW(Approximator::fit(Op::kGelu, Method::kGqaRm, options),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace gqa

@@ -1,0 +1,196 @@
+// Tests for the evaluation harness: the §4.1 quantization-aware MSE
+// protocol, mIoU / confusion matrix, and the synthetic scene generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/approximator.h"
+#include "eval/miou.h"
+#include "eval/protocol.h"
+#include "eval/scene.h"
+#include "util/contracts.h"
+
+namespace gqa {
+namespace {
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, ScaleMseSamplesDequantizedGrid) {
+  const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  const ScalePoint p0 = scale_mse(approx.fxp_table(), Op::kGelu, 0, {});
+  // At S = 2^0, the integer codes inside [-4, 4] are {-4..4}: 9 samples.
+  EXPECT_EQ(p0.samples, 9);
+  const ScalePoint p6 = scale_mse(approx.fxp_table(), Op::kGelu, -6, {});
+  // At S = 2^-6, INT8 covers [-2, 1.98]: all 256 codes fall inside.
+  EXPECT_EQ(p6.samples, 256);
+}
+
+TEST(Protocol, SweepOrderedLargestScaleFirst) {
+  const Approximator approx = Approximator::fit(Op::kExp, Method::kGqaRm, {});
+  const ScaleSweepResult sweep = sweep_scale_mse(approx);
+  ASSERT_EQ(sweep.points.size(), 7u);
+  EXPECT_EQ(sweep.points.front().exponent, 0);
+  EXPECT_EQ(sweep.points.back().exponent, -6);
+  EXPECT_GT(sweep.avg_mse(), 0.0);
+  EXPECT_GE(sweep.max_mse(), sweep.avg_mse());
+  EXPECT_GE(sweep.large_scale_share(), 0.0);
+  EXPECT_LE(sweep.large_scale_share(), 1.0);
+}
+
+TEST(Protocol, BreakpointDeviationGrowsWithScale) {
+  // For a single-table deployment (no per-scale champions), the MSE at the
+  // coarsest grid must dominate the finest one — the Fig. 2 phenomenon.
+  const Approximator approx =
+      Approximator::fit(Op::kGelu, Method::kGqaNoRm, {});
+  const ScaleSweepResult sweep = sweep_scale_mse(approx);
+  EXPECT_GT(sweep.points.front().mse, sweep.points.back().mse);
+}
+
+TEST(Protocol, FxpDomainMseForDivRsqrt) {
+  const Approximator div = Approximator::fit(Op::kDiv, Method::kGqaNoRm, {});
+  const double mse = fxp_domain_mse(div.table_for_scale(5), Op::kDiv, {});
+  EXPECT_GT(mse, 0.0);
+  EXPECT_LT(mse, 5e-3);  // paper band: 7.8e-4 (ours is comparable)
+  EXPECT_DOUBLE_EQ(operator_level_mse(div, {}), mse);
+}
+
+TEST(Protocol, MultirangeWideMseBounded) {
+  const Approximator div = Approximator::fit(Op::kDiv, Method::kGqaNoRm, {});
+  const double rel_mse = multirange_wide_mse(
+      div.table_for_scale(5), MultiRangeConfig::div_preset(), {});
+  EXPECT_LT(rel_mse, 0.02);  // < ~14% relative RMS across decades
+}
+
+TEST(Protocol, NormalizeSeries) {
+  const std::vector<double> norm = normalize_series({2.0, 1.0, 4.0});
+  EXPECT_DOUBLE_EQ(norm[2], 1.0);
+  EXPECT_DOUBLE_EQ(norm[0], 0.5);
+  EXPECT_THROW(normalize_series({}), ContractViolation);
+}
+
+// -------------------------------------------------------------------- miou
+
+TEST(ConfusionMatrix, PerfectPrediction) {
+  ConfusionMatrix cm(3);
+  const std::vector<int> labels = {0, 1, 2, 1, 0};
+  cm.add(labels, labels);
+  EXPECT_DOUBLE_EQ(cm.mean_iou(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.pixel_accuracy(), 1.0);
+}
+
+TEST(ConfusionMatrix, HandComputedCase) {
+  ConfusionMatrix cm(3);
+  // truth:      0 0 1 1 2
+  // prediction: 0 1 1 1 0
+  cm.add(std::vector<int>{0, 0, 1, 1, 2}, std::vector<int>{0, 1, 1, 1, 0});
+  // class 0: tp=1 fp=1 fn=1 -> 1/3; class 1: tp=2 fp=1 fn=0 -> 2/3;
+  // class 2: tp=0 fp=0 fn=1 -> 0.
+  EXPECT_NEAR(cm.iou(0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.iou(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.iou(2), 0.0, 1e-12);
+  EXPECT_NEAR(cm.mean_iou(), (1.0 / 3 + 2.0 / 3 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(cm.pixel_accuracy(), 3.0 / 5.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, AbsentClassesIgnored) {
+  ConfusionMatrix cm(5);
+  cm.add(std::vector<int>{0, 0, 1}, std::vector<int>{0, 0, 1});
+  EXPECT_DOUBLE_EQ(cm.iou(4), -1.0);  // never appears
+  EXPECT_DOUBLE_EQ(cm.mean_iou(), 1.0);  // averaged over present classes
+}
+
+TEST(ConfusionMatrix, Validation) {
+  ConfusionMatrix cm(3);
+  EXPECT_THROW(cm.add(3, 0), ContractViolation);
+  EXPECT_THROW(cm.add(0, -1), ContractViolation);
+  EXPECT_THROW(cm.mean_iou(), ContractViolation);  // empty
+  const std::vector<int> a = {0};
+  const std::vector<int> b = {0, 1};
+  EXPECT_THROW(cm.add(a, b), ContractViolation);
+  EXPECT_THROW(ConfusionMatrix(1), ContractViolation);
+}
+
+// ------------------------------------------------------------------- scene
+
+TEST(Scene, DeterministicPerSeed) {
+  const SceneOptions options;
+  const LabeledScene a = make_scene(options, 42);
+  const LabeledScene b = make_scene(options, 42);
+  EXPECT_EQ(a.image.data(), b.image.data());
+  EXPECT_EQ(a.labels, b.labels);
+  const LabeledScene c = make_scene(options, 43);
+  EXPECT_NE(a.image.data(), c.image.data());
+}
+
+TEST(Scene, ShapesAndValueRange) {
+  const SceneOptions options;
+  const LabeledScene s = make_scene(options, 7);
+  EXPECT_EQ(s.image.shape(), (tfm::Shape{3, 64, 64}));
+  EXPECT_EQ(s.labels.size(), 64u * 64u);
+  for (float v : s.image.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  for (int label : s.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, options.num_classes);
+  }
+}
+
+TEST(Scene, ContainsLayoutAndObjectClasses) {
+  const SceneOptions options;
+  const LabeledScene s = make_scene(options, 123);
+  std::vector<int> hist(static_cast<std::size_t>(options.num_classes), 0);
+  for (int label : s.labels) ++hist[static_cast<std::size_t>(label)];
+  EXPECT_GT(hist[0], 0);  // sky
+  EXPECT_GT(hist[1], 0);  // ground
+  EXPECT_GT(hist[2], 0);  // road
+  int object_pixels = 0;
+  for (int c = 3; c < options.num_classes; ++c) object_pixels += hist[static_cast<std::size_t>(c)];
+  EXPECT_GT(object_pixels, 0);
+}
+
+TEST(Scene, ObjectClassesStayInConfiguredBand) {
+  SceneOptions options;
+  options.object_classes = 4;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const LabeledScene s = make_scene(options, seed);
+    for (int label : s.labels) EXPECT_LT(label, 3 + options.object_classes);
+  }
+}
+
+TEST(Scene, ClassColorsAreDistinct) {
+  double a[3], b[3];
+  for (int c1 = 0; c1 < 9; ++c1) {
+    for (int c2 = c1 + 1; c2 < 9; ++c2) {
+      class_color(c1, a);
+      class_color(c2, b);
+      const double d = std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]) +
+                       std::abs(a[2] - b[2]);
+      EXPECT_GT(d, 0.3) << "classes " << c1 << " vs " << c2;
+    }
+  }
+}
+
+TEST(Scene, DownsampleLabels) {
+  std::vector<int> labels(16 * 16, 0);
+  // Bottom-right quadrant is class 2.
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) labels[static_cast<std::size_t>(y) * 16 + x] = 2;
+  }
+  const std::vector<int> down = downsample_labels(labels, 16, 4, 4);
+  ASSERT_EQ(down.size(), 16u);
+  EXPECT_EQ(down[0], 0);
+  EXPECT_EQ(down[15], 2);
+  EXPECT_THROW(downsample_labels(labels, 15, 4, 4), ContractViolation);
+}
+
+TEST(Scene, SetGeneration) {
+  const auto set = make_scene_set(SceneOptions{}, 3, 99);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_NE(set[0].image.data(), set[1].image.data());
+  EXPECT_THROW(make_scene_set(SceneOptions{}, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gqa

@@ -1,0 +1,314 @@
+// Tests for the GQA-LUT core: Rounding Mutation (Algorithm 2), breakpoint
+// repair, Table 1 presets, multi-range scaling (Table 2), the
+// quantization-aware objective, and the end-to-end fit (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gqa/gqa_lut.h"
+#include "gqa/multirange.h"
+#include "gqa/objective.h"
+#include "gqa/rounding_mutation.h"
+#include "pwl/fit_grid.h"
+#include "util/contracts.h"
+
+namespace gqa {
+namespace {
+
+// ----------------------------------------------------- rounding mutation --
+
+TEST(RoundingMutation, OutputsSortedAndOnSomeGrid) {
+  RmParams params{0.05, 0, 6};
+  Rng rng(11);
+  // With theta_r * (mb+1) = 0.35, ~1/3 of elements mutate per call; after
+  // many calls every element has been snapped at least once.
+  Genome g = {-3.7123, -1.4142, -0.8155, 0.3333, 1.2345, 2.7182, 3.1415};
+  for (int iter = 0; iter < 200; ++iter) rounding_mutation(g, params, rng);
+  EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+  for (double p : g) {
+    EXPECT_TRUE(on_grid(p, 6)) << p << " not on the finest grid 2^-6";
+  }
+}
+
+TEST(RoundingMutation, ThetaZeroIsIdentity) {
+  RmParams params{0.0, 0, 6};
+  Rng rng(5);
+  Genome g = {-1.234, 0.567, 2.891};
+  const Genome before = g;
+  for (int iter = 0; iter < 50; ++iter) rounding_mutation(g, params, rng);
+  EXPECT_EQ(g, before);  // already sorted; theta_r = 0 never mutates
+}
+
+TEST(RoundingMutation, GridValuesAreFixedPoints) {
+  // Integer values round to themselves on every grid 2^-i (i >= 0).
+  RmParams params{0.05, 0, 6};
+  Rng rng(7);
+  Genome g = {-3.0, -1.0, 0.0, 2.0};
+  for (int iter = 0; iter < 100; ++iter) rounding_mutation(g, params, rng);
+  EXPECT_EQ(g, (Genome{-3.0, -1.0, 0.0, 2.0}));
+}
+
+TEST(RoundingMutation, MutateRangeWindowOffsets) {
+  // With [ma, mb] = [2, 6] the selection window is [2*theta, 7*theta);
+  // rand below 2*theta never mutates. Statistically verify the rate.
+  RmParams params{0.05, 2, 6};
+  Rng rng(13);
+  int mutated = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    Genome g = {0.123456789};
+    rounding_mutation(g, params, rng);
+    if (g[0] != 0.123456789) ++mutated;
+  }
+  const double rate = static_cast<double>(mutated) / trials;
+  EXPECT_NEAR(rate, 5 * 0.05, 0.02);  // five windows of width theta_r
+}
+
+TEST(RoundingMutation, InvalidParamsThrow) {
+  Rng rng(1);
+  Genome g = {0.5};
+  EXPECT_THROW(rounding_mutation(g, RmParams{0.2, 0, 6}, rng),
+               ContractViolation);  // (mb+1)*theta > 1
+  EXPECT_THROW(rounding_mutation(g, RmParams{0.05, 4, 2}, rng),
+               ContractViolation);  // ma > mb
+}
+
+TEST(GaussianMutation, PerturbsAndSorts) {
+  const MutateFn mutate = make_gaussian_mutation(0.5, 1.0);
+  Rng rng(3);
+  Genome g = {3.0, 1.0, 2.0};
+  mutate(g, rng);
+  EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+}
+
+TEST(OnGrid, Detection) {
+  EXPECT_TRUE(on_grid(-0.875, 3));
+  EXPECT_FALSE(on_grid(-0.875, 2));
+  EXPECT_TRUE(on_grid(5.0, 0));
+  EXPECT_TRUE(on_grid(0.0, 0));
+}
+
+// ------------------------------------------------------------------ repair
+
+TEST(RepairBreakpoints, SortsClipsSeparates) {
+  Genome g = {5.0, -7.0, 0.1, 0.1, 0.1};
+  repair_breakpoints(g, -4.0, 4.0, 0.01);
+  EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+  EXPECT_GE(g.front(), -4.0);
+  EXPECT_LE(g.back(), 4.0);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_GE(g[i] - g[i - 1], 0.01 - 1e-12);
+  }
+}
+
+TEST(RepairBreakpoints, HandlesAllEqualAtUpperBound) {
+  Genome g = {4.0, 4.0, 4.0, 4.0};
+  repair_breakpoints(g, -4.0, 4.0, 0.5);
+  EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+  EXPECT_LE(g.back(), 4.0);
+  for (std::size_t i = 1; i < g.size(); ++i) {
+    EXPECT_GE(g[i] - g[i - 1], 0.5 - 1e-12);
+  }
+}
+
+// ----------------------------------------------------------------- presets
+
+TEST(Presets, MatchTable1) {
+  const GqaConfig gelu8 = GqaConfig::preset(Op::kGelu, 8,
+                                            MutationKind::kRoundingMutation);
+  EXPECT_DOUBLE_EQ(gelu8.range_lo, -4.0);
+  EXPECT_DOUBLE_EQ(gelu8.rm.theta_r, 0.05);
+  EXPECT_EQ(gelu8.rm.ma, 0);
+  EXPECT_EQ(gelu8.rm.mb, 6);
+  EXPECT_EQ(gelu8.ga.population_size, 50);
+  EXPECT_EQ(gelu8.ga.generations, 500);
+  EXPECT_DOUBLE_EQ(gelu8.ga.crossover_prob, 0.7);
+  EXPECT_DOUBLE_EQ(gelu8.ga.mutation_prob, 0.2);
+  EXPECT_EQ(gelu8.lambda, 5);
+  EXPECT_EQ(gelu8.breakpoint_count(), 7);
+
+  const GqaConfig hswish16 = GqaConfig::preset(Op::kHswish, 16,
+                                               MutationKind::kRoundingMutation);
+  EXPECT_EQ(hswish16.rm.ma, 2);
+  const GqaConfig exp8 = GqaConfig::preset(Op::kExp, 8,
+                                           MutationKind::kRoundingMutation);
+  EXPECT_EQ(exp8.rm.ma, 2);
+  const GqaConfig exp16 = GqaConfig::preset(Op::kExp, 16,
+                                            MutationKind::kRoundingMutation);
+  EXPECT_EQ(exp16.rm.ma, 0);
+
+  const GqaConfig div8 = GqaConfig::preset(Op::kDiv, 8,
+                                           MutationKind::kRoundingMutation);
+  EXPECT_DOUBLE_EQ(div8.rm.theta_r, 0.0);  // RM disabled for DIV/RSQRT
+  EXPECT_EQ(div8.deployment_scale_exps, std::vector<int>{5});
+}
+
+TEST(Presets, GridSizesMatchTable1DataSizes) {
+  // (Rp - Rn) / 0.01: GELU/HSWISH/EXP 0.8K, DIV 0.35K, RSQRT ~0.37K.
+  auto grid_points = [](Op op) {
+    const GqaConfig c = GqaConfig::preset(op, 8, MutationKind::kGaussian);
+    return (c.range_hi - c.range_lo) / c.grid_step;
+  };
+  EXPECT_NEAR(grid_points(Op::kGelu), 800, 1);
+  EXPECT_NEAR(grid_points(Op::kExp), 800, 1);
+  EXPECT_NEAR(grid_points(Op::kDiv), 350, 1);
+  EXPECT_NEAR(grid_points(Op::kRsqrt), 375, 1);
+}
+
+TEST(Presets, ValidationCatchesBadConfigs) {
+  GqaConfig cfg = GqaConfig::preset(Op::kGelu, 8, MutationKind::kGaussian);
+  cfg.range_hi = cfg.range_lo;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg = GqaConfig::preset(Op::kGelu, 8, MutationKind::kGaussian);
+  cfg.entries = 1;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+  cfg = GqaConfig::preset(Op::kGelu, 8, MutationKind::kGaussian);
+  cfg.lambda = 99;
+  EXPECT_THROW(cfg.validate(), ContractViolation);
+}
+
+// -------------------------------------------------------------- multirange
+
+TEST(MultiRange, Table2Presets) {
+  const MultiRangeConfig div = MultiRangeConfig::div_preset();
+  div.validate();
+  EXPECT_DOUBLE_EQ(div.ir_lo, 0.5);
+  EXPECT_DOUBLE_EQ(div.ir_hi, 4.0);
+  ASSERT_EQ(div.subranges.size(), 3u);
+  EXPECT_EQ(div.subranges[0].scale_exp, -3);
+  EXPECT_EQ(div.subranges[1].scale_exp, -6);
+
+  const MultiRangeConfig rsqrt = MultiRangeConfig::rsqrt_preset();
+  rsqrt.validate();
+  EXPECT_EQ(rsqrt.subranges[2].scale_exp, -12);
+  EXPECT_THROW(MultiRangeConfig::preset_for(Op::kGelu), ContractViolation);
+}
+
+TEST(MultiRange, SubRangeScalesMapIntoIR) {
+  for (Op op : {Op::kDiv, Op::kRsqrt}) {
+    const MultiRangeConfig cfg = MultiRangeConfig::preset_for(op);
+    for (const SubRange& sr : cfg.subranges) {
+      const double lo_mapped = std::ldexp(sr.lo, sr.scale_exp);
+      EXPECT_GE(lo_mapped, cfg.ir_lo - 1e-12);
+      if (std::isfinite(sr.hi)) {
+        EXPECT_LE(std::ldexp(sr.hi, sr.scale_exp), cfg.ir_hi + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(MultiRange, SelectExponent) {
+  const MultiRangeConfig cfg = MultiRangeConfig::div_preset();
+  EXPECT_EQ(cfg.select_exponent(1.0), 0);     // inside IR
+  EXPECT_EQ(cfg.select_exponent(10.0), -3);   // SR0
+  EXPECT_EQ(cfg.select_exponent(100.0), -6);  // SR1
+  EXPECT_EQ(cfg.select_exponent(1e6), -6);    // SR2 (saturating)
+  EXPECT_EQ(cfg.select_exponent(0.1), 0);     // below IR -> clamped later
+}
+
+TEST(MultiRange, EvalRescalesExactlyForExactPwl) {
+  // With pwl == exact reciprocal, multi-range evaluation is exact because
+  // DIV separates: 1/x = S' * (1/(S'x)).
+  const MultiRangeConfig cfg = MultiRangeConfig::div_preset();
+  const auto recip = [](double v) { return 1.0 / v; };
+  for (double x : {0.7, 3.0, 5.0, 31.0, 100.0, 255.0}) {
+    EXPECT_NEAR(cfg.eval(recip, x), 1.0 / x, 1e-12) << "x=" << x;
+  }
+  const MultiRangeConfig rs = MultiRangeConfig::rsqrt_preset();
+  const auto rsqrt = [](double v) { return 1.0 / std::sqrt(v); };
+  for (double x : {0.3, 2.0, 16.0, 100.0, 1000.0}) {
+    EXPECT_NEAR(rs.eval(rsqrt, x), 1.0 / std::sqrt(x), 1e-12) << "x=" << x;
+  }
+}
+
+TEST(MultiRange, OddRsqrtExponentRejected) {
+  MultiRangeConfig cfg = MultiRangeConfig::rsqrt_preset();
+  cfg.subranges[0].scale_exp = -3;  // odd: sqrt(2^-3) is not a shift
+  EXPECT_THROW(cfg.output_exponent(-3), ContractViolation);
+}
+
+// --------------------------------------------------------------- objective
+
+TEST(QuantAwareObjective, PerScaleMatchesAggregate) {
+  const OpInfo& info = op_info(Op::kGelu);
+  const FitGrid grid = FitGrid::make(info.f, -4.0, 4.0, 0.01);
+  const QuantAwareObjective obj(grid, 5, {0, 3, 6});
+  const Genome g = {-2.5, -1.0, -0.25, 0.3, 1.1, 2.0, 3.0};
+  const std::vector<double> per = obj.per_scale_mse(g);
+  ASSERT_EQ(per.size(), 3u);
+  EXPECT_NEAR(obj(g), (per[0] + per[1] + per[2]) / 3.0, 1e-12);
+  // Coarser deployment grids cannot be more accurate on average.
+  EXPECT_GE(per[0], per[2] - 1e-9);
+}
+
+// ----------------------------------------------------------------- fitting
+
+TEST(FitGqaLut, ProducesValidTablesAndGoodFit) {
+  GqaConfig cfg = GqaConfig::preset(Op::kGelu, 8, MutationKind::kRoundingMutation);
+  cfg.ga.generations = 150;  // quick but converged enough for the bound
+  cfg.ga.seed = 0x1234;
+  const GqaFitResult result = fit_gqa_lut(cfg);
+  result.fp_table.validate();
+  result.fxp_table.validate();
+  EXPECT_EQ(result.fp_table.entries(), 8);
+  EXPECT_LT(result.fp_mse, 5e-4);
+  EXPECT_LT(result.fxp_mse, 2e-3);
+  EXPECT_FALSE(result.ga.history.empty());
+}
+
+TEST(FitGqaLut, RmVariantArchivesPerScaleChampions) {
+  GqaConfig cfg = GqaConfig::preset(Op::kGelu, 8, MutationKind::kRoundingMutation);
+  cfg.ga.generations = 100;
+  const GqaFitResult result = fit_gqa_lut(cfg);
+  EXPECT_EQ(result.per_scale.size(), cfg.deployment_scale_exps.size());
+  for (const ScaleCandidate& cand : result.per_scale) {
+    cand.fxp_table.validate();
+    EXPECT_TRUE(std::isfinite(cand.deployed_mse));
+    EXPECT_NE(result.candidate_for(cand.scale_exp), nullptr);
+  }
+  EXPECT_EQ(result.candidate_for(99), nullptr);
+  // table_for_scale falls back for unknown scales.
+  EXPECT_EQ(&result.table_for_scale(99), &result.fxp_table);
+}
+
+TEST(FitGqaLut, GaussianVariantDeploysSingleTable) {
+  GqaConfig cfg = GqaConfig::preset(Op::kGelu, 8, MutationKind::kGaussian);
+  cfg.ga.generations = 100;
+  const GqaFitResult result = fit_gqa_lut(cfg);
+  EXPECT_TRUE(result.per_scale.empty());
+  EXPECT_EQ(&result.table_for_scale(0), &result.fxp_table);
+}
+
+TEST(FitGqaLut, ChampionBeatsNominalAtItsScale) {
+  GqaConfig cfg = GqaConfig::preset(Op::kGelu, 8, MutationKind::kRoundingMutation);
+  cfg.ga.generations = 200;
+  cfg.ga.seed = 0x77;
+  const GqaFitResult result = fit_gqa_lut(cfg);
+  const OpInfo& info = op_info(Op::kGelu);
+  const FitGrid grid = FitGrid::make(info.f, -4.0, 4.0, 0.01);
+  const QuantAwareObjective obj(grid, cfg.lambda, cfg.deployment_scale_exps);
+  // At the coarsest deployment grid, the archived champion must be at
+  // least as good as the fitness-best table.
+  const double champion = obj.deployed_mse(result.table_for_scale(0), 0);
+  const double nominal = obj.deployed_mse(result.fxp_table, 0);
+  EXPECT_LE(champion, nominal + 1e-12);
+}
+
+TEST(FitGqaLut, DeterministicPerSeed) {
+  GqaConfig cfg = GqaConfig::preset(Op::kExp, 8, MutationKind::kRoundingMutation);
+  cfg.ga.generations = 80;
+  cfg.ga.seed = 0xABC;
+  const GqaFitResult a = fit_gqa_lut(cfg);
+  const GqaFitResult b = fit_gqa_lut(cfg);
+  EXPECT_EQ(a.ga.best, b.ga.best);
+  EXPECT_EQ(a.fxp_table.breakpoints, b.fxp_table.breakpoints);
+}
+
+TEST(MutationKindName, Labels) {
+  EXPECT_EQ(mutation_kind_name(MutationKind::kGaussian), "GQA-LUT w/o RM");
+  EXPECT_EQ(mutation_kind_name(MutationKind::kRoundingMutation),
+            "GQA-LUT w/ RM");
+}
+
+}  // namespace
+}  // namespace gqa

@@ -1,0 +1,176 @@
+// Tests for the hardware cost model (component library, unit composition,
+// Table 6 calibration) and the Verilog emitter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/approximator.h"
+#include "hw/components.h"
+#include "hw/pwl_unit_design.h"
+#include "hw/verilog_emitter.h"
+#include "util/contracts.h"
+
+namespace gqa::hw {
+namespace {
+
+TEST(Components, MonotoneInWidth) {
+  EXPECT_LT(ge_adder(8), ge_adder(16));
+  EXPECT_LT(ge_multiplier(8, 8), ge_multiplier(16, 16));
+  EXPECT_LT(ge_multiplier(16, 16), ge_multiplier(32, 32));
+  EXPECT_LT(ge_comparator(8), ge_comparator(32));
+  EXPECT_LT(ge_storage(100), ge_storage(200));
+  EXPECT_LT(ge_barrel_shifter(16, 4), ge_barrel_shifter(16, 16));
+  EXPECT_EQ(ge_barrel_shifter(16, 0), 0.0);
+}
+
+TEST(Components, Fp32UnitsCostMoreThanInt8) {
+  EXPECT_GT(ge_fp32_multiplier(), ge_multiplier(8, 8));
+  EXPECT_GT(ge_fp32_adder(), ge_adder(17));
+  EXPECT_GT(ge_fp32_comparator(), ge_comparator(8));
+}
+
+TEST(Components, InvalidWidthsThrow) {
+  EXPECT_THROW(ge_adder(0), ContractViolation);
+  EXPECT_THROW(ge_multiplier(0, 8), ContractViolation);
+  EXPECT_THROW(ge_storage(-1), ContractViolation);
+}
+
+TEST(Synthesize, AnchorCalibrationMatchesPaper) {
+  const SynthReport anchor = synthesize(PwlUnitSpec{Precision::kInt8, 8, 8});
+  EXPECT_NEAR(anchor.area_um2, 961.0, 0.5);
+  EXPECT_NEAR(anchor.power_mw, 0.40, 0.005);
+}
+
+TEST(Synthesize, MonotoneInPrecisionAndEntries) {
+  double prev_area = 0.0;
+  for (Precision p : {Precision::kInt8, Precision::kInt16, Precision::kInt32}) {
+    const SynthReport r = synthesize(PwlUnitSpec{p, 8, 8});
+    EXPECT_GT(r.area_um2, prev_area);
+    prev_area = r.area_um2;
+  }
+  for (Precision p : all_precisions()) {
+    const SynthReport r8 = synthesize(PwlUnitSpec{p, 8, 8});
+    const SynthReport r16 = synthesize(PwlUnitSpec{p, 16, 8});
+    EXPECT_GT(r16.area_um2, r8.area_um2);
+    EXPECT_GT(r16.power_mw, r8.power_mw);
+  }
+}
+
+TEST(Synthesize, PaperHeadlineRatiosHold) {
+  const SynthReport int8 = synthesize(PwlUnitSpec{Precision::kInt8, 8, 8});
+  const SynthReport int32 = synthesize(PwlUnitSpec{Precision::kInt32, 8, 8});
+  const SynthReport fp32 = synthesize(PwlUnitSpec{Precision::kFp32, 8, 8});
+  // Paper: ~81% area and ~80% power savings; accept the 72-90% band.
+  const double area_vs_fp32 = 1.0 - int8.area_um2 / fp32.area_um2;
+  const double area_vs_int32 = 1.0 - int8.area_um2 / int32.area_um2;
+  const double power_vs_fp32 = 1.0 - int8.power_mw / fp32.power_mw;
+  EXPECT_GT(area_vs_fp32, 0.72);
+  EXPECT_LT(area_vs_fp32, 0.90);
+  EXPECT_GT(area_vs_int32, 0.72);
+  EXPECT_GT(power_vs_fp32, 0.70);
+  // Entry scaling: paper reports 1.71x area, 1.95x power for 16 vs 8.
+  const SynthReport int8_16 = synthesize(PwlUnitSpec{Precision::kInt8, 16, 8});
+  EXPECT_NEAR(int8_16.area_um2 / int8.area_um2, 1.71, 0.25);
+  EXPECT_NEAR(int8_16.power_mw / int8.power_mw, 1.95, 0.40);
+}
+
+TEST(Synthesize, BreakdownSumsToTotal) {
+  const SynthReport r = synthesize(PwlUnitSpec{Precision::kInt16, 8, 8});
+  double sum = 0.0;
+  for (const auto& [name, ge] : r.breakdown) sum += ge;
+  EXPECT_NEAR(sum, r.gate_equivalents, 1e-9);
+  EXPECT_TRUE(r.breakdown.count("multiplier"));
+  EXPECT_TRUE(r.breakdown.count("lut_storage"));
+  EXPECT_TRUE(r.breakdown.count("shifter"));  // INT units have the b<<s stage
+  const SynthReport fp = synthesize(PwlUnitSpec{Precision::kFp32, 8, 8});
+  EXPECT_FALSE(fp.breakdown.count("shifter"));  // FP path skips it
+}
+
+TEST(Synthesize, InvalidSpecsThrow) {
+  EXPECT_THROW(synthesize(PwlUnitSpec{Precision::kInt8, 1, 8}),
+               ContractViolation);
+  EXPECT_THROW(synthesize(PwlUnitSpec{Precision::kInt8, 8, 64}),
+               ContractViolation);
+}
+
+TEST(FormatReport, ContainsSavingsColumn) {
+  std::vector<SynthReport> rows = {
+      synthesize(PwlUnitSpec{Precision::kInt8, 8, 8}),
+      synthesize(PwlUnitSpec{Precision::kFp32, 8, 8})};
+  const std::string text = format_report(rows);
+  EXPECT_NE(text.find("INT8"), std::string::npos);
+  EXPECT_NE(text.find("FP32"), std::string::npos);
+  EXPECT_NE(text.find('%'), std::string::npos);
+}
+
+// --------------------------------------------------------------- verilog --
+
+QuantizedPwlTable sample_table() {
+  const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  return approx.quantized(QuantParams{0.0625, 8, true});
+}
+
+TEST(VerilogEmitter, StructurallySaneModule) {
+  const QuantizedPwlTable table = sample_table();
+  const std::string v = emit_pwl_unit(table);
+  EXPECT_NE(v.find("module gqa_pwl_unit"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("q_in"), std::string::npos);
+  EXPECT_NE(v.find("acc_out"), std::string::npos);
+  // One comparator line per breakpoint.
+  std::size_t comparisons = 0;
+  for (std::size_t pos = v.find("q_in <"); pos != std::string::npos;
+       pos = v.find("q_in <", pos + 1)) {
+    ++comparisons;
+  }
+  EXPECT_EQ(comparisons, table.p_code.size());
+  // One LUT case entry per segment plus a default.
+  std::size_t cases = 0;
+  for (std::size_t pos = v.find("k_lut ="); pos != std::string::npos;
+       pos = v.find("k_lut =", pos + 1)) {
+    ++cases;
+  }
+  EXPECT_EQ(cases, static_cast<std::size_t>(table.entries()) + 1);
+}
+
+TEST(VerilogEmitter, CombinationalVariant) {
+  VerilogOptions options;
+  options.registered_output = false;
+  const std::string v = emit_pwl_unit(sample_table(), options);
+  EXPECT_NE(v.find("assign acc_out"), std::string::npos);
+  EXPECT_EQ(v.find("posedge"), std::string::npos);
+}
+
+TEST(VerilogEmitter, TestbenchCoversAllCodesAndSelfChecks) {
+  const QuantizedPwlTable table = sample_table();
+  const std::string tb = emit_testbench(table);
+  EXPECT_NE(tb.find("module gqa_pwl_unit_tb"), std::string::npos);
+  EXPECT_NE(tb.find("PASS"), std::string::npos);
+  std::size_t checks = 0;
+  for (std::size_t pos = tb.find("check("); pos != std::string::npos;
+       pos = tb.find("check(", pos + 1)) {
+    ++checks;
+  }
+  // Task definition + 256 invocations.
+  EXPECT_EQ(checks, 257u);
+}
+
+TEST(VerilogEmitter, BalancedModuleEndmodule) {
+  for (const std::string& text :
+       {emit_pwl_unit(sample_table()), emit_testbench(sample_table())}) {
+    std::size_t modules = 0, ends = 0;
+    for (std::size_t pos = text.find("module "); pos != std::string::npos;
+         pos = text.find("module ", pos + 1)) {
+      if (pos == 0 || text[pos - 1] != 'd') ++modules;  // skip "endmodule"
+    }
+    for (std::size_t pos = text.find("endmodule"); pos != std::string::npos;
+         pos = text.find("endmodule", pos + 1)) {
+      ++ends;
+    }
+    EXPECT_EQ(modules, ends);
+    EXPECT_GE(modules, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace gqa::hw

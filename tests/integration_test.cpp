@@ -1,0 +1,152 @@
+// Cross-module integration tests: the paper's headline orderings at
+// operator level, the integer Softmax through fitted kernels, fit ->
+// serialize -> deploy -> Verilog pipelines, and a reduced end-to-end
+// segmentation run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/approximator.h"
+#include "eval/protocol.h"
+#include "eval/segtask.h"
+#include "hw/verilog_emitter.h"
+#include "tfm/modules.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace gqa {
+namespace {
+
+TEST(Integration, GqaBeatsNnLutOnScaleDependentOps) {
+  // Table 3's central ordering, seed-averaged over 2 fits for stability.
+  for (Op op : {Op::kGelu, Op::kExp}) {
+    double nn = 0.0;
+    double rm = 0.0;
+    for (std::uint64_t seed : {0x11ull, 0x22ull}) {
+      FitOptions options;
+      options.seed = seed;
+      nn += operator_level_mse(
+          Approximator::fit(op, Method::kNnLut, options), {});
+      rm += operator_level_mse(
+          Approximator::fit(op, Method::kGqaRm, options), {});
+    }
+    EXPECT_LT(rm, nn) << op_info(op).name
+                      << ": GQA w/RM must beat NN-LUT on average MSE";
+  }
+}
+
+TEST(Integration, GqaBeatsNnLutOnFxpInputOps) {
+  // DIV/RSQRT: the paper's Table 3 has GQA (either variant) well below
+  // NN-LUT.
+  for (Op op : {Op::kDiv, Op::kRsqrt}) {
+    const double nn = operator_level_mse(
+        Approximator::fit(op, Method::kNnLut, {}), {});
+    const double g = operator_level_mse(
+        Approximator::fit(op, Method::kGqaNoRm, {}), {});
+    EXPECT_LT(g, nn) << op_info(op).name;
+  }
+}
+
+TEST(Integration, RmFlattensTheScaleProfile) {
+  // Fig. 2(a): w/o RM concentrates error at large scales; w/RM (per-scale
+  // champions) is markedly better there.
+  double norm_large = 0.0;
+  double rm_large = 0.0;
+  for (std::uint64_t seed : {0x31ull, 0x32ull, 0x33ull}) {
+    FitOptions options;
+    options.seed = seed;
+    const auto norm = sweep_scale_mse(
+        Approximator::fit(Op::kGelu, Method::kGqaNoRm, options));
+    const auto rm = sweep_scale_mse(
+        Approximator::fit(Op::kGelu, Method::kGqaRm, options));
+    norm_large += norm.points[0].mse + norm.points[1].mse;
+    rm_large += rm.points[0].mse + rm.points[1].mse;
+  }
+  EXPECT_LT(rm_large, norm_large);
+}
+
+TEST(Integration, IntSoftmaxWithFittedKernels) {
+  // Build an integer Softmax whose EXP and DIV both run through GQA-fitted
+  // bit-accurate kernels; row outputs must stay close to FP softmax.
+  Rng rng(0x50F7);
+  tfm::Tensor scores(tfm::Shape{6, 16});
+  // Score spread matters: the po2 scale maps amax to ~127 codes, and the
+  // max-subtracted inputs d span twice that range, saturating the INT8
+  // bus at -128. With amax ~ 8 the saturated tail exp(-8) is negligible,
+  // matching calibrated attention scores in the models.
+  for (auto& v : scores.data()) v = static_cast<float>(rng.uniform(-8.0, 8.0));
+  const QuantParams qp = make_po2_params(scores.amax() / 127.0, 8);
+  const tfm::QTensor q = tfm::QTensor::quantize(scores, qp);
+  const auto nl =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kExp, Op::kDiv});
+  const tfm::QTensor probs = tfm::Softmax::forward_int(q, nl);
+  const tfm::Tensor ref = tfm::Softmax::forward_fp(scores);
+  double max_err = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      max_err = std::max(
+          max_err, std::abs(tfm::Softmax::prob_params().dequantize(
+                                probs.at(i, j)) -
+                            static_cast<double>(ref.at(i, j))));
+    }
+  }
+  EXPECT_LT(max_err, 0.06);
+}
+
+TEST(Integration, FitSerializeDeployVerilog) {
+  // The full deployment pipeline: fit -> save -> load -> quantize ->
+  // emit RTL; the emitted module must embed the quantized parameters.
+  const std::string path = "/tmp/gqa_integration_lut.json";
+  Approximator::fit(Op::kExp, Method::kGqaRm, {}).save(path);
+  const Approximator loaded = Approximator::load(path);
+  const QuantizedPwlTable qt =
+      loaded.quantized(QuantParams{std::ldexp(1.0, -3), 8, true});
+  const std::string rtl = hw::emit_pwl_unit(qt);
+  EXPECT_NE(rtl.find("module"), std::string::npos);
+  // The IntPwlUnit and the testbench's expected values must agree.
+  const IntPwlUnit unit(qt);
+  const std::string tb = hw::emit_testbench(qt);
+  EXPECT_NE(tb.find(format("check(%lld)",
+                           static_cast<long long>(unit.eval_code(0)))),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Integration, EndToEndSegmentationOrdering) {
+  // Reduced Table-4 run: INT8-exact baseline close to FP teacher, and
+  // replacing every op with GQA w/RM kernels degrades only mildly.
+  SegTaskOptions options;
+  options.train_scenes = 48;
+  options.eval_scenes = 8;
+  options.probe_epochs = 15;
+  options.scene.size = 32;
+  const SegformerTask task = make_segformer_task(options);
+
+  const double fp = task.miou_fp();
+  const double base = task.miou_int(tfm::NonlinearProvider::exact());
+  EXPECT_GT(fp, 0.15);               // head training produced real skill
+  EXPECT_GT(base, fp - 0.10);        // INT8 quantization near-lossless
+
+  const auto rm = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm, {Op::kExp, Op::kGelu, Op::kDiv, Op::kRsqrt});
+  const double gqa = task.miou_int(rm);
+  EXPECT_GT(gqa, base - 0.12);       // pwl replacement stays close
+}
+
+TEST(Integration, ProviderCachesAreConsistent) {
+  // Repeated calls must hit the unit cache and return identical values.
+  const auto nl = tfm::NonlinearProvider::with_method(Method::kGqaRm,
+                                                      {Op::kGelu});
+  const double a = nl.gelu_code(37, -4);
+  const double b = nl.gelu_code(37, -4);
+  EXPECT_DOUBLE_EQ(a, b);
+  // Different scales use different deployment tables but stay accurate.
+  for (int e : {-2, -3, -5}) {
+    EXPECT_NEAR(nl.gelu_code(16 << (-e - 2), e) /
+                    eval_op(Op::kGelu, std::ldexp(16 << (-e - 2), e)),
+                1.0, 0.2);
+  }
+}
+
+}  // namespace
+}  // namespace gqa

@@ -1,0 +1,157 @@
+// Tests for the bit-accurate integer kernels: the IntPwlUnit is checked
+// against an independently written reference model over the full input
+// space, and the MultiRangeUnit against real-arithmetic multi-range
+// evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/approximator.h"
+#include "kernel/int_pwl_unit.h"
+#include "kernel/multirange_unit.h"
+#include "util/contracts.h"
+
+namespace gqa {
+namespace {
+
+PwlTable gelu_like_table() {
+  PwlTable t;
+  t.breakpoints = {-2.75, -1.5, -0.75, -0.25, 0.25, 1.0, 2.0};
+  t.slopes = {0.0, -0.0625, 0.03125, 0.34375, 0.65625, 0.96875, 1.03125, 1.0};
+  t.intercepts = {0.0, -0.15625, 0.0, 0.21875, 0.0, -0.09375, -0.15625, 0.0};
+  return t;
+}
+
+/// Independent reference: evaluates the quantized-table semantics in plain
+/// double arithmetic (Eq. 1 + Eq. 3), without the kernel's datapath code.
+double reference_eval(const QuantizedPwlTable& qt, std::int64_t q) {
+  int seg = 0;
+  while (seg < static_cast<int>(qt.p_code.size()) &&
+         q >= qt.p_code[static_cast<std::size_t>(seg)]) {
+    ++seg;
+  }
+  const double k = qt.slope_value(seg);
+  const double b = qt.intercept_value(seg);
+  const double x = qt.input.dequantize(q);
+  return k * x + b;
+}
+
+class IntUnitBitExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntUnitBitExact, MatchesReferenceOverAllCodes) {
+  const int scale_exp = GetParam();
+  const QuantParams input{std::ldexp(1.0, scale_exp), 8, true};
+  const QuantizedPwlTable qt = quantize_table(gelu_like_table(), input, 5, 8);
+  const IntPwlUnit unit(qt);
+  for (std::int64_t q = -128; q <= 127; ++q) {
+    EXPECT_NEAR(unit.eval_real_from_code(q), reference_eval(qt, q), 1e-12)
+        << "q=" << q << " S=2^" << scale_exp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, IntUnitBitExact,
+                         ::testing::Values(0, -1, -2, -3, -4, -5, -6));
+
+TEST(IntPwlUnit, AccumulatorCodesHaveLambdaFracBits) {
+  const QuantParams input{0.25, 8, true};  // s = 2
+  const QuantizedPwlTable qt = quantize_table(gelu_like_table(), input, 5, 8);
+  const IntPwlUnit unit(qt);
+  // acc = k_code*q + (b_code << 2); check one value by hand.
+  // q = 4 -> x = 1.0, which lies in segment [1.0, 2.0): k = 1.03125,
+  // b = -0.15625 (x == p belongs to the upper segment per Eq. 1).
+  const std::int64_t q = 4;
+  const std::int64_t k_code = 33;  // 1.03125 * 32
+  const std::int64_t b_code = -5;  // -0.15625 * 32
+  EXPECT_EQ(unit.eval_code(q), k_code * q + (b_code << 2));
+  EXPECT_DOUBLE_EQ(unit.eval_real_from_code(q), 0.875);  // pwl(1.0)
+  EXPECT_DOUBLE_EQ(unit.acc_scale(), 0.25 / 32.0);
+}
+
+TEST(IntPwlUnit, InputBusEnforced) {
+  const QuantParams input{0.25, 8, true};
+  const IntPwlUnit unit(quantize_table(gelu_like_table(), input, 5, 8));
+  EXPECT_THROW(unit.eval_code(128), ContractViolation);
+  EXPECT_THROW(unit.eval_code(-129), ContractViolation);
+  EXPECT_NO_THROW(unit.eval_code(127));
+}
+
+TEST(IntPwlUnit, EvalRealQuantizesInput) {
+  const QuantParams input{0.25, 8, true};
+  const IntPwlUnit unit(quantize_table(gelu_like_table(), input, 5, 8));
+  // 0.6 quantizes to code 2 (0.5); both paths must agree.
+  EXPECT_DOUBLE_EQ(unit.eval_real(0.6), unit.eval_real_from_code(2));
+  // Out-of-range inputs saturate at the code bounds, not UB.
+  EXPECT_DOUBLE_EQ(unit.eval_real(1e9), unit.eval_real_from_code(127));
+}
+
+TEST(IntPwlUnit, ShifterRangeChecked) {
+  const QuantParams input{std::ldexp(1.0, -20), 8, true};
+  IntPwlUnitConfig cfg;
+  cfg.max_shift = 8;
+  EXPECT_THROW(
+      IntPwlUnit(quantize_table(gelu_like_table(), input, 5, 8), cfg),
+      ContractViolation);
+}
+
+TEST(IntPwlUnit, ApproximatesTheFunction) {
+  const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  const IntPwlUnit unit = approx.make_unit(-4);
+  double max_err = 0.0;
+  for (double x = -2.0; x <= 1.98; x += 0.0625) {
+    max_err = std::max(max_err,
+                       std::abs(unit.eval_real(x) - eval_op(Op::kGelu, x)));
+  }
+  EXPECT_LT(max_err, 0.06);
+}
+
+// ------------------------------------------------------- multirange unit --
+
+MultiRangeUnit make_div_unit() {
+  const Approximator approx = Approximator::fit(Op::kDiv, Method::kGqaNoRm, {});
+  return approx.make_multirange_unit();
+}
+
+TEST(MultiRangeUnit, RequiresLambdaFracInput) {
+  const Approximator approx = Approximator::fit(Op::kDiv, Method::kGqaNoRm, {});
+  const QuantizedPwlTable wrong =
+      approx.quantized(QuantParams{0.25, 8, true});  // not 2^-lambda
+  EXPECT_THROW(MultiRangeUnit(wrong, MultiRangeConfig::div_preset()),
+               ContractViolation);
+}
+
+TEST(MultiRangeUnit, ReciprocalAccuracyAcrossDecades) {
+  const MultiRangeUnit unit = make_div_unit();
+  for (double x : {0.6, 1.0, 2.5, 3.9, 5.0, 17.0, 60.0, 200.0}) {
+    const double approx = unit.eval_real(x);
+    const double exact = 1.0 / x;
+    EXPECT_NEAR(approx / exact, 1.0, 0.08) << "x=" << x;
+  }
+}
+
+TEST(MultiRangeUnit, RsqrtAccuracyAcrossDecades) {
+  const Approximator approx = Approximator::fit(Op::kRsqrt, Method::kGqaNoRm, {});
+  const MultiRangeUnit unit = approx.make_multirange_unit();
+  for (double x : {0.3, 1.0, 3.5, 10.0, 60.0, 500.0, 4000.0}) {
+    EXPECT_NEAR(unit.eval_real(x) * std::sqrt(x), 1.0, 0.08) << "x=" << x;
+  }
+}
+
+TEST(MultiRangeUnit, FxpPathMatchesRealPath) {
+  const MultiRangeUnit unit = make_div_unit();
+  for (double x : {0.75, 2.0, 8.0, 40.0}) {
+    const std::int64_t code = llround(std::ldexp(x, 16));
+    EXPECT_DOUBLE_EQ(unit.eval_fxp(code, 16), unit.eval_real(x));
+  }
+}
+
+TEST(MultiRangeUnit, ScaleSeparabilityExploited) {
+  // Values in SR0 [4, 32) route through S' = 2^-3; verify the rescale:
+  // recip(8) must equal 2^-3 * pwl(1.0).
+  const MultiRangeUnit unit = make_div_unit();
+  const double direct = unit.eval_real(8.0);
+  const double via_ir = unit.eval_real(1.0);
+  EXPECT_NEAR(direct, via_ir / 8.0, 0.01);
+}
+
+}  // namespace
+}  // namespace gqa

@@ -1,0 +1,121 @@
+// Tests for the NN-LUT baseline: exact pwl extraction from ReLU networks
+// (validated pointwise against the network forward), training convergence,
+// and the end-to-end fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nnlut/nn_lut.h"
+#include "pwl/fit_grid.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+
+namespace gqa {
+namespace {
+
+TEST(NnLutNetwork, ForwardMatchesDefinition) {
+  NnLutNetwork net;
+  net.w = {1.0, -2.0};
+  net.c = {0.5, 1.0};
+  net.v = {2.0, 3.0};
+  net.d = -0.25;
+  // x = 1: relu(1.5)=1.5, relu(-1)=0 -> 2*1.5 - 0.25 = 2.75.
+  EXPECT_DOUBLE_EQ(net.forward(1.0), 2.75);
+  // x = -1: relu(-0.5)=0, relu(3)=3 -> 3*3 - 0.25 = 8.75.
+  EXPECT_DOUBLE_EQ(net.forward(-1.0), 8.75);
+}
+
+class ExtractionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtractionProperty, PwlEqualsNetworkEverywhere) {
+  // Random networks with mixed-sign weights: the extracted table must agree
+  // with the network at every point inside the range.
+  Rng rng(GetParam());
+  NnLutNetwork net;
+  const int h = 7;
+  for (int j = 0; j < h; ++j) {
+    double w = rng.uniform(0.3, 2.0) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    net.w.push_back(w);
+    net.c.push_back(rng.uniform(-3.0, 3.0));
+    net.v.push_back(rng.normal(0.0, 1.0));
+  }
+  net.d = rng.normal(0.0, 0.5);
+
+  const PwlTable table = extract_pwl(net, -4.0, 4.0, 8);
+  table.validate();
+  EXPECT_EQ(table.entries(), 8);
+  for (double x = -4.0; x <= 4.0; x += 0.0137) {
+    EXPECT_NEAR(table.eval(x), net.forward(x), 1e-9) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractionProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+TEST(Extraction, HandlesDeadUnitsAndOutOfRangeKnots) {
+  NnLutNetwork net;
+  net.w = {1e-12, 1.0, 1.0};   // first unit is dead (constant)
+  net.c = {2.0, 10.0, -0.5};   // second knot at -10 (outside range)
+  net.v = {1.0, 0.5, 2.0};
+  net.d = 0.0;
+  const PwlTable table = extract_pwl(net, -4.0, 4.0, 4);
+  table.validate();
+  EXPECT_EQ(table.entries(), 4);
+  for (double x = -4.0; x <= 4.0; x += 0.05) {
+    EXPECT_NEAR(table.eval(x), net.forward(x), 1e-9);
+  }
+}
+
+TEST(Extraction, PadsToRequestedEntries) {
+  NnLutNetwork net;  // single unit -> 2 natural segments
+  net.w = {1.0};
+  net.c = {0.0};
+  net.v = {1.0};
+  net.d = 0.0;
+  const PwlTable table = extract_pwl(net, -2.0, 2.0, 8);
+  EXPECT_EQ(table.entries(), 8);
+  for (double x = -2.0; x <= 2.0; x += 0.01) {
+    EXPECT_NEAR(table.eval(x), x > 0 ? x : 0.0, 1e-9);
+  }
+}
+
+TEST(NnLutConfig, PresetAndValidation) {
+  const NnLutConfig cfg = NnLutConfig::preset(Op::kExp, 16);
+  EXPECT_DOUBLE_EQ(cfg.range_lo, -8.0);
+  EXPECT_EQ(cfg.entries, 16);
+  EXPECT_EQ(cfg.samples, 100000);  // the paper's reported data budget
+  NnLutConfig bad = cfg;
+  bad.entries = 1;
+  EXPECT_THROW(bad.validate(), ContractViolation);
+  bad = cfg;
+  bad.learning_rate = 0.0;
+  EXPECT_THROW(bad.validate(), ContractViolation);
+}
+
+TEST(FitNnLut, LearnsGelu) {
+  NnLutConfig cfg = NnLutConfig::preset(Op::kGelu, 8);
+  cfg.samples = 20000;  // trimmed for test speed
+  cfg.epochs = 30;
+  const NnLutFitResult result = fit_nn_lut(cfg);
+  result.fp_table.validate();
+  EXPECT_EQ(result.fp_table.entries(), 8);
+  // A trained 7-knot network should fit GELU well below trivial baselines.
+  EXPECT_LT(result.fp_mse, 1e-3);
+  EXPECT_LT(result.final_train_loss, 1e-2);
+  // FXP conversion degrades but stays in the expected band.
+  EXPECT_GE(result.fxp_mse, result.fp_mse - 1e-12);
+  EXPECT_LT(result.fxp_mse, 5e-3);
+}
+
+TEST(FitNnLut, DeterministicPerSeed) {
+  NnLutConfig cfg = NnLutConfig::preset(Op::kDiv, 8);
+  cfg.samples = 5000;
+  cfg.epochs = 10;
+  const NnLutFitResult a = fit_nn_lut(cfg);
+  const NnLutFitResult b = fit_nn_lut(cfg);
+  EXPECT_EQ(a.fp_table.breakpoints, b.fp_table.breakpoints);
+  EXPECT_EQ(a.fp_table.slopes, b.fp_table.slopes);
+}
+
+}  // namespace
+}  // namespace gqa

@@ -1,0 +1,273 @@
+// Tests for the pwl core: table semantics, the prefix-sum least-squares
+// fitter (validated against a naive reference), quantized tables (Eq. 3),
+// and serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numerics/nonlinear.h"
+#include "pwl/fit_grid.h"
+#include "pwl/pwl_table.h"
+#include "pwl/quantized_table.h"
+#include "pwl/serialize.h"
+#include "util/contracts.h"
+#include "util/json.h"
+
+namespace gqa {
+namespace {
+
+PwlTable simple_table() {
+  // y = 0 for x < -1; y = x for -1 <= x < 1; y = 2x - 1 for x >= 1.
+  PwlTable t;
+  t.breakpoints = {-1.0, 1.0};
+  t.slopes = {0.0, 1.0, 2.0};
+  t.intercepts = {0.0, 0.0, -1.0};
+  return t;
+}
+
+TEST(PwlTable, SegmentMembershipMatchesEq1) {
+  const PwlTable t = simple_table();
+  EXPECT_EQ(t.segment_index(-5.0), 0);
+  EXPECT_EQ(t.segment_index(-1.0), 1);  // p0 <= x -> next segment
+  EXPECT_EQ(t.segment_index(0.0), 1);
+  EXPECT_EQ(t.segment_index(1.0), 2);   // x >= p_last
+  EXPECT_EQ(t.segment_index(9.0), 2);
+}
+
+TEST(PwlTable, Evaluation) {
+  const PwlTable t = simple_table();
+  EXPECT_DOUBLE_EQ(t.eval(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.eval(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(t.eval(2.0), 3.0);
+  const std::vector<double> xs = {-2.0, 0.0, 2.0};
+  const auto ys = t.eval(std::span<const double>(xs));
+  EXPECT_DOUBLE_EQ(ys[2], 3.0);
+}
+
+TEST(PwlTable, ValidateCatchesCorruption) {
+  PwlTable t = simple_table();
+  t.breakpoints = {1.0, -1.0};  // unsorted
+  EXPECT_THROW(t.validate(), ContractViolation);
+  t = simple_table();
+  t.slopes.pop_back();
+  EXPECT_THROW(t.validate(), ContractViolation);
+  t = simple_table();
+  t.intercepts[0] = std::nan("");
+  EXPECT_THROW(t.validate(), ContractViolation);
+  PwlTable empty;
+  EXPECT_THROW(empty.validate(), ContractViolation);
+}
+
+TEST(PwlTable, FxpRoundingSnapsToGrid) {
+  PwlTable t = simple_table();
+  t.slopes[1] = 0.7183;
+  t.intercepts[1] = -0.3141;
+  const PwlTable r = t.rounded_to_fxp(5);
+  EXPECT_DOUBLE_EQ(r.slopes[1], std::round(0.7183 * 32) / 32);
+  EXPECT_DOUBLE_EQ(r.intercepts[1], std::round(-0.3141 * 32) / 32);
+  EXPECT_DOUBLE_EQ(r.breakpoints[0], -1.0);  // breakpoints untouched
+  EXPECT_THROW(t.rounded_to_fxp(-1), ContractViolation);
+}
+
+// --------------------------------------------------------------- fitgrid --
+
+TEST(FitGrid, SamplesRangeInclusive) {
+  const FitGrid g = FitGrid::make([](double x) { return x * x; }, -1.0, 1.0,
+                                  0.25);
+  EXPECT_EQ(g.size(), 9u);
+  EXPECT_DOUBLE_EQ(g.x(0), -1.0);
+  EXPECT_DOUBLE_EQ(g.x(8), 1.0);
+  EXPECT_DOUBLE_EQ(g.y(4), 0.0);
+}
+
+TEST(FitGrid, RejectsBadInput) {
+  EXPECT_THROW(FitGrid::make(nullptr, 0, 1, 0.01), ContractViolation);
+  EXPECT_THROW(FitGrid::make([](double) { return 0.0; }, 1.0, 0.0, 0.01),
+               ContractViolation);
+  EXPECT_THROW(FitGrid::make([](double) { return std::nan(""); }, 0, 1, 0.01),
+               ContractViolation);
+}
+
+/// Naive O(n) per-segment least squares used as the reference oracle.
+SegmentFit naive_fit(const FitGrid& g, std::size_t lo, std::size_t hi) {
+  SegmentFit fit;
+  fit.n = hi - lo;
+  if (fit.n == 0) return fit;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    sx += g.x(i);
+    sy += g.y(i);
+    sxx += g.x(i) * g.x(i);
+    sxy += g.x(i) * g.y(i);
+  }
+  const double n = static_cast<double>(fit.n);
+  const double denom = n * sxx - sx * sx;
+  if (fit.n == 1 || std::abs(denom) < 1e-12) {
+    fit.b = sy / n;
+  } else {
+    fit.k = (n * sxy - sx * sy) / denom;
+    fit.b = (sy - fit.k * sx) / n;
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    const double r = g.y(i) - fit.k * g.x(i) - fit.b;
+    fit.sse += r * r;
+  }
+  return fit;
+}
+
+class PrefixSumFitter : public ::testing::TestWithParam<Op> {};
+
+TEST_P(PrefixSumFitter, MatchesNaiveReference) {
+  const OpInfo& info = op_info(GetParam());
+  const FitGrid g =
+      FitGrid::make(info.f, info.range_lo, info.range_hi, 0.01);
+  const std::size_t n = g.size();
+  const std::vector<std::pair<std::size_t, std::size_t>> spans = {
+      {0, n}, {0, 1}, {n / 3, 2 * n / 3}, {n - 2, n}, {5, 5}};
+  for (const auto& [lo, hi] : spans) {
+    const SegmentFit fast = g.fit_segment(lo, hi);
+    const SegmentFit slow = naive_fit(g, lo, hi);
+    // Prefix-sum differencing cancels ~8 digits on long segments; 1e-7
+    // absolute agreement is far below any quantization grid used here.
+    EXPECT_NEAR(fast.k, slow.k, 1e-7 + std::abs(slow.k) * 1e-7);
+    EXPECT_NEAR(fast.b, slow.b, 1e-7 + std::abs(slow.b) * 1e-7);
+    EXPECT_NEAR(fast.sse, slow.sse, 1e-7 + slow.sse * 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, PrefixSumFitter,
+                         ::testing::Values(Op::kGelu, Op::kExp, Op::kDiv,
+                                           Op::kRsqrt, Op::kHswish));
+
+TEST(FitGrid, FitnessEqualsFitTablePlusMse) {
+  const OpInfo& info = op_info(Op::kGelu);
+  const FitGrid g = FitGrid::make(info.f, -4.0, 4.0, 0.01);
+  const std::vector<double> bkps = {-2.5, -1.0, -0.25, 0.3, 1.1, 2.0, 3.0};
+  const double fast = g.fitness(bkps);
+  const PwlTable table = g.fit_table(bkps);
+  EXPECT_NEAR(fast, g.mse_of(table), 1e-10);
+}
+
+TEST(FitGrid, FitnessFxpNeverBetterThanFp) {
+  const OpInfo& info = op_info(Op::kGelu);
+  const FitGrid g = FitGrid::make(info.f, -4.0, 4.0, 0.01);
+  const std::vector<double> bkps = {-2.5, -1.0, -0.25, 0.3, 1.1, 2.0, 3.0};
+  EXPECT_GE(g.fitness_fxp(bkps, 5), g.fitness(bkps) - 1e-12);
+  // Finer grids approach the FP fitness.
+  EXPECT_LE(g.fitness_fxp(bkps, 12), g.fitness_fxp(bkps, 4) + 1e-12);
+}
+
+TEST(FitGrid, UnsortedBreakpointsThrow) {
+  const FitGrid g = FitGrid::make([](double x) { return x; }, 0.0, 1.0, 0.01);
+  const std::vector<double> bad = {0.8, 0.2};
+  EXPECT_THROW(g.fitness(bad), ContractViolation);
+  EXPECT_THROW((void)g.fit_table(bad), ContractViolation);
+}
+
+TEST(FitGrid, InterpolateStrategyIsContinuous) {
+  const OpInfo& info = op_info(Op::kGelu);
+  const FitGrid g = FitGrid::make(info.f, -4.0, 4.0, 0.01);
+  const std::vector<double> bkps = {-2.0, -0.5, 0.5, 2.0};
+  const PwlTable t = g.fit_table(bkps, FitStrategy::kInterpolate);
+  for (double p : bkps) {
+    const double left = t.slopes[static_cast<std::size_t>(t.segment_index(p - 1e-9))] * p +
+                        t.intercepts[static_cast<std::size_t>(t.segment_index(p - 1e-9))];
+    const double right = t.eval(p);
+    EXPECT_NEAR(left, right, 1e-9) << "discontinuity at " << p;
+  }
+  // And it matches the function exactly at the breakpoints.
+  for (double p : bkps) EXPECT_NEAR(t.eval(p), info.f(p), 1e-12);
+}
+
+TEST(FitGrid, QuantAwareFitnessPenalizesDeviation) {
+  const OpInfo& info = op_info(Op::kExp);
+  const FitGrid g = FitGrid::make(info.f, -8.0, 0.0, 0.01);
+  // Off-grid breakpoints deviate under coarse deployment grids.
+  const std::vector<double> off = {-6.3, -4.7, -3.3, -2.3, -1.55, -0.815, -0.3};
+  std::vector<int> coarse = {0, 1};
+  std::vector<int> fine = {6};
+  EXPECT_GT(g.fitness_quant_aware(off, 5, coarse),
+            g.fitness_quant_aware(off, 5, fine));
+}
+
+// ------------------------------------------------------- quantized table --
+
+TEST(QuantizedTable, Eq3Quantization) {
+  const PwlTable t = simple_table();
+  const QuantParams input{0.25, 8, true};  // S = 2^-2
+  const QuantizedPwlTable qt = quantize_table(t, input, 5, 8);
+  EXPECT_EQ(qt.entries(), 3);
+  EXPECT_EQ(qt.lambda(), 5);
+  EXPECT_EQ(qt.intercept_shift(), 2);
+  // p = ±1 at S = 2^-2 -> codes ±4.
+  EXPECT_EQ(qt.p_code[0], -4);
+  EXPECT_EQ(qt.p_code[1], 4);
+  // k = 1 at lambda 5 -> code 32; b = -1 -> code -32.
+  EXPECT_EQ(qt.k_code[1], 32);
+  EXPECT_EQ(qt.b_code[2], -32);
+}
+
+TEST(QuantizedTable, BreakpointClipping) {
+  PwlTable t = simple_table();
+  t.breakpoints = {-100.0, 100.0};
+  const QuantParams input{0.25, 8, true};
+  const QuantizedPwlTable qt = quantize_table(t, input, 5, 8);
+  EXPECT_EQ(qt.p_code[0], -128);  // clip(round(-400)) per Eq. 3
+  EXPECT_EQ(qt.p_code[1], 127);
+}
+
+TEST(QuantizedTable, RequiresPo2Scale) {
+  EXPECT_THROW(
+      quantize_table(simple_table(), QuantParams{0.3, 8, true}, 5, 8),
+      ContractViolation);
+}
+
+TEST(QuantizedTable, SegmentIndexOnCodes) {
+  const QuantizedPwlTable qt =
+      quantize_table(simple_table(), QuantParams{0.25, 8, true}, 5, 8);
+  EXPECT_EQ(qt.segment_index(-10), 0);
+  EXPECT_EQ(qt.segment_index(-4), 1);
+  EXPECT_EQ(qt.segment_index(0), 1);
+  EXPECT_EQ(qt.segment_index(4), 2);
+}
+
+TEST(QuantizedTable, DequantizeCrossCheck) {
+  const QuantizedPwlTable qt =
+      quantize_table(simple_table(), QuantParams{0.25, 8, true}, 5, 8);
+  const PwlTable back = dequantize_table(qt);
+  EXPECT_DOUBLE_EQ(back.slopes[1], 1.0);
+  EXPECT_DOUBLE_EQ(back.intercepts[2], -1.0);
+  EXPECT_DOUBLE_EQ(back.breakpoints[0], -1.0);
+}
+
+// ----------------------------------------------------------- serialization
+
+TEST(Serialize, PwlRoundTrip) {
+  const PwlTable t = simple_table();
+  const PwlTable back = pwl_from_json(pwl_to_json(t));
+  EXPECT_EQ(back.breakpoints, t.breakpoints);
+  EXPECT_EQ(back.slopes, t.slopes);
+  EXPECT_EQ(back.intercepts, t.intercepts);
+}
+
+TEST(Serialize, QuantizedRoundTripThroughFile) {
+  const QuantizedPwlTable qt =
+      quantize_table(simple_table(), QuantParams{0.25, 8, true}, 5, 8);
+  const std::string path = "/tmp/gqa_qt_test.json";
+  save_quantized(qt, path);
+  const QuantizedPwlTable back = load_quantized(path);
+  EXPECT_EQ(back.k_code, qt.k_code);
+  EXPECT_EQ(back.b_code, qt.b_code);
+  EXPECT_EQ(back.p_code, qt.p_code);
+  EXPECT_EQ(back.param_fmt, qt.param_fmt);
+  EXPECT_EQ(back.input, qt.input);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CorruptDocumentRejected) {
+  EXPECT_THROW(pwl_from_json(Json::parse("{\"slopes\": [1]}")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gqa

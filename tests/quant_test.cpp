@@ -1,0 +1,142 @@
+// Tests for the quantization substrate: Eq. 2 quantizer, power-of-two
+// scales, range calibration, and dyadic requantization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/calibration.h"
+#include "quant/quant_params.h"
+#include "quant/requant.h"
+#include "util/contracts.h"
+
+namespace gqa {
+namespace {
+
+class QuantRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantRoundTrip, ErrorBoundedByHalfScale) {
+  const QuantParams qp{GetParam(), 8, true};
+  for (double x = -3.9; x <= 3.9; x += 0.0173) {
+    const double back = qp.fake_quantize(x);
+    if (std::abs(x / qp.scale) < 126.0) {  // away from clipping
+      EXPECT_LE(std::abs(back - x), qp.scale / 2 + 1e-12) << "x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, QuantRoundTrip,
+                         ::testing::Values(1.0, 0.5, 0.125, 0.03125, 0.031));
+
+TEST(QuantParams, ClipsToCodeRange) {
+  const QuantParams qp{0.5, 8, true};
+  EXPECT_EQ(qp.quantize(1000.0), 127);
+  EXPECT_EQ(qp.quantize(-1000.0), -128);
+  const QuantParams uq{0.5, 8, false};
+  EXPECT_EQ(uq.quantize(-3.0), 0);
+  EXPECT_EQ(uq.quantize(1000.0), 255);
+}
+
+TEST(QuantParams, RoundsToNearest) {
+  const QuantParams qp{1.0, 8, true};
+  EXPECT_EQ(qp.quantize(2.4), 2);
+  EXPECT_EQ(qp.quantize(2.5), 3);   // ties away from zero
+  EXPECT_EQ(qp.quantize(-2.5), -3);
+}
+
+TEST(QuantParams, Po2Detection) {
+  EXPECT_TRUE((QuantParams{0.25, 8, true}).scale_is_po2());
+  EXPECT_EQ((QuantParams{0.25, 8, true}).po2_exponent(), -2);
+  EXPECT_FALSE((QuantParams{0.3, 8, true}).scale_is_po2());
+  EXPECT_THROW((QuantParams{0.3, 8, true}).po2_exponent(), ContractViolation);
+}
+
+TEST(QuantParams, BatchHelpers) {
+  const QuantParams qp{0.5, 8, true};
+  const std::vector<double> xs = {0.6, -1.2, 3.9};
+  const auto qs = qp.quantize(xs);
+  ASSERT_EQ(qs.size(), 3u);
+  EXPECT_EQ(qs[0], 1);
+  EXPECT_EQ(qs[1], -2);
+  const auto back = qp.dequantize(qs);
+  EXPECT_DOUBLE_EQ(back[2], 4.0);
+}
+
+TEST(MakePo2Params, SnapsToNearestPowerOfTwo) {
+  EXPECT_DOUBLE_EQ(make_po2_params(0.3, 8).scale, 0.25);
+  EXPECT_DOUBLE_EQ(make_po2_params(0.2, 8).scale, 0.25);
+  EXPECT_DOUBLE_EQ(make_po2_params(0.1, 8).scale, 0.125);
+  EXPECT_THROW(make_po2_params(0.0, 8), ContractViolation);
+  EXPECT_THROW(make_po2_params(-1.0, 8), ContractViolation);
+}
+
+TEST(SymmetricScale, MapsAmaxToQmax) {
+  EXPECT_DOUBLE_EQ(symmetric_scale(12.7, 8), 0.1);
+  EXPECT_THROW(symmetric_scale(0.0, 8), ContractViolation);
+}
+
+// ----------------------------------------------------------- calibration --
+
+TEST(RangeObserver, TracksMinMax) {
+  RangeObserver obs;
+  EXPECT_TRUE(obs.empty());
+  EXPECT_THROW(obs.min(), ContractViolation);
+  obs.observe(1.5);
+  obs.observe(-2.25);
+  obs.observe(0.5);
+  EXPECT_DOUBLE_EQ(obs.min(), -2.25);
+  EXPECT_DOUBLE_EQ(obs.max(), 1.5);
+  EXPECT_DOUBLE_EQ(obs.amax(), 2.25);
+  EXPECT_EQ(obs.count(), 3u);
+}
+
+TEST(RangeObserver, SpanOverloads) {
+  RangeObserver obs;
+  const std::vector<float> values = {0.25f, -3.5f, 1.0f};
+  obs.observe(std::span<const float>(values));
+  EXPECT_DOUBLE_EQ(obs.amax(), 3.5);
+}
+
+TEST(RangeObserver, RejectsNonFinite) {
+  RangeObserver obs;
+  EXPECT_THROW(obs.observe(std::nan("")), ContractViolation);
+}
+
+TEST(RangeObserver, MakeParamsCoversRange) {
+  RangeObserver obs;
+  obs.observe(-3.0);
+  obs.observe(2.0);
+  const QuantParams qp = obs.make_params(8);
+  EXPECT_DOUBLE_EQ(qp.scale, 3.0 / 127.0);
+  const QuantParams po2 = obs.make_po2(8);
+  EXPECT_TRUE(po2.scale_is_po2());
+  // The snapped scale never clips the observed range.
+  EXPECT_GE(po2.scale * 127.0, 3.0);
+  EXPECT_LE(po2.scale, 2.0 * qp.scale + 1e-12);
+}
+
+// --------------------------------------------------------------- requant --
+
+TEST(Requantizer, MatchesExactRatio) {
+  const QuantParams out{0.1, 8, true};
+  const Requantizer rq(0.004, out);
+  EXPECT_NEAR(rq.exact_ratio(), 0.04, 1e-12);
+  for (std::int64_t acc : {-2500LL, -100LL, 0LL, 99LL, 3000LL}) {
+    const double exact = static_cast<double>(acc) * 0.04;
+    const double got = static_cast<double>(rq.apply(acc));
+    EXPECT_NEAR(got, std::clamp(exact, -128.0, 127.0), 0.51 + std::abs(exact) * 1e-4);
+  }
+}
+
+TEST(Requantizer, SaturatesAtOutputWidth) {
+  const Requantizer rq(1.0, QuantParams{0.01, 8, true});
+  EXPECT_EQ(rq.apply(1000), 127);
+  EXPECT_EQ(rq.apply(-1000), -128);
+}
+
+TEST(Requantizer, RejectsInvalidScales) {
+  EXPECT_THROW(Requantizer(0.0, QuantParams{1.0, 8, true}), ContractViolation);
+  EXPECT_THROW(Requantizer(-1.0, QuantParams{1.0, 8, true}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gqa

@@ -1,0 +1,107 @@
+// Property suite for the paper's central separability identity (§2.3):
+//   pwl(S·q) = S·pwl_q(q)
+// The bit-accurate IntPwlUnit must agree with real-arithmetic evaluation
+// of the *dequantized* table at every input code, for every operator,
+// fitting method, and deployment scale — i.e. integer deployment is
+// exactly the real pwl with Eq.-3-quantized parameters, nothing more.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/approximator.h"
+#include "pwl/quantized_table.h"
+
+namespace gqa {
+namespace {
+
+using Case = std::tuple<Op, Method, int>;  // op, method, scale exponent
+
+class Separability : public ::testing::TestWithParam<Case> {};
+
+TEST_P(Separability, IntUnitEqualsDequantizedTable) {
+  const auto [op, method, exp] = GetParam();
+  const Approximator approx = Approximator::fit(op, method, {});
+  const QuantParams input{std::ldexp(1.0, exp), 8, true};
+  const QuantizedPwlTable qt = approx.quantized(input);
+  const IntPwlUnit unit(qt);
+
+  for (std::int64_t q = input.qmin(); q <= input.qmax(); ++q) {
+    const double x = input.dequantize(q);
+    // S·pwl_q(q) computed by the integer datapath ...
+    const double integer_path = unit.eval_real_from_code(q);
+    // ... must equal k_i·x + b_i in real arithmetic, with the segment
+    // chosen by the same code-domain comparator (quantization can tie
+    // adjacent breakpoints; the comparator semantics resolve ties).
+    const int seg = qt.segment_index(q);
+    const double real_path =
+        qt.slope_value(seg) * x + qt.intercept_value(seg);
+    ASSERT_NEAR(integer_path, real_path, 1e-9)
+        << op_info(op).name << " " << method_name(method) << " q=" << q
+        << " S=2^" << exp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, Separability,
+    ::testing::Combine(::testing::Values(Op::kGelu, Op::kHswish, Op::kExp),
+                       ::testing::Values(Method::kNnLut, Method::kGqaNoRm,
+                                         Method::kGqaRm),
+                       ::testing::Values(0, -2, -4, -6)),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      // Note: no structured bindings here — the preprocessor does not
+      // group square brackets, so their commas would split macro args.
+      const Op op = std::get<0>(info.param);
+      const Method method = std::get<1>(info.param);
+      const int exp = std::get<2>(info.param);
+      std::string name = op_info(op).name + "_";
+      name += method == Method::kNnLut     ? "nnlut"
+              : method == Method::kGqaNoRm ? "norm"
+                                           : "rm";
+      name += "_s" + std::to_string(-exp);
+      return name;
+    });
+
+class EntrySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EntrySweep, MoreEntriesNeverHurtMuch) {
+  // pwl approximation quality is monotone-ish in entry count; allow a
+  // small stochastic margin since each fit is an independent GA run.
+  const int entries = GetParam();
+  FitOptions small, large;
+  small.entries = entries;
+  large.entries = entries * 2;
+  const Approximator a = Approximator::fit(Op::kGelu, Method::kGqaRm, small);
+  const Approximator b = Approximator::fit(Op::kGelu, Method::kGqaRm, large);
+  const OpInfo& info = op_info(Op::kGelu);
+  auto grid_mse = [&info](const Approximator& approx) {
+    double sse = 0.0;
+    int n = 0;
+    for (double x = info.range_lo; x <= info.range_hi; x += 0.01) {
+      const double err = approx.eval(x) - info.f(x);
+      sse += err * err;
+      ++n;
+    }
+    return sse / n;
+  };
+  EXPECT_LT(grid_mse(b), grid_mse(a) * 1.5 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EntrySweep, ::testing::Values(4, 8, 16));
+
+TEST(Separability, ShiftIdentityForPo2Inputs) {
+  // b << s in the kernel equals b / S exactly for every power-of-two S.
+  const Approximator approx = Approximator::fit(Op::kExp, Method::kGqaRm, {});
+  for (int exp : {0, -1, -3, -6}) {
+    const QuantizedPwlTable qt =
+        approx.quantized(QuantParams{std::ldexp(1.0, exp), 8, true});
+    EXPECT_EQ(qt.intercept_shift(), -exp);
+    const IntPwlUnit unit(qt);
+    // acc(0) = k_0·0 + (b_0 << s): dequantized it must equal b_0 exactly.
+    const int seg = qt.segment_index(0);
+    EXPECT_NEAR(unit.eval_real_from_code(0), qt.intercept_value(seg), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gqa

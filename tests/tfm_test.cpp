@@ -1,0 +1,408 @@
+// Tests for the Transformer substrate: tensors, quantized modules (integer
+// paths validated against the FP reference within quantization error), and
+// the integer Softmax / LayerNorm built on the pwl kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tfm/modules.h"
+#include "tfm/probe.h"
+#include "util/contracts.h"
+
+namespace gqa::tfm {
+namespace {
+
+Rng test_rng() { return Rng(0xABCDEF); }
+
+// ------------------------------------------------------------------ tensor
+
+TEST(Tensor, ShapesAndAccessors) {
+  Tensor t(Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(Shape({4, 5, 6}).to_string(), "{4, 5, 6}");
+}
+
+TEST(Tensor, RandnDeterministic) {
+  Rng a(1), b(1);
+  const Tensor x = Tensor::randn(Shape{10}, a, 1.0);
+  const Tensor y = Tensor::randn(Shape{10}, b, 1.0);
+  EXPECT_EQ(x.data(), y.data());
+  EXPECT_GT(x.amax(), 0.0);
+}
+
+TEST(QTensorBasics, QuantizeDequantizeRoundTrip) {
+  Tensor t(Shape{2, 2});
+  t.at(0, 0) = 0.5f;
+  t.at(0, 1) = -0.26f;
+  t.at(1, 0) = 3.9f;
+  t.at(1, 1) = -4.1f;
+  const QuantParams qp{1.0 / 32.0, 8, true};
+  const QTensor q = QTensor::quantize(t, qp);
+  EXPECT_EQ(q.at(0, 0), 16);
+  EXPECT_EQ(q.at(1, 0), 125);
+  EXPECT_EQ(q.at(1, 1), -128);  // clipped
+  const Tensor back = q.dequantize();
+  EXPECT_NEAR(back.at(0, 1), -0.26, qp.scale / 2 + 1e-9);
+}
+
+TEST(Tokens, RoundTripPreservesLayout) {
+  Tensor map(Shape{2, 3, 4});
+  for (std::size_t i = 0; i < map.data().size(); ++i) {
+    map.data()[i] = static_cast<float>(i);
+  }
+  const Tensor tokens = to_tokens(map);
+  EXPECT_EQ(tokens.shape(), (Shape{12, 2}));
+  EXPECT_FLOAT_EQ(tokens.at(0, 0), map.at(0, 0, 0));
+  EXPECT_FLOAT_EQ(tokens.at(5, 1), map.at(1, 1, 1));
+  const Tensor back = from_tokens(tokens, 3, 4);
+  EXPECT_EQ(back.data(), map.data());
+}
+
+// ------------------------------------------------------------------ linear
+
+TEST(LinearModule, IntMatchesFpWithinQuantError) {
+  Rng rng = test_rng();
+  Linear lin(16, 8, rng);
+  Tensor x = Tensor::randn(Shape{5, 16}, rng, 1.0);
+  const Tensor ref = lin.calibrate(x);
+  const QuantParams in_qp{x.amax() / 127.0, 8, true};
+  const QuantParams out_qp = lin.freeze(in_qp, QuantPolicy{});
+  const QTensor qx = QTensor::quantize(x, in_qp);
+  const QTensor qy = lin.forward_int(qx);
+  EXPECT_EQ(qy.params(), out_qp);
+  double max_err = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    for (int o = 0; o < 8; ++o) {
+      max_err = std::max(max_err, std::abs(out_qp.dequantize(qy.at(i, o)) -
+                                           static_cast<double>(ref.at(i, o))));
+    }
+  }
+  // Error budget: input quant + weight quant + output quant.
+  EXPECT_LT(max_err, 8.0 * (in_qp.scale + out_qp.scale));
+}
+
+TEST(LinearModule, LifecycleContracts) {
+  Rng rng = test_rng();
+  Linear lin(4, 4, rng);
+  EXPECT_THROW(lin.freeze(QuantParams{0.1, 8, true}, QuantPolicy{}),
+               ContractViolation);  // no calibration yet
+  Tensor wrong(Shape{2, 5});
+  EXPECT_THROW((void)lin.forward_fp(wrong), ContractViolation);
+}
+
+// -------------------------------------------------------------------- conv
+
+TEST(ConvModule, HandComputedOutput) {
+  Rng rng = test_rng();
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  // Identity kernel: centre tap 1, everything else 0, no bias.
+  for (float& v : conv.weights().data()) v = 0.0f;
+  conv.weights().at(0, 0, 1, 1) = 1.0f;
+  conv.bias().at(0) = 0.0f;
+  Tensor x(Shape{1, 3, 3});
+  for (std::size_t i = 0; i < 9; ++i) x.data()[i] = static_cast<float>(i);
+  const Tensor y = conv.forward_fp(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_EQ(y.data(), x.data());
+}
+
+TEST(ConvModule, StrideAndPaddingGeometry) {
+  Rng rng = test_rng();
+  Conv2d conv(3, 8, 7, 4, 3, rng);
+  const Tensor y = conv.forward_fp(Tensor(Shape{3, 64, 64}));
+  EXPECT_EQ(y.shape(), (Shape{8, 16, 16}));
+  Conv2d dw(4, 4, 3, 2, 1, rng, /*depthwise=*/true);
+  const Tensor yd = dw.forward_fp(Tensor(Shape{4, 8, 8}));
+  EXPECT_EQ(yd.shape(), (Shape{4, 4, 4}));
+}
+
+TEST(ConvModule, IntMatchesFpWithinQuantError) {
+  Rng rng = test_rng();
+  Conv2d conv(4, 6, 3, 1, 1, rng);
+  Tensor x = Tensor::randn(Shape{4, 6, 6}, rng, 1.0);
+  const Tensor ref = conv.calibrate(x);
+  const QuantParams in_qp{x.amax() / 127.0, 8, true};
+  const QuantParams out_qp = conv.freeze(in_qp, QuantPolicy{});
+  const QTensor qy = conv.forward_int(QTensor::quantize(x, in_qp));
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < qy.data().size(); ++i) {
+    max_err = std::max(max_err,
+                       std::abs(out_qp.dequantize(qy.data()[i]) -
+                                static_cast<double>(ref.data()[i])));
+  }
+  EXPECT_LT(max_err, 10.0 * (in_qp.scale + out_qp.scale));
+}
+
+TEST(ConvModule, DepthwiseRequiresMatchingChannels) {
+  Rng rng = test_rng();
+  EXPECT_THROW(Conv2d(4, 8, 3, 1, 1, rng, /*depthwise=*/true),
+               ContractViolation);
+}
+
+// --------------------------------------------------------------- layernorm
+
+TEST(LayerNormModule, FpNormalizesRows) {
+  Rng rng = test_rng();
+  LayerNorm ln(32, rng);
+  // Neutral affine for the check.
+  for (float& g : ln.gamma().data()) g = 1.0f;
+  for (float& b : ln.beta().data()) b = 0.0f;
+  Tensor x = Tensor::randn(Shape{4, 32}, rng, 3.0);
+  const Tensor y = ln.forward_fp(x);
+  for (int i = 0; i < 4; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (int d = 0; d < 32; ++d) mean += y.at(i, d) / 32.0;
+    for (int d = 0; d < 32; ++d) {
+      var += (y.at(i, d) - mean) * (y.at(i, d) - mean) / 32.0;
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormModule, IntTracksFpWithExactRsqrt) {
+  Rng rng = test_rng();
+  LayerNorm ln(64, rng);
+  Tensor x = Tensor::randn(Shape{6, 64}, rng, 1.5);
+  const Tensor ref = ln.calibrate(x);
+  const QuantParams in_qp{x.amax() / 127.0, 8, true};
+  const QuantParams out_qp = ln.freeze(in_qp, QuantPolicy{});
+  const NonlinearProvider exact = NonlinearProvider::exact();
+  const QTensor qy = ln.forward_int(QTensor::quantize(x, in_qp), exact);
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < qy.data().size(); ++i) {
+    const double err = out_qp.dequantize(qy.data()[i]) -
+                       static_cast<double>(ref.data()[i]);
+    sum_sq += err * err;
+  }
+  const double rmse = std::sqrt(sum_sq / static_cast<double>(qy.data().size()));
+  EXPECT_LT(rmse, 0.15);  // quantization noise only
+}
+
+// ----------------------------------------------------------------- softmax
+
+TEST(SoftmaxModule, FpRowsSumToOne) {
+  Rng rng = test_rng();
+  Tensor x = Tensor::randn(Shape{3, 10}, rng, 2.0);
+  const Tensor y = Softmax::forward_fp(x);
+  for (int i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_GE(y.at(i, j), 0.0f);
+      sum += y.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxModule, IntRowsApproximatelyNormalized) {
+  Rng rng = test_rng();
+  Tensor x = Tensor::randn(Shape{4, 12}, rng, 2.0);
+  const QuantParams qp = make_po2_params(x.amax() / 127.0, 8);
+  const QTensor qx = QTensor::quantize(x, qp);
+  for (const NonlinearProvider& nl :
+       {NonlinearProvider::exact(),
+        NonlinearProvider::with_method(Method::kGqaRm, {Op::kExp, Op::kDiv})}) {
+    const QTensor probs = Softmax::forward_int(qx, nl);
+    for (int i = 0; i < 4; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < 12; ++j) {
+        sum += Softmax::prob_params().dequantize(probs.at(i, j));
+      }
+      EXPECT_NEAR(sum, 1.0, 0.12);
+    }
+  }
+}
+
+TEST(SoftmaxModule, IntMatchesFpClosely) {
+  Rng rng = test_rng();
+  Tensor x = Tensor::randn(Shape{2, 8}, rng, 1.5);
+  const QuantParams qp = make_po2_params(x.amax() / 127.0, 8);
+  const Tensor ref = Softmax::forward_fp(x);
+  const QTensor probs =
+      Softmax::forward_int(QTensor::quantize(x, qp), NonlinearProvider::exact());
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(Softmax::prob_params().dequantize(probs.at(i, j)),
+                  ref.at(i, j), 0.05);
+    }
+  }
+}
+
+TEST(SoftmaxModule, RequiresPo2Scale) {
+  QTensor bad(Shape{1, 4}, QuantParams{0.3, 8, true});
+  EXPECT_THROW(
+      (void)Softmax::forward_int(bad, NonlinearProvider::exact()),
+      ContractViolation);
+}
+
+// -------------------------------------------------------------- activation
+
+TEST(ActivationModule, GeluIntPath) {
+  Rng rng = test_rng();
+  Activation act(Op::kGelu);
+  Tensor x = Tensor::randn(Shape{4, 16}, rng, 1.5);
+  const Tensor ref = act.calibrate(x);
+  const QuantParams in_qp = make_po2_params(x.amax() / 127.0, 8);
+  const QuantParams out_qp = act.freeze(in_qp, QuantPolicy{});
+  const NonlinearProvider nl =
+      NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  const QTensor qy = act.forward_int(QTensor::quantize(x, in_qp), nl);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < qy.data().size(); ++i) {
+    max_err = std::max(max_err,
+                       std::abs(out_qp.dequantize(qy.data()[i]) -
+                                static_cast<double>(ref.data()[i])));
+  }
+  EXPECT_LT(max_err, 0.1);
+}
+
+TEST(ActivationModule, RejectsNonPo2Input) {
+  Rng rng = test_rng();
+  Activation act(Op::kHswish);
+  (void)act.calibrate(Tensor::randn(Shape{2, 4}, rng, 1.0));
+  EXPECT_THROW(act.freeze(QuantParams{0.3, 8, true}, QuantPolicy{}),
+               ContractViolation);
+}
+
+// ------------------------------------------------------------ residual add
+
+TEST(ResidualAddModule, IntAddMatchesFp) {
+  Rng rng = test_rng();
+  ResidualAdd add;
+  Tensor a = Tensor::randn(Shape{3, 8}, rng, 1.0);
+  Tensor b = Tensor::randn(Shape{3, 8}, rng, 1.0);
+  const Tensor ref = add.calibrate(a, b);
+  const QuantParams a_qp{a.amax() / 127.0, 8, true};
+  const QuantParams b_qp{b.amax() / 127.0, 8, true};
+  const QuantParams out_qp = add.freeze(a_qp, b_qp, QuantPolicy{});
+  const QTensor qy = add.forward_int(QTensor::quantize(a, a_qp),
+                                     QTensor::quantize(b, b_qp));
+  for (std::size_t i = 0; i < qy.data().size(); ++i) {
+    EXPECT_NEAR(out_qp.dequantize(qy.data()[i]),
+                static_cast<double>(ref.data()[i]),
+                3.0 * (a_qp.scale + b_qp.scale + out_qp.scale));
+  }
+}
+
+// --------------------------------------------------------------- attention
+
+TEST(AttentionSRModule, IntTracksFp) {
+  Rng rng = test_rng();
+  AttentionSR attn(16, 2, 2, rng);
+  Tensor tokens = Tensor::randn(Shape{16, 16}, rng, 0.7);
+  const Tensor ref = attn.calibrate(tokens, 4, 4);
+  const QuantParams in_qp{tokens.amax() / 127.0, 8, true};
+  const QuantParams out_qp = attn.freeze(in_qp, QuantPolicy{});
+  const QTensor qy = attn.forward_int(QTensor::quantize(tokens, in_qp), 4, 4,
+                                      NonlinearProvider::exact());
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < qy.data().size(); ++i) {
+    const double err = out_qp.dequantize(qy.data()[i]) -
+                       static_cast<double>(ref.data()[i]);
+    sum_sq += err * err;
+  }
+  const double ref_rms = [&] {
+    double s = 0.0;
+    for (float v : ref.data()) s += static_cast<double>(v) * v;
+    return std::sqrt(s / static_cast<double>(ref.data().size()));
+  }();
+  const double rmse = std::sqrt(sum_sq / static_cast<double>(qy.data().size()));
+  EXPECT_LT(rmse, 0.35 * ref_rms + 0.05);
+}
+
+TEST(LinearAttentionModule, IntTracksFp) {
+  Rng rng = test_rng();
+  LinearAttention attn(16, rng);
+  Tensor tokens = Tensor::randn(Shape{24, 16}, rng, 0.7);
+  const Tensor ref = attn.calibrate(tokens);
+  const QuantParams in_qp{tokens.amax() / 127.0, 8, true};
+  const QuantParams out_qp = attn.freeze(in_qp, QuantPolicy{});
+  const QTensor qy = attn.forward_int(QTensor::quantize(tokens, in_qp),
+                                      NonlinearProvider::exact());
+  double sum_sq = 0.0;
+  double ref_sq = 0.0;
+  for (std::size_t i = 0; i < qy.data().size(); ++i) {
+    const double err = out_qp.dequantize(qy.data()[i]) -
+                       static_cast<double>(ref.data()[i]);
+    sum_sq += err * err;
+    ref_sq += static_cast<double>(ref.data()[i]) * ref.data()[i];
+  }
+  EXPECT_LT(std::sqrt(sum_sq), 0.4 * std::sqrt(ref_sq) + 0.05);
+}
+
+// --------------------------------------------------------- composite blocks
+
+TEST(MixFfnModule, EndToEndIntPath) {
+  Rng rng = test_rng();
+  MixFfn ffn(8, 32, rng);
+  Tensor tokens = Tensor::randn(Shape{16, 8}, rng, 0.7);
+  (void)ffn.calibrate(tokens, 4, 4);
+  const QuantParams in_qp{tokens.amax() / 127.0, 8, true};
+  const QuantParams out_qp = ffn.freeze(in_qp, QuantPolicy{});
+  const QTensor qy = ffn.forward_int(QTensor::quantize(tokens, in_qp), 4, 4,
+                                     NonlinearProvider::exact());
+  EXPECT_EQ(qy.shape(), (Shape{16, 8}));
+  EXPECT_EQ(qy.params(), out_qp);
+}
+
+TEST(MbConvModule, ResidualWiring) {
+  Rng rng = test_rng();
+  MbConv block(8, 8, 2, 1, rng);  // residual (in == out, stride 1)
+  Tensor x = Tensor::randn(Shape{8, 6, 6}, rng, 0.7);
+  (void)block.calibrate(x);
+  const QuantParams in_qp = make_po2_params(x.amax() / 127.0, 8);
+  (void)block.freeze(in_qp, QuantPolicy{});
+  const QTensor qy =
+      block.forward_int(QTensor::quantize(x, in_qp), NonlinearProvider::exact());
+  EXPECT_EQ(qy.shape(), (Shape{8, 6, 6}));
+
+  MbConv down(8, 16, 2, 2, rng);  // no residual (stride 2)
+  const Tensor y = down.forward_fp(x);
+  EXPECT_EQ(y.shape(), (Shape{16, 3, 3}));
+}
+
+// ------------------------------------------------------------------- probe
+
+TEST(Probe, LearnsSeparableData) {
+  // Two Gaussian blobs in 4-D, linearly separable.
+  Rng rng = test_rng();
+  std::vector<Tensor> features;
+  std::vector<std::vector<int>> labels;
+  Tensor f(Shape{100, 4});
+  std::vector<int> l(100);
+  for (int i = 0; i < 100; ++i) {
+    const int cls = i % 2;
+    for (int d = 0; d < 4; ++d) {
+      f.at(i, d) = static_cast<float>(rng.normal(cls == 0 ? -1.0 : 1.0, 0.3));
+    }
+    l[static_cast<std::size_t>(i)] = cls;
+  }
+  features.push_back(f);
+  labels.push_back(l);
+  std::vector<float> w(2 * 4, 0.0f), b(2, 0.0f);
+  const double loss =
+      train_softmax_probe(features, labels, 2, w, b, 30, 0.1, 7);
+  EXPECT_LT(loss, 0.1);
+  // All samples classified correctly.
+  for (int i = 0; i < 100; ++i) {
+    double z0 = b[0], z1 = b[1];
+    for (int d = 0; d < 4; ++d) {
+      z0 += w[static_cast<std::size_t>(d)] * f.at(i, d);
+      z1 += w[4 + static_cast<std::size_t>(d)] * f.at(i, d);
+    }
+    EXPECT_EQ(z1 > z0 ? 1 : 0, l[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Probe, ValidatesInput) {
+  std::vector<float> w(8, 0.0f), b(2, 0.0f);
+  EXPECT_THROW(train_softmax_probe({}, {}, 2, w, b, 1, 0.1, 1),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace gqa::tfm

@@ -1,0 +1,138 @@
+// Command-line front end to the fitting pipeline.
+//
+//   gqa_lut_cli fit     <op> [--method rm|norm|nnlut] [--entries N]
+//                       [--lambda L] [--out file.json]
+//   gqa_lut_cli eval    <file.json> [--scale-exp E]
+//   gqa_lut_cli verilog <file.json> --scale-exp E [--out unit.v]
+//   gqa_lut_cli ops
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/approximator.h"
+#include "eval/protocol.h"
+#include "hw/verilog_emitter.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace gqa;
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  gqa_lut_cli fit <op> [--method rm|norm|nnlut] [--entries N]\n"
+      "                       [--lambda L] [--out file.json]\n"
+      "  gqa_lut_cli eval <file.json> [--scale-exp E]\n"
+      "  gqa_lut_cli verilog <file.json> --scale-exp E [--out unit.v]\n"
+      "  gqa_lut_cli ops\n");
+  return 2;
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) break;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+Method method_from(const std::string& name) {
+  if (name == "rm") return Method::kGqaRm;
+  if (name == "norm") return Method::kGqaNoRm;
+  if (name == "nnlut") return Method::kNnLut;
+  throw ContractViolation("unknown method '" + name + "'");
+}
+
+int cmd_fit(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Op op = op_from_name(argv[2]);
+  const auto flags = parse_flags(argc, argv, 3);
+  FitOptions options;
+  Method method = Method::kGqaRm;
+  if (flags.count("method")) method = method_from(flags.at("method"));
+  if (flags.count("entries")) options.entries = std::stoi(flags.at("entries"));
+  if (flags.count("lambda")) options.lambda = std::stoi(flags.at("lambda"));
+  const Approximator approx = Approximator::fit(op, method, options);
+  std::printf("%s\n", approx.fxp_table().to_string().c_str());
+  std::printf("operator-level MSE: %.3e\n",
+              operator_level_mse(approx, SweepOptions{}));
+  const std::string out =
+      flags.count("out") ? flags.at("out")
+                         : to_lower(op_info(op).name) + "_lut.json";
+  approx.save(out);
+  std::printf("saved to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Approximator approx = Approximator::load(argv[2]);
+  const auto flags = parse_flags(argc, argv, 3);
+  std::printf("op=%s method=%s entries=%d lambda=%d\n",
+              op_info(approx.op()).name.c_str(),
+              method_name(approx.method()).c_str(),
+              approx.fxp_table().entries(), approx.lambda());
+  if (op_info(approx.op()).scale_dependent) {
+    const ScaleSweepResult sweep = sweep_scale_mse(approx);
+    for (const ScalePoint& p : sweep.points) {
+      std::printf("  S=2^%-3d MSE %.3e\n", p.exponent, p.mse);
+    }
+    std::printf("  avg %.3e\n", sweep.avg_mse());
+  } else {
+    std::printf("  IR fixed-point MSE %.3e\n",
+                operator_level_mse(approx, SweepOptions{}));
+  }
+  if (flags.count("scale-exp")) {
+    const int e = std::stoi(flags.at("scale-exp"));
+    std::printf("  at S=2^%d: %.3e\n", e,
+                scale_mse(approx.table_for_scale(-e), approx.op(), e,
+                          SweepOptions{}).mse);
+  }
+  return 0;
+}
+
+int cmd_verilog(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const Approximator approx = Approximator::load(argv[2]);
+  const auto flags = parse_flags(argc, argv, 3);
+  if (!flags.count("scale-exp")) return usage();
+  const int e = std::stoi(flags.at("scale-exp"));
+  const QuantizedPwlTable table =
+      approx.quantized(QuantParams{std::ldexp(1.0, e), 8, true});
+  const std::string out = flags.count("out") ? flags.at("out") : "gqa_unit.v";
+  hw::VerilogOptions options;
+  write_file(out, hw::emit_pwl_unit(table, options));
+  write_file(out + ".tb.v", hw::emit_testbench(table, options));
+  std::printf("wrote %s and %s.tb.v\n", out.c_str(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "fit") return cmd_fit(argc, argv);
+    if (cmd == "eval") return cmd_eval(argc, argv);
+    if (cmd == "verilog") return cmd_verilog(argc, argv);
+    if (cmd == "ops") {
+      for (Op op : all_ops()) {
+        const OpInfo& info = op_info(op);
+        std::printf("%-10s range (%g, %g)%s\n", info.name.c_str(),
+                    info.range_lo, info.range_hi,
+                    info.scale_dependent ? "" : "  [fixed-point input]");
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
