@@ -1,21 +1,38 @@
 // Microbenchmark (google-benchmark): software throughput of the
 // bit-accurate INT8 pwl kernel against libm reference evaluation and the
-// FP pwl table — the CPU-side cost of the simulation itself.
+// FP pwl table — the CPU-side cost of the simulation itself. The *_Batched
+// variants stream whole code spans through the new batch APIs (dense
+// segment table, hoisted intercept shift, one unit-cache lookup); compare
+// per-item times against the per-code baselines.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/approximator.h"
 #include "kernel/multirange_unit.h"
+#include "tfm/nonlinear_provider.h"
 
 namespace {
 
 using namespace gqa;
 
+constexpr std::size_t kBatch = 4096;
+
 const Approximator& gelu_approx() {
   static const Approximator approx =
       Approximator::fit(Op::kGelu, Method::kGqaRm, {});
   return approx;
+}
+
+std::vector<std::int64_t> full_int8_sweep(std::size_t count) {
+  std::vector<std::int64_t> codes(count);
+  std::int64_t q = -128;
+  for (std::size_t i = 0; i < count; ++i) {
+    codes[i] = q;
+    q = q >= 127 ? -128 : q + 1;
+  }
+  return codes;
 }
 
 void BM_IntPwlUnit_Gelu(benchmark::State& state) {
@@ -25,8 +42,55 @@ void BM_IntPwlUnit_Gelu(benchmark::State& state) {
     benchmark::DoNotOptimize(unit.eval_real_from_code(q));
     q = q >= 127 ? -128 : q + 1;
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_IntPwlUnit_Gelu);
+
+void BM_IntPwlUnit_Gelu_Batched(benchmark::State& state) {
+  const IntPwlUnit unit = gelu_approx().make_unit(-4);
+  const std::vector<std::int64_t> codes = full_int8_sweep(kBatch);
+  std::vector<double> out(kBatch);
+  for (auto _ : state) {
+    unit.eval_reals_from_codes(codes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_IntPwlUnit_Gelu_Batched);
+
+// Provider-level comparison: the scalar path pays the unit-cache map
+// lookup per code (what modules.cpp used to do per element); the batched
+// path is what Softmax/GELU/LayerNorm now call.
+void BM_Provider_Gelu_PerCode(benchmark::State& state) {
+  static const auto provider =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  const std::vector<std::int64_t> codes = full_int8_sweep(kBatch);
+  std::vector<double> out(kBatch);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      out[i] = provider.gelu_code(codes[i], -4);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_Provider_Gelu_PerCode);
+
+void BM_Provider_Gelu_Batched(benchmark::State& state) {
+  static const auto provider =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  const std::vector<std::int64_t> codes = full_int8_sweep(kBatch);
+  std::vector<double> out(kBatch);
+  for (auto _ : state) {
+    provider.gelu_codes(codes, -4, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_Provider_Gelu_Batched);
 
 void BM_FpPwlTable_Gelu(benchmark::State& state) {
   const PwlTable& table = gelu_approx().fxp_table();
@@ -56,8 +120,29 @@ void BM_MultiRangeUnit_Div(benchmark::State& state) {
     benchmark::DoNotOptimize(unit.eval_fxp(code, 16));
     code = code >= (1 << 23) ? (1 << 14) : code + 4097;
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MultiRangeUnit_Div);
+
+void BM_MultiRangeUnit_Div_Batched(benchmark::State& state) {
+  static const Approximator approx =
+      Approximator::fit(Op::kDiv, Method::kGqaNoRm, {});
+  const MultiRangeUnit unit = approx.make_multirange_unit();
+  std::vector<std::int64_t> codes(kBatch);
+  std::int64_t code = 1 << 14;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    codes[i] = code;
+    code = code >= (1 << 23) ? (1 << 14) : code + 4097;
+  }
+  std::vector<double> out(kBatch);
+  for (auto _ : state) {
+    unit.eval_fxp_batch(codes, 16, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_MultiRangeUnit_Div_Batched);
 
 }  // namespace
 

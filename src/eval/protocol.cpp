@@ -73,10 +73,18 @@ ScalePoint scale_mse(const PwlTable& fxp_table, Op op, int exponent,
 
   ScalePoint point;
   point.exponent = exponent;
+  // Stream the whole code lattice through the batched kernel (one segment
+  // table, hoisted intercept shift) instead of per-code dispatch.
+  std::vector<std::int64_t> codes(static_cast<std::size_t>(q_hi - q_lo + 1));
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = q_lo + static_cast<std::int64_t>(i);
+  }
+  std::vector<double> approx(codes.size());
+  unit.eval_reals_from_codes(codes, approx);
   double sse = 0.0;
-  for (std::int64_t q = q_lo; q <= q_hi; ++q) {
-    const double x = input.dequantize(q);
-    const double err = unit.eval_real_from_code(q) - info.f(x);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const double x = input.dequantize(codes[i]);
+    const double err = approx[i] - info.f(x);
     sse += err * err;
     ++point.samples;
   }
@@ -112,12 +120,18 @@ double fxp_domain_mse(const PwlTable& fxp_table, Op op,
       static_cast<std::int64_t>(std::floor(opts.range_hi / input.scale)));
   GQA_EXPECTS(q_lo <= q_hi);
 
+  std::vector<std::int64_t> codes(static_cast<std::size_t>(q_hi - q_lo + 1));
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = q_lo + static_cast<std::int64_t>(i);
+  }
+  std::vector<double> approx(codes.size());
+  unit.eval_reals_from_codes(codes, approx);
   double sse = 0.0;
   int n = 0;
-  for (std::int64_t q = q_lo; q <= q_hi; ++q) {
-    const double x = input.dequantize(q);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    const double x = input.dequantize(codes[i]);
     if (x < opts.range_lo || x > opts.range_hi) continue;
-    const double err = unit.eval_real_from_code(q) - info.f(x);
+    const double err = approx[i] - info.f(x);
     sse += err * err;
     ++n;
   }

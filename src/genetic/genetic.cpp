@@ -1,12 +1,22 @@
 #include "genetic/genetic.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace gqa {
+
+std::string genome_key(const Genome& genome) {
+  std::string key(genome.size() * sizeof(double), '\0');
+  if (!genome.empty()) std::memcpy(key.data(), genome.data(), key.size());
+  return key;
+}
 
 GeneticOptimizer::GeneticOptimizer(GaConfig config) : config_(config) {
   GQA_EXPECTS(config_.population_size >= 2);
@@ -17,6 +27,7 @@ GeneticOptimizer::GeneticOptimizer(GaConfig config) : config_(config) {
               config_.tournament_size <= config_.population_size);
   GQA_EXPECTS(config_.elite_count >= 0 &&
               config_.elite_count < config_.population_size);
+  GQA_EXPECTS(config_.num_threads >= 1);
 }
 
 void GeneticOptimizer::segment_swap_crossover(Genome& a, Genome& b, Rng& rng) {
@@ -53,6 +64,50 @@ GaResult GeneticOptimizer::run(const InitFn& init, const FitnessFn& fitness,
 
   std::vector<double> scores(pop_size);
 
+  ThreadPool pool(config_.num_threads);
+  // Memo cache across generations: elites are re-injected verbatim and
+  // tournament winners duplicate, so identical byte patterns recur often.
+  std::unordered_map<std::string, double> memo;
+  std::vector<std::string> keys(pop_size);
+  std::vector<std::size_t> pending;  // population indices that need scoring
+  pending.reserve(pop_size);
+
+  // Scores the population into `scores`. Cache lookups and insertions stay
+  // on the caller thread; only the pure fitness calls fan out, each writing
+  // its own slot — bit-identical to the serial path at any thread count.
+  const auto evaluate_population =
+      [&](const std::vector<Genome>& population) {
+        pending.clear();
+        if (config_.memoize_fitness) {
+          for (std::size_t i = 0; i < pop_size; ++i) {
+            keys[i] = genome_key(population[i]);
+            const auto it = memo.find(keys[i]);
+            if (it != memo.end()) {
+              scores[i] = it->second;
+              ++result.cache_hits;
+            } else {
+              // Reserve the slot so duplicates within this generation are
+              // computed once; the real score lands after the fan-out.
+              memo.emplace(keys[i], 0.0);
+              pending.push_back(i);
+            }
+          }
+        } else {
+          for (std::size_t i = 0; i < pop_size; ++i) pending.push_back(i);
+        }
+        pool.parallel_for(pending.size(), [&](std::size_t j) {
+          scores[pending[j]] = fitness(population[pending[j]]);
+        });
+        if (config_.memoize_fitness) {
+          for (std::size_t idx : pending) memo[keys[idx]] = scores[idx];
+          // Duplicates that hit the reserved placeholder read the real score.
+          for (std::size_t i = 0; i < pop_size; ++i) {
+            scores[i] = memo[keys[i]];
+          }
+        }
+        result.evaluations += static_cast<std::int64_t>(pop_size);
+      };
+
   for (int gen = 0; gen < config_.generations; ++gen) {
     // Genetic operators (Alg. 1 lines 9-16): each individual may cross with
     // a random partner and may mutate.
@@ -72,14 +127,16 @@ GaResult GeneticOptimizer::run(const InitFn& init, const FitnessFn& fitness,
       }
     }
 
-    // Evaluation.
-    for (std::size_t i = 0; i < pop_size; ++i) {
-      scores[i] = fitness(population[i]);
-      ++result.evaluations;
-      if (scores[i] < result.best_fitness) {
-        result.best_fitness = scores[i];
-        result.best = population[i];
-      }
+    // Evaluation. Track the generation's best index and copy the genome at
+    // most once per generation instead of on every improvement.
+    evaluate_population(population);
+    std::size_t gen_best = 0;
+    for (std::size_t i = 1; i < pop_size; ++i) {
+      if (scores[i] < scores[gen_best]) gen_best = i;
+    }
+    if (scores[gen_best] < result.best_fitness) {
+      result.best_fitness = scores[gen_best];
+      result.best = population[gen_best];
     }
     result.history.push_back(result.best_fitness);
     if (hook) hook(gen, population, scores);

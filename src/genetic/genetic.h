@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "util/rng.h"
@@ -22,9 +23,23 @@ struct GaConfig {
   int tournament_size = 3;
   int elite_count = 1;          ///< individuals copied verbatim each round
   std::uint64_t seed = 0xC0FFEE;
+  /// Fitness-evaluation lanes. The variation/selection RNG stays serial, so
+  /// results are bit-identical at any thread count (fitness must be pure).
+  int num_threads = 1;
+  /// Cache scores by genome bytes so elite re-injections and tournament
+  /// duplicates are never re-scored. Requires a pure fitness function, so
+  /// the generic default is off; GqaConfig (whose objectives are pure)
+  /// turns it on.
+  bool memoize_fitness = false;
 };
 
 using Genome = std::vector<double>;
+
+/// Byte-exact memo/dedupe key for a genome, shared by the fitness cache
+/// and GQA-LUT's champion-archive dedupe so the two can never diverge.
+/// Distinct bit patterns hash apart; -0.0 vs 0.0 merely costs a redundant
+/// evaluation, never a wrong score.
+[[nodiscard]] std::string genome_key(const Genome& genome);
 /// Fitness: lower is better (the paper uses MSE).
 using FitnessFn = std::function<double(const Genome&)>;
 /// In-place mutation of one genome.
@@ -43,7 +58,8 @@ struct GaResult {
   Genome best;
   double best_fitness = 0.0;
   std::vector<double> history;  ///< best-so-far fitness after each generation
-  std::int64_t evaluations = 0;
+  std::int64_t evaluations = 0; ///< genomes scored (cache hits included)
+  std::int64_t cache_hits = 0;  ///< scores served from the memo cache
 };
 
 class GeneticOptimizer {

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "gqa/objective.h"
 #include "util/contracts.h"
@@ -59,6 +63,8 @@ void GqaConfig::validate() const {
   GQA_EXPECTS_MSG(lambda >= 0 && lambda <= 16, "lambda out of range");
   GQA_EXPECTS_MSG(grid_step > 0.0, "grid step must be positive");
   GQA_EXPECTS_MSG(min_separation >= 0.0, "separation must be non-negative");
+  GQA_EXPECTS_MSG(input_bits >= 4 && input_bits <= 32,
+                  "objective input width out of range");
   GQA_EXPECTS_MSG(
       static_cast<double>(entries) * min_separation < range_hi - range_lo,
       "too many entries for the range at this separation");
@@ -97,7 +103,25 @@ GqaFitResult fit_gqa_lut(const GqaConfig& config) {
   };
 
   const QuantAwareObjective objective(grid, config.lambda,
-                                      config.deployment_scale_exps);
+                                      config.deployment_scale_exps,
+                                      config.input_bits);
+  const auto deployed_per_scale = [&config, &objective](const Genome& g) {
+    return config.use_naive_objective ? objective.per_scale_mse_naive(g)
+                                      : objective.per_scale_mse(g);
+  };
+
+  // When the deployed mean is both the fitness and the champion criterion,
+  // the fitness pass stashes its per-scale vector (under a lock — fitness
+  // may run on pool workers) for the hook to consume, so no genome's
+  // objective is ever computed twice in one generation. The naive-objective
+  // ablation stays unshared: the seed path it emulates recomputed too.
+  const bool share_per_scale =
+      config.per_scale_champions &&
+      config.fitness == GqaConfig::Fitness::kDeployedMean &&
+      !config.use_naive_objective;
+  std::mutex per_scale_mutex;
+  std::unordered_map<std::string, std::vector<double>> per_scale_stash;
+
   FitnessFn fitness;
   switch (config.fitness) {
     case GqaConfig::Fitness::kFxpAware:
@@ -109,7 +133,18 @@ GqaFitResult fit_gqa_lut(const GqaConfig& config) {
       fitness = [&grid](const Genome& g) { return grid.fitness(g); };
       break;
     case GqaConfig::Fitness::kDeployedMean:
-      fitness = [&objective](const Genome& g) { return objective(g); };
+      fitness = [&deployed_per_scale, &per_scale_mutex, &per_scale_stash,
+                 share_per_scale](const Genome& g) {
+        std::vector<double> mses = deployed_per_scale(g);
+        double total = 0.0;
+        for (double m : mses) total += m;
+        const double mean = total / static_cast<double>(mses.size());
+        if (share_per_scale) {
+          std::lock_guard<std::mutex> lock(per_scale_mutex);
+          per_scale_stash.emplace(genome_key(g), std::move(mses));
+        }
+        return mean;
+      };
       break;
   }
 
@@ -138,11 +173,34 @@ GqaFitResult fit_gqa_lut(const GqaConfig& config) {
     archive[i].deployed_mse = std::numeric_limits<double>::infinity();
   }
   PopulationHook hook;
+  std::unordered_set<std::string> archived;
   if (config.per_scale_champions) {
-    hook = [&archive, &objective](int, const std::vector<Genome>& population,
-                                  const std::vector<double>&) {
+    // A genome already archived contributes nothing new (its per-scale MSEs
+    // are unchanged and the archive only improves on strict <), so skip
+    // byte-identical repeats — elites and tournament duplicates dominate
+    // late generations. Gated on the same knob as fitness memoization so
+    // the serial seed path stays available for benchmarking.
+    const bool dedupe = config.ga.memoize_fitness;
+    hook = [&archive, &archived, &deployed_per_scale, &per_scale_mutex,
+            &per_scale_stash, dedupe, share_per_scale](
+               int, const std::vector<Genome>& population,
+               const std::vector<double>&) {
       for (const Genome& g : population) {
-        const std::vector<double> mses = objective.per_scale_mse(g);
+        std::string key;
+        if (dedupe || share_per_scale) key = genome_key(g);
+        if (dedupe && !archived.insert(key).second) continue;
+        std::vector<double> mses;
+        if (share_per_scale) {
+          // The hook runs serially between generations, but lock anyway to
+          // pair with the fitness-side writers.
+          std::lock_guard<std::mutex> lock(per_scale_mutex);
+          const auto it = per_scale_stash.find(key);
+          if (it != per_scale_stash.end()) {
+            mses = std::move(it->second);
+            per_scale_stash.erase(it);
+          }
+        }
+        if (mses.empty()) mses = deployed_per_scale(g);
         for (std::size_t i = 0; i < archive.size(); ++i) {
           if (mses[i] < archive[i].deployed_mse) {
             archive[i].deployed_mse = mses[i];

@@ -33,7 +33,9 @@ struct GqaConfig {
   MutationKind mutation = MutationKind::kRoundingMutation;
   RmParams rm;             ///< used when mutation == kRoundingMutation
   double gaussian_sigma_frac = 0.05;  ///< sigma = frac * (Rp - Rn) for w/o RM
-  GaConfig ga;
+  /// GA loop settings; every GQA fitness variant is pure, so score
+  /// memoization is safe and on by default here.
+  GaConfig ga = {.memoize_fitness = true};
   FitStrategy fit_strategy = FitStrategy::kLeastSquares;
   double min_separation = 0.01;  ///< repair: minimum breakpoint spacing
   /// GA fitness variants (see DESIGN.md §5 for the interpretation note):
@@ -45,6 +47,13 @@ struct GqaConfig {
   ///    scales (oracle ablation).
   enum class Fitness { kFxpAware, kFp32, kDeployedMean };
   Fitness fitness = Fitness::kFxpAware;
+  /// Input code width for the deployed-MSE objective (Eq. 3 clipping);
+  /// 16 matches the paper's W16A16 hardware row.
+  int input_bits = 8;
+  /// Benchmark/ablation knob: score deployed MSE with the seed's O(codes)
+  /// per-code scan instead of the prefix-sum closed form. Same results up
+  /// to double rounding, dramatically slower on fine deployment grids.
+  bool use_naive_objective = false;
   /// Deployment breakpoint grids 2^-s for which evolution archives its best
   /// candidate (the per-scale champions used at deployment). Presets use
   /// s = 0..6 (the paper's scale sweep S = 2^0..2^-6) for scale-dependent

@@ -32,36 +32,88 @@ QuantAwareObjective::QuantAwareObjective(const FitGrid& grid, int lambda,
         q_max, static_cast<std::int64_t>(std::floor(grid.hi() / sg.scale)));
     GQA_EXPECTS_MSG(q_lo <= q_hi,
                     "no integer codes inside the range at this scale");
+    sg.q_lo = q_lo;
     for (std::int64_t q = q_lo; q <= q_hi; ++q) {
       const double x = sg.scale * static_cast<double>(q);
       sg.xs.push_back(x);
       sg.fs.push_back(grid.target()(x));
+    }
+
+    const std::size_t n = sg.xs.size();
+    sg.sum_x.assign(n + 1, 0.0);
+    sg.sum_xx.assign(n + 1, 0.0);
+    sg.sum_f.assign(n + 1, 0.0);
+    sg.sum_xf.assign(n + 1, 0.0);
+    sg.sum_ff.assign(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = sg.xs[i];
+      const double f = sg.fs[i];
+      sg.sum_x[i + 1] = sg.sum_x[i] + x;
+      sg.sum_xx[i + 1] = sg.sum_xx[i] + x * x;
+      sg.sum_f[i + 1] = sg.sum_f[i] + f;
+      sg.sum_xf[i + 1] = sg.sum_xf[i] + x * f;
+      sg.sum_ff[i + 1] = sg.sum_ff[i] + f * f;
     }
     scale_grids_.push_back(std::move(sg));
   }
 }
 
 double QuantAwareObjective::mse_on(const ScaleGrid& sg,
-                                   const std::vector<double>& bounds,
+                                   const std::vector<std::int64_t>& bound_codes,
                                    const std::vector<double>& ks,
                                    const std::vector<double>& bs) const {
+  const std::size_t n = sg.xs.size();
+  double sse = 0.0;
+  std::size_t lo_idx = 0;
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    std::size_t hi_idx = n;
+    if (i < bound_codes.size()) {
+      // x >= boundary  <=>  q >= code, exactly (x = S·q with S a power of
+      // two), so the lattice index of the boundary is pure integer math.
+      const std::int64_t off = bound_codes[i] - sg.q_lo;
+      hi_idx = off <= 0 ? 0
+                        : std::min(n, static_cast<std::size_t>(off));
+      hi_idx = std::max(hi_idx, lo_idx);
+    }
+    const double m = static_cast<double>(hi_idx - lo_idx);
+    if (m != 0.0) {
+      const double sx = sg.sum_x[hi_idx] - sg.sum_x[lo_idx];
+      const double sxx = sg.sum_xx[hi_idx] - sg.sum_xx[lo_idx];
+      const double sf = sg.sum_f[hi_idx] - sg.sum_f[lo_idx];
+      const double sxf = sg.sum_xf[hi_idx] - sg.sum_xf[lo_idx];
+      const double sff = sg.sum_ff[hi_idx] - sg.sum_ff[lo_idx];
+      const double k = ks[i];
+      const double b = bs[i];
+      // Expansion of sum((f - kx - b)^2); exact, no pass over the codes.
+      sse += std::max(0.0, sff - 2.0 * k * sxf - 2.0 * b * sf + k * k * sxx +
+                               2.0 * k * b * sx + m * b * b);
+    }
+    lo_idx = hi_idx;
+  }
+  return sse / static_cast<double>(n);
+}
+
+double QuantAwareObjective::mse_on_naive(
+    const ScaleGrid& sg, const std::vector<std::int64_t>& bound_codes,
+    const std::vector<double>& ks, const std::vector<double>& bs) const {
   double sse = 0.0;
   std::size_t seg = 0;
   for (std::size_t i = 0; i < sg.xs.size(); ++i) {
-    const double x = sg.xs[i];
-    while (seg < bounds.size() && x >= bounds[seg]) ++seg;
-    const double err = ks[seg] * x + bs[seg] - sg.fs[i];
+    const std::int64_t q = sg.q_lo + static_cast<std::int64_t>(i);
+    while (seg < bound_codes.size() && q >= bound_codes[seg]) ++seg;
+    const double err = ks[seg] * sg.xs[i] + bs[seg] - sg.fs[i];
     sse += err * err;
   }
   return sse / static_cast<double>(sg.xs.size());
 }
 
-std::vector<double> QuantAwareObjective::per_scale_mse(
-    const Genome& breakpoints) const {
+void QuantAwareObjective::derive_lines(const Genome& breakpoints,
+                                       std::vector<double>& ks,
+                                       std::vector<double>& bs) const {
   const std::size_t nseg = breakpoints.size() + 1;
   // Deployed (k, b): least squares on unquantized segments, λ-rounded.
-  std::vector<double> ks(nseg);
-  std::vector<double> bs(nseg);
+  ks.resize(nseg);
+  bs.resize(nseg);
   std::size_t lo_idx = 0;
   for (std::size_t i = 0; i < nseg; ++i) {
     const std::size_t hi_idx = i < breakpoints.size()
@@ -73,19 +125,47 @@ std::vector<double> QuantAwareObjective::per_scale_mse(
     bs[i] = round_to_grid(fit.b, lambda_);
     lo_idx = hi_idx;
   }
+}
+
+std::vector<double> QuantAwareObjective::per_scale_mse(
+    const Genome& breakpoints) const {
+  // Hot path of the GA (called per genome per generation, from worker
+  // threads): thread_local scratch kills the per-call allocations.
+  thread_local std::vector<double> ks, bs;
+  thread_local std::vector<std::int64_t> codes;
+  derive_lines(breakpoints, ks, bs);
 
   std::vector<double> out;
   out.reserve(scale_grids_.size());
-  std::vector<double> bounds(breakpoints.size());
+  codes.resize(breakpoints.size());
   for (const ScaleGrid& sg : scale_grids_) {
-    // Eq. 3: p̃ = clip(round(p / S), Qn, Qp), compared in the code domain;
-    // equivalently the boundary sits at p̃ · S in x space.
+    // Eq. 3: p̃ = clip(round(p / S), Qn, Qp), compared in the code domain.
+    // p / S == p · 2^s exactly (power-of-two scaling never rounds), and the
+    // multiply is far cheaper than the divide.
+    const double inv_scale = 1.0 / sg.scale;
     for (std::size_t i = 0; i < breakpoints.size(); ++i) {
-      const std::int64_t code = saturate(
-          round_to_int(breakpoints[i] / sg.scale), input_bits_, true);
-      bounds[i] = sg.scale * static_cast<double>(code);
+      codes[i] = saturate(round_to_int(breakpoints[i] * inv_scale),
+                          input_bits_, true);
     }
-    out.push_back(mse_on(sg, bounds, ks, bs));
+    out.push_back(mse_on(sg, codes, ks, bs));
+  }
+  return out;
+}
+
+std::vector<double> QuantAwareObjective::per_scale_mse_naive(
+    const Genome& breakpoints) const {
+  std::vector<double> ks, bs;
+  derive_lines(breakpoints, ks, bs);
+
+  std::vector<double> out;
+  out.reserve(scale_grids_.size());
+  std::vector<std::int64_t> codes(breakpoints.size());
+  for (const ScaleGrid& sg : scale_grids_) {
+    for (std::size_t i = 0; i < breakpoints.size(); ++i) {
+      codes[i] = saturate(round_to_int(breakpoints[i] / sg.scale),
+                          input_bits_, true);
+    }
+    out.push_back(mse_on_naive(sg, codes, ks, bs));
   }
   return out;
 }
@@ -104,13 +184,12 @@ double QuantAwareObjective::deployed_mse(const PwlTable& fxp_table,
       [scale_exp](const ScaleGrid& sg) { return sg.exponent == scale_exp; });
   GQA_EXPECTS_MSG(it != scale_grids_.end(), "scale not in the objective set");
 
-  std::vector<double> bounds(fxp_table.breakpoints.size());
-  for (std::size_t i = 0; i < bounds.size(); ++i) {
-    const std::int64_t code = saturate(
-        round_to_int(fxp_table.breakpoints[i] / it->scale), input_bits_, true);
-    bounds[i] = it->scale * static_cast<double>(code);
+  std::vector<std::int64_t> codes(fxp_table.breakpoints.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = saturate(round_to_int(fxp_table.breakpoints[i] / it->scale),
+                        input_bits_, true);
   }
-  return mse_on(*it, bounds, fxp_table.slopes, fxp_table.intercepts);
+  return mse_on(*it, codes, fxp_table.slopes, fxp_table.intercepts);
 }
 
 }  // namespace gqa

@@ -18,6 +18,7 @@
 // ordering. See DESIGN.md §5 for the full interpretation note.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "genetic/genetic.h"
@@ -43,6 +44,12 @@ class QuantAwareObjective {
   [[nodiscard]] std::vector<double> per_scale_mse(
       const Genome& breakpoints) const;
 
+  /// Reference implementation of per_scale_mse that scans every integer
+  /// code (the pre-prefix-sum path). Kept for equivalence tests and the
+  /// fit-cost benchmarks; agrees with the fast path to double rounding.
+  [[nodiscard]] std::vector<double> per_scale_mse_naive(
+      const Genome& breakpoints) const;
+
   /// Deployed MSE at a single scale for a *fitted table* (analysis hook).
   [[nodiscard]] double deployed_mse(const PwlTable& fxp_table,
                                     int scale_exp) const;
@@ -55,14 +62,33 @@ class QuantAwareObjective {
   struct ScaleGrid {
     int exponent = 0;          ///< s
     double scale = 1.0;        ///< S = 2^-s
+    std::int64_t q_lo = 0;     ///< first integer code on the lattice
     std::vector<double> xs;    ///< dequantized integer grid within [lo, hi]
     std::vector<double> fs;    ///< reference values f(x)
+    // Prefix sums over the code lattice (length xs.size()+1, index i holds
+    // the sum over codes [0, i)): the SSE of any line over any code span
+    // follows in O(1) from the expansion of sum((f - kx - b)^2).
+    std::vector<double> sum_x, sum_xx, sum_f, sum_xf, sum_ff;
   };
 
+  /// O(segments) deployed SSE/size via prefix sums. Segment boundaries are
+  /// the quantized breakpoint *codes* (Eq. 3), mapped to lattice indices
+  /// with integer arithmetic — no per-code scan, no float compares.
   [[nodiscard]] double mse_on(const ScaleGrid& sg,
-                              const std::vector<double>& bounds,
+                              const std::vector<std::int64_t>& bound_codes,
                               const std::vector<double>& ks,
                               const std::vector<double>& bs) const;
+
+  /// O(codes) reference scan used by per_scale_mse_naive.
+  [[nodiscard]] double mse_on_naive(const ScaleGrid& sg,
+                                    const std::vector<std::int64_t>& bound_codes,
+                                    const std::vector<double>& ks,
+                                    const std::vector<double>& bs) const;
+
+  /// Shared (k, b) derivation (Alg. 1 line 22) and breakpoint code
+  /// quantization; feeds both the fast and the reference scorer.
+  void derive_lines(const Genome& breakpoints, std::vector<double>& ks,
+                    std::vector<double>& bs) const;
 
   const FitGrid* grid_;
   int lambda_;

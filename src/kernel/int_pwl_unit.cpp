@@ -8,6 +8,13 @@
 
 namespace gqa {
 
+namespace {
+
+/// Dense code->segment tables stay affordable up to a 16-bit input bus.
+constexpr int kMaxDenseTableBits = 16;
+
+}  // namespace
+
 IntPwlUnit::IntPwlUnit(QuantizedPwlTable table, IntPwlUnitConfig config)
     : table_(std::move(table)), config_(config) {
   table_.validate();
@@ -17,20 +24,95 @@ IntPwlUnit::IntPwlUnit(QuantizedPwlTable table, IntPwlUnitConfig config)
   GQA_EXPECTS_MSG(std::abs(shift_s_) <= config_.max_shift,
                   "input scale exceeds the shifter range");
   acc_scale_ = table_.input.scale * std::ldexp(1.0, -table_.lambda());
+
+  // Intercept alignment b̃ = b / S depends only on the segment; do the
+  // barrel shift once per entry instead of once per evaluated code.
+  b_aligned_.reserve(table_.b_code.size());
+  for (const std::int64_t b : table_.b_code) {
+    b_aligned_.push_back(shift_s_ >= 0
+                             ? sat_shl(b, shift_s_, config_.acc_bits)
+                             : shift_round(b, -shift_s_));
+  }
+
+  // Flatten the comparator chain into a direct-mapped segment table over
+  // the whole input bus (the hardware resolves all comparators in parallel;
+  // the software model resolves them all ahead of time).
+  if (table_.input.bits <= kMaxDenseTableBits &&
+      table_.entries() <= 256) {
+    code_lo_ = int_min(table_.input.bits, table_.input.is_signed);
+    const std::int64_t code_hi =
+        int_max(table_.input.bits, table_.input.is_signed);
+    seg_of_code_.resize(static_cast<std::size_t>(code_hi - code_lo_ + 1));
+    std::size_t seg = 0;
+    for (std::int64_t q = code_lo_; q <= code_hi; ++q) {
+      while (seg < table_.p_code.size() && q >= table_.p_code[seg]) ++seg;
+      seg_of_code_[static_cast<std::size_t>(q - code_lo_)] =
+          static_cast<std::uint8_t>(seg);
+    }
+  }
 }
 
 std::int64_t IntPwlUnit::eval_code(std::int64_t q) const {
   GQA_EXPECTS_MSG(fits(q, table_.input.bits, table_.input.is_signed),
                   "input code exceeds the input bus width");
-  const auto i = static_cast<std::size_t>(table_.segment_index(q));
+  const std::size_t i = segment_of(q);
   const std::int64_t prod = table_.k_code[i] * q;  // width in+param bits
-  // Runtime intercept alignment b̃ = b / S: left shift for S < 1, rounding
-  // right shift for S > 1.
-  const std::int64_t b = table_.b_code[i];
-  const std::int64_t b_aligned =
-      shift_s_ >= 0 ? sat_shl(b, shift_s_, config_.acc_bits)
-                    : shift_round(b, -shift_s_);
-  return sat_add(prod, b_aligned, config_.acc_bits);
+  return sat_add(prod, b_aligned_[i], config_.acc_bits);
+}
+
+void IntPwlUnit::eval_codes(std::span<const std::int64_t> q,
+                            std::span<std::int64_t> out) const {
+  GQA_EXPECTS(q.size() == out.size());
+  const std::int64_t* k_code = table_.k_code.data();
+  const std::int64_t* b_aligned = b_aligned_.data();
+  const int acc_bits = config_.acc_bits;
+  const int in_bits = table_.input.bits;
+  const bool in_signed = table_.input.is_signed;
+  for (std::size_t n = 0; n < q.size(); ++n) {
+    const std::int64_t code = q[n];
+    GQA_EXPECTS_MSG(fits(code, in_bits, in_signed),
+                    "input code exceeds the input bus width");
+    const std::size_t i = segment_of(code);
+    out[n] = sat_add(k_code[i] * code, b_aligned[i], acc_bits);
+  }
+}
+
+void IntPwlUnit::eval_reals_from_codes(std::span<const std::int64_t> q,
+                                       std::span<double> out) const {
+  GQA_EXPECTS(q.size() == out.size());
+  const std::int64_t* k_code = table_.k_code.data();
+  const std::int64_t* b_aligned = b_aligned_.data();
+  const int acc_bits = config_.acc_bits;
+  const int in_bits = table_.input.bits;
+  const bool in_signed = table_.input.is_signed;
+  const double acc_scale = acc_scale_;
+  for (std::size_t n = 0; n < q.size(); ++n) {
+    const std::int64_t code = q[n];
+    GQA_EXPECTS_MSG(fits(code, in_bits, in_signed),
+                    "input code exceeds the input bus width");
+    const std::size_t i = segment_of(code);
+    out[n] = static_cast<double>(sat_add(k_code[i] * code, b_aligned[i],
+                                         acc_bits)) *
+             acc_scale;
+  }
+}
+
+void IntPwlUnit::eval_reals_from_codes_saturated(
+    std::span<const std::int64_t> q, std::span<double> out) const {
+  GQA_EXPECTS(q.size() == out.size());
+  const std::int64_t* k_code = table_.k_code.data();
+  const std::int64_t* b_aligned = b_aligned_.data();
+  const int acc_bits = config_.acc_bits;
+  const int in_bits = table_.input.bits;
+  const bool in_signed = table_.input.is_signed;
+  const double acc_scale = acc_scale_;
+  for (std::size_t n = 0; n < q.size(); ++n) {
+    const std::int64_t code = saturate(q[n], in_bits, in_signed);
+    const std::size_t i = segment_of(code);
+    out[n] = static_cast<double>(sat_add(k_code[i] * code, b_aligned[i],
+                                         acc_bits)) *
+             acc_scale;
+  }
 }
 
 double IntPwlUnit::eval_real_from_code(std::int64_t q) const {

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "pwl/quantized_table.h"
 
@@ -38,6 +40,23 @@ class IntPwlUnit {
   /// Quantizes a real input and evaluates (round-trips through the bus).
   [[nodiscard]] double eval_real(double x) const;
 
+  /// Batched integer path, bit-identical to per-element eval_code. The
+  /// segment is resolved through the precomputed dense code->segment table
+  /// (built once per unit; no per-element search, no float compares) and
+  /// the intercept alignment b << s is hoisted out of the element loop.
+  void eval_codes(std::span<const std::int64_t> q,
+                  std::span<std::int64_t> out) const;
+
+  /// Batched dequantized path: out[i] = S · eval_code(q[i]) · 2^-λ.
+  void eval_reals_from_codes(std::span<const std::int64_t> q,
+                             std::span<double> out) const;
+
+  /// Like eval_reals_from_codes, but codes beyond the input bus saturate to
+  /// its bounds (hardware behaviour for over-range activations) instead of
+  /// failing the precondition. Equals saturate-then-eval, without the copy.
+  void eval_reals_from_codes_saturated(std::span<const std::int64_t> q,
+                                       std::span<double> out) const;
+
   [[nodiscard]] const QuantizedPwlTable& table() const { return table_; }
   [[nodiscard]] const IntPwlUnitConfig& config() const { return config_; }
 
@@ -45,10 +64,25 @@ class IntPwlUnit {
   [[nodiscard]] double acc_scale() const { return acc_scale_; }
 
  private:
+  [[nodiscard]] std::size_t segment_of(std::int64_t q) const {
+    if (!seg_of_code_.empty()) {
+      return static_cast<std::size_t>(
+          seg_of_code_[static_cast<std::size_t>(q - code_lo_)]);
+    }
+    return static_cast<std::size_t>(table_.segment_index(q));  // wide buses
+  }
+
   QuantizedPwlTable table_;
   IntPwlUnitConfig config_;
   int shift_s_;       ///< b << s where S = 2^-s; negative s shifts right
   double acc_scale_;
+  // Deployment artifacts precomputed at construction: the intercepts are
+  // shift-aligned once (the barrel shift depends only on the segment), and
+  // the comparator chain is flattened into a dense code->segment table over
+  // the full input bus (<= 2^16 entries for the paper's INT8/INT16 buses).
+  std::vector<std::int64_t> b_aligned_;
+  std::vector<std::uint8_t> seg_of_code_;
+  std::int64_t code_lo_ = 0;
 };
 
 }  // namespace gqa

@@ -43,6 +43,31 @@ double MultiRangeUnit::eval_fxp(std::int64_t code, int in_frac) const {
   return std::ldexp(pwl_value, range_.output_exponent(e));
 }
 
+void MultiRangeUnit::eval_fxp_batch(std::span<const std::int64_t> codes,
+                                    int in_frac,
+                                    std::span<double> out) const {
+  GQA_EXPECTS(codes.size() == out.size());
+  GQA_EXPECTS(in_frac >= 0 && in_frac <= 48);
+  const QuantizedPwlTable& t = unit_.table();
+  const int lambda = t.lambda();
+  const int in_bits = t.input.bits;
+  const bool in_signed = t.input.is_signed;
+  const int frac_shift = in_frac - lambda;
+  for (std::size_t n = 0; n < codes.size(); ++n) {
+    const std::int64_t code = codes[n];
+    const double value = std::ldexp(static_cast<double>(code), -in_frac);
+    const int e = range_.select_exponent(value);
+    const std::int64_t scaled =
+        e <= 0 ? shift_round(code, -e) : sat_shl(code, e, 62);
+    const std::int64_t bus =
+        frac_shift >= 0
+            ? saturate(shift_round(scaled, frac_shift), in_bits, in_signed)
+            : saturate(sat_shl(scaled, -frac_shift, 62), in_bits, in_signed);
+    out[n] = std::ldexp(unit_.eval_real_from_code(bus),
+                        range_.output_exponent(e));
+  }
+}
+
 double MultiRangeUnit::eval_real(double x) const {
   GQA_EXPECTS_MSG(std::isfinite(x), "multi-range input must be finite");
   constexpr int kBusFrac = 16;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "gqa/multirange.h"
 #include "kernel/int_pwl_unit.h"
@@ -29,6 +30,12 @@ class MultiRangeUnit {
 
   /// Encodes a real input into a 16.16 fixed-point bus and evaluates.
   [[nodiscard]] double eval_real(double x) const;
+
+  /// Batched bit-accurate path over a shared `in_frac`, bit-identical to
+  /// per-element eval_fxp; range selection and bus-alignment invariants
+  /// are hoisted out of the element loop.
+  void eval_fxp_batch(std::span<const std::int64_t> codes, int in_frac,
+                      std::span<double> out) const;
 
   [[nodiscard]] const MultiRangeConfig& range_config() const { return range_; }
   [[nodiscard]] const IntPwlUnit& unit() const { return unit_; }

@@ -51,8 +51,19 @@ FitGrid FitGrid::make(const std::function<double(double)>& f, double lo,
 }
 
 std::size_t FitGrid::lower_index(double value) const {
-  const auto it = std::lower_bound(xs_.begin(), xs_.end(), value);
-  return static_cast<std::size_t>(it - xs_.begin());
+  // The grid is uniform, so seed the answer arithmetically and fix up with
+  // at most a couple of comparisons — exactly lower_bound's result (the
+  // fix-up loops make the seed's rounding error irrelevant), without the
+  // per-call binary search on the GA's per-genome hot path.
+  const std::size_t n = xs_.size();
+  double guess = (value - lo_) / step_ - 2.0;
+  if (guess < 0.0) guess = 0.0;
+  std::size_t idx = static_cast<double>(n) <= guess
+                        ? n
+                        : static_cast<std::size_t>(guess);
+  while (idx < n && xs_[idx] < value) ++idx;
+  while (idx > 0 && xs_[idx - 1] >= value) --idx;
+  return idx;
 }
 
 SegmentFit FitGrid::fit_segment(std::size_t lo_idx, std::size_t hi_idx) const {

@@ -261,11 +261,17 @@ QTensor LayerNorm::forward_int(const QTensor& x,
   const int n = x.shape()[0];
   QTensor y(x.shape(), out_qp_);
   constexpr int kVarFrac = 8;  ///< fractional bits of the variance bus
+  // Pass 1: per-row integer moments and variance bus codes, so every row's
+  // RSQRT streams through the multi-range unit in one batched call.
+  std::vector<std::int64_t> sums(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> w_codes(static_cast<std::size_t>(n));
+  std::vector<int> prenorm(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     // Exact integer moments via the D-scaled centering trick:
     // c'_d = D·q_d − Σq  has value D·S·(x_d − μ), no mean rounding.
     std::int64_t sum = 0;
     for (int d = 0; d < dim_; ++d) sum += x.at(i, d);
+    sums[static_cast<std::size_t>(i)] = sum;
     // W = (Σ c'²)/D³ has value S²σ²·D⁰... normalized so that
     // n_d = c'_d / (D·σ_q) with σ_q in code units; the quant scale cancels.
     std::int64_t ssq = 0;  // Σ c'² / D, rounded — fits int64 for D ≤ 4096
@@ -287,11 +293,18 @@ QTensor LayerNorm::forward_int(const QTensor& x,
            16384.0) {
       ++t;
     }
-    const std::int64_t w_shifted = shift_round(w_code, 2 * t);
-    const double inv_sigma_q =
-        std::ldexp(nl.rsqrt_fxp(std::max<std::int64_t>(1, w_shifted), kVarFrac),
-                   -t);
-    // n_d = c'_d/(D·σ_q); y = γ n + β quantized to the output scale.
+    w_codes[static_cast<std::size_t>(i)] =
+        std::max<std::int64_t>(1, shift_round(w_code, 2 * t));
+    prenorm[static_cast<std::size_t>(i)] = t;
+  }
+  std::vector<double> rsqrts(static_cast<std::size_t>(n));
+  nl.rsqrt_fxp_batch(w_codes, kVarFrac, rsqrts);
+  // Pass 2: n_d = c'_d/(D·σ_q); y = γ n + β quantized to the output scale.
+  for (int i = 0; i < n; ++i) {
+    const std::int64_t sum = sums[static_cast<std::size_t>(i)];
+    const double inv_sigma_q = std::ldexp(
+        rsqrts[static_cast<std::size_t>(i)],
+        -prenorm[static_cast<std::size_t>(i)]);
     for (int d = 0; d < dim_; ++d) {
       const std::int64_t c = static_cast<std::int64_t>(dim_) * x.at(i, d) - sum;
       const double norm = static_cast<double>(c) * inv_sigma_q / dim_;
@@ -334,17 +347,20 @@ QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl) {
   // exp outputs are exact multiples of 2^(sx - λ); summing then encoding
   // with frac = λ - sx keeps the DIV input bit-exact.
   const int sum_frac = std::min(40, std::max(8, 12 - sx));
+  std::vector<std::int64_t> diffs(static_cast<std::size_t>(m));
+  std::vector<double> exps(static_cast<std::size_t>(m));
   for (int i = 0; i < n; ++i) {
     std::int32_t peak = rows.at(i, 0);
     for (int j = 1; j < m; ++j) peak = std::max(peak, rows.at(i, j));
-    double sum = 0.0;
-    std::vector<double> exps(static_cast<std::size_t>(m));
     for (int j = 0; j < m; ++j) {
-      const std::int64_t d = static_cast<std::int64_t>(rows.at(i, j)) - peak;
-      const double e = nl.exp_code(d, sx);
-      exps[static_cast<std::size_t>(j)] = e;
-      sum += e;
+      diffs[static_cast<std::size_t>(j)] =
+          static_cast<std::int64_t>(rows.at(i, j)) - peak;
     }
+    // One batched EXP pass per row: the pwl unit is resolved once and the
+    // whole row streams through its dense segment table.
+    nl.exp_codes(diffs, sx, exps);
+    double sum = 0.0;
+    for (int j = 0; j < m; ++j) sum += exps[static_cast<std::size_t>(j)];
     const std::int64_t sum_code =
         std::max<std::int64_t>(1, round_to_int(std::ldexp(sum, sum_frac)));
     const double recip = nl.recip_fxp(sum_code, sum_frac);
@@ -388,10 +404,19 @@ QTensor Activation::forward_int(const QTensor& x,
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int sx = x.params().po2_exponent();
   QTensor y(x.shape(), out_qp_);
-  for (std::size_t i = 0; i < x.data().size(); ++i) {
-    const double v = op_ == Op::kGelu ? nl.gelu_code(x.data()[i], sx)
-                                      : nl.hswish_code(x.data()[i], sx);
-    y.data()[i] = static_cast<std::int32_t>(out_qp_.quantize(v));
+  // Whole-tensor batched activation: one unit-cache lookup, dense segment
+  // lookups, and the intercept shift hoisted out of the element loop.
+  const std::size_t count = x.data().size();
+  std::vector<std::int64_t> codes(count);
+  for (std::size_t i = 0; i < count; ++i) codes[i] = x.data()[i];
+  std::vector<double> vals(count);
+  if (op_ == Op::kGelu) {
+    nl.gelu_codes(codes, sx, vals);
+  } else {
+    nl.hswish_codes(codes, sx, vals);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    y.data()[i] = static_cast<std::int32_t>(out_qp_.quantize(vals[i]));
   }
   return y;
 }

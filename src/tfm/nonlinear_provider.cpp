@@ -53,6 +53,72 @@ double NonlinearProvider::act_code(Op op, std::int64_t q, int scale_exp) const {
   return unit.eval_real_from_code(bus);
 }
 
+void NonlinearProvider::act_codes(Op op, std::span<const std::int64_t> q,
+                                  int scale_exp,
+                                  std::span<double> out) const {
+  GQA_EXPECTS(q.size() == out.size());
+  if (!replaces(op)) {
+    const OpInfo& info = op_info(op);
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      out[i] = info.f(std::ldexp(static_cast<double>(q[i]), scale_exp));
+    }
+    return;
+  }
+  const IntPwlUnit& unit = unit_for(op, scale_exp);  // one cache lookup
+  // Defensive bus saturation, as in act_code, fused into the kernel loop.
+  unit.eval_reals_from_codes_saturated(q, out);
+}
+
+void NonlinearProvider::wide_fxp_batch(Op op,
+                                       std::span<const std::int64_t> codes,
+                                       int frac,
+                                       std::span<double> out) const {
+  GQA_EXPECTS(codes.size() == out.size());
+  const bool recip = op == Op::kDiv;
+  for (const std::int64_t code : codes) {
+    GQA_EXPECTS_MSG(code > 0, recip ? "reciprocal input must be positive"
+                                    : "rsqrt input must be positive");
+  }
+  if (!replaces(op)) {
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      const double x = std::ldexp(static_cast<double>(codes[i]), -frac);
+      out[i] = recip ? 1.0 / x : 1.0 / std::sqrt(x);
+    }
+    return;
+  }
+  multirange_for(op).eval_fxp_batch(codes, frac, out);
+}
+
+void NonlinearProvider::exp_codes(std::span<const std::int64_t> q,
+                                  int scale_exp,
+                                  std::span<double> out) const {
+  act_codes(Op::kExp, q, scale_exp, out);
+}
+
+void NonlinearProvider::gelu_codes(std::span<const std::int64_t> q,
+                                   int scale_exp,
+                                   std::span<double> out) const {
+  act_codes(Op::kGelu, q, scale_exp, out);
+}
+
+void NonlinearProvider::hswish_codes(std::span<const std::int64_t> q,
+                                     int scale_exp,
+                                     std::span<double> out) const {
+  act_codes(Op::kHswish, q, scale_exp, out);
+}
+
+void NonlinearProvider::recip_fxp_batch(std::span<const std::int64_t> codes,
+                                        int frac,
+                                        std::span<double> out) const {
+  wide_fxp_batch(Op::kDiv, codes, frac, out);
+}
+
+void NonlinearProvider::rsqrt_fxp_batch(std::span<const std::int64_t> codes,
+                                        int frac,
+                                        std::span<double> out) const {
+  wide_fxp_batch(Op::kRsqrt, codes, frac, out);
+}
+
 double NonlinearProvider::exp_code(std::int64_t q, int scale_exp) const {
   return act_code(Op::kExp, q, scale_exp);
 }

@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <span>
 
 #include "core/approximator.h"
 
@@ -43,12 +44,33 @@ class NonlinearProvider {
   /// 1/sqrt(x) for a fixed-point value code·2^-frac (LayerNorm).
   [[nodiscard]] double rsqrt_fxp(std::int64_t code, int frac) const;
 
+  /// Batched activation paths, bit-identical to the per-element calls:
+  /// the unit-cache lookup happens once per span instead of once per code,
+  /// and the element loop runs through IntPwlUnit's dense segment table.
+  void exp_codes(std::span<const std::int64_t> q, int scale_exp,
+                 std::span<double> out) const;
+  void gelu_codes(std::span<const std::int64_t> q, int scale_exp,
+                  std::span<double> out) const;
+  void hswish_codes(std::span<const std::int64_t> q, int scale_exp,
+                    std::span<double> out) const;
+
+  /// Batched wide-range paths (shared `frac`), bit-identical to the
+  /// per-element recip_fxp / rsqrt_fxp.
+  void recip_fxp_batch(std::span<const std::int64_t> codes, int frac,
+                       std::span<double> out) const;
+  void rsqrt_fxp_batch(std::span<const std::int64_t> codes, int frac,
+                       std::span<double> out) const;
+
  private:
   NonlinearProvider() = default;
 
   [[nodiscard]] const IntPwlUnit& unit_for(Op op, int scale_exp) const;
   [[nodiscard]] const MultiRangeUnit& multirange_for(Op op) const;
   [[nodiscard]] double act_code(Op op, std::int64_t q, int scale_exp) const;
+  void act_codes(Op op, std::span<const std::int64_t> q, int scale_exp,
+                 std::span<double> out) const;
+  void wide_fxp_batch(Op op, std::span<const std::int64_t> codes, int frac,
+                      std::span<double> out) const;
 
   std::optional<Method> method_;  ///< nullopt = exact backend
   std::set<Op> replaced_;

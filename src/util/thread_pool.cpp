@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+ThreadPool::ThreadPool(int num_threads) {
+  GQA_EXPECTS_MSG(num_threads >= 1, "thread pool needs at least one lane");
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>& fn) {
+  const std::size_t count = job_count_;
+  for (;;) {
+    const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+      // Keep draining indices so the job still terminates promptly; the
+      // remaining iterations are skipped by stealing them without running.
+      next_index_.store(count, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || epoch_ != seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    drain(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  GQA_EXPECTS_MSG(fn != nullptr, "parallel_for needs a body");
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_count_ = count;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+
+  drain(fn);  // the caller is a lane too
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace gqa

@@ -1,0 +1,60 @@
+// Fixed-size worker pool with a blocking parallel_for. Built for the GA
+// fitness fan-out: the caller thread participates in the work, indices are
+// handed out dynamically through an atomic counter (so uneven per-genome
+// costs balance), and the first exception thrown by any worker is rethrown
+// on the caller. Determinism is the caller's job: parallel_for only says
+// *who* computes fn(i), never reorders observable writes, so pure
+// functions writing to disjoint slots give bit-identical results at any
+// thread count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gqa {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread is the last lane).
+  /// `num_threads <= 1` creates no workers; parallel_for then runs inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, count), blocking until all complete.
+  /// Rethrows the first exception raised by any invocation.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Total lanes including the caller (>= 1).
+  [[nodiscard]] int size() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+ private:
+  void worker_loop();
+  void drain(const std::function<void(std::size_t)>& fn);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::atomic<std::size_t> next_index_{0};
+  std::size_t active_workers_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace gqa

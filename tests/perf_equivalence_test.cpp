@@ -1,0 +1,303 @@
+// Equivalence guarantees of the performance engine: multi-threaded and
+// memoized GA runs must be bit-identical to the serial path, the prefix-sum
+// objective must agree with the naive per-code scan, and the batched kernel
+// APIs must reproduce per-element evaluation exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "gqa/gqa_lut.h"
+#include "gqa/objective.h"
+#include "kernel/int_pwl_unit.h"
+#include "kernel/multirange_unit.h"
+#include "pwl/fit_grid.h"
+#include "tfm/nonlinear_provider.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace gqa {
+namespace {
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleLaneRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  int sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 17) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(round + 1, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count.load(), round + 1);
+  }
+}
+
+// ------------------------------------------------ GA threading + memoize --
+
+GqaConfig quick_fit_config(int num_threads, bool memoize) {
+  GqaConfig cfg = GqaConfig::preset(Op::kGelu, 8,
+                                    MutationKind::kRoundingMutation);
+  cfg.ga.population_size = 20;
+  cfg.ga.generations = 25;
+  cfg.ga.seed = 0xABCD;
+  cfg.ga.num_threads = num_threads;
+  cfg.ga.memoize_fitness = memoize;
+  cfg.fitness = GqaConfig::Fitness::kDeployedMean;  // exercises the objective
+  return cfg;
+}
+
+void expect_identical_fits(const GqaFitResult& a, const GqaFitResult& b) {
+  EXPECT_EQ(a.ga.best, b.ga.best);
+  EXPECT_EQ(a.ga.best_fitness, b.ga.best_fitness);
+  EXPECT_EQ(a.ga.history, b.ga.history);
+  EXPECT_EQ(a.ga.evaluations, b.ga.evaluations);
+  EXPECT_EQ(a.fxp_table.breakpoints, b.fxp_table.breakpoints);
+  EXPECT_EQ(a.fxp_table.slopes, b.fxp_table.slopes);
+  EXPECT_EQ(a.fxp_table.intercepts, b.fxp_table.intercepts);
+  ASSERT_EQ(a.per_scale.size(), b.per_scale.size());
+  for (std::size_t i = 0; i < a.per_scale.size(); ++i) {
+    EXPECT_EQ(a.per_scale[i].breakpoints, b.per_scale[i].breakpoints);
+    EXPECT_EQ(a.per_scale[i].deployed_mse, b.per_scale[i].deployed_mse);
+  }
+}
+
+TEST(GaParallel, FourThreadsBitIdenticalToSerial) {
+  const GqaFitResult serial = fit_gqa_lut(quick_fit_config(1, false));
+  const GqaFitResult threaded = fit_gqa_lut(quick_fit_config(4, false));
+  expect_identical_fits(serial, threaded);
+}
+
+TEST(GaParallel, MemoizationBitIdenticalAndHitsCache) {
+  const GqaFitResult plain = fit_gqa_lut(quick_fit_config(1, false));
+  const GqaFitResult memoized = fit_gqa_lut(quick_fit_config(1, true));
+  expect_identical_fits(plain, memoized);
+  // Elite re-injection alone guarantees recurring genomes.
+  EXPECT_GT(memoized.ga.cache_hits, 0);
+  EXPECT_EQ(plain.ga.cache_hits, 0);
+  EXPECT_EQ(memoized.ga.evaluations, plain.ga.evaluations);
+}
+
+TEST(GaParallel, ThreadsPlusMemoizationBitIdentical) {
+  const GqaFitResult serial = fit_gqa_lut(quick_fit_config(1, false));
+  const GqaFitResult fast = fit_gqa_lut(quick_fit_config(4, true));
+  expect_identical_fits(serial, fast);
+}
+
+TEST(GaConfigValidation, RejectsZeroThreads) {
+  GaConfig cfg;
+  cfg.num_threads = 0;
+  EXPECT_THROW(GeneticOptimizer{cfg}, ContractViolation);
+}
+
+// -------------------------------------------- prefix-sum objective check --
+
+TEST(ObjectivePrefixSum, MatchesNaiveScanAcrossRandomGenomes) {
+  const OpInfo& info = op_info(Op::kGelu);
+  const FitGrid grid = FitGrid::make(info.f, info.range_lo, info.range_hi);
+  const QuantAwareObjective objective(grid, 5, {0, 1, 2, 3, 4, 5, 6});
+
+  Rng rng(0xFEED);
+  for (int trial = 0; trial < 64; ++trial) {
+    Genome g(7);
+    for (double& p : g) p = rng.uniform(info.range_lo, info.range_hi);
+    repair_breakpoints(g, info.range_lo, info.range_hi, 0.01);
+
+    const std::vector<double> fast = objective.per_scale_mse(g);
+    const std::vector<double> naive = objective.per_scale_mse_naive(g);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      // The closed-form SSE is algebraically exact; only double rounding
+      // differs from the sequential scan.
+      EXPECT_NEAR(fast[i], naive[i], 1e-9 * std::max(1.0, naive[i]))
+          << "trial=" << trial << " scale index " << i;
+    }
+  }
+}
+
+TEST(ObjectivePrefixSum, HandlesCollapsedAndBoundaryBreakpoints) {
+  const OpInfo& info = op_info(Op::kExp);
+  const FitGrid grid = FitGrid::make(info.f, info.range_lo, info.range_hi);
+  const QuantAwareObjective objective(grid, 5, {0, 2, 4, 6});
+
+  // Breakpoints that quantize onto the same code at coarse scales, plus
+  // breakpoints pinned to the range edges.
+  const std::vector<Genome> genomes = {
+      {-7.99, -7.9, -7.8, -0.2, -0.1, -0.05, -0.01},
+      {-6.0, -5.0, -4.0, -3.0, -2.0, -1.0, -0.5},
+      {-7.5, -7.49, -7.48, -7.47, -7.46, -7.45, -7.44},
+  };
+  for (const Genome& g : genomes) {
+    const std::vector<double> fast = objective.per_scale_mse(g);
+    const std::vector<double> naive = objective.per_scale_mse_naive(g);
+    ASSERT_EQ(fast.size(), naive.size());
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(fast[i], naive[i], 1e-9 * std::max(1.0, naive[i]));
+    }
+  }
+}
+
+TEST(ObjectivePrefixSum, OperatorAveragesPerScale) {
+  const OpInfo& info = op_info(Op::kGelu);
+  const FitGrid grid = FitGrid::make(info.f, info.range_lo, info.range_hi);
+  const QuantAwareObjective objective(grid, 5, {0, 3, 6});
+  const Genome g = {-3.0, -2.0, -1.0, -0.5, 0.5, 1.0, 2.0};
+  const std::vector<double> per = objective.per_scale_mse(g);
+  double mean = 0.0;
+  for (double m : per) mean += m;
+  mean /= static_cast<double>(per.size());
+  EXPECT_DOUBLE_EQ(objective(g), mean);
+}
+
+// ------------------------------------------------- batched kernel checks --
+
+PwlTable gelu_like_table() {
+  PwlTable t;
+  t.breakpoints = {-2.75, -1.5, -0.75, -0.25, 0.25, 1.0, 2.0};
+  t.slopes = {0.0, -0.0625, 0.03125, 0.34375, 0.65625, 0.96875, 1.03125, 1.0};
+  t.intercepts = {0.0, -0.15625, 0.0, 0.21875, 0.0, -0.09375, -0.15625, 0.0};
+  return t;
+}
+
+TEST(BatchedKernel, EvalCodesBitIdenticalOverFullInputRange) {
+  for (int scale_exp : {0, -2, -4, -6}) {
+    const QuantParams input{std::ldexp(1.0, scale_exp), 8, true};
+    const QuantizedPwlTable qt =
+        quantize_table(gelu_like_table(), input, 5, 8);
+    const IntPwlUnit unit(qt);
+
+    std::vector<std::int64_t> codes;
+    for (std::int64_t q = -128; q <= 127; ++q) codes.push_back(q);
+    std::vector<std::int64_t> batch(codes.size());
+    std::vector<double> batch_real(codes.size());
+    unit.eval_codes(codes, batch);
+    unit.eval_reals_from_codes(codes, batch_real);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(batch[i], unit.eval_code(codes[i]))
+          << "q=" << codes[i] << " S=2^" << scale_exp;
+      EXPECT_EQ(batch_real[i], unit.eval_real_from_code(codes[i]));
+    }
+  }
+}
+
+TEST(BatchedKernel, SixteenBitBusUsesDenseTableBitIdentically) {
+  const QuantParams input{std::ldexp(1.0, -8), 16, true};
+  IntPwlUnitConfig cfg;
+  cfg.acc_bits = 32;
+  const QuantizedPwlTable qt = quantize_table(gelu_like_table(), input, 5, 8);
+  const IntPwlUnit unit(qt, cfg);
+  std::vector<std::int64_t> codes;
+  for (std::int64_t q = -32768; q <= 32767; q += 7) codes.push_back(q);
+  std::vector<std::int64_t> batch(codes.size());
+  unit.eval_codes(codes, batch);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(batch[i], unit.eval_code(codes[i])) << "q=" << codes[i];
+  }
+}
+
+TEST(BatchedKernel, EvalCodesEnforcesBusWidthAndSizes) {
+  const QuantParams input{0.25, 8, true};
+  const IntPwlUnit unit(quantize_table(gelu_like_table(), input, 5, 8));
+  std::vector<std::int64_t> codes = {0, 128};
+  std::vector<std::int64_t> out(2);
+  EXPECT_THROW(unit.eval_codes(codes, out), ContractViolation);
+  std::vector<std::int64_t> short_out(1);
+  codes = {0, 1};
+  EXPECT_THROW(unit.eval_codes(codes, short_out), ContractViolation);
+}
+
+TEST(BatchedKernel, MultiRangeBatchBitIdentical) {
+  for (Op op : {Op::kDiv, Op::kRsqrt}) {
+    const Approximator approx = Approximator::fit(op, Method::kGqaNoRm, {});
+    const MultiRangeUnit unit = approx.make_multirange_unit();
+    std::vector<std::int64_t> codes;
+    for (std::int64_t c = 1 << 12; c <= (1 << 24); c += 100003) {
+      codes.push_back(c);
+    }
+    std::vector<double> batch(codes.size());
+    unit.eval_fxp_batch(codes, 16, batch);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(batch[i], unit.eval_fxp(codes[i], 16))
+          << op_info(op).name << " code=" << codes[i];
+    }
+  }
+}
+
+// ---------------------------------------------- provider batched parity --
+
+TEST(ProviderBatch, ActivationBatchesBitIdenticalToScalar) {
+  const auto provider = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm, {Op::kGelu, Op::kExp});
+
+  std::vector<std::int64_t> codes;
+  for (std::int64_t q = -160; q <= 160; ++q) codes.push_back(q);  // saturates
+  std::vector<double> batch(codes.size());
+  for (int sx : {0, -3, -6}) {
+    provider.gelu_codes(codes, sx, batch);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(batch[i], provider.gelu_code(codes[i], sx));
+    }
+    provider.exp_codes(codes, sx, batch);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(batch[i], provider.exp_code(codes[i], sx));
+    }
+    // HSWISH is not replaced -> exact backend path must agree too.
+    provider.hswish_codes(codes, sx, batch);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(batch[i], provider.hswish_code(codes[i], sx));
+    }
+  }
+}
+
+TEST(ProviderBatch, WideRangeBatchesBitIdenticalToScalar) {
+  const auto provider = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm, {Op::kDiv, Op::kRsqrt});
+  std::vector<std::int64_t> codes;
+  for (std::int64_t c = 1; c <= (1 << 22); c = c * 3 + 1) codes.push_back(c);
+  std::vector<double> batch(codes.size());
+  provider.recip_fxp_batch(codes, 16, batch);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(batch[i], provider.recip_fxp(codes[i], 16));
+  }
+  provider.rsqrt_fxp_batch(codes, 16, batch);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    EXPECT_EQ(batch[i], provider.rsqrt_fxp(codes[i], 16));
+  }
+
+  std::vector<std::int64_t> bad = {0};
+  std::vector<double> out(1);
+  EXPECT_THROW(provider.recip_fxp_batch(bad, 16, out), ContractViolation);
+  EXPECT_THROW(provider.rsqrt_fxp_batch(bad, 16, out), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gqa

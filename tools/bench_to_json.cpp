@@ -1,0 +1,196 @@
+// Emits the repo's perf-trajectory artifacts BENCH_fit.json and
+// BENCH_kernel.json: deterministic wall-clock comparisons of the PR-1
+// performance engine against the seed-equivalent paths.
+//
+//   fit    — GQA-LUT fitting with the deployed-mean objective: seed serial
+//            per-code scan vs prefix-sum objective + memoized, 4-thread GA.
+//   kernel — per-code provider/unit evaluation vs the batched span APIs.
+//
+// Usage: bench_to_json [output_dir]   (default: current directory)
+// Knobs: GQA_BENCH_GENERATIONS (default 200) bounds the fit comparison;
+//        GQA_BENCH_REPS (default 3) repetitions, best run kept.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/approximator.h"
+#include "gqa/gqa_lut.h"
+#include "gqa/objective.h"
+#include "tfm/nonlinear_provider.h"
+#include "util/env.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gqa;
+
+/// Best-of-N wall time of `fn` in milliseconds.
+template <typename Fn>
+double time_best_ms(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.milliseconds());
+  }
+  return best;
+}
+
+/// INT8 deployment grids (the Table 1 activation sweep) or INT16 grids
+/// (the W16A16 hardware row: finer activation scales, ~200x more codes —
+/// the regime where the O(codes) -> O(segments) rewrite dominates).
+std::vector<int> deployment_exps(int input_bits) {
+  if (input_bits >= 16) return {8, 9, 10, 11, 12, 13, 14};
+  return {0, 1, 2, 3, 4, 5, 6};
+}
+
+GqaConfig fit_config(bool fast, int generations, int input_bits) {
+  GqaConfig config =
+      GqaConfig::preset(Op::kGelu, 8, MutationKind::kRoundingMutation);
+  config.ga.seed = 0xF00;
+  config.ga.generations = generations;
+  config.fitness = GqaConfig::Fitness::kDeployedMean;
+  config.input_bits = input_bits;
+  config.deployment_scale_exps = deployment_exps(input_bits);
+  // Seed path: per-code objective scan, serial, no memoization — what the
+  // repo did before the fitness engine. Fast: prefix sums + memo + threads.
+  config.use_naive_objective = !fast;
+  config.ga.memoize_fitness = fast;
+  config.ga.num_threads = fast ? 4 : 1;
+  return config;
+}
+
+Json width_report(int input_bits, int generations, int reps) {
+  const FitGrid grid = FitGrid::make(op_info(Op::kGelu).f, -4.0, 4.0);
+  const QuantAwareObjective objective(grid, 5, deployment_exps(input_bits),
+                                      input_bits);
+  std::vector<Genome> genomes;
+  Rng rng(0x5EED);
+  const int count = input_bits >= 16 ? 16 : 256;
+  for (int i = 0; i < count; ++i) {
+    Genome g(7);
+    for (double& p : g) p = rng.uniform(-4.0, 4.0);
+    repair_breakpoints(g, -4.0, 4.0, 0.01);
+    genomes.push_back(std::move(g));
+  }
+  double sink = 0.0;
+  const double naive_ms = time_best_ms(reps, [&] {
+    for (const Genome& g : genomes) {
+      for (double m : objective.per_scale_mse_naive(g)) sink += m;
+    }
+  });
+  const double prefix_ms = time_best_ms(reps, [&] {
+    for (const Genome& g : genomes) {
+      for (double m : objective.per_scale_mse(g)) sink += m;
+    }
+  });
+
+  // End-to-end fit: seed-equivalent serial scan vs the full engine.
+  const double fit_seed_ms = time_best_ms(reps, [&] {
+    sink += fit_gqa_lut(fit_config(false, generations, input_bits)).fxp_mse;
+  });
+  const double fit_fast_ms = time_best_ms(reps, [&] {
+    sink += fit_gqa_lut(fit_config(true, generations, input_bits)).fxp_mse;
+  });
+
+  Json j = Json::object();
+  j["input_bits"] = Json(input_bits);
+  j["generations"] = Json(generations);
+  j["objective_naive_us_per_genome"] =
+      Json(naive_ms * 1e3 / static_cast<double>(genomes.size()));
+  j["objective_prefix_us_per_genome"] =
+      Json(prefix_ms * 1e3 / static_cast<double>(genomes.size()));
+  j["objective_speedup"] = Json(naive_ms / prefix_ms);
+  j["fit_seed_serial_ms"] = Json(fit_seed_ms);
+  j["fit_memo_threads4_ms"] = Json(fit_fast_ms);
+  j["fit_speedup"] = Json(fit_seed_ms / fit_fast_ms);
+  j["checksum"] = Json(sink);  // keeps the work observable
+  return j;
+}
+
+Json fit_report(int reps) {
+  const int generations =
+      static_cast<int>(env_int("GQA_BENCH_GENERATIONS", 200));
+  Json j = Json::object();
+  j["bench"] = Json("fit");
+  j["op"] = Json("GELU");
+  j["int8"] = width_report(8, generations, reps);
+  j["int16"] = width_report(16, std::max(10, generations / 8), reps);
+  return j;
+}
+
+Json kernel_report(int reps) {
+  constexpr std::size_t kBatch = 4096;
+  constexpr int kLoops = 64;
+
+  std::vector<std::int64_t> codes(kBatch);
+  std::int64_t q = -128;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    codes[i] = q;
+    q = q >= 127 ? -128 : q + 1;
+  }
+  std::vector<double> out(kBatch);
+  const double items =
+      static_cast<double>(kBatch) * static_cast<double>(kLoops);
+
+  const auto provider =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  const double provider_scalar_ms = time_best_ms(reps, [&] {
+    for (int l = 0; l < kLoops; ++l) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        out[i] = provider.gelu_code(codes[i], -4);
+      }
+    }
+  });
+  const double provider_batch_ms = time_best_ms(reps, [&] {
+    for (int l = 0; l < kLoops; ++l) provider.gelu_codes(codes, -4, out);
+  });
+
+  const Approximator gelu = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  const IntPwlUnit unit = gelu.make_unit(-4);
+  const double unit_scalar_ms = time_best_ms(reps, [&] {
+    for (int l = 0; l < kLoops; ++l) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        out[i] = unit.eval_real_from_code(codes[i]);
+      }
+    }
+  });
+  const double unit_batch_ms = time_best_ms(reps, [&] {
+    for (int l = 0; l < kLoops; ++l) unit.eval_reals_from_codes(codes, out);
+  });
+
+  Json j = Json::object();
+  j["bench"] = Json("kernel");
+  j["op"] = Json("GELU");
+  j["batch"] = Json(static_cast<int>(kBatch));
+  j["provider_per_code_ns_per_item"] = Json(provider_scalar_ms * 1e6 / items);
+  j["provider_batched_ns_per_item"] = Json(provider_batch_ms * 1e6 / items);
+  j["provider_batch_speedup"] = Json(provider_scalar_ms / provider_batch_ms);
+  j["unit_per_code_ns_per_item"] = Json(unit_scalar_ms * 1e6 / items);
+  j["unit_batched_ns_per_item"] = Json(unit_batch_ms * 1e6 / items);
+  j["unit_batch_speedup"] = Json(unit_scalar_ms / unit_batch_ms);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : ".";
+  const int reps = static_cast<int>(env_int("GQA_BENCH_REPS", 3));
+  try {
+    const Json fit = fit_report(reps);
+    write_file(out_dir + "/BENCH_fit.json", fit.dump() + "\n");
+    std::printf("%s\n", fit.dump().c_str());
+
+    const Json kernel = kernel_report(reps);
+    write_file(out_dir + "/BENCH_kernel.json", kernel.dump() + "\n");
+    std::printf("%s\n", kernel.dump().c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_to_json: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
