@@ -4,7 +4,8 @@
 // w/ RM. See DESIGN.md §3 for the substitution rationale.
 //
 // Env knobs: GQA_TRAIN_SCENES (default 256), GQA_EVAL_SCENES (24),
-//            GQA_PROBE_EPOCHS (30).
+//            GQA_PROBE_EPOCHS (30), GQA_NUM_THREADS (1: lanes for the
+//            threaded forward passes, bit-identical to serial).
 #include "bench_util.h"
 #include "eval/segtask.h"
 
@@ -15,6 +16,7 @@ int main() {
   options.train_scenes = static_cast<int>(env_int("GQA_TRAIN_SCENES", 256));
   options.eval_scenes = static_cast<int>(env_int("GQA_EVAL_SCENES", 24));
   options.probe_epochs = static_cast<int>(env_int("GQA_PROBE_EPOCHS", 30));
+  options.num_threads = static_cast<int>(env_int("GQA_NUM_THREADS", 1));
 
   std::printf("== Table 4: Segformer-B0-like mIoU (synthetic Cityscapes) ==\n");
   Timer timer;

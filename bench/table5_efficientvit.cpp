@@ -3,7 +3,8 @@
 // with 8-entry pwl kernels from the three methods.
 //
 // Env knobs: GQA_TRAIN_SCENES (default 256), GQA_EVAL_SCENES (24),
-//            GQA_PROBE_EPOCHS (30).
+//            GQA_PROBE_EPOCHS (30), GQA_NUM_THREADS (1: lanes for the
+//            threaded forward passes, bit-identical to serial).
 #include "bench_util.h"
 #include "eval/segtask.h"
 
@@ -14,6 +15,7 @@ int main() {
   options.train_scenes = static_cast<int>(env_int("GQA_TRAIN_SCENES", 256));
   options.eval_scenes = static_cast<int>(env_int("GQA_EVAL_SCENES", 48));
   options.probe_epochs = static_cast<int>(env_int("GQA_PROBE_EPOCHS", 40));
+  options.num_threads = static_cast<int>(env_int("GQA_NUM_THREADS", 1));
 
   std::printf("== Table 5: EfficientViT-B0-like mIoU (synthetic Cityscapes) ==\n");
   Timer timer;

@@ -3,6 +3,7 @@
 //
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <filesystem>
 
 #include "core/approximator.h"
 #include "eval/protocol.h"
@@ -33,11 +34,14 @@ int main() {
                 unit.eval_real(x), eval_op(Op::kGelu, x));
   }
 
-  // 4. Persist and reload.
-  approx.save("gelu_gqa_rm.json");
-  const Approximator loaded = Approximator::load("gelu_gqa_rm.json");
-  std::printf("\nSaved and reloaded: eval(0.3) = %.6f (same table: %s)\n",
-              loaded.eval(0.3),
+  // 4. Persist and reload (under the system temp dir, not the CWD, so the
+  //    example never litters a checkout).
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gelu_gqa_rm.json").string();
+  approx.save(path);
+  const Approximator loaded = Approximator::load(path);
+  std::printf("\nSaved and reloaded %s: eval(0.3) = %.6f (same table: %s)\n",
+              path.c_str(), loaded.eval(0.3),
               loaded.eval(0.3) == approx.eval(0.3) ? "yes" : "no");
   return 0;
 }

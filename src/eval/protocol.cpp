@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "kernel/int_pwl_unit.h"
 #include "kernel/multirange_unit.h"
 #include "core/approximator.h"
 #include "pwl/quantized_table.h"
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace gqa {
 
@@ -21,7 +23,30 @@ SweepOptions with_defaults(SweepOptions opts, Op op) {
   }
   GQA_EXPECTS(opts.range_lo < opts.range_hi);
   GQA_EXPECTS(opts.exp_lo <= opts.exp_hi);
+  GQA_EXPECTS(opts.num_threads >= 1);
   return opts;
+}
+
+/// Evaluates one independent ScalePoint per exponent e = exp_hi .. exp_lo,
+/// fanning out over a pool when opts.num_threads > 1. Each index computes
+/// its point in isolation (pure function, disjoint slot), so threaded
+/// sweeps are bit-identical to serial.
+ScaleSweepResult sweep_points(
+    const SweepOptions& opts,
+    const std::function<ScalePoint(int exponent)>& point_at) {
+  ScaleSweepResult result;
+  const std::size_t count =
+      static_cast<std::size_t>(opts.exp_hi - opts.exp_lo + 1);
+  result.points.resize(count);
+  std::optional<ThreadPool> owned;
+  if (opts.pool == nullptr && opts.num_threads > 1) {
+    owned.emplace(opts.num_threads);
+  }
+  pooled_for(opts.pool ? opts.pool : (owned ? &*owned : nullptr), count,
+             [&](std::size_t i) {
+               result.points[i] = point_at(opts.exp_hi - static_cast<int>(i));
+             });
+  return result;
 }
 
 }  // namespace
@@ -95,11 +120,8 @@ ScalePoint scale_mse(const PwlTable& fxp_table, Op op, int exponent,
 ScaleSweepResult sweep_scale_mse(const PwlTable& fxp_table, Op op,
                                  SweepOptions opts) {
   opts = with_defaults(opts, op);
-  ScaleSweepResult result;
-  for (int e = opts.exp_hi; e >= opts.exp_lo; --e) {
-    result.points.push_back(scale_mse(fxp_table, op, e, opts));
-  }
-  return result;
+  return sweep_points(
+      opts, [&](int e) { return scale_mse(fxp_table, op, e, opts); });
 }
 
 double fxp_domain_mse(const PwlTable& fxp_table, Op op,
@@ -180,13 +202,10 @@ double operator_level_mse(const PwlTable& fxp_table, Op op,
 ScaleSweepResult sweep_scale_mse(const Approximator& approx,
                                  SweepOptions opts) {
   opts = with_defaults(opts, approx.op());
-  ScaleSweepResult result;
-  for (int e = opts.exp_hi; e >= opts.exp_lo; --e) {
-    // Input scale S = 2^e corresponds to deployment grid exponent s = -e.
-    result.points.push_back(
-        scale_mse(approx.table_for_scale(-e), approx.op(), e, opts));
-  }
-  return result;
+  // Input scale S = 2^e corresponds to deployment grid exponent s = -e.
+  return sweep_points(opts, [&](int e) {
+    return scale_mse(approx.table_for_scale(-e), approx.op(), e, opts);
+  });
 }
 
 double operator_level_mse(const Approximator& approx, SweepOptions opts) {

@@ -19,6 +19,7 @@
 #include "gqa/multirange.h"
 #include "numerics/nonlinear.h"
 #include "pwl/pwl_table.h"
+#include "util/thread_pool.h"
 
 namespace gqa {
 
@@ -30,6 +31,13 @@ struct SweepOptions {
   int exp_lo = -6;   ///< smallest scale exponent (S = 2^-6)
   double range_lo = 0.0;  ///< Rn (set from the op when 0-width)
   double range_hi = 0.0;  ///< Rp
+  /// Threading for sweep_scale_mse: the per-scale evaluations are
+  /// independent and fan out over a pool, bit-identical to serial. A
+  /// caller-owned `pool` is preferred (no per-sweep thread spawning when
+  /// sweeping in a loop); otherwise `num_threads > 1` sizes a pool created
+  /// for the one sweep. Defaults are serial.
+  ThreadPool* pool = nullptr;
+  int num_threads = 1;
 };
 
 struct ScalePoint {

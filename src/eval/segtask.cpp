@@ -21,6 +21,10 @@ SegTask<ModelT>::SegTask(ModelT model, int label_stride,
   GQA_EXPECTS(options.train_scenes >= 1 && options.eval_scenes >= 1);
   GQA_EXPECTS(options.calib_scenes >= 1 &&
               options.calib_scenes <= options.train_scenes);
+  GQA_EXPECTS(options.num_threads >= 1);
+  if (options.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  }
 
   const std::vector<LabeledScene> train =
       make_scene_set(options.scene, options.train_scenes, options.train_seed);
@@ -49,19 +53,24 @@ template <typename ModelT>
 double SegTask<ModelT>::miou_fp() const {
   ConfusionMatrix cm(options_.scene.num_classes);
   for (std::size_t i = 0; i < eval_scenes_.size(); ++i) {
-    cm.add(eval_labels_[i], tfm::SegformerB0Like::argmax_labels(
-                                model_.forward_fp(eval_scenes_[i].image)));
+    cm.add(eval_labels_[i],
+           tfm::SegformerB0Like::argmax_labels(
+               model_.forward_fp(eval_scenes_[i].image, pool_.get())));
   }
   return cm.mean_iou();
 }
 
 template <typename ModelT>
 double SegTask<ModelT>::miou_int(const tfm::NonlinearProvider& nl) const {
+  // Pre-build the pwl units before the threaded forwards so the hot paths
+  // hit the lock-free warmed tier (misses stay correct, just slower).
+  nl.warm_up({Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt},
+             tfm::NonlinearProvider::deployment_scale_exps());
   ConfusionMatrix cm(options_.scene.num_classes);
   for (std::size_t i = 0; i < eval_scenes_.size(); ++i) {
     cm.add(eval_labels_[i],
            tfm::SegformerB0Like::argmax_labels(
-               model_.forward_int(eval_scenes_[i].image, nl)));
+               model_.forward_int(eval_scenes_[i].image, nl, pool_.get())));
   }
   return cm.mean_iou();
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -29,6 +30,10 @@ struct SegTaskOptions {
   SceneOptions scene;
   std::uint64_t train_seed = 0x7124;
   std::uint64_t eval_seed = 0xE7A1;
+  /// Lanes for the threaded model forward passes during mIoU evaluation
+  /// (bit-identical to serial; 1 = no pool). Training/calibration stay
+  /// serial.
+  int num_threads = 1;
 };
 
 /// One Table 4/5 row: which ops are replaced, per-method mIoU.
@@ -59,6 +64,7 @@ class SegTask {
   int label_stride_;
   std::vector<LabeledScene> eval_scenes_;
   std::vector<std::vector<int>> eval_labels_;
+  std::unique_ptr<ThreadPool> pool_;  ///< non-null when num_threads > 1
 };
 
 using SegformerTask = SegTask<tfm::SegformerB0Like>;

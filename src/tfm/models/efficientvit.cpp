@@ -88,34 +88,43 @@ Tensor concat_maps(const Tensor& a, const Tensor& b) {
 
 }  // namespace
 
-Tensor EfficientViTB0Like::penultimate_fp(const Tensor& image) const {
-  Tensor x = stem_act_.forward_fp(stem_->forward_fp(image));
-  x = stage1_->forward_fp(x);
-  x = stage2_->forward_fp(x);
-  x = stage3_->forward_fp(x);
+Tensor EfficientViTB0Like::penultimate_fp(const Tensor& image,
+                                          ThreadPool* pool) const {
+  Tensor x = stem_act_.forward_fp(stem_->forward_fp(image, pool), pool);
+  x = stage1_->forward_fp(x, pool);
+  x = stage2_->forward_fp(x, pool);
+  x = stage3_->forward_fp(x, pool);
   {
     const Tensor a = attn_tokens(
-        [this](const Tensor& t) { return evit3_.attn->forward_fp(t); }, x);
-    x = evit3_.add.forward_fp(x, a);
-    x = evit3_.ffn->forward_fp(x);
+        [this, pool](const Tensor& t) {
+          return evit3_.attn->forward_fp(t, pool);
+        },
+        x);
+    x = evit3_.add.forward_fp(x, a, pool);
+    x = evit3_.ffn->forward_fp(x, pool);
   }
   const Tensor f3 = x;
-  x = stage4_->forward_fp(x);
+  x = stage4_->forward_fp(x, pool);
   {
     const Tensor a = attn_tokens(
-        [this](const Tensor& t) { return evit4_.attn->forward_fp(t); }, x);
-    x = evit4_.add.forward_fp(x, a);
-    x = evit4_.ffn->forward_fp(x);
+        [this, pool](const Tensor& t) {
+          return evit4_.attn->forward_fp(t, pool);
+        },
+        x);
+    x = evit4_.add.forward_fp(x, a, pool);
+    x = evit4_.ffn->forward_fp(x, pool);
   }
   const Tensor fused = concat_maps(f3, upsample2x(x));
-  const Tensor feat = head_act_.forward_fp(head_conv_->forward_fp(fused));
+  const Tensor feat =
+      head_act_.forward_fp(head_conv_->forward_fp(fused, pool), pool);
   return to_tokens(feat);
 }
 
-Tensor EfficientViTB0Like::forward_fp(const Tensor& image) const {
-  const Tensor tokens = penultimate_fp(image);
+Tensor EfficientViTB0Like::forward_fp(const Tensor& image,
+                                      ThreadPool* pool) const {
+  const Tensor tokens = penultimate_fp(image, pool);
   const int side = config_.image_size / 8;
-  return classifier_->forward_fp(from_tokens(tokens, side, side));
+  return classifier_->forward_fp(from_tokens(tokens, side, side), pool);
 }
 
 void EfficientViTB0Like::train_classifier(
@@ -194,28 +203,33 @@ void EfficientViTB0Like::freeze() {
 }
 
 QTensor EfficientViTB0Like::forward_int(const Tensor& image,
-                                        const NonlinearProvider& nl) const {
+                                        const NonlinearProvider& nl,
+                                        ThreadPool* pool) const {
   GQA_EXPECTS_MSG(frozen_, "forward_int() requires freeze()");
   QTensor x = QTensor::quantize(image, input_qp_);
-  x = stem_act_.forward_int(stem_->forward_int(x), nl);
-  x = stage1_->forward_int(x, nl);
-  x = stage2_->forward_int(x, nl);
-  x = stage3_->forward_int(x, nl);
+  x = stem_act_.forward_int(stem_->forward_int(x, pool), nl, pool);
+  x = stage1_->forward_int(x, nl, pool);
+  x = stage2_->forward_int(x, nl, pool);
+  x = stage3_->forward_int(x, nl, pool);
   {
     const QTensor a = attn_tokens(
-        [this, &nl](const QTensor& t) { return evit3_.attn->forward_int(t, nl); },
+        [this, &nl, pool](const QTensor& t) {
+          return evit3_.attn->forward_int(t, nl, pool);
+        },
         x);
-    x = evit3_.add.forward_int(x, a);
-    x = evit3_.ffn->forward_int(x, nl);
+    x = evit3_.add.forward_int(x, a, pool);
+    x = evit3_.ffn->forward_int(x, nl, pool);
   }
   const QTensor f3 = x;
-  x = stage4_->forward_int(x, nl);
+  x = stage4_->forward_int(x, nl, pool);
   {
     const QTensor a = attn_tokens(
-        [this, &nl](const QTensor& t) { return evit4_.attn->forward_int(t, nl); },
+        [this, &nl, pool](const QTensor& t) {
+          return evit4_.attn->forward_int(t, nl, pool);
+        },
         x);
-    x = evit4_.add.forward_int(x, a);
-    x = evit4_.ffn->forward_int(x, nl);
+    x = evit4_.add.forward_int(x, a, pool);
+    x = evit4_.ffn->forward_int(x, nl, pool);
   }
   // Integer concat on the shared fuse scale.
   const QTensor f4_up = upsample2x(x);
@@ -234,8 +248,9 @@ QTensor EfficientViTB0Like::forward_int(const Tensor& image,
       for (int xx = 0; xx < w; ++xx)
         fused.at(c3 + c, yy, xx) =
             static_cast<std::int32_t>(rq_f4_.apply(f4_up.at(c, yy, xx)));
-  QTensor feat = head_act_.forward_int(head_conv_->forward_int(fused), nl);
-  return classifier_->forward_int(feat);
+  QTensor feat =
+      head_act_.forward_int(head_conv_->forward_int(fused, pool), nl, pool);
+  return classifier_->forward_int(feat, pool);
 }
 
 }  // namespace gqa::tfm

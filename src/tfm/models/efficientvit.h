@@ -27,11 +27,14 @@ class EfficientViTB0Like {
  public:
   explicit EfficientViTB0Like(const EfficientViTConfig& config = {});
 
-  /// FP32 logits {num_classes, H/8, W/8}.
-  [[nodiscard]] Tensor forward_fp(const Tensor& image) const;
+  /// FP32 logits {num_classes, H/8, W/8}. A non-null pool threads every
+  /// module forward (bit-identical to serial at any thread count).
+  [[nodiscard]] Tensor forward_fp(const Tensor& image,
+                                  ThreadPool* pool = nullptr) const;
 
   /// FP32 penultimate features {H/8·W/8, head_dim} (post-HSWISH tokens).
-  [[nodiscard]] Tensor penultimate_fp(const Tensor& image) const;
+  [[nodiscard]] Tensor penultimate_fp(const Tensor& image,
+                                      ThreadPool* pool = nullptr) const;
 
   /// Trains the final classifier (softmax linear probe) on labels at
   /// H/8 x W/8 resolution. Must run before calibrate()/freeze().
@@ -41,8 +44,11 @@ class EfficientViTB0Like {
 
   void calibrate(const Tensor& image);
   void freeze();
+  /// A non-null pool fans channels/rows out across its lanes; the provider
+  /// must tolerate concurrent use (it does).
   [[nodiscard]] QTensor forward_int(const Tensor& image,
-                                    const NonlinearProvider& nl) const;
+                                    const NonlinearProvider& nl,
+                                    ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] const EfficientViTConfig& config() const { return config_; }
 

@@ -82,23 +82,26 @@ SegformerB0Like::SegformerB0Like(const SegformerConfig& config)
   head_rq_.resize(4);
 }
 
-Tensor SegformerB0Like::penultimate_fp(const Tensor& image) const {
+Tensor SegformerB0Like::penultimate_fp(const Tensor& image,
+                                       ThreadPool* pool) const {
   GQA_EXPECTS(image.shape().rank() == 3 &&
               image.shape()[0] == config_.in_channels);
   Tensor x = image;
   std::vector<Tensor> features;
   for (const Stage& stage : stages_) {
-    Tensor map = stage.patch_embed->forward_fp(x);
+    Tensor map = stage.patch_embed->forward_fp(x, pool);
     const int h = map.shape()[1];
     const int w = map.shape()[2];
-    Tensor tokens = stage.embed_norm->forward_fp(to_tokens(map));
+    Tensor tokens = stage.embed_norm->forward_fp(to_tokens(map), pool);
     for (const Block& block : stage.blocks) {
-      Tensor a = block.attn->forward_fp(block.ln1->forward_fp(tokens), h, w);
-      tokens = block.add1.forward_fp(tokens, a);
-      Tensor f = block.ffn->forward_fp(block.ln2->forward_fp(tokens), h, w);
-      tokens = block.add2.forward_fp(tokens, f);
+      Tensor a = block.attn->forward_fp(block.ln1->forward_fp(tokens, pool),
+                                        h, w, pool);
+      tokens = block.add1.forward_fp(tokens, a, pool);
+      Tensor f = block.ffn->forward_fp(block.ln2->forward_fp(tokens, pool),
+                                       h, w, pool);
+      tokens = block.add2.forward_fp(tokens, f, pool);
     }
-    tokens = stage.out_norm->forward_fp(tokens);
+    tokens = stage.out_norm->forward_fp(tokens, pool);
     x = from_tokens(tokens, h, w);
     features.push_back(x);
   }
@@ -109,7 +112,7 @@ Tensor SegformerB0Like::penultimate_fp(const Tensor& image) const {
   Tensor fused(Shape{oh * ow, 4 * config_.decoder_dim});
   for (int s = 0; s < 4; ++s) {
     Tensor proj = head_linears_[static_cast<std::size_t>(s)]->forward_fp(
-        to_tokens(features[static_cast<std::size_t>(s)]));
+        to_tokens(features[static_cast<std::size_t>(s)]), pool);
     Tensor up = upsample_nearest(
         from_tokens(proj, features[static_cast<std::size_t>(s)].shape()[1],
                     features[static_cast<std::size_t>(s)].shape()[2]),
@@ -121,15 +124,16 @@ Tensor SegformerB0Like::penultimate_fp(const Tensor& image) const {
       }
     }
   }
-  Tensor y = head_fuse_->forward_fp(fused);
+  Tensor y = head_fuse_->forward_fp(fused, pool);
   for (float& v : y.data()) v = std::max(v, 0.0F);  // head ReLU
   return y;
 }
 
-Tensor SegformerB0Like::forward_fp(const Tensor& image) const {
-  const Tensor y = penultimate_fp(image);
+Tensor SegformerB0Like::forward_fp(const Tensor& image,
+                                   ThreadPool* pool) const {
+  const Tensor y = penultimate_fp(image, pool);
   const int side = config_.image_size / 4;
-  return from_tokens(head_classifier_->forward_fp(y), side, side);
+  return from_tokens(head_classifier_->forward_fp(y, pool), side, side);
 }
 
 void SegformerB0Like::train_classifier(
@@ -228,24 +232,25 @@ void SegformerB0Like::freeze() {
 }
 
 QTensor SegformerB0Like::forward_int(const Tensor& image,
-                                     const NonlinearProvider& nl) const {
+                                     const NonlinearProvider& nl,
+                                     ThreadPool* pool) const {
   GQA_EXPECTS_MSG(frozen_, "forward_int() requires freeze()");
   QTensor x = QTensor::quantize(image, input_qp_);
   std::vector<QTensor> features;
   for (const Stage& stage : stages_) {
-    QTensor map = stage.patch_embed->forward_int(x);
+    QTensor map = stage.patch_embed->forward_int(x, pool);
     const int h = map.shape()[1];
     const int w = map.shape()[2];
-    QTensor tokens = stage.embed_norm->forward_int(to_tokens(map), nl);
+    QTensor tokens = stage.embed_norm->forward_int(to_tokens(map), nl, pool);
     for (const Block& block : stage.blocks) {
-      QTensor a = block.attn->forward_int(block.ln1->forward_int(tokens, nl),
-                                          h, w, nl);
-      tokens = block.add1.forward_int(tokens, a);
-      QTensor f = block.ffn->forward_int(block.ln2->forward_int(tokens, nl),
-                                         h, w, nl);
-      tokens = block.add2.forward_int(tokens, f);
+      QTensor a = block.attn->forward_int(
+          block.ln1->forward_int(tokens, nl, pool), h, w, nl, pool);
+      tokens = block.add1.forward_int(tokens, a, pool);
+      QTensor f = block.ffn->forward_int(
+          block.ln2->forward_int(tokens, nl, pool), h, w, nl, pool);
+      tokens = block.add2.forward_int(tokens, f, pool);
     }
-    tokens = stage.out_norm->forward_int(tokens, nl);
+    tokens = stage.out_norm->forward_int(tokens, nl, pool);
     x = from_tokens(tokens, h, w);
     features.push_back(x);
   }
@@ -255,7 +260,7 @@ QTensor SegformerB0Like::forward_int(const Tensor& image,
   QTensor fused(Shape{oh * ow, 4 * config_.decoder_dim}, head_qp_);
   for (int s = 0; s < 4; ++s) {
     QTensor proj = head_linears_[static_cast<std::size_t>(s)]->forward_int(
-        to_tokens(features[static_cast<std::size_t>(s)]));
+        to_tokens(features[static_cast<std::size_t>(s)]), pool);
     // Requantize onto the common head scale, then upsample codes.
     QTensor aligned(proj.shape(), head_qp_);
     for (std::size_t i = 0; i < proj.data().size(); ++i) {
@@ -273,9 +278,9 @@ QTensor SegformerB0Like::forward_int(const Tensor& image,
       }
     }
   }
-  QTensor y = head_fuse_->forward_int(fused);
+  QTensor y = head_fuse_->forward_int(fused, pool);
   for (std::int32_t& v : y.data()) v = std::max(v, 0);  // integer ReLU
-  return from_tokens(head_classifier_->forward_int(y), oh, ow);
+  return from_tokens(head_classifier_->forward_int(y, pool), oh, ow);
 }
 
 std::vector<int> SegformerB0Like::argmax_labels(const Tensor& logits) {

@@ -32,11 +32,14 @@ class SegformerB0Like {
  public:
   explicit SegformerB0Like(const SegformerConfig& config = {});
 
-  /// FP32 logits {num_classes, H/4, W/4}.
-  [[nodiscard]] Tensor forward_fp(const Tensor& image) const;
+  /// FP32 logits {num_classes, H/4, W/4}. A non-null pool threads every
+  /// module forward (bit-identical to serial at any thread count).
+  [[nodiscard]] Tensor forward_fp(const Tensor& image,
+                                  ThreadPool* pool = nullptr) const;
 
   /// FP32 penultimate features: relu(fused decode tokens), {H/4·W/4, dim}.
-  [[nodiscard]] Tensor penultimate_fp(const Tensor& image) const;
+  [[nodiscard]] Tensor penultimate_fp(const Tensor& image,
+                                      ThreadPool* pool = nullptr) const;
 
   /// Trains the final classifier (softmax linear probe, frozen backbone)
   /// on labels at H/4 x W/4 resolution — the reproduction's stand-in for
@@ -52,9 +55,11 @@ class SegformerB0Like {
   void freeze();
 
   /// Integer-only logits; the image is quantized at the input observer's
-  /// power-of-two scale.
+  /// power-of-two scale. A non-null pool fans rows/channels/heads out
+  /// across its lanes; the provider must tolerate concurrent use (it does).
   [[nodiscard]] QTensor forward_int(const Tensor& image,
-                                    const NonlinearProvider& nl) const;
+                                    const NonlinearProvider& nl,
+                                    ThreadPool* pool = nullptr) const;
 
   /// Per-pixel argmax labels of a logits map {C, h, w}.
   [[nodiscard]] static std::vector<int> argmax_labels(const Tensor& logits);

@@ -32,6 +32,12 @@ std::vector<std::int32_t> quantize_bias(const Tensor& b, double acc_scale) {
 }
 
 int conv_out_size(int in, int kernel, int stride, int pad) {
+  // Guard the numerator, not the quotient: for stride > 1 C++ integer
+  // division truncates toward zero, so a kernel window that never fits
+  // (negative numerator) would still round up to an output size of 1.
+  GQA_EXPECTS_MSG(in + 2 * pad - kernel >= 0,
+                  "conv input (plus padding) is smaller than the kernel: "
+                  "output spatial size would be non-positive");
   return (in + 2 * pad - kernel) / stride + 1;
 }
 
@@ -47,17 +53,18 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
   b_ = Tensor::randn(Shape{out_}, rng, 0.02);
 }
 
-Tensor Linear::forward_fp(const Tensor& x) const {
+Tensor Linear::forward_fp(const Tensor& x, ThreadPool* pool) const {
   GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == in_);
   const int n = x.shape()[0];
   Tensor y(Shape{n, out_});
-  for (int i = 0; i < n; ++i) {
+  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     for (int o = 0; o < out_; ++o) {
       double acc = b_.at(o);
       for (int k = 0; k < in_; ++k) acc += x.at(i, k) * w_.at(o, k);
       y.at(i, o) = static_cast<float>(acc);
     }
-  }
+  });
   return y;
 }
 
@@ -80,12 +87,13 @@ QuantParams Linear::freeze(const QuantParams& in_qp,
   return out_qp_;
 }
 
-QTensor Linear::forward_int(const QTensor& x) const {
+QTensor Linear::forward_int(const QTensor& x, ThreadPool* pool) const {
   GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == in_);
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int n = x.shape()[0];
   QTensor y(Shape{n, out_}, out_qp_);
-  for (int i = 0; i < n; ++i) {
+  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     for (int o = 0; o < out_; ++o) {
       std::int64_t acc = bq_[static_cast<std::size_t>(o)];
       const std::size_t wrow = static_cast<std::size_t>(o) * in_;
@@ -94,7 +102,7 @@ QTensor Linear::forward_int(const QTensor& x) const {
       }
       y.at(i, o) = static_cast<std::int32_t>(rq_.apply(acc));
     }
-  }
+  });
   return y;
 }
 
@@ -117,14 +125,15 @@ Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
   b_ = Tensor::randn(Shape{out_ch_}, rng, 0.02);
 }
 
-Tensor Conv2d::forward_fp(const Tensor& x) const {
+Tensor Conv2d::forward_fp(const Tensor& x, ThreadPool* pool) const {
   GQA_EXPECTS(x.shape().rank() == 3 && x.shape()[0] == in_ch_);
   const int h = x.shape()[1];
   const int w = x.shape()[2];
   const int oh = conv_out_size(h, kernel_, stride_, pad_);
   const int ow = conv_out_size(w, kernel_, stride_, pad_);
   Tensor y(Shape{out_ch_, oh, ow});
-  for (int oc = 0; oc < out_ch_; ++oc) {
+  pooled_for(pool, static_cast<std::size_t>(out_ch_), [&](std::size_t ch) {
+    const int oc = static_cast<int>(ch);
     const int ic_lo = depthwise_ ? oc : 0;
     const int ic_hi = depthwise_ ? oc + 1 : in_ch_;
     for (int oy = 0; oy < oh; ++oy) {
@@ -145,7 +154,7 @@ Tensor Conv2d::forward_fp(const Tensor& x) const {
         y.at(oc, oy, ox) = static_cast<float>(acc);
       }
     }
-  }
+  });
   return y;
 }
 
@@ -168,7 +177,7 @@ QuantParams Conv2d::freeze(const QuantParams& in_qp,
   return out_qp_;
 }
 
-QTensor Conv2d::forward_int(const QTensor& x) const {
+QTensor Conv2d::forward_int(const QTensor& x, ThreadPool* pool) const {
   GQA_EXPECTS(x.shape().rank() == 3 && x.shape()[0] == in_ch_);
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int h = x.shape()[1];
@@ -178,7 +187,8 @@ QTensor Conv2d::forward_int(const QTensor& x) const {
   QTensor y(Shape{out_ch_, oh, ow}, out_qp_);
   const std::size_t kk = static_cast<std::size_t>(kernel_) * kernel_;
   const std::size_t per_oc = (depthwise_ ? 1 : static_cast<std::size_t>(in_ch_)) * kk;
-  for (int oc = 0; oc < out_ch_; ++oc) {
+  pooled_for(pool, static_cast<std::size_t>(out_ch_), [&](std::size_t ch) {
+    const int oc = static_cast<int>(ch);
     const int ic_lo = depthwise_ ? oc : 0;
     const int ic_hi = depthwise_ ? oc + 1 : in_ch_;
     for (int oy = 0; oy < oh; ++oy) {
@@ -202,7 +212,7 @@ QTensor Conv2d::forward_int(const QTensor& x) const {
         y.at(oc, oy, ox) = static_cast<std::int32_t>(rq_.apply(acc));
       }
     }
-  }
+  });
   return y;
 }
 
@@ -218,11 +228,12 @@ LayerNorm::LayerNorm(int dim, Rng& rng) : dim_(dim) {
   }
 }
 
-Tensor LayerNorm::forward_fp(const Tensor& x) const {
+Tensor LayerNorm::forward_fp(const Tensor& x, ThreadPool* pool) const {
   GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == dim_);
   const int n = x.shape()[0];
   Tensor y(x.shape());
-  for (int i = 0; i < n; ++i) {
+  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     double mean = 0.0;
     for (int d = 0; d < dim_; ++d) mean += x.at(i, d);
     mean /= dim_;
@@ -237,7 +248,7 @@ Tensor LayerNorm::forward_fp(const Tensor& x) const {
       y.at(i, d) = static_cast<float>((x.at(i, d) - mean) * inv * gamma_.at(d) +
                                       beta_.at(d));
     }
-  }
+  });
   return y;
 }
 
@@ -255,9 +266,10 @@ QuantParams LayerNorm::freeze(const QuantParams& in_qp,
   return out_qp_;
 }
 
-QTensor LayerNorm::forward_int(const QTensor& x,
-                               const NonlinearProvider& nl) const {
+QTensor LayerNorm::forward_int(const QTensor& x, const NonlinearProvider& nl,
+                               ThreadPool* pool) const {
   GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == dim_);
+  GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int n = x.shape()[0];
   QTensor y(x.shape(), out_qp_);
   constexpr int kVarFrac = 8;  ///< fractional bits of the variance bus
@@ -266,7 +278,8 @@ QTensor LayerNorm::forward_int(const QTensor& x,
   std::vector<std::int64_t> sums(static_cast<std::size_t>(n));
   std::vector<std::int64_t> w_codes(static_cast<std::size_t>(n));
   std::vector<int> prenorm(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
+  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     // Exact integer moments via the D-scaled centering trick:
     // c'_d = D·q_d − Σq  has value D·S·(x_d − μ), no mean rounding.
     std::int64_t sum = 0;
@@ -296,11 +309,12 @@ QTensor LayerNorm::forward_int(const QTensor& x,
     w_codes[static_cast<std::size_t>(i)] =
         std::max<std::int64_t>(1, shift_round(w_code, 2 * t));
     prenorm[static_cast<std::size_t>(i)] = t;
-  }
+  });
   std::vector<double> rsqrts(static_cast<std::size_t>(n));
   nl.rsqrt_fxp_batch(w_codes, kVarFrac, rsqrts);
   // Pass 2: n_d = c'_d/(D·σ_q); y = γ n + β quantized to the output scale.
-  for (int i = 0; i < n; ++i) {
+  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     const std::int64_t sum = sums[static_cast<std::size_t>(i)];
     const double inv_sigma_q = std::ldexp(
         rsqrts[static_cast<std::size_t>(i)],
@@ -311,18 +325,19 @@ QTensor LayerNorm::forward_int(const QTensor& x,
       const double val = gamma_.at(d) * norm + beta_.at(d);
       y.at(i, d) = static_cast<std::int32_t>(out_qp_.quantize(val));
     }
-  }
+  });
   return y;
 }
 
 // -------------------------------------------------------------- Softmax ---
 
-Tensor Softmax::forward_fp(const Tensor& rows) {
+Tensor Softmax::forward_fp(const Tensor& rows, ThreadPool* pool) {
   GQA_EXPECTS(rows.shape().rank() == 2);
   const int n = rows.shape()[0];
   const int m = rows.shape()[1];
   Tensor y(rows.shape());
-  for (int i = 0; i < n; ++i) {
+  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     double peak = rows.at(i, 0);
     for (int j = 1; j < m; ++j) peak = std::max<double>(peak, rows.at(i, j));
     double sum = 0.0;
@@ -332,14 +347,18 @@ Tensor Softmax::forward_fp(const Tensor& rows) {
       sum += e;
     }
     for (int j = 0; j < m; ++j) y.at(i, j) = static_cast<float>(y.at(i, j) / sum);
-  }
+  });
   return y;
 }
 
-QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl) {
+QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl,
+                             ThreadPool* pool) {
   GQA_EXPECTS(rows.shape().rank() == 2);
   GQA_EXPECTS_MSG(rows.params().scale_is_po2(),
                   "Softmax input scale must be a power of two (§3.1)");
+  GQA_EXPECTS_MSG(rows.params().is_signed,
+                  "Softmax input codes must be signed (max-subtracted "
+                  "differences are non-positive)");
   const int sx = rows.params().po2_exponent();
   const int n = rows.shape()[0];
   const int m = rows.shape()[1];
@@ -347,39 +366,49 @@ QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl) {
   // exp outputs are exact multiples of 2^(sx - λ); summing then encoding
   // with frac = λ - sx keeps the DIV input bit-exact.
   const int sum_frac = std::min(40, std::max(8, 12 - sx));
-  std::vector<std::int64_t> diffs(static_cast<std::size_t>(m));
-  std::vector<double> exps(static_cast<std::size_t>(m));
-  for (int i = 0; i < n; ++i) {
-    std::int32_t peak = rows.at(i, 0);
-    for (int j = 1; j < m; ++j) peak = std::max(peak, rows.at(i, j));
-    for (int j = 0; j < m; ++j) {
-      diffs[static_cast<std::size_t>(j)] =
-          static_cast<std::int64_t>(rows.at(i, j)) - peak;
-    }
-    // One batched EXP pass per row: the pwl unit is resolved once and the
-    // whole row streams through its dense segment table.
-    nl.exp_codes(diffs, sx, exps);
-    double sum = 0.0;
-    for (int j = 0; j < m; ++j) sum += exps[static_cast<std::size_t>(j)];
-    const std::int64_t sum_code =
-        std::max<std::int64_t>(1, round_to_int(std::ldexp(sum, sum_frac)));
-    const double recip = nl.recip_fxp(sum_code, sum_frac);
-    for (int j = 0; j < m; ++j) {
-      const double p = exps[static_cast<std::size_t>(j)] * recip;
-      y.at(i, j) = static_cast<std::int32_t>(prob_params().quantize(p));
-    }
-  }
+  // Row chunks keep the per-lane scratch buffers hoisted out of the row
+  // loop (one allocation pair per chunk, as the serial path always had).
+  pooled_for_chunks(
+      pool, static_cast<std::size_t>(n), [&](std::size_t lo, std::size_t hi) {
+        std::vector<std::int64_t> diffs(static_cast<std::size_t>(m));
+        std::vector<double> exps(static_cast<std::size_t>(m));
+        for (std::size_t row = lo; row < hi; ++row) {
+          const int i = static_cast<int>(row);
+          std::int32_t peak = rows.at(i, 0);
+          for (int j = 1; j < m; ++j) peak = std::max(peak, rows.at(i, j));
+          for (int j = 0; j < m; ++j) {
+            diffs[static_cast<std::size_t>(j)] =
+                static_cast<std::int64_t>(rows.at(i, j)) - peak;
+          }
+          // One batched EXP pass per row: the pwl unit is resolved once and
+          // the whole row streams through its dense segment table.
+          nl.exp_codes(diffs, sx, exps);
+          double sum = 0.0;
+          for (int j = 0; j < m; ++j) sum += exps[static_cast<std::size_t>(j)];
+          const std::int64_t sum_code = std::max<std::int64_t>(
+              1, round_to_int(std::ldexp(sum, sum_frac)));
+          const double recip = nl.recip_fxp(sum_code, sum_frac);
+          for (int j = 0; j < m; ++j) {
+            const double p = exps[static_cast<std::size_t>(j)] * recip;
+            y.at(i, j) = static_cast<std::int32_t>(prob_params().quantize(p));
+          }
+        }
+      });
   return y;
 }
 
 // ----------------------------------------------------------- Activation ---
 
-Tensor Activation::forward_fp(const Tensor& x) const {
+Tensor Activation::forward_fp(const Tensor& x, ThreadPool* pool) const {
   Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.data().size(); ++i) {
-    y.data()[i] =
-        static_cast<float>(eval_op(op_, static_cast<double>(x.data()[i])));
-  }
+  // Elementwise op: any contiguous split is exact.
+  pooled_for_chunks(pool, x.data().size(),
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        y.data()[i] = static_cast<float>(
+                            eval_op(op_, static_cast<double>(x.data()[i])));
+                      }
+                    });
   return y;
 }
 
@@ -399,36 +428,45 @@ QuantParams Activation::freeze(const QuantParams& in_qp,
   return out_qp_;
 }
 
-QTensor Activation::forward_int(const QTensor& x,
-                                const NonlinearProvider& nl) const {
+QTensor Activation::forward_int(const QTensor& x, const NonlinearProvider& nl,
+                                ThreadPool* pool) const {
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int sx = x.params().po2_exponent();
   QTensor y(x.shape(), out_qp_);
-  // Whole-tensor batched activation: one unit-cache lookup, dense segment
-  // lookups, and the intercept shift hoisted out of the element loop.
+  // Batched activation threaded over contiguous slabs: each slab streams
+  // through the dense segment table in one span call (batched ==
+  // per-element bit-identical, so any split is exact).
   const std::size_t count = x.data().size();
   std::vector<std::int64_t> codes(count);
-  for (std::size_t i = 0; i < count; ++i) codes[i] = x.data()[i];
   std::vector<double> vals(count);
-  if (op_ == Op::kGelu) {
-    nl.gelu_codes(codes, sx, vals);
-  } else {
-    nl.hswish_codes(codes, sx, vals);
-  }
-  for (std::size_t i = 0; i < count; ++i) {
-    y.data()[i] = static_cast<std::int32_t>(out_qp_.quantize(vals[i]));
-  }
+  pooled_for_chunks(pool, count, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) codes[i] = x.data()[i];
+    const std::span<const std::int64_t> in(codes.data() + lo, hi - lo);
+    const std::span<double> out(vals.data() + lo, hi - lo);
+    if (op_ == Op::kGelu) {
+      nl.gelu_codes(in, sx, out);
+    } else {
+      nl.hswish_codes(in, sx, out);
+    }
+    for (std::size_t i = lo; i < hi; ++i) {
+      y.data()[i] = static_cast<std::int32_t>(out_qp_.quantize(vals[i]));
+    }
+  });
   return y;
 }
 
 // ---------------------------------------------------------- ResidualAdd ---
 
-Tensor ResidualAdd::forward_fp(const Tensor& a, const Tensor& b) const {
+Tensor ResidualAdd::forward_fp(const Tensor& a, const Tensor& b,
+                               ThreadPool* pool) const {
   GQA_EXPECTS(a.shape() == b.shape());
   Tensor y(a.shape());
-  for (std::size_t i = 0; i < a.data().size(); ++i) {
-    y.data()[i] = a.data()[i] + b.data()[i];
-  }
+  pooled_for_chunks(pool, a.data().size(),
+                    [&](std::size_t lo, std::size_t hi) {
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        y.data()[i] = a.data()[i] + b.data()[i];
+                      }
+                    });
   return y;
 }
 
@@ -442,20 +480,31 @@ QuantParams ResidualAdd::freeze(const QuantParams& a_qp,
                                 const QuantParams& b_qp,
                                 const QuantPolicy& policy) {
   GQA_EXPECTS_MSG(!out_obs_.empty(), "freeze() requires prior calibration");
+  a_qp_ = a_qp;
+  b_qp_ = b_qp;
   out_qp_ = out_obs_.make_params(policy.act_bits);
   rq_a_ = Requantizer(a_qp.scale, out_qp_);
   rq_b_ = Requantizer(b_qp.scale, out_qp_);
   return out_qp_;
 }
 
-QTensor ResidualAdd::forward_int(const QTensor& a, const QTensor& b) const {
+QTensor ResidualAdd::forward_int(const QTensor& a, const QTensor& b,
+                                 ThreadPool* pool) const {
   GQA_EXPECTS(a.shape() == b.shape());
+  GQA_EXPECTS_MSG(a.params() == a_qp_,
+                  "first operand params differ from freeze()");
+  GQA_EXPECTS_MSG(b.params() == b_qp_,
+                  "second operand params differ from freeze()");
   QTensor y(a.shape(), out_qp_);
-  for (std::size_t i = 0; i < a.data().size(); ++i) {
-    const std::int64_t v = rq_a_.apply(a.data()[i]) + rq_b_.apply(b.data()[i]);
-    y.data()[i] = static_cast<std::int32_t>(
-        saturate(v, out_qp_.bits, out_qp_.is_signed));
-  }
+  pooled_for_chunks(
+      pool, a.data().size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::int64_t v =
+              rq_a_.apply(a.data()[i]) + rq_b_.apply(b.data()[i]);
+          y.data()[i] = static_cast<std::int32_t>(
+              saturate(v, out_qp_.bits, out_qp_.is_signed));
+        }
+      });
   return y;
 }
 
@@ -498,18 +547,22 @@ Tensor head_scores(const Tensor& q, const Tensor& k, int head, int dh) {
 
 }  // namespace
 
-Tensor AttentionSR::forward_fp(const Tensor& tokens, int h, int w) const {
-  const Tensor q = q_lin_.forward_fp(tokens);
+Tensor AttentionSR::forward_fp(const Tensor& tokens, int h, int w,
+                               ThreadPool* pool) const {
+  const Tensor q = q_lin_.forward_fp(tokens, pool);
   Tensor kv_src = tokens;
   if (sr_conv_) {
-    kv_src = to_tokens(sr_conv_->forward_fp(from_tokens(tokens, h, w)));
+    kv_src = to_tokens(sr_conv_->forward_fp(from_tokens(tokens, h, w), pool));
   }
-  const Tensor k = k_lin_.forward_fp(kv_src);
-  const Tensor v = v_lin_.forward_fp(kv_src);
+  const Tensor k = k_lin_.forward_fp(kv_src, pool);
+  const Tensor v = v_lin_.forward_fp(kv_src, pool);
   const int n = tokens.shape()[0];
   const int dh = dim_ / heads_;
   Tensor ctx(Shape{n, dim_});
-  for (int head = 0; head < heads_; ++head) {
+  // Heads are independent and write disjoint ctx columns; the per-head work
+  // runs serially inside each lane (parallel_for is not reentrant).
+  pooled_for(pool, static_cast<std::size_t>(heads_), [&](std::size_t hd) {
+    const int head = static_cast<int>(hd);
     const Tensor probs = Softmax::forward_fp(head_scores(q, k, head, dh));
     const int m = probs.shape()[1];
     for (int i = 0; i < n; ++i) {
@@ -519,8 +572,8 @@ Tensor AttentionSR::forward_fp(const Tensor& tokens, int h, int w) const {
         ctx.at(i, head * dh + d) = static_cast<float>(acc);
       }
     }
-  }
-  return proj_.forward_fp(ctx);
+  });
+  return proj_.forward_fp(ctx, pool);
 }
 
 Tensor AttentionSR::calibrate(const Tensor& tokens, int h, int w) {
@@ -572,19 +625,24 @@ QuantParams AttentionSR::freeze(const QuantParams& in_qp,
 }
 
 QTensor AttentionSR::forward_int(const QTensor& tokens, int h, int w,
-                                 const NonlinearProvider& nl) const {
-  const QTensor q = q_lin_.forward_int(tokens);
+                                 const NonlinearProvider& nl,
+                                 ThreadPool* pool) const {
+  const QTensor q = q_lin_.forward_int(tokens, pool);
   QTensor kv_src = tokens;
   if (sr_conv_) {
-    kv_src = to_tokens(sr_conv_->forward_int(from_tokens(tokens, h, w)));
+    kv_src = to_tokens(sr_conv_->forward_int(from_tokens(tokens, h, w), pool));
   }
-  const QTensor k = k_lin_.forward_int(kv_src);
-  const QTensor v = v_lin_.forward_int(kv_src);
+  const QTensor k = k_lin_.forward_int(kv_src, pool);
+  const QTensor v = v_lin_.forward_int(kv_src, pool);
   const int n = tokens.shape()[0];
   const int m = kv_src.shape()[0];
   const int dh = dim_ / heads_;
   QTensor ctx(Shape{n, dim_}, attn_qp_);
-  for (int head = 0; head < heads_; ++head) {
+  // Heads fan out across the pool: each lane owns its scores/probs buffers
+  // and writes a disjoint ctx column block, with the provider's EXP/DIV
+  // units shared concurrently (the caches are thread-safe).
+  pooled_for(pool, static_cast<std::size_t>(heads_), [&](std::size_t hd) {
+    const int head = static_cast<int>(hd);
     // Integer scores + requant to the po2 Softmax input scale.
     QTensor scores(Shape{n, m}, score_qp_);
     for (int i = 0; i < n; ++i) {
@@ -608,8 +666,8 @@ QTensor AttentionSR::forward_int(const QTensor& tokens, int h, int w,
         ctx.at(i, head * dh + d) = static_cast<std::int32_t>(rq_attn_.apply(acc));
       }
     }
-  }
-  return proj_.forward_int(ctx);
+  });
+  return proj_.forward_int(ctx, pool);
 }
 
 // ------------------------------------------------------ LinearAttention ---
@@ -627,12 +685,14 @@ double relu(double x) { return x > 0.0 ? x : 0.0; }
 
 }  // namespace
 
-Tensor LinearAttention::forward_fp(const Tensor& tokens) const {
-  const Tensor q = q_lin_.forward_fp(tokens);
-  const Tensor k = k_lin_.forward_fp(tokens);
-  const Tensor v = v_lin_.forward_fp(tokens);
+Tensor LinearAttention::forward_fp(const Tensor& tokens,
+                                   ThreadPool* pool) const {
+  const Tensor q = q_lin_.forward_fp(tokens, pool);
+  const Tensor k = k_lin_.forward_fp(tokens, pool);
+  const Tensor v = v_lin_.forward_fp(tokens, pool);
   const int n = tokens.shape()[0];
-  // kv[c][d] = Σ_n relu(k)·v ; z[c] = Σ_n relu(k).
+  // kv[c][d] = Σ_n relu(k)·v ; z[c] = Σ_n relu(k). The token reduction is
+  // order-sensitive, so it stays serial; rows below are independent.
   Tensor kv(Shape{dim_, dim_});
   Tensor z(Shape{dim_});
   for (int j = 0; j < n; ++j) {
@@ -644,7 +704,8 @@ Tensor LinearAttention::forward_fp(const Tensor& tokens) const {
     }
   }
   Tensor out(Shape{n, dim_});
-  for (int i = 0; i < n; ++i) {
+  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     double den = 1e-6;
     for (int c = 0; c < dim_; ++c) den += relu(q.at(i, c)) * z.at(c);
     const double inv = 1.0 / den;
@@ -653,8 +714,8 @@ Tensor LinearAttention::forward_fp(const Tensor& tokens) const {
       for (int c = 0; c < dim_; ++c) num += relu(q.at(i, c)) * kv.at(c, d);
       out.at(i, d) = static_cast<float>(num * inv);
     }
-  }
-  return proj_.forward_fp(out);
+  });
+  return proj_.forward_fp(out, pool);
 }
 
 Tensor LinearAttention::calibrate(const Tensor& tokens) {
@@ -703,10 +764,11 @@ QuantParams LinearAttention::freeze(const QuantParams& in_qp,
 }
 
 QTensor LinearAttention::forward_int(const QTensor& tokens,
-                                     const NonlinearProvider& nl) const {
-  const QTensor q = q_lin_.forward_int(tokens);
-  const QTensor k = k_lin_.forward_int(tokens);
-  const QTensor v = v_lin_.forward_int(tokens);
+                                     const NonlinearProvider& nl,
+                                     ThreadPool* pool) const {
+  const QTensor q = q_lin_.forward_int(tokens, pool);
+  const QTensor k = k_lin_.forward_int(tokens, pool);
+  const QTensor v = v_lin_.forward_int(tokens, pool);
   const int n = tokens.shape()[0];
   const double sq = q.params().scale;
   const double sk = k.params().scale;
@@ -728,7 +790,8 @@ QTensor LinearAttention::forward_int(const QTensor& tokens,
 
   constexpr int kDenFrac = 16;
   QTensor out(Shape{n, dim_}, out_qp_);
-  for (int i = 0; i < n; ++i) {
+  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
+    const int i = static_cast<int>(row);
     std::int64_t den_acc = 0;
     for (int c = 0; c < dim_; ++c) {
       den_acc += std::max<std::int64_t>(0, q.at(i, c)) *
@@ -750,8 +813,8 @@ QTensor LinearAttention::forward_int(const QTensor& tokens,
       const double value = static_cast<double>(num_acc) * sq * sk * sv * inv;
       out.at(i, d) = static_cast<std::int32_t>(out_qp_.quantize(value));
     }
-  }
-  return proj_.forward_int(out);
+  });
+  return proj_.forward_int(out, pool);
 }
 
 // --------------------------------------------------------------- MixFfn ---
@@ -764,11 +827,12 @@ MixFfn::MixFfn(int dim, int hidden, Rng& rng)
   dw_.set_po2_output(true);  // GELU pwl consumes the dwconv output
 }
 
-Tensor MixFfn::forward_fp(const Tensor& tokens, int h, int w) const {
-  Tensor x = fc1_.forward_fp(tokens);
-  x = to_tokens(dw_.forward_fp(from_tokens(x, h, w)));
-  x = act_.forward_fp(x);
-  return fc2_.forward_fp(x);
+Tensor MixFfn::forward_fp(const Tensor& tokens, int h, int w,
+                          ThreadPool* pool) const {
+  Tensor x = fc1_.forward_fp(tokens, pool);
+  x = to_tokens(dw_.forward_fp(from_tokens(x, h, w), pool));
+  x = act_.forward_fp(x, pool);
+  return fc2_.forward_fp(x, pool);
 }
 
 Tensor MixFfn::calibrate(const Tensor& tokens, int h, int w) {
@@ -787,11 +851,12 @@ QuantParams MixFfn::freeze(const QuantParams& in_qp,
 }
 
 QTensor MixFfn::forward_int(const QTensor& tokens, int h, int w,
-                            const NonlinearProvider& nl) const {
-  QTensor x = fc1_.forward_int(tokens);
-  x = to_tokens(dw_.forward_int(from_tokens(x, h, w)));
-  x = act_.forward_int(x, nl);
-  return fc2_.forward_int(x);
+                            const NonlinearProvider& nl,
+                            ThreadPool* pool) const {
+  QTensor x = fc1_.forward_int(tokens, pool);
+  x = to_tokens(dw_.forward_int(from_tokens(x, h, w), pool));
+  x = act_.forward_int(x, nl, pool);
+  return fc2_.forward_int(x, pool);
 }
 
 // --------------------------------------------------------------- MbConv ---
@@ -807,11 +872,11 @@ MbConv::MbConv(int in_ch, int out_ch, int expand, int stride, Rng& rng)
   dw_.set_po2_output(true);
 }
 
-Tensor MbConv::forward_fp(const Tensor& x) const {
-  Tensor y = act1_.forward_fp(expand_.forward_fp(x));
-  y = act2_.forward_fp(dw_.forward_fp(y));
-  y = project_.forward_fp(y);
-  return residual_ ? add_.forward_fp(y, x) : y;
+Tensor MbConv::forward_fp(const Tensor& x, ThreadPool* pool) const {
+  Tensor y = act1_.forward_fp(expand_.forward_fp(x, pool), pool);
+  y = act2_.forward_fp(dw_.forward_fp(y, pool), pool);
+  y = project_.forward_fp(y, pool);
+  return residual_ ? add_.forward_fp(y, x, pool) : y;
 }
 
 Tensor MbConv::calibrate(const Tensor& x) {
@@ -831,12 +896,12 @@ QuantParams MbConv::freeze(const QuantParams& in_qp,
   return residual_ ? add_.freeze(qp, in_qp, policy) : qp;
 }
 
-QTensor MbConv::forward_int(const QTensor& x,
-                            const NonlinearProvider& nl) const {
-  QTensor y = act1_.forward_int(expand_.forward_int(x), nl);
-  y = act2_.forward_int(dw_.forward_int(y), nl);
-  y = project_.forward_int(y);
-  return residual_ ? add_.forward_int(y, x) : y;
+QTensor MbConv::forward_int(const QTensor& x, const NonlinearProvider& nl,
+                            ThreadPool* pool) const {
+  QTensor y = act1_.forward_int(expand_.forward_int(x, pool), nl, pool);
+  y = act2_.forward_int(dw_.forward_int(y, pool), nl, pool);
+  y = project_.forward_int(y, pool);
+  return residual_ ? add_.forward_int(y, x, pool) : y;
 }
 
 }  // namespace gqa::tfm

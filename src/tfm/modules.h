@@ -9,6 +9,13 @@
 // (runs the fp path, recording activation ranges) -> freeze(in_qp) (builds
 // integer weights/requantizers, returns the output QuantParams) ->
 // forward_int(...).
+//
+// Every forward takes an optional ThreadPool*: nullptr (the default) runs
+// serially, a pool fans the work out over rows / output channels / heads.
+// Each parallel index writes disjoint output slots with the serial
+// reduction order preserved inside it, so threaded results are
+// bit-identical to serial at any thread count. Calibration stays serial
+// (range observers are order-sensitive state).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +26,7 @@
 #include "quant/requant.h"
 #include "tfm/nonlinear_provider.h"
 #include "tfm/tensor.h"
+#include "util/thread_pool.h"
 
 namespace gqa::tfm {
 
@@ -36,10 +44,13 @@ class Linear {
  public:
   Linear(int in_features, int out_features, Rng& rng);
 
-  [[nodiscard]] Tensor forward_fp(const Tensor& x) const;  // {N,in}->{N,out}
+  // {N,in}->{N,out}; threads over rows.
+  [[nodiscard]] Tensor forward_fp(const Tensor& x,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& x);
   QuantParams freeze(const QuantParams& in_qp, const QuantPolicy& policy);
-  [[nodiscard]] QTensor forward_int(const QTensor& x) const;
+  [[nodiscard]] QTensor forward_int(const QTensor& x,
+                                    ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] int in_features() const { return in_; }
   [[nodiscard]] int out_features() const { return out_; }
@@ -70,10 +81,13 @@ class Conv2d {
   Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad, Rng& rng,
          bool depthwise = false);
 
-  [[nodiscard]] Tensor forward_fp(const Tensor& x) const;  // {C,H,W}
+  // {C,H,W}; threads over output channels.
+  [[nodiscard]] Tensor forward_fp(const Tensor& x,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& x);
   QuantParams freeze(const QuantParams& in_qp, const QuantPolicy& policy);
-  [[nodiscard]] QTensor forward_int(const QTensor& x) const;
+  [[nodiscard]] QTensor forward_int(const QTensor& x,
+                                    ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] int out_channels() const { return out_ch_; }
   [[nodiscard]] int stride() const { return stride_; }
@@ -107,11 +121,15 @@ class LayerNorm {
  public:
   LayerNorm(int dim, Rng& rng);
 
-  [[nodiscard]] Tensor forward_fp(const Tensor& x) const;
+  [[nodiscard]] Tensor forward_fp(const Tensor& x,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& x);
   QuantParams freeze(const QuantParams& in_qp, const QuantPolicy& policy);
+  /// Threads over rows; the batched RSQRT call stays a single span so the
+  /// result is bit-identical to serial.
   [[nodiscard]] QTensor forward_int(const QTensor& x,
-                                    const NonlinearProvider& nl) const;
+                                    const NonlinearProvider& nl,
+                                    ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] Tensor& gamma() { return gamma_; }
   [[nodiscard]] Tensor& beta() { return beta_; }
@@ -135,10 +153,12 @@ class Softmax {
     return QuantParams{std::ldexp(1.0, -7), 8, false};
   }
 
-  [[nodiscard]] static Tensor forward_fp(const Tensor& rows);
-  /// `rows` must carry a power-of-two scale.
+  [[nodiscard]] static Tensor forward_fp(const Tensor& rows,
+                                         ThreadPool* pool = nullptr);
+  /// `rows` must carry a power-of-two scale. Threads over rows.
   [[nodiscard]] static QTensor forward_int(const QTensor& rows,
-                                           const NonlinearProvider& nl);
+                                           const NonlinearProvider& nl,
+                                           ThreadPool* pool = nullptr);
 };
 
 // ---------------------------------------------------------------------------
@@ -148,11 +168,14 @@ class Activation {
  public:
   Activation(Op op) : op_(op) {}
 
-  [[nodiscard]] Tensor forward_fp(const Tensor& x) const;
+  [[nodiscard]] Tensor forward_fp(const Tensor& x,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& x);
   QuantParams freeze(const QuantParams& in_qp, const QuantPolicy& policy);
+  /// Threads over leading-dimension rows.
   [[nodiscard]] QTensor forward_int(const QTensor& x,
-                                    const NonlinearProvider& nl) const;
+                                    const NonlinearProvider& nl,
+                                    ThreadPool* pool = nullptr) const;
 
  private:
   Op op_;
@@ -166,15 +189,17 @@ class Activation {
 /// scale with dyadic multipliers, then summed with saturation.
 class ResidualAdd {
  public:
-  [[nodiscard]] Tensor forward_fp(const Tensor& a, const Tensor& b) const;
+  [[nodiscard]] Tensor forward_fp(const Tensor& a, const Tensor& b,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& a, const Tensor& b);
   QuantParams freeze(const QuantParams& a_qp, const QuantParams& b_qp,
                      const QuantPolicy& policy);
-  [[nodiscard]] QTensor forward_int(const QTensor& a, const QTensor& b) const;
+  [[nodiscard]] QTensor forward_int(const QTensor& a, const QTensor& b,
+                                    ThreadPool* pool = nullptr) const;
 
  private:
   RangeObserver out_obs_;
-  QuantParams out_qp_;
+  QuantParams a_qp_, b_qp_, out_qp_;
   Requantizer rq_a_, rq_b_;
 };
 
@@ -186,11 +211,14 @@ class AttentionSR {
  public:
   AttentionSR(int dim, int heads, int sr_ratio, Rng& rng);
 
-  [[nodiscard]] Tensor forward_fp(const Tensor& tokens, int h, int w) const;
+  [[nodiscard]] Tensor forward_fp(const Tensor& tokens, int h, int w,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& tokens, int h, int w);
   QuantParams freeze(const QuantParams& in_qp, const QuantPolicy& policy);
+  /// Threads over heads (the Q/K/V/proj linears thread over rows).
   [[nodiscard]] QTensor forward_int(const QTensor& tokens, int h, int w,
-                                    const NonlinearProvider& nl) const;
+                                    const NonlinearProvider& nl,
+                                    ThreadPool* pool = nullptr) const;
 
  private:
   int dim_ = 0, heads_ = 0, sr_ = 1;
@@ -210,11 +238,14 @@ class LinearAttention {
  public:
   LinearAttention(int dim, Rng& rng);
 
-  [[nodiscard]] Tensor forward_fp(const Tensor& tokens) const;
+  [[nodiscard]] Tensor forward_fp(const Tensor& tokens,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& tokens);
   QuantParams freeze(const QuantParams& in_qp, const QuantPolicy& policy);
+  /// Threads over output rows (the shared KᵀV/Kᵀ1 reduction stays serial).
   [[nodiscard]] QTensor forward_int(const QTensor& tokens,
-                                    const NonlinearProvider& nl) const;
+                                    const NonlinearProvider& nl,
+                                    ThreadPool* pool = nullptr) const;
 
  private:
   int dim_ = 0;
@@ -231,11 +262,13 @@ class MixFfn {
  public:
   MixFfn(int dim, int hidden, Rng& rng);
 
-  [[nodiscard]] Tensor forward_fp(const Tensor& tokens, int h, int w) const;
+  [[nodiscard]] Tensor forward_fp(const Tensor& tokens, int h, int w,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& tokens, int h, int w);
   QuantParams freeze(const QuantParams& in_qp, const QuantPolicy& policy);
   [[nodiscard]] QTensor forward_int(const QTensor& tokens, int h, int w,
-                                    const NonlinearProvider& nl) const;
+                                    const NonlinearProvider& nl,
+                                    ThreadPool* pool = nullptr) const;
 
  private:
   Linear fc1_, fc2_;
@@ -251,11 +284,13 @@ class MbConv {
  public:
   MbConv(int in_ch, int out_ch, int expand, int stride, Rng& rng);
 
-  [[nodiscard]] Tensor forward_fp(const Tensor& x) const;
+  [[nodiscard]] Tensor forward_fp(const Tensor& x,
+                                  ThreadPool* pool = nullptr) const;
   Tensor calibrate(const Tensor& x);
   QuantParams freeze(const QuantParams& in_qp, const QuantPolicy& policy);
   [[nodiscard]] QTensor forward_int(const QTensor& x,
-                                    const NonlinearProvider& nl) const;
+                                    const NonlinearProvider& nl,
+                                    ThreadPool* pool = nullptr) const;
 
  private:
   bool residual_ = false;

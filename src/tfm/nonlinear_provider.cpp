@@ -8,6 +8,30 @@ namespace gqa::tfm {
 
 NonlinearProvider NonlinearProvider::exact() { return NonlinearProvider{}; }
 
+NonlinearProvider::NonlinearProvider(const NonlinearProvider& other)
+    : method_(other.method_),
+      replaced_(other.replaced_),
+      entries_(other.entries_),
+      approx_(other.approx_) {}
+
+// Like any assignment, replaces the target's logical state: callers must
+// externally ensure no thread is evaluating on *this (references served
+// from the old caches die here). Reading `other` concurrently stays safe —
+// only its immutable logical state is touched.
+NonlinearProvider& NonlinearProvider::operator=(
+    const NonlinearProvider& other) {
+  if (this == &other) return *this;
+  method_ = other.method_;
+  replaced_ = other.replaced_;
+  entries_ = other.entries_;
+  approx_ = other.approx_;
+  warm_.store(nullptr, std::memory_order_relaxed);
+  warm_snapshots_.clear();
+  unit_cache_.clear();
+  multirange_cache_.clear();
+  return *this;
+}
+
 NonlinearProvider NonlinearProvider::with_method(Method method,
                                                  std::set<Op> replaced,
                                                  int entries) {
@@ -23,8 +47,52 @@ NonlinearProvider NonlinearProvider::with_method(Method method,
   return p;
 }
 
+std::vector<int> NonlinearProvider::deployment_scale_exps() {
+  std::vector<int> exps;
+  for (int e = -14; e <= 4; ++e) exps.push_back(e);
+  return exps;
+}
+
+void NonlinearProvider::warm_up(const std::set<Op>& ops,
+                                const std::vector<int>& scale_exps) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);  // serializes warm-ups
+  const WarmTier* current = warm_.load(std::memory_order_acquire);
+  auto next = std::make_unique<WarmTier>(current ? *current : WarmTier{});
+  bool grew = false;
+  for (Op op : ops) {
+    if (!replaces(op)) continue;
+    const Approximator& approx = approx_.at(op);
+    if (!op_info(op).scale_dependent) {
+      const int key = static_cast<int>(op);
+      if (next->multirange.find(key) == next->multirange.end()) {
+        next->multirange.emplace(key, approx.make_multirange_unit());
+        grew = true;
+      }
+      continue;
+    }
+    for (int e : scale_exps) {
+      const auto key = std::make_pair(static_cast<int>(op), e);
+      if (next->units.find(key) == next->units.end()) {
+        next->units.emplace(key, approx.make_unit(e));
+        grew = true;
+      }
+    }
+  }
+  if (!grew) return;
+  // Publish the superset snapshot; the superseded one is retired, not
+  // freed, so references served from it remain valid.
+  warm_.store(next.get(), std::memory_order_release);
+  warm_snapshots_.push_back(std::move(next));
+}
+
 const IntPwlUnit& NonlinearProvider::unit_for(Op op, int scale_exp) const {
   const auto key = std::make_pair(static_cast<int>(op), scale_exp);
+  // Lock-free tier: one acquire load resolves the newest warmed snapshot.
+  if (const WarmTier* tier = warm_.load(std::memory_order_acquire)) {
+    const auto warm = tier->units.find(key);
+    if (warm != tier->units.end()) return warm->second;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = unit_cache_.find(key);
   if (it != unit_cache_.end()) return it->second;
   const Approximator& approx = approx_.at(op);
@@ -32,6 +100,11 @@ const IntPwlUnit& NonlinearProvider::unit_for(Op op, int scale_exp) const {
 }
 
 const MultiRangeUnit& NonlinearProvider::multirange_for(Op op) const {
+  if (const WarmTier* tier = warm_.load(std::memory_order_acquire)) {
+    const auto warm = tier->multirange.find(static_cast<int>(op));
+    if (warm != tier->multirange.end()) return warm->second;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = multirange_cache_.find(static_cast<int>(op));
   if (it != multirange_cache_.end()) return it->second;
   const Approximator& approx = approx_.at(op);

@@ -4,13 +4,23 @@
 // dequantized values; each replacement row swaps one (or all) op(s) for the
 // bit-accurate pwl kernels produced by a fitting method. The provider owns
 // the fitted approximators and a cache of per-scale hardware units.
+//
+// Concurrency: all evaluation methods — and warm_up() itself — are safe to
+// call from many threads on one provider (the threaded tfm forward passes
+// do exactly that). Lazy unit construction is mutex-guarded; warm_up()
+// publishes immutable snapshot tiers read lock-free, so warmed hot paths
+// never touch the lock.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "core/approximator.h"
 
@@ -29,6 +39,22 @@ class NonlinearProvider {
                                                     int entries = 8);
 
   [[nodiscard]] bool replaces(Op op) const { return replaced_.count(op) > 0; }
+
+  /// Pre-builds the hardware units for `ops` (activation ops at every scale
+  /// in `scale_exps`; DIV/RSQRT ignore the exponents) into an immutable
+  /// warmed tier that concurrent evaluation reads without locking. Misses
+  /// outside the warmed set stay correct through a mutex-guarded overflow
+  /// cache, so warm_up is an optimization, never a requirement. Safe to
+  /// call at any time, including while other threads evaluate (the new
+  /// tier is published atomically). Ops the provider does not replace are
+  /// skipped.
+  void warm_up(const std::set<Op>& ops,
+               const std::vector<int>& scale_exps) const;
+
+  /// The deployment scale-exponent window the frozen tfm models produce
+  /// (po2 activation scales all land in it) — the canonical `scale_exps`
+  /// argument for warm_up before an end-to-end forward.
+  [[nodiscard]] static std::vector<int> deployment_scale_exps();
 
   /// exp(S·q) for an integer code with S = 2^scale_exp (Softmax numerator).
   [[nodiscard]] double exp_code(std::int64_t q, int scale_exp) const;
@@ -61,6 +87,12 @@ class NonlinearProvider {
   void rsqrt_fxp_batch(std::span<const std::int64_t> codes, int frac,
                        std::span<double> out) const;
 
+  /// Copies share the fitted tables but start with cold unit caches:
+  /// caches are deployment artifacts, and not copying them keeps copying
+  /// safe even while other threads evaluate on the source.
+  NonlinearProvider(const NonlinearProvider& other);
+  NonlinearProvider& operator=(const NonlinearProvider& other);
+
  private:
   NonlinearProvider() = default;
 
@@ -72,11 +104,28 @@ class NonlinearProvider {
   void wide_fxp_batch(Op op, std::span<const std::int64_t> codes, int frac,
                       std::span<double> out) const;
 
+  /// One immutable warmed-cache snapshot: readers resolve it with a single
+  /// acquire load and never lock. warm_up() builds the next snapshot as a
+  /// superset copy and publishes it atomically; superseded snapshots are
+  /// retired (kept alive) so references handed out earlier stay valid.
+  struct WarmTier {
+    std::map<std::pair<int, int>, IntPwlUnit> units;
+    std::map<int, MultiRangeUnit> multirange;
+  };
+
   std::optional<Method> method_;  ///< nullopt = exact backend
   std::set<Op> replaced_;
   int entries_ = 8;
   std::map<Op, Approximator> approx_;
-  // Unit caches are deployment artifacts, not logical state.
+  // Unit caches are deployment artifacts, not logical state. Two tiers:
+  // the warmed tier (atomically published immutable snapshots, lock-free
+  // reads) and the overflow tier for lazy fills on misses, guarded by
+  // cache_mutex_. Entries are never erased and snapshots never freed
+  // before the provider, so returned references stay valid for the
+  // provider's lifetime.
+  mutable std::mutex cache_mutex_;
+  mutable std::atomic<const WarmTier*> warm_{nullptr};
+  mutable std::vector<std::unique_ptr<const WarmTier>> warm_snapshots_;
   mutable std::map<std::pair<int, int>, IntPwlUnit> unit_cache_;
   mutable std::map<int, MultiRangeUnit> multirange_cache_;
 };

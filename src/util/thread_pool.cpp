@@ -1,5 +1,7 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
 #include "util/contracts.h"
 
 namespace gqa {
@@ -86,6 +88,35 @@ void ThreadPool::parallel_for(std::size_t count,
   done_cv_.wait(lock, [&] { return active_workers_ == 0; });
   job_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void pooled_for(ThreadPool* pool, std::size_t count,
+                const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(count, fn);
+}
+
+void pooled_for_chunks(
+    ThreadPool* pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t lanes =
+      pool == nullptr ? 1 : static_cast<std::size_t>(pool->size());
+  // A few chunks per lane keeps the dynamic index handout balanced without
+  // paying per-index overhead.
+  const std::size_t target = std::min(count, lanes <= 1 ? 1 : 4 * lanes);
+  const std::size_t per = (count + target - 1) / target;
+  // Recompute the chunk count from the rounded-up size: ceil(count/target)
+  // sized chunks can cover count in fewer than `target` pieces, and a
+  // trailing empty chunk must never reach fn with lo > count.
+  const std::size_t chunks = (count + per - 1) / per;
+  pooled_for(pool, chunks, [&](std::size_t c) {
+    const std::size_t lo = c * per;
+    fn(lo, std::min(count, lo + per));
+  });
 }
 
 }  // namespace gqa

@@ -57,4 +57,19 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
+/// Runs fn(i) for every i in [0, count): serially when `pool` is null or
+/// single-lane, through the pool otherwise. Callers guarantee each index
+/// writes disjoint output slots, so both paths are bit-identical.
+void pooled_for(ThreadPool* pool, std::size_t count,
+                const std::function<void(std::size_t)>& fn);
+
+/// Splits [0, count) into contiguous chunks (a few per lane; one chunk when
+/// serial) and runs fn(lo, hi) per chunk. For elementwise work this lets
+/// per-chunk scratch buffers be allocated once per chunk instead of once
+/// per index; chunk boundaries depend only on (count, lane count), never on
+/// scheduling, so results stay deterministic.
+void pooled_for_chunks(
+    ThreadPool* pool, std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
 }  // namespace gqa

@@ -1,21 +1,30 @@
 // Equivalence guarantees of the performance engine: multi-threaded and
 // memoized GA runs must be bit-identical to the serial path, the prefix-sum
-// objective must agree with the naive per-code scan, and the batched kernel
-// APIs must reproduce per-element evaluation exactly.
+// objective must agree with the naive per-code scan, the batched kernel
+// APIs must reproduce per-element evaluation exactly, the NonlinearProvider
+// must survive concurrent hammering on cold caches, and every threaded tfm
+// forward pass must be bit-identical to its serial twin.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "eval/protocol.h"
 #include "gqa/gqa_lut.h"
 #include "gqa/objective.h"
 #include "kernel/int_pwl_unit.h"
 #include "kernel/multirange_unit.h"
 #include "pwl/fit_grid.h"
+#include "tfm/models/efficientvit.h"
+#include "tfm/models/segformer.h"
+#include "tfm/modules.h"
 #include "tfm/nonlinear_provider.h"
 #include "util/contracts.h"
+#include "util/env.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -59,6 +68,31 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
     std::atomic<int> count{0};
     pool.parallel_for(round + 1, [&](std::size_t) { ++count; });
     EXPECT_EQ(count.load(), round + 1);
+  }
+}
+
+TEST(ThreadPool, PooledForChunksPartitionsExactly) {
+  // Chunk bounds must tile [0, count) exactly — no empty or out-of-range
+  // chunk for awkward counts (regression: ceil-division used to emit a
+  // trailing chunk with lo > count, underflowing span lengths downstream).
+  ThreadPool pool2(2), pool4(4);
+  for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &pool2, &pool4}) {
+    for (std::size_t count : {0UL, 1UL, 2UL, 7UL, 33UL, 145UL, 1000UL}) {
+      std::vector<std::atomic<int>> hits(count);
+      for (auto& h : hits) h = 0;
+      std::atomic<int> bad_bounds{0};
+      pooled_for_chunks(pool, count, [&](std::size_t lo, std::size_t hi) {
+        if (lo >= hi || hi > count) {
+          ++bad_bounds;
+          return;
+        }
+        for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+      });
+      EXPECT_EQ(bad_bounds.load(), 0) << "count=" << count;
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "count=" << count << " i=" << i;
+      }
+    }
   }
 }
 
@@ -297,6 +331,400 @@ TEST(ProviderBatch, WideRangeBatchesBitIdenticalToScalar) {
   std::vector<double> out(1);
   EXPECT_THROW(provider.recip_fxp_batch(bad, 16, out), ContractViolation);
   EXPECT_THROW(provider.rsqrt_fxp_batch(bad, 16, out), ContractViolation);
+}
+
+// ------------------------------------------- provider concurrency safety --
+
+int test_threads() {
+  return static_cast<int>(env_int("GQA_TEST_THREADS", 4));
+}
+
+/// Fitted once; copies start with cold unit caches (caches are per-copy
+/// deployment artifacts, only the fitted tables are shared state).
+const tfm::NonlinearProvider& gelu_rsqrt_master() {
+  static const auto master = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm, {Op::kGelu, Op::kRsqrt});
+  return master;
+}
+
+// Regression test for the lazy unit-cache data race: before the caches were
+// guarded, the first concurrent gelu_codes/rsqrt_fxp_batch calls on a fresh
+// provider raced to insert into the mutable std::maps. Run under
+// TSan/ASan CI to keep the fix enforced; mismatch counting doubles as a
+// functional check (gtest assertions stay on the main thread).
+TEST(ProviderConcurrency, ColdCacheHammerBitIdenticalToSerial) {
+  const int lanes = std::max(2, test_threads());
+  std::vector<std::int64_t> act_codes;
+  for (std::int64_t q = -140; q <= 140; ++q) act_codes.push_back(q);
+  std::vector<std::int64_t> wide_codes;
+  for (std::int64_t c = 1; c <= (1 << 20); c = c * 5 + 3) wide_codes.push_back(c);
+  const std::vector<int> exps = {0, -2, -4, -6};
+
+  // Serial reference from an independent cold copy.
+  const tfm::NonlinearProvider ref = gelu_rsqrt_master();
+  std::map<int, std::vector<double>> ref_act;
+  for (int e : exps) {
+    ref_act[e].resize(act_codes.size());
+    ref.gelu_codes(act_codes, e, ref_act[e]);
+  }
+  std::vector<double> ref_wide(wide_codes.size());
+  ref.rsqrt_fxp_batch(wide_codes, 16, ref_wide);
+
+  for (int round = 0; round < 3; ++round) {
+    const tfm::NonlinearProvider provider = gelu_rsqrt_master();  // cold
+    std::atomic<long> mismatches{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(lanes));
+    for (int t = 0; t < lanes; ++t) {
+      workers.emplace_back([&] {
+        std::vector<double> act(act_codes.size());
+        std::vector<double> wide(wide_codes.size());
+        for (int rep = 0; rep < 4; ++rep) {
+          for (int e : exps) {
+            provider.gelu_codes(act_codes, e, act);
+            for (std::size_t i = 0; i < act.size(); ++i) {
+              if (act[i] != ref_act[e][i]) ++mismatches;
+            }
+          }
+          provider.rsqrt_fxp_batch(wide_codes, 16, wide);
+          for (std::size_t i = 0; i < wide.size(); ++i) {
+            if (wide[i] != ref_wide[i]) ++mismatches;
+          }
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(mismatches.load(), 0) << "round " << round;
+  }
+}
+
+TEST(ProviderConcurrency, WarmUpRacesEvaluationSafely) {
+  // warm_up publishes snapshots atomically, so it may run while other
+  // threads evaluate — hammer exactly that interleaving.
+  std::vector<std::int64_t> act_codes;
+  for (std::int64_t q = -128; q <= 127; ++q) act_codes.push_back(q);
+  const std::vector<int> exps = {0, -1, -2, -3, -4, -5, -6};
+  const tfm::NonlinearProvider ref = gelu_rsqrt_master();
+  std::map<int, std::vector<double>> ref_act;
+  for (int e : exps) {
+    ref_act[e].resize(act_codes.size());
+    ref.gelu_codes(act_codes, e, ref_act[e]);
+  }
+
+  const tfm::NonlinearProvider provider = gelu_rsqrt_master();  // cold
+  std::atomic<long> mismatches{0};
+  std::atomic<bool> stop{false};
+  std::thread warmer([&] {
+    while (!stop.load()) {
+      for (int e : exps) provider.warm_up({Op::kGelu, Op::kRsqrt}, {e});
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < std::max(2, test_threads() - 1); ++t) {
+    readers.emplace_back([&] {
+      std::vector<double> act(act_codes.size());
+      for (int rep = 0; rep < 8; ++rep) {
+        for (int e : exps) {
+          provider.gelu_codes(act_codes, e, act);
+          for (std::size_t i = 0; i < act.size(); ++i) {
+            if (act[i] != ref_act[e][i]) ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  warmer.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ProviderConcurrency, WarmedUpProviderServesLockFreeTier) {
+  const tfm::NonlinearProvider provider = gelu_rsqrt_master();
+  const std::vector<int> exps = {0, -3, -6};
+  provider.warm_up({Op::kGelu, Op::kRsqrt}, exps);
+  // warm_up on replaced ops must change nothing observable...
+  std::vector<std::int64_t> codes = {-128, -5, 0, 7, 127};
+  std::vector<double> warmed(codes.size()), cold(codes.size());
+  const tfm::NonlinearProvider fresh = gelu_rsqrt_master();
+  for (int e : exps) {
+    provider.gelu_codes(codes, e, warmed);
+    fresh.gelu_codes(codes, e, cold);
+    EXPECT_EQ(warmed, cold) << "exp " << e;
+  }
+  // ...including ops it does not replace (warm_up skips them) and scales
+  // outside the warmed set (served by the guarded overflow tier).
+  provider.warm_up({Op::kExp, Op::kDiv}, exps);
+  provider.gelu_codes(codes, -8, warmed);
+  fresh.gelu_codes(codes, -8, cold);
+  EXPECT_EQ(warmed, cold);
+}
+
+// --------------------------------------- threaded forward == serial ------
+
+Rng eq_rng() { return Rng(0x7EAD); }
+
+/// One full-replacement provider shared by the equivalence tests (fitting
+/// all five ops once keeps the suite fast).
+const tfm::NonlinearProvider& full_provider() {
+  static const auto p = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm,
+      {Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt});
+  return p;
+}
+
+template <typename Fn>
+void expect_pool_invariant(const Fn& forward, const char* what) {
+  const auto serial = forward(nullptr);
+  for (int threads : {2, 4}) {
+    ThreadPool pool(threads);
+    const auto threaded = forward(&pool);
+    ASSERT_EQ(serial.shape(), threaded.shape()) << what;
+    EXPECT_EQ(serial.data(), threaded.data())
+        << what << " diverges at " << threads << " threads";
+  }
+}
+
+TEST(ThreadedForward, LinearBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::Linear lin(24, 16, rng);
+  tfm::Tensor x = tfm::Tensor::randn(tfm::Shape{13, 24}, rng, 1.0);
+  (void)lin.calibrate(x);
+  const QuantParams in_qp{x.amax() / 127.0, 8, true};
+  (void)lin.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(x, in_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return lin.forward_fp(x, pool); }, "Linear fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return lin.forward_int(qx, pool); },
+      "Linear int");
+}
+
+TEST(ThreadedForward, Conv2dBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::Conv2d conv(4, 6, 3, 1, 1, rng);
+  tfm::Tensor x = tfm::Tensor::randn(tfm::Shape{4, 9, 9}, rng, 1.0);
+  (void)conv.calibrate(x);
+  const QuantParams in_qp{x.amax() / 127.0, 8, true};
+  (void)conv.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(x, in_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return conv.forward_fp(x, pool); }, "Conv2d fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return conv.forward_int(qx, pool); },
+      "Conv2d int");
+}
+
+TEST(ThreadedForward, LayerNormBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::LayerNorm ln(32, rng);
+  tfm::Tensor x = tfm::Tensor::randn(tfm::Shape{11, 32}, rng, 1.5);
+  (void)ln.calibrate(x);
+  const QuantParams in_qp{x.amax() / 127.0, 8, true};
+  (void)ln.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(x, in_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return ln.forward_fp(x, pool); },
+      "LayerNorm fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) {
+        return ln.forward_int(qx, full_provider(), pool);
+      },
+      "LayerNorm int");
+}
+
+TEST(ThreadedForward, SoftmaxBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::Tensor x = tfm::Tensor::randn(tfm::Shape{9, 12}, rng, 2.0);
+  const QuantParams qp = make_po2_params(x.amax() / 127.0, 8);
+  const tfm::QTensor qx = tfm::QTensor::quantize(x, qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return tfm::Softmax::forward_fp(x, pool); },
+      "Softmax fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) {
+        return tfm::Softmax::forward_int(qx, full_provider(), pool);
+      },
+      "Softmax int");
+}
+
+TEST(ThreadedForward, ActivationBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::Activation act(Op::kGelu);
+  tfm::Tensor x = tfm::Tensor::randn(tfm::Shape{10, 16}, rng, 1.5);
+  (void)act.calibrate(x);
+  const QuantParams in_qp = make_po2_params(x.amax() / 127.0, 8);
+  (void)act.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(x, in_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return act.forward_fp(x, pool); },
+      "Activation fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) {
+        return act.forward_int(qx, full_provider(), pool);
+      },
+      "Activation int");
+}
+
+TEST(ThreadedForward, ResidualAddBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::ResidualAdd add;
+  tfm::Tensor a = tfm::Tensor::randn(tfm::Shape{7, 8}, rng, 1.0);
+  tfm::Tensor b = tfm::Tensor::randn(tfm::Shape{7, 8}, rng, 1.0);
+  (void)add.calibrate(a, b);
+  const QuantParams a_qp{a.amax() / 127.0, 8, true};
+  const QuantParams b_qp{b.amax() / 127.0, 8, true};
+  (void)add.freeze(a_qp, b_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qa = tfm::QTensor::quantize(a, a_qp);
+  const tfm::QTensor qb = tfm::QTensor::quantize(b, b_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return add.forward_fp(a, b, pool); },
+      "ResidualAdd fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return add.forward_int(qa, qb, pool); },
+      "ResidualAdd int");
+}
+
+TEST(ThreadedForward, AttentionSRBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::AttentionSR attn(16, 2, 2, rng);
+  tfm::Tensor tokens = tfm::Tensor::randn(tfm::Shape{16, 16}, rng, 0.7);
+  (void)attn.calibrate(tokens, 4, 4);
+  const QuantParams in_qp{tokens.amax() / 127.0, 8, true};
+  (void)attn.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(tokens, in_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return attn.forward_fp(tokens, 4, 4, pool); },
+      "AttentionSR fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) {
+        return attn.forward_int(qx, 4, 4, full_provider(), pool);
+      },
+      "AttentionSR int");
+}
+
+TEST(ThreadedForward, LinearAttentionBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::LinearAttention attn(16, rng);
+  tfm::Tensor tokens = tfm::Tensor::randn(tfm::Shape{24, 16}, rng, 0.7);
+  (void)attn.calibrate(tokens);
+  const QuantParams in_qp{tokens.amax() / 127.0, 8, true};
+  (void)attn.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(tokens, in_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return attn.forward_fp(tokens, pool); },
+      "LinearAttention fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) {
+        return attn.forward_int(qx, full_provider(), pool);
+      },
+      "LinearAttention int");
+}
+
+TEST(ThreadedForward, MixFfnBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::MixFfn ffn(8, 32, rng);
+  tfm::Tensor tokens = tfm::Tensor::randn(tfm::Shape{16, 8}, rng, 0.7);
+  (void)ffn.calibrate(tokens, 4, 4);
+  const QuantParams in_qp{tokens.amax() / 127.0, 8, true};
+  (void)ffn.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(tokens, in_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return ffn.forward_fp(tokens, 4, 4, pool); },
+      "MixFfn fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) {
+        return ffn.forward_int(qx, 4, 4, full_provider(), pool);
+      },
+      "MixFfn int");
+}
+
+TEST(ThreadedForward, MbConvBitIdentical) {
+  Rng rng = eq_rng();
+  tfm::MbConv block(8, 8, 2, 1, rng);
+  tfm::Tensor x = tfm::Tensor::randn(tfm::Shape{8, 6, 6}, rng, 0.7);
+  (void)block.calibrate(x);
+  const QuantParams in_qp = make_po2_params(x.amax() / 127.0, 8);
+  (void)block.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(x, in_qp);
+  expect_pool_invariant(
+      [&](ThreadPool* pool) { return block.forward_fp(x, pool); },
+      "MbConv fp");
+  expect_pool_invariant(
+      [&](ThreadPool* pool) {
+        return block.forward_int(qx, full_provider(), pool);
+      },
+      "MbConv int");
+}
+
+TEST(ThreadedForward, SegformerModelBitIdenticalAt124Threads) {
+  tfm::SegformerConfig cfg;
+  cfg.image_size = 32;
+  cfg.num_classes = 5;
+  cfg.dims = {8, 16, 16, 16};
+  cfg.heads = {1, 2, 2, 2};
+  cfg.sr_ratios = {4, 2, 1, 1};
+  cfg.depths = {1, 1, 1, 1};
+  cfg.decoder_dim = 16;
+  tfm::SegformerB0Like model(cfg);
+  Rng rng = eq_rng();
+  const tfm::Tensor image = tfm::Tensor::randn(tfm::Shape{3, 32, 32}, rng, 0.8);
+  model.calibrate(image);
+  model.freeze();
+  const tfm::NonlinearProvider& nl = full_provider();
+  const tfm::QTensor serial_int = model.forward_int(image, nl);
+  const tfm::Tensor serial_fp = model.forward_fp(image);
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    const tfm::QTensor ti = model.forward_int(image, nl, &pool);
+    EXPECT_EQ(serial_int.data(), ti.data()) << threads << " threads (int)";
+    const tfm::Tensor tf = model.forward_fp(image, &pool);
+    EXPECT_EQ(serial_fp.data(), tf.data()) << threads << " threads (fp)";
+  }
+}
+
+TEST(ThreadedForward, EfficientViTModelBitIdenticalAt124Threads) {
+  tfm::EfficientViTConfig cfg;
+  cfg.image_size = 32;
+  cfg.num_classes = 5;
+  cfg.widths = {8, 12, 16, 24};
+  cfg.expand = 2;
+  cfg.head_dim = 24;
+  tfm::EfficientViTB0Like model(cfg);
+  Rng rng = eq_rng();
+  const tfm::Tensor image = tfm::Tensor::randn(tfm::Shape{3, 32, 32}, rng, 0.8);
+  model.calibrate(image);
+  model.freeze();
+  const tfm::NonlinearProvider& nl = full_provider();
+  const tfm::QTensor serial_int = model.forward_int(image, nl);
+  const tfm::Tensor serial_fp = model.forward_fp(image);
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    const tfm::QTensor ti = model.forward_int(image, nl, &pool);
+    EXPECT_EQ(serial_int.data(), ti.data()) << threads << " threads (int)";
+    const tfm::Tensor tf = model.forward_fp(image, &pool);
+    EXPECT_EQ(serial_fp.data(), tf.data()) << threads << " threads (fp)";
+  }
+}
+
+TEST(ThreadedSweep, ScaleSweepBitIdenticalToSerial) {
+  const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  SweepOptions serial_opts;
+  const ScaleSweepResult serial = sweep_scale_mse(approx, serial_opts);
+  SweepOptions threaded_opts;
+  threaded_opts.num_threads = 4;
+  ThreadPool external(4);
+  SweepOptions pooled_opts;
+  pooled_opts.pool = &external;  // caller-owned pool, no per-sweep spawn
+  for (const SweepOptions& opts : {threaded_opts, pooled_opts}) {
+    const ScaleSweepResult threaded = sweep_scale_mse(approx, opts);
+    ASSERT_EQ(serial.points.size(), threaded.points.size());
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      EXPECT_EQ(serial.points[i].exponent, threaded.points[i].exponent);
+      EXPECT_EQ(serial.points[i].mse, threaded.points[i].mse);
+      EXPECT_EQ(serial.points[i].samples, threaded.points[i].samples);
+    }
+  }
 }
 
 }  // namespace

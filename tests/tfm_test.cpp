@@ -142,6 +142,32 @@ TEST(ConvModule, DepthwiseRequiresMatchingChannels) {
                ContractViolation);
 }
 
+TEST(ConvModule, RejectsInputSmallerThanKernel) {
+  Rng rng = test_rng();
+  // 5x5 kernel, no padding: a 3x3 input would produce a non-positive
+  // output size — must fail loudly instead of building a bogus shape.
+  Conv2d conv(2, 4, 5, 1, 0, rng);
+  EXPECT_THROW((void)conv.forward_fp(Tensor(Shape{2, 3, 3})),
+               ContractViolation);
+  // Degenerate on one axis only is just as invalid.
+  EXPECT_THROW((void)conv.forward_fp(Tensor(Shape{2, 8, 4})),
+               ContractViolation);
+  // With stride > 1 the truncating division would round a never-fitting
+  // window up to output size 1; the numerator guard must still fire.
+  Rng rng2 = test_rng();
+  Conv2d strided(1, 1, 5, 2, 0, rng2);
+  EXPECT_THROW((void)strided.forward_fp(Tensor(Shape{1, 4, 4})),
+               ContractViolation);
+  // The integer path enforces the same geometry. Calibrate/freeze on a
+  // valid size first so forward_int reaches the shape check.
+  Tensor ok = Tensor::randn(Shape{2, 6, 6}, rng, 1.0);
+  (void)conv.calibrate(ok);
+  const QuantParams in_qp{ok.amax() / 127.0, 8, true};
+  (void)conv.freeze(in_qp, QuantPolicy{});
+  QTensor small(Shape{2, 3, 3}, in_qp);
+  EXPECT_THROW((void)conv.forward_int(small), ContractViolation);
+}
+
 // --------------------------------------------------------------- layernorm
 
 TEST(LayerNormModule, FpNormalizesRows) {
@@ -180,6 +206,19 @@ TEST(LayerNormModule, IntTracksFpWithExactRsqrt) {
   }
   const double rmse = std::sqrt(sum_sq / static_cast<double>(qy.data().size()));
   EXPECT_LT(rmse, 0.15);  // quantization noise only
+}
+
+TEST(LayerNormModule, RejectsInputParamsDifferingFromFreeze) {
+  Rng rng = test_rng();
+  LayerNorm ln(16, rng);
+  Tensor x = Tensor::randn(Shape{4, 16}, rng, 1.0);
+  (void)ln.calibrate(x);
+  const QuantParams in_qp{x.amax() / 127.0, 8, true};
+  (void)ln.freeze(in_qp, QuantPolicy{});
+  const QuantParams other{in_qp.scale * 2.0, 8, true};
+  QTensor wrong(Shape{4, 16}, other);
+  EXPECT_THROW((void)ln.forward_int(wrong, NonlinearProvider::exact()),
+               ContractViolation);
 }
 
 // ----------------------------------------------------------------- softmax
@@ -239,6 +278,14 @@ TEST(SoftmaxModule, RequiresPo2Scale) {
       ContractViolation);
 }
 
+TEST(SoftmaxModule, RequiresSignedInput) {
+  // Unsigned codes cannot represent the max-subtracted differences.
+  QTensor bad(Shape{1, 4}, QuantParams{0.25, 8, false});
+  EXPECT_THROW(
+      (void)Softmax::forward_int(bad, NonlinearProvider::exact()),
+      ContractViolation);
+}
+
 // -------------------------------------------------------------- activation
 
 TEST(ActivationModule, GeluIntPath) {
@@ -286,6 +333,23 @@ TEST(ResidualAddModule, IntAddMatchesFp) {
                 static_cast<double>(ref.data()[i]),
                 3.0 * (a_qp.scale + b_qp.scale + out_qp.scale));
   }
+}
+
+TEST(ResidualAddModule, RejectsOperandParamsDifferingFromFreeze) {
+  Rng rng = test_rng();
+  ResidualAdd add;
+  Tensor a = Tensor::randn(Shape{3, 8}, rng, 1.0);
+  Tensor b = Tensor::randn(Shape{3, 8}, rng, 1.0);
+  (void)add.calibrate(a, b);
+  const QuantParams a_qp{a.amax() / 127.0, 8, true};
+  const QuantParams b_qp{b.amax() / 127.0, 8, true};
+  (void)add.freeze(a_qp, b_qp, QuantPolicy{});
+  const QTensor qa = QTensor::quantize(a, a_qp);
+  const QTensor qb = QTensor::quantize(b, b_qp);
+  QTensor wrong_a(Shape{3, 8}, QuantParams{a_qp.scale * 4.0, 8, true});
+  QTensor wrong_b(Shape{3, 8}, QuantParams{b_qp.scale * 4.0, 8, true});
+  EXPECT_THROW((void)add.forward_int(wrong_a, qb), ContractViolation);
+  EXPECT_THROW((void)add.forward_int(qa, wrong_b), ContractViolation);
 }
 
 // --------------------------------------------------------------- attention

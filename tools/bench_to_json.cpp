@@ -1,14 +1,17 @@
-// Emits the repo's perf-trajectory artifacts BENCH_fit.json and
-// BENCH_kernel.json: deterministic wall-clock comparisons of the PR-1
-// performance engine against the seed-equivalent paths.
+// Emits the repo's perf-trajectory artifacts BENCH_fit.json,
+// BENCH_kernel.json, and BENCH_model.json: deterministic wall-clock
+// comparisons of the performance engine against the seed-equivalent paths.
 //
 //   fit    — GQA-LUT fitting with the deployed-mean objective: seed serial
 //            per-code scan vs prefix-sum objective + memoized, 4-thread GA.
 //   kernel — per-code provider/unit evaluation vs the batched span APIs.
+//   model  — table4/table5-style end-to-end forward passes (SegFormer and
+//            EfficientViT, int + fp), serial vs threaded pool.
 //
 // Usage: bench_to_json [output_dir]   (default: current directory)
 // Knobs: GQA_BENCH_GENERATIONS (default 200) bounds the fit comparison;
-//        GQA_BENCH_REPS (default 3) repetitions, best run kept.
+//        GQA_BENCH_REPS (default 3) repetitions, best run kept;
+//        GQA_BENCH_THREADS (default 4) lanes for the threaded forwards.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -17,10 +20,13 @@
 #include "core/approximator.h"
 #include "gqa/gqa_lut.h"
 #include "gqa/objective.h"
+#include "tfm/models/efficientvit.h"
+#include "tfm/models/segformer.h"
 #include "tfm/nonlinear_provider.h"
 #include "util/env.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -175,6 +181,95 @@ Json kernel_report(int reps) {
   return j;
 }
 
+/// End-to-end forward timings of one frozen model: serial vs threaded,
+/// integer and fp paths, with a code checksum proving the threaded pass is
+/// bit-identical (not just statistically close) to serial.
+template <typename ModelT>
+Json model_section(const ModelT& model, const tfm::Tensor& image,
+                   const tfm::NonlinearProvider& nl, int reps, int threads) {
+  ThreadPool pool(threads);
+  std::int64_t serial_sum = 0, threaded_sum = 0;
+  const double int_serial_ms = time_best_ms(reps, [&] {
+    const tfm::QTensor y = model.forward_int(image, nl);
+    serial_sum = 0;
+    for (std::int32_t v : y.data()) serial_sum += v;
+  });
+  const double int_threaded_ms = time_best_ms(reps, [&] {
+    const tfm::QTensor y = model.forward_int(image, nl, &pool);
+    threaded_sum = 0;
+    for (std::int32_t v : y.data()) threaded_sum += v;
+  });
+  const double fp_serial_ms =
+      time_best_ms(reps, [&] { (void)model.forward_fp(image); });
+  const double fp_threaded_ms =
+      time_best_ms(reps, [&] { (void)model.forward_fp(image, &pool); });
+
+  Json j = Json::object();
+  j["threads"] = Json(threads);
+  j["int_serial_ms"] = Json(int_serial_ms);
+  j["int_threaded_ms"] = Json(int_threaded_ms);
+  j["int_speedup"] = Json(int_serial_ms / int_threaded_ms);
+  j["fp_serial_ms"] = Json(fp_serial_ms);
+  j["fp_threaded_ms"] = Json(fp_threaded_ms);
+  j["fp_speedup"] = Json(fp_serial_ms / fp_threaded_ms);
+  j["logit_code_checksum"] = Json(static_cast<double>(serial_sum));
+  j["threaded_bit_identical"] = Json(serial_sum == threaded_sum);
+  return j;
+}
+
+Json model_report(int reps) {
+  const int threads = static_cast<int>(env_int("GQA_BENCH_THREADS", 4));
+  Json j = Json::object();
+  j["bench"] = Json("model");
+
+  // SegFormer slice (table4 op inventory: EXP/GELU/DIV/RSQRT) at reduced
+  // width so the bench stays CI-sized; the threading behaviour is the same
+  // as the full table4 run (GQA_NUM_THREADS on table4_segformer).
+  {
+    tfm::SegformerConfig cfg;
+    cfg.image_size = 48;
+    cfg.num_classes = 8;
+    cfg.dims = {16, 32, 64, 128};
+    cfg.heads = {1, 2, 2, 4};
+    cfg.sr_ratios = {4, 2, 1, 1};
+    cfg.depths = {1, 1, 1, 1};
+    cfg.decoder_dim = 64;
+    tfm::SegformerB0Like model(cfg);
+    Rng rng(0x5E6F);
+    const tfm::Tensor image =
+        tfm::Tensor::randn(tfm::Shape{3, 48, 48}, rng, 0.8);
+    model.calibrate(image);
+    model.freeze();
+    const auto nl = tfm::NonlinearProvider::with_method(
+        Method::kGqaRm, {Op::kExp, Op::kGelu, Op::kDiv, Op::kRsqrt});
+    nl.warm_up({Op::kExp, Op::kGelu, Op::kDiv, Op::kRsqrt},
+               tfm::NonlinearProvider::deployment_scale_exps());
+    j["segformer"] = model_section(model, image, nl, reps, threads);
+  }
+
+  // EfficientViT slice (table5 inventory: HSWISH/DIV).
+  {
+    tfm::EfficientViTConfig cfg;
+    cfg.image_size = 48;
+    cfg.num_classes = 8;
+    cfg.widths = {12, 24, 48, 96};
+    cfg.expand = 4;
+    cfg.head_dim = 96;
+    tfm::EfficientViTB0Like model(cfg);
+    Rng rng(0xEF17);
+    const tfm::Tensor image =
+        tfm::Tensor::randn(tfm::Shape{3, 48, 48}, rng, 0.8);
+    model.calibrate(image);
+    model.freeze();
+    const auto nl = tfm::NonlinearProvider::with_method(
+        Method::kGqaRm, {Op::kHswish, Op::kDiv});
+    nl.warm_up({Op::kHswish, Op::kDiv},
+               tfm::NonlinearProvider::deployment_scale_exps());
+    j["efficientvit"] = model_section(model, image, nl, reps, threads);
+  }
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -188,6 +283,10 @@ int main(int argc, char** argv) {
     const Json kernel = kernel_report(reps);
     write_file(out_dir + "/BENCH_kernel.json", kernel.dump() + "\n");
     std::printf("%s\n", kernel.dump().c_str());
+
+    const Json model = model_report(reps);
+    write_file(out_dir + "/BENCH_model.json", model.dump() + "\n");
+    std::printf("%s\n", model.dump().c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_to_json: %s\n", e.what());
     return 1;
