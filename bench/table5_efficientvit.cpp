@@ -3,8 +3,11 @@
 // with 8-entry pwl kernels from the three methods.
 //
 // Env knobs: GQA_TRAIN_SCENES (default 256), GQA_EVAL_SCENES (24),
-//            GQA_PROBE_EPOCHS (30), GQA_NUM_THREADS (1: lanes for the
-//            threaded forward passes, bit-identical to serial).
+//            GQA_PROBE_EPOCHS (30), GQA_NUM_THREADS (lanes for mIoU
+//            evaluation; 0 = hardware concurrency, bit-identical to
+//            serial), GQA_SCENE_PARALLEL (default on: scenes stream
+//            through the batched InferenceEngine; off = legacy per-forward
+//            threading).
 #include "bench_util.h"
 #include "eval/segtask.h"
 
@@ -16,6 +19,7 @@ int main() {
   options.eval_scenes = static_cast<int>(env_int("GQA_EVAL_SCENES", 48));
   options.probe_epochs = static_cast<int>(env_int("GQA_PROBE_EPOCHS", 40));
   options.num_threads = static_cast<int>(env_int("GQA_NUM_THREADS", 1));
+  options.scene_parallel = env_flag("GQA_SCENE_PARALLEL", true);
 
   std::printf("== Table 5: EfficientViT-B0-like mIoU (synthetic Cityscapes) ==\n");
   Timer timer;

@@ -1,10 +1,14 @@
 // End-to-end semantic segmentation with the integer-only Segformer-B0-like
 // model: train the head on synthetic scenes, quantize, and compare the
-// exact-non-linearity baseline against GQA-LUT w/ RM kernels.
+// exact-non-linearity baseline against GQA-LUT w/ RM kernels. Inference
+// runs through the scene-batched InferenceEngine — the serving path: a
+// persistent process pool (GQA_NUM_THREADS lanes), one serial forward per
+// image, per-task workspace reuse, provider pre-warmed.
 //
 // Runs a reduced workload by default; set GQA_TRAIN_SCENES for more.
 #include <cstdio>
 
+#include "eval/engine.h"
 #include "eval/segtask.h"
 #include "util/env.h"
 #include "util/timer.h"
@@ -15,6 +19,7 @@ int main() {
   SegTaskOptions options;
   options.train_scenes = static_cast<int>(env_int("GQA_TRAIN_SCENES", 96));
   options.eval_scenes = 8;
+  options.num_threads = static_cast<int>(env_int("GQA_NUM_THREADS", 0));
 
   Timer timer;
   std::printf("Preparing Segformer-B0-like on synthetic scenes "
@@ -32,11 +37,22 @@ int main() {
   std::printf("INT8 + GQA-LUT w/ RM   : %.2f%%  (delta %+0.2f)\n",
               100.0 * gqa, 100.0 * (gqa - base));
 
-  // Label-map visualization of one scene (first 16x16 tile).
-  const LabeledScene scene = make_scene(options.scene, /*seed=*/99);
-  const auto pred = tfm::SegformerB0Like::argmax_labels(
-      task.model().forward_int(scene.image, nl));
-  std::printf("\npredicted 16x16 label map (scene 99):\n");
+  // Batched label maps through the engine: a small "scene stream" of four
+  // images dispatched at once, per-image label maps back.
+  const InferenceEngine engine;
+  std::vector<tfm::Tensor> stream;
+  for (std::uint64_t seed : {99, 100, 101, 102}) {
+    stream.push_back(make_scene(options.scene, seed).image);
+  }
+  Timer serve_timer;
+  const std::vector<std::vector<int>> label_maps =
+      engine.labels_int(task.model(), stream, nl);
+  std::printf("\nserved %zu scenes in %.1fms on %d lane(s) "
+              "(engine: image-level parallelism + workspace reuse)\n",
+              stream.size(), serve_timer.milliseconds(), engine.threads());
+
+  std::printf("predicted 16x16 label map (scene 99):\n");
+  const std::vector<int>& pred = label_maps.front();
   for (int y = 0; y < 16; ++y) {
     for (int x = 0; x < 16; ++x) {
       std::printf("%2d", pred[static_cast<std::size_t>(y) * 16 + x]);

@@ -1,0 +1,98 @@
+#include "eval/engine.h"
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+InferenceEngine::InferenceEngine(EngineOptions options) : options_(options) {
+  GQA_EXPECTS(options.num_threads >= 0);
+  if (options.num_threads >= 1) {
+    owned_ = std::make_unique<ThreadPool>(options.num_threads);
+    pool_ = owned_.get();
+  } else {
+    pool_ = &global_pool();
+  }
+}
+
+void InferenceEngine::maybe_warm(const tfm::NonlinearProvider& nl) const {
+  if (!options_.warm_provider) return;
+  // Warm every op the provider might serve; non-replaced ops are skipped
+  // inside warm_up, and already-warm scales are no-ops.
+  nl.warm_up({Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt},
+             tfm::NonlinearProvider::deployment_scale_exps());
+}
+
+template <typename ModelT>
+std::vector<tfm::Tensor> InferenceEngine::forward_fp(
+    const ModelT& model, std::span<const tfm::Tensor> images) const {
+  return ws_batch<tfm::Tensor>(images.size(), pool_, &workspaces_,
+                               [&](std::size_t i, tfm::Workspace* ws) {
+                                 return model.forward_fp(images[i], nullptr,
+                                                         ws);
+                               });
+}
+
+template <typename ModelT>
+std::vector<tfm::QTensor> InferenceEngine::forward_int(
+    const ModelT& model, std::span<const tfm::Tensor> images,
+    const tfm::NonlinearProvider& nl) const {
+  maybe_warm(nl);
+  return ws_batch<tfm::QTensor>(images.size(), pool_, &workspaces_,
+                                [&](std::size_t i, tfm::Workspace* ws) {
+                                  return model.forward_int(images[i], nl,
+                                                           nullptr, ws);
+                                });
+}
+
+template <typename ModelT>
+std::vector<std::vector<int>> InferenceEngine::labels_fp(
+    const ModelT& model, std::span<const tfm::Tensor> images) const {
+  return ws_batch<std::vector<int>>(
+      images.size(), pool_, &workspaces_,
+      [&](std::size_t i, tfm::Workspace* ws) {
+        tfm::Tensor logits = model.forward_fp(images[i], nullptr, ws);
+        std::vector<int> labels = ModelT::argmax_labels(logits);
+        ws->release(std::move(logits));
+        return labels;
+      });
+}
+
+template <typename ModelT>
+std::vector<std::vector<int>> InferenceEngine::labels_int(
+    const ModelT& model, std::span<const tfm::Tensor> images,
+    const tfm::NonlinearProvider& nl) const {
+  maybe_warm(nl);
+  return ws_batch<std::vector<int>>(
+      images.size(), pool_, &workspaces_,
+      [&](std::size_t i, tfm::Workspace* ws) {
+        tfm::QTensor logits = model.forward_int(images[i], nl, nullptr, ws);
+        std::vector<int> labels = ModelT::argmax_labels(logits);
+        ws->release(std::move(logits));
+        return labels;
+      });
+}
+
+// The engine serves exactly the two reproduction models; explicit
+// instantiation keeps the templates out of every including TU.
+template std::vector<tfm::Tensor> InferenceEngine::forward_fp(
+    const tfm::SegformerB0Like&, std::span<const tfm::Tensor>) const;
+template std::vector<tfm::Tensor> InferenceEngine::forward_fp(
+    const tfm::EfficientViTB0Like&, std::span<const tfm::Tensor>) const;
+template std::vector<tfm::QTensor> InferenceEngine::forward_int(
+    const tfm::SegformerB0Like&, std::span<const tfm::Tensor>,
+    const tfm::NonlinearProvider&) const;
+template std::vector<tfm::QTensor> InferenceEngine::forward_int(
+    const tfm::EfficientViTB0Like&, std::span<const tfm::Tensor>,
+    const tfm::NonlinearProvider&) const;
+template std::vector<std::vector<int>> InferenceEngine::labels_fp(
+    const tfm::SegformerB0Like&, std::span<const tfm::Tensor>) const;
+template std::vector<std::vector<int>> InferenceEngine::labels_fp(
+    const tfm::EfficientViTB0Like&, std::span<const tfm::Tensor>) const;
+template std::vector<std::vector<int>> InferenceEngine::labels_int(
+    const tfm::SegformerB0Like&, std::span<const tfm::Tensor>,
+    const tfm::NonlinearProvider&) const;
+template std::vector<std::vector<int>> InferenceEngine::labels_int(
+    const tfm::EfficientViTB0Like&, std::span<const tfm::Tensor>,
+    const tfm::NonlinearProvider&) const;
+
+}  // namespace gqa

@@ -23,14 +23,17 @@ SweepOptions with_defaults(SweepOptions opts, Op op) {
   }
   GQA_EXPECTS(opts.range_lo < opts.range_hi);
   GQA_EXPECTS(opts.exp_lo <= opts.exp_hi);
-  GQA_EXPECTS(opts.num_threads >= 1);
+  GQA_EXPECTS(opts.num_threads >= 0);  // 0 = process-wide pool
   return opts;
 }
 
 /// Evaluates one independent ScalePoint per exponent e = exp_hi .. exp_lo,
-/// fanning out over a pool when opts.num_threads > 1. Each index computes
+/// fanning out over a pool when threading is requested. Each index computes
 /// its point in isolation (pure function, disjoint slot), so threaded
-/// sweeps are bit-identical to serial.
+/// sweeps are bit-identical to serial. Pool resolution: a caller-owned
+/// `pool` wins; `num_threads == 0` reuses the persistent process-wide pool
+/// (no per-sweep spawn/join); `num_threads > 1` keeps the historical
+/// explicit lane cap with a sweep-local pool.
 ScaleSweepResult sweep_points(
     const SweepOptions& opts,
     const std::function<ScalePoint(int exponent)>& point_at) {
@@ -38,14 +41,16 @@ ScaleSweepResult sweep_points(
   const std::size_t count =
       static_cast<std::size_t>(opts.exp_hi - opts.exp_lo + 1);
   result.points.resize(count);
+  ThreadPool* pool = opts.pool;
   std::optional<ThreadPool> owned;
-  if (opts.pool == nullptr && opts.num_threads > 1) {
+  if (pool == nullptr && opts.num_threads == 0) pool = &global_pool();
+  if (pool == nullptr && opts.num_threads > 1) {
     owned.emplace(opts.num_threads);
+    pool = &*owned;
   }
-  pooled_for(opts.pool ? opts.pool : (owned ? &*owned : nullptr), count,
-             [&](std::size_t i) {
-               result.points[i] = point_at(opts.exp_hi - static_cast<int>(i));
-             });
+  pooled_for(pool, count, [&](std::size_t i) {
+    result.points[i] = point_at(opts.exp_hi - static_cast<int>(i));
+  });
   return result;
 }
 

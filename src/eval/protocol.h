@@ -33,9 +33,11 @@ struct SweepOptions {
   double range_hi = 0.0;  ///< Rp
   /// Threading for sweep_scale_mse: the per-scale evaluations are
   /// independent and fan out over a pool, bit-identical to serial. A
-  /// caller-owned `pool` is preferred (no per-sweep thread spawning when
-  /// sweeping in a loop); otherwise `num_threads > 1` sizes a pool created
-  /// for the one sweep. Defaults are serial.
+  /// caller-owned `pool` takes precedence; otherwise `num_threads == 0`
+  /// routes through the persistent process-wide pool (global_pool(), sized
+  /// by GQA_NUM_THREADS; no per-sweep thread spawn when sweeping in a
+  /// loop) and `num_threads > 1` keeps an explicit lane cap with a pool
+  /// created for the one sweep. Defaults are serial.
   ThreadPool* pool = nullptr;
   int num_threads = 1;
 };

@@ -1,5 +1,8 @@
 #include "eval/segtask.h"
 
+#include <type_traits>
+#include <utility>
+
 #include "util/contracts.h"
 
 namespace gqa {
@@ -21,9 +24,16 @@ SegTask<ModelT>::SegTask(ModelT model, int label_stride,
   GQA_EXPECTS(options.train_scenes >= 1 && options.eval_scenes >= 1);
   GQA_EXPECTS(options.calib_scenes >= 1 &&
               options.calib_scenes <= options.train_scenes);
-  GQA_EXPECTS(options.num_threads >= 1);
-  if (options.num_threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  GQA_EXPECTS(options.num_threads >= 0);
+  if (options.scene_parallel) {
+    EngineOptions engine_options;
+    engine_options.num_threads = options.num_threads;
+    engine_ = std::make_unique<InferenceEngine>(engine_options);
+  } else if (options.num_threads == 0) {
+    pool_ = &global_pool();  // persistent: no per-task spawn/join
+  } else if (options.num_threads > 1) {
+    owned_pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    pool_ = owned_pool_.get();
   }
 
   const std::vector<LabeledScene> train =
@@ -42,35 +52,66 @@ SegTask<ModelT>::SegTask(ModelT model, int label_stride,
   }
   model_.freeze();
 
-  eval_scenes_ = make_scene_set(options.scene, options.eval_scenes,
-                                options.eval_seed);
-  for (const LabeledScene& s : eval_scenes_) {
+  for (LabeledScene& s : make_scene_set(options.scene, options.eval_scenes,
+                                        options.eval_seed)) {
     eval_labels_.push_back(labels_at<ModelT>(s, label_stride_));
+    eval_images_.push_back(std::move(s.image));
   }
 }
+
+// The harness calls ModelT::argmax_labels, so every served model must
+// expose its own statics — a regression once had the EfficientViT task
+// silently borrowing SegformerB0Like's.
+template <typename ModelT>
+constexpr bool kHasOwnArgmax =
+    std::is_same_v<decltype(ModelT::argmax_labels(
+                       std::declval<const tfm::QTensor&>())),
+                   std::vector<int>> &&
+    std::is_same_v<decltype(ModelT::argmax_labels(
+                       std::declval<const tfm::Tensor&>())),
+                   std::vector<int>>;
+static_assert(kHasOwnArgmax<tfm::SegformerB0Like> &&
+                  kHasOwnArgmax<tfm::EfficientViTB0Like>,
+              "every SegTask model must expose its own argmax_labels statics");
 
 template <typename ModelT>
 double SegTask<ModelT>::miou_fp() const {
   ConfusionMatrix cm(options_.scene.num_classes);
-  for (std::size_t i = 0; i < eval_scenes_.size(); ++i) {
+  if (engine_) {
+    const std::vector<std::vector<int>> predicted =
+        engine_->labels_fp(model_, eval_images_);
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+      cm.add(eval_labels_[i], predicted[i]);
+    }
+    return cm.mean_iou();
+  }
+  for (std::size_t i = 0; i < eval_images_.size(); ++i) {
     cm.add(eval_labels_[i],
-           tfm::SegformerB0Like::argmax_labels(
-               model_.forward_fp(eval_scenes_[i].image, pool_.get())));
+           ModelT::argmax_labels(model_.forward_fp(eval_images_[i], pool_)));
   }
   return cm.mean_iou();
 }
 
 template <typename ModelT>
 double SegTask<ModelT>::miou_int(const tfm::NonlinearProvider& nl) const {
+  ConfusionMatrix cm(options_.scene.num_classes);
+  if (engine_) {
+    // The engine pre-warms the provider before dispatch.
+    const std::vector<std::vector<int>> predicted =
+        engine_->labels_int(model_, eval_images_, nl);
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+      cm.add(eval_labels_[i], predicted[i]);
+    }
+    return cm.mean_iou();
+  }
   // Pre-build the pwl units before the threaded forwards so the hot paths
   // hit the lock-free warmed tier (misses stay correct, just slower).
   nl.warm_up({Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt},
              tfm::NonlinearProvider::deployment_scale_exps());
-  ConfusionMatrix cm(options_.scene.num_classes);
-  for (std::size_t i = 0; i < eval_scenes_.size(); ++i) {
+  for (std::size_t i = 0; i < eval_images_.size(); ++i) {
     cm.add(eval_labels_[i],
-           tfm::SegformerB0Like::argmax_labels(
-               model_.forward_int(eval_scenes_[i].image, nl, pool_.get())));
+           ModelT::argmax_labels(
+               model_.forward_int(eval_images_[i], nl, pool_)));
   }
   return cm.mean_iou();
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/approximator.h"
+#include "eval/engine.h"
 #include "eval/miou.h"
 #include "eval/scene.h"
 #include "tfm/models/efficientvit.h"
@@ -30,10 +31,15 @@ struct SegTaskOptions {
   SceneOptions scene;
   std::uint64_t train_seed = 0x7124;
   std::uint64_t eval_seed = 0xE7A1;
-  /// Lanes for the threaded model forward passes during mIoU evaluation
-  /// (bit-identical to serial; 1 = no pool). Training/calibration stay
-  /// serial.
+  /// Lanes for mIoU evaluation (bit-identical to serial at any count).
+  /// 0 = the persistent process-wide pool (GQA_NUM_THREADS-sized); >= 1
+  /// gives the task a private pool. Training/calibration stay serial.
   int num_threads = 1;
+  /// Default serving shape: eval scenes stream through the batched
+  /// InferenceEngine (one serial forward per image, workspace reuse,
+  /// image-level parallelism). When false, the legacy per-forward path
+  /// threads each forward internally instead (single-image latency shape).
+  bool scene_parallel = true;
 };
 
 /// One Table 4/5 row: which ops are replaced, per-method mIoU.
@@ -62,9 +68,11 @@ class SegTask {
   ModelT model_;
   SegTaskOptions options_;
   int label_stride_;
-  std::vector<LabeledScene> eval_scenes_;
+  std::vector<tfm::Tensor> eval_images_;  ///< one per eval scene (batch input)
   std::vector<std::vector<int>> eval_labels_;
-  std::unique_ptr<ThreadPool> pool_;  ///< non-null when num_threads > 1
+  std::unique_ptr<InferenceEngine> engine_;  ///< scene-batched serving path
+  ThreadPool* pool_ = nullptr;  ///< legacy per-forward path lanes
+  std::unique_ptr<ThreadPool> owned_pool_;  ///< backs pool_ when private
 };
 
 using SegformerTask = SegTask<tfm::SegformerB0Like>;

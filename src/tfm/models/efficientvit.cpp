@@ -8,15 +8,15 @@ namespace gqa::tfm {
 namespace {
 
 template <typename T>
-T upsample2x(const T& x) {
+T upsample2x(const T& x, Workspace* ws = nullptr) {
   const int c = x.shape()[0];
   const int h = x.shape()[1];
   const int w = x.shape()[2];
   T y = [&] {
     if constexpr (std::is_same_v<T, QTensor>) {
-      return QTensor(Shape{c, 2 * h, 2 * w}, x.params());
+      return ws_qtensor(ws, Shape{c, 2 * h, 2 * w}, x.params());
     } else {
-      return Tensor(Shape{c, 2 * h, 2 * w});
+      return ws_tensor(ws, Shape{c, 2 * h, 2 * w});
     }
   }();
   for (int ch = 0; ch < c; ++ch) {
@@ -30,12 +30,15 @@ T upsample2x(const T& x) {
 }
 
 template <typename Fn, typename TensorT>
-TensorT attn_tokens(Fn&& attn, const TensorT& map) {
+TensorT attn_tokens(Fn&& attn, const TensorT& map, Workspace* ws = nullptr) {
   const int h = map.shape()[1];
   const int w = map.shape()[2];
-  auto tokens = to_tokens(map);
+  auto tokens = to_tokens(map, ws);
   auto out = attn(tokens);
-  return from_tokens(out, h, w);
+  ws_release(ws, std::move(tokens));
+  auto result = from_tokens(out, h, w, ws);
+  ws_release(ws, std::move(out));
+  return result;
 }
 
 }  // namespace
@@ -89,42 +92,67 @@ Tensor concat_maps(const Tensor& a, const Tensor& b) {
 }  // namespace
 
 Tensor EfficientViTB0Like::penultimate_fp(const Tensor& image,
-                                          ThreadPool* pool) const {
-  Tensor x = stem_act_.forward_fp(stem_->forward_fp(image, pool), pool);
-  x = stage1_->forward_fp(x, pool);
-  x = stage2_->forward_fp(x, pool);
-  x = stage3_->forward_fp(x, pool);
+                                          ThreadPool* pool,
+                                          Workspace* ws) const {
+  Tensor stem = stem_->forward_fp(image, pool, ws);
+  Tensor x = stem_act_.forward_fp(stem, pool, ws);
+  ws_release(ws, std::move(stem));
+  Tensor t = stage1_->forward_fp(x, pool, ws);
+  ws_release(ws, std::move(x));
+  x = stage2_->forward_fp(t, pool, ws);
+  ws_release(ws, std::move(t));
+  t = stage3_->forward_fp(x, pool, ws);
+  ws_release(ws, std::move(x));
+  x = std::move(t);
   {
-    const Tensor a = attn_tokens(
-        [this, pool](const Tensor& t) {
-          return evit3_.attn->forward_fp(t, pool);
+    Tensor a = attn_tokens(
+        [this, pool, ws](const Tensor& tk) {
+          return evit3_.attn->forward_fp(tk, pool, ws);
         },
-        x);
-    x = evit3_.add.forward_fp(x, a, pool);
-    x = evit3_.ffn->forward_fp(x, pool);
+        x, ws);
+    Tensor sum = evit3_.add.forward_fp(x, a, pool, ws);
+    ws_release(ws, std::move(a));
+    ws_release(ws, std::move(x));
+    x = evit3_.ffn->forward_fp(sum, pool, ws);
+    ws_release(ws, std::move(sum));
   }
   const Tensor f3 = x;
-  x = stage4_->forward_fp(x, pool);
+  t = stage4_->forward_fp(x, pool, ws);
+  ws_release(ws, std::move(x));
+  x = std::move(t);
   {
-    const Tensor a = attn_tokens(
-        [this, pool](const Tensor& t) {
-          return evit4_.attn->forward_fp(t, pool);
+    Tensor a = attn_tokens(
+        [this, pool, ws](const Tensor& tk) {
+          return evit4_.attn->forward_fp(tk, pool, ws);
         },
-        x);
-    x = evit4_.add.forward_fp(x, a, pool);
-    x = evit4_.ffn->forward_fp(x, pool);
+        x, ws);
+    Tensor sum = evit4_.add.forward_fp(x, a, pool, ws);
+    ws_release(ws, std::move(a));
+    ws_release(ws, std::move(x));
+    x = evit4_.ffn->forward_fp(sum, pool, ws);
+    ws_release(ws, std::move(sum));
   }
-  const Tensor fused = concat_maps(f3, upsample2x(x));
-  const Tensor feat =
-      head_act_.forward_fp(head_conv_->forward_fp(fused, pool), pool);
-  return to_tokens(feat);
+  Tensor up = upsample2x(x, ws);
+  ws_release(ws, std::move(x));
+  const Tensor fused = concat_maps(f3, up);
+  ws_release(ws, std::move(up));
+  Tensor conv = head_conv_->forward_fp(fused, pool, ws);
+  Tensor feat = head_act_.forward_fp(conv, pool, ws);
+  ws_release(ws, std::move(conv));
+  Tensor out = to_tokens(feat, ws);
+  ws_release(ws, std::move(feat));
+  return out;
 }
 
 Tensor EfficientViTB0Like::forward_fp(const Tensor& image,
-                                      ThreadPool* pool) const {
-  const Tensor tokens = penultimate_fp(image, pool);
+                                      ThreadPool* pool, Workspace* ws) const {
+  Tensor tokens = penultimate_fp(image, pool, ws);
   const int side = config_.image_size / 8;
-  return classifier_->forward_fp(from_tokens(tokens, side, side), pool);
+  Tensor map = from_tokens(tokens, side, side, ws);
+  ws_release(ws, std::move(tokens));
+  Tensor out = classifier_->forward_fp(map, pool);
+  ws_release(ws, std::move(map));
+  return out;
 }
 
 void EfficientViTB0Like::train_classifier(
@@ -204,40 +232,56 @@ void EfficientViTB0Like::freeze() {
 
 QTensor EfficientViTB0Like::forward_int(const Tensor& image,
                                         const NonlinearProvider& nl,
-                                        ThreadPool* pool) const {
+                                        ThreadPool* pool, Workspace* ws) const {
   GQA_EXPECTS_MSG(frozen_, "forward_int() requires freeze()");
   QTensor x = QTensor::quantize(image, input_qp_);
-  x = stem_act_.forward_int(stem_->forward_int(x, pool), nl, pool);
-  x = stage1_->forward_int(x, nl, pool);
-  x = stage2_->forward_int(x, nl, pool);
-  x = stage3_->forward_int(x, nl, pool);
+  QTensor stem = stem_->forward_int(x, pool, ws);
+  ws_release(ws, std::move(x));
+  x = stem_act_.forward_int(stem, nl, pool, ws);
+  ws_release(ws, std::move(stem));
+  QTensor t = stage1_->forward_int(x, nl, pool, ws);
+  ws_release(ws, std::move(x));
+  x = stage2_->forward_int(t, nl, pool, ws);
+  ws_release(ws, std::move(t));
+  t = stage3_->forward_int(x, nl, pool, ws);
+  ws_release(ws, std::move(x));
+  x = std::move(t);
   {
-    const QTensor a = attn_tokens(
-        [this, &nl, pool](const QTensor& t) {
-          return evit3_.attn->forward_int(t, nl, pool);
+    QTensor a = attn_tokens(
+        [this, &nl, pool, ws](const QTensor& tk) {
+          return evit3_.attn->forward_int(tk, nl, pool, ws);
         },
-        x);
-    x = evit3_.add.forward_int(x, a, pool);
-    x = evit3_.ffn->forward_int(x, nl, pool);
+        x, ws);
+    QTensor sum = evit3_.add.forward_int(x, a, pool, ws);
+    ws_release(ws, std::move(a));
+    ws_release(ws, std::move(x));
+    x = evit3_.ffn->forward_int(sum, nl, pool, ws);
+    ws_release(ws, std::move(sum));
   }
   const QTensor f3 = x;
-  x = stage4_->forward_int(x, nl, pool);
+  t = stage4_->forward_int(x, nl, pool, ws);
+  ws_release(ws, std::move(x));
+  x = std::move(t);
   {
-    const QTensor a = attn_tokens(
-        [this, &nl, pool](const QTensor& t) {
-          return evit4_.attn->forward_int(t, nl, pool);
+    QTensor a = attn_tokens(
+        [this, &nl, pool, ws](const QTensor& tk) {
+          return evit4_.attn->forward_int(tk, nl, pool, ws);
         },
-        x);
-    x = evit4_.add.forward_int(x, a, pool);
-    x = evit4_.ffn->forward_int(x, nl, pool);
+        x, ws);
+    QTensor sum = evit4_.add.forward_int(x, a, pool, ws);
+    ws_release(ws, std::move(a));
+    ws_release(ws, std::move(x));
+    x = evit4_.ffn->forward_int(sum, nl, pool, ws);
+    ws_release(ws, std::move(sum));
   }
   // Integer concat on the shared fuse scale.
-  const QTensor f4_up = upsample2x(x);
+  QTensor f4_up = upsample2x(x, ws);
+  ws_release(ws, std::move(x));
   const int h = f3.shape()[1];
   const int w = f3.shape()[2];
   const int c3 = f3.shape()[0];
   const int c4 = f4_up.shape()[0];
-  QTensor fused(Shape{c3 + c4, h, w}, fuse_qp_);
+  QTensor fused = ws_qtensor(ws, Shape{c3 + c4, h, w}, fuse_qp_);
   for (int c = 0; c < c3; ++c)
     for (int yy = 0; yy < h; ++yy)
       for (int xx = 0; xx < w; ++xx)
@@ -248,9 +292,40 @@ QTensor EfficientViTB0Like::forward_int(const Tensor& image,
       for (int xx = 0; xx < w; ++xx)
         fused.at(c3 + c, yy, xx) =
             static_cast<std::int32_t>(rq_f4_.apply(f4_up.at(c, yy, xx)));
-  QTensor feat =
-      head_act_.forward_int(head_conv_->forward_int(fused, pool), nl, pool);
-  return classifier_->forward_int(feat, pool);
+  ws_release(ws, std::move(f4_up));
+  QTensor conv = head_conv_->forward_int(fused, pool, ws);
+  ws_release(ws, std::move(fused));
+  QTensor feat = head_act_.forward_int(conv, nl, pool, ws);
+  ws_release(ws, std::move(conv));
+  QTensor out = classifier_->forward_int(feat, pool);
+  ws_release(ws, std::move(feat));
+  return out;
+}
+
+std::vector<Tensor> EfficientViTB0Like::forward_fp_batch(
+    std::span<const Tensor> images, ThreadPool* pool,
+    WorkspacePool* workspaces) const {
+  return ws_batch<Tensor>(images.size(), pool, workspaces,
+                          [&](std::size_t i, Workspace* ws) {
+                            return forward_fp(images[i], nullptr, ws);
+                          });
+}
+
+std::vector<QTensor> EfficientViTB0Like::forward_int_batch(
+    std::span<const Tensor> images, const NonlinearProvider& nl,
+    ThreadPool* pool, WorkspacePool* workspaces) const {
+  return ws_batch<QTensor>(images.size(), pool, workspaces,
+                           [&](std::size_t i, Workspace* ws) {
+                             return forward_int(images[i], nl, nullptr, ws);
+                           });
+}
+
+std::vector<int> EfficientViTB0Like::argmax_labels(const Tensor& logits) {
+  return argmax_label_map(logits);
+}
+
+std::vector<int> EfficientViTB0Like::argmax_labels(const QTensor& logits) {
+  return argmax_label_map(logits);
 }
 
 }  // namespace gqa::tfm

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "tfm/modules.h"
@@ -28,13 +29,17 @@ class EfficientViTB0Like {
   explicit EfficientViTB0Like(const EfficientViTConfig& config = {});
 
   /// FP32 logits {num_classes, H/8, W/8}. A non-null pool threads every
-  /// module forward (bit-identical to serial at any thread count).
+  /// module forward (bit-identical to serial at any thread count); a
+  /// non-null workspace reuses layer-output storage across calls
+  /// (bit-identical, one workspace per thread).
   [[nodiscard]] Tensor forward_fp(const Tensor& image,
-                                  ThreadPool* pool = nullptr) const;
+                                  ThreadPool* pool = nullptr,
+                                  Workspace* ws = nullptr) const;
 
   /// FP32 penultimate features {H/8·W/8, head_dim} (post-HSWISH tokens).
   [[nodiscard]] Tensor penultimate_fp(const Tensor& image,
-                                      ThreadPool* pool = nullptr) const;
+                                      ThreadPool* pool = nullptr,
+                                      Workspace* ws = nullptr) const;
 
   /// Trains the final classifier (softmax linear probe) on labels at
   /// H/8 x W/8 resolution. Must run before calibrate()/freeze().
@@ -48,7 +53,24 @@ class EfficientViTB0Like {
   /// must tolerate concurrent use (it does).
   [[nodiscard]] QTensor forward_int(const Tensor& image,
                                     const NonlinearProvider& nl,
-                                    ThreadPool* pool = nullptr) const;
+                                    ThreadPool* pool = nullptr,
+                                    Workspace* ws = nullptr) const;
+
+  /// Scene-batched entry points: one *serial* forward per image fanned out
+  /// across the pool, each chunk with its own Workspace. Bit-identical to a
+  /// serial per-image loop (see SegformerB0Like for the contract).
+  [[nodiscard]] std::vector<Tensor> forward_fp_batch(
+      std::span<const Tensor> images, ThreadPool* pool = nullptr,
+      WorkspacePool* workspaces = nullptr) const;
+  [[nodiscard]] std::vector<QTensor> forward_int_batch(
+      std::span<const Tensor> images, const NonlinearProvider& nl,
+      ThreadPool* pool = nullptr, WorkspacePool* workspaces = nullptr) const;
+
+  /// Per-pixel argmax labels of a logits map {C, h, w}. Every model exposes
+  /// its own static so generic harnesses (SegTask) can write
+  /// ModelT::argmax_labels without silently borrowing another model's.
+  [[nodiscard]] static std::vector<int> argmax_labels(const Tensor& logits);
+  [[nodiscard]] static std::vector<int> argmax_labels(const QTensor& logits);
 
   [[nodiscard]] const EfficientViTConfig& config() const { return config_; }
 

@@ -12,15 +12,16 @@ namespace {
 /// Nearest-neighbour upsample of a {C,h,w} map to {C,H,W} (integer-exact:
 /// codes are replicated, scales unchanged).
 template <typename T>
-T upsample_nearest(const T& x, int out_h, int out_w) {
+T upsample_nearest(const T& x, int out_h, int out_w,
+                   Workspace* ws = nullptr) {
   const int c = x.shape()[0];
   const int h = x.shape()[1];
   const int w = x.shape()[2];
   T y = [&] {
     if constexpr (std::is_same_v<T, QTensor>) {
-      return QTensor(Shape{c, out_h, out_w}, x.params());
+      return ws_qtensor(ws, Shape{c, out_h, out_w}, x.params());
     } else {
-      return Tensor(Shape{c, out_h, out_w});
+      return ws_tensor(ws, Shape{c, out_h, out_w});
     }
   }();
   for (int ch = 0; ch < c; ++ch) {
@@ -83,57 +84,82 @@ SegformerB0Like::SegformerB0Like(const SegformerConfig& config)
 }
 
 Tensor SegformerB0Like::penultimate_fp(const Tensor& image,
-                                       ThreadPool* pool) const {
+                                       ThreadPool* pool, Workspace* ws) const {
   GQA_EXPECTS(image.shape().rank() == 3 &&
               image.shape()[0] == config_.in_channels);
   Tensor x = image;
   std::vector<Tensor> features;
   for (const Stage& stage : stages_) {
-    Tensor map = stage.patch_embed->forward_fp(x, pool);
+    Tensor map = stage.patch_embed->forward_fp(x, pool, ws);
+    if (&stage != &stages_.front()) ws_release(ws, std::move(x));
     const int h = map.shape()[1];
     const int w = map.shape()[2];
-    Tensor tokens = stage.embed_norm->forward_fp(to_tokens(map), pool);
+    Tensor map_tokens = to_tokens(map, ws);
+    ws_release(ws, std::move(map));
+    Tensor tokens = stage.embed_norm->forward_fp(map_tokens, pool, ws);
+    ws_release(ws, std::move(map_tokens));
     for (const Block& block : stage.blocks) {
-      Tensor a = block.attn->forward_fp(block.ln1->forward_fp(tokens, pool),
-                                        h, w, pool);
-      tokens = block.add1.forward_fp(tokens, a, pool);
-      Tensor f = block.ffn->forward_fp(block.ln2->forward_fp(tokens, pool),
-                                       h, w, pool);
-      tokens = block.add2.forward_fp(tokens, f, pool);
+      Tensor n1 = block.ln1->forward_fp(tokens, pool, ws);
+      Tensor a = block.attn->forward_fp(n1, h, w, pool, ws);
+      ws_release(ws, std::move(n1));
+      Tensor sum1 = block.add1.forward_fp(tokens, a, pool, ws);
+      ws_release(ws, std::move(a));
+      ws_release(ws, std::move(tokens));
+      tokens = std::move(sum1);
+      Tensor n2 = block.ln2->forward_fp(tokens, pool, ws);
+      Tensor f = block.ffn->forward_fp(n2, h, w, pool, ws);
+      ws_release(ws, std::move(n2));
+      Tensor sum2 = block.add2.forward_fp(tokens, f, pool, ws);
+      ws_release(ws, std::move(f));
+      ws_release(ws, std::move(tokens));
+      tokens = std::move(sum2);
     }
-    tokens = stage.out_norm->forward_fp(tokens, pool);
-    x = from_tokens(tokens, h, w);
+    Tensor normed = stage.out_norm->forward_fp(tokens, pool, ws);
+    ws_release(ws, std::move(tokens));
+    x = from_tokens(normed, h, w, ws);
+    ws_release(ws, std::move(normed));
     features.push_back(x);
   }
 
   // Decode head at 1/4 resolution.
   const int oh = features[0].shape()[1];
   const int ow = features[0].shape()[2];
-  Tensor fused(Shape{oh * ow, 4 * config_.decoder_dim});
+  Tensor fused = ws_tensor(ws, Shape{oh * ow, 4 * config_.decoder_dim});
   for (int s = 0; s < 4; ++s) {
+    Tensor& feat = features[static_cast<std::size_t>(s)];
+    Tensor feat_tokens = to_tokens(feat, ws);
     Tensor proj = head_linears_[static_cast<std::size_t>(s)]->forward_fp(
-        to_tokens(features[static_cast<std::size_t>(s)]), pool);
-    Tensor up = upsample_nearest(
-        from_tokens(proj, features[static_cast<std::size_t>(s)].shape()[1],
-                    features[static_cast<std::size_t>(s)].shape()[2]),
-        oh, ow);
-    const Tensor up_tokens = to_tokens(up);
+        feat_tokens, pool, ws);
+    ws_release(ws, std::move(feat_tokens));
+    Tensor proj_map = from_tokens(proj, feat.shape()[1], feat.shape()[2], ws);
+    ws_release(ws, std::move(proj));
+    Tensor up = upsample_nearest(proj_map, oh, ow, ws);
+    ws_release(ws, std::move(proj_map));
+    Tensor up_tokens = to_tokens(up, ws);
+    ws_release(ws, std::move(up));
     for (int i = 0; i < oh * ow; ++i) {
       for (int d = 0; d < config_.decoder_dim; ++d) {
         fused.at(i, s * config_.decoder_dim + d) = up_tokens.at(i, d);
       }
     }
+    ws_release(ws, std::move(up_tokens));
+    ws_release(ws, std::move(feat));
   }
-  Tensor y = head_fuse_->forward_fp(fused, pool);
+  Tensor y = head_fuse_->forward_fp(fused, pool, ws);
+  ws_release(ws, std::move(fused));
   for (float& v : y.data()) v = std::max(v, 0.0F);  // head ReLU
   return y;
 }
 
 Tensor SegformerB0Like::forward_fp(const Tensor& image,
-                                   ThreadPool* pool) const {
-  const Tensor y = penultimate_fp(image, pool);
+                                   ThreadPool* pool, Workspace* ws) const {
+  Tensor y = penultimate_fp(image, pool, ws);
   const int side = config_.image_size / 4;
-  return from_tokens(head_classifier_->forward_fp(y, pool), side, side);
+  Tensor logits = head_classifier_->forward_fp(y, pool, ws);
+  ws_release(ws, std::move(y));
+  Tensor out = from_tokens(logits, side, side);
+  ws_release(ws, std::move(logits));
+  return out;
 }
 
 void SegformerB0Like::train_classifier(
@@ -233,90 +259,108 @@ void SegformerB0Like::freeze() {
 
 QTensor SegformerB0Like::forward_int(const Tensor& image,
                                      const NonlinearProvider& nl,
-                                     ThreadPool* pool) const {
+                                     ThreadPool* pool, Workspace* ws) const {
   GQA_EXPECTS_MSG(frozen_, "forward_int() requires freeze()");
   QTensor x = QTensor::quantize(image, input_qp_);
   std::vector<QTensor> features;
   for (const Stage& stage : stages_) {
-    QTensor map = stage.patch_embed->forward_int(x, pool);
+    QTensor map = stage.patch_embed->forward_int(x, pool, ws);
+    ws_release(ws, std::move(x));
     const int h = map.shape()[1];
     const int w = map.shape()[2];
-    QTensor tokens = stage.embed_norm->forward_int(to_tokens(map), nl, pool);
+    QTensor map_tokens = to_tokens(map, ws);
+    ws_release(ws, std::move(map));
+    QTensor tokens = stage.embed_norm->forward_int(map_tokens, nl, pool, ws);
+    ws_release(ws, std::move(map_tokens));
     for (const Block& block : stage.blocks) {
-      QTensor a = block.attn->forward_int(
-          block.ln1->forward_int(tokens, nl, pool), h, w, nl, pool);
-      tokens = block.add1.forward_int(tokens, a, pool);
-      QTensor f = block.ffn->forward_int(
-          block.ln2->forward_int(tokens, nl, pool), h, w, nl, pool);
-      tokens = block.add2.forward_int(tokens, f, pool);
+      QTensor n1 = block.ln1->forward_int(tokens, nl, pool, ws);
+      QTensor a = block.attn->forward_int(n1, h, w, nl, pool, ws);
+      ws_release(ws, std::move(n1));
+      QTensor sum1 = block.add1.forward_int(tokens, a, pool, ws);
+      ws_release(ws, std::move(a));
+      ws_release(ws, std::move(tokens));
+      tokens = std::move(sum1);
+      QTensor n2 = block.ln2->forward_int(tokens, nl, pool, ws);
+      QTensor f = block.ffn->forward_int(n2, h, w, nl, pool, ws);
+      ws_release(ws, std::move(n2));
+      QTensor sum2 = block.add2.forward_int(tokens, f, pool, ws);
+      ws_release(ws, std::move(f));
+      ws_release(ws, std::move(tokens));
+      tokens = std::move(sum2);
     }
-    tokens = stage.out_norm->forward_int(tokens, nl, pool);
-    x = from_tokens(tokens, h, w);
+    QTensor normed = stage.out_norm->forward_int(tokens, nl, pool, ws);
+    ws_release(ws, std::move(tokens));
+    x = from_tokens(normed, h, w, ws);
+    ws_release(ws, std::move(normed));
     features.push_back(x);
   }
 
   const int oh = features[0].shape()[1];
   const int ow = features[0].shape()[2];
-  QTensor fused(Shape{oh * ow, 4 * config_.decoder_dim}, head_qp_);
+  QTensor fused = ws_qtensor(ws, Shape{oh * ow, 4 * config_.decoder_dim},
+                             head_qp_);
   for (int s = 0; s < 4; ++s) {
+    QTensor& feat = features[static_cast<std::size_t>(s)];
+    QTensor feat_tokens = to_tokens(feat, ws);
     QTensor proj = head_linears_[static_cast<std::size_t>(s)]->forward_int(
-        to_tokens(features[static_cast<std::size_t>(s)]), pool);
+        feat_tokens, pool, ws);
+    ws_release(ws, std::move(feat_tokens));
     // Requantize onto the common head scale, then upsample codes.
-    QTensor aligned(proj.shape(), head_qp_);
+    QTensor aligned = ws_qtensor(ws, proj.shape(), head_qp_);
     for (std::size_t i = 0; i < proj.data().size(); ++i) {
       aligned.data()[i] = static_cast<std::int32_t>(
           head_rq_[static_cast<std::size_t>(s)].apply(proj.data()[i]));
     }
-    QTensor up = upsample_nearest(
-        from_tokens(aligned, features[static_cast<std::size_t>(s)].shape()[1],
-                    features[static_cast<std::size_t>(s)].shape()[2]),
-        oh, ow);
-    const QTensor up_tokens = to_tokens(up);
+    ws_release(ws, std::move(proj));
+    QTensor aligned_map =
+        from_tokens(aligned, feat.shape()[1], feat.shape()[2], ws);
+    ws_release(ws, std::move(aligned));
+    QTensor up = upsample_nearest(aligned_map, oh, ow, ws);
+    ws_release(ws, std::move(aligned_map));
+    QTensor up_tokens = to_tokens(up, ws);
+    ws_release(ws, std::move(up));
     for (int i = 0; i < oh * ow; ++i) {
       for (int d = 0; d < config_.decoder_dim; ++d) {
         fused.at(i, s * config_.decoder_dim + d) = up_tokens.at(i, d);
       }
     }
+    ws_release(ws, std::move(up_tokens));
+    ws_release(ws, std::move(feat));
   }
-  QTensor y = head_fuse_->forward_int(fused, pool);
+  QTensor y = head_fuse_->forward_int(fused, pool, ws);
+  ws_release(ws, std::move(fused));
   for (std::int32_t& v : y.data()) v = std::max(v, 0);  // integer ReLU
-  return from_tokens(head_classifier_->forward_int(y, pool), oh, ow);
+  QTensor logits = head_classifier_->forward_int(y, pool, ws);
+  ws_release(ws, std::move(y));
+  QTensor out = from_tokens(logits, oh, ow);
+  ws_release(ws, std::move(logits));
+  return out;
+}
+
+std::vector<Tensor> SegformerB0Like::forward_fp_batch(
+    std::span<const Tensor> images, ThreadPool* pool,
+    WorkspacePool* workspaces) const {
+  return ws_batch<Tensor>(images.size(), pool, workspaces,
+                          [&](std::size_t i, Workspace* ws) {
+                            return forward_fp(images[i], nullptr, ws);
+                          });
+}
+
+std::vector<QTensor> SegformerB0Like::forward_int_batch(
+    std::span<const Tensor> images, const NonlinearProvider& nl,
+    ThreadPool* pool, WorkspacePool* workspaces) const {
+  return ws_batch<QTensor>(images.size(), pool, workspaces,
+                           [&](std::size_t i, Workspace* ws) {
+                             return forward_int(images[i], nl, nullptr, ws);
+                           });
 }
 
 std::vector<int> SegformerB0Like::argmax_labels(const Tensor& logits) {
-  GQA_EXPECTS(logits.shape().rank() == 3);
-  const int c = logits.shape()[0];
-  const int h = logits.shape()[1];
-  const int w = logits.shape()[2];
-  std::vector<int> labels(static_cast<std::size_t>(h) * w);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      int best = 0;
-      for (int ch = 1; ch < c; ++ch) {
-        if (logits.at(ch, y, x) > logits.at(best, y, x)) best = ch;
-      }
-      labels[static_cast<std::size_t>(y) * w + x] = best;
-    }
-  }
-  return labels;
+  return argmax_label_map(logits);
 }
 
 std::vector<int> SegformerB0Like::argmax_labels(const QTensor& logits) {
-  GQA_EXPECTS(logits.shape().rank() == 3);
-  const int c = logits.shape()[0];
-  const int h = logits.shape()[1];
-  const int w = logits.shape()[2];
-  std::vector<int> labels(static_cast<std::size_t>(h) * w);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      int best = 0;
-      for (int ch = 1; ch < c; ++ch) {
-        if (logits.at(ch, y, x) > logits.at(best, y, x)) best = ch;
-      }
-      labels[static_cast<std::size_t>(y) * w + x] = best;
-    }
-  }
-  return labels;
+  return argmax_label_map(logits);
 }
 
 }  // namespace gqa::tfm

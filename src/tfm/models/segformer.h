@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "tfm/modules.h"
@@ -33,13 +34,17 @@ class SegformerB0Like {
   explicit SegformerB0Like(const SegformerConfig& config = {});
 
   /// FP32 logits {num_classes, H/4, W/4}. A non-null pool threads every
-  /// module forward (bit-identical to serial at any thread count).
+  /// module forward (bit-identical to serial at any thread count); a
+  /// non-null workspace reuses layer-output storage across calls
+  /// (bit-identical, one workspace per thread).
   [[nodiscard]] Tensor forward_fp(const Tensor& image,
-                                  ThreadPool* pool = nullptr) const;
+                                  ThreadPool* pool = nullptr,
+                                  Workspace* ws = nullptr) const;
 
   /// FP32 penultimate features: relu(fused decode tokens), {H/4·W/4, dim}.
   [[nodiscard]] Tensor penultimate_fp(const Tensor& image,
-                                      ThreadPool* pool = nullptr) const;
+                                      ThreadPool* pool = nullptr,
+                                      Workspace* ws = nullptr) const;
 
   /// Trains the final classifier (softmax linear probe, frozen backbone)
   /// on labels at H/4 x W/4 resolution — the reproduction's stand-in for
@@ -59,7 +64,21 @@ class SegformerB0Like {
   /// across its lanes; the provider must tolerate concurrent use (it does).
   [[nodiscard]] QTensor forward_int(const Tensor& image,
                                     const NonlinearProvider& nl,
-                                    ThreadPool* pool = nullptr) const;
+                                    ThreadPool* pool = nullptr,
+                                    Workspace* ws = nullptr) const;
+
+  /// Scene-batched entry points: one *serial* forward per image, fanned out
+  /// across the pool (image-level parallelism — the deployment shape for
+  /// fixed nonlinear units). Each in-flight chunk borrows a Workspace from
+  /// `workspaces` (or uses a chunk-local one), so steady-state dispatches
+  /// reuse layer storage. Results are bit-identical to calling the
+  /// per-image forward in a serial loop.
+  [[nodiscard]] std::vector<Tensor> forward_fp_batch(
+      std::span<const Tensor> images, ThreadPool* pool = nullptr,
+      WorkspacePool* workspaces = nullptr) const;
+  [[nodiscard]] std::vector<QTensor> forward_int_batch(
+      std::span<const Tensor> images, const NonlinearProvider& nl,
+      ThreadPool* pool = nullptr, WorkspacePool* workspaces = nullptr) const;
 
   /// Per-pixel argmax labels of a logits map {C, h, w}.
   [[nodiscard]] static std::vector<int> argmax_labels(const Tensor& logits);

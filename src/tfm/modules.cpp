@@ -41,6 +41,22 @@ int conv_out_size(int in, int kernel, int stride, int pad) {
   return (in + 2 * pad - kernel) / stride + 1;
 }
 
+// Granularity floors for the intra-forward fan-outs: below these, the
+// per-task work cannot amortize pool dispatch and pooled_for runs inline
+// (bit-identical either way). Rows cover token matrices (per-row cost is a
+// dot-product sweep), channels cover conv output maps (heavy per channel),
+// elems cover pointwise loops.
+constexpr std::size_t kMinRowsPerLane = 8;
+constexpr std::size_t kMinChannelsPerLane = 2;
+constexpr std::size_t kMinElemsPerLane = 4096;
+
+/// Workspace handle usable inside a fan-out body: the workspace may only be
+/// touched by the calling thread, so it is forwarded only when the fan-out
+/// is guaranteed to run inline (no pool / single lane).
+Workspace* inline_ws(ThreadPool* pool, Workspace* ws) {
+  return (pool == nullptr || pool->size() <= 1) ? ws : nullptr;
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- Linear ---
@@ -53,18 +69,22 @@ Linear::Linear(int in_features, int out_features, Rng& rng)
   b_ = Tensor::randn(Shape{out_}, rng, 0.02);
 }
 
-Tensor Linear::forward_fp(const Tensor& x, ThreadPool* pool) const {
+Tensor Linear::forward_fp(const Tensor& x, ThreadPool* pool,
+                          Workspace* ws) const {
   GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == in_);
   const int n = x.shape()[0];
-  Tensor y(Shape{n, out_});
-  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
-    const int i = static_cast<int>(row);
-    for (int o = 0; o < out_; ++o) {
-      double acc = b_.at(o);
-      for (int k = 0; k < in_; ++k) acc += x.at(i, k) * w_.at(o, k);
-      y.at(i, o) = static_cast<float>(acc);
-    }
-  });
+  Tensor y = ws_tensor(ws, Shape{n, out_});
+  pooled_for(
+      pool, static_cast<std::size_t>(n),
+      [&](std::size_t row) {
+        const int i = static_cast<int>(row);
+        for (int o = 0; o < out_; ++o) {
+          double acc = b_.at(o);
+          for (int k = 0; k < in_; ++k) acc += x.at(i, k) * w_.at(o, k);
+          y.at(i, o) = static_cast<float>(acc);
+        }
+      },
+      kMinRowsPerLane);
   return y;
 }
 
@@ -87,22 +107,26 @@ QuantParams Linear::freeze(const QuantParams& in_qp,
   return out_qp_;
 }
 
-QTensor Linear::forward_int(const QTensor& x, ThreadPool* pool) const {
+QTensor Linear::forward_int(const QTensor& x, ThreadPool* pool,
+                            Workspace* ws) const {
   GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == in_);
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int n = x.shape()[0];
-  QTensor y(Shape{n, out_}, out_qp_);
-  pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
-    const int i = static_cast<int>(row);
-    for (int o = 0; o < out_; ++o) {
-      std::int64_t acc = bq_[static_cast<std::size_t>(o)];
-      const std::size_t wrow = static_cast<std::size_t>(o) * in_;
-      for (int k = 0; k < in_; ++k) {
-        acc += static_cast<std::int64_t>(x.at(i, k)) * wq_[wrow + k];
-      }
-      y.at(i, o) = static_cast<std::int32_t>(rq_.apply(acc));
-    }
-  });
+  QTensor y = ws_qtensor(ws, Shape{n, out_}, out_qp_);
+  pooled_for(
+      pool, static_cast<std::size_t>(n),
+      [&](std::size_t row) {
+        const int i = static_cast<int>(row);
+        for (int o = 0; o < out_; ++o) {
+          std::int64_t acc = bq_[static_cast<std::size_t>(o)];
+          const std::size_t wrow = static_cast<std::size_t>(o) * in_;
+          for (int k = 0; k < in_; ++k) {
+            acc += static_cast<std::int64_t>(x.at(i, k)) * wq_[wrow + k];
+          }
+          y.at(i, o) = static_cast<std::int32_t>(rq_.apply(acc));
+        }
+      },
+      kMinRowsPerLane);
   return y;
 }
 
@@ -125,13 +149,14 @@ Conv2d::Conv2d(int in_ch, int out_ch, int kernel, int stride, int pad,
   b_ = Tensor::randn(Shape{out_ch_}, rng, 0.02);
 }
 
-Tensor Conv2d::forward_fp(const Tensor& x, ThreadPool* pool) const {
+Tensor Conv2d::forward_fp(const Tensor& x, ThreadPool* pool,
+                          Workspace* ws) const {
   GQA_EXPECTS(x.shape().rank() == 3 && x.shape()[0] == in_ch_);
   const int h = x.shape()[1];
   const int w = x.shape()[2];
   const int oh = conv_out_size(h, kernel_, stride_, pad_);
   const int ow = conv_out_size(w, kernel_, stride_, pad_);
-  Tensor y(Shape{out_ch_, oh, ow});
+  Tensor y = ws_tensor(ws, Shape{out_ch_, oh, ow});
   pooled_for(pool, static_cast<std::size_t>(out_ch_), [&](std::size_t ch) {
     const int oc = static_cast<int>(ch);
     const int ic_lo = depthwise_ ? oc : 0;
@@ -154,7 +179,7 @@ Tensor Conv2d::forward_fp(const Tensor& x, ThreadPool* pool) const {
         y.at(oc, oy, ox) = static_cast<float>(acc);
       }
     }
-  });
+  }, kMinChannelsPerLane);
   return y;
 }
 
@@ -177,14 +202,15 @@ QuantParams Conv2d::freeze(const QuantParams& in_qp,
   return out_qp_;
 }
 
-QTensor Conv2d::forward_int(const QTensor& x, ThreadPool* pool) const {
+QTensor Conv2d::forward_int(const QTensor& x, ThreadPool* pool,
+                            Workspace* ws) const {
   GQA_EXPECTS(x.shape().rank() == 3 && x.shape()[0] == in_ch_);
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int h = x.shape()[1];
   const int w = x.shape()[2];
   const int oh = conv_out_size(h, kernel_, stride_, pad_);
   const int ow = conv_out_size(w, kernel_, stride_, pad_);
-  QTensor y(Shape{out_ch_, oh, ow}, out_qp_);
+  QTensor y = ws_qtensor(ws, Shape{out_ch_, oh, ow}, out_qp_);
   const std::size_t kk = static_cast<std::size_t>(kernel_) * kernel_;
   const std::size_t per_oc = (depthwise_ ? 1 : static_cast<std::size_t>(in_ch_)) * kk;
   pooled_for(pool, static_cast<std::size_t>(out_ch_), [&](std::size_t ch) {
@@ -212,7 +238,7 @@ QTensor Conv2d::forward_int(const QTensor& x, ThreadPool* pool) const {
         y.at(oc, oy, ox) = static_cast<std::int32_t>(rq_.apply(acc));
       }
     }
-  });
+  }, kMinChannelsPerLane);
   return y;
 }
 
@@ -228,10 +254,11 @@ LayerNorm::LayerNorm(int dim, Rng& rng) : dim_(dim) {
   }
 }
 
-Tensor LayerNorm::forward_fp(const Tensor& x, ThreadPool* pool) const {
+Tensor LayerNorm::forward_fp(const Tensor& x, ThreadPool* pool,
+                             Workspace* ws) const {
   GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == dim_);
   const int n = x.shape()[0];
-  Tensor y(x.shape());
+  Tensor y = ws_tensor(ws, x.shape());
   pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
     const int i = static_cast<int>(row);
     double mean = 0.0;
@@ -248,7 +275,7 @@ Tensor LayerNorm::forward_fp(const Tensor& x, ThreadPool* pool) const {
       y.at(i, d) = static_cast<float>((x.at(i, d) - mean) * inv * gamma_.at(d) +
                                       beta_.at(d));
     }
-  });
+  }, kMinRowsPerLane);
   return y;
 }
 
@@ -267,17 +294,19 @@ QuantParams LayerNorm::freeze(const QuantParams& in_qp,
 }
 
 QTensor LayerNorm::forward_int(const QTensor& x, const NonlinearProvider& nl,
-                               ThreadPool* pool) const {
+                               ThreadPool* pool, Workspace* ws) const {
   GQA_EXPECTS(x.shape().rank() == 2 && x.shape()[1] == dim_);
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int n = x.shape()[0];
-  QTensor y(x.shape(), out_qp_);
+  QTensor y = ws_qtensor(ws, x.shape(), out_qp_);
   constexpr int kVarFrac = 8;  ///< fractional bits of the variance bus
   // Pass 1: per-row integer moments and variance bus codes, so every row's
   // RSQRT streams through the multi-range unit in one batched call.
-  std::vector<std::int64_t> sums(static_cast<std::size_t>(n));
-  std::vector<std::int64_t> w_codes(static_cast<std::size_t>(n));
-  std::vector<int> prenorm(static_cast<std::size_t>(n));
+  // Staging vectors come from the workspace (allocated and released on the
+  // calling thread, outside the fan-outs).
+  std::vector<std::int64_t> sums = ws_i64(ws, static_cast<std::size_t>(n));
+  std::vector<std::int64_t> w_codes = ws_i64(ws, static_cast<std::size_t>(n));
+  std::vector<std::int64_t> prenorm = ws_i64(ws, static_cast<std::size_t>(n));
   pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
     const int i = static_cast<int>(row);
     // Exact integer moments via the D-scaled centering trick:
@@ -309,8 +338,8 @@ QTensor LayerNorm::forward_int(const QTensor& x, const NonlinearProvider& nl,
     w_codes[static_cast<std::size_t>(i)] =
         std::max<std::int64_t>(1, shift_round(w_code, 2 * t));
     prenorm[static_cast<std::size_t>(i)] = t;
-  });
-  std::vector<double> rsqrts(static_cast<std::size_t>(n));
+  }, kMinRowsPerLane);
+  std::vector<double> rsqrts = ws_f64(ws, static_cast<std::size_t>(n));
   nl.rsqrt_fxp_batch(w_codes, kVarFrac, rsqrts);
   // Pass 2: n_d = c'_d/(D·σ_q); y = γ n + β quantized to the output scale.
   pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
@@ -318,24 +347,29 @@ QTensor LayerNorm::forward_int(const QTensor& x, const NonlinearProvider& nl,
     const std::int64_t sum = sums[static_cast<std::size_t>(i)];
     const double inv_sigma_q = std::ldexp(
         rsqrts[static_cast<std::size_t>(i)],
-        -prenorm[static_cast<std::size_t>(i)]);
+        -static_cast<int>(prenorm[static_cast<std::size_t>(i)]));
     for (int d = 0; d < dim_; ++d) {
       const std::int64_t c = static_cast<std::int64_t>(dim_) * x.at(i, d) - sum;
       const double norm = static_cast<double>(c) * inv_sigma_q / dim_;
       const double val = gamma_.at(d) * norm + beta_.at(d);
       y.at(i, d) = static_cast<std::int32_t>(out_qp_.quantize(val));
     }
-  });
+  }, kMinRowsPerLane);
+  ws_release(ws, std::move(sums));
+  ws_release(ws, std::move(w_codes));
+  ws_release(ws, std::move(prenorm));
+  ws_release(ws, std::move(rsqrts));
   return y;
 }
 
 // -------------------------------------------------------------- Softmax ---
 
-Tensor Softmax::forward_fp(const Tensor& rows, ThreadPool* pool) {
+Tensor Softmax::forward_fp(const Tensor& rows, ThreadPool* pool,
+                           Workspace* ws) {
   GQA_EXPECTS(rows.shape().rank() == 2);
   const int n = rows.shape()[0];
   const int m = rows.shape()[1];
-  Tensor y(rows.shape());
+  Tensor y = ws_tensor(ws, rows.shape());
   pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
     const int i = static_cast<int>(row);
     double peak = rows.at(i, 0);
@@ -347,12 +381,12 @@ Tensor Softmax::forward_fp(const Tensor& rows, ThreadPool* pool) {
       sum += e;
     }
     for (int j = 0; j < m; ++j) y.at(i, j) = static_cast<float>(y.at(i, j) / sum);
-  });
+  }, kMinRowsPerLane);
   return y;
 }
 
 QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, Workspace* ws) {
   GQA_EXPECTS(rows.shape().rank() == 2);
   GQA_EXPECTS_MSG(rows.params().scale_is_po2(),
                   "Softmax input scale must be a power of two (§3.1)");
@@ -362,16 +396,20 @@ QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl,
   const int sx = rows.params().po2_exponent();
   const int n = rows.shape()[0];
   const int m = rows.shape()[1];
-  QTensor y(rows.shape(), prob_params());
+  QTensor y = ws_qtensor(ws, rows.shape(), prob_params());
   // exp outputs are exact multiples of 2^(sx - λ); summing then encoding
   // with frac = λ - sx keeps the DIV input bit-exact.
   const int sum_frac = std::min(40, std::max(8, 12 - sx));
   // Row chunks keep the per-lane scratch buffers hoisted out of the row
   // loop (one allocation pair per chunk, as the serial path always had).
+  // Chunks running on pool workers may not touch the workspace, so it is
+  // used only when the fan-out is inline.
+  Workspace* lane_ws = inline_ws(pool, ws);
   pooled_for_chunks(
       pool, static_cast<std::size_t>(n), [&](std::size_t lo, std::size_t hi) {
-        std::vector<std::int64_t> diffs(static_cast<std::size_t>(m));
-        std::vector<double> exps(static_cast<std::size_t>(m));
+        std::vector<std::int64_t> diffs =
+            ws_i64(lane_ws, static_cast<std::size_t>(m));
+        std::vector<double> exps = ws_f64(lane_ws, static_cast<std::size_t>(m));
         for (std::size_t row = lo; row < hi; ++row) {
           const int i = static_cast<int>(row);
           std::int32_t peak = rows.at(i, 0);
@@ -393,14 +431,18 @@ QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl,
             y.at(i, j) = static_cast<std::int32_t>(prob_params().quantize(p));
           }
         }
-      });
+        ws_release(lane_ws, std::move(diffs));
+        ws_release(lane_ws, std::move(exps));
+      },
+      kMinRowsPerLane);
   return y;
 }
 
 // ----------------------------------------------------------- Activation ---
 
-Tensor Activation::forward_fp(const Tensor& x, ThreadPool* pool) const {
-  Tensor y(x.shape());
+Tensor Activation::forward_fp(const Tensor& x, ThreadPool* pool,
+                              Workspace* ws) const {
+  Tensor y = ws_tensor(ws, x.shape());
   // Elementwise op: any contiguous split is exact.
   pooled_for_chunks(pool, x.data().size(),
                     [&](std::size_t lo, std::size_t hi) {
@@ -408,7 +450,8 @@ Tensor Activation::forward_fp(const Tensor& x, ThreadPool* pool) const {
                         y.data()[i] = static_cast<float>(
                             eval_op(op_, static_cast<double>(x.data()[i])));
                       }
-                    });
+                    },
+                    kMinElemsPerLane);
   return y;
 }
 
@@ -429,16 +472,18 @@ QuantParams Activation::freeze(const QuantParams& in_qp,
 }
 
 QTensor Activation::forward_int(const QTensor& x, const NonlinearProvider& nl,
-                                ThreadPool* pool) const {
+                                ThreadPool* pool, Workspace* ws) const {
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int sx = x.params().po2_exponent();
-  QTensor y(x.shape(), out_qp_);
+  QTensor y = ws_qtensor(ws, x.shape(), out_qp_);
   // Batched activation threaded over contiguous slabs: each slab streams
   // through the dense segment table in one span call (batched ==
-  // per-element bit-identical, so any split is exact).
+  // per-element bit-identical, so any split is exact). The staging buffers
+  // are allocated before the fan-out on the calling thread; workers only
+  // write disjoint ranges of them.
   const std::size_t count = x.data().size();
-  std::vector<std::int64_t> codes(count);
-  std::vector<double> vals(count);
+  std::vector<std::int64_t> codes = ws_i64(ws, count);
+  std::vector<double> vals = ws_f64(ws, count);
   pooled_for_chunks(pool, count, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) codes[i] = x.data()[i];
     const std::span<const std::int64_t> in(codes.data() + lo, hi - lo);
@@ -451,22 +496,25 @@ QTensor Activation::forward_int(const QTensor& x, const NonlinearProvider& nl,
     for (std::size_t i = lo; i < hi; ++i) {
       y.data()[i] = static_cast<std::int32_t>(out_qp_.quantize(vals[i]));
     }
-  });
+  }, kMinElemsPerLane);
+  ws_release(ws, std::move(codes));
+  ws_release(ws, std::move(vals));
   return y;
 }
 
 // ---------------------------------------------------------- ResidualAdd ---
 
 Tensor ResidualAdd::forward_fp(const Tensor& a, const Tensor& b,
-                               ThreadPool* pool) const {
+                               ThreadPool* pool, Workspace* ws) const {
   GQA_EXPECTS(a.shape() == b.shape());
-  Tensor y(a.shape());
+  Tensor y = ws_tensor(ws, a.shape());
   pooled_for_chunks(pool, a.data().size(),
                     [&](std::size_t lo, std::size_t hi) {
                       for (std::size_t i = lo; i < hi; ++i) {
                         y.data()[i] = a.data()[i] + b.data()[i];
                       }
-                    });
+                    },
+                    kMinElemsPerLane);
   return y;
 }
 
@@ -489,22 +537,24 @@ QuantParams ResidualAdd::freeze(const QuantParams& a_qp,
 }
 
 QTensor ResidualAdd::forward_int(const QTensor& a, const QTensor& b,
-                                 ThreadPool* pool) const {
+                                 ThreadPool* pool, Workspace* ws) const {
   GQA_EXPECTS(a.shape() == b.shape());
   GQA_EXPECTS_MSG(a.params() == a_qp_,
                   "first operand params differ from freeze()");
   GQA_EXPECTS_MSG(b.params() == b_qp_,
                   "second operand params differ from freeze()");
-  QTensor y(a.shape(), out_qp_);
+  QTensor y = ws_qtensor(ws, a.shape(), out_qp_);
   pooled_for_chunks(
-      pool, a.data().size(), [&](std::size_t lo, std::size_t hi) {
+      pool, a.data().size(),
+      [&](std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) {
           const std::int64_t v =
               rq_a_.apply(a.data()[i]) + rq_b_.apply(b.data()[i]);
           y.data()[i] = static_cast<std::int32_t>(
               saturate(v, out_qp_.bits, out_qp_.is_signed));
         }
-      });
+      },
+      kMinElemsPerLane);
   return y;
 }
 
@@ -528,11 +578,12 @@ AttentionSR::AttentionSR(int dim, int heads, int sr_ratio, Rng& rng)
 namespace {
 
 /// Head-sliced score computation: scores[i,j] = q_i · k_j / sqrt(dh).
-Tensor head_scores(const Tensor& q, const Tensor& k, int head, int dh) {
+Tensor head_scores(const Tensor& q, const Tensor& k, int head, int dh,
+                   Workspace* ws = nullptr) {
   const int n = q.shape()[0];
   const int m = k.shape()[0];
   const double inv = 1.0 / std::sqrt(static_cast<double>(dh));
-  Tensor s(Shape{n, m});
+  Tensor s = ws_tensor(ws, Shape{n, m});
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < m; ++j) {
       double acc = 0.0;
@@ -548,22 +599,33 @@ Tensor head_scores(const Tensor& q, const Tensor& k, int head, int dh) {
 }  // namespace
 
 Tensor AttentionSR::forward_fp(const Tensor& tokens, int h, int w,
-                               ThreadPool* pool) const {
-  const Tensor q = q_lin_.forward_fp(tokens, pool);
-  Tensor kv_src = tokens;
+                               ThreadPool* pool, Workspace* ws) const {
+  Tensor q = q_lin_.forward_fp(tokens, pool, ws);
+  Tensor reduced;
+  const Tensor* kv_src = &tokens;
   if (sr_conv_) {
-    kv_src = to_tokens(sr_conv_->forward_fp(from_tokens(tokens, h, w), pool));
+    Tensor map = from_tokens(tokens, h, w, ws);
+    Tensor conv = sr_conv_->forward_fp(map, pool, ws);
+    ws_release(ws, std::move(map));
+    reduced = to_tokens(conv, ws);
+    ws_release(ws, std::move(conv));
+    kv_src = &reduced;
   }
-  const Tensor k = k_lin_.forward_fp(kv_src, pool);
-  const Tensor v = v_lin_.forward_fp(kv_src, pool);
+  Tensor k = k_lin_.forward_fp(*kv_src, pool, ws);
+  Tensor v = v_lin_.forward_fp(*kv_src, pool, ws);
+  if (sr_conv_) ws_release(ws, std::move(reduced));
   const int n = tokens.shape()[0];
   const int dh = dim_ / heads_;
-  Tensor ctx(Shape{n, dim_});
+  Tensor ctx = ws_tensor(ws, Shape{n, dim_});
   // Heads are independent and write disjoint ctx columns; the per-head work
-  // runs serially inside each lane (parallel_for is not reentrant).
+  // runs serially inside each lane (parallel_for is not reentrant). The
+  // workspace backs per-head scratch only when the fan-out is inline.
+  Workspace* lane_ws = inline_ws(pool, ws);
   pooled_for(pool, static_cast<std::size_t>(heads_), [&](std::size_t hd) {
     const int head = static_cast<int>(hd);
-    const Tensor probs = Softmax::forward_fp(head_scores(q, k, head, dh));
+    Tensor scores = head_scores(q, k, head, dh, lane_ws);
+    Tensor probs = Softmax::forward_fp(scores, nullptr, lane_ws);
+    ws_release(lane_ws, std::move(scores));
     const int m = probs.shape()[1];
     for (int i = 0; i < n; ++i) {
       for (int d = 0; d < dh; ++d) {
@@ -572,8 +634,14 @@ Tensor AttentionSR::forward_fp(const Tensor& tokens, int h, int w,
         ctx.at(i, head * dh + d) = static_cast<float>(acc);
       }
     }
+    ws_release(lane_ws, std::move(probs));
   });
-  return proj_.forward_fp(ctx, pool);
+  ws_release(ws, std::move(q));
+  ws_release(ws, std::move(k));
+  ws_release(ws, std::move(v));
+  Tensor out = proj_.forward_fp(ctx, pool, ws);
+  ws_release(ws, std::move(ctx));
+  return out;
 }
 
 Tensor AttentionSR::calibrate(const Tensor& tokens, int h, int w) {
@@ -626,25 +694,34 @@ QuantParams AttentionSR::freeze(const QuantParams& in_qp,
 
 QTensor AttentionSR::forward_int(const QTensor& tokens, int h, int w,
                                  const NonlinearProvider& nl,
-                                 ThreadPool* pool) const {
-  const QTensor q = q_lin_.forward_int(tokens, pool);
-  QTensor kv_src = tokens;
+                                 ThreadPool* pool, Workspace* ws) const {
+  QTensor q = q_lin_.forward_int(tokens, pool, ws);
+  QTensor reduced;
+  const QTensor* kv_src = &tokens;
   if (sr_conv_) {
-    kv_src = to_tokens(sr_conv_->forward_int(from_tokens(tokens, h, w), pool));
+    QTensor map = from_tokens(tokens, h, w, ws);
+    QTensor conv = sr_conv_->forward_int(map, pool, ws);
+    ws_release(ws, std::move(map));
+    reduced = to_tokens(conv, ws);
+    ws_release(ws, std::move(conv));
+    kv_src = &reduced;
   }
-  const QTensor k = k_lin_.forward_int(kv_src, pool);
-  const QTensor v = v_lin_.forward_int(kv_src, pool);
+  QTensor k = k_lin_.forward_int(*kv_src, pool, ws);
+  QTensor v = v_lin_.forward_int(*kv_src, pool, ws);
   const int n = tokens.shape()[0];
-  const int m = kv_src.shape()[0];
+  const int m = kv_src->shape()[0];
   const int dh = dim_ / heads_;
-  QTensor ctx(Shape{n, dim_}, attn_qp_);
+  if (sr_conv_) ws_release(ws, std::move(reduced));
+  QTensor ctx = ws_qtensor(ws, Shape{n, dim_}, attn_qp_);
   // Heads fan out across the pool: each lane owns its scores/probs buffers
   // and writes a disjoint ctx column block, with the provider's EXP/DIV
-  // units shared concurrently (the caches are thread-safe).
+  // units shared concurrently (the caches are thread-safe). The workspace
+  // backs per-head scratch only when the fan-out is inline.
+  Workspace* lane_ws = inline_ws(pool, ws);
   pooled_for(pool, static_cast<std::size_t>(heads_), [&](std::size_t hd) {
     const int head = static_cast<int>(hd);
     // Integer scores + requant to the po2 Softmax input scale.
-    QTensor scores(Shape{n, m}, score_qp_);
+    QTensor scores = ws_qtensor(lane_ws, Shape{n, m}, score_qp_);
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < m; ++j) {
         std::int64_t acc = 0;
@@ -655,7 +732,8 @@ QTensor AttentionSR::forward_int(const QTensor& tokens, int h, int w,
         scores.at(i, j) = static_cast<std::int32_t>(rq_score_.apply(acc));
       }
     }
-    const QTensor probs = Softmax::forward_int(scores, nl);
+    QTensor probs = Softmax::forward_int(scores, nl, nullptr, lane_ws);
+    ws_release(lane_ws, std::move(scores));
     for (int i = 0; i < n; ++i) {
       for (int d = 0; d < dh; ++d) {
         std::int64_t acc = 0;
@@ -666,8 +744,14 @@ QTensor AttentionSR::forward_int(const QTensor& tokens, int h, int w,
         ctx.at(i, head * dh + d) = static_cast<std::int32_t>(rq_attn_.apply(acc));
       }
     }
+    ws_release(lane_ws, std::move(probs));
   });
-  return proj_.forward_int(ctx, pool);
+  ws_release(ws, std::move(q));
+  ws_release(ws, std::move(k));
+  ws_release(ws, std::move(v));
+  QTensor out = proj_.forward_int(ctx, pool, ws);
+  ws_release(ws, std::move(ctx));
+  return out;
 }
 
 // ------------------------------------------------------ LinearAttention ---
@@ -685,16 +769,16 @@ double relu(double x) { return x > 0.0 ? x : 0.0; }
 
 }  // namespace
 
-Tensor LinearAttention::forward_fp(const Tensor& tokens,
-                                   ThreadPool* pool) const {
-  const Tensor q = q_lin_.forward_fp(tokens, pool);
-  const Tensor k = k_lin_.forward_fp(tokens, pool);
-  const Tensor v = v_lin_.forward_fp(tokens, pool);
+Tensor LinearAttention::forward_fp(const Tensor& tokens, ThreadPool* pool,
+                                   Workspace* ws) const {
+  Tensor q = q_lin_.forward_fp(tokens, pool, ws);
+  Tensor k = k_lin_.forward_fp(tokens, pool, ws);
+  Tensor v = v_lin_.forward_fp(tokens, pool, ws);
   const int n = tokens.shape()[0];
   // kv[c][d] = Σ_n relu(k)·v ; z[c] = Σ_n relu(k). The token reduction is
   // order-sensitive, so it stays serial; rows below are independent.
-  Tensor kv(Shape{dim_, dim_});
-  Tensor z(Shape{dim_});
+  Tensor kv = ws_tensor(ws, Shape{dim_, dim_});
+  Tensor z = ws_tensor(ws, Shape{dim_});
   for (int j = 0; j < n; ++j) {
     for (int c = 0; c < dim_; ++c) {
       const double kc = relu(k.at(j, c));
@@ -703,7 +787,7 @@ Tensor LinearAttention::forward_fp(const Tensor& tokens,
       for (int d = 0; d < dim_; ++d) kv.at(c, d) += static_cast<float>(kc * v.at(j, d));
     }
   }
-  Tensor out(Shape{n, dim_});
+  Tensor out = ws_tensor(ws, Shape{n, dim_});
   pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
     const int i = static_cast<int>(row);
     double den = 1e-6;
@@ -714,8 +798,15 @@ Tensor LinearAttention::forward_fp(const Tensor& tokens,
       for (int c = 0; c < dim_; ++c) num += relu(q.at(i, c)) * kv.at(c, d);
       out.at(i, d) = static_cast<float>(num * inv);
     }
-  });
-  return proj_.forward_fp(out, pool);
+  }, kMinRowsPerLane);
+  ws_release(ws, std::move(q));
+  ws_release(ws, std::move(k));
+  ws_release(ws, std::move(v));
+  ws_release(ws, std::move(kv));
+  ws_release(ws, std::move(z));
+  Tensor y = proj_.forward_fp(out, pool, ws);
+  ws_release(ws, std::move(out));
+  return y;
 }
 
 Tensor LinearAttention::calibrate(const Tensor& tokens) {
@@ -765,18 +856,18 @@ QuantParams LinearAttention::freeze(const QuantParams& in_qp,
 
 QTensor LinearAttention::forward_int(const QTensor& tokens,
                                      const NonlinearProvider& nl,
-                                     ThreadPool* pool) const {
-  const QTensor q = q_lin_.forward_int(tokens, pool);
-  const QTensor k = k_lin_.forward_int(tokens, pool);
-  const QTensor v = v_lin_.forward_int(tokens, pool);
+                                     ThreadPool* pool, Workspace* ws) const {
+  QTensor q = q_lin_.forward_int(tokens, pool, ws);
+  QTensor k = k_lin_.forward_int(tokens, pool, ws);
+  QTensor v = v_lin_.forward_int(tokens, pool, ws);
   const int n = tokens.shape()[0];
   const double sq = q.params().scale;
   const double sk = k.params().scale;
   const double sv = v.params().scale;
 
   // Integer relu is a clamp at zero (symmetric scales preserve zero).
-  std::vector<std::int64_t> kv(static_cast<std::size_t>(dim_) * dim_, 0);
-  std::vector<std::int64_t> z(static_cast<std::size_t>(dim_), 0);
+  std::vector<std::int64_t> kv = ws_i64(ws, static_cast<std::size_t>(dim_) * dim_);
+  std::vector<std::int64_t> z = ws_i64(ws, static_cast<std::size_t>(dim_));
   for (int j = 0; j < n; ++j) {
     for (int c = 0; c < dim_; ++c) {
       const std::int64_t kc = std::max<std::int64_t>(0, k.at(j, c));
@@ -789,7 +880,7 @@ QTensor LinearAttention::forward_int(const QTensor& tokens,
   }
 
   constexpr int kDenFrac = 16;
-  QTensor out(Shape{n, dim_}, out_qp_);
+  QTensor out = ws_qtensor(ws, Shape{n, dim_}, out_qp_);
   pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
     const int i = static_cast<int>(row);
     std::int64_t den_acc = 0;
@@ -813,8 +904,15 @@ QTensor LinearAttention::forward_int(const QTensor& tokens,
       const double value = static_cast<double>(num_acc) * sq * sk * sv * inv;
       out.at(i, d) = static_cast<std::int32_t>(out_qp_.quantize(value));
     }
-  });
-  return proj_.forward_int(out, pool);
+  }, kMinRowsPerLane);
+  ws_release(ws, std::move(q));
+  ws_release(ws, std::move(k));
+  ws_release(ws, std::move(v));
+  ws_release(ws, std::move(kv));
+  ws_release(ws, std::move(z));
+  QTensor y = proj_.forward_int(out, pool, ws);
+  ws_release(ws, std::move(out));
+  return y;
 }
 
 // --------------------------------------------------------------- MixFfn ---
@@ -828,11 +926,19 @@ MixFfn::MixFfn(int dim, int hidden, Rng& rng)
 }
 
 Tensor MixFfn::forward_fp(const Tensor& tokens, int h, int w,
-                          ThreadPool* pool) const {
-  Tensor x = fc1_.forward_fp(tokens, pool);
-  x = to_tokens(dw_.forward_fp(from_tokens(x, h, w), pool));
-  x = act_.forward_fp(x, pool);
-  return fc2_.forward_fp(x, pool);
+                          ThreadPool* pool, Workspace* ws) const {
+  Tensor x = fc1_.forward_fp(tokens, pool, ws);
+  Tensor map = from_tokens(x, h, w, ws);
+  ws_release(ws, std::move(x));
+  Tensor conv = dw_.forward_fp(map, pool, ws);
+  ws_release(ws, std::move(map));
+  Tensor tok = to_tokens(conv, ws);
+  ws_release(ws, std::move(conv));
+  Tensor act = act_.forward_fp(tok, pool, ws);
+  ws_release(ws, std::move(tok));
+  Tensor y = fc2_.forward_fp(act, pool, ws);
+  ws_release(ws, std::move(act));
+  return y;
 }
 
 Tensor MixFfn::calibrate(const Tensor& tokens, int h, int w) {
@@ -852,11 +958,19 @@ QuantParams MixFfn::freeze(const QuantParams& in_qp,
 
 QTensor MixFfn::forward_int(const QTensor& tokens, int h, int w,
                             const NonlinearProvider& nl,
-                            ThreadPool* pool) const {
-  QTensor x = fc1_.forward_int(tokens, pool);
-  x = to_tokens(dw_.forward_int(from_tokens(x, h, w), pool));
-  x = act_.forward_int(x, nl, pool);
-  return fc2_.forward_int(x, pool);
+                            ThreadPool* pool, Workspace* ws) const {
+  QTensor x = fc1_.forward_int(tokens, pool, ws);
+  QTensor map = from_tokens(x, h, w, ws);
+  ws_release(ws, std::move(x));
+  QTensor conv = dw_.forward_int(map, pool, ws);
+  ws_release(ws, std::move(map));
+  QTensor tok = to_tokens(conv, ws);
+  ws_release(ws, std::move(conv));
+  QTensor act = act_.forward_int(tok, nl, pool, ws);
+  ws_release(ws, std::move(tok));
+  QTensor y = fc2_.forward_int(act, pool, ws);
+  ws_release(ws, std::move(act));
+  return y;
 }
 
 // --------------------------------------------------------------- MbConv ---
@@ -872,11 +986,21 @@ MbConv::MbConv(int in_ch, int out_ch, int expand, int stride, Rng& rng)
   dw_.set_po2_output(true);
 }
 
-Tensor MbConv::forward_fp(const Tensor& x, ThreadPool* pool) const {
-  Tensor y = act1_.forward_fp(expand_.forward_fp(x, pool), pool);
-  y = act2_.forward_fp(dw_.forward_fp(y, pool), pool);
-  y = project_.forward_fp(y, pool);
-  return residual_ ? add_.forward_fp(y, x, pool) : y;
+Tensor MbConv::forward_fp(const Tensor& x, ThreadPool* pool,
+                          Workspace* ws) const {
+  Tensor t = expand_.forward_fp(x, pool, ws);
+  Tensor y = act1_.forward_fp(t, pool, ws);
+  ws_release(ws, std::move(t));
+  t = dw_.forward_fp(y, pool, ws);
+  ws_release(ws, std::move(y));
+  y = act2_.forward_fp(t, pool, ws);
+  ws_release(ws, std::move(t));
+  t = project_.forward_fp(y, pool, ws);
+  ws_release(ws, std::move(y));
+  if (!residual_) return t;
+  Tensor out = add_.forward_fp(t, x, pool, ws);
+  ws_release(ws, std::move(t));
+  return out;
 }
 
 Tensor MbConv::calibrate(const Tensor& x) {
@@ -897,11 +1021,20 @@ QuantParams MbConv::freeze(const QuantParams& in_qp,
 }
 
 QTensor MbConv::forward_int(const QTensor& x, const NonlinearProvider& nl,
-                            ThreadPool* pool) const {
-  QTensor y = act1_.forward_int(expand_.forward_int(x, pool), nl, pool);
-  y = act2_.forward_int(dw_.forward_int(y, pool), nl, pool);
-  y = project_.forward_int(y, pool);
-  return residual_ ? add_.forward_int(y, x, pool) : y;
+                            ThreadPool* pool, Workspace* ws) const {
+  QTensor t = expand_.forward_int(x, pool, ws);
+  QTensor y = act1_.forward_int(t, nl, pool, ws);
+  ws_release(ws, std::move(t));
+  t = dw_.forward_int(y, pool, ws);
+  ws_release(ws, std::move(y));
+  y = act2_.forward_int(t, nl, pool, ws);
+  ws_release(ws, std::move(t));
+  t = project_.forward_int(y, pool, ws);
+  ws_release(ws, std::move(y));
+  if (!residual_) return t;
+  QTensor out = add_.forward_int(t, x, pool, ws);
+  ws_release(ws, std::move(t));
+  return out;
 }
 
 }  // namespace gqa::tfm

@@ -57,6 +57,30 @@ void NonlinearProvider::warm_up(const std::set<Op>& ops,
                                 const std::vector<int>& scale_exps) const {
   std::lock_guard<std::mutex> lock(cache_mutex_);  // serializes warm-ups
   const WarmTier* current = warm_.load(std::memory_order_acquire);
+  // Fast path for repeated warm-ups (the engine warms per dispatch): when
+  // every requested unit is already in the published tier, skip the
+  // snapshot copy entirely.
+  const auto missing_from = [&](const WarmTier& tier) {
+    for (Op op : ops) {
+      if (!replaces(op)) continue;
+      if (!op_info(op).scale_dependent) {
+        if (tier.multirange.find(static_cast<int>(op)) ==
+            tier.multirange.end()) {
+          return true;
+        }
+        continue;
+      }
+      for (int e : scale_exps) {
+        if (tier.units.find(std::make_pair(static_cast<int>(op), e)) ==
+            tier.units.end()) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  if (current != nullptr && !missing_from(*current)) return;
+
   auto next = std::make_unique<WarmTier>(current ? *current : WarmTier{});
   bool grew = false;
   for (Op op : ops) {

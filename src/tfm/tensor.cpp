@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tfm/workspace.h"
 #include "util/strings.h"
 
 namespace gqa::tfm {
@@ -48,16 +49,16 @@ Tensor QTensor::dequantize() const {
 namespace {
 
 template <typename T>
-T tokens_impl(const T& chw) {
+T tokens_impl(const T& chw, Workspace* ws) {
   GQA_EXPECTS(chw.shape().rank() == 3);
   const int c = chw.shape()[0];
   const int h = chw.shape()[1];
   const int w = chw.shape()[2];
   T out = [&] {
     if constexpr (std::is_same_v<T, QTensor>) {
-      return QTensor(Shape{h * w, c}, chw.params());
+      return ws_qtensor(ws, Shape{h * w, c}, chw.params());
     } else {
-      return Tensor(Shape{h * w, c});
+      return ws_tensor(ws, Shape{h * w, c});
     }
   }();
   for (int ch = 0; ch < c; ++ch) {
@@ -71,15 +72,15 @@ T tokens_impl(const T& chw) {
 }
 
 template <typename T>
-T from_tokens_impl(const T& tokens, int h, int w) {
+T from_tokens_impl(const T& tokens, int h, int w, Workspace* ws) {
   GQA_EXPECTS(tokens.shape().rank() == 2);
   GQA_EXPECTS(tokens.shape()[0] == h * w);
   const int c = tokens.shape()[1];
   T out = [&] {
     if constexpr (std::is_same_v<T, QTensor>) {
-      return QTensor(Shape{c, h, w}, tokens.params());
+      return ws_qtensor(ws, Shape{c, h, w}, tokens.params());
     } else {
-      return Tensor(Shape{c, h, w});
+      return ws_tensor(ws, Shape{c, h, w});
     }
   }();
   for (int ch = 0; ch < c; ++ch) {
@@ -92,15 +93,46 @@ T from_tokens_impl(const T& tokens, int h, int w) {
   return out;
 }
 
+template <typename T>
+std::vector<int> argmax_impl(const T& logits) {
+  GQA_EXPECTS(logits.shape().rank() == 3);
+  const int c = logits.shape()[0];
+  const int h = logits.shape()[1];
+  const int w = logits.shape()[2];
+  std::vector<int> labels(static_cast<std::size_t>(h) * w);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      int best = 0;
+      for (int ch = 1; ch < c; ++ch) {
+        if (logits.at(ch, y, x) > logits.at(best, y, x)) best = ch;
+      }
+      labels[static_cast<std::size_t>(y) * w + x] = best;
+    }
+  }
+  return labels;
+}
+
 }  // namespace
 
-Tensor to_tokens(const Tensor& chw) { return tokens_impl(chw); }
-Tensor from_tokens(const Tensor& tokens, int h, int w) {
-  return from_tokens_impl(tokens, h, w);
+std::vector<int> argmax_label_map(const Tensor& logits) {
+  return argmax_impl(logits);
 }
-QTensor to_tokens(const QTensor& chw) { return tokens_impl(chw); }
-QTensor from_tokens(const QTensor& tokens, int h, int w) {
-  return from_tokens_impl(tokens, h, w);
+
+std::vector<int> argmax_label_map(const QTensor& logits) {
+  return argmax_impl(logits);
+}
+
+Tensor to_tokens(const Tensor& chw, Workspace* ws) {
+  return tokens_impl(chw, ws);
+}
+Tensor from_tokens(const Tensor& tokens, int h, int w, Workspace* ws) {
+  return from_tokens_impl(tokens, h, w, ws);
+}
+QTensor to_tokens(const QTensor& chw, Workspace* ws) {
+  return tokens_impl(chw, ws);
+}
+QTensor from_tokens(const QTensor& tokens, int h, int w, Workspace* ws) {
+  return from_tokens_impl(tokens, h, w, ws);
 }
 
 }  // namespace gqa::tfm

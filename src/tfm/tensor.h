@@ -41,6 +41,12 @@ class Tensor {
   explicit Tensor(Shape shape)
       : shape_(std::move(shape)),
         data_(static_cast<std::size_t>(shape_.numel()), 0.0F) {}
+  /// Adopts pre-sized storage (workspace reuse); `storage` must already
+  /// hold exactly numel() elements.
+  Tensor(Shape shape, std::vector<float>&& storage)
+      : shape_(std::move(shape)), data_(std::move(storage)) {
+    GQA_EXPECTS(static_cast<std::int64_t>(data_.size()) == shape_.numel());
+  }
 
   [[nodiscard]] static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
   /// He/Xavier-style normal init with the given stddev.
@@ -63,6 +69,13 @@ class Tensor {
 
   /// Largest absolute value (calibration helper).
   [[nodiscard]] double amax() const;
+
+  /// Moves the storage out for workspace recycling; the tensor is left
+  /// empty (rank-0, no data).
+  [[nodiscard]] std::vector<float> take_storage() && {
+    shape_ = Shape{};
+    return std::move(data_);
+  }
 
  private:
   [[nodiscard]] std::size_t idx1(int i) const {
@@ -95,6 +108,12 @@ class QTensor {
       : shape_(std::move(shape)),
         qp_(qp),
         data_(static_cast<std::size_t>(shape_.numel()), 0) {}
+  /// Adopts pre-sized storage (workspace reuse); `storage` must already
+  /// hold exactly numel() elements.
+  QTensor(Shape shape, QuantParams qp, std::vector<std::int32_t>&& storage)
+      : shape_(std::move(shape)), qp_(qp), data_(std::move(storage)) {
+    GQA_EXPECTS(static_cast<std::int64_t>(data_.size()) == shape_.numel());
+  }
 
   /// Quantizes a float tensor (Eq. 2).
   [[nodiscard]] static QTensor quantize(const Tensor& values,
@@ -125,16 +144,33 @@ class QTensor {
     return data_[(static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k];
   }
 
+  /// Moves the storage out for workspace recycling; the tensor is left
+  /// empty (rank-0, no data).
+  [[nodiscard]] std::vector<std::int32_t> take_storage() && {
+    shape_ = Shape{};
+    return std::move(data_);
+  }
+
  private:
   Shape shape_;
   QuantParams qp_;
   std::vector<std::int32_t> data_;
 };
 
-/// {C,H,W} feature map <-> {H*W, C} token matrix.
-[[nodiscard]] Tensor to_tokens(const Tensor& chw);
-[[nodiscard]] Tensor from_tokens(const Tensor& tokens, int h, int w);
-[[nodiscard]] QTensor to_tokens(const QTensor& chw);
-[[nodiscard]] QTensor from_tokens(const QTensor& tokens, int h, int w);
+class Workspace;
+
+/// Per-pixel argmax labels of a logits map {C, h, w} (ties keep the lowest
+/// class id). Shared by the model-specific `ModelT::argmax_labels` statics.
+[[nodiscard]] std::vector<int> argmax_label_map(const Tensor& logits);
+[[nodiscard]] std::vector<int> argmax_label_map(const QTensor& logits);
+
+/// {C,H,W} feature map <-> {H*W, C} token matrix. A non-null Workspace
+/// backs the result with pooled storage (results are bit-identical).
+[[nodiscard]] Tensor to_tokens(const Tensor& chw, Workspace* ws = nullptr);
+[[nodiscard]] Tensor from_tokens(const Tensor& tokens, int h, int w,
+                                 Workspace* ws = nullptr);
+[[nodiscard]] QTensor to_tokens(const QTensor& chw, Workspace* ws = nullptr);
+[[nodiscard]] QTensor from_tokens(const QTensor& tokens, int h, int w,
+                                  Workspace* ws = nullptr);
 
 }  // namespace gqa::tfm

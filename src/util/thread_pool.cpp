@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.h"
+#include "util/env.h"
 
 namespace gqa {
 
@@ -91,8 +92,12 @@ void ThreadPool::parallel_for(std::size_t count,
 }
 
 void pooled_for(ThreadPool* pool, std::size_t count,
-                const std::function<void(std::size_t)>& fn) {
-  if (pool == nullptr || pool->size() <= 1 || count <= 1) {
+                const std::function<void(std::size_t)>& fn,
+                std::size_t min_per_lane) {
+  const std::size_t lanes =
+      pool == nullptr ? 1 : static_cast<std::size_t>(pool->size());
+  if (lanes <= 1 || count <= 1 ||
+      (min_per_lane > 1 && count / lanes < min_per_lane)) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -101,10 +106,14 @@ void pooled_for(ThreadPool* pool, std::size_t count,
 
 void pooled_for_chunks(
     ThreadPool* pool, std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t min_per_lane) {
   if (count == 0) return;
-  const std::size_t lanes =
+  std::size_t lanes =
       pool == nullptr ? 1 : static_cast<std::size_t>(pool->size());
+  // Below the granularity floor the whole range is one inline chunk: the
+  // per-task work would be too small to amortize pool dispatch.
+  if (min_per_lane > 1 && count / lanes < min_per_lane) lanes = 1;
   // A few chunks per lane keeps the dynamic index handout balanced without
   // paying per-index overhead.
   const std::size_t target = std::min(count, lanes <= 1 ? 1 : 4 * lanes);
@@ -113,10 +122,25 @@ void pooled_for_chunks(
   // sized chunks can cover count in fewer than `target` pieces, and a
   // trailing empty chunk must never reach fn with lo > count.
   const std::size_t chunks = (count + per - 1) / per;
-  pooled_for(pool, chunks, [&](std::size_t c) {
+  pooled_for(lanes <= 1 ? nullptr : pool, chunks, [&](std::size_t c) {
     const std::size_t lo = c * per;
     fn(lo, std::min(count, lo + per));
   });
+}
+
+int global_pool_threads() {
+  const std::int64_t requested = env_int("GQA_NUM_THREADS", 0);
+  if (requested >= 1) return static_cast<int>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& global_pool() {
+  // Function-local static: created thread-safely on first use, joined at
+  // process exit. The env var is read once — resizing a live pool is not
+  // supported (engine callers wanting a specific lane count own a pool).
+  static ThreadPool pool(global_pool_threads());
+  return pool;
 }
 
 }  // namespace gqa

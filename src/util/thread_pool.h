@@ -60,16 +60,36 @@ class ThreadPool {
 /// Runs fn(i) for every i in [0, count): serially when `pool` is null or
 /// single-lane, through the pool otherwise. Callers guarantee each index
 /// writes disjoint output slots, so both paths are bit-identical.
+///
+/// `min_per_lane` is the granularity floor: fan-out is skipped (the loop
+/// runs inline on the caller) when count / lanes < min_per_lane, so cheap
+/// per-index bodies can never be slower than serial just from dispatch
+/// overhead. The default of 1 keeps the historical always-fan-out
+/// behaviour for heavy bodies (GA fitness, per-scale sweeps).
 void pooled_for(ThreadPool* pool, std::size_t count,
-                const std::function<void(std::size_t)>& fn);
+                const std::function<void(std::size_t)>& fn,
+                std::size_t min_per_lane = 1);
 
 /// Splits [0, count) into contiguous chunks (a few per lane; one chunk when
 /// serial) and runs fn(lo, hi) per chunk. For elementwise work this lets
 /// per-chunk scratch buffers be allocated once per chunk instead of once
 /// per index; chunk boundaries depend only on (count, lane count), never on
-/// scheduling, so results stay deterministic.
+/// scheduling, so results stay deterministic. `min_per_lane` is the same
+/// granularity floor as pooled_for, counted in elements: below it the whole
+/// range runs as one inline chunk.
 void pooled_for_chunks(
     ThreadPool* pool, std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& fn);
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t min_per_lane = 1);
+
+/// Lazily-created process-wide pool for scene-batched serving, sized by the
+/// GQA_NUM_THREADS environment variable (default: hardware concurrency).
+/// Created on first use and reused for the lifetime of the process, so
+/// repeated engine dispatches never pay thread spawn/join costs.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// The lane count global_pool() has (or will have): GQA_NUM_THREADS when
+/// set and >= 1, otherwise std::thread::hardware_concurrency().
+[[nodiscard]] int global_pool_threads();
 
 }  // namespace gqa

@@ -1,23 +1,29 @@
 // Emits the repo's perf-trajectory artifacts BENCH_fit.json,
-// BENCH_kernel.json, and BENCH_model.json: deterministic wall-clock
-// comparisons of the performance engine against the seed-equivalent paths.
+// BENCH_kernel.json, BENCH_model.json, and BENCH_serve.json: deterministic
+// wall-clock comparisons of the performance engine against the
+// seed-equivalent paths.
 //
 //   fit    — GQA-LUT fitting with the deployed-mean objective: seed serial
 //            per-code scan vs prefix-sum objective + memoized, 4-thread GA.
 //   kernel — per-code provider/unit evaluation vs the batched span APIs.
 //   model  — table4/table5-style end-to-end forward passes (SegFormer and
 //            EfficientViT, int + fp), serial vs threaded pool.
+//   serve  — scene-batched InferenceEngine (images/s) vs the serial
+//            per-image loop, with a bit-identity checksum gate.
 //
 // Usage: bench_to_json [output_dir]   (default: current directory)
 // Knobs: GQA_BENCH_GENERATIONS (default 200) bounds the fit comparison;
 //        GQA_BENCH_REPS (default 3) repetitions, best run kept;
-//        GQA_BENCH_THREADS (default 4) lanes for the threaded forwards.
+//        GQA_BENCH_THREADS (default 4) lanes for the threaded forwards;
+//        GQA_SERVE_SCENES (default 12) images per serving dispatch.
 #include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/approximator.h"
+#include "eval/engine.h"
+#include "eval/scene.h"
 #include "gqa/gqa_lut.h"
 #include "gqa/objective.h"
 #include "tfm/models/efficientvit.h"
@@ -270,6 +276,120 @@ Json model_report(int reps) {
   return j;
 }
 
+/// Scene-batched serving vs the seed-equivalent serial loop. Engine(1)
+/// isolates workspace reuse (same dispatch order, no threads); the wide
+/// row adds image-level parallelism across the process pool. A checksum
+/// mismatch marks bit_identical=false, which the smoke gate rejects.
+template <typename ModelT>
+Json serve_section(const ModelT& model, const tfm::NonlinearProvider& nl,
+                   const std::vector<tfm::Tensor>& images, int reps) {
+  const double n = static_cast<double>(images.size());
+  const auto checksum = [](const std::vector<tfm::QTensor>& logits) {
+    std::int64_t sum = 0;
+    for (const tfm::QTensor& t : logits) {
+      for (std::int32_t v : t.data()) sum += v;
+    }
+    return sum;
+  };
+
+  EngineOptions one;
+  one.num_threads = 1;
+  const InferenceEngine engine1(one);
+  const InferenceEngine wide;  // persistent process pool
+
+  // Interleave rounds (serial, engine(1), engine(N)) and compare MEDIANS:
+  // on a shared box one variant can catch a single abnormally fast or slow
+  // window, which best-of would hand to whichever variant got lucky, while
+  // alternating rounds give every variant the same drift exposure and the
+  // median ignores the bursts. Serving rounds are cheap, so a higher round
+  // floor than the other reports keeps the committed ratios stable.
+  std::vector<tfm::QTensor> serial, batched1, batchedw;
+  std::vector<double> serial_rounds, engine1_rounds, wide_rounds;
+  for (int rep = 0; rep < std::max(reps, 9); ++rep) {
+    serial_rounds.push_back(time_best_ms(1, [&] {
+      serial.clear();
+      for (const tfm::Tensor& img : images) {
+        serial.push_back(model.forward_int(img, nl));
+      }
+    }));
+    engine1_rounds.push_back(time_best_ms(1, [&] {
+      batched1 = engine1.forward_int(model, images, nl);
+    }));
+    wide_rounds.push_back(time_best_ms(1, [&] {
+      batchedw = wide.forward_int(model, images, nl);
+    }));
+  }
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  // Speedups come from PAIRED rounds: each round's serial and engine runs
+  // are adjacent in time, so their ratio cancels the slow clock drift that
+  // independent medians still absorb on a shared box.
+  std::vector<double> engine1_ratio, wide_ratio;
+  for (std::size_t i = 0; i < serial_rounds.size(); ++i) {
+    engine1_ratio.push_back(serial_rounds[i] / engine1_rounds[i]);
+    wide_ratio.push_back(serial_rounds[i] / wide_rounds[i]);
+  }
+  const double serial_ms = median(serial_rounds);
+  const double engine1_speedup = median(engine1_ratio);
+  const double wide_speedup = median(wide_ratio);
+  const bool identical = checksum(serial) == checksum(batched1) &&
+                         checksum(serial) == checksum(batchedw);
+
+  // Engine throughputs are reported relative to the paired-round serial
+  // baseline (serial median x paired speedup), so every number reflects
+  // the drift-cancelled comparison.
+  const double serial_ips = n / (serial_ms * 1e-3);
+  Json j = Json::object();
+  j["scenes"] = Json(static_cast<int>(images.size()));
+  j["threads"] = Json(wide.threads());
+  j["serial_images_per_s"] = Json(serial_ips);
+  j["engine1_images_per_s"] = Json(serial_ips * engine1_speedup);
+  j["engine_wide_images_per_s"] = Json(serial_ips * wide_speedup);
+  j["engine1_speedup"] = Json(engine1_speedup);
+  j["engine_wide_speedup"] = Json(wide_speedup);
+  j["logit_code_checksum"] = Json(static_cast<double>(checksum(serial)));
+  j["bit_identical"] = Json(identical);
+  return j;
+}
+
+Json serve_report(int reps, bool& bit_identical) {
+  // Full default (B0-like) model sizes at 64x64: the deployment shape, and
+  // the regime where activation buffers are big enough for the workspace
+  // reuse to beat the allocator instead of measuring scheduler noise.
+  const int scenes = static_cast<int>(env_int("GQA_SERVE_SCENES", 12));
+  SceneOptions scene;
+  scene.size = 64;
+  std::vector<tfm::Tensor> images;
+  for (const LabeledScene& s : make_scene_set(scene, scenes, 0x5E21)) {
+    images.push_back(s.image);
+  }
+
+  Json j = Json::object();
+  j["bench"] = Json("serve");
+  {
+    tfm::SegformerB0Like model;
+    model.calibrate(images.front());
+    model.freeze();
+    const auto nl = tfm::NonlinearProvider::with_method(
+        Method::kGqaRm, {Op::kExp, Op::kGelu, Op::kDiv, Op::kRsqrt});
+    j["segformer"] = serve_section(model, nl, images, reps);
+    bit_identical = bit_identical && j["segformer"]["bit_identical"].as_bool();
+  }
+  {
+    tfm::EfficientViTB0Like model;
+    model.calibrate(images.front());
+    model.freeze();
+    const auto nl = tfm::NonlinearProvider::with_method(
+        Method::kGqaRm, {Op::kHswish, Op::kDiv});
+    j["efficientvit"] = serve_section(model, nl, images, reps);
+    bit_identical =
+        bit_identical && j["efficientvit"]["bit_identical"].as_bool();
+  }
+  return j;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -287,6 +407,17 @@ int main(int argc, char** argv) {
     const Json model = model_report(reps);
     write_file(out_dir + "/BENCH_model.json", model.dump() + "\n");
     std::printf("%s\n", model.dump().c_str());
+
+    bool serve_identical = true;
+    const Json serve = serve_report(reps, serve_identical);
+    write_file(out_dir + "/BENCH_serve.json", serve.dump() + "\n");
+    std::printf("%s\n", serve.dump().c_str());
+    if (!serve_identical) {
+      std::fprintf(stderr,
+                   "bench_to_json: serving engine diverged from the serial "
+                   "loop (bit_identical=false)\n");
+      return 1;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_to_json: %s\n", e.what());
     return 1;
