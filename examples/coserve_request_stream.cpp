@@ -1,0 +1,115 @@
+// Request-stream co-serving demo: both reproduction models registered on
+// one async gqa::Server (eval/server.h), sharing the process-wide pool and
+// a single pre-warmed NonlinearProvider whose replaced-op set is the union
+// of the two model inventories. A mixed stream of requests is submitted
+// asynchronously; the client polls tickets while "doing other work", then
+// collects results in ticket order and cross-checks them against serial
+// per-image forwards (they are bit-identical by contract).
+//
+// Env knobs: GQA_NUM_THREADS service lanes (default: hardware
+//            concurrency), GQA_SERVE_SCENES images per model (default 4),
+//            GQA_SERVER_QUEUE admission-queue capacity (default 8).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "eval/scene.h"
+#include "eval/server.h"
+#include "tfm/models/efficientvit.h"
+#include "tfm/models/segformer.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace gqa;
+
+  const int scenes = static_cast<int>(env_int("GQA_SERVE_SCENES", 4));
+  SceneOptions scene_options;
+  scene_options.size = 64;
+  std::vector<tfm::Tensor> images;
+  for (const LabeledScene& s : make_scene_set(scene_options, scenes, 0xC0)) {
+    images.push_back(s.image);
+  }
+
+  std::printf("Freezing both deployment models...\n");
+  Timer prep;
+  tfm::SegformerB0Like segformer;
+  segformer.calibrate(images.front());
+  segformer.freeze();
+  tfm::EfficientViTB0Like efficientvit;
+  efficientvit.calibrate(images.front());
+  efficientvit.freeze();
+  // One provider backs both models: EXP/GELU/DIV/RSQRT for SegFormer,
+  // HSWISH/DIV for EfficientViT — the union is warmed once, shared by all.
+  const auto nl = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm,
+      {Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt});
+  std::printf("ready in %.1fs\n\n", prep.seconds());
+
+  ServerOptions options;  // num_threads=0: the process-wide pool
+  options.queue_capacity =
+      static_cast<std::size_t>(env_int("GQA_SERVER_QUEUE", 8));
+  Server server(nl, options);
+  const int seg_id = server.register_model(segformer, "segformer");
+  const int evit_id = server.register_model(efficientvit, "efficientvit");
+  std::printf("server up: %d lane(s), queue capacity %zu, %zu models\n",
+              server.lanes(), options.queue_capacity, server.model_count());
+
+  // Submit the mixed stream asynchronously; submit() blocks only if the
+  // bounded admission queue fills (backpressure), try_submit() would shed
+  // load instead.
+  Timer serve_timer;
+  std::vector<Server::Ticket> tickets;
+  std::vector<const char*> kinds;
+  for (const tfm::Tensor& img : images) {
+    tickets.push_back(server.submit(seg_id, img));
+    kinds.push_back("segformer  ");
+    tickets.push_back(server.submit(evit_id, img));
+    kinds.push_back("efficientvit");
+  }
+  std::printf("submitted %zu requests; polling while they serve...\n",
+              tickets.size());
+
+  // The async client's loop: check readiness without blocking.
+  std::size_t ready = 0;
+  while (ready < tickets.size()) {
+    ready = 0;
+    for (const Server::Ticket t : tickets) {
+      if (server.poll(t) == TicketStatus::kReady) ++ready;
+    }
+    std::this_thread::yield();  // "other work" would go here
+  }
+
+  // Ticket-order collection delivers results in submission order no matter
+  // which lane finished which request first.
+  bool all_identical = true;
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const tfm::QTensor logits = server.wait(tickets[i]);
+    const tfm::Tensor& img = images[i / 2];
+    const tfm::QTensor serial =
+        i % 2 == 0 ? segformer.forward_int(img, nl)
+                   : efficientvit.forward_int(img, nl);
+    const bool identical = logits.data() == serial.data();
+    all_identical = all_identical && identical;
+    std::int64_t sum = 0;
+    for (std::int32_t v : logits.data()) sum += v;
+    std::printf("  ticket %2llu  %s  logit-checksum %10lld  %s\n",
+                static_cast<unsigned long long>(tickets[i]), kinds[i],
+                static_cast<long long>(sum),
+                identical ? "== serial" : "DIVERGED");
+  }
+
+  const Server::Stats stats = server.stats();
+  std::printf("\nserved %llu requests in %.1fms across %llu batch(es) "
+              "on %d lane(s)\n",
+              static_cast<unsigned long long>(stats.completed),
+              serve_timer.milliseconds(),
+              static_cast<unsigned long long>(stats.batches), server.lanes());
+  server.shutdown();
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: served results diverged from the serial forwards\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Compiled copies of the README's C++ code blocks.
+//
+// tools/check_docs_freshness.sh (run by ctest and CI) verifies that every
+// line of every ```cpp fence in README.md appears verbatim in this file —
+// and this file builds with the library — so the README's serving snippets
+// can never silently rot when an API changes. Edit the README and this
+// file together.
+#include <cstdio>
+#include <vector>
+
+#include "eval/engine.h"
+#include "eval/scene.h"
+#include "eval/server.h"
+#include "tfm/models/efficientvit.h"
+#include "tfm/models/segformer.h"
+
+namespace {
+
+// Reduced model slices so running the snippets stays instant; the README
+// text is about the API shape, not the deployment-size numbers.
+gqa::tfm::SegformerB0Like tiny_segformer(const gqa::tfm::Tensor& calib) {
+  gqa::tfm::SegformerConfig cfg;
+  cfg.image_size = 32;
+  cfg.num_classes = 5;
+  cfg.dims = {8, 16, 16, 16};
+  cfg.heads = {1, 2, 2, 2};
+  cfg.sr_ratios = {4, 2, 1, 1};
+  cfg.depths = {1, 1, 1, 1};
+  cfg.decoder_dim = 16;
+  gqa::tfm::SegformerB0Like model(cfg);
+  model.calibrate(calib);
+  model.freeze();
+  return model;
+}
+
+gqa::tfm::EfficientViTB0Like tiny_efficientvit(const gqa::tfm::Tensor& calib) {
+  gqa::tfm::EfficientViTConfig cfg;
+  cfg.image_size = 32;
+  cfg.num_classes = 5;
+  cfg.widths = {8, 12, 16, 24};
+  cfg.expand = 2;
+  cfg.head_dim = 24;
+  gqa::tfm::EfficientViTB0Like model(cfg);
+  model.calibrate(calib);
+  model.freeze();
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gqa;
+
+  SceneOptions scene;
+  scene.size = 32;
+  std::vector<tfm::Tensor> images;
+  for (const LabeledScene& s : make_scene_set(scene, 3, 0xD0C5)) {
+    images.push_back(s.image);
+  }
+  const tfm::Tensor image = images.front();
+  const tfm::SegformerB0Like segformer = tiny_segformer(image);
+  const tfm::EfficientViTB0Like efficientvit = tiny_efficientvit(image);
+  const tfm::SegformerB0Like& model = segformer;
+  const auto nl = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm,
+      {Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt});
+
+  // --- README "Serving: the scene-batched inference engine" block ---
+  gqa::InferenceEngine engine;                       // process-wide pool
+  auto logits = engine.forward_int(model, images, nl);   // per-image QTensors
+  auto labels = engine.labels_int(model, images, nl);    // per-image argmax maps
+
+  // --- README "Async serving: submit/poll with multi-model co-serving" ---
+  gqa::Server server(nl);                       // shared provider, process pool
+  const int seg_id = server.register_model(segformer, "segformer");
+  const int evit_id = server.register_model(efficientvit, "efficientvit");
+  auto ticket = server.submit(seg_id, image);   // async: returns a ticket
+  while (server.poll(ticket) != gqa::TicketStatus::kReady) { /* other work */ }
+  tfm::QTensor seg_logits = server.wait(ticket);  // bit-identical to serial
+
+  std::printf("engine: %zu logits, %zu label maps; server: model ids %d/%d, "
+              "%zu logit codes\n",
+              logits.size(), labels.size(), seg_id, evit_id,
+              seg_logits.data().size());
+  return 0;
+}

@@ -16,10 +16,10 @@ InferenceEngine::InferenceEngine(EngineOptions options) : options_(options) {
 
 void InferenceEngine::maybe_warm(const tfm::NonlinearProvider& nl) const {
   if (!options_.warm_provider) return;
-  // Warm every op the provider might serve; non-replaced ops are skipped
-  // inside warm_up, and already-warm scales are no-ops.
-  nl.warm_up({Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt},
-             tfm::NonlinearProvider::deployment_scale_exps());
+  // One shared warm-up covers every op the provider replaces (the union
+  // across all co-served model op-sets); repeats on a warm provider are
+  // copy-free no-ops.
+  nl.warm_up_deployment();
 }
 
 template <typename ModelT>

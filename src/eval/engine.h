@@ -15,7 +15,17 @@
 // assignment of images to lanes varies.
 //
 // The per-forward ThreadPool* path on the models remains available for
-// single-image latency; the engine is for throughput.
+// single-image latency; the engine is for throughput, and the async
+// submit/poll front-end over the same shape is gqa::Server (eval/server.h)
+// — engines and servers can share the process pool (parallel_for
+// dispatches serialize), and one provider's warmed tier serves them all
+// (warm_up_deployment covers the union of co-served op-sets).
+//
+// Thread-safety: one engine may be dispatched from one thread at a time
+// (its workspace pool is internally synchronized, so the batch fan-out
+// itself is safe); distinct engines may dispatch concurrently, even onto
+// the shared process pool. The model and provider must stay frozen for
+// the duration of a dispatch.
 #pragma once
 
 #include <memory>
@@ -41,8 +51,8 @@ struct EngineOptions {
 };
 
 /// Batch server for a frozen model. Thread-compatible: one engine may be
-/// used from one thread at a time (its workspace pool is internally
-/// synchronized, so the batch fan-out itself is safe).
+/// used from one thread at a time; distinct engines (or an engine and a
+/// gqa::Server) may serve concurrently on the shared process pool.
 class InferenceEngine {
  public:
   explicit InferenceEngine(EngineOptions options = {});

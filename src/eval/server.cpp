@@ -1,0 +1,242 @@
+#include "eval/server.h"
+
+#include <utility>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace gqa {
+
+Server::Server(const tfm::NonlinearProvider& provider, ServerOptions options)
+    : provider_(provider),
+      options_(options),
+      queue_(options.queue_capacity) {
+  GQA_EXPECTS(options.num_threads >= 0);
+  GQA_EXPECTS_MSG(options.queue_capacity >= 1,
+                  "admission queue needs capacity >= 1");
+  if (options.num_threads >= 1) {
+    owned_ = std::make_unique<ThreadPool>(options.num_threads);
+    pool_ = owned_.get();
+  } else {
+    pool_ = &global_pool();
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+int Server::register_forward(std::string name, ForwardFn forward) {
+  GQA_EXPECTS_MSG(forward != nullptr, "register_forward needs a callable");
+  int id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GQA_EXPECTS_MSG(!stopping_, "register on a shut-down server");
+    id = static_cast<int>(models_.size());
+    if (name.empty()) name = format("model-%d", id);
+    models_.push_back({std::move(name), std::move(forward)});
+  }
+  // One shared warm-up covers the union of every co-served model's op-set:
+  // the provider warms everything it replaces, and repeats on a warm
+  // provider are copy-free no-ops.
+  if (options_.warm_provider) provider_.warm_up_deployment();
+  return id;
+}
+
+std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
+                                            bool blocking) {
+  Ticket ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GQA_EXPECTS_MSG(!stopping_, "submit on a shut-down server");
+    GQA_EXPECTS_MSG(
+        model_id >= 0 && model_id < static_cast<int>(models_.size()),
+        "submit for an unregistered model_id");
+    ticket = next_ticket_++;
+    slots_.emplace(ticket, Slot{});
+    ++stats_.submitted;
+  }
+  Request request{ticket, model_id, std::move(image)};
+  const bool pushed = blocking ? queue_.push(std::move(request))
+                               : queue_.try_push(std::move(request));
+  if (pushed) return ticket;
+
+  // The request never reached the queue: retract the ticket. push() only
+  // fails when the queue closed (shutdown raced the submit); try_push()
+  // also fails on a full queue — the load-shedding path.
+  const bool closed = queue_.closed();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.erase(ticket);
+    --stats_.submitted;
+    if (!blocking && !closed) ++stats_.rejected;
+  }
+  result_cv_.notify_all();  // a drain() may be waiting on this last ticket
+  GQA_EXPECTS_MSG(!closed, "server shut down while submitting");
+  return std::nullopt;
+}
+
+Server::Ticket Server::submit(int model_id, tfm::Tensor image) {
+  const std::optional<Ticket> ticket =
+      admit(model_id, std::move(image), /*blocking=*/true);
+  GQA_ASSERT(ticket.has_value());  // blocking admit throws instead of refusing
+  return *ticket;
+}
+
+std::optional<Server::Ticket> Server::try_submit(int model_id,
+                                                 tfm::Tensor image) {
+  return admit(model_id, std::move(image), /*blocking=*/false);
+}
+
+TicketStatus Server::poll(Ticket ticket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GQA_EXPECTS_MSG(ticket < next_ticket_, "poll on a never-issued ticket");
+  const auto it = slots_.find(ticket);
+  if (it == slots_.end()) return TicketStatus::kConsumed;
+  return it->second.ready() ? TicketStatus::kReady : TicketStatus::kPending;
+}
+
+tfm::QTensor Server::wait(Ticket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = slots_.find(ticket);
+  GQA_EXPECTS_MSG(it != slots_.end(),
+                  "wait on a consumed or never-issued ticket");
+  // Element references survive rehashing (other submits may insert while we
+  // wait), so the slot reference stays valid until this wait erases it.
+  // Claiming makes a concurrent second wait on the same ticket fail fast
+  // instead of racing this one's erase.
+  Slot& slot = it->second;
+  GQA_EXPECTS_MSG(!slot.claimed, "second wait on a ticket already waited on");
+  slot.claimed = true;
+  result_cv_.wait(lock, [&] { return slot.ready(); });
+  if (slot.error != nullptr) {
+    const std::exception_ptr error = slot.error;
+    slots_.erase(ticket);
+    std::rethrow_exception(error);
+  }
+  tfm::QTensor result = std::move(*slot.result);
+  slots_.erase(ticket);
+  return result;
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  result_cv_.wait(lock,
+                  [&] { return stats_.completed == stats_.submitted; });
+}
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> serialize(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_.close();  // wakes blocked submitters (they fail) and the dispatcher
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::size_t Server::model_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Server::dispatch_loop() {
+  for (;;) {
+    // Blocks until work arrives; an empty collection is the closed-and-
+    // drained signal, so shutdown() always sees every admitted request
+    // completed before join() returns.
+    std::vector<Request> admitted = queue_.pop_all();
+    if (admitted.empty()) return;
+    std::vector<Request> batch = fair_interleave(std::move(admitted));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.batches;
+    }
+    run_batch(batch);
+  }
+}
+
+std::vector<Server::Request> Server::fair_interleave(
+    std::vector<Request> admitted) {
+  const std::size_t total = admitted.size();
+  std::size_t model_count = 0;
+  int start = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    model_count = models_.size();
+    start = rr_cursor_;
+    rr_cursor_ = model_count == 0
+                     ? 0
+                     : (rr_cursor_ + 1) % static_cast<int>(model_count);
+  }
+  GQA_ASSERT(model_count > 0);  // requests only exist for registered models
+  if (model_count == 1) return admitted;
+
+  // FIFO per model, then one request per model in cyclic order: a model
+  // that floods the queue cannot starve the others' dispatch position.
+  // The cursor rotates across collections so no model is always first.
+  std::vector<std::deque<Request>> per_model(model_count);
+  for (Request& r : admitted) {
+    per_model[static_cast<std::size_t>(r.model_id)].push_back(std::move(r));
+  }
+  std::vector<Request> interleaved;
+  interleaved.reserve(total);
+  while (interleaved.size() < total) {
+    for (std::size_t k = 0; k < model_count; ++k) {
+      std::deque<Request>& q =
+          per_model[(static_cast<std::size_t>(start) + k) % model_count];
+      if (q.empty()) continue;
+      interleaved.push_back(std::move(q.front()));
+      q.pop_front();
+    }
+  }
+  return interleaved;
+}
+
+void Server::run_batch(std::vector<Request>& batch) {
+  // Snapshot the per-request forwards once per batch: models_ is an
+  // append-only deque (element references are stable), so one lock here
+  // replaces a lock per request in the lanes below.
+  std::vector<const ForwardFn*> forwards(batch.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      forwards[i] =
+          &models_[static_cast<std::size_t>(batch[i].model_id)].forward;
+    }
+  }
+  pooled_for_chunks(pool_, batch.size(), [&](std::size_t lo, std::size_t hi) {
+    // One Workspace per in-flight chunk, persisted across batches through
+    // the pool — steady-state lanes re-malloc nothing.
+    tfm::Workspace ws = workspaces_.acquire();
+    for (std::size_t i = lo; i < hi; ++i) {
+      Request& request = batch[i];
+      const ForwardFn* forward = forwards[i];
+      Slot filled;
+      try {
+        // The serial deployment forward: no intra-forward pool, zero-filled
+        // workspace acquires — bit-identical to a serial per-image loop.
+        filled.result = (*forward)(request.image, &ws);
+      } catch (...) {
+        filled.error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots_.find(request.ticket);
+        GQA_ASSERT(it != slots_.end());  // only wait() erases, after ready
+        // Fill in place: a waiter may already have claimed the slot.
+        it->second.result = std::move(filled.result);
+        it->second.error = filled.error;
+        ++stats_.completed;
+      }
+      result_cv_.notify_all();
+    }
+    workspaces_.release(std::move(ws));
+  });
+}
+
+}  // namespace gqa

@@ -1,0 +1,201 @@
+// Asynchronous submit/poll serving front-end with multi-model co-serving.
+//
+// The InferenceEngine (eval/engine.h) serves one frozen model one batch at
+// a time — the caller owns the batching. gqa::Server owns it instead: any
+// number of client threads submit(model_id, image) and get back a Ticket;
+// a dispatcher thread drains the bounded admission queue
+// (util/thread_pool.h BoundedQueue) in fair round-robin order across every
+// registered model and fans each collected batch out across the pool lanes
+// (gqa::global_pool() by default, so engines and the server co-serve on
+// one process pool). Clients poll() for readiness or wait() to block.
+//
+// Guarantees (enforced by tests/server_test.cpp, also under TSan):
+//   - Bit-identity: each request runs one fully-serial forward with a
+//     per-lane Workspace (zero-filled acquires), so wait(ticket) returns
+//     exactly what `model.forward_int(image, nl)` returns in a serial
+//     per-image loop — regardless of submission order, lane count, or how
+//     requests from different models interleave.
+//   - Ticket-order delivery: tickets are issued in admission order and
+//     results are keyed by ticket, so waiting tickets in issue order
+//     yields results in issue order no matter the completion order.
+//   - Backpressure: the admission queue is bounded (ServerOptions::
+//     queue_capacity). submit() blocks until space frees; try_submit()
+//     returns nullopt instead — the caller picks the policy.
+//   - Shutdown/drain: shutdown() stops admission (blocked submitters fail
+//     with ContractViolation), finishes every admitted request, then parks
+//     the dispatcher. Every ticket issued before shutdown stays waitable
+//     after it. The destructor shuts down.
+//
+// Thread-safety: every public method is safe to call from any thread;
+// each ticket has exactly one waiter (a second wait on the same ticket —
+// sequential or concurrent — fails with ContractViolation). The shared
+// NonlinearProvider is referenced, not copied (its warmed unit tier is
+// the point of sharing); it and every registered model must outlive the
+// server and stay frozen while it runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "tfm/nonlinear_provider.h"
+#include "tfm/tensor.h"
+#include "tfm/workspace.h"
+#include "util/thread_pool.h"
+
+namespace gqa {
+
+struct ServerOptions {
+  /// Lane count: 0 serves on the process-wide pool (GQA_NUM_THREADS-sized,
+  /// shared with any InferenceEngine); >= 1 gives the server a private
+  /// pool of that size (1 = serial service, still with workspace reuse).
+  int num_threads = 0;
+  /// Bound on requests admitted but not yet collected by the dispatcher —
+  /// the backpressure surface for submit()/try_submit().
+  std::size_t queue_capacity = 64;
+  /// Pre-warm the shared provider's full replaced-op set at registration,
+  /// so service lanes never touch the unit-cache lock. Optimization only —
+  /// results are identical either way.
+  bool warm_provider = true;
+};
+
+enum class TicketStatus {
+  kPending,   ///< admitted, result not ready yet
+  kReady,     ///< result available; wait() returns without blocking
+  kConsumed,  ///< result already collected by wait()
+};
+
+class Server {
+ public:
+  /// Tickets are dense and issued in admission order (0, 1, 2, ...).
+  using Ticket = std::uint64_t;
+
+  /// A registered backend: one serial deployment forward. The Workspace
+  /// (never null) is the lane's private scratch; implementations must not
+  /// capture it beyond the call.
+  using ForwardFn =
+      std::function<tfm::QTensor(const tfm::Tensor&, tfm::Workspace*)>;
+
+  explicit Server(const tfm::NonlinearProvider& provider,
+                  ServerOptions options = {});
+  ~Server();  ///< shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Registers a frozen model (SegformerB0Like / EfficientViTB0Like) and
+  /// returns its model_id for submit(). The model serves through the
+  /// shared provider on its integer deployment path.
+  template <typename ModelT>
+  int register_model(const ModelT& model, std::string name = {}) {
+    return register_forward(
+        std::move(name),
+        [&model, this](const tfm::Tensor& image, tfm::Workspace* ws) {
+          return model.forward_int(image, provider_, nullptr, ws);
+        });
+  }
+
+  /// Registration hook for custom backends (anything that can produce
+  /// integer logits from an image). The engine-style contract applies:
+  /// the callable must be safe for concurrent invocation and fully
+  /// deterministic per image.
+  int register_forward(std::string name, ForwardFn forward);
+
+  /// Admits a request for `model_id`, blocking while the admission queue
+  /// is full. Throws ContractViolation if the server is (or becomes) shut
+  /// down, or model_id was never registered.
+  Ticket submit(int model_id, tfm::Tensor image);
+
+  /// Non-blocking admit: nullopt when the queue is full (load shedding).
+  std::optional<Ticket> try_submit(int model_id, tfm::Tensor image);
+
+  /// Lifecycle of a ticket issued by submit()/try_submit().
+  [[nodiscard]] TicketStatus poll(Ticket ticket) const;
+
+  /// Blocks until the ticket's result is ready and returns it, consuming
+  /// the ticket (a second wait on it is a contract violation). Safe to
+  /// call before, during, or after shutdown().
+  [[nodiscard]] tfm::QTensor wait(Ticket ticket);
+
+  /// Blocks until every admitted request has completed. Admission stays
+  /// open; use shutdown() to also stop the service.
+  void drain();
+
+  /// Stops admission, completes every admitted request, parks the
+  /// dispatcher. Idempotent; implied by the destructor. Results of
+  /// already-issued tickets remain collectable via wait().
+  void shutdown();
+
+  /// Lanes requests fan out across (>= 1).
+  [[nodiscard]] int lanes() const { return pool_->size(); }
+  [[nodiscard]] std::size_t model_count() const;
+
+  struct Stats {
+    std::uint64_t submitted = 0;  ///< admitted requests
+    std::uint64_t completed = 0;  ///< results delivered to slots
+    std::uint64_t rejected = 0;   ///< try_submit refusals (queue full)
+    std::uint64_t batches = 0;    ///< dispatcher collections
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Request {
+    Ticket ticket = 0;
+    int model_id = 0;
+    tfm::Tensor image;
+  };
+  struct Registered {
+    std::string name;
+    ForwardFn forward;
+  };
+  /// Ready when `result` is engaged or `error` is set; wait() rethrows a
+  /// backend exception to the waiter instead of killing the dispatcher.
+  /// `claimed` is set by the first wait() before it blocks, so a second
+  /// waiter on the same ticket fails fast with ContractViolation instead
+  /// of racing the first one's erase.
+  struct Slot {
+    std::optional<tfm::QTensor> result;
+    std::exception_ptr error;
+    bool claimed = false;
+    [[nodiscard]] bool ready() const {
+      return result.has_value() || error != nullptr;
+    }
+  };
+
+  void dispatch_loop();
+  [[nodiscard]] std::vector<Request> fair_interleave(
+      std::vector<Request> admitted);
+  void run_batch(std::vector<Request>& batch);
+  std::optional<Ticket> admit(int model_id, tfm::Tensor image, bool blocking);
+
+  const tfm::NonlinearProvider& provider_;
+  ServerOptions options_;
+  ThreadPool* pool_;                   ///< global_pool() or owned_
+  std::unique_ptr<ThreadPool> owned_;  ///< non-null when num_threads >= 1
+  tfm::WorkspacePool workspaces_;      ///< per-lane scratch, reused forever
+
+  BoundedQueue<Request> queue_;  ///< admission queue (the backpressure bound)
+  std::thread dispatcher_;
+  std::mutex shutdown_mutex_;  ///< serializes concurrent shutdown() callers
+
+  mutable std::mutex mutex_;  ///< guards everything below
+  std::condition_variable result_cv_;
+  std::deque<Registered> models_;  ///< deque: element refs survive growth
+  /// Ticket -> result slot; absent = consumed (or never issued).
+  std::unordered_map<Ticket, Slot> slots_;
+  Ticket next_ticket_ = 0;
+  int rr_cursor_ = 0;  ///< round-robin start model for the next collection
+  bool stopping_ = false;
+  Stats stats_;
+};
+
+}  // namespace gqa

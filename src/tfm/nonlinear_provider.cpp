@@ -53,6 +53,10 @@ std::vector<int> NonlinearProvider::deployment_scale_exps() {
   return exps;
 }
 
+void NonlinearProvider::warm_up_deployment() const {
+  warm_up(replaced_, deployment_scale_exps());
+}
+
 void NonlinearProvider::warm_up(const std::set<Op>& ops,
                                 const std::vector<int>& scale_exps) const {
   std::lock_guard<std::mutex> lock(cache_mutex_);  // serializes warm-ups

@@ -40,6 +40,10 @@ class NonlinearProvider {
 
   [[nodiscard]] bool replaces(Op op) const { return replaced_.count(op) > 0; }
 
+  /// Every op this provider serves through fitted kernels — the union the
+  /// serving layer warms when one provider backs several co-served models.
+  [[nodiscard]] const std::set<Op>& replaced_ops() const { return replaced_; }
+
   /// Pre-builds the hardware units for `ops` (activation ops at every scale
   /// in `scale_exps`; DIV/RSQRT ignore the exponents) into an immutable
   /// warmed tier that concurrent evaluation reads without locking. Misses
@@ -55,6 +59,12 @@ class NonlinearProvider {
   /// (po2 activation scales all land in it) — the canonical `scale_exps`
   /// argument for warm_up before an end-to-end forward.
   [[nodiscard]] static std::vector<int> deployment_scale_exps();
+
+  /// warm_up(replaced_ops(), deployment_scale_exps()): one call warms every
+  /// unit any co-served model can request, so the engine and the async
+  /// server share a single pre-warmed tier per provider regardless of which
+  /// model op-sets it backs. Copy-free no-op when already fully warm.
+  void warm_up_deployment() const;
 
   /// exp(S·q) for an integer code with S = 2^scale_exp (Softmax numerator).
   [[nodiscard]] double exp_code(std::int64_t q, int scale_exp) const;

@@ -8,7 +8,8 @@
 // image through a given model the steady state performs no heap allocation
 // for layer outputs at all.
 //
-// Ownership rules (see README "Serving knobs"):
+// Ownership rules (see README "Workspace ownership rules" and
+// docs/ARCHITECTURE.md):
 //   - One Workspace per thread, never shared: acquire/release are NOT
 //     thread-safe. Inside a pooled forward, only the calling thread may
 //     touch the workspace (module fan-out lambdas never do).

@@ -1,6 +1,7 @@
 // Environment-variable knobs for bench binaries. Full paper-scale settings
 // are the defaults; CI or quick runs can shrink them, e.g.
-//   GQA_EVAL_IMAGES=4 ./build/bench/table4_segformer
+//   GQA_EVAL_SCENES=4 ./build/bench/table4_segformer
+// The complete knob table lives in README.md ("Environment knobs").
 #pragma once
 
 #include <cstdint>

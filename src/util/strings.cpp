@@ -1,5 +1,6 @@
 #include "util/strings.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
@@ -72,6 +73,18 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
     out += parts[i];
   }
   return out;
+}
+
+std::vector<std::string> missing_entries(
+    const std::vector<std::string>& expected,
+    const std::vector<std::string>& present) {
+  std::vector<std::string> missing;
+  for (const std::string& name : expected) {
+    if (std::find(present.begin(), present.end(), name) == present.end()) {
+      missing.push_back(name);
+    }
+  }
+  return missing;
 }
 
 }  // namespace gqa

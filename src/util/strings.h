@@ -32,4 +32,11 @@ namespace gqa {
 [[nodiscard]] std::string join(const std::vector<std::string>& parts,
                                std::string_view sep);
 
+/// Elements of `expected` absent from `present`, in `expected` order — the
+/// completeness gate report artifact emitters use to fail loudly instead of
+/// silently skipping a section (see tools/bench_to_json.cpp).
+[[nodiscard]] std::vector<std::string> missing_entries(
+    const std::vector<std::string>& expected,
+    const std::vector<std::string>& present);
+
 }  // namespace gqa

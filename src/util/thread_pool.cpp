@@ -72,6 +72,12 @@ void ThreadPool::parallel_for(std::size_t count,
     return;
   }
 
+  // Concurrent callers (the async server's dispatcher plus any engine
+  // thread sharing the process pool) serialize here: one job owns the
+  // workers at a time. Held across the whole dispatch, which is also why
+  // parallel_for must never be re-entered from a worker lane.
+  std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;

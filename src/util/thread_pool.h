@@ -1,20 +1,37 @@
-// Fixed-size worker pool with a blocking parallel_for. Built for the GA
-// fitness fan-out: the caller thread participates in the work, indices are
-// handed out dynamically through an atomic counter (so uneven per-genome
+// Fixed-size worker pool with a blocking parallel_for, plus the bounded
+// MPMC queue the serving front-end drains through it.
+//
+// ThreadPool is built for the GA fitness fan-out and the scene-batched
+// serving dispatches: the caller thread participates in the work, indices
+// are handed out dynamically through an atomic counter (so uneven per-item
 // costs balance), and the first exception thrown by any worker is rethrown
 // on the caller. Determinism is the caller's job: parallel_for only says
 // *who* computes fn(i), never reorders observable writes, so pure
 // functions writing to disjoint slots give bit-identical results at any
 // thread count.
+//
+// Thread-safety contract:
+//   - parallel_for may be called from several threads concurrently on one
+//     pool; jobs are serialized (one dispatch at a time, FIFO by mutex
+//     acquisition). This is what lets an async Server and batch
+//     InferenceEngines co-serve on the single process-wide global_pool().
+//   - parallel_for is NOT reentrant: calling it from inside a running
+//     fn(i) on the same pool self-deadlocks. Nested fan-outs must pass a
+//     null pool (run inline) — the tfm modules already do.
+//   - BoundedQueue is fully thread-safe (any number of producers and
+//     consumers); close() releases every blocked producer and consumer.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace gqa {
@@ -30,7 +47,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Runs fn(i) for every i in [0, count), blocking until all complete.
-  /// Rethrows the first exception raised by any invocation.
+  /// Rethrows the first exception raised by any invocation. Safe to call
+  /// from several threads at once (jobs serialize); never call it from
+  /// inside a running fn on the same pool.
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
@@ -45,6 +64,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
+  std::mutex dispatch_mutex_;  ///< serializes concurrent parallel_for callers
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
@@ -91,5 +111,107 @@ void pooled_for_chunks(
 /// The lane count global_pool() has (or will have): GQA_NUM_THREADS when
 /// set and >= 1, otherwise std::thread::hardware_concurrency().
 [[nodiscard]] int global_pool_threads();
+
+/// Bounded multi-producer/multi-consumer FIFO — the admission queue of the
+/// async serving front-end (eval/server.h), generic over the item type.
+///
+/// Capacity bounds the items *queued* (pushed, not yet popped); that is the
+/// backpressure surface: push() blocks while full, try_push() rejects, and
+/// the caller picks which. close() transitions the queue to a draining
+/// state: every blocked producer wakes and fails, consumers keep receiving
+/// the remaining items and then get an empty result, so a drain loop
+/// `while (!(batch = pop_all()).empty())` terminates cleanly.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (item dropped) iff the
+  /// queue was closed before space became available.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    space_cv_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking admit: false when the queue is full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue is closed and empty,
+  /// returning nullopt).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// Blocks until at least one item is available, then takes everything
+  /// queued. An empty result means closed-and-drained — the consumer's
+  /// termination signal.
+  std::vector<T> pop_all() {
+    std::vector<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      out.assign(std::make_move_iterator(items_.begin()),
+                 std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    space_cv_.notify_all();
+    return out;
+  }
+
+  /// Stops admission and wakes every blocked producer/consumer. Items
+  /// already queued stay poppable. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    space_cv_.notify_all();
+    item_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable space_cv_;  ///< producers wait here while full
+  std::condition_variable item_cv_;   ///< consumers wait here while empty
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
 
 }  // namespace gqa

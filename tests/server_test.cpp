@@ -1,0 +1,373 @@
+// Async serving front-end guarantees (see src/eval/server.h): mixed
+// two-model submission must be bit-identical to serial per-image loops at
+// 1/2/4/8 lanes with cold and pre-warmed providers; tickets deliver their
+// own request's result in any wait order (ticket-order delivery under
+// shuffled completion); the bounded admission queue gives deterministic
+// backpressure (try_submit rejects when full, submit blocks until space);
+// shutdown with in-flight requests completes every admitted ticket; and
+// the BoundedQueue / concurrent parallel_for primitives underneath are
+// race-free (this suite also runs in the TSan CI job).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "eval/scene.h"
+#include "eval/server.h"
+#include "tfm/models/efficientvit.h"
+#include "tfm/models/segformer.h"
+#include "util/contracts.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace gqa {
+namespace {
+
+std::vector<tfm::Tensor> test_images(int count, int size,
+                                     std::uint64_t seed = 0xA57C) {
+  SceneOptions scene;
+  scene.size = size;
+  std::vector<tfm::Tensor> images;
+  for (const LabeledScene& s : make_scene_set(scene, count, seed)) {
+    images.push_back(s.image);
+  }
+  return images;
+}
+
+tfm::SegformerB0Like frozen_segformer(const tfm::Tensor& calib) {
+  tfm::SegformerConfig cfg;
+  cfg.image_size = 32;
+  cfg.num_classes = 5;
+  cfg.dims = {8, 16, 16, 16};
+  cfg.heads = {1, 2, 2, 2};
+  cfg.sr_ratios = {4, 2, 1, 1};
+  cfg.depths = {1, 1, 1, 1};
+  cfg.decoder_dim = 16;
+  tfm::SegformerB0Like model(cfg);
+  model.calibrate(calib);
+  model.freeze();
+  return model;
+}
+
+tfm::EfficientViTB0Like frozen_efficientvit(const tfm::Tensor& calib) {
+  tfm::EfficientViTConfig cfg;
+  cfg.image_size = 32;
+  cfg.num_classes = 5;
+  cfg.widths = {8, 12, 16, 24};
+  cfg.expand = 2;
+  cfg.head_dim = 24;
+  tfm::EfficientViTB0Like model(cfg);
+  model.calibrate(calib);
+  model.freeze();
+  return model;
+}
+
+tfm::NonlinearProvider full_provider_cold() {
+  return tfm::NonlinearProvider::with_method(
+      Method::kGqaRm,
+      {Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt});
+}
+
+/// One mixed request stream: (model index, image index) pairs, shuffled
+/// deterministically so submission order interleaves the two models.
+struct MixedStream {
+  std::vector<std::pair<int, std::size_t>> order;
+};
+
+MixedStream shuffled_stream(std::size_t per_model, std::uint64_t seed) {
+  MixedStream stream;
+  for (std::size_t i = 0; i < per_model; ++i) {
+    stream.order.emplace_back(0, i);
+    stream.order.emplace_back(1, i);
+  }
+  Rng rng(seed);
+  rng.shuffle(stream.order);
+  return stream;
+}
+
+TEST(Server, MixedModelAsyncServingBitIdenticalAt1248Lanes) {
+  const std::vector<tfm::Tensor> images = test_images(4, 32);
+  const tfm::SegformerB0Like seg = frozen_segformer(images.front());
+  const tfm::EfficientViTB0Like evit = frozen_efficientvit(images.front());
+
+  // Serial references: the seed-style loop, fresh provider, no workspace.
+  const tfm::NonlinearProvider serial_nl = full_provider_cold();
+  std::vector<tfm::QTensor> seg_ref, evit_ref;
+  for (const tfm::Tensor& img : images) {
+    seg_ref.push_back(seg.forward_int(img, serial_nl));
+    evit_ref.push_back(evit.forward_int(img, serial_nl));
+  }
+
+  for (int lanes : {1, 2, 4, 8}) {
+    for (bool warm : {false, true}) {
+      // A fresh provider per run keeps the cold case genuinely cold.
+      const tfm::NonlinearProvider nl = full_provider_cold();
+      ServerOptions options;
+      options.num_threads = lanes;
+      options.warm_provider = warm;
+      Server server(nl, options);
+      EXPECT_EQ(server.lanes(), lanes);
+      const int seg_id = server.register_model(seg, "segformer");
+      const int evit_id = server.register_model(evit, "efficientvit");
+      EXPECT_EQ(server.model_count(), 2U);
+
+      const MixedStream stream =
+          shuffled_stream(images.size(), 0xBEEF + static_cast<unsigned>(lanes));
+      std::vector<Server::Ticket> tickets;
+      std::vector<std::pair<int, std::size_t>> meta;
+      for (const auto& [which, img] : stream.order) {
+        tickets.push_back(server.submit(which == 0 ? seg_id : evit_id,
+                                        images[img]));
+        meta.emplace_back(which, img);
+      }
+      // Tickets are issued in admission order.
+      for (std::size_t i = 1; i < tickets.size(); ++i) {
+        EXPECT_EQ(tickets[i], tickets[i - 1] + 1);
+      }
+      // Waiting in ticket order delivers each request's own serial result,
+      // whatever order the lanes completed them in.
+      for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const tfm::QTensor got = server.wait(tickets[i]);
+        const auto& [which, img] = meta[i];
+        const tfm::QTensor& want = which == 0 ? seg_ref[img] : evit_ref[img];
+        EXPECT_EQ(want.data(), got.data())
+            << "lanes=" << lanes << " warm=" << warm << " ticket=" << i;
+      }
+      const Server::Stats stats = server.stats();
+      EXPECT_EQ(stats.submitted, tickets.size());
+      EXPECT_EQ(stats.completed, tickets.size());
+    }
+  }
+}
+
+TEST(Server, TicketOrderDeliveryUnderShuffledCompletionAndWaits) {
+  const std::vector<tfm::Tensor> images = test_images(6, 32);
+  const tfm::SegformerB0Like seg = frozen_segformer(images.front());
+  const tfm::NonlinearProvider nl = full_provider_cold();
+
+  std::vector<tfm::QTensor> refs;
+  for (const tfm::Tensor& img : images) {
+    refs.push_back(seg.forward_int(img, nl));
+  }
+
+  ServerOptions options;
+  options.num_threads = 4;  // completion order is scheduling-dependent
+  Server server(nl, options);
+  const int id = server.register_model(seg);
+
+  std::vector<Server::Ticket> tickets;
+  for (const tfm::Tensor& img : images) {
+    tickets.push_back(server.submit(id, img));
+  }
+  server.drain();
+  // After drain, every ticket is ready and still uncollected.
+  for (const Server::Ticket t : tickets) {
+    EXPECT_EQ(server.poll(t), TicketStatus::kReady);
+  }
+  // Collect in reverse order: ticket-keyed delivery is wait-order-agnostic.
+  for (std::size_t i = tickets.size(); i-- > 0;) {
+    const tfm::QTensor got = server.wait(tickets[i]);
+    EXPECT_EQ(refs[i].data(), got.data()) << "ticket " << i;
+    EXPECT_EQ(server.poll(tickets[i]), TicketStatus::kConsumed);
+  }
+  // One waiter per ticket: a second wait is a contract violation.
+  EXPECT_THROW((void)server.wait(tickets.front()), ContractViolation);
+}
+
+TEST(Server, BackpressureBoundedQueueRejectsAndBlocks) {
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  std::atomic<int> started{0};
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+
+  ServerOptions options;
+  options.num_threads = 1;       // one lane: the gate stalls all service
+  options.queue_capacity = 2;    // tiny admission window
+  options.warm_provider = false;
+  Server server(nl, options);
+  const int id = server.register_forward(
+      "gated", [&](const tfm::Tensor&, tfm::Workspace*) {
+        ++started;
+        gate.wait();
+        return tfm::QTensor{};
+      });
+
+  const tfm::Tensor image(tfm::Shape{1, 4, 4});
+  const Server::Ticket first = server.submit(id, image);
+  // Wait until the lane is inside the gated forward, so the queue is empty
+  // and the service is deterministically stalled.
+  while (started.load() == 0) std::this_thread::yield();
+
+  const Server::Ticket q1 = server.submit(id, image);  // fills slot 1
+  const Server::Ticket q2 = server.submit(id, image);  // fills slot 2
+  EXPECT_EQ(server.poll(q1), TicketStatus::kPending);
+  // Queue full: the rejecting admit sheds load without blocking.
+  EXPECT_EQ(server.try_submit(id, image), std::nullopt);
+  EXPECT_EQ(server.stats().rejected, 1U);
+
+  // The blocking admit parks until the dispatcher frees space.
+  std::atomic<bool> blocked_done{false};
+  std::thread blocked([&] {
+    (void)server.submit(id, image);
+    blocked_done = true;
+  });
+  release.set_value();  // un-stall the lane; the queue drains
+  blocked.join();
+  EXPECT_TRUE(blocked_done.load());
+  server.drain();
+  EXPECT_EQ(server.poll(first), TicketStatus::kReady);
+  EXPECT_EQ(server.poll(q2), TicketStatus::kReady);
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 4U);
+  EXPECT_EQ(stats.completed, 4U);
+}
+
+TEST(Server, ShutdownCompletesInflightRequestsAndStopsAdmission) {
+  const std::vector<tfm::Tensor> images = test_images(5, 32);
+  const tfm::SegformerB0Like seg = frozen_segformer(images.front());
+  const tfm::NonlinearProvider nl = full_provider_cold();
+
+  std::vector<tfm::QTensor> refs;
+  for (const tfm::Tensor& img : images) {
+    refs.push_back(seg.forward_int(img, nl));
+  }
+
+  ServerOptions options;
+  options.num_threads = 2;
+  Server server(nl, options);
+  const int id = server.register_model(seg);
+  std::vector<Server::Ticket> tickets;
+  for (const tfm::Tensor& img : images) {
+    tickets.push_back(server.submit(id, img));
+  }
+  server.shutdown();  // drains every admitted request before parking
+
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(server.poll(tickets[i]), TicketStatus::kReady);
+    const tfm::QTensor got = server.wait(tickets[i]);
+    EXPECT_EQ(refs[i].data(), got.data()) << "ticket " << i;
+  }
+  EXPECT_THROW((void)server.submit(id, images.front()), ContractViolation);
+  EXPECT_THROW((void)server.register_model(seg), ContractViolation);
+  server.shutdown();  // idempotent
+}
+
+TEST(Server, BackendExceptionIsDeliveredToTheWaiterNotTheDispatcher) {
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 2;
+  options.warm_provider = false;
+  Server server(nl, options);
+  const int bad = server.register_forward(
+      "throws", [](const tfm::Tensor&, tfm::Workspace*) -> tfm::QTensor {
+        throw std::runtime_error("backend failure");
+      });
+  const int good = server.register_forward(
+      "ok", [](const tfm::Tensor&, tfm::Workspace*) { return tfm::QTensor{}; });
+
+  const tfm::Tensor image(tfm::Shape{1, 4, 4});
+  const Server::Ticket bad_ticket = server.submit(bad, image);
+  const Server::Ticket good_ticket = server.submit(good, image);
+  EXPECT_THROW((void)server.wait(bad_ticket), std::runtime_error);
+  (void)server.wait(good_ticket);  // the server keeps serving
+  EXPECT_EQ(server.stats().completed, 2U);
+}
+
+TEST(Server, SubmitForUnregisteredModelIsAContractViolation) {
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 1;
+  options.warm_provider = false;
+  Server server(nl, options);
+  const tfm::Tensor image(tfm::Shape{1, 4, 4});
+  EXPECT_THROW((void)server.submit(0, image), ContractViolation);
+  EXPECT_THROW((void)server.submit(-1, image), ContractViolation);
+}
+
+// ------------------------------------------------ BoundedQueue primitive --
+
+TEST(BoundedQueue, FifoTryPushRejectsWhenFullAndCloseDrains) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full
+  EXPECT_EQ(queue.size(), 2U);
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_TRUE(queue.try_push(3));
+  queue.close();
+  EXPECT_FALSE(queue.push(4));      // closed
+  EXPECT_FALSE(queue.try_push(4));  // closed
+  // Items queued before close stay poppable; then the drained signal.
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_TRUE(queue.pop_all().empty());
+}
+
+TEST(BoundedQueue, ManyProducersManyConsumersDeliverEveryItemOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> queue(8);  // small capacity: producers really block
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s = 0;
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      for (;;) {
+        const std::vector<int> got = queue.pop_all();
+        if (got.empty()) return;  // closed and drained
+        for (const int v : got) ++seen[static_cast<std::size_t>(v)];
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+// ------------------------------- concurrent parallel_for serialization ---
+
+TEST(ThreadPoolConcurrentCallers, JobsFromSeveralThreadsSerializeSafely) {
+  // The co-serving contract: an async server's dispatcher and an engine
+  // thread may both dispatch onto the process pool; jobs must serialize
+  // with every index of every job run exactly once.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kCount = 64;
+  std::vector<std::vector<std::atomic<int>>> hits(kCallers);
+  for (auto& h : hits) {
+    std::vector<std::atomic<int>> fresh(kCount);
+    for (auto& v : fresh) v = 0;
+    h = std::move(fresh);
+  }
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 8; ++round) {
+        pool.parallel_for(kCount, [&, c](std::size_t i) { ++hits[c][i]; });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (const auto& caller_hits : hits) {
+    for (const auto& h : caller_hits) EXPECT_EQ(h.load(), 8);
+  }
+}
+
+}  // namespace
+}  // namespace gqa

@@ -133,6 +133,23 @@ TEST(Strings, Join) {
   EXPECT_EQ(join({}, ","), "");
 }
 
+// The bench_to_json completeness gate: a silently-skipped section must be
+// reported (and the tool exits non-zero), never yield a stale artifact.
+TEST(Strings, MissingEntriesReportsSkippedSectionsInOrder) {
+  const std::vector<std::string> expected = {"fit", "kernel", "model",
+                                             "serve", "coserve"};
+  EXPECT_TRUE(missing_entries(expected, expected).empty());
+  EXPECT_EQ(missing_entries(expected, {"kernel", "fit", "serve"}),
+            (std::vector<std::string>{"model", "coserve"}));
+  EXPECT_EQ(missing_entries(expected, {}), expected);
+  EXPECT_TRUE(missing_entries({}, {"extra"}).empty());
+  // Unexpected extras are not the gate's business.
+  EXPECT_TRUE(missing_entries(expected,
+                              {"fit", "kernel", "model", "serve", "coserve",
+                               "extra"})
+                  .empty());
+}
+
 // ---------------------------------------------------------------- json ---
 
 TEST(Json, BuildAndDumpRoundTrip) {

@@ -9,7 +9,13 @@
 //   model  — table4/table5-style end-to-end forward passes (SegFormer and
 //            EfficientViT, int + fp), serial vs threaded pool.
 //   serve  — scene-batched InferenceEngine (images/s) vs the serial
-//            per-image loop, with a bit-identity checksum gate.
+//            per-image loop, with a bit-identity checksum gate; its
+//            `coserve` entry measures the async two-model Server
+//            (eval/server.h) against the serial loops, same gate.
+//
+// Every expected section must be emitted: a skipped or failed section is
+// reported and the tool exits non-zero, so a stale BENCH_*.json can never
+// masquerade as a fresh one.
 //
 // Usage: bench_to_json [output_dir]   (default: current directory)
 // Knobs: GQA_BENCH_GENERATIONS (default 200) bounds the fit comparison;
@@ -18,12 +24,14 @@
 //        GQA_SERVE_SCENES (default 12) images per serving dispatch.
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/approximator.h"
 #include "eval/engine.h"
 #include "eval/scene.h"
+#include "eval/server.h"
 #include "gqa/gqa_lut.h"
 #include "gqa/objective.h"
 #include "tfm/models/efficientvit.h"
@@ -31,6 +39,7 @@
 #include "tfm/nonlinear_provider.h"
 #include "util/env.h"
 #include "util/json.h"
+#include "util/strings.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -276,6 +285,25 @@ Json model_report(int reps) {
   return j;
 }
 
+/// The serving sections' shared bit-identity metric: one int64 sum over
+/// every logit code of every image. The committed gate is this checksum
+/// (plus per-request equality in coserve), so there is exactly one
+/// definition for all serving comparisons.
+std::int64_t checksum(const std::vector<tfm::QTensor>& logits) {
+  std::int64_t sum = 0;
+  for (const tfm::QTensor& t : logits) {
+    for (std::int32_t v : t.data()) sum += v;
+  }
+  return sum;
+}
+
+/// Middle element after sorting — the round statistic of the serving
+/// sections (robust to one-off bursts on a shared box).
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
 /// Scene-batched serving vs the seed-equivalent serial loop. Engine(1)
 /// isolates workspace reuse (same dispatch order, no threads); the wide
 /// row adds image-level parallelism across the process pool. A checksum
@@ -284,14 +312,6 @@ template <typename ModelT>
 Json serve_section(const ModelT& model, const tfm::NonlinearProvider& nl,
                    const std::vector<tfm::Tensor>& images, int reps) {
   const double n = static_cast<double>(images.size());
-  const auto checksum = [](const std::vector<tfm::QTensor>& logits) {
-    std::int64_t sum = 0;
-    for (const tfm::QTensor& t : logits) {
-      for (std::int32_t v : t.data()) sum += v;
-    }
-    return sum;
-  };
-
   EngineOptions one;
   one.num_threads = 1;
   const InferenceEngine engine1(one);
@@ -319,10 +339,6 @@ Json serve_section(const ModelT& model, const tfm::NonlinearProvider& nl,
       batchedw = wide.forward_int(model, images, nl);
     }));
   }
-  const auto median = [](std::vector<double> v) {
-    std::sort(v.begin(), v.end());
-    return v[v.size() / 2];
-  };
   // Speedups come from PAIRED rounds: each round's serial and engine runs
   // are adjacent in time, so their ratio cancels the slow clock drift that
   // independent medians still absorb on a shared box.
@@ -354,6 +370,83 @@ Json serve_section(const ModelT& model, const tfm::NonlinearProvider& nl,
   return j;
 }
 
+/// Async two-model co-serving (gqa::Server) vs the serial per-image loops:
+/// both models registered on one server, one shared union-op provider, a
+/// mixed submit stream waited in ticket order. server(1) isolates the
+/// front-end (queue + tickets + workspace reuse) overhead; the wide row
+/// adds image-level parallelism across the process pool.
+Json coserve_section(const tfm::SegformerB0Like& seg,
+                     const tfm::EfficientViTB0Like& evit,
+                     const std::vector<tfm::Tensor>& images, int reps) {
+  const auto nl = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm,
+      {Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt});
+  const auto serve_stream = [&](Server& server, int seg_id, int evit_id) {
+    std::vector<Server::Ticket> tickets;
+    for (const tfm::Tensor& img : images) {
+      tickets.push_back(server.submit(seg_id, img));
+      tickets.push_back(server.submit(evit_id, img));
+    }
+    std::vector<tfm::QTensor> results;
+    for (const Server::Ticket t : tickets) results.push_back(server.wait(t));
+    return results;
+  };
+
+  ServerOptions one;
+  one.num_threads = 1;
+  Server server1(nl, one);
+  const int s1_seg = server1.register_model(seg, "segformer");
+  const int s1_evit = server1.register_model(evit, "efficientvit");
+  Server wide(nl, {});  // process pool
+  const int sw_seg = wide.register_model(seg, "segformer");
+  const int sw_evit = wide.register_model(evit, "efficientvit");
+
+  // Interleaved rounds, median-of-paired-ratios — same protocol as the
+  // engine serve sections (drift-cancelled on a shared box).
+  std::vector<tfm::QTensor> serial, served1, servedw;
+  std::vector<double> serial_rounds, server1_rounds, wide_rounds;
+  for (int rep = 0; rep < std::max(reps, 9); ++rep) {
+    serial_rounds.push_back(time_best_ms(1, [&] {
+      serial.clear();
+      for (const tfm::Tensor& img : images) {
+        serial.push_back(seg.forward_int(img, nl));
+        serial.push_back(evit.forward_int(img, nl));
+      }
+    }));
+    server1_rounds.push_back(time_best_ms(1, [&] {
+      served1 = serve_stream(server1, s1_seg, s1_evit);
+    }));
+    wide_rounds.push_back(time_best_ms(1, [&] {
+      servedw = serve_stream(wide, sw_seg, sw_evit);
+    }));
+  }
+  std::vector<double> server1_ratio, wide_ratio;
+  for (std::size_t i = 0; i < serial_rounds.size(); ++i) {
+    server1_ratio.push_back(serial_rounds[i] / server1_rounds[i]);
+    wide_ratio.push_back(serial_rounds[i] / wide_rounds[i]);
+  }
+  bool identical = checksum(serial) == checksum(served1) &&
+                   checksum(serial) == checksum(servedw);
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].data() == served1[i].data() &&
+                serial[i].data() == servedw[i].data();
+  }
+
+  const double n = static_cast<double>(serial.size());
+  const double serial_rps = n / (median(serial_rounds) * 1e-3);
+  Json j = Json::object();
+  j["requests"] = Json(static_cast<int>(serial.size()));
+  j["threads"] = Json(wide.lanes());
+  j["serial_requests_per_s"] = Json(serial_rps);
+  j["server1_requests_per_s"] = Json(serial_rps * median(server1_ratio));
+  j["server_wide_requests_per_s"] = Json(serial_rps * median(wide_ratio));
+  j["server1_speedup"] = Json(median(server1_ratio));
+  j["server_wide_speedup"] = Json(median(wide_ratio));
+  j["logit_code_checksum"] = Json(static_cast<double>(checksum(serial)));
+  j["bit_identical"] = Json(identical);
+  return j;
+}
+
 Json serve_report(int reps, bool& bit_identical) {
   // Full default (B0-like) model sizes at 64x64: the deployment shape, and
   // the regime where activation buffers are big enough for the workspace
@@ -366,27 +459,30 @@ Json serve_report(int reps, bool& bit_identical) {
     images.push_back(s.image);
   }
 
+  tfm::SegformerB0Like segformer;
+  segformer.calibrate(images.front());
+  segformer.freeze();
+  tfm::EfficientViTB0Like efficientvit;
+  efficientvit.calibrate(images.front());
+  efficientvit.freeze();
+
   Json j = Json::object();
   j["bench"] = Json("serve");
   {
-    tfm::SegformerB0Like model;
-    model.calibrate(images.front());
-    model.freeze();
     const auto nl = tfm::NonlinearProvider::with_method(
         Method::kGqaRm, {Op::kExp, Op::kGelu, Op::kDiv, Op::kRsqrt});
-    j["segformer"] = serve_section(model, nl, images, reps);
+    j["segformer"] = serve_section(segformer, nl, images, reps);
     bit_identical = bit_identical && j["segformer"]["bit_identical"].as_bool();
   }
   {
-    tfm::EfficientViTB0Like model;
-    model.calibrate(images.front());
-    model.freeze();
     const auto nl = tfm::NonlinearProvider::with_method(
         Method::kGqaRm, {Op::kHswish, Op::kDiv});
-    j["efficientvit"] = serve_section(model, nl, images, reps);
+    j["efficientvit"] = serve_section(efficientvit, nl, images, reps);
     bit_identical =
         bit_identical && j["efficientvit"]["bit_identical"].as_bool();
   }
+  j["coserve"] = coserve_section(segformer, efficientvit, images, reps);
+  bit_identical = bit_identical && j["coserve"]["bit_identical"].as_bool();
   return j;
 }
 
@@ -395,31 +491,55 @@ Json serve_report(int reps, bool& bit_identical) {
 int main(int argc, char** argv) {
   const std::string out_dir = argc > 1 ? argv[1] : ".";
   const int reps = static_cast<int>(env_int("GQA_BENCH_REPS", 3));
-  try {
-    const Json fit = fit_report(reps);
-    write_file(out_dir + "/BENCH_fit.json", fit.dump() + "\n");
-    std::printf("%s\n", fit.dump().c_str());
 
-    const Json kernel = kernel_report(reps);
-    write_file(out_dir + "/BENCH_kernel.json", kernel.dump() + "\n");
-    std::printf("%s\n", kernel.dump().c_str());
+  // The completeness manifest: every name here must be emitted below, or
+  // the tool exits non-zero. A section that fails (or is silently skipped
+  // by a future edit) can therefore never leave a stale BENCH_*.json
+  // pretending to be fresh.
+  const std::vector<std::string> expected = {"fit", "kernel", "model",
+                                             "serve", "coserve"};
+  std::vector<std::string> emitted;
+  bool serve_identical = true;
 
-    const Json model = model_report(reps);
-    write_file(out_dir + "/BENCH_model.json", model.dump() + "\n");
-    std::printf("%s\n", model.dump().c_str());
-
-    bool serve_identical = true;
-    const Json serve = serve_report(reps, serve_identical);
-    write_file(out_dir + "/BENCH_serve.json", serve.dump() + "\n");
-    std::printf("%s\n", serve.dump().c_str());
-    if (!serve_identical) {
-      std::fprintf(stderr,
-                   "bench_to_json: serving engine diverged from the serial "
-                   "loop (bit_identical=false)\n");
-      return 1;
+  // `nested` lists manifest entries the artifact carries as sub-sections;
+  // each is recorded only when actually present in the emitted JSON, so
+  // the completeness gate notices if one silently disappears.
+  const auto emit_artifact = [&](const char* name, const char* file,
+                                 const std::vector<std::string>& nested,
+                                 const std::function<Json()>& build) {
+    try {
+      const Json j = build();
+      write_file(out_dir + "/" + std::string(file), j.dump() + "\n");
+      std::printf("%s\n", j.dump().c_str());
+      emitted.push_back(name);
+      for (const std::string& key : nested) {
+        if (j.contains(key)) emitted.push_back(key);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_to_json: section '%s' failed: %s\n", name,
+                   e.what());
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "bench_to_json: %s\n", e.what());
+  };
+
+  emit_artifact("fit", "BENCH_fit.json", {},
+                [&] { return fit_report(reps); });
+  emit_artifact("kernel", "BENCH_kernel.json", {},
+                [&] { return kernel_report(reps); });
+  emit_artifact("model", "BENCH_model.json", {},
+                [&] { return model_report(reps); });
+  emit_artifact("serve", "BENCH_serve.json", {"coserve"},
+                [&] { return serve_report(reps, serve_identical); });
+
+  const std::vector<std::string> missing = missing_entries(expected, emitted);
+  if (!missing.empty()) {
+    std::fprintf(stderr, "bench_to_json: missing bench sections: %s\n",
+                 join(missing, ", ").c_str());
+    return 1;
+  }
+  if (!serve_identical) {
+    std::fprintf(stderr,
+                 "bench_to_json: serving diverged from the serial loop "
+                 "(bit_identical=false)\n");
     return 1;
   }
   return 0;

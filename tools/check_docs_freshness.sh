@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Docs-freshness gate, registered as the `docs_freshness` ctest and run in
+# CI. Two checks:
+#
+#  1. Every repo path referenced in README.md and docs/ARCHITECTURE.md
+#     (src/..., tests/..., bench/..., examples/..., tools/..., docs/...)
+#     must exist — documentation naming a moved or deleted header fails
+#     the build instead of rotting.
+#  2. Every non-empty line of every ```cpp block in README.md must appear
+#     verbatim in examples/readme_snippets.cpp, which compiles against the
+#     library — so the README's code snippets stay compilable. Edit the
+#     README and examples/readme_snippets.cpp together.
+set -u
+cd "$(dirname "$0")/.."
+status=0
+
+for doc in README.md docs/ARCHITECTURE.md; do
+  if [ ! -f "$doc" ]; then
+    echo "docs-freshness: missing $doc" >&2
+    status=1
+    continue
+  fi
+  refs=$(grep -oE '(src|tests|bench|examples|tools|docs)/[A-Za-z0-9_./-]+\.[A-Za-z0-9]+' "$doc" | sort -u)
+  for ref in $refs; do
+    if [ ! -e "$ref" ]; then
+      echo "docs-freshness: $doc references missing file: $ref" >&2
+      status=1
+    fi
+  done
+done
+
+snippet_file=examples/readme_snippets.cpp
+if [ ! -f "$snippet_file" ]; then
+  echo "docs-freshness: missing $snippet_file" >&2
+  exit 1
+fi
+while IFS= read -r line; do
+  trimmed=$(printf '%s' "$line" | sed -e 's/^[[:space:]]*//' -e 's/[[:space:]]*$//')
+  [ -z "$trimmed" ] && continue
+  if ! grep -qF -- "$trimmed" "$snippet_file"; then
+    echo "docs-freshness: README cpp snippet line missing from $snippet_file: $trimmed" >&2
+    status=1
+  fi
+done < <(awk '/^```cpp$/{f=1;next} /^```/{f=0} f' README.md)
+
+if [ "$status" -eq 0 ]; then
+  echo "docs-freshness: OK"
+fi
+exit $status
