@@ -5,13 +5,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/approximator.h"
 #include "eval/protocol.h"
+#include "eval/server.h"
 #include "util/csv.h"
 #include "util/env.h"
 #include "util/json.h"
@@ -20,6 +24,54 @@
 #include "util/timer.h"
 
 namespace gqa::bench {
+
+/// The continuous-batching client the serving benches time: streams every
+/// (model_id, image) request through a submit-time callback and drains
+/// once — admission overlaps service with no per-ticket wait barrier.
+/// Each callback writes its own pre-assigned slot (disjoint, never
+/// reallocated; drain()'s completion handshake publishes the writes), so
+/// the result path is lock-free on the client. Callbacks must not throw
+/// (the server would swallow it); the first backend error is recorded and
+/// rethrown after the drain instead.
+inline std::vector<tfm::QTensor> serve_stream_continuous(
+    Server& server,
+    const std::vector<std::pair<int, const tfm::Tensor*>>& requests) {
+  std::vector<tfm::QTensor> results(requests.size());
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  for (std::size_t slot = 0; slot < requests.size(); ++slot) {
+    (void)server.submit(requests[slot].first, *requests[slot].second,
+                        [&results, &error_mutex, &first_error, slot](
+                            Server::Ticket, tfm::QTensor result,
+                            std::exception_ptr error) {
+                          if (error != nullptr) {
+                            std::lock_guard<std::mutex> lock(error_mutex);
+                            if (first_error == nullptr) first_error = error;
+                            return;
+                          }
+                          results[slot] = std::move(result);
+                        });
+  }
+  server.drain();  // every callback has run when drain returns
+  {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (first_error != nullptr) std::rethrow_exception(first_error);
+  }
+  return results;
+}
+
+/// The mixed two-model request list of the co-serving benches: one
+/// SegFormer and one EfficientViT request per image, interleaved.
+inline std::vector<std::pair<int, const tfm::Tensor*>> mixed_request_list(
+    int seg_id, int evit_id, const std::vector<tfm::Tensor>& images) {
+  std::vector<std::pair<int, const tfm::Tensor*>> requests;
+  requests.reserve(2 * images.size());
+  for (const tfm::Tensor& img : images) {
+    requests.emplace_back(seg_id, &img);
+    requests.emplace_back(evit_id, &img);
+  }
+  return requests;
+}
 
 /// Number of independent fit seeds to average (GA/NN-LUT runs are
 /// stochastic; the paper reports single runs, we stabilize with the mean).

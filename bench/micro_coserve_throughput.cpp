@@ -2,7 +2,9 @@
 // front-end (both reproduction models registered on one pool, one shared
 // pre-warmed provider) vs the seed-style serial per-image loops. The
 // server at 1 lane isolates the front-end overhead + workspace reuse; the
-// wide row adds image-level parallelism on real cores.
+// wide row adds image-level parallelism on real cores; the stream column
+// drives the continuous-batching scheduler through submit-time callbacks
+// (no wait barriers — drain() is the only sync point).
 //
 // Every server run is checksummed request-by-request against the serial
 // loops; a divergence is a correctness bug and the bench exits non-zero
@@ -101,10 +103,11 @@ int main() {
   const int sw_seg = server_wide.register_model(seg, "segformer");
   const int sw_evit = server_wide.register_model(evit, "efficientvit");
 
-  // Interleave rounds (serial loops, server(1), server(N)) and keep the
-  // MEDIAN round: every variant gets the same clock-drift exposure.
-  std::vector<tfm::QTensor> serial, served1, servedw;
-  std::vector<double> serial_r, server1_r, wide_r;
+  // Interleave rounds (serial loops, server(1), server(N), stream(N)) and
+  // keep the MEDIAN round: every variant gets the same clock-drift
+  // exposure.
+  std::vector<tfm::QTensor> serial, served1, servedw, streamed;
+  std::vector<double> serial_r, server1_r, wide_r, stream_r;
   const double n = 2.0 * static_cast<double>(images.size());
   for (int rep = 0; rep < reps; ++rep) {
     {
@@ -126,24 +129,34 @@ int main() {
       servedw = serve_stream(server_wide, sw_seg, sw_evit, images);
       wide_r.push_back(timer.milliseconds());
     }
+    {
+      Timer timer;
+      streamed = bench::serve_stream_continuous(
+          server_wide, bench::mixed_request_list(sw_seg, sw_evit, images));
+      stream_r.push_back(timer.milliseconds());
+    }
   }
 
   bool identical = code_checksum(serial) == code_checksum(served1) &&
-                   code_checksum(serial) == code_checksum(servedw);
+                   code_checksum(serial) == code_checksum(servedw) &&
+                   code_checksum(serial) == code_checksum(streamed);
   // The checksum can collide; the committed gate is per-request equality.
   for (std::size_t i = 0; identical && i < serial.size(); ++i) {
     identical = serial[i].data() == served1[i].data() &&
-                serial[i].data() == servedw[i].data();
+                serial[i].data() == servedw[i].data() &&
+                serial[i].data() == streamed[i].data();
   }
 
   TablePrinter table({"Stream", "Serial req/s", "Server(1) req/s",
-                      "Server(N) req/s", "N", "Bit-identical"});
+                      "Server(N) req/s", "Stream(N) req/s", "N",
+                      "Bit-identical"});
   table.set_title(
       "Co-serving throughput: serial loops vs async two-model server");
   table.add_row({format("%dx SegFormer + %dx EfficientViT", scenes, scenes),
                  fixed(n / (median(serial_r) * 1e-3), 1),
                  fixed(n / (median(server1_r) * 1e-3), 1),
                  fixed(n / (median(wide_r) * 1e-3), 1),
+                 fixed(n / (median(stream_r) * 1e-3), 1),
                  format("%d", server_wide.lanes()),
                  identical ? "yes" : "NO"});
   bench::emit(table, "coserve_throughput");

@@ -1,15 +1,22 @@
 // Request-stream co-serving demo: both reproduction models registered on
 // one async gqa::Server (eval/server.h), sharing the process-wide pool and
 // a single pre-warmed NonlinearProvider whose replaced-op set is the union
-// of the two model inventories. A mixed stream of requests is submitted
-// asynchronously; the client polls tickets while "doing other work", then
-// collects results in ticket order and cross-checks them against serial
-// per-image forwards (they are bit-identical by contract).
+// of the two model inventories. The continuous-batching scheduler admits
+// the mixed stream in weighted round-robin order (SegFormer weighted 2:1
+// over EfficientViT here — override with GQA_QOS_WEIGHTS); half the
+// requests are collected via poll/wait, the other half delivered through
+// submit-time callbacks, and every result is cross-checked against the
+// serial per-image forward (bit-identical by contract).
 //
 // Env knobs: GQA_NUM_THREADS service lanes (default: hardware
 //            concurrency), GQA_SERVE_SCENES images per model (default 4),
-//            GQA_SERVER_QUEUE admission-queue capacity (default 8).
+//            GQA_SERVER_QUEUE admission-queue capacity (default 8),
+//            GQA_QOS_WEIGHTS per-model admission weights (default "2,1"
+//            here, set in code).
 #include <cstdio>
+#include <exception>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -49,62 +56,121 @@ int main() {
   ServerOptions options;  // num_threads=0: the process-wide pool
   options.queue_capacity =
       static_cast<std::size_t>(env_int("GQA_SERVER_QUEUE", 8));
+  // QoS: SegFormer requests get two admission slots per scheduling cycle
+  // for every EfficientViT slot while both have backlog. The server only
+  // reads GQA_QOS_WEIGHTS when qos_weights is left empty, so the demo's
+  // 2:1 default is applied only when the env var is unset — setting it
+  // really overrides the ratio.
+  if (env_string("GQA_QOS_WEIGHTS", "").empty()) {
+    options.scheduler.qos_weights = {2, 1};
+  }
   Server server(nl, options);
   const int seg_id = server.register_model(segformer, "segformer");
   const int evit_id = server.register_model(efficientvit, "efficientvit");
-  std::printf("server up: %d lane(s), queue capacity %zu, %zu models\n",
-              server.lanes(), options.queue_capacity, server.model_count());
+  const std::string weights_label =
+      options.scheduler.qos_weights.empty()
+          ? env_string("GQA_QOS_WEIGHTS", "") + " (GQA_QOS_WEIGHTS)"
+          : "2:1 (demo default)";
+  std::printf("server up: %d lane(s), queue capacity %zu, %zu models, "
+              "QoS weights %s\n",
+              server.lanes(), options.queue_capacity, server.model_count(),
+              weights_label.c_str());
 
   // Submit the mixed stream asynchronously; submit() blocks only if the
   // bounded admission queue fills (backpressure), try_submit() would shed
-  // load instead.
+  // load instead. SegFormer requests use poll/wait tickets; EfficientViT
+  // results are delivered to submit-time callbacks on the service lanes.
   Timer serve_timer;
-  std::vector<Server::Ticket> tickets;
-  std::vector<const char*> kinds;
+  std::vector<Server::Ticket> wait_tickets;
+  std::mutex callback_mutex;
+  std::map<Server::Ticket, tfm::QTensor> callback_results;
+  std::exception_ptr callback_error;  // callbacks must not throw: record it
+  std::vector<Server::Ticket> callback_tickets;
   for (const tfm::Tensor& img : images) {
-    tickets.push_back(server.submit(seg_id, img));
-    kinds.push_back("segformer  ");
-    tickets.push_back(server.submit(evit_id, img));
-    kinds.push_back("efficientvit");
+    wait_tickets.push_back(server.submit(seg_id, img));
+    callback_tickets.push_back(server.submit(
+        evit_id, img,
+        [&](Server::Ticket done, tfm::QTensor logits,
+            std::exception_ptr error) {
+          std::lock_guard<std::mutex> lock(callback_mutex);
+          if (error != nullptr) {
+            if (callback_error == nullptr) callback_error = error;
+            return;
+          }
+          callback_results.emplace(done, std::move(logits));
+        }));
   }
   std::printf("submitted %zu requests; polling while they serve...\n",
-              tickets.size());
+              wait_tickets.size() + callback_tickets.size());
 
-  // The async client's loop: check readiness without blocking.
+  // The async client's loop: check readiness without blocking (callback
+  // tickets read kConsumed once delivered).
   std::size_t ready = 0;
-  while (ready < tickets.size()) {
+  const std::size_t total = wait_tickets.size() + callback_tickets.size();
+  while (ready < total) {
     ready = 0;
-    for (const Server::Ticket t : tickets) {
+    for (const Server::Ticket t : wait_tickets) {
       if (server.poll(t) == TicketStatus::kReady) ++ready;
+    }
+    for (const Server::Ticket t : callback_tickets) {
+      if (server.poll(t) == TicketStatus::kConsumed) ++ready;
     }
     std::this_thread::yield();  // "other work" would go here
   }
+  server.drain();  // every callback has finished once drain returns
+  {
+    std::lock_guard<std::mutex> lock(callback_mutex);
+    if (callback_error != nullptr) {
+      // Surface the backend failure instead of crashing later on a
+      // missing map entry when collecting results.
+      try {
+        std::rethrow_exception(callback_error);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "FAIL: a served request failed: %s\n", e.what());
+        return 1;
+      }
+    }
+  }
 
   // Ticket-order collection delivers results in submission order no matter
-  // which lane finished which request first.
+  // which lane finished which request first; callback results were dropped
+  // into the map by whichever lane completed them.
   bool all_identical = true;
-  for (std::size_t i = 0; i < tickets.size(); ++i) {
-    const tfm::QTensor logits = server.wait(tickets[i]);
-    const tfm::Tensor& img = images[i / 2];
-    const tfm::QTensor serial =
-        i % 2 == 0 ? segformer.forward_int(img, nl)
-                   : efficientvit.forward_int(img, nl);
+  const auto report = [&](Server::Ticket ticket, const char* kind,
+                          const tfm::QTensor& logits,
+                          const tfm::QTensor& serial) {
     const bool identical = logits.data() == serial.data();
     all_identical = all_identical && identical;
     std::int64_t sum = 0;
     for (std::int32_t v : logits.data()) sum += v;
     std::printf("  ticket %2llu  %s  logit-checksum %10lld  %s\n",
-                static_cast<unsigned long long>(tickets[i]), kinds[i],
+                static_cast<unsigned long long>(ticket), kind,
                 static_cast<long long>(sum),
                 identical ? "== serial" : "DIVERGED");
+  };
+  for (std::size_t i = 0; i < wait_tickets.size(); ++i) {
+    report(wait_tickets[i], "segformer  (wait)    ",
+           server.wait(wait_tickets[i]),
+           segformer.forward_int(images[i], nl));
+  }
+  for (std::size_t i = 0; i < callback_tickets.size(); ++i) {
+    std::lock_guard<std::mutex> lock(callback_mutex);
+    report(callback_tickets[i], "efficientvit (callback)",
+           callback_results.at(callback_tickets[i]),
+           efficientvit.forward_int(images[i], nl));
   }
 
   const Server::Stats stats = server.stats();
-  std::printf("\nserved %llu requests in %.1fms across %llu batch(es) "
-              "on %d lane(s)\n",
+  std::printf("\nserved %llu requests in %.1fms across %llu service span(s) "
+              "on %d lane(s); starts per model:",
               static_cast<unsigned long long>(stats.completed),
               serve_timer.milliseconds(),
-              static_cast<unsigned long long>(stats.batches), server.lanes());
+              static_cast<unsigned long long>(stats.spans), server.lanes());
+  for (std::size_t m = 0; m < stats.started_per_model.size(); ++m) {
+    std::printf(" %s=%llu", m == 0 ? "segformer" : "efficientvit",
+                static_cast<unsigned long long>(stats.started_per_model[m]));
+  }
+  std::printf("\n");
   server.shutdown();
   if (!all_identical) {
     std::fprintf(stderr,

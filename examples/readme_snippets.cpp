@@ -6,6 +6,7 @@
 // can never silently rot when an API changes. Edit the README and this
 // file together.
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "eval/engine.h"
@@ -70,13 +71,22 @@ int main() {
   auto logits = engine.forward_int(model, images, nl);   // per-image QTensors
   auto labels = engine.labels_int(model, images, nl);    // per-image argmax maps
 
-  // --- README "Async serving: submit/poll with multi-model co-serving" ---
-  gqa::Server server(nl);                       // shared provider, process pool
+  // --- README "Async serving: continuous batching with multi-model
+  // co-serving" block ---
+  gqa::ServerOptions options;                   // defaults: process pool, fair RR
+  options.scheduler.qos_weights = {2, 1};       // model 0 gets 2 slots per cycle
+  gqa::Server server(nl, options);              // shared provider
   const int seg_id = server.register_model(segformer, "segformer");
   const int evit_id = server.register_model(efficientvit, "efficientvit");
   auto ticket = server.submit(seg_id, image);   // async: returns a ticket
   while (server.poll(ticket) != gqa::TicketStatus::kReady) { /* other work */ }
   tfm::QTensor seg_logits = server.wait(ticket);  // bit-identical to serial
+  server.submit(evit_id, image,                 // or: callback delivery
+                [](gqa::Server::Ticket, tfm::QTensor logits,
+                   std::exception_ptr) {        // runs on the service lane
+                  std::printf("%zu logit codes\n", logits.data().size());
+                });
+  server.drain();                               // callbacks done on return
 
   std::printf("engine: %zu logits, %zu label maps; server: model ids %d/%d, "
               "%zu logit codes\n",

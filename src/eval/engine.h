@@ -16,10 +16,12 @@
 //
 // The per-forward ThreadPool* path on the models remains available for
 // single-image latency; the engine is for throughput, and the async
-// submit/poll front-end over the same shape is gqa::Server (eval/server.h)
-// — engines and servers can share the process pool (parallel_for
-// dispatches serialize), and one provider's warmed tier serves them all
-// (warm_up_deployment covers the union of co-served op-sets).
+// submit/callback front-end over the same shape is gqa::Server
+// (eval/server.h) — engines and servers co-serve on the process pool
+// (jobs serialize; a server's continuous service span releases the pool
+// whenever its backlog momentarily empties), hold per-lane scratch through
+// the same LaneLease abstraction below, and share one provider's warmed
+// tier (warm_up_deployment covers the union of co-served op-sets).
 //
 // Thread-safety: one engine may be dispatched from one thread at a time
 // (its workspace pool is internally synchronized, so the batch fan-out
@@ -38,6 +40,16 @@
 #include "util/thread_pool.h"
 
 namespace gqa {
+
+/// The serving layer's name for tfm::WorkspaceLease: the RAII lease of one
+/// service lane's scratch, checked out of a WorkspacePool for the lease's
+/// lifetime. Both serving shapes hold exactly one lease per running lane —
+/// the batch engine for the span of an image chunk (inside ws_batch), the
+/// server's continuous scheduler for the span of a service loop — so layer
+/// scratch persists across dispatches (through the pool) while never being
+/// shared between concurrently running tasks, and is returned on every
+/// exit path even when a forward throws.
+using LaneLease = tfm::WorkspaceLease;
 
 struct EngineOptions {
   /// Lane count: 0 uses the lazily-created process-wide pool

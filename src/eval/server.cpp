@@ -1,21 +1,60 @@
 #include "eval/server.h"
 
+#include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 #include "util/contracts.h"
+#include "util/env.h"
 #include "util/strings.h"
 
 namespace gqa {
 
+namespace {
+
+/// GQA_QOS_WEIGHTS fallback for SchedulerConfig::qos_weights: a comma-
+/// separated per-model_id weight list ("3,1"). Unset or empty -> no
+/// weights (every model weighs 1).
+std::vector<int> qos_weights_from_env() {
+  const std::string raw = env_string("GQA_QOS_WEIGHTS", "");
+  std::vector<int> weights;
+  if (trim(raw).empty()) return weights;
+  for (const std::string& token : split(raw, ',')) {
+    const std::string t = trim(token);
+    char* end = nullptr;
+    const long value = std::strtol(t.c_str(), &end, 10);
+    GQA_EXPECTS_MSG(end != t.c_str() && *end == '\0' && value >= 1,
+                    "GQA_QOS_WEIGHTS must be comma-separated integers >= 1");
+    weights.push_back(static_cast<int>(value));
+  }
+  return weights;
+}
+
+std::exception_ptr cancellation_error() {
+  return std::make_exception_ptr(std::runtime_error(
+      "request cancelled: server shut down before it started "
+      "(DrainPolicy::kCancelPending)"));
+}
+
+}  // namespace
+
 Server::Server(const tfm::NonlinearProvider& provider, ServerOptions options)
     : provider_(provider),
-      options_(options),
-      queue_(options.queue_capacity) {
-  GQA_EXPECTS(options.num_threads >= 0);
-  GQA_EXPECTS_MSG(options.queue_capacity >= 1,
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {
+  GQA_EXPECTS(options_.num_threads >= 0);
+  GQA_EXPECTS_MSG(options_.queue_capacity >= 1,
                   "admission queue needs capacity >= 1");
-  if (options.num_threads >= 1) {
-    owned_ = std::make_unique<ThreadPool>(options.num_threads);
+  GQA_EXPECTS_MSG(options_.scheduler.max_inflight >= 0,
+                  "max_inflight must be >= 0 (0 = lane count)");
+  if (options_.scheduler.qos_weights.empty()) {
+    options_.scheduler.qos_weights = qos_weights_from_env();
+  }
+  for (const int w : options_.scheduler.qos_weights) {
+    GQA_EXPECTS_MSG(w >= 1, "QoS weights must be >= 1");
+  }
+  if (options_.num_threads >= 1) {
+    owned_ = std::make_unique<ThreadPool>(options_.num_threads);
     pool_ = owned_.get();
   } else {
     pool_ = &global_pool();
@@ -24,6 +63,14 @@ Server::Server(const tfm::NonlinearProvider& provider, ServerOptions options)
 }
 
 Server::~Server() { shutdown(); }
+
+std::uint64_t Server::weight_of(std::size_t model_id) const {
+  const std::vector<int>& weights = options_.scheduler.qos_weights;
+  if (model_id < weights.size()) {
+    return static_cast<std::uint64_t>(weights[model_id]);
+  }
+  return 1;
+}
 
 int Server::register_forward(std::string name, ForwardFn forward) {
   GQA_EXPECTS_MSG(forward != nullptr, "register_forward needs a callable");
@@ -34,6 +81,9 @@ int Server::register_forward(std::string name, ForwardFn forward) {
     id = static_cast<int>(models_.size());
     if (name.empty()) name = format("model-%d", id);
     models_.push_back({std::move(name), std::move(forward)});
+    backlog_.emplace_back();
+    credits_.push_back(weight_of(static_cast<std::size_t>(id)));
+    stats_.started_per_model.push_back(0);
   }
   // One shared warm-up covers the union of every co-served model's op-set:
   // the provider warms everything it replaces, and repeats on a warm
@@ -43,7 +93,7 @@ int Server::register_forward(std::string name, ForwardFn forward) {
 }
 
 std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
-                                            bool blocking) {
+                                            bool blocking, Callback callback) {
   Ticket ticket = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -52,13 +102,26 @@ std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
         model_id >= 0 && model_id < static_cast<int>(models_.size()),
         "submit for an unregistered model_id");
     ticket = next_ticket_++;
-    slots_.emplace(ticket, Slot{});
+    Slot slot;
+    slot.callback = std::move(callback);
+    slots_.emplace(ticket, std::move(slot));
     ++stats_.submitted;
   }
   Request request{ticket, model_id, std::move(image)};
   const bool pushed = blocking ? queue_.push(std::move(request))
                                : queue_.try_push(std::move(request));
-  if (pushed) return ticket;
+  if (pushed) {
+    // Wake one lane parked mid-span — each admission adds exactly one
+    // runnable request, and a woken lane that loses the race re-checks
+    // and re-parks safely (completions/shutdown broadcast instead, since
+    // every lane must observe span-over). The empty lock pairs this
+    // notify with the lanes' empty-backlog check: a lane holding mutex_
+    // through that check either sees the pushed item on its refill or
+    // starts waiting before this notify can fire — never in between.
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    sched_cv_.notify_one();
+    return ticket;
+  }
 
   // The request never reached the queue: retract the ticket. push() only
   // fails when the queue closed (shutdown raced the submit); try_push()
@@ -76,15 +139,28 @@ std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
 }
 
 Server::Ticket Server::submit(int model_id, tfm::Tensor image) {
+  return submit(model_id, std::move(image), nullptr);
+}
+
+Server::Ticket Server::submit(int model_id, tfm::Tensor image,
+                              Callback callback) {
   const std::optional<Ticket> ticket =
-      admit(model_id, std::move(image), /*blocking=*/true);
+      admit(model_id, std::move(image), /*blocking=*/true,
+            std::move(callback));
   GQA_ASSERT(ticket.has_value());  // blocking admit throws instead of refusing
   return *ticket;
 }
 
 std::optional<Server::Ticket> Server::try_submit(int model_id,
                                                  tfm::Tensor image) {
-  return admit(model_id, std::move(image), /*blocking=*/false);
+  return try_submit(model_id, std::move(image), nullptr);
+}
+
+std::optional<Server::Ticket> Server::try_submit(int model_id,
+                                                 tfm::Tensor image,
+                                                 Callback callback) {
+  return admit(model_id, std::move(image), /*blocking=*/false,
+               std::move(callback));
 }
 
 TicketStatus Server::poll(Ticket ticket) const {
@@ -105,6 +181,9 @@ tfm::QTensor Server::wait(Ticket ticket) {
   // Claiming makes a concurrent second wait on the same ticket fail fast
   // instead of racing this one's erase.
   Slot& slot = it->second;
+  GQA_EXPECTS_MSG(slot.callback == nullptr,
+                  "wait on a callback ticket (its result is delivered to "
+                  "the submit-time callback)");
   GQA_EXPECTS_MSG(!slot.claimed, "second wait on a ticket already waited on");
   slot.claimed = true;
   result_cv_.wait(lock, [&] { return slot.ready(); });
@@ -125,12 +204,16 @@ void Server::drain() {
 }
 
 void Server::shutdown() {
+  // Concurrent shutdown() callers (including the destructor racing an
+  // explicit call) serialize here; the loser sees a joined dispatcher and
+  // returns — the call is idempotent (tests/server_test.cpp hammers this).
   std::lock_guard<std::mutex> serialize(shutdown_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
   }
   queue_.close();  // wakes blocked submitters (they fail) and the dispatcher
+  sched_cv_.notify_all();  // parked lanes re-check stop + drain policy
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
@@ -146,97 +229,223 @@ Server::Stats Server::stats() const {
 
 void Server::dispatch_loop() {
   for (;;) {
-    // Blocks until work arrives; an empty collection is the closed-and-
-    // drained signal, so shutdown() always sees every admitted request
-    // completed before join() returns.
-    std::vector<Request> admitted = queue_.pop_all();
-    if (admitted.empty()) return;
-    std::vector<Request> batch = fair_interleave(std::move(admitted));
+    // Parks only while the server is idle: any admitted request opens the
+    // next continuous service span. nullopt is the closed-and-drained
+    // signal, so shutdown() always sees every admitted request resolved
+    // before join() returns.
+    std::optional<Request> first = queue_.pop();
+    if (!first.has_value()) return;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.batches;
+      backlog_[static_cast<std::size_t>(first->model_id)].push_back(
+          std::move(*first));
+      ++backlog_total_;
+      ++stats_.spans;
     }
-    run_batch(batch);
+    run_service();
   }
 }
 
-std::vector<Server::Request> Server::fair_interleave(
-    std::vector<Request> admitted) {
-  const std::size_t total = admitted.size();
-  std::size_t model_count = 0;
-  int start = 0;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    model_count = models_.size();
-    start = rr_cursor_;
-    rr_cursor_ = model_count == 0
-                     ? 0
-                     : (rr_cursor_ + 1) % static_cast<int>(model_count);
+void Server::run_service() {
+  // One continuous span: every lane loops in service_lane() until the
+  // backlog runs momentarily dry, then the pool is released (so engines
+  // sharing global_pool() interleave at idle gaps). The dispatcher is the
+  // caller lane, so a 1-lane server serves inline with zero dispatch cost.
+  pool_->run_lanes([this](std::size_t) { service_lane(); });
+}
+
+void Server::service_lane() {
+  // The lane's scratch is leased once per span, not per request, and its
+  // buffers persist across spans through the workspace pool; lanes that
+  // never get a request never touch it. (tfm::WorkspaceLease is what the
+  // eval layer names LaneLease in engine.h.)
+  std::optional<tfm::WorkspaceLease> lease;
+  for (;;) {
+    std::optional<Request> request;
+    const ForwardFn* forward = nullptr;
+    std::vector<Cancellation> cancelled;
+    bool span_over = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (;;) {
+        request = next_request_locked(cancelled);
+        if (request.has_value() || !cancelled.empty()) break;
+        if (inflight_ == 0) {
+          // Nothing queued and nothing running anywhere: the span is over
+          // for every lane (each observes this same state before leaving).
+          span_over = true;
+          break;
+        }
+        // Peers still hold in-flight requests, so the span — and the
+        // pool's dispatch slot — stays occupied regardless of what this
+        // lane does. Parking here instead of returning keeps the lane
+        // available: a request admitted while a peer is mid-forward starts
+        // on this lane immediately rather than waiting for the busy one.
+        // Woken by admissions, completions, and shutdown.
+        sched_cv_.wait(lock);
+      }
+      if (request.has_value()) {
+        forward =
+            &models_[static_cast<std::size_t>(request->model_id)].forward;
+      }
+    }
+    if (!cancelled.empty()) {
+      result_cv_.notify_all();  // waiter slots were resolved under the lock
+      std::uint64_t delivered = 0;
+      for (Cancellation& c : cancelled) {
+        if (c.callback == nullptr) continue;
+        deliver_callback(std::move(c.callback), c.ticket, tfm::QTensor{},
+                         cancellation_error());
+        ++delivered;
+      }
+      if (delivered > 0) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          stats_.completed += delivered;
+        }
+        result_cv_.notify_all();
+      }
+      continue;  // re-evaluate the span state after the deliveries
+    }
+    if (span_over) return;
+    if (!request.has_value()) continue;
+    if (!lease.has_value()) lease.emplace(workspaces_);
+    Slot filled;
+    try {
+      // The serial deployment forward: no intra-forward pool, zero-filled
+      // workspace acquires — bit-identical to a serial per-image loop.
+      filled.result = (*forward)(request->image, lease->workspace());
+    } catch (...) {
+      filled.error = std::current_exception();
+    }
+    complete(request->ticket, std::move(filled));
   }
+}
+
+std::optional<Server::Request> Server::next_request_locked(
+    std::vector<Cancellation>& cancelled) {
+  // Refill first: pulling straight from the admission queue on every pick
+  // is what makes the batching continuous — a request admitted while lanes
+  // are busy starts on the first lane that frees, and draining here is
+  // what releases submitters blocked on a full queue.
+  for (Request& r : queue_.try_pop_all()) {
+    backlog_[static_cast<std::size_t>(r.model_id)].push_back(std::move(r));
+    ++backlog_total_;
+  }
+  if (stopping_ &&
+      options_.scheduler.drain_policy == DrainPolicy::kCancelPending) {
+    cancel_backlog_locked(cancelled);
+  }
+  if (backlog_total_ == 0) return std::nullopt;
+  const std::size_t cap =
+      options_.scheduler.max_inflight > 0
+          ? static_cast<std::size_t>(options_.scheduler.max_inflight)
+          : static_cast<std::size_t>(pool_->size());
+  if (inflight_ >= cap) return std::nullopt;
+
+  // Weighted round-robin: the cursor model keeps the dispatch position
+  // while it has backlog and cycle credit (so weight w yields bursts of up
+  // to w consecutive starts), then the position moves to the next eligible
+  // model. When every backlogged model has exhausted its credit the cycle
+  // resets and the cursor rotates, so no model is always first. Models
+  // with no backlog are skipped (work-conserving) — their unused credit
+  // never stalls the cycle.
+  const std::size_t model_count = models_.size();
   GQA_ASSERT(model_count > 0);  // requests only exist for registered models
-  if (model_count == 1) return admitted;
-
-  // FIFO per model, then one request per model in cyclic order: a model
-  // that floods the queue cannot starve the others' dispatch position.
-  // The cursor rotates across collections so no model is always first.
-  std::vector<std::deque<Request>> per_model(model_count);
-  for (Request& r : admitted) {
-    per_model[static_cast<std::size_t>(r.model_id)].push_back(std::move(r));
-  }
-  std::vector<Request> interleaved;
-  interleaved.reserve(total);
-  while (interleaved.size() < total) {
+  for (int pass = 0; pass < 2; ++pass) {
     for (std::size_t k = 0; k < model_count; ++k) {
-      std::deque<Request>& q =
-          per_model[(static_cast<std::size_t>(start) + k) % model_count];
-      if (q.empty()) continue;
-      interleaved.push_back(std::move(q.front()));
-      q.pop_front();
+      const std::size_t m =
+          (static_cast<std::size_t>(wrr_cursor_) + k) % model_count;
+      if (backlog_[m].empty() || credits_[m] == 0) continue;
+      --credits_[m];
+      wrr_cursor_ = static_cast<int>(m);
+      ++inflight_;
+      ++stats_.started_per_model[m];
+      Request request = std::move(backlog_[m].front());
+      backlog_[m].pop_front();
+      --backlog_total_;
+      return request;
     }
+    // Every backlogged model exhausted its cycle credit: start a new cycle.
+    for (std::size_t m = 0; m < model_count; ++m) credits_[m] = weight_of(m);
+    wrr_cursor_ = (wrr_cursor_ + 1) % static_cast<int>(model_count);
   }
-  return interleaved;
+  GQA_ASSERT(false);  // after a reset some backlogged model has credit
+  return std::nullopt;
 }
 
-void Server::run_batch(std::vector<Request>& batch) {
-  // Snapshot the per-request forwards once per batch: models_ is an
-  // append-only deque (element references are stable), so one lock here
-  // replaces a lock per request in the lanes below.
-  std::vector<const ForwardFn*> forwards(batch.size());
+void Server::cancel_backlog_locked(std::vector<Cancellation>& cancelled) {
+  for (std::deque<Request>& per_model : backlog_) {
+    for (Request& request : per_model) {
+      const auto it = slots_.find(request.ticket);
+      GQA_ASSERT(it != slots_.end());  // only delivery erases slots
+      if (it->second.callback != nullptr) {
+        // Counted as resolved by the caller only after the cancellation
+        // callback has run, so drain() covers it.
+        cancelled.push_back({request.ticket, std::move(it->second.callback)});
+        slots_.erase(it);
+      } else {
+        it->second.error = cancellation_error();
+        ++stats_.completed;
+        cancelled.push_back({request.ticket, nullptr});
+      }
+    }
+    per_model.clear();
+  }
+  backlog_total_ = 0;
+}
+
+void Server::complete(Ticket ticket, Slot&& filled) {
+  Callback callback;
+  tfm::QTensor result;
+  const std::exception_ptr error = filled.error;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      forwards[i] =
-          &models_[static_cast<std::size_t>(batch[i].model_id)].forward;
+    const auto it = slots_.find(ticket);
+    GQA_ASSERT(it != slots_.end());  // only delivery erases slots
+    if (it->second.callback != nullptr) {
+      // Callback delivery consumes the ticket; the result never parks in
+      // the slot table. Resolution is counted AFTER the callback runs
+      // (below, outside this lock), so the accounting splits in two.
+      callback = std::move(it->second.callback);
+      if (filled.result.has_value()) result = std::move(*filled.result);
+      slots_.erase(it);
+    } else {
+      // Fill in place (a waiter may already have claimed the slot) and
+      // resolve in the same critical section — the common path takes the
+      // lock once per completion.
+      it->second.result = std::move(filled.result);
+      it->second.error = error;
+      --inflight_;
+      ++stats_.completed;
     }
   }
-  pooled_for_chunks(pool_, batch.size(), [&](std::size_t lo, std::size_t hi) {
-    // One Workspace per in-flight chunk, persisted across batches through
-    // the pool — steady-state lanes re-malloc nothing.
-    tfm::Workspace ws = workspaces_.acquire();
-    for (std::size_t i = lo; i < hi; ++i) {
-      Request& request = batch[i];
-      const ForwardFn* forward = forwards[i];
-      Slot filled;
-      try {
-        // The serial deployment forward: no intra-forward pool, zero-filled
-        // workspace acquires — bit-identical to a serial per-image loop.
-        filled.result = (*forward)(request.image, &ws);
-      } catch (...) {
-        filled.error = std::current_exception();
-      }
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        const auto it = slots_.find(request.ticket);
-        GQA_ASSERT(it != slots_.end());  // only wait() erases, after ready
-        // Fill in place: a waiter may already have claimed the slot.
-        it->second.result = std::move(filled.result);
-        it->second.error = filled.error;
-        ++stats_.completed;
-      }
-      result_cv_.notify_all();
-    }
-    workspaces_.release(std::move(ws));
-  });
+  if (callback != nullptr) {
+    // The callback runs BEFORE the request counts as resolved (and while
+    // it still occupies the lane's inflight slot), so drain()/shutdown()
+    // returning guarantees every callback has finished — a client may
+    // free the callback's captures right after drain().
+    deliver_callback(std::move(callback), ticket, std::move(result), error);
+    std::lock_guard<std::mutex> lock(mutex_);
+    --inflight_;
+    ++stats_.completed;
+  }
+  result_cv_.notify_all();
+  sched_cv_.notify_all();  // parked lanes re-check the cap and span state
+}
+
+void Server::deliver_callback(Callback callback, Ticket ticket,
+                              tfm::QTensor result, std::exception_ptr error) {
+  if (callback == nullptr) return;
+  try {
+    callback(ticket, std::move(result), error);
+  } catch (...) {
+    // The contract says callbacks must not throw; there is nowhere left to
+    // deliver an escaping exception (the ticket is consumed), so count it
+    // instead of killing the service lane.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.callback_errors;
+  }
 }
 
 }  // namespace gqa

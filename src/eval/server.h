@@ -1,30 +1,62 @@
-// Asynchronous submit/poll serving front-end with multi-model co-serving.
+// Asynchronous serving front-end with multi-model co-serving on a
+// continuous-batching scheduler.
 //
 // The InferenceEngine (eval/engine.h) serves one frozen model one batch at
 // a time — the caller owns the batching. gqa::Server owns it instead: any
-// number of client threads submit(model_id, image) and get back a Ticket;
-// a dispatcher thread drains the bounded admission queue
-// (util/thread_pool.h BoundedQueue) in fair round-robin order across every
-// registered model and fans each collected batch out across the pool lanes
-// (gqa::global_pool() by default, so engines and the server co-serve on
-// one process pool). Clients poll() for readiness or wait() to block.
+// number of client threads submit(model_id, image) and get back a Ticket
+// (optionally with a result callback); requests flow through a bounded
+// admission queue (util/thread_pool.h BoundedQueue) straight onto free
+// pool lanes. There is no batch barrier: while a service span is live,
+// every lane that finishes a request immediately pulls the next one from
+// the scheduler's per-model backlog — refilled from the admission queue on
+// every pull — and a lane with nothing to pull parks until an admission or
+// completion wakes it, so requests admitted mid-span start on the first
+// free lane even while other lanes sit mid-forward
+// (dispatch-while-collecting). The span — and the process pool's dispatch
+// slot — closes when the backlog is dry and nothing is in flight; a
+// dispatcher thread parks on the queue while the server is idle and opens
+// the next span on arrival.
 //
-// Guarantees (enforced by tests/server_test.cpp, also under TSan):
+// Admission order is weighted round-robin: SchedulerConfig::qos_weights
+// gives each model a per-cycle credit of dispatch slots (weight 2 means
+// two starts per cycle while backlogged), work-conserving — a model with
+// no backlog donates its slots instead of stalling the cycle. Equal
+// weights reproduce the fair round-robin of the batch-at-a-time server.
+//
+// Guarantees (enforced by tests/server_test.cpp and the randomized
+// conformance harness tests/scheduler_test.cpp, both under TSan):
 //   - Bit-identity: each request runs one fully-serial forward with a
-//     per-lane Workspace (zero-filled acquires), so wait(ticket) returns
-//     exactly what `model.forward_int(image, nl)` returns in a serial
-//     per-image loop — regardless of submission order, lane count, or how
-//     requests from different models interleave.
-//   - Ticket-order delivery: tickets are issued in admission order and
-//     results are keyed by ticket, so waiting tickets in issue order
-//     yields results in issue order no matter the completion order.
+//     per-lane Workspace (zero-filled acquires, held via LaneLease), so a
+//     request's result is exactly what `model.forward_int(image, nl)`
+//     returns in a serial per-image loop — regardless of submission order,
+//     QoS weights, lane count, or how models interleave.
+//   - Ticket-order issuance: tickets are dense and issued in admission
+//     order; results are keyed by ticket, so waiting tickets in issue
+//     order yields results in issue order no matter the completion order.
+//   - Exactly-once delivery: a result is delivered exactly once, either to
+//     the one wait() call on its ticket or to its submit-time callback.
 //   - Backpressure: the admission queue is bounded (ServerOptions::
 //     queue_capacity). submit() blocks until space frees; try_submit()
 //     returns nullopt instead — the caller picks the policy.
 //   - Shutdown/drain: shutdown() stops admission (blocked submitters fail
-//     with ContractViolation), finishes every admitted request, then parks
-//     the dispatcher. Every ticket issued before shutdown stays waitable
-//     after it. The destructor shuts down.
+//     with ContractViolation) and resolves every admitted request — by
+//     serving it (DrainPolicy::kFinishAdmitted, the default) or by failing
+//     not-yet-started ones to their waiters/callbacks
+//     (DrainPolicy::kCancelPending) — then parks the dispatcher. Every
+//     ticket issued before shutdown stays collectable after it. shutdown()
+//     is idempotent and safe to call concurrently from several threads;
+//     the destructor calls it.
+//
+// Callback threading contract: a submit-time callback runs exactly once on
+// the service lane that completed (or cancelled) the request, after the
+// result left the ticket table — poll() reads kConsumed from then on and
+// wait() on a callback ticket is a contract violation. Callbacks must be
+// quick (they occupy a service lane), must not throw (an escaping
+// exception is swallowed and counted in Stats::callback_errors — there is
+// nowhere left to deliver it), and must not call wait(), drain(), or
+// shutdown() on this server (self-deadlock); re-submitting from a callback
+// is allowed via try_submit() only — a blocking submit() on a full queue
+// would stall the lane that has to drain it.
 //
 // Thread-safety: every public method is safe to call from any thread;
 // each ticket has exactly one waiter (a second wait on the same ticket —
@@ -54,24 +86,55 @@
 
 namespace gqa {
 
+/// What shutdown() does with requests admitted but not yet started.
+enum class DrainPolicy {
+  /// Serve every admitted request before parking (the default): issued
+  /// tickets always resolve to their forward's result.
+  kFinishAdmitted,
+  /// Fail admitted-but-not-started requests fast: their waiters get a
+  /// std::runtime_error rethrown from wait() (callbacks get it as the
+  /// error argument); requests already on a lane still finish.
+  kCancelPending,
+};
+
+/// Continuous-batching scheduler knobs.
+struct SchedulerConfig {
+  /// Per-model_id admission weights for the weighted round-robin: a model
+  /// with weight w gets up to w dispatch slots per scheduling cycle while
+  /// it has backlog (models beyond the vector's length weigh 1; every
+  /// listed weight must be >= 1). Empty reads the GQA_QOS_WEIGHTS env var
+  /// (comma-separated, e.g. "3,1"); all-equal weights reproduce fair
+  /// round-robin.
+  std::vector<int> qos_weights;
+  /// Cap on requests being serviced concurrently; 0 means the lane count.
+  /// Lower values deliberately leave lanes idle for co-resident engines
+  /// sharing the process pool.
+  int max_inflight = 0;
+  /// Shutdown behaviour for the not-yet-started backlog.
+  DrainPolicy drain_policy = DrainPolicy::kFinishAdmitted;
+};
+
 struct ServerOptions {
   /// Lane count: 0 serves on the process-wide pool (GQA_NUM_THREADS-sized,
   /// shared with any InferenceEngine); >= 1 gives the server a private
   /// pool of that size (1 = serial service, still with workspace reuse).
   int num_threads = 0;
-  /// Bound on requests admitted but not yet collected by the dispatcher —
+  /// Bound on requests admitted but not yet collected by a service lane —
   /// the backpressure surface for submit()/try_submit().
   std::size_t queue_capacity = 64;
   /// Pre-warm the shared provider's full replaced-op set at registration,
   /// so service lanes never touch the unit-cache lock. Optimization only —
   /// results are identical either way.
   bool warm_provider = true;
+  /// Continuous-batching scheduler knobs (QoS weights, inflight cap,
+  /// drain policy).
+  SchedulerConfig scheduler;
 };
 
 enum class TicketStatus {
   kPending,   ///< admitted, result not ready yet
   kReady,     ///< result available; wait() returns without blocking
-  kConsumed,  ///< result already collected by wait()
+  kConsumed,  ///< result collected by wait() or delivered to the callback
 };
 
 class Server {
@@ -84,6 +147,13 @@ class Server {
   /// capture it beyond the call.
   using ForwardFn =
       std::function<tfm::QTensor(const tfm::Tensor&, tfm::Workspace*)>;
+
+  /// Result delivery alternative to poll()/wait(): invoked exactly once on
+  /// the completing service lane with (ticket, result, error); exactly one
+  /// of result/error is meaningful (error == nullptr means success). See
+  /// the callback threading contract in the file header.
+  using Callback =
+      std::function<void(Ticket, tfm::QTensor, std::exception_ptr)>;
 
   explicit Server(const tfm::NonlinearProvider& provider,
                   ServerOptions options = {});
@@ -112,27 +182,37 @@ class Server {
 
   /// Admits a request for `model_id`, blocking while the admission queue
   /// is full. Throws ContractViolation if the server is (or becomes) shut
-  /// down, or model_id was never registered.
+  /// down, or model_id was never registered. With a callback the result is
+  /// delivered to it instead of a wait() (see the callback contract).
   Ticket submit(int model_id, tfm::Tensor image);
+  Ticket submit(int model_id, tfm::Tensor image, Callback callback);
 
   /// Non-blocking admit: nullopt when the queue is full (load shedding).
   std::optional<Ticket> try_submit(int model_id, tfm::Tensor image);
+  std::optional<Ticket> try_submit(int model_id, tfm::Tensor image,
+                                   Callback callback);
 
-  /// Lifecycle of a ticket issued by submit()/try_submit().
+  /// Lifecycle of a ticket issued by submit()/try_submit(). A callback
+  /// ticket never reads kReady: it goes kPending -> kConsumed when the
+  /// callback has been invoked.
   [[nodiscard]] TicketStatus poll(Ticket ticket) const;
 
   /// Blocks until the ticket's result is ready and returns it, consuming
-  /// the ticket (a second wait on it is a contract violation). Safe to
-  /// call before, during, or after shutdown().
+  /// the ticket (a second wait on it is a contract violation, as is a wait
+  /// on a callback ticket). Safe to call before, during, or after
+  /// shutdown().
   [[nodiscard]] tfm::QTensor wait(Ticket ticket);
 
-  /// Blocks until every admitted request has completed. Admission stays
-  /// open; use shutdown() to also stop the service.
+  /// Blocks until every admitted request has resolved (served, failed, or
+  /// cancelled). Admission stays open; use shutdown() to also stop the
+  /// service.
   void drain();
 
-  /// Stops admission, completes every admitted request, parks the
-  /// dispatcher. Idempotent; implied by the destructor. Results of
-  /// already-issued tickets remain collectable via wait().
+  /// Stops admission, resolves every admitted request per
+  /// SchedulerConfig::drain_policy, parks the dispatcher. Idempotent and
+  /// safe to call concurrently from several threads; implied by the
+  /// destructor. Results of already-issued tickets remain collectable via
+  /// wait() (cancelled ones rethrow their cancellation error).
   void shutdown();
 
   /// Lanes requests fan out across (>= 1).
@@ -141,9 +221,14 @@ class Server {
 
   struct Stats {
     std::uint64_t submitted = 0;  ///< admitted requests
-    std::uint64_t completed = 0;  ///< results delivered to slots
+    std::uint64_t completed = 0;  ///< requests resolved (incl. cancelled)
     std::uint64_t rejected = 0;   ///< try_submit refusals (queue full)
-    std::uint64_t batches = 0;    ///< dispatcher collections
+    std::uint64_t spans = 0;      ///< continuous service spans opened
+    std::uint64_t callback_errors = 0;  ///< exceptions escaping callbacks
+    /// Requests handed to a lane, per model_id — the observable the QoS
+    /// conformance harness checks ratios on (cancelled requests never
+    /// start, so they are not counted here).
+    std::vector<std::uint64_t> started_per_model;
   };
   [[nodiscard]] Stats stats() const;
 
@@ -158,24 +243,44 @@ class Server {
     ForwardFn forward;
   };
   /// Ready when `result` is engaged or `error` is set; wait() rethrows a
-  /// backend exception to the waiter instead of killing the dispatcher.
-  /// `claimed` is set by the first wait() before it blocks, so a second
-  /// waiter on the same ticket fails fast with ContractViolation instead
-  /// of racing the first one's erase.
+  /// backend exception to the waiter instead of killing the lane. For a
+  /// callback request the slot only tracks pending-ness: completion moves
+  /// the result into the callback and erases the slot. `claimed` is set by
+  /// the first wait() before it blocks, so a second waiter on the same
+  /// ticket fails fast with ContractViolation instead of racing the first
+  /// one's erase.
   struct Slot {
     std::optional<tfm::QTensor> result;
     std::exception_ptr error;
+    Callback callback;
     bool claimed = false;
     [[nodiscard]] bool ready() const {
       return result.has_value() || error != nullptr;
     }
   };
+  /// A cancelled backlog entry whose delivery (callback invocation) must
+  /// happen outside the scheduler lock; waiter slots are resolved in
+  /// place and only need the post-unlock notify.
+  struct Cancellation {
+    Ticket ticket = 0;
+    Callback callback;  ///< null when a wait()er owns the slot
+  };
 
   void dispatch_loop();
-  [[nodiscard]] std::vector<Request> fair_interleave(
-      std::vector<Request> admitted);
-  void run_batch(std::vector<Request>& batch);
-  std::optional<Ticket> admit(int model_id, tfm::Tensor image, bool blocking);
+  void run_service();
+  void service_lane();
+  /// Scheduler core (mutex_ held): refills the per-model backlog from the
+  /// admission queue, applies the drain policy, enforces max_inflight, and
+  /// picks the next request by weighted round-robin.
+  [[nodiscard]] std::optional<Request> next_request_locked(
+      std::vector<Cancellation>& cancelled);
+  void cancel_backlog_locked(std::vector<Cancellation>& cancelled);
+  void complete(Ticket ticket, Slot&& filled);
+  void deliver_callback(Callback callback, Ticket ticket, tfm::QTensor result,
+                        std::exception_ptr error);
+  std::optional<Ticket> admit(int model_id, tfm::Tensor image, bool blocking,
+                              Callback callback);
+  [[nodiscard]] std::uint64_t weight_of(std::size_t model_id) const;
 
   const tfm::NonlinearProvider& provider_;
   ServerOptions options_;
@@ -189,11 +294,21 @@ class Server {
 
   mutable std::mutex mutex_;  ///< guards everything below
   std::condition_variable result_cv_;
+  /// Wakes lanes parked mid-span (empty backlog while peers hold inflight
+  /// requests): notified by admissions, completions, and shutdown.
+  std::condition_variable sched_cv_;
   std::deque<Registered> models_;  ///< deque: element refs survive growth
   /// Ticket -> result slot; absent = consumed (or never issued).
   std::unordered_map<Ticket, Slot> slots_;
   Ticket next_ticket_ = 0;
-  int rr_cursor_ = 0;  ///< round-robin start model for the next collection
+  /// Scheduler state: per-model FIFO backlog (collected from the admission
+  /// queue, not yet started), the WRR credits of the current cycle, and
+  /// the cursor of the model holding the dispatch position.
+  std::vector<std::deque<Request>> backlog_;
+  std::size_t backlog_total_ = 0;
+  std::vector<std::uint64_t> credits_;
+  int wrr_cursor_ = 0;
+  std::size_t inflight_ = 0;  ///< started, not yet resolved
   bool stopping_ = false;
   Stats stats_;
 };

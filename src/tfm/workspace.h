@@ -116,6 +116,32 @@ class WorkspacePool {
   std::vector<Workspace> pool_;
 };
 
+/// RAII checkout of one Workspace from a WorkspacePool for the lease's
+/// lifetime — the single lane-scratch shape every batch/serving fan-out
+/// holds (ws_batch per chunk, the serving layer per service-lane loop; the
+/// eval layer names it gqa::LaneLease). Returns the workspace to the pool
+/// on any exit path, so a throwing task body cannot leak it. Not copyable
+/// or movable: a lease lives on the lane that acquired it.
+class WorkspaceLease {
+ public:
+  explicit WorkspaceLease(WorkspacePool& pool)
+      : pool_(&pool), workspace_(pool.acquire()) {}
+  ~WorkspaceLease() { pool_->release(std::move(workspace_)); }
+
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+  WorkspaceLease(WorkspaceLease&&) = delete;
+  WorkspaceLease& operator=(WorkspaceLease&&) = delete;
+
+  /// The lane's private scratch; valid for the lease's lifetime, never
+  /// null. Callees must not capture it beyond the current task.
+  [[nodiscard]] Workspace* workspace() { return &workspace_; }
+
+ private:
+  WorkspacePool* pool_;
+  Workspace workspace_;
+};
+
 /// Null-tolerant helpers so forwards can stay workspace-optional: with a
 /// null workspace they fall back to plain allocation, byte-for-byte
 /// equivalent to the pre-workspace code.
@@ -158,9 +184,13 @@ std::vector<Out> ws_batch(std::size_t count, ThreadPool* pool,
                           WorkspacePool* workspaces, const Fn& fn) {
   std::vector<Out> out(count);
   pooled_for_chunks(pool, count, [&](std::size_t lo, std::size_t hi) {
-    Workspace local = workspaces != nullptr ? workspaces->acquire() : Workspace{};
-    for (std::size_t i = lo; i < hi; ++i) out[i] = fn(i, &local);
-    if (workspaces != nullptr) workspaces->release(std::move(local));
+    if (workspaces != nullptr) {
+      WorkspaceLease lease(*workspaces);  // returned even if fn throws
+      for (std::size_t i = lo; i < hi; ++i) out[i] = fn(i, lease.workspace());
+    } else {
+      Workspace local;
+      for (std::size_t i = lo; i < hi; ++i) out[i] = fn(i, &local);
+    }
   });
   return out;
 }

@@ -97,6 +97,13 @@ void ThreadPool::parallel_for(std::size_t count,
   if (first_error_) std::rethrow_exception(first_error_);
 }
 
+void ThreadPool::run_lanes(const std::function<void(std::size_t)>& body) {
+  // One index per lane; the dynamic handout degenerates to lane identity
+  // because every body is long-running (it loops until its work source is
+  // dry), so all lanes participate whenever there is sustained work.
+  parallel_for(static_cast<std::size_t>(size()), body);
+}
+
 void pooled_for(ThreadPool* pool, std::size_t count,
                 const std::function<void(std::size_t)>& fn,
                 std::size_t min_per_lane) {

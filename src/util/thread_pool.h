@@ -53,6 +53,21 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Runs body(lane) once per lane (the caller participates as the last
+  /// lane), blocking until every body returns. This is the continuous-
+  /// service primitive: unlike parallel_for there is no fixed work list —
+  /// each body is expected to LOOP, pulling tasks from a shared source, so
+  /// work admitted while the job is live is picked up by whichever lane
+  /// frees first instead of waiting behind a batch barrier. A body with no
+  /// work may park on the caller's own condition variable while sibling
+  /// bodies still run (the job occupies the pool's dispatch slot either
+  /// way), but every body must be woken and return once the shared source
+  /// is exhausted — the job ends only when all bodies have returned,
+  /// releasing the pool to co-resident callers. Same contract as
+  /// parallel_for otherwise: safe from several threads (jobs serialize),
+  /// never reentrant, first exception rethrown on the caller.
+  void run_lanes(const std::function<void(std::size_t)>& body);
+
   /// Total lanes including the caller (>= 1).
   [[nodiscard]] int size() const {
     return static_cast<int>(workers_.size()) + 1;
@@ -164,6 +179,24 @@ class BoundedQueue {
     lock.unlock();
     space_cv_.notify_one();
     return item;
+  }
+
+  /// Non-blocking drain: takes everything queued right now (possibly
+  /// nothing) without waiting, releasing any producers blocked on a full
+  /// queue. Items queued before close() remain takeable after it. This is
+  /// how continuous-service lanes refill mid-job — a blocking pop would
+  /// park the lane and hold the pool.
+  std::vector<T> try_pop_all() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return out;
+      out.assign(std::make_move_iterator(items_.begin()),
+                 std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    space_cv_.notify_all();
+    return out;
   }
 
   /// Blocks until at least one item is available, then takes everything

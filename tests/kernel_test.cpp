@@ -93,6 +93,63 @@ TEST(IntPwlUnit, ShifterRangeChecked) {
       ContractViolation);
 }
 
+TEST(IntPwlUnit, WideBusBinarySearchFallbackMatchesReference) {
+  // Above a 16-bit input bus the unit cannot afford the dense
+  // code->segment table and resolves segments through the table's
+  // binary-search comparator model instead (the ROADMAP's open dense-table
+  // item). The fallback must realize exactly the same Eq. 1 semantics.
+  const QuantParams input{std::ldexp(1.0, -12), 18, true};  // 18-bit bus
+  const QuantizedPwlTable qt = quantize_table(gelu_like_table(), input, 5, 8);
+  const IntPwlUnit unit(qt);
+  // Sweep the full breakpoint span plus the bus extremes: every segment is
+  // crossed, including codes far outside any dense table's reach.
+  for (std::int64_t q = -16384; q <= 16384; q += 7) {
+    EXPECT_NEAR(unit.eval_real_from_code(q), reference_eval(qt, q), 1e-9)
+        << "q=" << q;
+  }
+  for (const std::int64_t q : {std::int64_t{-131072}, std::int64_t{131071}}) {
+    EXPECT_NEAR(unit.eval_real_from_code(q), reference_eval(qt, q), 1e-9)
+        << "q=" << q;
+  }
+  EXPECT_THROW(unit.eval_code(131072), ContractViolation);   // beyond 18 bits
+  EXPECT_THROW(unit.eval_code(-131073), ContractViolation);
+}
+
+TEST(IntPwlUnit, WideBusFallbackEquivalentToDenseTableAtAndBelow16Bits) {
+  // The same fitted table deployed at the same power-of-two scale on a
+  // 16-bit bus (dense code->segment table) and an 18-bit bus (binary-
+  // search fallback) must agree code-for-code over the shared domain —
+  // the dense table is a precomputation, never a semantic change. The
+  // interior breakpoints land well inside both code domains, so the two
+  // quantized tables hold identical parameters.
+  const double scale = 0.25;
+  const QuantizedPwlTable dense_qt =
+      quantize_table(gelu_like_table(), QuantParams{scale, 16, true}, 5, 8);
+  const QuantizedPwlTable wide_qt =
+      quantize_table(gelu_like_table(), QuantParams{scale, 18, true}, 5, 8);
+  ASSERT_EQ(dense_qt.k_code, wide_qt.k_code);
+  ASSERT_EQ(dense_qt.b_code, wide_qt.b_code);
+  ASSERT_EQ(dense_qt.p_code, wide_qt.p_code);
+  const IntPwlUnit dense(dense_qt);  // <= 16 bits: dense segment table
+  const IntPwlUnit wide(wide_qt);    // > 16 bits: binary-search fallback
+
+  std::vector<std::int64_t> codes;
+  for (std::int64_t q = -32768; q <= 32767; q += 13) codes.push_back(q);
+  codes.push_back(-32768);
+  codes.push_back(32767);
+  std::vector<std::int64_t> dense_out(codes.size());
+  std::vector<std::int64_t> wide_out(codes.size());
+  dense.eval_codes(codes, dense_out);  // batched: dense lookup inside
+  wide.eval_codes(codes, wide_out);    // batched: fallback inside
+  EXPECT_EQ(dense_out, wide_out);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    // Scalar paths agree with each other and with the batched spans.
+    ASSERT_EQ(dense.eval_code(codes[i]), wide.eval_code(codes[i]))
+        << "q=" << codes[i];
+    ASSERT_EQ(dense_out[i], dense.eval_code(codes[i])) << "q=" << codes[i];
+  }
+}
+
 TEST(IntPwlUnit, ApproximatesTheFunction) {
   const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
   const IntPwlUnit unit = approx.make_unit(-4);

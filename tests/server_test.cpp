@@ -257,6 +257,45 @@ TEST(Server, ShutdownCompletesInflightRequestsAndStopsAdmission) {
   server.shutdown();  // idempotent
 }
 
+TEST(Server, ConcurrentShutdownFromSeveralThreadsIsIdempotent) {
+  // Regression: two (or more) threads racing shutdown() — e.g. an explicit
+  // call racing another owner's teardown path — must both return with the
+  // server fully drained, exactly once, without double-joining the
+  // dispatcher or losing issued tickets. Runs under TSan in CI.
+  const std::vector<tfm::Tensor> images = test_images(3, 32);
+  const tfm::SegformerB0Like seg = frozen_segformer(images.front());
+  const tfm::NonlinearProvider nl = full_provider_cold();
+  std::vector<tfm::QTensor> refs;
+  for (const tfm::Tensor& img : images) {
+    refs.push_back(seg.forward_int(img, nl));
+  }
+
+  ServerOptions options;
+  options.num_threads = 2;
+  Server server(nl, options);
+  const int id = server.register_model(seg);
+  std::vector<Server::Ticket> tickets;
+  for (const tfm::Tensor& img : images) {
+    tickets.push_back(server.submit(id, img));
+  }
+
+  constexpr int kStoppers = 4;
+  std::vector<std::thread> stoppers;
+  for (int s = 0; s < kStoppers; ++s) {
+    stoppers.emplace_back([&] { server.shutdown(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+
+  // Every in-flight request completed (default drain policy) and every
+  // ticket stays collectable after the racing shutdowns.
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    EXPECT_EQ(server.poll(tickets[i]), TicketStatus::kReady);
+    EXPECT_EQ(refs[i].data(), server.wait(tickets[i]).data()) << "ticket " << i;
+  }
+  EXPECT_THROW((void)server.submit(id, images.front()), ContractViolation);
+  server.shutdown();  // still idempotent afterwards
+}
+
 TEST(Server, BackendExceptionIsDeliveredToTheWaiterNotTheDispatcher) {
   const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
   ServerOptions options;

@@ -11,7 +11,10 @@
 //   serve  — scene-batched InferenceEngine (images/s) vs the serial
 //            per-image loop, with a bit-identity checksum gate; its
 //            `coserve` entry measures the async two-model Server
-//            (eval/server.h) against the serial loops, same gate.
+//            (eval/server.h) against the serial loops, and its
+//            `coserve_continuous` entry pits the continuous-batching
+//            scheduler's streaming-callback client against a lockstep
+//            batch-at-a-time client on the same server — same gates.
 //
 // Every expected section must be emitted: a skipped or failed section is
 // reported and the tool exits non-zero, so a stale BENCH_*.json can never
@@ -28,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "../bench/bench_util.h"
 #include "core/approximator.h"
 #include "eval/engine.h"
 #include "eval/scene.h"
@@ -370,14 +374,28 @@ Json serve_section(const ModelT& model, const tfm::NonlinearProvider& nl,
   return j;
 }
 
-/// Async two-model co-serving (gqa::Server) vs the serial per-image loops:
-/// both models registered on one server, one shared union-op provider, a
-/// mixed submit stream waited in ticket order. server(1) isolates the
-/// front-end (queue + tickets + workspace reuse) overhead; the wide row
-/// adds image-level parallelism across the process pool.
-Json coserve_section(const tfm::SegformerB0Like& seg,
-                     const tfm::EfficientViTB0Like& evit,
-                     const std::vector<tfm::Tensor>& images, int reps) {
+/// Async two-model co-serving (gqa::Server) vs the serial per-image loops,
+/// in ONE interleaved round loop so every variant shares the same serial
+/// baseline and every committed ratio — including continuous vs
+/// batch-at-a-time — is drift-cancelled:
+///   server1    ticket client (submit all, wait all) on a 1-lane server —
+///              isolates the front-end overhead + workspace reuse;
+///   wide       the same ticket client on the process pool; submit-all/
+///              wait-all is the batch-at-a-time shape (the old dispatcher
+///              collected and barriered exactly like this), so it doubles
+///              as the `lockstep` baseline of the coserve_continuous entry;
+///   continuous the continuous-batching client on the same wide server:
+///              every request carries a result callback, drain() is the
+///              only synchronization point, no per-ticket wait barrier.
+/// Emits the `coserve` and `coserve_continuous` entries.
+struct CoserveReports {
+  Json coserve;
+  Json coserve_continuous;
+};
+CoserveReports coserve_sections(const tfm::SegformerB0Like& seg,
+                                const tfm::EfficientViTB0Like& evit,
+                                const std::vector<tfm::Tensor>& images,
+                                int reps) {
   const auto nl = tfm::NonlinearProvider::with_method(
       Method::kGqaRm,
       {Op::kExp, Op::kGelu, Op::kHswish, Op::kDiv, Op::kRsqrt});
@@ -401,10 +419,22 @@ Json coserve_section(const tfm::SegformerB0Like& seg,
   const int sw_seg = wide.register_model(seg, "segformer");
   const int sw_evit = wide.register_model(evit, "efficientvit");
 
+  // The continuous-batching client on the wide server (the benches'
+  // shared bench::serve_stream_continuous: streaming callbacks, lock-free
+  // pre-assigned result slots, drain as the only sync point). A backend
+  // error is rethrown after the drain, failing the section through
+  // emit_artifact's catch and thereby the manifest gate.
+  const std::size_t total = 2 * images.size();
+  const auto continuous_stream = [&] {
+    return bench::serve_stream_continuous(
+        wide, bench::mixed_request_list(sw_seg, sw_evit, images));
+  };
+
   // Interleaved rounds, median-of-paired-ratios — same protocol as the
   // engine serve sections (drift-cancelled on a shared box).
-  std::vector<tfm::QTensor> serial, served1, servedw;
-  std::vector<double> serial_rounds, server1_rounds, wide_rounds;
+  std::vector<tfm::QTensor> serial, served1, servedw, streamed;
+  std::vector<double> serial_rounds, server1_rounds, wide_rounds,
+      continuous_rounds;
   for (int rep = 0; rep < std::max(reps, 9); ++rep) {
     serial_rounds.push_back(time_best_ms(1, [&] {
       serial.clear();
@@ -419,32 +449,60 @@ Json coserve_section(const tfm::SegformerB0Like& seg,
     wide_rounds.push_back(time_best_ms(1, [&] {
       servedw = serve_stream(wide, sw_seg, sw_evit);
     }));
+    continuous_rounds.push_back(
+        time_best_ms(1, [&] { streamed = continuous_stream(); }));
   }
-  std::vector<double> server1_ratio, wide_ratio;
+  std::vector<double> server1_ratio, wide_ratio, continuous_ratio;
   for (std::size_t i = 0; i < serial_rounds.size(); ++i) {
     server1_ratio.push_back(serial_rounds[i] / server1_rounds[i]);
     wide_ratio.push_back(serial_rounds[i] / wide_rounds[i]);
+    continuous_ratio.push_back(serial_rounds[i] / continuous_rounds[i]);
   }
   bool identical = checksum(serial) == checksum(served1) &&
-                   checksum(serial) == checksum(servedw);
+                   checksum(serial) == checksum(servedw) &&
+                   checksum(serial) == checksum(streamed);
   for (std::size_t i = 0; identical && i < serial.size(); ++i) {
     identical = serial[i].data() == served1[i].data() &&
-                serial[i].data() == servedw[i].data();
+                serial[i].data() == servedw[i].data() &&
+                serial[i].data() == streamed[i].data();
   }
 
   const double n = static_cast<double>(serial.size());
   const double serial_rps = n / (median(serial_rounds) * 1e-3);
-  Json j = Json::object();
-  j["requests"] = Json(static_cast<int>(serial.size()));
-  j["threads"] = Json(wide.lanes());
-  j["serial_requests_per_s"] = Json(serial_rps);
-  j["server1_requests_per_s"] = Json(serial_rps * median(server1_ratio));
-  j["server_wide_requests_per_s"] = Json(serial_rps * median(wide_ratio));
-  j["server1_speedup"] = Json(median(server1_ratio));
-  j["server_wide_speedup"] = Json(median(wide_ratio));
-  j["logit_code_checksum"] = Json(static_cast<double>(checksum(serial)));
-  j["bit_identical"] = Json(identical);
-  return j;
+  CoserveReports reports;
+  {
+    Json j = Json::object();
+    j["requests"] = Json(static_cast<int>(serial.size()));
+    j["threads"] = Json(wide.lanes());
+    j["serial_requests_per_s"] = Json(serial_rps);
+    j["server1_requests_per_s"] = Json(serial_rps * median(server1_ratio));
+    j["server_wide_requests_per_s"] = Json(serial_rps * median(wide_ratio));
+    j["server1_speedup"] = Json(median(server1_ratio));
+    j["server_wide_speedup"] = Json(median(wide_ratio));
+    j["logit_code_checksum"] = Json(static_cast<double>(checksum(serial)));
+    j["bit_identical"] = Json(identical);
+    reports.coserve = std::move(j);
+  }
+  {
+    // The lockstep (batch-at-a-time) baseline is the wide ticket client:
+    // same server, same pool, full submit/wait barrier per round. Both
+    // numbers are derived from the SAME serial rounds, so the committed
+    // continuous-vs-coserve comparison cannot be skewed by clock drift
+    // between sections.
+    Json j = Json::object();
+    j["requests"] = Json(static_cast<int>(total));
+    j["threads"] = Json(wide.lanes());
+    j["serial_requests_per_s"] = Json(serial_rps);
+    j["lockstep_requests_per_s"] = Json(serial_rps * median(wide_ratio));
+    j["continuous_requests_per_s"] =
+        Json(serial_rps * median(continuous_ratio));
+    j["continuous_vs_lockstep"] =
+        Json(median(continuous_ratio) / median(wide_ratio));
+    j["logit_code_checksum"] = Json(static_cast<double>(checksum(serial)));
+    j["bit_identical"] = Json(identical);
+    reports.coserve_continuous = std::move(j);
+  }
+  return reports;
 }
 
 Json serve_report(int reps, bool& bit_identical) {
@@ -481,8 +539,11 @@ Json serve_report(int reps, bool& bit_identical) {
     bit_identical =
         bit_identical && j["efficientvit"]["bit_identical"].as_bool();
   }
-  j["coserve"] = coserve_section(segformer, efficientvit, images, reps);
-  bit_identical = bit_identical && j["coserve"]["bit_identical"].as_bool();
+  CoserveReports coserve =
+      coserve_sections(segformer, efficientvit, images, reps);
+  bit_identical = bit_identical && coserve.coserve["bit_identical"].as_bool();
+  j["coserve"] = std::move(coserve.coserve);
+  j["coserve_continuous"] = std::move(coserve.coserve_continuous);
   return j;
 }
 
@@ -496,8 +557,8 @@ int main(int argc, char** argv) {
   // the tool exits non-zero. A section that fails (or is silently skipped
   // by a future edit) can therefore never leave a stale BENCH_*.json
   // pretending to be fresh.
-  const std::vector<std::string> expected = {"fit", "kernel", "model",
-                                             "serve", "coserve"};
+  const std::vector<std::string> expected = {
+      "fit", "kernel", "model", "serve", "coserve", "coserve_continuous"};
   std::vector<std::string> emitted;
   bool serve_identical = true;
 
@@ -527,7 +588,7 @@ int main(int argc, char** argv) {
                 [&] { return kernel_report(reps); });
   emit_artifact("model", "BENCH_model.json", {},
                 [&] { return model_report(reps); });
-  emit_artifact("serve", "BENCH_serve.json", {"coserve"},
+  emit_artifact("serve", "BENCH_serve.json", {"coserve", "coserve_continuous"},
                 [&] { return serve_report(reps, serve_identical); });
 
   const std::vector<std::string> missing = missing_entries(expected, emitted);
