@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_entries.dir/bench/ablation_entries.cpp.o"
+  "CMakeFiles/ablation_entries.dir/bench/ablation_entries.cpp.o.d"
+  "bench/ablation_entries"
+  "bench/ablation_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

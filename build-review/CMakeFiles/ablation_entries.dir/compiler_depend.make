@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_entries.
+# This may be replaced when dependencies are built.

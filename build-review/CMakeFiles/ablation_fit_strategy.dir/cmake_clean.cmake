@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fit_strategy.dir/bench/ablation_fit_strategy.cpp.o"
+  "CMakeFiles/ablation_fit_strategy.dir/bench/ablation_fit_strategy.cpp.o.d"
+  "bench/ablation_fit_strategy"
+  "bench/ablation_fit_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fit_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

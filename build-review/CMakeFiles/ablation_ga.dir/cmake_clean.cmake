@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ga.dir/bench/ablation_ga.cpp.o"
+  "CMakeFiles/ablation_ga.dir/bench/ablation_ga.cpp.o.d"
+  "bench/ablation_ga"
+  "bench/ablation_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

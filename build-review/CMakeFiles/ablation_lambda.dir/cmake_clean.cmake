@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lambda.dir/bench/ablation_lambda.cpp.o"
+  "CMakeFiles/ablation_lambda.dir/bench/ablation_lambda.cpp.o.d"
+  "bench/ablation_lambda"
+  "bench/ablation_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multirange.dir/bench/ablation_multirange.cpp.o"
+  "CMakeFiles/ablation_multirange.dir/bench/ablation_multirange.cpp.o.d"
+  "bench/ablation_multirange"
+  "bench/ablation_multirange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multirange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rm_range.dir/bench/ablation_rm_range.cpp.o"
+  "CMakeFiles/ablation_rm_range.dir/bench/ablation_rm_range.cpp.o.d"
+  "bench/ablation_rm_range"
+  "bench/ablation_rm_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rm_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

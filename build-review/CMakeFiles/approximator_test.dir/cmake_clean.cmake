@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approximator_test.dir/tests/approximator_test.cpp.o"
+  "CMakeFiles/approximator_test.dir/tests/approximator_test.cpp.o.d"
+  "approximator_test"
+  "approximator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approximator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

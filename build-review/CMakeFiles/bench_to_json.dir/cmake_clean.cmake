@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_to_json.dir/tools/bench_to_json.cpp.o"
+  "CMakeFiles/bench_to_json.dir/tools/bench_to_json.cpp.o.d"
+  "tools/bench_to_json"
+  "tools/bench_to_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_to_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coserve_request_stream.dir/examples/coserve_request_stream.cpp.o"
+  "CMakeFiles/coserve_request_stream.dir/examples/coserve_request_stream.cpp.o.d"
+  "examples/coserve_request_stream"
+  "examples/coserve_request_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coserve_request_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_operator.dir/examples/custom_operator.cpp.o"
+  "CMakeFiles/custom_operator.dir/examples/custom_operator.cpp.o.d"
+  "examples/custom_operator"
+  "examples/custom_operator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_operator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_operator.
+# This may be replaced when dependencies are built.

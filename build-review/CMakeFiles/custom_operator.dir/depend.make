@@ -1,0 +1,2 @@
+# Empty dependencies file for custom_operator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_test.dir/tests/engine_test.cpp.o"
+  "CMakeFiles/engine_test.dir/tests/engine_test.cpp.o.d"
+  "engine_test"
+  "engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

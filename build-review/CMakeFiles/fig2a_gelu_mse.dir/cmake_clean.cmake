@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_gelu_mse.dir/bench/fig2a_gelu_mse.cpp.o"
+  "CMakeFiles/fig2a_gelu_mse.dir/bench/fig2a_gelu_mse.cpp.o.d"
+  "bench/fig2a_gelu_mse"
+  "bench/fig2a_gelu_mse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_gelu_mse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2a_gelu_mse.
+# This may be replaced when dependencies are built.

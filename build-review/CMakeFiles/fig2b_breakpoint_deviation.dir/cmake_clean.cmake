@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_breakpoint_deviation.dir/bench/fig2b_breakpoint_deviation.cpp.o"
+  "CMakeFiles/fig2b_breakpoint_deviation.dir/bench/fig2b_breakpoint_deviation.cpp.o.d"
+  "bench/fig2b_breakpoint_deviation"
+  "bench/fig2b_breakpoint_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_breakpoint_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

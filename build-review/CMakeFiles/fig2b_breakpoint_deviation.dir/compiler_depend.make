@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2b_breakpoint_deviation.
+# This may be replaced when dependencies are built.

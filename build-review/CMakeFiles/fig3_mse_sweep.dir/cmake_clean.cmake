@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mse_sweep.dir/bench/fig3_mse_sweep.cpp.o"
+  "CMakeFiles/fig3_mse_sweep.dir/bench/fig3_mse_sweep.cpp.o.d"
+  "bench/fig3_mse_sweep"
+  "bench/fig3_mse_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mse_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

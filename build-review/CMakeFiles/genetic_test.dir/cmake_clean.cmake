@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genetic_test.dir/tests/genetic_test.cpp.o"
+  "CMakeFiles/genetic_test.dir/tests/genetic_test.cpp.o.d"
+  "genetic_test"
+  "genetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/approximator.cpp" "CMakeFiles/gqa.dir/src/core/approximator.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/core/approximator.cpp.o.d"
+  "/root/repo/src/eval/engine.cpp" "CMakeFiles/gqa.dir/src/eval/engine.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/eval/engine.cpp.o.d"
+  "/root/repo/src/eval/miou.cpp" "CMakeFiles/gqa.dir/src/eval/miou.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/eval/miou.cpp.o.d"
+  "/root/repo/src/eval/protocol.cpp" "CMakeFiles/gqa.dir/src/eval/protocol.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/eval/protocol.cpp.o.d"
+  "/root/repo/src/eval/scene.cpp" "CMakeFiles/gqa.dir/src/eval/scene.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/eval/scene.cpp.o.d"
+  "/root/repo/src/eval/segtask.cpp" "CMakeFiles/gqa.dir/src/eval/segtask.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/eval/segtask.cpp.o.d"
+  "/root/repo/src/eval/server.cpp" "CMakeFiles/gqa.dir/src/eval/server.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/eval/server.cpp.o.d"
+  "/root/repo/src/genetic/genetic.cpp" "CMakeFiles/gqa.dir/src/genetic/genetic.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/genetic/genetic.cpp.o.d"
+  "/root/repo/src/gqa/gqa_lut.cpp" "CMakeFiles/gqa.dir/src/gqa/gqa_lut.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/gqa/gqa_lut.cpp.o.d"
+  "/root/repo/src/gqa/multirange.cpp" "CMakeFiles/gqa.dir/src/gqa/multirange.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/gqa/multirange.cpp.o.d"
+  "/root/repo/src/gqa/objective.cpp" "CMakeFiles/gqa.dir/src/gqa/objective.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/gqa/objective.cpp.o.d"
+  "/root/repo/src/gqa/rounding_mutation.cpp" "CMakeFiles/gqa.dir/src/gqa/rounding_mutation.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/gqa/rounding_mutation.cpp.o.d"
+  "/root/repo/src/hw/components.cpp" "CMakeFiles/gqa.dir/src/hw/components.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/hw/components.cpp.o.d"
+  "/root/repo/src/hw/pwl_unit_design.cpp" "CMakeFiles/gqa.dir/src/hw/pwl_unit_design.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/hw/pwl_unit_design.cpp.o.d"
+  "/root/repo/src/hw/verilog_emitter.cpp" "CMakeFiles/gqa.dir/src/hw/verilog_emitter.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/hw/verilog_emitter.cpp.o.d"
+  "/root/repo/src/kernel/int_pwl_unit.cpp" "CMakeFiles/gqa.dir/src/kernel/int_pwl_unit.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/kernel/int_pwl_unit.cpp.o.d"
+  "/root/repo/src/kernel/multirange_unit.cpp" "CMakeFiles/gqa.dir/src/kernel/multirange_unit.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/kernel/multirange_unit.cpp.o.d"
+  "/root/repo/src/nnlut/nn_lut.cpp" "CMakeFiles/gqa.dir/src/nnlut/nn_lut.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/nnlut/nn_lut.cpp.o.d"
+  "/root/repo/src/numerics/dyadic.cpp" "CMakeFiles/gqa.dir/src/numerics/dyadic.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/numerics/dyadic.cpp.o.d"
+  "/root/repo/src/numerics/fxp.cpp" "CMakeFiles/gqa.dir/src/numerics/fxp.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/numerics/fxp.cpp.o.d"
+  "/root/repo/src/numerics/nonlinear.cpp" "CMakeFiles/gqa.dir/src/numerics/nonlinear.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/numerics/nonlinear.cpp.o.d"
+  "/root/repo/src/pwl/fit_grid.cpp" "CMakeFiles/gqa.dir/src/pwl/fit_grid.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/pwl/fit_grid.cpp.o.d"
+  "/root/repo/src/pwl/pwl_table.cpp" "CMakeFiles/gqa.dir/src/pwl/pwl_table.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/pwl/pwl_table.cpp.o.d"
+  "/root/repo/src/pwl/quantized_table.cpp" "CMakeFiles/gqa.dir/src/pwl/quantized_table.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/pwl/quantized_table.cpp.o.d"
+  "/root/repo/src/pwl/serialize.cpp" "CMakeFiles/gqa.dir/src/pwl/serialize.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/pwl/serialize.cpp.o.d"
+  "/root/repo/src/quant/calibration.cpp" "CMakeFiles/gqa.dir/src/quant/calibration.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/quant/calibration.cpp.o.d"
+  "/root/repo/src/quant/quant_params.cpp" "CMakeFiles/gqa.dir/src/quant/quant_params.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/quant/quant_params.cpp.o.d"
+  "/root/repo/src/quant/requant.cpp" "CMakeFiles/gqa.dir/src/quant/requant.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/quant/requant.cpp.o.d"
+  "/root/repo/src/tfm/models/efficientvit.cpp" "CMakeFiles/gqa.dir/src/tfm/models/efficientvit.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/tfm/models/efficientvit.cpp.o.d"
+  "/root/repo/src/tfm/models/segformer.cpp" "CMakeFiles/gqa.dir/src/tfm/models/segformer.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/tfm/models/segformer.cpp.o.d"
+  "/root/repo/src/tfm/modules.cpp" "CMakeFiles/gqa.dir/src/tfm/modules.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/tfm/modules.cpp.o.d"
+  "/root/repo/src/tfm/nonlinear_provider.cpp" "CMakeFiles/gqa.dir/src/tfm/nonlinear_provider.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/tfm/nonlinear_provider.cpp.o.d"
+  "/root/repo/src/tfm/probe.cpp" "CMakeFiles/gqa.dir/src/tfm/probe.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/tfm/probe.cpp.o.d"
+  "/root/repo/src/tfm/tensor.cpp" "CMakeFiles/gqa.dir/src/tfm/tensor.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/tfm/tensor.cpp.o.d"
+  "/root/repo/src/tfm/workspace.cpp" "CMakeFiles/gqa.dir/src/tfm/workspace.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/tfm/workspace.cpp.o.d"
+  "/root/repo/src/util/contracts.cpp" "CMakeFiles/gqa.dir/src/util/contracts.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/util/contracts.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/gqa.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "CMakeFiles/gqa.dir/src/util/env.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/util/env.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/gqa.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/gqa.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/util/table_printer.cpp" "CMakeFiles/gqa.dir/src/util/table_printer.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/util/table_printer.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/gqa.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/gqa.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqa_lut_cli.dir/tools/gqa_lut_cli.cpp.o"
+  "CMakeFiles/gqa_lut_cli.dir/tools/gqa_lut_cli.cpp.o.d"
+  "tools/gqa_lut_cli"
+  "tools/gqa_lut_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqa_lut_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gqa_test.dir/tests/gqa_test.cpp.o"
+  "CMakeFiles/gqa_test.dir/tests/gqa_test.cpp.o.d"
+  "gqa_test"
+  "gqa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gqa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_explorer.dir/examples/hw_explorer.cpp.o"
+  "CMakeFiles/hw_explorer.dir/examples/hw_explorer.cpp.o.d"
+  "examples/hw_explorer"
+  "examples/hw_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

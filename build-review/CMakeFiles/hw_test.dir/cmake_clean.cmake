@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_test.dir/tests/hw_test.cpp.o"
+  "CMakeFiles/hw_test.dir/tests/hw_test.cpp.o.d"
+  "hw_test"
+  "hw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

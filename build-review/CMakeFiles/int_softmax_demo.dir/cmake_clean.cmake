@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int_softmax_demo.dir/examples/int_softmax_demo.cpp.o"
+  "CMakeFiles/int_softmax_demo.dir/examples/int_softmax_demo.cpp.o.d"
+  "examples/int_softmax_demo"
+  "examples/int_softmax_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int_softmax_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

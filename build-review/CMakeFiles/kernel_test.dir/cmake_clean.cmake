@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_test.dir/tests/kernel_test.cpp.o"
+  "CMakeFiles/kernel_test.dir/tests/kernel_test.cpp.o.d"
+  "kernel_test"
+  "kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_coserve_throughput.dir/bench/micro_coserve_throughput.cpp.o"
+  "CMakeFiles/micro_coserve_throughput.dir/bench/micro_coserve_throughput.cpp.o.d"
+  "bench/micro_coserve_throughput"
+  "bench/micro_coserve_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_coserve_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fit_cost.dir/bench/micro_fit_cost.cpp.o"
+  "CMakeFiles/micro_fit_cost.dir/bench/micro_fit_cost.cpp.o.d"
+  "bench/micro_fit_cost"
+  "bench/micro_fit_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

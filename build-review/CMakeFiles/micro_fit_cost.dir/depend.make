@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_fit_cost.
+# This may be replaced when dependencies are built.

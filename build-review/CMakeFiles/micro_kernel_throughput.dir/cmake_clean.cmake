@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_kernel_throughput.dir/bench/micro_kernel_throughput.cpp.o"
+  "CMakeFiles/micro_kernel_throughput.dir/bench/micro_kernel_throughput.cpp.o.d"
+  "bench/micro_kernel_throughput"
+  "bench/micro_kernel_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_kernel_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

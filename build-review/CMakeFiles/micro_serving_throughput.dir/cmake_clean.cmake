@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_serving_throughput.dir/bench/micro_serving_throughput.cpp.o"
+  "CMakeFiles/micro_serving_throughput.dir/bench/micro_serving_throughput.cpp.o.d"
+  "bench/micro_serving_throughput"
+  "bench/micro_serving_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_serving_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnlut_test.dir/tests/nnlut_test.cpp.o"
+  "CMakeFiles/nnlut_test.dir/tests/nnlut_test.cpp.o.d"
+  "nnlut_test"
+  "nnlut_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnlut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numerics_test.dir/tests/numerics_test.cpp.o"
+  "CMakeFiles/numerics_test.dir/tests/numerics_test.cpp.o.d"
+  "numerics_test"
+  "numerics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numerics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pwl_test.dir/tests/pwl_test.cpp.o"
+  "CMakeFiles/pwl_test.dir/tests/pwl_test.cpp.o.d"
+  "pwl_test"
+  "pwl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pwl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_test.dir/tests/quant_test.cpp.o"
+  "CMakeFiles/quant_test.dir/tests/quant_test.cpp.o.d"
+  "quant_test"
+  "quant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

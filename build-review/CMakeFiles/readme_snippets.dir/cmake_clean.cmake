@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readme_snippets.dir/examples/readme_snippets.cpp.o"
+  "CMakeFiles/readme_snippets.dir/examples/readme_snippets.cpp.o.d"
+  "examples/readme_snippets"
+  "examples/readme_snippets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readme_snippets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for readme_snippets.
+# This may be replaced when dependencies are built.

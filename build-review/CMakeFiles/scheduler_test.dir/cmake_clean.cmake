@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_test.dir/tests/scheduler_test.cpp.o"
+  "CMakeFiles/scheduler_test.dir/tests/scheduler_test.cpp.o.d"
+  "scheduler_test"
+  "scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

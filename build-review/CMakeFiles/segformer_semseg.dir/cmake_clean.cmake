@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segformer_semseg.dir/examples/segformer_semseg.cpp.o"
+  "CMakeFiles/segformer_semseg.dir/examples/segformer_semseg.cpp.o.d"
+  "examples/segformer_semseg"
+  "examples/segformer_semseg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segformer_semseg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

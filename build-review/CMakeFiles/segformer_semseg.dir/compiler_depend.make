@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for segformer_semseg.
+# This may be replaced when dependencies are built.

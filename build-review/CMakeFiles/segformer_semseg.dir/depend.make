@@ -1,0 +1,2 @@
+# Empty dependencies file for segformer_semseg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separability_test.dir/tests/separability_test.cpp.o"
+  "CMakeFiles/separability_test.dir/tests/separability_test.cpp.o.d"
+  "separability_test"
+  "separability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

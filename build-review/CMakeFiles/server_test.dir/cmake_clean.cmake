@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_test.dir/tests/server_test.cpp.o"
+  "CMakeFiles/server_test.dir/tests/server_test.cpp.o.d"
+  "server_test"
+  "server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

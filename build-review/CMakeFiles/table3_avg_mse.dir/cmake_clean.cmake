@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_avg_mse.dir/bench/table3_avg_mse.cpp.o"
+  "CMakeFiles/table3_avg_mse.dir/bench/table3_avg_mse.cpp.o.d"
+  "bench/table3_avg_mse"
+  "bench/table3_avg_mse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_avg_mse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

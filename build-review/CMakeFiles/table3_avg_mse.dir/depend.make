@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_avg_mse.
+# This may be replaced when dependencies are built.

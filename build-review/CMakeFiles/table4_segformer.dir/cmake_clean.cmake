@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_segformer.dir/bench/table4_segformer.cpp.o"
+  "CMakeFiles/table4_segformer.dir/bench/table4_segformer.cpp.o.d"
+  "bench/table4_segformer"
+  "bench/table4_segformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_segformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_efficientvit.dir/bench/table5_efficientvit.cpp.o"
+  "CMakeFiles/table5_efficientvit.dir/bench/table5_efficientvit.cpp.o.d"
+  "bench/table5_efficientvit"
+  "bench/table5_efficientvit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_efficientvit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

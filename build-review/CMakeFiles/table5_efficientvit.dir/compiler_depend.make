@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table5_efficientvit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_hardware.dir/bench/table6_hardware.cpp.o"
+  "CMakeFiles/table6_hardware.dir/bench/table6_hardware.cpp.o.d"
+  "bench/table6_hardware"
+  "bench/table6_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

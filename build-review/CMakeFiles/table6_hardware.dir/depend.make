@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_hardware.
+# This may be replaced when dependencies are built.

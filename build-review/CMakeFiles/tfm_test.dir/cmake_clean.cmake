@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tfm_test.dir/tests/tfm_test.cpp.o"
+  "CMakeFiles/tfm_test.dir/tests/tfm_test.cpp.o.d"
+  "tfm_test"
+  "tfm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tfm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
