@@ -3,12 +3,14 @@
 // table or figure of the paper (see DESIGN.md §4 for the index).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +60,53 @@ inline std::vector<tfm::QTensor> serve_stream_continuous(
     if (first_error != nullptr) std::rethrow_exception(first_error);
   }
   return results;
+}
+
+/// Outcome of one fault-tolerant streaming pass (serve_stream_faulty):
+/// per-slot results for the requests that succeeded (nullopt = resolved
+/// with an error), plus the admission-refusal and failure counts the
+/// degraded-throughput bench reports.
+struct FaultyStreamResult {
+  std::vector<std::optional<tfm::QTensor>> results;
+  std::size_t admitted = 0;
+  std::size_t admission_rejected = 0;
+  std::size_t failed = 0;  ///< admitted but resolved with an error
+};
+
+/// serve_stream_continuous for chaos runs: the same streaming-callback
+/// client, but each request carries a retry/deadline policy, an injected
+/// admission refusal is counted instead of rethrown, and per-request
+/// failures are tallied rather than failing the whole stream — the caller
+/// decides what degraded service is worth (and checksums the successes).
+inline FaultyStreamResult serve_stream_faulty(
+    Server& server,
+    const std::vector<std::pair<int, const tfm::Tensor*>>& requests,
+    const SubmitOptions& submit_options) {
+  FaultyStreamResult out;
+  out.results.resize(requests.size());
+  std::atomic<std::size_t> failed{0};
+  for (std::size_t slot = 0; slot < requests.size(); ++slot) {
+    try {
+      (void)server.submit(requests[slot].first, *requests[slot].second,
+                          submit_options,
+                          [&out, &failed, slot](Server::Ticket,
+                                                tfm::QTensor result,
+                                                std::exception_ptr error) {
+                            if (error != nullptr) {
+                              failed.fetch_add(1,
+                                               std::memory_order_relaxed);
+                              return;
+                            }
+                            out.results[slot] = std::move(result);
+                          });
+      ++out.admitted;
+    } catch (const ServingError&) {
+      ++out.admission_rejected;  // refused before a ticket existed
+    }
+  }
+  server.drain();  // every callback has run when drain returns
+  out.failed = failed.load();
+  return out;
 }
 
 /// The mixed two-model request list of the co-serving benches: one

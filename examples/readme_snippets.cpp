@@ -5,6 +5,7 @@
 // and this file builds with the library — so the README's serving snippets
 // can never silently rot when an API changes. Edit the README and this
 // file together.
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "eval/engine.h"
 #include "eval/scene.h"
 #include "eval/server.h"
+#include "util/serving_error.h"
 #include "tfm/models/efficientvit.h"
 #include "tfm/models/segformer.h"
 
@@ -87,6 +89,20 @@ int main() {
                   std::printf("%zu logit codes\n", logits.data().size());
                 });
   server.drain();                               // callbacks done on return
+
+  // --- README "Fault-tolerant serving: deadlines, retries, circuit
+  // breakers" block ---
+  gqa::SubmitOptions policy;
+  policy.deadline = std::chrono::milliseconds(250);  // expire unstarted work
+  policy.max_attempts = 3;                     // retry transient backend faults
+  policy.backoff = std::chrono::milliseconds(2);     // 2ms then 4ms between tries
+  auto req = server.submit(seg_id, image, policy);
+  try {
+    tfm::QTensor out = server.wait(req);             // success: bit-identical
+    std::printf("%zu logit codes\n", out.data().size());
+  } catch (const gqa::ServingError& e) {
+    std::printf("degraded: %s\n", e.what());         // "[code] message"
+  }
 
   std::printf("engine: %zu logits, %zu label maps; server: model ids %d/%d, "
               "%zu logit codes\n",

@@ -1,6 +1,7 @@
 #include "eval/engine.h"
 
 #include "util/contracts.h"
+#include "util/serving_error.h"
 
 namespace gqa {
 
@@ -19,7 +20,13 @@ void InferenceEngine::maybe_warm(const tfm::NonlinearProvider& nl) const {
   // One shared warm-up covers every op the provider replaces (the union
   // across all co-served model op-sets); repeats on a warm provider are
   // copy-free no-ops.
-  nl.warm_up_deployment();
+  try {
+    nl.warm_up_deployment();
+  } catch (const ServingError&) {
+    // Warm-up is an optimization, never a requirement: a classified
+    // warm-up failure (e.g. the `warmup` chaos point) degrades this
+    // dispatch to cold lazy unit builds — results are identical.
+  }
 }
 
 template <typename ModelT>

@@ -1,11 +1,12 @@
 #include "eval/server.h"
 
+#include <algorithm>
 #include <cstdlib>
-#include <stdexcept>
 #include <utility>
 
 #include "util/contracts.h"
 #include "util/env.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace gqa {
@@ -31,9 +32,23 @@ std::vector<int> qos_weights_from_env() {
 }
 
 std::exception_ptr cancellation_error() {
-  return std::make_exception_ptr(std::runtime_error(
+  return std::make_exception_ptr(ServingError(
+      ServingErrorCode::kCancelled,
       "request cancelled: server shut down before it started "
       "(DrainPolicy::kCancelPending)"));
+}
+
+std::exception_ptr deadline_error() {
+  return std::make_exception_ptr(
+      ServingError(ServingErrorCode::kDeadlineExpired,
+                   "request deadline expired before service"));
+}
+
+std::exception_ptr unavailable_error(const std::string& model_name) {
+  return std::make_exception_ptr(
+      ServingError(ServingErrorCode::kModelUnavailable,
+                   "circuit breaker open for model '" + model_name +
+                       "': failing fast until the cooldown probe succeeds"));
 }
 
 }  // namespace
@@ -53,6 +68,17 @@ Server::Server(const tfm::NonlinearProvider& provider, ServerOptions options)
   for (const int w : options_.scheduler.qos_weights) {
     GQA_EXPECTS_MSG(w >= 1, "QoS weights must be >= 1");
   }
+  if (options_.scheduler.breaker_threshold < 0) {
+    options_.scheduler.breaker_threshold = env_int("GQA_BREAKER_THRESHOLD", 0);
+  }
+  GQA_EXPECTS_MSG(options_.scheduler.breaker_threshold >= 0,
+                  "GQA_BREAKER_THRESHOLD must be >= 0 (0 disables)");
+  if (options_.scheduler.breaker_cooldown.count() < 0) {
+    options_.scheduler.breaker_cooldown =
+        std::chrono::milliseconds(env_int("GQA_BREAKER_COOLDOWN_MS", 100));
+  }
+  GQA_EXPECTS_MSG(options_.scheduler.breaker_cooldown.count() >= 0,
+                  "GQA_BREAKER_COOLDOWN_MS must be >= 0");
   if (options_.num_threads >= 1) {
     owned_ = std::make_unique<ThreadPool>(options_.num_threads);
     pool_ = owned_.get();
@@ -83,17 +109,38 @@ int Server::register_forward(std::string name, ForwardFn forward) {
     models_.push_back({std::move(name), std::move(forward)});
     backlog_.emplace_back();
     credits_.push_back(weight_of(static_cast<std::size_t>(id)));
+    breakers_.emplace_back();
     stats_.started_per_model.push_back(0);
   }
   // One shared warm-up covers the union of every co-served model's op-set:
   // the provider warms everything it replaces, and repeats on a warm
   // provider are copy-free no-ops.
-  if (options_.warm_provider) provider_.warm_up_deployment();
+  if (options_.warm_provider) {
+    try {
+      provider_.warm_up_deployment();
+    } catch (const ServingError&) {
+      // A classified warm-up failure (the `warmup` chaos point) degrades
+      // this server to cold lazy unit builds — results are identical.
+    }
+  }
   return id;
 }
 
+void Server::count_injected_fault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.faults_injected;
+}
+
 std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
-                                            bool blocking, Callback callback) {
+                                            bool blocking,
+                                            SubmitOptions submit_options,
+                                            Callback callback) {
+  GQA_EXPECTS_MSG(submit_options.max_attempts >= 1,
+                  "SubmitOptions::max_attempts must be >= 1");
+  GQA_EXPECTS_MSG(submit_options.deadline.count() >= 0,
+                  "SubmitOptions::deadline must be >= 0 (0 = none)");
+  GQA_EXPECTS_MSG(submit_options.backoff.count() >= 0,
+                  "SubmitOptions::backoff must be >= 0");
   Ticket ticket = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -101,6 +148,15 @@ std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
     GQA_EXPECTS_MSG(
         model_id >= 0 && model_id < static_cast<int>(models_.size()),
         "submit for an unregistered model_id");
+    if (fault::triggered(fault::Point::kAdmission)) {
+      // The admission chaos point models an overloaded front door: the
+      // request is refused before a ticket exists, so the submitter's
+      // catch is the only delivery — nothing to retract or resolve.
+      ++stats_.faults_injected;
+      throw ServingError(ServingErrorCode::kAdmissionRejected,
+                         "injected admission fault: request refused before "
+                         "ticket issue");
+    }
     ticket = next_ticket_++;
     Slot slot;
     slot.callback = std::move(callback);
@@ -108,6 +164,11 @@ std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
     ++stats_.submitted;
   }
   Request request{ticket, model_id, std::move(image)};
+  if (submit_options.deadline.count() > 0) {
+    request.expires_at = Clock::now() + submit_options.deadline;
+  }
+  request.max_attempts = submit_options.max_attempts;
+  request.backoff = submit_options.backoff;
   const bool pushed = blocking ? queue_.push(std::move(request))
                                : queue_.try_push(std::move(request));
   if (pushed) {
@@ -139,13 +200,24 @@ std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
 }
 
 Server::Ticket Server::submit(int model_id, tfm::Tensor image) {
-  return submit(model_id, std::move(image), nullptr);
+  return submit(model_id, std::move(image), SubmitOptions{}, nullptr);
 }
 
 Server::Ticket Server::submit(int model_id, tfm::Tensor image,
                               Callback callback) {
+  return submit(model_id, std::move(image), SubmitOptions{},
+                std::move(callback));
+}
+
+Server::Ticket Server::submit(int model_id, tfm::Tensor image,
+                              SubmitOptions options) {
+  return submit(model_id, std::move(image), options, nullptr);
+}
+
+Server::Ticket Server::submit(int model_id, tfm::Tensor image,
+                              SubmitOptions options, Callback callback) {
   const std::optional<Ticket> ticket =
-      admit(model_id, std::move(image), /*blocking=*/true,
+      admit(model_id, std::move(image), /*blocking=*/true, options,
             std::move(callback));
   GQA_ASSERT(ticket.has_value());  // blocking admit throws instead of refusing
   return *ticket;
@@ -153,13 +225,27 @@ Server::Ticket Server::submit(int model_id, tfm::Tensor image,
 
 std::optional<Server::Ticket> Server::try_submit(int model_id,
                                                  tfm::Tensor image) {
-  return try_submit(model_id, std::move(image), nullptr);
+  return try_submit(model_id, std::move(image), SubmitOptions{}, nullptr);
 }
 
 std::optional<Server::Ticket> Server::try_submit(int model_id,
                                                  tfm::Tensor image,
                                                  Callback callback) {
-  return admit(model_id, std::move(image), /*blocking=*/false,
+  return try_submit(model_id, std::move(image), SubmitOptions{},
+                    std::move(callback));
+}
+
+std::optional<Server::Ticket> Server::try_submit(int model_id,
+                                                 tfm::Tensor image,
+                                                 SubmitOptions options) {
+  return try_submit(model_id, std::move(image), options, nullptr);
+}
+
+std::optional<Server::Ticket> Server::try_submit(int model_id,
+                                                 tfm::Tensor image,
+                                                 SubmitOptions options,
+                                                 Callback callback) {
+  return admit(model_id, std::move(image), /*blocking=*/false, options,
                std::move(callback));
 }
 
@@ -168,7 +254,12 @@ TicketStatus Server::poll(Ticket ticket) const {
   GQA_EXPECTS_MSG(ticket < next_ticket_, "poll on a never-issued ticket");
   const auto it = slots_.find(ticket);
   if (it == slots_.end()) return TicketStatus::kConsumed;
-  return it->second.ready() ? TicketStatus::kReady : TicketStatus::kPending;
+  if (!it->second.ready()) return TicketStatus::kPending;
+  if (it->second.error != nullptr &&
+      it->second.code == ServingErrorCode::kDeadlineExpired) {
+    return TicketStatus::kDeadlineExpired;
+  }
+  return TicketStatus::kReady;
 }
 
 tfm::QTensor Server::wait(Ticket ticket) {
@@ -263,13 +354,13 @@ void Server::service_lane() {
   for (;;) {
     std::optional<Request> request;
     const ForwardFn* forward = nullptr;
-    std::vector<Cancellation> cancelled;
+    std::vector<Resolution> resolved;
     bool span_over = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       for (;;) {
-        request = next_request_locked(cancelled);
-        if (request.has_value() || !cancelled.empty()) break;
+        request = next_request_locked(resolved);
+        if (request.has_value() || !resolved.empty()) break;
         if (inflight_ == 0) {
           // Nothing queued and nothing running anywhere: the span is over
           // for every lane (each observes this same state before leaving).
@@ -281,7 +372,9 @@ void Server::service_lane() {
         // lane does. Parking here instead of returning keeps the lane
         // available: a request admitted while a peer is mid-forward starts
         // on this lane immediately rather than waiting for the busy one.
-        // Woken by admissions, completions, and shutdown.
+        // Woken by admissions, completions, and shutdown. (A backlog held
+        // back only by half-open breaker probes parks here too, woken by
+        // the probe's completion.)
         sched_cv_.wait(lock);
       }
       if (request.has_value()) {
@@ -289,13 +382,13 @@ void Server::service_lane() {
             &models_[static_cast<std::size_t>(request->model_id)].forward;
       }
     }
-    if (!cancelled.empty()) {
+    if (!resolved.empty()) {
       result_cv_.notify_all();  // waiter slots were resolved under the lock
       std::uint64_t delivered = 0;
-      for (Cancellation& c : cancelled) {
-        if (c.callback == nullptr) continue;
-        deliver_callback(std::move(c.callback), c.ticket, tfm::QTensor{},
-                         cancellation_error());
+      for (Resolution& r : resolved) {
+        if (r.callback == nullptr) continue;
+        deliver_callback(std::move(r.callback), r.ticket, tfm::QTensor{},
+                         r.error);
         ++delivered;
       }
       if (delivered > 0) {
@@ -305,25 +398,87 @@ void Server::service_lane() {
         }
         result_cv_.notify_all();
       }
-      continue;  // re-evaluate the span state after the deliveries
+      if (!request.has_value()) continue;  // re-evaluate the span state
     }
     if (span_over) return;
     if (!request.has_value()) continue;
     if (!lease.has_value()) lease.emplace(workspaces_);
-    Slot filled;
-    try {
-      // The serial deployment forward: no intra-forward pool, zero-filled
-      // workspace acquires — bit-identical to a serial per-image loop.
-      filled.result = (*forward)(request->image, lease->workspace());
-    } catch (...) {
-      filled.error = std::current_exception();
+    Slot filled = serve_request(*request, *forward, lease->workspace());
+    complete(*request, std::move(filled));
+  }
+}
+
+Server::Slot Server::serve_request(const Request& request,
+                                   const ForwardFn& forward,
+                                   tfm::Workspace* workspace) {
+  Slot filled;
+  for (int attempt = 1;; ++attempt) {
+    if (attempt > 1) {
+      // Between attempts the deadline is live again: an expired request
+      // never re-runs. The backoff sleep doubles per retry and is clipped
+      // to the remaining budget, so a retrying lane never oversleeps its
+      // own deadline.
+      Clock::time_point now = Clock::now();
+      if (now >= request.expires_at) {
+        filled.result.reset();
+        filled.error = deadline_error();
+        filled.code = ServingErrorCode::kDeadlineExpired;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.deadline_expired;
+        return filled;
+      }
+      // Shift clamp: past 2^20 doublings the deadline clip below is what
+      // bounds the sleep anyway, and the shift must not overflow.
+      std::chrono::nanoseconds delay =
+          request.backoff * (std::int64_t{1} << std::min(attempt - 2, 20));
+      if (request.expires_at != Clock::time_point::max()) {
+        delay = std::min<std::chrono::nanoseconds>(delay,
+                                                   request.expires_at - now);
+      }
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+      if (Clock::now() >= request.expires_at) {
+        filled.result.reset();
+        filled.error = deadline_error();
+        filled.code = ServingErrorCode::kDeadlineExpired;
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.deadline_expired;
+        return filled;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.retries;
     }
-    complete(request->ticket, std::move(filled));
+    try {
+      // The scheduler-lane and backend-forward chaos points fire before
+      // and inside the service attempt; both throw kBackendTransient, so
+      // a request with retry budget rides through them.
+      if (fault::triggered(fault::Point::kScheduler)) {
+        count_injected_fault();
+        fault::throw_injected(fault::Point::kScheduler);
+      }
+      if (fault::triggered(fault::Point::kBackend)) {
+        count_injected_fault();
+        fault::throw_injected(fault::Point::kBackend);
+      }
+      // The serial deployment forward: no intra-forward pool, zero-filled
+      // workspace acquires — bit-identical to a serial per-image loop (and
+      // to itself across retries).
+      filled.result = forward(request.image, workspace);
+      filled.error = nullptr;
+      return filled;
+    } catch (...) {
+      filled.result.reset();
+      filled.error = std::current_exception();
+      filled.code = serving_error_code(filled.error);
+    }
+    if (filled.code != ServingErrorCode::kBackendTransient ||
+        attempt >= request.max_attempts) {
+      return filled;  // non-retryable class or retry budget exhausted
+    }
   }
 }
 
 std::optional<Server::Request> Server::next_request_locked(
-    std::vector<Cancellation>& cancelled) {
+    std::vector<Resolution>& resolved) {
   // Refill first: pulling straight from the admission queue on every pick
   // is what makes the batching continuous — a request admitted while lanes
   // are busy starts on the first lane that frees, and draining here is
@@ -334,7 +489,31 @@ std::optional<Server::Request> Server::next_request_locked(
   }
   if (stopping_ &&
       options_.scheduler.drain_policy == DrainPolicy::kCancelPending) {
-    cancel_backlog_locked(cancelled);
+    cancel_backlog_locked(resolved);
+  }
+  const std::size_t model_count = models_.size();
+  const Clock::time_point now = Clock::now();
+  if (backlog_total_ > 0) {
+    // Robustness sweep before the pick: deadline expiry and breaker
+    // shedding are prompt (checked on every pull), not gated on the WRR
+    // position reaching the model. Removal from the backlog IS the
+    // exactly-once expiry — an entry either leaves here (resolved, never
+    // started) or leaves through a dispatch, never both.
+    for (std::size_t m = 0; m < model_count; ++m) {
+      std::deque<Request>& per_model = backlog_[m];
+      for (auto it = per_model.begin(); it != per_model.end();) {
+        if (it->expires_at <= now) {
+          resolve_unstarted_locked(*it, ServingErrorCode::kDeadlineExpired,
+                                   deadline_error(), resolved);
+          ++stats_.deadline_expired;
+          it = per_model.erase(it);
+          --backlog_total_;
+        } else {
+          ++it;
+        }
+      }
+      (void)breaker_admits_locked(m, now, resolved);  // shed / go half-open
+    }
   }
   if (backlog_total_ == 0) return std::nullopt;
   const std::size_t cap =
@@ -350,13 +529,13 @@ std::optional<Server::Request> Server::next_request_locked(
   // resets and the cursor rotates, so no model is always first. Models
   // with no backlog are skipped (work-conserving) — their unused credit
   // never stalls the cycle.
-  const std::size_t model_count = models_.size();
   GQA_ASSERT(model_count > 0);  // requests only exist for registered models
   for (int pass = 0; pass < 2; ++pass) {
     for (std::size_t k = 0; k < model_count; ++k) {
       const std::size_t m =
           (static_cast<std::size_t>(wrr_cursor_) + k) % model_count;
       if (backlog_[m].empty() || credits_[m] == 0) continue;
+      if (!breaker_admits_locked(m, now, resolved)) continue;
       --credits_[m];
       wrr_cursor_ = static_cast<int>(m);
       ++inflight_;
@@ -364,44 +543,128 @@ std::optional<Server::Request> Server::next_request_locked(
       Request request = std::move(backlog_[m].front());
       backlog_[m].pop_front();
       --backlog_total_;
+      Breaker& breaker = breakers_[m];
+      if (breaker.state == Breaker::State::kHalfOpen) {
+        breaker.probe_inflight = true;
+        request.probe = true;
+      }
       return request;
     }
     // Every backlogged model exhausted its cycle credit: start a new cycle.
     for (std::size_t m = 0; m < model_count; ++m) credits_[m] = weight_of(m);
     wrr_cursor_ = (wrr_cursor_ + 1) % static_cast<int>(model_count);
   }
-  GQA_ASSERT(false);  // after a reset some backlogged model has credit
+  // Backlogged but nothing dispatchable: every backlogged model is holding
+  // for its half-open probe. The lane parks; the probe's completion wakes
+  // it (and either the closed breaker dispatches or the re-opened one
+  // sheds on the next pull).
   return std::nullopt;
 }
 
-void Server::cancel_backlog_locked(std::vector<Cancellation>& cancelled) {
-  for (std::deque<Request>& per_model : backlog_) {
-    for (Request& request : per_model) {
-      const auto it = slots_.find(request.ticket);
-      GQA_ASSERT(it != slots_.end());  // only delivery erases slots
-      if (it->second.callback != nullptr) {
-        // Counted as resolved by the caller only after the cancellation
-        // callback has run, so drain() covers it.
-        cancelled.push_back({request.ticket, std::move(it->second.callback)});
-        slots_.erase(it);
-      } else {
-        it->second.error = cancellation_error();
-        ++stats_.completed;
-        cancelled.push_back({request.ticket, nullptr});
+bool Server::breaker_admits_locked(std::size_t m, Clock::time_point now,
+                                   std::vector<Resolution>& resolved) {
+  if (breaker_threshold() <= 0) return true;  // breaker disabled
+  Breaker& breaker = breakers_[m];
+  switch (breaker.state) {
+    case Breaker::State::kClosed:
+      return true;
+    case Breaker::State::kHalfOpen:
+      // Exactly one probe at a time; the rest of the backlog holds (it is
+      // not shed — the probe's success would serve it).
+      return !breaker.probe_inflight;
+    case Breaker::State::kOpen:
+      if (now - breaker.opened_at >= options_.scheduler.breaker_cooldown) {
+        breaker.state = Breaker::State::kHalfOpen;
+        breaker.probe_inflight = false;
+        return true;
       }
+      // Fail fast: shed the whole backlog so one poisoned model degrades
+      // alone instead of parking requests (and starving co-served models'
+      // admission queue share) for the cooldown.
+      for (const Request& request : backlog_[m]) {
+        resolve_unstarted_locked(request, ServingErrorCode::kModelUnavailable,
+                                 unavailable_error(models_[m].name), resolved);
+      }
+      backlog_total_ -= backlog_[m].size();
+      backlog_[m].clear();
+      return false;
+  }
+  GQA_ASSERT(false);  // unreachable: all states handled above
+  return false;
+}
+
+void Server::cancel_backlog_locked(std::vector<Resolution>& resolved) {
+  for (std::deque<Request>& per_model : backlog_) {
+    for (const Request& request : per_model) {
+      resolve_unstarted_locked(request, ServingErrorCode::kCancelled,
+                               cancellation_error(), resolved);
     }
     per_model.clear();
   }
   backlog_total_ = 0;
 }
 
-void Server::complete(Ticket ticket, Slot&& filled) {
+void Server::resolve_unstarted_locked(const Request& request,
+                                      ServingErrorCode code,
+                                      std::exception_ptr error,
+                                      std::vector<Resolution>& resolved) {
+  const auto it = slots_.find(request.ticket);
+  GQA_ASSERT(it != slots_.end());  // only delivery erases slots
+  if (it->second.callback != nullptr) {
+    // Counted as resolved by the caller only after the error callback has
+    // run (outside the lock), so drain() covers the delivery.
+    resolved.push_back({request.ticket, std::move(it->second.callback), error});
+    slots_.erase(it);
+  } else {
+    it->second.error = error;
+    it->second.code = code;
+    ++stats_.completed;
+    resolved.push_back({request.ticket, nullptr, nullptr});
+  }
+}
+
+void Server::record_outcome_locked(const Request& request,
+                                   const Slot& filled) {
+  if (breaker_threshold() <= 0) return;
+  Breaker& breaker = breakers_[static_cast<std::size_t>(request.model_id)];
+  if (request.probe) breaker.probe_inflight = false;
+  if (filled.error == nullptr) {
+    breaker.consecutive_failures = 0;
+    if (request.probe && breaker.state == Breaker::State::kHalfOpen) {
+      breaker.state = Breaker::State::kClosed;  // the probe recovered it
+    }
+    return;
+  }
+  // Only backend failures speak for the model's health: expiries and
+  // cancellations say nothing about the backend, so they neither extend
+  // nor reset the streak.
+  if (filled.code != ServingErrorCode::kBackendTransient &&
+      filled.code != ServingErrorCode::kBackendFailed) {
+    return;
+  }
+  if (request.probe && breaker.state == Breaker::State::kHalfOpen) {
+    // Failed probe: re-open for another cooldown (a fresh trip).
+    breaker.state = Breaker::State::kOpen;
+    breaker.opened_at = Clock::now();
+    ++stats_.breaker_trips;
+    return;
+  }
+  if (breaker.state != Breaker::State::kClosed) return;  // late straggler
+  if (++breaker.consecutive_failures >= breaker_threshold()) {
+    breaker.state = Breaker::State::kOpen;
+    breaker.opened_at = Clock::now();
+    ++stats_.breaker_trips;
+  }
+}
+
+void Server::complete(const Request& request, Slot&& filled) {
   Callback callback;
   tfm::QTensor result;
   const std::exception_ptr error = filled.error;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = slots_.find(ticket);
+    record_outcome_locked(request, filled);
+    const auto it = slots_.find(request.ticket);
     GQA_ASSERT(it != slots_.end());  // only delivery erases slots
     if (it->second.callback != nullptr) {
       // Callback delivery consumes the ticket; the result never parks in
@@ -416,6 +679,7 @@ void Server::complete(Ticket ticket, Slot&& filled) {
       // lock once per completion.
       it->second.result = std::move(filled.result);
       it->second.error = error;
+      it->second.code = filled.code;
       --inflight_;
       ++stats_.completed;
     }
@@ -425,7 +689,8 @@ void Server::complete(Ticket ticket, Slot&& filled) {
     // it still occupies the lane's inflight slot), so drain()/shutdown()
     // returning guarantees every callback has finished — a client may
     // free the callback's captures right after drain().
-    deliver_callback(std::move(callback), ticket, std::move(result), error);
+    deliver_callback(std::move(callback), request.ticket, std::move(result),
+                     error);
     std::lock_guard<std::mutex> lock(mutex_);
     --inflight_;
     ++stats_.completed;

@@ -1,5 +1,5 @@
 // Asynchronous serving front-end with multi-model co-serving on a
-// continuous-batching scheduler.
+// continuous-batching scheduler, with fault-tolerant request handling.
 //
 // The InferenceEngine (eval/engine.h) serves one frozen model one batch at
 // a time — the caller owns the batching. gqa::Server owns it instead: any
@@ -23,18 +23,51 @@
 // no backlog donates its slots instead of stalling the cycle. Equal
 // weights reproduce the fair round-robin of the batch-at-a-time server.
 //
-// Guarantees (enforced by tests/server_test.cpp and the randomized
-// conformance harness tests/scheduler_test.cpp, both under TSan):
+// Failure semantics (docs/ARCHITECTURE.md "Failure semantics" has the full
+// map; every failure is classified per util/serving_error.h):
+//   - Deadlines: SubmitOptions::deadline bounds a request's life from
+//     admission. A stale backlog entry is expired exactly once when a lane
+//     would otherwise start it (and between retry attempts) — an expired
+//     request NEVER runs, poll() reads kDeadlineExpired until the error is
+//     consumed, and Stats::deadline_expired counts it.
+//   - Retries: a kBackendTransient failure (the only retryable class;
+//     injected faults are transient by construction) is re-attempted on
+//     the same lane up to SubmitOptions::max_attempts times, sleeping
+//     backoff * 2^(attempt-1) between attempts, clipped to the deadline.
+//     Stats::retries counts re-attempts. Results stay bit-identical: a
+//     retry reruns the same deterministic forward.
+//   - Circuit breaker (per model, SchedulerConfig::breaker_threshold > 0):
+//     breaker_threshold consecutive final backend failures open the
+//     breaker; while open, that model's backlog is shed fail-fast with
+//     kModelUnavailable (never started), so one poisoned model degrades
+//     alone instead of starving co-served models. After breaker_cooldown
+//     the breaker goes half-open and admits exactly one probe request:
+//     success closes it, failure re-opens it (another cooldown).
+//     Stats::breaker_trips counts open transitions; deadline expiries and
+//     cancellations never count toward the failure streak.
+//   - Fault injection: the admission, scheduler-lane, and backend-forward
+//     paths carry compiled-in chaos points (util/fault_injection.h),
+//     zero-cost unless GQA_FAULT_SPEC arms them; faults the server's own
+//     points fire are counted in Stats::faults_injected. An injected
+//     admission fault makes submit()/try_submit() throw ServingError
+//     (kAdmissionRejected) — no ticket is issued.
+//
+// Guarantees (enforced by tests/server_test.cpp, the randomized
+// conformance harness tests/scheduler_test.cpp, and the chaos suite
+// tests/chaos_test.cpp, all under TSan):
 //   - Bit-identity: each request runs one fully-serial forward with a
 //     per-lane Workspace (zero-filled acquires, held via LaneLease), so a
 //     request's result is exactly what `model.forward_int(image, nl)`
 //     returns in a serial per-image loop — regardless of submission order,
-//     QoS weights, lane count, or how models interleave.
+//     QoS weights, lane count, how models interleave, or how many
+//     transient faults were retried through.
 //   - Ticket-order issuance: tickets are dense and issued in admission
 //     order; results are keyed by ticket, so waiting tickets in issue
 //     order yields results in issue order no matter the completion order.
-//   - Exactly-once delivery: a result is delivered exactly once, either to
-//     the one wait() call on its ticket or to its submit-time callback.
+//   - Exactly-once delivery: a result OR a classified ServingError is
+//     delivered exactly once, either to the one wait() call on its ticket
+//     or to its submit-time callback — including expired, shed, and
+//     cancelled requests.
 //   - Backpressure: the admission queue is bounded (ServerOptions::
 //     queue_capacity). submit() blocks until space frees; try_submit()
 //     returns nullopt instead — the caller picks the policy.
@@ -48,15 +81,15 @@
 //     the destructor calls it.
 //
 // Callback threading contract: a submit-time callback runs exactly once on
-// the service lane that completed (or cancelled) the request, after the
-// result left the ticket table — poll() reads kConsumed from then on and
-// wait() on a callback ticket is a contract violation. Callbacks must be
-// quick (they occupy a service lane), must not throw (an escaping
-// exception is swallowed and counted in Stats::callback_errors — there is
-// nowhere left to deliver it), and must not call wait(), drain(), or
-// shutdown() on this server (self-deadlock); re-submitting from a callback
-// is allowed via try_submit() only — a blocking submit() on a full queue
-// would stall the lane that has to drain it.
+// the service lane that completed (or expired/shed/cancelled) the request,
+// after the result left the ticket table — poll() reads kConsumed from
+// then on and wait() on a callback ticket is a contract violation.
+// Callbacks must be quick (they occupy a service lane), must not throw (an
+// escaping exception is swallowed and counted in Stats::callback_errors —
+// there is nowhere left to deliver it), and must not call wait(), drain(),
+// or shutdown() on this server (self-deadlock); re-submitting from a
+// callback is allowed via try_submit() only — a blocking submit() on a
+// full queue would stall the lane that has to drain it.
 //
 // Thread-safety: every public method is safe to call from any thread;
 // each ticket has exactly one waiter (a second wait on the same ticket —
@@ -66,6 +99,7 @@
 // server and stay frozen while it runs.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -82,6 +116,7 @@
 #include "tfm/nonlinear_provider.h"
 #include "tfm/tensor.h"
 #include "tfm/workspace.h"
+#include "util/serving_error.h"
 #include "util/thread_pool.h"
 
 namespace gqa {
@@ -92,8 +127,8 @@ enum class DrainPolicy {
   /// tickets always resolve to their forward's result.
   kFinishAdmitted,
   /// Fail admitted-but-not-started requests fast: their waiters get a
-  /// std::runtime_error rethrown from wait() (callbacks get it as the
-  /// error argument); requests already on a lane still finish.
+  /// ServingError (code kCancelled) rethrown from wait() (callbacks get it
+  /// as the error argument); requests already on a lane still finish.
   kCancelPending,
 };
 
@@ -112,6 +147,14 @@ struct SchedulerConfig {
   int max_inflight = 0;
   /// Shutdown behaviour for the not-yet-started backlog.
   DrainPolicy drain_policy = DrainPolicy::kFinishAdmitted;
+  /// Consecutive final backend failures that open a model's circuit
+  /// breaker; 0 disables the breaker. -1 (the default) reads the
+  /// GQA_BREAKER_THRESHOLD env var (default 0 = disabled).
+  int breaker_threshold = -1;
+  /// How long an open breaker fails fast before admitting one half-open
+  /// probe. Negative (the default) reads GQA_BREAKER_COOLDOWN_MS
+  /// (default 100).
+  std::chrono::milliseconds breaker_cooldown{-1};
 };
 
 struct ServerOptions {
@@ -124,16 +167,39 @@ struct ServerOptions {
   std::size_t queue_capacity = 64;
   /// Pre-warm the shared provider's full replaced-op set at registration,
   /// so service lanes never touch the unit-cache lock. Optimization only —
-  /// results are identical either way.
+  /// results are identical either way, and a warm-up failure (e.g. the
+  /// `warmup` chaos point) degrades to cold lazy builds.
   bool warm_provider = true;
   /// Continuous-batching scheduler knobs (QoS weights, inflight cap,
-  /// drain policy).
+  /// drain policy, circuit breaker).
   SchedulerConfig scheduler;
+};
+
+/// Per-request robustness controls, passed at submit time. The defaults
+/// (no deadline, one attempt, no backoff) reproduce the pre-fault-layer
+/// behaviour exactly.
+struct SubmitOptions {
+  /// Wall-clock budget measured from admission; zero means no deadline.
+  /// A request whose deadline passes before a lane starts it (or between
+  /// retry attempts) resolves to ServingError kDeadlineExpired without
+  /// (re)running — expiry is exactly-once. A forward already running is
+  /// never interrupted.
+  std::chrono::milliseconds deadline{0};
+  /// Total attempts for kBackendTransient failures (>= 1). Non-transient
+  /// failures never retry.
+  int max_attempts = 1;
+  /// Base sleep between attempts, doubled each retry
+  /// (backoff * 2^(attempt-1)) and clipped to the remaining deadline. The
+  /// sleep occupies the service lane, so keep it small.
+  std::chrono::milliseconds backoff{0};
 };
 
 enum class TicketStatus {
   kPending,   ///< admitted, result not ready yet
-  kReady,     ///< result available; wait() returns without blocking
+  kReady,     ///< result (or a non-deadline error) available; wait()
+              ///< returns or rethrows without blocking
+  kDeadlineExpired,  ///< expired before service; wait() rethrows the
+                     ///< kDeadlineExpired ServingError
   kConsumed,  ///< result collected by wait() or delivered to the callback
 };
 
@@ -144,7 +210,9 @@ class Server {
 
   /// A registered backend: one serial deployment forward. The Workspace
   /// (never null) is the lane's private scratch; implementations must not
-  /// capture it beyond the call.
+  /// capture it beyond the call. Throwing ServingError with code
+  /// kBackendTransient marks the failure retryable; any other exception
+  /// fails the request on the first occurrence.
   using ForwardFn =
       std::function<tfm::QTensor(const tfm::Tensor&, tfm::Workspace*)>;
 
@@ -182,30 +250,43 @@ class Server {
 
   /// Admits a request for `model_id`, blocking while the admission queue
   /// is full. Throws ContractViolation if the server is (or becomes) shut
-  /// down, or model_id was never registered. With a callback the result is
-  /// delivered to it instead of a wait() (see the callback contract).
+  /// down, or model_id was never registered; throws ServingError
+  /// (kAdmissionRejected) on an injected admission fault. With a callback
+  /// the result is delivered to it instead of a wait() (see the callback
+  /// contract). The SubmitOptions overloads attach a deadline/retry
+  /// policy; the plain overloads use the defaults (no deadline, one
+  /// attempt).
   Ticket submit(int model_id, tfm::Tensor image);
   Ticket submit(int model_id, tfm::Tensor image, Callback callback);
+  Ticket submit(int model_id, tfm::Tensor image, SubmitOptions options);
+  Ticket submit(int model_id, tfm::Tensor image, SubmitOptions options,
+                Callback callback);
 
   /// Non-blocking admit: nullopt when the queue is full (load shedding).
   std::optional<Ticket> try_submit(int model_id, tfm::Tensor image);
   std::optional<Ticket> try_submit(int model_id, tfm::Tensor image,
                                    Callback callback);
+  std::optional<Ticket> try_submit(int model_id, tfm::Tensor image,
+                                   SubmitOptions options);
+  std::optional<Ticket> try_submit(int model_id, tfm::Tensor image,
+                                   SubmitOptions options, Callback callback);
 
   /// Lifecycle of a ticket issued by submit()/try_submit(). A callback
-  /// ticket never reads kReady: it goes kPending -> kConsumed when the
-  /// callback has been invoked.
+  /// ticket never reads kReady or kDeadlineExpired: it goes kPending ->
+  /// kConsumed when the callback has been invoked.
   [[nodiscard]] TicketStatus poll(Ticket ticket) const;
 
-  /// Blocks until the ticket's result is ready and returns it, consuming
-  /// the ticket (a second wait on it is a contract violation, as is a wait
-  /// on a callback ticket). Safe to call before, during, or after
-  /// shutdown().
+  /// Blocks until the ticket's result is ready and returns it — or
+  /// rethrows the request's classified failure (ServingError for
+  /// expiry/shedding/cancellation/transient-exhaustion, the backend's own
+  /// exception otherwise) — consuming the ticket (a second wait on it is a
+  /// contract violation, as is a wait on a callback ticket). Safe to call
+  /// before, during, or after shutdown().
   [[nodiscard]] tfm::QTensor wait(Ticket ticket);
 
-  /// Blocks until every admitted request has resolved (served, failed, or
-  /// cancelled). Admission stays open; use shutdown() to also stop the
-  /// service.
+  /// Blocks until every admitted request has resolved (served, failed,
+  /// expired, shed, or cancelled). Admission stays open; use shutdown() to
+  /// also stop the service.
   void drain();
 
   /// Stops admission, resolves every admitted request per
@@ -221,66 +302,125 @@ class Server {
 
   struct Stats {
     std::uint64_t submitted = 0;  ///< admitted requests
-    std::uint64_t completed = 0;  ///< requests resolved (incl. cancelled)
+    std::uint64_t completed = 0;  ///< requests resolved (incl. failed/shed)
     std::uint64_t rejected = 0;   ///< try_submit refusals (queue full)
     std::uint64_t spans = 0;      ///< continuous service spans opened
     std::uint64_t callback_errors = 0;  ///< exceptions escaping callbacks
+    /// Requests resolved kDeadlineExpired — expired in the backlog before
+    /// service or between retry attempts.
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t retries = 0;  ///< transient-failure re-attempts
+    std::uint64_t breaker_trips = 0;  ///< circuit-breaker open transitions
+    /// Faults the server's own injection points (admission, scheduler,
+    /// backend) fired — 0 whenever GQA_FAULT_SPEC is unset.
+    std::uint64_t faults_injected = 0;
     /// Requests handed to a lane, per model_id — the observable the QoS
-    /// conformance harness checks ratios on (cancelled requests never
-    /// start, so they are not counted here).
+    /// conformance harness checks ratios on (expired, shed, and cancelled
+    /// requests never start, so they are not counted here).
     std::vector<std::uint64_t> started_per_model;
   };
   [[nodiscard]] Stats stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Request {
     Ticket ticket = 0;
     int model_id = 0;
     tfm::Tensor image;
+    /// Clock::time_point::max() when the request has no deadline.
+    Clock::time_point expires_at = Clock::time_point::max();
+    int max_attempts = 1;
+    std::chrono::milliseconds backoff{0};
+    /// Set when this dispatch is a half-open breaker probe: its outcome
+    /// decides whether the breaker closes or re-opens.
+    bool probe = false;
   };
   struct Registered {
     std::string name;
     ForwardFn forward;
   };
   /// Ready when `result` is engaged or `error` is set; wait() rethrows a
-  /// backend exception to the waiter instead of killing the lane. For a
-  /// callback request the slot only tracks pending-ness: completion moves
-  /// the result into the callback and erases the slot. `claimed` is set by
+  /// backend exception to the waiter instead of killing the lane. `code`
+  /// classifies the error (meaningful only when error != nullptr) so
+  /// poll() can report kDeadlineExpired without rethrowing. For a callback
+  /// request the slot only tracks pending-ness: completion moves the
+  /// result into the callback and erases the slot. `claimed` is set by
   /// the first wait() before it blocks, so a second waiter on the same
   /// ticket fails fast with ContractViolation instead of racing the first
   /// one's erase.
   struct Slot {
     std::optional<tfm::QTensor> result;
     std::exception_ptr error;
+    ServingErrorCode code = ServingErrorCode::kBackendFailed;
     Callback callback;
     bool claimed = false;
     [[nodiscard]] bool ready() const {
       return result.has_value() || error != nullptr;
     }
   };
-  /// A cancelled backlog entry whose delivery (callback invocation) must
-  /// happen outside the scheduler lock; waiter slots are resolved in
-  /// place and only need the post-unlock notify.
-  struct Cancellation {
+  /// A backlog entry resolved without service (cancelled, expired, or shed
+  /// by an open breaker) whose delivery (callback invocation) must happen
+  /// outside the scheduler lock; waiter slots are resolved in place and
+  /// only need the post-unlock notify.
+  struct Resolution {
     Ticket ticket = 0;
     Callback callback;  ///< null when a wait()er owns the slot
+    std::exception_ptr error;
+  };
+  /// Per-model circuit-breaker state machine: kClosed counts consecutive
+  /// final backend failures; kOpen sheds fail-fast until the cooldown
+  /// elapses; kHalfOpen lets exactly one probe through and closes or
+  /// re-opens on its outcome.
+  struct Breaker {
+    enum class State { kClosed, kOpen, kHalfOpen };
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    Clock::time_point opened_at{};
+    bool probe_inflight = false;
   };
 
   void dispatch_loop();
   void run_service();
   void service_lane();
+  /// One request's full service on the calling lane: the attempt loop with
+  /// injected-fault points, transient retry with backoff, and mid-retry
+  /// deadline expiry. Returns the filled slot (result or classified
+  /// error).
+  [[nodiscard]] Slot serve_request(const Request& request,
+                                   const ForwardFn& forward,
+                                   tfm::Workspace* workspace);
   /// Scheduler core (mutex_ held): refills the per-model backlog from the
-  /// admission queue, applies the drain policy, enforces max_inflight, and
-  /// picks the next request by weighted round-robin.
+  /// admission queue, applies the drain policy, expires stale entries,
+  /// sheds open-breaker backlogs, enforces max_inflight, and picks the
+  /// next request by weighted round-robin.
   [[nodiscard]] std::optional<Request> next_request_locked(
-      std::vector<Cancellation>& cancelled);
-  void cancel_backlog_locked(std::vector<Cancellation>& cancelled);
-  void complete(Ticket ticket, Slot&& filled);
+      std::vector<Resolution>& resolved);
+  void cancel_backlog_locked(std::vector<Resolution>& resolved);
+  /// Resolves one backlog entry without service (mutex_ held): waiter
+  /// slots get the error in place (counted completed), callback slots are
+  /// queued for post-unlock delivery.
+  void resolve_unstarted_locked(const Request& request, ServingErrorCode code,
+                                std::exception_ptr error,
+                                std::vector<Resolution>& resolved);
+  /// Applies breaker policy to model m's backlog (mutex_ held): sheds
+  /// while open (pre-cooldown), transitions open -> half-open after the
+  /// cooldown. Returns true when the model may dispatch right now.
+  [[nodiscard]] bool breaker_admits_locked(std::size_t m,
+                                           Clock::time_point now,
+                                           std::vector<Resolution>& resolved);
+  /// Breaker bookkeeping for a served request's outcome (mutex_ held).
+  void record_outcome_locked(const Request& request, const Slot& filled);
+  void complete(const Request& request, Slot&& filled);
   void deliver_callback(Callback callback, Ticket ticket, tfm::QTensor result,
                         std::exception_ptr error);
   std::optional<Ticket> admit(int model_id, tfm::Tensor image, bool blocking,
-                              Callback callback);
+                              SubmitOptions submit_options, Callback callback);
   [[nodiscard]] std::uint64_t weight_of(std::size_t model_id) const;
+  [[nodiscard]] int breaker_threshold() const {
+    return options_.scheduler.breaker_threshold;
+  }
+  void count_injected_fault();
 
   const tfm::NonlinearProvider& provider_;
   ServerOptions options_;
@@ -307,6 +447,7 @@ class Server {
   std::vector<std::deque<Request>> backlog_;
   std::size_t backlog_total_ = 0;
   std::vector<std::uint64_t> credits_;
+  std::vector<Breaker> breakers_;  ///< per-model circuit breakers
   int wrr_cursor_ = 0;
   std::size_t inflight_ = 0;  ///< started, not yet resolved
   bool stopping_ = false;

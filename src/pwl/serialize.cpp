@@ -1,6 +1,10 @@
 #include "pwl/serialize.h"
 
+#include <exception>
+
+#include "util/fault_injection.h"
 #include "util/json.h"
+#include "util/serving_error.h"
 
 namespace gqa {
 
@@ -19,6 +23,43 @@ std::vector<std::int64_t> to_int_array(const Json& arr) {
   for (std::size_t i = 0; i < arr.size(); ++i) out.push_back(arr.at(i).as_int());
   return out;
 }
+
+/// Artifact-boundary checks shared by both load paths: a file claiming the
+/// wrong kind or a version this build does not understand is rejected
+/// loudly instead of being decoded into a silently-wrong table. `kind` and
+/// `version` are required at the file boundary (both save paths write
+/// them); the in-memory converters stay lenient for embedding callers
+/// (Approximator documents nest tables without re-stating the envelope).
+void check_envelope(const Json& j, const char* expected_kind) {
+  if (!j.contains("kind") || j.at("kind").as_string() != expected_kind) {
+    throw std::runtime_error(std::string("artifact kind is not '") +
+                             expected_kind + "'");
+  }
+  const std::int64_t version = j.at("version").as_int();
+  if (version < 1 || version > kFormatVersion) {
+    throw std::runtime_error("unsupported artifact format version " +
+                             std::to_string(version));
+  }
+}
+
+/// Wraps the whole load pipeline (read, parse, envelope, decode, validate)
+/// so every failure mode surfaces as one typed kArtifactCorrupt error.
+template <typename LoadFn>
+auto load_artifact(const std::string& path, const char* what, LoadFn load)
+    -> decltype(load()) {
+  if (fault::triggered(fault::Point::kLoad)) {
+    fault::throw_injected(fault::Point::kLoad);
+  }
+  try {
+    return load();
+  } catch (const ServingError&) {
+    throw;  // already classified (nested loads, injected faults)
+  } catch (const std::exception& e) {
+    throw ServingError(ServingErrorCode::kArtifactCorrupt,
+                       std::string(what) + "(" + path + "): " + e.what());
+  }
+}
+
 }  // namespace
 
 Json pwl_to_json(const PwlTable& table) {
@@ -76,7 +117,11 @@ void save_pwl(const PwlTable& table, const std::string& path) {
 }
 
 PwlTable load_pwl(const std::string& path) {
-  return pwl_from_json(Json::parse(read_file(path)));
+  return load_artifact(path, "load_pwl", [&] {
+    const Json j = Json::parse(read_file(path));
+    check_envelope(j, "pwl_table");
+    return pwl_from_json(j);
+  });
 }
 
 void save_quantized(const QuantizedPwlTable& table, const std::string& path) {
@@ -84,7 +129,11 @@ void save_quantized(const QuantizedPwlTable& table, const std::string& path) {
 }
 
 QuantizedPwlTable load_quantized(const std::string& path) {
-  return quantized_from_json(Json::parse(read_file(path)));
+  return load_artifact(path, "load_quantized", [&] {
+    const Json j = Json::parse(read_file(path));
+    check_envelope(j, "quantized_pwl_table");
+    return quantized_from_json(j);
+  });
 }
 
 }  // namespace gqa

@@ -1,5 +1,19 @@
 // JSON (de)serialization of fitted tables so deployments can ship LUT
 // parameter files produced by the fitting pipeline.
+//
+// Failure semantics: the file load paths (load_pwl / load_quantized) never
+// crash on malformed input and never return a bogus table. Every failure —
+// unreadable file, truncated/malformed JSON, missing or mistyped fields, a
+// `kind` that names the other table type, an unsupported format version,
+// or a decoded table that fails validation — is rethrown as
+// gqa::ServingError with code kArtifactCorrupt, so the serving stack can
+// classify artifact damage without string matching (see
+// src/util/serving_error.h). The in-memory converters (pwl_from_json /
+// quantized_from_json) keep their original exception types for embedding
+// callers; only the artifact file boundary applies the taxonomy. The load
+// paths also carry the `load` fault-injection point
+// (src/util/fault_injection.h) so chaos runs can exercise artifact-load
+// failures deterministically.
 #pragma once
 
 #include <string>
@@ -17,7 +31,9 @@ class Json;
 [[nodiscard]] Json quantized_to_json(const QuantizedPwlTable& table);
 [[nodiscard]] QuantizedPwlTable quantized_from_json(const Json& j);
 
-/// Saves/loads a table to/from a file.
+/// Saves/loads a table to/from a file. Loads throw gqa::ServingError
+/// (code kArtifactCorrupt) on any malformed, truncated, mislabeled, or
+/// invalid artifact.
 void save_pwl(const PwlTable& table, const std::string& path);
 [[nodiscard]] PwlTable load_pwl(const std::string& path);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/contracts.h"
+#include "util/fault_injection.h"
 
 namespace gqa::tfm {
 
@@ -59,6 +60,13 @@ void NonlinearProvider::warm_up_deployment() const {
 
 void NonlinearProvider::warm_up(const std::set<Op>& ops,
                                 const std::vector<int>& scale_exps) const {
+  // The `warmup` chaos point models a failed pre-warm (e.g. an artifact
+  // fetch timing out). Warm-up is an optimization, never a requirement, so
+  // the serving layers catch this and degrade to cold (lazy) unit builds;
+  // results are identical either way.
+  if (fault::triggered(fault::Point::kWarmup)) {
+    fault::throw_injected(fault::Point::kWarmup);
+  }
   std::lock_guard<std::mutex> lock(cache_mutex_);  // serializes warm-ups
   const WarmTier* current = warm_.load(std::memory_order_acquire);
   // Fast path for repeated warm-ups (the engine warms per dispatch): when

@@ -51,7 +51,10 @@ class NonlinearProvider {
   /// cache, so warm_up is an optimization, never a requirement. Safe to
   /// call at any time, including while other threads evaluate (the new
   /// tier is published atomically). Ops the provider does not replace are
-  /// skipped.
+  /// skipped. Carries the `warmup` fault-injection point
+  /// (util/fault_injection.h): under an armed chaos spec this may throw a
+  /// transient ServingError, which the serving layers catch to degrade to
+  /// cold lazy unit builds — results are identical either way.
   void warm_up(const std::set<Op>& ops,
                const std::vector<int>& scale_exps) const;
 

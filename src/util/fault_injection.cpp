@@ -1,0 +1,155 @@
+#include "util/fault_injection.h"
+
+#include <cstdlib>
+
+#include "util/contracts.h"
+#include "util/env.h"
+#include "util/serving_error.h"
+#include "util/strings.h"
+
+namespace gqa::fault {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates (seed, draw index) into a uniform
+/// 64-bit hash, so each point's decision stream is deterministic in its
+/// seed and draw count, independent of which thread draws.
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double unit_interval(std::uint64_t h) {
+  // Top 53 bits -> [0, 1), the standard double-from-bits construction.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+int point_index(Point point) { return static_cast<int>(point); }
+
+Point point_from_name(const std::string& name) {
+  for (int i = 0; i < kPointCount; ++i) {
+    const Point p = static_cast<Point>(i);
+    if (name == point_name(p)) return p;
+  }
+  GQA_EXPECTS_MSG(false, "GQA_FAULT_SPEC names unknown injection point '" +
+                             name + "'");
+  return Point::kAdmission;  // unreachable
+}
+
+}  // namespace
+
+const char* point_name(Point point) {
+  switch (point) {
+    case Point::kAdmission:
+      return "admission";
+    case Point::kScheduler:
+      return "scheduler";
+    case Point::kBackend:
+      return "backend";
+    case Point::kWarmup:
+      return "warmup";
+    case Point::kLoad:
+      return "load";
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::FaultInjector() {
+  configure(env_string("GQA_FAULT_SPEC", ""));
+}
+
+void FaultInjector::configure(const std::string& spec) {
+  // Disarm first (release below republishes), then reset every point.
+  any_armed_.store(false, std::memory_order_release);
+  for (PointState& state : points_) {
+    state.armed = false;
+    state.prob = 0.0;
+    state.seed = 0;
+    state.draws.store(0, std::memory_order_relaxed);
+    state.fired.store(0, std::memory_order_relaxed);
+  }
+  spec_ = spec;
+  if (trim(spec).empty()) return;
+
+  bool any = false;
+  for (const std::string& entry : split(spec, ',')) {
+    const std::vector<std::string> fields = split(trim(entry), ':');
+    GQA_EXPECTS_MSG(fields.size() == 3,
+                    "GQA_FAULT_SPEC entries must be point:prob:seed, got '" +
+                        entry + "'");
+    PointState& state = points_[point_index(point_from_name(trim(fields[0])))];
+    char* end = nullptr;
+    const std::string prob_str = trim(fields[1]);
+    state.prob = std::strtod(prob_str.c_str(), &end);
+    GQA_EXPECTS_MSG(end != prob_str.c_str() && *end == '\0' &&
+                        state.prob > 0.0 && state.prob <= 1.0,
+                    "GQA_FAULT_SPEC probability must be in (0, 1], got '" +
+                        prob_str + "'");
+    const std::string seed_str = trim(fields[2]);
+    end = nullptr;
+    state.seed = std::strtoull(seed_str.c_str(), &end, 10);
+    // strtoull wraps "-1" silently; reject the sign explicitly.
+    GQA_EXPECTS_MSG(!seed_str.empty() && seed_str[0] != '-' &&
+                        end != seed_str.c_str() && *end == '\0',
+                    "GQA_FAULT_SPEC seed must be a non-negative integer, "
+                    "got '" +
+                        seed_str + "'");
+    state.armed = true;
+    any = true;
+  }
+  any_armed_.store(any, std::memory_order_release);
+}
+
+bool FaultInjector::should_inject(Point point) {
+  PointState& state = points_[point_index(point)];
+  if (!state.armed) return false;
+  const std::uint64_t n = state.draws.fetch_add(1, std::memory_order_relaxed);
+  const double u =
+      unit_interval(mix(state.seed * 0x9E3779B97F4A7C15ULL + n + 1));
+  if (u >= state.prob) return false;
+  state.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FaultInjector::injected(Point point) const {
+  return points_[point_index(point)].fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t sum = 0;
+  for (const PointState& state : points_) {
+    sum += state.fired.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void throw_injected(Point point) {
+  const std::string message =
+      std::string("injected fault at point '") + point_name(point) + "'";
+  switch (point) {
+    case Point::kAdmission:
+      throw ServingError(ServingErrorCode::kAdmissionRejected, message);
+    case Point::kLoad:
+      throw ServingError(ServingErrorCode::kArtifactCorrupt, message);
+    case Point::kScheduler:
+    case Point::kBackend:
+    case Point::kWarmup:
+      break;
+  }
+  throw ServingError(ServingErrorCode::kBackendTransient, message);
+}
+
+FaultScope::FaultScope(const std::string& spec)
+    : previous_(FaultInjector::instance().spec()) {
+  FaultInjector::instance().configure(spec);
+}
+
+FaultScope::~FaultScope() { FaultInjector::instance().configure(previous_); }
+
+}  // namespace gqa::fault

@@ -1,0 +1,125 @@
+// Seeded, env-gated fault injection for the serving stack.
+//
+// Production fault handling is only trustworthy if it is exercised, so the
+// chaos harness (tests/chaos_test.cpp) and the degraded-throughput bench
+// inject failures at fixed, named points compiled into the hot paths:
+//
+//   admission   gqa::Server::submit/try_submit, before a ticket is issued
+//   scheduler   a service lane, after the pick and before the forward
+//   backend     the backend forward call itself
+//   warmup      NonlinearProvider::warm_up (serving degrades to cold start)
+//   load        pwl::load_pwl / load_quantized (artifact load rejected)
+//
+// Each armed point fires with a configured probability from its own seeded
+// stream, so a chaos run is reproducible per (spec, request count) while
+// still covering arbitrary interleavings. The injector is OFF unless the
+// GQA_FAULT_SPEC environment variable (or a programmatic configure()) arms
+// it; the disabled fast path is a single relaxed atomic load, so the hooks
+// are free in production builds — BENCH_serve.json columns are unchanged
+// with the spec unset.
+//
+// Spec grammar (comma-separated triples):
+//   GQA_FAULT_SPEC=point:prob:seed[,point:prob:seed...]
+//   e.g. GQA_FAULT_SPEC=backend:0.2:7,admission:0.05:11
+// `prob` in (0, 1]; `seed` a non-negative integer. Unknown point names or
+// malformed triples fail loudly with ContractViolation — a typo must never
+// silently disable a chaos gate.
+//
+// Thread-safety: should_inject()/injected() are safe from any thread.
+// configure() (and FaultScope) must only run while no injection point is
+// being evaluated — i.e. between server lifetimes in a test; the env-driven
+// configuration happens once, before any thread can observe it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace gqa::fault {
+
+enum class Point {
+  kAdmission = 0,
+  kScheduler,
+  kBackend,
+  kWarmup,
+  kLoad,
+};
+inline constexpr int kPointCount = 5;
+
+/// Stable spec/stat name of a point ("admission", "scheduler", ...).
+[[nodiscard]] const char* point_name(Point point);
+
+class FaultInjector {
+ public:
+  /// The process-wide injector, configured once from GQA_FAULT_SPEC on
+  /// first use.
+  static FaultInjector& instance();
+
+  /// True when any point is armed — the zero-cost gate the call sites
+  /// check first.
+  [[nodiscard]] bool enabled() const {
+    return any_armed_.load(std::memory_order_acquire);
+  }
+
+  /// Draws the point's next seeded decision; true = inject a fault here.
+  /// Counts both draws and fires. Returns false instantly when the point
+  /// is not armed.
+  [[nodiscard]] bool should_inject(Point point);
+
+  /// Faults fired at `point` since the last configure().
+  [[nodiscard]] std::uint64_t injected(Point point) const;
+  /// Faults fired across all points since the last configure().
+  [[nodiscard]] std::uint64_t total_injected() const;
+
+  /// Re-arms the injector from a spec string (empty = fully disabled) and
+  /// resets all counters. Test hook — see the header contract: never call
+  /// while injection points are being evaluated.
+  void configure(const std::string& spec);
+
+  /// The spec currently armed ("" when disabled) — what FaultScope saves.
+  [[nodiscard]] const std::string& spec() const { return spec_; }
+
+ private:
+  FaultInjector();
+
+  struct PointState {
+    bool armed = false;
+    double prob = 0.0;
+    std::uint64_t seed = 0;
+    std::atomic<std::uint64_t> draws{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+
+  std::atomic<bool> any_armed_{false};
+  PointState points_[kPointCount];
+  std::string spec_;
+};
+
+/// The call-site helper: false with one atomic load when injection is off.
+[[nodiscard]] inline bool triggered(Point point) {
+  FaultInjector& injector = FaultInjector::instance();
+  return injector.enabled() && injector.should_inject(point);
+}
+
+/// Throws the ServingError that an injected fault at `point` models
+/// (kBackendTransient for admission-queue/scheduler/backend/warmup faults
+/// — retryable by design, so chaos runs with retries still converge —
+/// except admission which throws kAdmissionRejected, and load which throws
+/// kArtifactCorrupt).
+[[noreturn]] void throw_injected(Point point);
+
+/// RAII spec override for tests: arms `spec` on construction, restores the
+/// previously armed spec (usually the env-derived one) on destruction.
+class FaultScope {
+ public:
+  explicit FaultScope(const std::string& spec);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace gqa::fault

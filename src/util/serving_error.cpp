@@ -1,0 +1,44 @@
+#include "util/serving_error.h"
+
+#include "util/contracts.h"
+
+namespace gqa {
+
+const char* serving_error_name(ServingErrorCode code) {
+  switch (code) {
+    case ServingErrorCode::kDeadlineExpired:
+      return "deadline_expired";
+    case ServingErrorCode::kModelUnavailable:
+      return "model_unavailable";
+    case ServingErrorCode::kBackendTransient:
+      return "backend_transient";
+    case ServingErrorCode::kBackendFailed:
+      return "backend_failed";
+    case ServingErrorCode::kCancelled:
+      return "cancelled";
+    case ServingErrorCode::kAdmissionRejected:
+      return "admission_rejected";
+    case ServingErrorCode::kArtifactCorrupt:
+      return "artifact_corrupt";
+  }
+  return "unknown";
+}
+
+ServingError::ServingError(ServingErrorCode code, const std::string& message)
+    : std::runtime_error("[" + std::string(serving_error_name(code)) + "] " +
+                         message),
+      code_(code) {}
+
+ServingErrorCode serving_error_code(const std::exception_ptr& error) {
+  GQA_EXPECTS_MSG(error != nullptr,
+                  "serving_error_code needs a captured exception");
+  try {
+    std::rethrow_exception(error);
+  } catch (const ServingError& e) {
+    return e.code();
+  } catch (...) {
+    return ServingErrorCode::kBackendFailed;
+  }
+}
+
+}  // namespace gqa

@@ -1,0 +1,73 @@
+// Structured error taxonomy for the serving stack.
+//
+// The serving layers (gqa::Server, the artifact load paths, the fault
+// injector) classify every failure into one ServingErrorCode so that
+// clients, retry machinery, and the circuit breaker can branch on WHAT
+// failed instead of string-matching what(). The contract that motivates
+// the taxonomy: a degraded replica must never silently serve wrong codes —
+// failures are detected, classified, and shed deterministically.
+//
+// Classification rules used by gqa::Server:
+//   - kBackendTransient is the ONLY retryable class (bounded
+//     retry-with-backoff via SubmitOptions::max_attempts); everything else
+//     fails the request on the first occurrence.
+//   - kBackendTransient and kBackendFailed count toward a model's
+//     consecutive-failure streak (the circuit breaker's trip condition);
+//     kDeadlineExpired, kModelUnavailable, and kCancelled never do — they
+//     are scheduler decisions, not evidence about the model's health.
+//   - serving_error_code() maps any exception_ptr into the taxonomy:
+//     ServingError keeps its code, everything else is kBackendFailed.
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace gqa {
+
+enum class ServingErrorCode {
+  /// The request's SubmitOptions::deadline passed before service finished;
+  /// the request was expired exactly once and never (re)started.
+  kDeadlineExpired,
+  /// The model's circuit breaker is open: the request was shed fail-fast
+  /// without touching a service lane.
+  kModelUnavailable,
+  /// A retryable backend failure (includes injected faults): the request
+  /// may be re-attempted up to SubmitOptions::max_attempts times.
+  kBackendTransient,
+  /// A non-retryable backend failure (any exception that is not a
+  /// ServingError is classified here).
+  kBackendFailed,
+  /// The request was cancelled by shutdown under DrainPolicy::kCancelPending
+  /// before it started.
+  kCancelled,
+  /// The admission path refused the request (injected admission fault).
+  kAdmissionRejected,
+  /// A LUT artifact failed to load: truncated/malformed JSON, wrong kind,
+  /// unsupported version, or a table that fails validation. Never returns
+  /// a bogus table.
+  kArtifactCorrupt,
+};
+
+/// Stable lowercase name of a code ("deadline_expired", ...), for messages
+/// and stats keys.
+[[nodiscard]] const char* serving_error_name(ServingErrorCode code);
+
+/// The taxonomy's exception type: a runtime_error carrying its code.
+class ServingError : public std::runtime_error {
+ public:
+  ServingError(ServingErrorCode code, const std::string& message);
+
+  [[nodiscard]] ServingErrorCode code() const { return code_; }
+
+ private:
+  ServingErrorCode code_;
+};
+
+/// Classifies an arbitrary captured exception into the taxonomy:
+/// ServingError keeps its own code, anything else is kBackendFailed.
+/// `error` must not be null.
+[[nodiscard]] ServingErrorCode serving_error_code(
+    const std::exception_ptr& error);
+
+}  // namespace gqa

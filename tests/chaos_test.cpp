@@ -1,0 +1,570 @@
+// Chaos-conformance harness for the fault-tolerant serving layer
+// (src/eval/server.h + src/util/fault_injection.h). The randomized trials
+// arm the admission/scheduler/backend chaos points with seeded
+// probabilities and check the invariants that must hold for EVERY draw:
+// exactly-once delivery of a result OR a classified ServingError, bit-
+// identity with the serial reference for every request that reports
+// success, clean drain with consistent stats, and agreement between the
+// server's fault counter and the injector's own per-point tallies.
+// Deterministic companions pin down the circuit-breaker state machine
+// (open -> fail-fast shed -> half-open probe -> close/re-open), the
+// exactly-once deadline expiry of stale backlog entries, transient-retry
+// bookkeeping, warm-up fault degradation, and the fail-loud spec grammar.
+// The suite runs in the TSan CI job (label: concurrency) at two
+// GQA_TEST_THREADS widths, and once more in the ASan job with an armed
+// GQA_FAULT_SPEC (every deterministic test shields itself with
+// FaultScope, so an env-armed injector only feeds the randomized trials).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "eval/server.h"
+#include "util/contracts.h"
+#include "util/env.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
+#include "util/serving_error.h"
+
+namespace gqa {
+namespace {
+
+using std::chrono::milliseconds;
+
+/// Cheap deterministic backend (same construction as scheduler_test): a
+/// salted checksum of the image, so serial references are trivial and a
+/// chaos trial can afford hundreds of requests.
+tfm::QTensor toy_forward(const tfm::Tensor& image, int salt) {
+  tfm::QTensor out(tfm::Shape{1, 4}, QuantParams{1.0, 16, true});
+  double sum = 0.0;
+  for (const float v : image.data()) sum += static_cast<double>(v);
+  const auto base = static_cast<std::int32_t>(
+      static_cast<std::int64_t>(sum * 1024.0) & 0x7FFF);
+  for (int i = 0; i < 4; ++i) {
+    out.data()[static_cast<std::size_t>(i)] = base + salt * (i + 1);
+  }
+  return out;
+}
+
+/// A distinct image per request id, so each request has its own reference.
+tfm::Tensor id_image(int id) {
+  tfm::Tensor image(tfm::Shape{1, 4, 4});
+  for (std::size_t i = 0; i < image.data().size(); ++i) {
+    image.data()[i] = static_cast<float>(id % 17) * 0.25F +
+                      static_cast<float>(i) * 0.0625F;
+  }
+  return image;
+}
+
+ServingErrorCode code_of(const std::exception_ptr& error) {
+  return serving_error_code(error);
+}
+
+/// Exactly-once ledger for callback deliveries under chaos: success
+/// payloads and classified errors both count as the one delivery.
+struct ChaosLedger {
+  std::mutex mutex;
+  std::map<Server::Ticket, int> deliveries;
+  std::map<Server::Ticket, std::vector<std::int32_t>> results;
+  std::map<Server::Ticket, ServingErrorCode> errors;
+
+  void record(Server::Ticket ticket, const tfm::QTensor& result,
+              const std::exception_ptr& error) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ++deliveries[ticket];
+    if (error == nullptr) {
+      results[ticket] = result.data();
+    } else {
+      errors[ticket] = code_of(error);
+    }
+  }
+};
+
+TEST(ChaosConformance, RandomizedFaultsExactlyOnceBitIdenticalSuccesses) {
+  const int submitters =
+      std::max(1, static_cast<int>(env_int("GQA_TEST_THREADS", 4)));
+  const int kLaneChoices[] = {1, 2, 4, 8};
+  const std::uint64_t kSeeds[] = {0xC4A05, 0xC4A06, 0xC4A07, 0xC4A08};
+
+  int trial = 0;
+  for (const std::uint64_t seed : kSeeds) {
+    Rng rng(seed);
+    // Seeded chaos: every trial arms all three server points with its own
+    // probabilities and seeds, replacing whatever GQA_FAULT_SPEC armed.
+    const double p_admit = 0.02 + 0.04 * rng.canonical();
+    const double p_sched = 0.05 + 0.10 * rng.canonical();
+    const double p_backend = 0.05 + 0.15 * rng.canonical();
+    char spec[160];
+    std::snprintf(spec, sizeof(spec),
+                  "admission:%.3f:%llu,scheduler:%.3f:%llu,backend:%.3f:%llu",
+                  p_admit, static_cast<unsigned long long>(seed), p_sched,
+                  static_cast<unsigned long long>(seed + 1), p_backend,
+                  static_cast<unsigned long long>(seed + 2));
+    fault::FaultScope chaos{std::string(spec)};
+
+    const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+    ServerOptions options;
+    options.num_threads = kLaneChoices[trial % 4];
+    options.warm_provider = false;
+    options.queue_capacity = 64;
+    options.scheduler.breaker_threshold = 0;  // breaker has its own tests
+    Server server(nl, options);
+    for (int m = 0; m < 3; ++m) {
+      server.register_forward(
+          "toy", [m](const tfm::Tensor& image, tfm::Workspace*) {
+            return toy_forward(image, /*salt=*/m + 3);
+          });
+    }
+
+    struct Issued {
+      Server::Ticket ticket = 0;
+      int model = 0;
+      int id = 0;
+      bool use_callback = false;
+    };
+    const int total = 40 + static_cast<int>(rng.uniform_int(0, 40));
+    ChaosLedger ledger;
+    std::vector<std::vector<Issued>> issued(
+        static_cast<std::size_t>(submitters));
+    std::vector<std::uint64_t> admission_faults(
+        static_cast<std::size_t>(submitters), 0);
+    std::vector<std::thread> clients;
+    for (int t = 0; t < submitters; ++t) {
+      // Per-thread request streams forked off the trial seed, so the mix
+      // is deterministic per (seed, submitters) while the interleaving is
+      // free to vary.
+      Rng fork = rng.fork(static_cast<std::uint64_t>(t));
+      clients.emplace_back([&, t, fork]() mutable {
+        for (int i = t; i < total; i += submitters) {
+          Issued entry;
+          entry.model = static_cast<int>(fork.uniform_int(0, 2));
+          entry.id = i;
+          entry.use_callback = fork.bernoulli(0.5);
+          SubmitOptions submit_options;
+          submit_options.max_attempts =
+              static_cast<int>(fork.uniform_int(1, 3));
+          try {
+            if (entry.use_callback) {
+              entry.ticket = server.submit(
+                  entry.model, id_image(entry.id), submit_options,
+                  [&ledger](Server::Ticket done, tfm::QTensor result,
+                            std::exception_ptr error) {
+                    ledger.record(done, result, error);
+                  });
+            } else {
+              entry.ticket = server.submit(entry.model, id_image(entry.id),
+                                           submit_options);
+            }
+          } catch (const ServingError& e) {
+            // An injected admission fault refuses the request before a
+            // ticket exists — the only delivery is this throw.
+            ASSERT_EQ(e.code(), ServingErrorCode::kAdmissionRejected);
+            ++admission_faults[static_cast<std::size_t>(t)];
+            continue;
+          }
+          issued[static_cast<std::size_t>(t)].push_back(entry);
+        }
+      });
+    }
+    for (std::thread& c : clients) c.join();
+    server.drain();
+
+    // Every admitted request resolved exactly once: a bit-identical result
+    // or a transient-class ServingError (the only failures these chaos
+    // points can produce once admission succeeded).
+    std::size_t admitted = 0;
+    std::size_t callback_count = 0;
+    for (const auto& per_client : issued) {
+      for (const Issued& entry : per_client) {
+        ++admitted;
+        const std::vector<std::int32_t> want =
+            toy_forward(id_image(entry.id), entry.model + 3).data();
+        if (entry.use_callback) {
+          ++callback_count;
+          EXPECT_EQ(server.poll(entry.ticket), TicketStatus::kConsumed);
+          std::lock_guard<std::mutex> lock(ledger.mutex);
+          ASSERT_EQ(ledger.deliveries[entry.ticket], 1)
+              << "seed=" << seed << " ticket=" << entry.ticket;
+          if (ledger.results.count(entry.ticket) > 0) {
+            EXPECT_EQ(ledger.results[entry.ticket], want)
+                << "seed=" << seed << " ticket=" << entry.ticket;
+          } else {
+            EXPECT_EQ(ledger.errors[entry.ticket],
+                      ServingErrorCode::kBackendTransient);
+          }
+        } else {
+          EXPECT_EQ(server.poll(entry.ticket), TicketStatus::kReady);
+          try {
+            EXPECT_EQ(server.wait(entry.ticket).data(), want)
+                << "seed=" << seed << " ticket=" << entry.ticket;
+          } catch (const ServingError& e) {
+            EXPECT_EQ(e.code(), ServingErrorCode::kBackendTransient);
+          }
+          EXPECT_EQ(server.poll(entry.ticket), TicketStatus::kConsumed);
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(ledger.mutex);
+      EXPECT_EQ(ledger.deliveries.size(), callback_count);
+    }
+
+    const Server::Stats stats = server.stats();
+    EXPECT_EQ(stats.submitted, admitted);
+    EXPECT_EQ(stats.completed, admitted);
+    EXPECT_EQ(stats.callback_errors, 0U);
+    std::uint64_t admission_fault_total = 0;
+    for (const std::uint64_t f : admission_faults) admission_fault_total += f;
+    EXPECT_EQ(admitted + admission_fault_total,
+              static_cast<std::size_t>(total));
+    // The server's fault counter and the injector's own tallies agree:
+    // every fire at a server point was counted exactly once.
+    const fault::FaultInjector& injector = fault::FaultInjector::instance();
+    EXPECT_EQ(stats.faults_injected,
+              injector.injected(fault::Point::kAdmission) +
+                  injector.injected(fault::Point::kScheduler) +
+                  injector.injected(fault::Point::kBackend))
+        << "seed=" << seed;
+    EXPECT_EQ(injector.injected(fault::Point::kAdmission),
+              admission_fault_total);
+    ++trial;
+  }
+}
+
+TEST(ChaosShutdown, DrainAndShutdownUnderFaultsResolveEverything) {
+  fault::FaultScope chaos{"backend:0.3:91,scheduler:0.2:92"};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 4;
+  options.warm_provider = false;
+  options.scheduler.breaker_threshold = 0;
+  options.scheduler.drain_policy = DrainPolicy::kCancelPending;
+  Server server(nl, options);
+  server.register_forward("toy",
+                          [](const tfm::Tensor& image, tfm::Workspace*) {
+                            return toy_forward(image, /*salt=*/5);
+                          });
+  ChaosLedger ledger;
+  std::size_t admitted = 0;
+  for (int i = 0; i < 120; ++i) {
+    try {
+      server.submit(0, id_image(i), SubmitOptions{milliseconds{0}, 2},
+                    [&ledger](Server::Ticket done, tfm::QTensor result,
+                              std::exception_ptr error) {
+                      ledger.record(done, result, error);
+                    });
+      ++admitted;
+    } catch (const ServingError&) {
+      // injected admission fault
+    }
+  }
+  // Shutdown races the in-flight chaos: every admitted request must still
+  // resolve exactly once (served, failed, or cancelled) with no deadlock.
+  server.shutdown();
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, admitted);
+  EXPECT_EQ(stats.completed, admitted);
+  std::lock_guard<std::mutex> lock(ledger.mutex);
+  EXPECT_EQ(ledger.deliveries.size(), admitted);
+  for (const auto& [ticket, count] : ledger.deliveries) {
+    EXPECT_EQ(count, 1) << "ticket=" << ticket;
+  }
+  for (const auto& [ticket, code] : ledger.errors) {
+    EXPECT_TRUE(code == ServingErrorCode::kBackendTransient ||
+                code == ServingErrorCode::kCancelled)
+        << "ticket=" << ticket << " code=" << serving_error_name(code);
+  }
+}
+
+TEST(ChaosBreaker, OpensAfterThresholdAndShedsBacklogFailFast) {
+  fault::FaultScope quiet{""};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 1;
+  options.warm_provider = false;
+  options.scheduler.breaker_threshold = 2;
+  options.scheduler.breaker_cooldown = milliseconds{600000};  // never probes
+  Server server(nl, options);
+  std::atomic<bool> failing{true};
+  server.register_forward("flaky",
+                          [&](const tfm::Tensor& image, tfm::Workspace*) {
+                            if (failing.load()) {
+                              throw ServingError(
+                                  ServingErrorCode::kBackendFailed,
+                                  "backend poisoned");
+                            }
+                            return toy_forward(image, /*salt=*/2);
+                          });
+  // Two consecutive final failures open the breaker...
+  for (int i = 0; i < 2; ++i) {
+    const Server::Ticket t = server.submit(0, id_image(i));
+    EXPECT_THROW((void)server.wait(t), ServingError);
+  }
+  // ... and everything after that sheds fail-fast without starting.
+  std::vector<Server::Ticket> shed;
+  for (int i = 0; i < 4; ++i) shed.push_back(server.submit(0, id_image(i)));
+  server.drain();
+  for (const Server::Ticket t : shed) {
+    try {
+      (void)server.wait(t);
+      FAIL() << "shed ticket " << t << " produced a result";
+    } catch (const ServingError& e) {
+      EXPECT_EQ(e.code(), ServingErrorCode::kModelUnavailable);
+    }
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.breaker_trips, 1U);
+  EXPECT_EQ(stats.started_per_model.at(0), 2U);  // only the two failures ran
+  EXPECT_EQ(stats.completed, 6U);
+}
+
+TEST(ChaosBreaker, HalfOpenProbeClosesOnSuccessAndReopensOnFailure) {
+  fault::FaultScope quiet{""};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 1;
+  options.warm_provider = false;
+  options.scheduler.breaker_threshold = 1;
+  options.scheduler.breaker_cooldown = milliseconds{5};
+  Server server(nl, options);
+  std::atomic<bool> failing{true};
+  server.register_forward("flaky",
+                          [&](const tfm::Tensor& image, tfm::Workspace*) {
+                            if (failing.load()) {
+                              throw ServingError(
+                                  ServingErrorCode::kBackendFailed,
+                                  "backend poisoned");
+                            }
+                            return toy_forward(image, /*salt=*/2);
+                          });
+  // Trip 1: the first failure opens the breaker (threshold 1).
+  EXPECT_THROW((void)server.wait(server.submit(0, id_image(0))), ServingError);
+  // After the cooldown the next request is the half-open probe; it still
+  // fails, so the breaker re-opens (trip 2).
+  std::this_thread::sleep_for(milliseconds{20});
+  EXPECT_THROW((void)server.wait(server.submit(0, id_image(1))), ServingError);
+  EXPECT_EQ(server.stats().breaker_trips, 2U);
+  // Heal the backend: the next post-cooldown probe succeeds, the breaker
+  // closes, and service is back to normal — bit-identically.
+  failing.store(false);
+  std::this_thread::sleep_for(milliseconds{20});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(server.wait(server.submit(0, id_image(7))).data(),
+              toy_forward(id_image(7), 2).data());
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.breaker_trips, 2U);  // recovery added no trip
+  EXPECT_EQ(stats.completed, 5U);
+}
+
+TEST(ChaosDeadline, BacklogExpiryIsExactlyOnceAndVisibleThroughPoll) {
+  fault::FaultScope quiet{""};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 1;
+  options.warm_provider = false;
+  options.scheduler.breaker_threshold = 0;
+  Server server(nl, options);
+  std::atomic<int> gate_started{0};
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> doomed_started{0};
+  const int gated = server.register_forward(
+      "gate", [&](const tfm::Tensor&, tfm::Workspace*) {
+        ++gate_started;
+        gate.wait();
+        return tfm::QTensor{};
+      });
+  const int doomed = server.register_forward(
+      "doomed", [&](const tfm::Tensor& image, tfm::Workspace*) {
+        ++doomed_started;
+        return toy_forward(image, /*salt=*/4);
+      });
+
+  // Park the single lane inside the gate, pile up deadlined requests
+  // behind it, and let them all go stale before the lane frees.
+  const Server::Ticket gate_ticket = server.submit(gated, id_image(0));
+  while (gate_started.load() < 1) std::this_thread::yield();
+  ChaosLedger ledger;
+  std::vector<Server::Ticket> stale;
+  SubmitOptions short_deadline;
+  short_deadline.deadline = milliseconds{30};
+  for (int i = 0; i < 3; ++i) {
+    stale.push_back(server.submit(doomed, id_image(i), short_deadline));
+  }
+  const Server::Ticket stale_callback = server.submit(
+      doomed, id_image(9), short_deadline,
+      [&ledger](Server::Ticket done, tfm::QTensor result,
+                std::exception_ptr error) {
+        ledger.record(done, result, error);
+      });
+  std::this_thread::sleep_for(milliseconds{80});
+  release.set_value();
+  server.drain();
+
+  // Expired entries never started; poll() reports the expiry until wait()
+  // consumes it, and the callback one was delivered its error exactly once.
+  EXPECT_EQ(doomed_started.load(), 0);
+  for (const Server::Ticket t : stale) {
+    EXPECT_EQ(server.poll(t), TicketStatus::kDeadlineExpired);
+    try {
+      (void)server.wait(t);
+      FAIL() << "expired ticket " << t << " produced a result";
+    } catch (const ServingError& e) {
+      EXPECT_EQ(e.code(), ServingErrorCode::kDeadlineExpired);
+    }
+    EXPECT_EQ(server.poll(t), TicketStatus::kConsumed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(ledger.mutex);
+    ASSERT_EQ(ledger.deliveries[stale_callback], 1);
+    EXPECT_EQ(ledger.errors[stale_callback],
+              ServingErrorCode::kDeadlineExpired);
+  }
+  (void)server.wait(gate_ticket);
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.deadline_expired, 4U);
+  EXPECT_EQ(stats.started_per_model.at(1), 0U);
+  EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+TEST(ChaosRetry, TransientFailuresRetryUntilSuccessBitIdentically) {
+  fault::FaultScope quiet{""};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 2;
+  options.warm_provider = false;
+  options.scheduler.breaker_threshold = 0;
+  Server server(nl, options);
+  // Each request fails transiently exactly twice before succeeding; the
+  // per-request attempt counters are keyed by the id its image encodes.
+  std::mutex attempts_mutex;
+  std::map<int, int> attempts;
+  server.register_forward(
+      "flaky2", [&](const tfm::Tensor& image, tfm::Workspace*) {
+        const int id = static_cast<int>(image.data()[0] / 0.25F + 0.5F);
+        int attempt = 0;
+        {
+          std::lock_guard<std::mutex> lock(attempts_mutex);
+          attempt = ++attempts[id];
+        }
+        if (attempt <= 2) {
+          throw ServingError(ServingErrorCode::kBackendTransient,
+                             "transient glitch");
+        }
+        return toy_forward(image, /*salt=*/6);
+      });
+  SubmitOptions retrying;
+  retrying.max_attempts = 4;
+  retrying.backoff = milliseconds{1};
+  const int kRequests = 6;
+  std::vector<Server::Ticket> tickets;
+  for (int i = 0; i < kRequests; ++i) {
+    tickets.push_back(server.submit(0, id_image(i), retrying));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(server.wait(tickets[static_cast<std::size_t>(i)]).data(),
+              toy_forward(id_image(i), 6).data());
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.retries, static_cast<std::uint64_t>(2 * kRequests));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(ChaosRetry, ExhaustedRetryBudgetDeliversTheTransientError) {
+  fault::FaultScope quiet{""};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 1;
+  options.warm_provider = false;
+  options.scheduler.breaker_threshold = 0;
+  Server server(nl, options);
+  server.register_forward("always-transient",
+                          [](const tfm::Tensor&, tfm::Workspace*) -> tfm::QTensor {
+                            throw ServingError(
+                                ServingErrorCode::kBackendTransient,
+                                "still glitching");
+                          });
+  SubmitOptions two_attempts;
+  two_attempts.max_attempts = 2;
+  const Server::Ticket t = server.submit(0, id_image(0), two_attempts);
+  try {
+    (void)server.wait(t);
+    FAIL() << "exhausted retries still produced a result";
+  } catch (const ServingError& e) {
+    EXPECT_EQ(e.code(), ServingErrorCode::kBackendTransient);
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.retries, 1U);  // attempt 2 was the one retry
+  EXPECT_EQ(stats.completed, 1U);
+}
+
+TEST(ChaosWarmup, InjectedWarmupFaultDegradesRegistrationToColdServing) {
+  fault::FaultScope warmup_down{"warmup:1.0:17"};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 1;
+  options.warm_provider = true;  // the warm-up call is the injection site
+  options.scheduler.breaker_threshold = 0;
+  Server server(nl, options);
+  server.register_forward("toy",
+                          [](const tfm::Tensor& image, tfm::Workspace*) {
+                            return toy_forward(image, /*salt=*/8);
+                          });
+  EXPECT_GE(fault::FaultInjector::instance().injected(fault::Point::kWarmup),
+            1U);
+  // Registration survived the failed warm-up and serving is unaffected.
+  EXPECT_EQ(server.wait(server.submit(0, id_image(3))).data(),
+            toy_forward(id_image(3), 8).data());
+}
+
+TEST(ChaosSpec, MalformedSpecsFailLoudly) {
+  fault::FaultScope quiet{""};
+  fault::FaultInjector& injector = fault::FaultInjector::instance();
+  EXPECT_THROW(injector.configure("bogus:0.5:1"), ContractViolation);
+  EXPECT_THROW(injector.configure("backend:1.5:1"), ContractViolation);
+  EXPECT_THROW(injector.configure("backend:0:1"), ContractViolation);
+  EXPECT_THROW(injector.configure("backend:0.5:-1"), ContractViolation);
+  EXPECT_THROW(injector.configure("backend:0.5"), ContractViolation);
+  EXPECT_THROW(injector.configure("backend:0.5:1:9"), ContractViolation);
+  // A throwing configure leaves the injector disarmed, never half-armed.
+  EXPECT_FALSE(injector.enabled());
+  injector.configure("");  // leave clean; `quiet` restores the entry spec
+}
+
+TEST(ChaosSpec, SeededDecisionStreamsAreReproducible) {
+  fault::FaultScope quiet{""};
+  fault::FaultInjector& injector = fault::FaultInjector::instance();
+  const std::string spec = "backend:0.25:42";
+  std::vector<bool> first;
+  injector.configure(spec);
+  for (int i = 0; i < 1000; ++i) {
+    first.push_back(injector.should_inject(fault::Point::kBackend));
+  }
+  const std::uint64_t fired = injector.injected(fault::Point::kBackend);
+  // The fire rate tracks the armed probability (binomial, wide margin)...
+  EXPECT_GT(fired, 150U);
+  EXPECT_LT(fired, 350U);
+  // ... and re-arming the same spec replays the identical decision stream.
+  injector.configure(spec);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(injector.should_inject(fault::Point::kBackend),
+              first[static_cast<std::size_t>(i)])
+        << "draw " << i;
+  }
+  EXPECT_EQ(injector.injected(fault::Point::kBackend), fired);
+  // Unarmed points never fire and never count draws.
+  EXPECT_FALSE(injector.should_inject(fault::Point::kLoad));
+  EXPECT_EQ(injector.injected(fault::Point::kLoad), 0U);
+  injector.configure("");
+}
+
+}  // namespace
+}  // namespace gqa

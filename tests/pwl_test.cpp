@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "numerics/nonlinear.h"
 #include "pwl/fit_grid.h"
@@ -11,7 +13,9 @@
 #include "pwl/quantized_table.h"
 #include "pwl/serialize.h"
 #include "util/contracts.h"
+#include "util/fault_injection.h"
 #include "util/json.h"
+#include "util/serving_error.h"
 
 namespace gqa {
 namespace {
@@ -267,6 +271,102 @@ TEST(Serialize, QuantizedRoundTripThroughFile) {
 TEST(Serialize, CorruptDocumentRejected) {
   EXPECT_THROW(pwl_from_json(Json::parse("{\"slopes\": [1]}")),
                std::runtime_error);
+}
+
+/// Writes `content` to a scratch path and expects the typed load to reject
+/// it as a classified kArtifactCorrupt ServingError whose message carries
+/// the path (the serving layer routes on the code, operators grep the
+/// message).
+template <typename LoadFn>
+void expect_corrupt(const std::string& content, LoadFn load) {
+  const std::string path = "/tmp/gqa_corrupt_fixture.json";
+  write_file(path, content);
+  try {
+    (void)load(path);
+    FAIL() << "corrupt artifact loaded: " << content;
+  } catch (const ServingError& e) {
+    EXPECT_EQ(e.code(), ServingErrorCode::kArtifactCorrupt);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CorruptPwlFilesRejectedWithTypedErrors) {
+  const auto load = [](const std::string& p) { return load_pwl(p); };
+  // Truncated document, not JSON at all, wrong envelope kind, future
+  // version, missing fields, mistyped fields, and a decoded table that
+  // fails validation — every path lands on the same classified error.
+  const std::string good = pwl_to_json(simple_table()).dump();
+  expect_corrupt(good.substr(0, good.size() / 2), load);
+  expect_corrupt("not json at all", load);
+  expect_corrupt("{\"kind\": \"quantized_pwl_table\", \"version\": 1}", load);
+  expect_corrupt(
+      "{\"kind\": \"pwl_table\", \"version\": 999, \"breakpoints\": [], "
+      "\"slopes\": [], \"intercepts\": []}",
+      load);
+  expect_corrupt("{\"kind\": \"pwl_table\", \"version\": 1}", load);
+  expect_corrupt(
+      "{\"kind\": \"pwl_table\", \"version\": 1, \"breakpoints\": \"oops\", "
+      "\"slopes\": [1], \"intercepts\": [0]}",
+      load);
+  // breakpoints must be sorted: decodes fine, fails PwlTable::validate().
+  expect_corrupt(
+      "{\"kind\": \"pwl_table\", \"version\": 1, \"breakpoints\": [2.0, "
+      "-2.0], \"slopes\": [0, 1, 2], \"intercepts\": [0, 0, 0]}",
+      load);
+  // A missing file is a corrupt artifact too (read_file throws inside the
+  // classified load pipeline).
+  try {
+    (void)load_pwl("/tmp/gqa_no_such_fixture.json");
+    FAIL() << "missing artifact loaded";
+  } catch (const ServingError& e) {
+    EXPECT_EQ(e.code(), ServingErrorCode::kArtifactCorrupt);
+  }
+}
+
+TEST(Serialize, CorruptQuantizedFilesRejectedWithTypedErrors) {
+  const auto load = [](const std::string& p) { return load_quantized(p); };
+  const QuantizedPwlTable qt =
+      quantize_table(simple_table(), QuantParams{0.25, 8, true}, 5, 8);
+  const std::string good = quantized_to_json(qt).dump();
+  expect_corrupt(good.substr(0, good.size() - 10), load);
+  expect_corrupt("{\"kind\": \"pwl_table\", \"version\": 1}", load);
+  // Mismatched code-array lengths decode but fail validate().
+  Json j = quantized_to_json(qt);
+  j["k_code"] = Json::array();
+  expect_corrupt(j.dump(), load);
+}
+
+TEST(Serialize, IntactFilesStillLoadAfterHardening) {
+  const PwlTable t = simple_table();
+  const std::string path = "/tmp/gqa_pwl_roundtrip.json";
+  save_pwl(t, path);
+  const PwlTable back = load_pwl(path);
+  EXPECT_EQ(back.breakpoints, t.breakpoints);
+  EXPECT_EQ(back.slopes, t.slopes);
+  EXPECT_EQ(back.intercepts, t.intercepts);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, InjectedLoadFaultSurfacesAsArtifactCorrupt) {
+  const PwlTable t = simple_table();
+  const std::string path = "/tmp/gqa_pwl_load_fault.json";
+  save_pwl(t, path);
+  {
+    fault::FaultScope load_down{"load:1.0:23"};
+    try {
+      (void)load_pwl(path);
+      FAIL() << "armed load point did not fire";
+    } catch (const ServingError& e) {
+      EXPECT_EQ(e.code(), ServingErrorCode::kArtifactCorrupt);
+    }
+    EXPECT_GE(fault::FaultInjector::instance().injected(fault::Point::kLoad),
+              1U);
+  }
+  // Scope restored: the same file loads clean again.
+  fault::FaultScope quiet{""};
+  EXPECT_EQ(load_pwl(path).slopes, t.slopes);
+  std::remove(path.c_str());
 }
 
 }  // namespace
