@@ -27,7 +27,11 @@
 // (its workspace pool is internally synchronized, so the batch fan-out
 // itself is safe); distinct engines may dispatch concurrently, even onto
 // the shared process pool. The model and provider must stay frozen for
-// the duration of a dispatch.
+// the duration of a dispatch. The engine intentionally holds no lock
+// capabilities of its own (no fields to annotate for the thread-safety
+// analysis, util/thread_annotations.h) — every synchronized resource it
+// touches lives behind the annotated WorkspacePool / ThreadPool /
+// NonlinearProvider APIs.
 #pragma once
 
 #include <memory>

@@ -1,8 +1,14 @@
 #include "eval/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <exception>
+#include <optional>
+#include <string>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "util/contracts.h"
 #include "util/env.h"
@@ -85,7 +91,7 @@ Server::Server(const tfm::NonlinearProvider& provider, ServerOptions options)
   } else {
     pool_ = &global_pool();
   }
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  dispatcher_ = ScopedThread([this] { dispatch_loop(); });
 }
 
 Server::~Server() { shutdown(); }
@@ -102,7 +108,7 @@ int Server::register_forward(std::string name, ForwardFn forward) {
   GQA_EXPECTS_MSG(forward != nullptr, "register_forward needs a callable");
   int id = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     GQA_EXPECTS_MSG(!stopping_, "register on a shut-down server");
     id = static_cast<int>(models_.size());
     if (name.empty()) name = format("model-%d", id);
@@ -127,7 +133,7 @@ int Server::register_forward(std::string name, ForwardFn forward) {
 }
 
 void Server::count_injected_fault() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.faults_injected;
 }
 
@@ -143,7 +149,7 @@ std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
                   "SubmitOptions::backoff must be >= 0");
   Ticket ticket = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     GQA_EXPECTS_MSG(!stopping_, "submit on a shut-down server");
     GQA_EXPECTS_MSG(
         model_id >= 0 && model_id < static_cast<int>(models_.size()),
@@ -179,7 +185,7 @@ std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
     // notify with the lanes' empty-backlog check: a lane holding mutex_
     // through that check either sees the pushed item on its refill or
     // starts waiting before this notify can fire — never in between.
-    { std::lock_guard<std::mutex> lock(mutex_); }
+    { MutexLock lock(mutex_); }
     sched_cv_.notify_one();
     return ticket;
   }
@@ -189,7 +195,7 @@ std::optional<Server::Ticket> Server::admit(int model_id, tfm::Tensor image,
   // also fails on a full queue — the load-shedding path.
   const bool closed = queue_.closed();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     slots_.erase(ticket);
     --stats_.submitted;
     if (!blocking && !closed) ++stats_.rejected;
@@ -250,7 +256,7 @@ std::optional<Server::Ticket> Server::try_submit(int model_id,
 }
 
 TicketStatus Server::poll(Ticket ticket) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   GQA_EXPECTS_MSG(ticket < next_ticket_, "poll on a never-issued ticket");
   const auto it = slots_.find(ticket);
   if (it == slots_.end()) return TicketStatus::kConsumed;
@@ -263,7 +269,7 @@ TicketStatus Server::poll(Ticket ticket) const {
 }
 
 tfm::QTensor Server::wait(Ticket ticket) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = slots_.find(ticket);
   GQA_EXPECTS_MSG(it != slots_.end(),
                   "wait on a consumed or never-issued ticket");
@@ -277,7 +283,7 @@ tfm::QTensor Server::wait(Ticket ticket) {
                   "the submit-time callback)");
   GQA_EXPECTS_MSG(!slot.claimed, "second wait on a ticket already waited on");
   slot.claimed = true;
-  result_cv_.wait(lock, [&] { return slot.ready(); });
+  while (!slot.ready()) result_cv_.wait(lock.native());
   if (slot.error != nullptr) {
     const std::exception_ptr error = slot.error;
     slots_.erase(ticket);
@@ -289,18 +295,17 @@ tfm::QTensor Server::wait(Ticket ticket) {
 }
 
 void Server::drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  result_cv_.wait(lock,
-                  [&] { return stats_.completed == stats_.submitted; });
+  MutexLock lock(mutex_);
+  while (stats_.completed != stats_.submitted) result_cv_.wait(lock.native());
 }
 
 void Server::shutdown() {
   // Concurrent shutdown() callers (including the destructor racing an
   // explicit call) serialize here; the loser sees a joined dispatcher and
   // returns — the call is idempotent (tests/server_test.cpp hammers this).
-  std::lock_guard<std::mutex> serialize(shutdown_mutex_);
+  MutexLock serialize(shutdown_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   queue_.close();  // wakes blocked submitters (they fail) and the dispatcher
@@ -309,12 +314,12 @@ void Server::shutdown() {
 }
 
 std::size_t Server::model_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return models_.size();
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -327,7 +332,7 @@ void Server::dispatch_loop() {
     std::optional<Request> first = queue_.pop();
     if (!first.has_value()) return;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       backlog_[static_cast<std::size_t>(first->model_id)].push_back(
           std::move(*first));
       ++backlog_total_;
@@ -357,7 +362,7 @@ void Server::service_lane() {
     std::vector<Resolution> resolved;
     bool span_over = false;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       for (;;) {
         request = next_request_locked(resolved);
         if (request.has_value() || !resolved.empty()) break;
@@ -375,7 +380,7 @@ void Server::service_lane() {
         // Woken by admissions, completions, and shutdown. (A backlog held
         // back only by half-open breaker probes parks here too, woken by
         // the probe's completion.)
-        sched_cv_.wait(lock);
+        sched_cv_.wait(lock.native());
       }
       if (request.has_value()) {
         forward =
@@ -393,7 +398,7 @@ void Server::service_lane() {
       }
       if (delivered > 0) {
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           stats_.completed += delivered;
         }
         result_cv_.notify_all();
@@ -423,7 +428,7 @@ Server::Slot Server::serve_request(const Request& request,
         filled.result.reset();
         filled.error = deadline_error();
         filled.code = ServingErrorCode::kDeadlineExpired;
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.deadline_expired;
         return filled;
       }
@@ -440,11 +445,11 @@ Server::Slot Server::serve_request(const Request& request,
         filled.result.reset();
         filled.error = deadline_error();
         filled.code = ServingErrorCode::kDeadlineExpired;
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++stats_.deadline_expired;
         return filled;
       }
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.retries;
     }
     try {
@@ -662,7 +667,7 @@ void Server::complete(const Request& request, Slot&& filled) {
   tfm::QTensor result;
   const std::exception_ptr error = filled.error;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     record_outcome_locked(request, filled);
     const auto it = slots_.find(request.ticket);
     GQA_ASSERT(it != slots_.end());  // only delivery erases slots
@@ -691,7 +696,7 @@ void Server::complete(const Request& request, Slot&& filled) {
     // free the callback's captures right after drain().
     deliver_callback(std::move(callback), request.ticket, std::move(result),
                      error);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     --inflight_;
     ++stats_.completed;
   }
@@ -708,7 +713,7 @@ void Server::deliver_callback(Callback callback, Ticket ticket,
     // The contract says callbacks must not throw; there is nowhere left to
     // deliver an escaping exception (the ticket is consumed), so count it
     // instead of killing the service lane.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.callback_errors;
   }
 }

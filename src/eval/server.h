@@ -101,22 +101,23 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "tfm/nonlinear_provider.h"
 #include "tfm/tensor.h"
 #include "tfm/workspace.h"
 #include "util/serving_error.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace gqa {
@@ -246,7 +247,8 @@ class Server {
   /// integer logits from an image). The engine-style contract applies:
   /// the callable must be safe for concurrent invocation and fully
   /// deterministic per image.
-  int register_forward(std::string name, ForwardFn forward);
+  int register_forward(std::string name, ForwardFn forward)
+      GQA_EXCLUDES(mutex_);
 
   /// Admits a request for `model_id`, blocking while the admission queue
   /// is full. Throws ContractViolation if the server is (or becomes) shut
@@ -274,7 +276,7 @@ class Server {
   /// Lifecycle of a ticket issued by submit()/try_submit(). A callback
   /// ticket never reads kReady or kDeadlineExpired: it goes kPending ->
   /// kConsumed when the callback has been invoked.
-  [[nodiscard]] TicketStatus poll(Ticket ticket) const;
+  [[nodiscard]] TicketStatus poll(Ticket ticket) const GQA_EXCLUDES(mutex_);
 
   /// Blocks until the ticket's result is ready and returns it — or
   /// rethrows the request's classified failure (ServingError for
@@ -282,23 +284,23 @@ class Server {
   /// exception otherwise) — consuming the ticket (a second wait on it is a
   /// contract violation, as is a wait on a callback ticket). Safe to call
   /// before, during, or after shutdown().
-  [[nodiscard]] tfm::QTensor wait(Ticket ticket);
+  [[nodiscard]] tfm::QTensor wait(Ticket ticket) GQA_EXCLUDES(mutex_);
 
   /// Blocks until every admitted request has resolved (served, failed,
   /// expired, shed, or cancelled). Admission stays open; use shutdown() to
   /// also stop the service.
-  void drain();
+  void drain() GQA_EXCLUDES(mutex_);
 
   /// Stops admission, resolves every admitted request per
   /// SchedulerConfig::drain_policy, parks the dispatcher. Idempotent and
   /// safe to call concurrently from several threads; implied by the
   /// destructor. Results of already-issued tickets remain collectable via
   /// wait() (cancelled ones rethrow their cancellation error).
-  void shutdown();
+  void shutdown() GQA_EXCLUDES(shutdown_mutex_, mutex_);
 
   /// Lanes requests fan out across (>= 1).
   [[nodiscard]] int lanes() const { return pool_->size(); }
-  [[nodiscard]] std::size_t model_count() const;
+  [[nodiscard]] std::size_t model_count() const GQA_EXCLUDES(mutex_);
 
   struct Stats {
     std::uint64_t submitted = 0;  ///< admitted requests
@@ -319,7 +321,7 @@ class Server {
     /// requests never start, so they are not counted here).
     std::vector<std::uint64_t> started_per_model;
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const GQA_EXCLUDES(mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -380,78 +382,92 @@ class Server {
     bool probe_inflight = false;
   };
 
-  void dispatch_loop();
-  void run_service();
-  void service_lane();
+  void dispatch_loop() GQA_EXCLUDES(mutex_);
+  void run_service() GQA_EXCLUDES(mutex_);
+  void service_lane() GQA_EXCLUDES(mutex_);
   /// One request's full service on the calling lane: the attempt loop with
   /// injected-fault points, transient retry with backoff, and mid-retry
   /// deadline expiry. Returns the filled slot (result or classified
-  /// error).
+  /// error). Takes mutex_ only briefly for stats bumps — never across the
+  /// forward.
   [[nodiscard]] Slot serve_request(const Request& request,
                                    const ForwardFn& forward,
-                                   tfm::Workspace* workspace);
+                                   tfm::Workspace* workspace)
+      GQA_EXCLUDES(mutex_);
   /// Scheduler core (mutex_ held): refills the per-model backlog from the
   /// admission queue, applies the drain policy, expires stale entries,
   /// sheds open-breaker backlogs, enforces max_inflight, and picks the
   /// next request by weighted round-robin.
   [[nodiscard]] std::optional<Request> next_request_locked(
-      std::vector<Resolution>& resolved);
-  void cancel_backlog_locked(std::vector<Resolution>& resolved);
+      std::vector<Resolution>& resolved) GQA_REQUIRES(mutex_);
+  void cancel_backlog_locked(std::vector<Resolution>& resolved)
+      GQA_REQUIRES(mutex_);
   /// Resolves one backlog entry without service (mutex_ held): waiter
   /// slots get the error in place (counted completed), callback slots are
   /// queued for post-unlock delivery.
   void resolve_unstarted_locked(const Request& request, ServingErrorCode code,
                                 std::exception_ptr error,
-                                std::vector<Resolution>& resolved);
+                                std::vector<Resolution>& resolved)
+      GQA_REQUIRES(mutex_);
   /// Applies breaker policy to model m's backlog (mutex_ held): sheds
   /// while open (pre-cooldown), transitions open -> half-open after the
   /// cooldown. Returns true when the model may dispatch right now.
   [[nodiscard]] bool breaker_admits_locked(std::size_t m,
                                            Clock::time_point now,
-                                           std::vector<Resolution>& resolved);
+                                           std::vector<Resolution>& resolved)
+      GQA_REQUIRES(mutex_);
   /// Breaker bookkeeping for a served request's outcome (mutex_ held).
-  void record_outcome_locked(const Request& request, const Slot& filled);
-  void complete(const Request& request, Slot&& filled);
+  void record_outcome_locked(const Request& request, const Slot& filled)
+      GQA_REQUIRES(mutex_);
+  void complete(const Request& request, Slot&& filled) GQA_EXCLUDES(mutex_);
   void deliver_callback(Callback callback, Ticket ticket, tfm::QTensor result,
-                        std::exception_ptr error);
+                        std::exception_ptr error) GQA_EXCLUDES(mutex_);
   std::optional<Ticket> admit(int model_id, tfm::Tensor image, bool blocking,
-                              SubmitOptions submit_options, Callback callback);
+                              SubmitOptions submit_options, Callback callback)
+      GQA_EXCLUDES(mutex_);
   [[nodiscard]] std::uint64_t weight_of(std::size_t model_id) const;
   [[nodiscard]] int breaker_threshold() const {
     return options_.scheduler.breaker_threshold;
   }
-  void count_injected_fault();
+  void count_injected_fault() GQA_EXCLUDES(mutex_);
 
   const tfm::NonlinearProvider& provider_;
-  ServerOptions options_;
+  ServerOptions options_;  ///< immutable after the constructor
   ThreadPool* pool_;                   ///< global_pool() or owned_
   std::unique_ptr<ThreadPool> owned_;  ///< non-null when num_threads >= 1
   tfm::WorkspacePool workspaces_;      ///< per-lane scratch, reused forever
 
   BoundedQueue<Request> queue_;  ///< admission queue (the backpressure bound)
-  std::thread dispatcher_;
-  std::mutex shutdown_mutex_;  ///< serializes concurrent shutdown() callers
+  /// Started in the constructor, joined by the first shutdown() caller
+  /// while holding shutdown_mutex_ (ScopedThread joins on destruction as
+  /// a last resort, so a throwing constructor cannot leak it).
+  ScopedThread dispatcher_;
+  Mutex shutdown_mutex_;  ///< serializes concurrent shutdown() callers
 
-  mutable std::mutex mutex_;  ///< guards everything below
+  mutable Mutex mutex_;  ///< guards everything below
   std::condition_variable result_cv_;
   /// Wakes lanes parked mid-span (empty backlog while peers hold inflight
   /// requests): notified by admissions, completions, and shutdown.
   std::condition_variable sched_cv_;
-  std::deque<Registered> models_;  ///< deque: element refs survive growth
+  /// deque: element refs survive growth
+  std::deque<Registered> models_ GQA_GUARDED_BY(mutex_);
   /// Ticket -> result slot; absent = consumed (or never issued).
-  std::unordered_map<Ticket, Slot> slots_;
-  Ticket next_ticket_ = 0;
+  std::unordered_map<Ticket, Slot> slots_ GQA_GUARDED_BY(mutex_);
+  Ticket next_ticket_ GQA_GUARDED_BY(mutex_) = 0;
   /// Scheduler state: per-model FIFO backlog (collected from the admission
   /// queue, not yet started), the WRR credits of the current cycle, and
   /// the cursor of the model holding the dispatch position.
-  std::vector<std::deque<Request>> backlog_;
-  std::size_t backlog_total_ = 0;
-  std::vector<std::uint64_t> credits_;
-  std::vector<Breaker> breakers_;  ///< per-model circuit breakers
-  int wrr_cursor_ = 0;
-  std::size_t inflight_ = 0;  ///< started, not yet resolved
-  bool stopping_ = false;
-  Stats stats_;
+  std::vector<std::deque<Request>> backlog_ GQA_GUARDED_BY(mutex_);
+  std::size_t backlog_total_ GQA_GUARDED_BY(mutex_) = 0;
+  std::vector<std::uint64_t> credits_ GQA_GUARDED_BY(mutex_);
+  /// per-model circuit breakers (the open/half-open flags live here, under
+  /// the scheduler lock — deliberately not atomics)
+  std::vector<Breaker> breakers_ GQA_GUARDED_BY(mutex_);
+  int wrr_cursor_ GQA_GUARDED_BY(mutex_) = 0;
+  /// started, not yet resolved
+  std::size_t inflight_ GQA_GUARDED_BY(mutex_) = 0;
+  bool stopping_ GQA_GUARDED_BY(mutex_) = false;
+  Stats stats_ GQA_GUARDED_BY(mutex_);
 };
 
 }  // namespace gqa

@@ -26,7 +26,14 @@ NonlinearProvider& NonlinearProvider::operator=(
   replaced_ = other.replaced_;
   entries_ = other.entries_;
   approx_ = other.approx_;
+  // memory_order_relaxed: per the contract above, no thread evaluates on
+  // *this during assignment, so nothing is published here — the store only
+  // has to be visible to whoever later synchronizes with this thread. The
+  // cache lock below is held for the same reason the analysis wants it:
+  // the overflow tier is a guarded resource even when the guard is
+  // momentarily uncontended.
   warm_.store(nullptr, std::memory_order_relaxed);
+  MutexLock lock(cache_mutex_);
   warm_snapshots_.clear();
   unit_cache_.clear();
   multirange_cache_.clear();
@@ -67,7 +74,10 @@ void NonlinearProvider::warm_up(const std::set<Op>& ops,
   if (fault::triggered(fault::Point::kWarmup)) {
     fault::throw_injected(fault::Point::kWarmup);
   }
-  std::lock_guard<std::mutex> lock(cache_mutex_);  // serializes warm-ups
+  MutexLock lock(cache_mutex_);  // serializes warm-ups
+  // memory_order_acquire: pairs with the release store below (and in
+  // earlier warm-ups) so the snapshot's map contents are visible before
+  // the pointer is dereferenced.
   const WarmTier* current = warm_.load(std::memory_order_acquire);
   // Fast path for repeated warm-ups (the engine warms per dispatch): when
   // every requested unit is already in the published tier, skip the
@@ -117,6 +127,9 @@ void NonlinearProvider::warm_up(const std::set<Op>& ops,
   if (!grew) return;
   // Publish the superset snapshot; the superseded one is retired, not
   // freed, so references served from it remain valid.
+  // memory_order_release: THE publishing store — it is what makes the
+  // freshly built maps inside *next visible to lock-free readers that
+  // acquire-load the pointer. Must never be weakened to relaxed.
   warm_.store(next.get(), std::memory_order_release);
   warm_snapshots_.push_back(std::move(next));
 }
@@ -128,7 +141,7 @@ const IntPwlUnit& NonlinearProvider::unit_for(Op op, int scale_exp) const {
     const auto warm = tier->units.find(key);
     if (warm != tier->units.end()) return warm->second;
   }
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   const auto it = unit_cache_.find(key);
   if (it != unit_cache_.end()) return it->second;
   const Approximator& approx = approx_.at(op);
@@ -140,7 +153,7 @@ const MultiRangeUnit& NonlinearProvider::multirange_for(Op op) const {
     const auto warm = tier->multirange.find(static_cast<int>(op));
     if (warm != tier->multirange.end()) return warm->second;
   }
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  MutexLock lock(cache_mutex_);
   const auto it = multirange_cache_.find(static_cast<int>(op));
   if (it != multirange_cache_.end()) return it->second;
   const Approximator& approx = approx_.at(op);

@@ -13,9 +13,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <span>
@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/approximator.h"
+#include "util/thread_annotations.h"
 
 namespace gqa::tfm {
 
@@ -56,7 +57,8 @@ class NonlinearProvider {
   /// transient ServingError, which the serving layers catch to degrade to
   /// cold lazy unit builds — results are identical either way.
   void warm_up(const std::set<Op>& ops,
-               const std::vector<int>& scale_exps) const;
+               const std::vector<int>& scale_exps) const
+      GQA_EXCLUDES(cache_mutex_);
 
   /// The deployment scale-exponent window the frozen tfm models produce
   /// (po2 activation scales all land in it) — the canonical `scale_exps`
@@ -109,8 +111,10 @@ class NonlinearProvider {
  private:
   NonlinearProvider() = default;
 
-  [[nodiscard]] const IntPwlUnit& unit_for(Op op, int scale_exp) const;
-  [[nodiscard]] const MultiRangeUnit& multirange_for(Op op) const;
+  [[nodiscard]] const IntPwlUnit& unit_for(Op op, int scale_exp) const
+      GQA_EXCLUDES(cache_mutex_);
+  [[nodiscard]] const MultiRangeUnit& multirange_for(Op op) const
+      GQA_EXCLUDES(cache_mutex_);
   [[nodiscard]] double act_code(Op op, std::int64_t q, int scale_exp) const;
   void act_codes(Op op, std::span<const std::int64_t> q, int scale_exp,
                  std::span<double> out) const;
@@ -136,11 +140,18 @@ class NonlinearProvider {
   // cache_mutex_. Entries are never erased and snapshots never freed
   // before the provider, so returned references stay valid for the
   // provider's lifetime.
-  mutable std::mutex cache_mutex_;
+  mutable Mutex cache_mutex_;
+  /// Not guarded: the lock-free read tier. Readers resolve the newest
+  /// snapshot with one acquire load; warm_up() publishes a superset copy
+  /// with a release store while holding cache_mutex_ (writers serialize,
+  /// readers never lock). The pointee is immutable once published.
   mutable std::atomic<const WarmTier*> warm_{nullptr};
-  mutable std::vector<std::unique_ptr<const WarmTier>> warm_snapshots_;
-  mutable std::map<std::pair<int, int>, IntPwlUnit> unit_cache_;
-  mutable std::map<int, MultiRangeUnit> multirange_cache_;
+  mutable std::vector<std::unique_ptr<const WarmTier>> warm_snapshots_
+      GQA_GUARDED_BY(cache_mutex_);
+  mutable std::map<std::pair<int, int>, IntPwlUnit> unit_cache_
+      GQA_GUARDED_BY(cache_mutex_);
+  mutable std::map<int, MultiRangeUnit> multirange_cache_
+      GQA_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace gqa::tfm

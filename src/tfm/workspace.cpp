@@ -1,6 +1,10 @@
 #include "tfm/workspace.h"
 
+#include <array>
 #include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 namespace gqa::tfm {
 
@@ -102,7 +106,7 @@ std::size_t Workspace::parked() const {
 }
 
 Workspace WorkspacePool::acquire() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (pool_.empty()) return Workspace{};
   Workspace ws = std::move(pool_.back());
   pool_.pop_back();
@@ -110,7 +114,7 @@ Workspace WorkspacePool::acquire() {
 }
 
 void WorkspacePool::release(Workspace&& ws) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   pool_.push_back(std::move(ws));
 }
 

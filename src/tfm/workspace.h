@@ -31,10 +31,11 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "tfm/tensor.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace gqa::tfm {
@@ -108,12 +109,12 @@ class Workspace {
 /// shared between concurrently running tasks.
 class WorkspacePool {
  public:
-  [[nodiscard]] Workspace acquire();
-  void release(Workspace&& ws);
+  [[nodiscard]] Workspace acquire() GQA_EXCLUDES(mutex_);
+  void release(Workspace&& ws) GQA_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
-  std::vector<Workspace> pool_;
+  Mutex mutex_;
+  std::vector<Workspace> pool_ GQA_GUARDED_BY(mutex_);
 };
 
 /// RAII checkout of one Workspace from a WorkspacePool for the lease's

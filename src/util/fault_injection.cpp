@@ -65,7 +65,13 @@ FaultInjector::FaultInjector() {
 }
 
 void FaultInjector::configure(const std::string& spec) {
-  // Disarm first (release below republishes), then reset every point.
+  // Disarm first (the release below republishes), then reset every point.
+  // The header contract says configure() never races with draws, so the
+  // orderings here exist for the NEXT reader: the final release store of
+  // any_armed_ is what makes the freshly written plain armed/prob/seed
+  // fields visible to threads that acquire-load enabled(). Audited: the
+  // paired stores must stay release (relaxed would publish the flag
+  // without the point table behind it).
   any_armed_.store(false, std::memory_order_release);
   for (PointState& state : points_) {
     state.armed = false;
@@ -107,8 +113,16 @@ void FaultInjector::configure(const std::string& spec) {
 }
 
 bool FaultInjector::should_inject(Point point) {
+  // Callers reach here through enabled()'s acquire load (see triggered()),
+  // which is what makes the plain armed/prob/seed reads below safe.
   PointState& state = points_[point_index(point)];
   if (!state.armed) return false;
+  // memory_order_relaxed is sufficient for both counters: atomic RMWs on a
+  // single object have a total modification order even when relaxed, so
+  // every draw still gets a unique index n and the per-point decision
+  // stream stays deterministic in (seed, n) no matter which thread draws.
+  // The counters publish no other data — nothing downstream is ordered
+  // against them.
   const std::uint64_t n = state.draws.fetch_add(1, std::memory_order_relaxed);
   const double u =
       unit_interval(mix(state.seed * 0x9E3779B97F4A7C15ULL + n + 1));

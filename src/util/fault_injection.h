@@ -57,6 +57,13 @@ class FaultInjector {
 
   /// True when any point is armed — the zero-cost gate the call sites
   /// check first.
+  ///
+  /// memory_order_acquire is load-bearing, not defensive: it pairs with
+  /// configure()'s release store to publish the PLAIN (non-atomic)
+  /// PointState fields — armed/prob/seed — that should_inject() reads
+  /// next. Weakening this load (or configure()'s store) to relaxed would
+  /// let a reader observe enabled() == true while still seeing a stale,
+  /// half-written point table.
   [[nodiscard]] bool enabled() const {
     return any_armed_.load(std::memory_order_acquire);
   }
@@ -83,13 +90,21 @@ class FaultInjector {
   FaultInjector();
 
   struct PointState {
+    // armed/prob/seed are deliberately plain fields: they are written only
+    // by configure() (which by contract runs with no concurrent draws) and
+    // published to readers via the any_armed_ release/acquire handshake.
     bool armed = false;
     double prob = 0.0;
     std::uint64_t seed = 0;
+    // draws/fired are relaxed counters (see should_inject): each point's
+    // decision stream depends only on its own fetch_add total order, which
+    // relaxed RMWs already guarantee per object.
     std::atomic<std::uint64_t> draws{0};
     std::atomic<std::uint64_t> fired{0};
   };
 
+  /// The arm flag doubles as the publication fence for points_ — see
+  /// enabled(). Audited: must stay acquire/release.
   std::atomic<bool> any_armed_{false};
   PointState points_[kPointCount];
   std::string spec_;

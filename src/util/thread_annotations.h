@@ -1,0 +1,124 @@
+// Clang thread-safety annotations and the annotated locking primitives
+// the whole concurrency layer is built on.
+//
+// The serving stack's locking discipline (docs/ARCHITECTURE.md "Static
+// gates") is machine-checked: every mutex-guarded field carries
+// GQA_GUARDED_BY, every function with a locking precondition carries
+// GQA_REQUIRES, and a Clang build with -DGQA_STATIC_ANALYSIS=ON compiles
+// the tree under -Werror=thread-safety — an unguarded access is a build
+// break, not a TSan roll of the dice. Under GCC (or any compiler without
+// the capability attributes) every macro expands to nothing and the
+// primitives behave exactly like std::mutex + std::lock_guard, so the
+// annotations cost nothing where they cannot be checked.
+//
+// Why our own Mutex/MutexLock instead of std::mutex directly: the
+// analysis only tracks types annotated as capabilities, and libstdc++'s
+// std::mutex/std::lock_guard carry no annotations (libc++'s do, behind a
+// config macro we cannot rely on). gqa::Mutex is a zero-overhead
+// std::mutex wrapper annotated as a capability; gqa::MutexLock is the one
+// scoped lock shape used everywhere (lock_guard semantics, plus a
+// native() handle so std::condition_variable can wait on it).
+//
+// Annotation conventions used across the tree:
+//   - GQA_GUARDED_BY(mu) on every field a mutex protects, including
+//     fields only the owning thread writes but other threads read.
+//   - GQA_REQUIRES(mu) on *_locked helper methods (caller holds mu).
+//   - GQA_EXCLUDES(mu) on public entry points that acquire mu, so a
+//     re-entrant call that would self-deadlock is a compile error at the
+//     call site that already holds it.
+//   - std::atomic fields are NOT guarded: each carries a one-line
+//     memory-ordering justification comment at its operations instead
+//     (the relaxed/acquire/release audit trail).
+//   - Condition-variable predicates are written as explicit while loops
+//     in the locking scope (never as lambdas), so the guarded reads stay
+//     inside the scope the analysis can see.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GQA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GQA_THREAD_ANNOTATION
+#define GQA_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a lockable capability (names it in diagnostics).
+#define GQA_CAPABILITY(x) GQA_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define GQA_SCOPED_CAPABILITY GQA_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be touched while holding `x`.
+#define GQA_GUARDED_BY(x) GQA_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be touched while holding `x`.
+#define GQA_PT_GUARDED_BY(x) GQA_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release).
+#define GQA_REQUIRES(...) \
+  GQA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (must not be held on entry).
+#define GQA_ACQUIRE(...) \
+  GQA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function may acquire the capability; returns `value` iff it did.
+#define GQA_TRY_ACQUIRE(...) \
+  GQA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function releases the capability (must be held on entry).
+#define GQA_RELEASE(...) \
+  GQA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define GQA_EXCLUDES(...) GQA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Asserts (at runtime, by contract) that the capability is held.
+#define GQA_ASSERT_CAPABILITY(x) \
+  GQA_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the capability guarding its result.
+#define GQA_RETURN_CAPABILITY(x) GQA_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch — use only with a comment justifying why the analysis
+/// cannot see the synchronization (e.g. external serialization contracts).
+#define GQA_NO_THREAD_SAFETY_ANALYSIS \
+  GQA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace gqa {
+
+/// std::mutex annotated as a capability. Same size, same cost — lock and
+/// unlock forward directly; the annotations exist only for the analysis.
+class GQA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GQA_ACQUIRE() { mu_.lock(); }
+  void unlock() GQA_RELEASE() { mu_.unlock(); }
+  bool try_lock() GQA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex, for std::condition_variable interop only —
+  /// never lock it directly (that would bypass the analysis).
+  [[nodiscard]] std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// The one scoped lock used across the tree: lock_guard semantics over a
+/// gqa::Mutex, holding from construction to scope exit on every path
+/// (including exceptions). native() exposes the underlying
+/// std::unique_lock so std::condition_variable can wait on it; a wait
+/// releases and reacquires the mutex internally, which the analysis
+/// models as continuously held — sound, because every observable guarded
+/// access around the wait happens with the lock held.
+class GQA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GQA_ACQUIRE(mu) : native_(mu.native_handle()) {}
+  ~MutexLock() GQA_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For std::condition_variable::wait only.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return native_; }
+
+ private:
+  std::unique_lock<std::mutex> native_;
+};
+
+}  // namespace gqa

@@ -17,25 +17,31 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   start_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::drain(const std::function<void(std::size_t)>& fn) {
-  const std::size_t count = job_count_;
+void ThreadPool::drain(const std::function<void(std::size_t)>& fn,
+                       std::size_t count) {
   for (;;) {
+    // memory_order_relaxed: the counter only distributes indices — no data
+    // is published through it. The work fn(i) writes is made visible to
+    // the caller by the mutex handshake that ends the job (active_workers_
+    // reaching 0 under mutex_), not by this counter.
     const std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count) return;
     try {
       fn(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
       // Keep draining indices so the job still terminates promptly; the
       // remaining iterations are skipped by stealing them without running.
+      // memory_order_relaxed: a best-effort early-exit hint — lanes that
+      // miss it merely drain one more empty index.
       next_index_.store(count, std::memory_order_relaxed);
       return;
     }
@@ -46,17 +52,18 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t count = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock,
-                     [&] { return stopping_ || epoch_ != seen_epoch; });
+      MutexLock lock(mutex_);
+      while (!stopping_ && epoch_ == seen_epoch) start_cv_.wait(lock.native());
       if (stopping_) return;
       seen_epoch = epoch_;
       job = job_;
+      count = job_count_;
     }
-    drain(*job);
+    drain(*job, count);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_workers_;
     }
     done_cv_.notify_one();
@@ -76,12 +83,15 @@ void ThreadPool::parallel_for(std::size_t count,
   // thread sharing the process pool) serialize here: one job owns the
   // workers at a time. Held across the whole dispatch, which is also why
   // parallel_for must never be re-entered from a worker lane.
-  std::lock_guard<std::mutex> dispatch(dispatch_mutex_);
+  MutexLock dispatch(dispatch_mutex_);
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     job_count_ = count;
+    // memory_order_relaxed: the reset is published to workers by the
+    // epoch_ bump under mutex_ (they read the new epoch only after
+    // acquiring it), so the counter needs no ordering of its own.
     next_index_.store(0, std::memory_order_relaxed);
     active_workers_ = workers_.size();
     first_error_ = nullptr;
@@ -89,10 +99,10 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   start_cv_.notify_all();
 
-  drain(fn);  // the caller is a lane too
+  drain(fn, count);  // the caller is a lane too
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  MutexLock lock(mutex_);
+  while (active_workers_ != 0) done_cv_.wait(lock.native());
   job_ = nullptr;
   if (first_error_) std::rethrow_exception(first_error_);
 }

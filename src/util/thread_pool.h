@@ -10,7 +10,9 @@
 // functions writing to disjoint slots give bit-identical results at any
 // thread count.
 //
-// Thread-safety contract:
+// Thread-safety contract (statically checked — every guarded field below
+// carries GQA_GUARDED_BY and a Clang -Werror=thread-safety build enforces
+// it; see util/thread_annotations.h):
 //   - parallel_for may be called from several threads concurrently on one
 //     pool; jobs are serialized (one dispatch at a time, FIFO by mutex
 //     acquisition). This is what lets an async Server and batch
@@ -25,16 +27,48 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace gqa {
+
+/// RAII-owned thread: joins on destruction (or on an explicit join()), so
+/// a thread can never be leaked or detached by accident. This is the only
+/// way code outside util/ may own a thread — the repo-invariant linter
+/// (tools/lint/check_invariants.sh) rejects naked std::thread
+/// construction and detach() everywhere else.
+class ScopedThread {
+ public:
+  ScopedThread() = default;
+  template <typename Fn>
+  explicit ScopedThread(Fn&& fn) : thread_(std::forward<Fn>(fn)) {}
+  ~ScopedThread() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ScopedThread(ScopedThread&&) = default;
+  ScopedThread& operator=(ScopedThread&& other) {
+    if (thread_.joinable()) thread_.join();
+    thread_ = std::move(other.thread_);
+    return *this;
+  }
+  ScopedThread(const ScopedThread&) = delete;
+  ScopedThread& operator=(const ScopedThread&) = delete;
+
+  [[nodiscard]] bool joinable() const { return thread_.joinable(); }
+  void join() { thread_.join(); }
+
+ private:
+  std::thread thread_;
+};
 
 class ThreadPool {
  public:
@@ -51,7 +85,8 @@ class ThreadPool {
   /// from several threads at once (jobs serialize); never call it from
   /// inside a running fn on the same pool.
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      GQA_EXCLUDES(dispatch_mutex_, mutex_);
 
   /// Runs body(lane) once per lane (the caller participates as the last
   /// lane), blocking until every body returns. This is the continuous-
@@ -66,7 +101,8 @@ class ThreadPool {
   /// releasing the pool to co-resident callers. Same contract as
   /// parallel_for otherwise: safe from several threads (jobs serialize),
   /// never reentrant, first exception rethrown on the caller.
-  void run_lanes(const std::function<void(std::size_t)>& body);
+  void run_lanes(const std::function<void(std::size_t)>& body)
+      GQA_EXCLUDES(dispatch_mutex_, mutex_);
 
   /// Total lanes including the caller (>= 1).
   [[nodiscard]] int size() const {
@@ -74,22 +110,29 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
-  void drain(const std::function<void(std::size_t)>& fn);
+  void worker_loop() GQA_EXCLUDES(mutex_);
+  /// Runs the shared index handout for one job. `count` is the job's
+  /// element count, captured under mutex_ by the caller — passing it in
+  /// keeps the hot loop off the guarded field.
+  void drain(const std::function<void(std::size_t)>& fn, std::size_t count)
+      GQA_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  ///< written in ctor/dtor only
 
-  std::mutex dispatch_mutex_;  ///< serializes concurrent parallel_for callers
-  std::mutex mutex_;
+  Mutex dispatch_mutex_;  ///< serializes concurrent parallel_for callers
+  Mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_count_ = 0;
+  const std::function<void(std::size_t)>* job_ GQA_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t job_count_ GQA_GUARDED_BY(mutex_) = 0;
+  /// Not guarded: the dynamic work handout. Relaxed ordering suffices —
+  /// see the justification at its operations in thread_pool.cpp.
   std::atomic<std::size_t> next_index_{0};
-  std::size_t active_workers_ = 0;
-  std::uint64_t epoch_ = 0;
-  std::exception_ptr first_error_;
-  bool stopping_ = false;
+  std::size_t active_workers_ GQA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t epoch_ GQA_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ GQA_GUARDED_BY(mutex_);
+  bool stopping_ GQA_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for every i in [0, count): serially when `pool` is null or
@@ -146,21 +189,23 @@ class BoundedQueue {
 
   /// Blocks while the queue is full. Returns false (item dropped) iff the
   /// queue was closed before space became available.
-  bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    space_cv_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+  bool push(T item) GQA_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.size() >= capacity_) {
+        space_cv_.wait(lock.native());
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     item_cv_.notify_one();
     return true;
   }
 
   /// Non-blocking admit: false when the queue is full or closed.
-  bool try_push(T item) {
+  bool try_push(T item) GQA_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -170,13 +215,15 @@ class BoundedQueue {
 
   /// Blocks until an item is available (or the queue is closed and empty,
   /// returning nullopt).
-  std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+  std::optional<T> pop() GQA_EXCLUDES(mutex_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) item_cv_.wait(lock.native());
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     space_cv_.notify_one();
     return item;
   }
@@ -186,10 +233,10 @@ class BoundedQueue {
   /// queue. Items queued before close() remain takeable after it. This is
   /// how continuous-service lanes refill mid-job — a blocking pop would
   /// park the lane and hold the pool.
-  std::vector<T> try_pop_all() {
+  std::vector<T> try_pop_all() GQA_EXCLUDES(mutex_) {
     std::vector<T> out;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (items_.empty()) return out;
       out.assign(std::make_move_iterator(items_.begin()),
                  std::make_move_iterator(items_.end()));
@@ -202,11 +249,11 @@ class BoundedQueue {
   /// Blocks until at least one item is available, then takes everything
   /// queued. An empty result means closed-and-drained — the consumer's
   /// termination signal.
-  std::vector<T> pop_all() {
+  std::vector<T> pop_all() GQA_EXCLUDES(mutex_) {
     std::vector<T> out;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      item_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      MutexLock lock(mutex_);
+      while (!closed_ && items_.empty()) item_cv_.wait(lock.native());
       out.assign(std::make_move_iterator(items_.begin()),
                  std::make_move_iterator(items_.end()));
       items_.clear();
@@ -217,34 +264,34 @@ class BoundedQueue {
 
   /// Stops admission and wakes every blocked producer/consumer. Items
   /// already queued stay poppable. Idempotent.
-  void close() {
+  void close() GQA_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     space_cv_.notify_all();
     item_cv_.notify_all();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] bool closed() const GQA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  [[nodiscard]] std::size_t size() const GQA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::condition_variable space_cv_;  ///< producers wait here while full
   std::condition_variable item_cv_;   ///< consumers wait here while empty
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  std::deque<T> items_ GQA_GUARDED_BY(mutex_);
+  const std::size_t capacity_;
+  bool closed_ GQA_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace gqa

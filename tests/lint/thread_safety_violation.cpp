@@ -1,0 +1,45 @@
+// Negative-compile fixture for the Clang thread-safety gate
+// (tools/lint/negative_compile_test.sh). NOT built by CMake and NOT a
+// gtest: the lint test compiles it twice with -fsyntax-only —
+//
+//   clean                      must compile under -Werror=thread-safety
+//   -DGQA_LINT_SEED_VIOLATION  must FAIL: the seeded block reads a
+//                              GQA_GUARDED_BY field without its mutex
+//
+// If the violating variant ever compiles, the annotations have stopped
+// expanding (or the analysis was silently disabled) and the whole static
+// gate is dead — which is exactly what the test exists to catch.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() GQA_EXCLUDES(mutex_) {
+    gqa::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] long value() const GQA_EXCLUDES(mutex_) {
+    gqa::MutexLock lock(mutex_);
+    return value_;
+  }
+
+#ifdef GQA_LINT_SEED_VIOLATION
+  // Seeded bug: reads the guarded field with no lock held. Clang must
+  // reject this translation unit with -Werror=thread-safety.
+  [[nodiscard]] long racy_value() const { return value_; }
+#endif
+
+ private:
+  mutable gqa::Mutex mutex_;
+  long value_ GQA_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

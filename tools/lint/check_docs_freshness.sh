@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Docs-freshness gate, registered as the `docs_freshness` ctest and run in
-# CI. Three checks:
+# Docs-freshness gate, registered as the `docs_freshness` ctest (label:
+# lint) and run in CI. Two checks:
 #
 #  1. Every repo path referenced in README.md and docs/ARCHITECTURE.md
 #     (src/..., tests/..., bench/..., examples/..., tools/..., docs/...)
@@ -10,12 +10,14 @@
 #     verbatim in examples/readme_snippets.cpp, which compiles against the
 #     library — so the README's code snippets stay compilable. Edit the
 #     README and examples/readme_snippets.cpp together.
-#  3. Every GQA_* environment variable src/ actually reads (env_int /
-#     env_string / env_flag call sites) must appear in README.md — an env
-#     knob that exists only in code is invisible to operators, so adding
-#     one without its README row fails the build.
+#
+# The env-knob documentation check that used to live here is now rule R1
+# of tools/lint/check_invariants.sh (the repo-invariant linter).
+#
+# GQA_LINT_ROOT overrides the repo root (used by lint_selftest.sh to point
+# the gate at fixture trees).
 set -u
-cd "$(dirname "$0")/.."
+cd "${GQA_LINT_ROOT:-$(dirname "$0")/../..}"
 status=0
 
 for doc in README.md docs/ARCHITECTURE.md; do
@@ -46,15 +48,6 @@ while IFS= read -r line; do
     status=1
   fi
 done < <(awk '/^```cpp$/{f=1;next} /^```/{f=0} f' README.md)
-
-env_vars=$(grep -rhoE 'env_(int|string|flag)\("GQA_[A-Z0-9_]+"' src/ \
-  | grep -oE 'GQA_[A-Z0-9_]+' | sort -u)
-for var in $env_vars; do
-  if ! grep -q -- "$var" README.md; then
-    echo "docs-freshness: env knob $var is read in src/ but undocumented in README.md" >&2
-    status=1
-  fi
-done
 
 if [ "$status" -eq 0 ]; then
   echo "docs-freshness: OK"

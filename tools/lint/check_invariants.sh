@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Repo-invariant linter, registered as the `invariant_lint` ctest (label:
+# lint) and run in CI. Four rules, each one a cross-cutting invariant that
+# no single compiler diagnostic can enforce:
+#
+#  R1  Every GQA_* environment variable src/ actually reads (env_int /
+#      env_string / env_flag call sites) must appear in README.md — an env
+#      knob that exists only in code is invisible to operators.
+#  R2  Every enumerator of TicketStatus (src/eval/server.h) and
+#      ServingErrorCode (src/util/serving_error.h) must appear in
+#      docs/ARCHITECTURE.md — the doc's lifecycle/error tables must not go
+#      stale when an enumerator is added.
+#  R3  Every test source under tests/ that touches a concurrency primitive
+#      (std::thread, std::atomic, ThreadPool, global_pool, BoundedQueue,
+#      gqa::Server) must be listed in GQA_CONCURRENCY_TESTS in
+#      CMakeLists.txt, so `ctest -L concurrency` (the TSan CI job) covers
+#      it.
+#  R4  No naked std::thread construction and no detach() outside src/util/
+#      — threads are owned through ScopedThread / ThreadPool
+#      (util/thread_pool.h) so every thread has a join point.
+#
+# Exit: non-zero with one pointed message per violation. GQA_LINT_ROOT
+# overrides the repo root (used by lint_selftest.sh for fixture trees).
+set -u
+cd "${GQA_LINT_ROOT:-$(dirname "$0")/../..}"
+status=0
+fail() {
+  echo "invariant-lint: $*" >&2
+  status=1
+}
+
+# --- R1: env knobs documented -------------------------------------------
+env_vars=$(grep -rhoE 'env_(int|string|flag)\("GQA_[A-Z0-9_]+"' src/ 2>/dev/null \
+  | grep -oE 'GQA_[A-Z0-9_]+' | sort -u)
+for var in $env_vars; do
+  if ! grep -q -- "$var" README.md; then
+    fail "R1: env knob $var is read in src/ but has no README.md row" \
+         "(document it in the environment-knob table)"
+  fi
+done
+
+# --- R2: doc enum tables fresh ------------------------------------------
+# Pull the enumerator names out of the `enum class <Name>` block and demand
+# each one appears somewhere in docs/ARCHITECTURE.md.
+check_enum_documented() {
+  local enum_name="$1" header="$2"
+  if [ ! -f "$header" ]; then
+    fail "R2: expected $header to define $enum_name, but it is missing"
+    return
+  fi
+  local enumerators
+  enumerators=$(awk -v name="$enum_name" '
+    $0 ~ "enum class " name {f=1}
+    f && /};/ {f=0}
+    f {print}' "$header" | grep -oE '\bk[A-Z][A-Za-z0-9]*' | sort -u)
+  if [ -z "$enumerators" ]; then
+    fail "R2: could not extract enumerators of $enum_name from $header"
+    return
+  fi
+  local e
+  for e in $enumerators; do
+    if ! grep -q -- "$e" docs/ARCHITECTURE.md; then
+      fail "R2: $enum_name::$e ($header) is missing from" \
+           "docs/ARCHITECTURE.md — update the $enum_name table"
+    fi
+  done
+}
+check_enum_documented TicketStatus src/eval/server.h
+check_enum_documented ServingErrorCode src/util/serving_error.h
+
+# --- R3: concurrency tests labeled --------------------------------------
+labeled=$(awk '/set\(GQA_CONCURRENCY_TESTS/{f=1;next} f&&/\)/{f=0} f{print $1}' \
+  CMakeLists.txt)
+for test_src in tests/*.cpp; do
+  [ -e "$test_src" ] || continue
+  if grep -qE 'std::thread|std::atomic|ThreadPool|global_pool|BoundedQueue|gqa::Server' \
+      "$test_src"; then
+    name=$(basename "$test_src" .cpp)
+    if ! printf '%s\n' "$labeled" | grep -qx -- "$name"; then
+      fail "R3: $test_src uses concurrency primitives but $name is not in" \
+           "GQA_CONCURRENCY_TESTS (CMakeLists.txt) — the TSan job would" \
+           "skip it"
+    fi
+  fi
+done
+
+# --- R4: no naked threads outside util/ ---------------------------------
+# std::this_thread::* does not contain the literal `std::thread`, so sleep
+# and yield call sites stay clean.
+while IFS= read -r hit; do
+  fail "R4: naked std::thread outside src/util/ — own it through" \
+       "ScopedThread or ThreadPool (util/thread_pool.h): $hit"
+done < <(grep -rnE 'std::thread\b' src/ --include='*.cpp' --include='*.h' \
+  | grep -v '^src/util/' || true)
+while IFS= read -r hit; do
+  fail "R4: detach() outside src/util/ — detached threads have no join" \
+       "point and outlive shutdown: $hit"
+done < <(grep -rnE '\.detach\(\)' src/ --include='*.cpp' --include='*.h' \
+  | grep -v '^src/util/' || true)
+
+if [ "$status" -eq 0 ]; then
+  echo "invariant-lint: OK"
+fi
+exit $status

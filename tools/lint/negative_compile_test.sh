@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Negative-compile proof for the Clang thread-safety gate, registered as
+# the `thread_safety_negative_compile` ctest (label: lint).
+#
+# Two syntax-only compiles of tests/lint/thread_safety_violation.cpp:
+#
+#   1. clean                      -> must PASS under -Werror=thread-safety
+#   2. -DGQA_LINT_SEED_VIOLATION  -> must FAIL (unguarded read of a
+#                                    GQA_GUARDED_BY field)
+#
+# A gate that accepts the seeded violation is dead (macros not expanding,
+# analysis off, wrong flags) — this test makes that state loud. The
+# analysis is Clang-only, so on hosts without clang++ the test exits 77,
+# which ctest maps to SKIPPED via SKIP_RETURN_CODE.
+set -u
+cd "$(dirname "$0")/../.."
+
+clangxx=""
+for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                 clang++-16 clang++-15 clang++-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    clangxx="$candidate"
+    break
+  fi
+done
+if [ -z "$clangxx" ]; then
+  echo "negative-compile: no clang++ on PATH; thread-safety analysis is" \
+       "Clang-only — SKIP" >&2
+  exit 77
+fi
+
+flags=(-std=c++20 -fsyntax-only -I src -Wthread-safety -Werror=thread-safety)
+fixture=tests/lint/thread_safety_violation.cpp
+
+if ! "$clangxx" "${flags[@]}" "$fixture"; then
+  echo "negative-compile: FAIL — the clean fixture must compile under" \
+       "-Werror=thread-safety (annotations broke a valid locking pattern)" >&2
+  exit 1
+fi
+
+if "$clangxx" "${flags[@]}" -DGQA_LINT_SEED_VIOLATION "$fixture" 2>/dev/null; then
+  echo "negative-compile: FAIL — the seeded unguarded access compiled;" \
+       "the thread-safety gate is not actually rejecting violations" >&2
+  exit 1
+fi
+
+echo "negative-compile: OK ($clangxx rejects the seeded violation)"
+exit 0
