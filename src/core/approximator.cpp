@@ -1,5 +1,6 @@
 #include "core/approximator.h"
 
+#include <cstdio>
 #include <limits>
 
 #include "pwl/serialize.h"
@@ -34,7 +35,77 @@ std::uint64_t derive_seed(Op op, Method method, const FitOptions& options) {
          static_cast<std::uint64_t>(options.entries);
 }
 
+/// Bump when the fitting pipeline's numerics change (GA operators, NN-LUT
+/// training, λ-rounding): cached artifacts keyed under the old version
+/// stop matching, so a stale cache can never mask a fitter change.
+constexpr int kFitCodeVersion = 1;
+
+std::string double_repr(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return std::string(buf);
+}
+
 }  // namespace
+
+ArtifactKey Approximator::cache_key(Op op, Method method,
+                                    const FitOptions& options, int input_bits,
+                                    const std::vector<int>& scale_exps) {
+  // Canonical, space-free encoding of every fit() input plus the
+  // deployment shape (bus width, scale grid) the artifact serves.
+  std::string id = "op=" + op_info(op).name;
+  id += ";m=" + std::to_string(static_cast<int>(method));
+  id += ";e=" + std::to_string(options.entries);
+  id += ";l=" + std::to_string(options.lambda);
+  id += ";s=" + std::to_string(options.seed);
+  id += ";r=" + std::to_string(options.ga_restarts);
+  id += ";g=" + (options.ga_generations ? std::to_string(*options.ga_generations)
+                                        : std::string("auto"));
+  id += ";ep=" + (options.nn_epochs ? std::to_string(*options.nn_epochs)
+                                    : std::string("auto"));
+  id += ";lo=" + (options.range_lo ? double_repr(*options.range_lo)
+                                   : std::string("auto"));
+  id += ";hi=" + (options.range_hi ? double_repr(*options.range_hi)
+                                   : std::string("auto"));
+  id += ";fs=" + std::to_string(static_cast<int>(options.fit_strategy));
+  id += ";bus=" + std::to_string(input_bits);
+  id += ";grid=";
+  for (std::size_t i = 0; i < scale_exps.size(); ++i) {
+    if (i > 0) id += "_";
+    id += std::to_string(scale_exps[i]);
+  }
+  return ArtifactKey{"approximator", std::move(id), kFitCodeVersion};
+}
+
+Approximator Approximator::fit_cached(Op op, Method method,
+                                      const FitOptions& options,
+                                      const ArtifactStore* store,
+                                      int input_bits,
+                                      const std::vector<int>& scale_exps) {
+  if (store != nullptr) {
+    const ArtifactKey key =
+        cache_key(op, method, options, input_bits, scale_exps);
+    if (const std::optional<std::string> payload = store->load(key)) {
+      try {
+        Approximator approx = from_json(Json::parse(*payload));
+        if (approx.op_ == op && approx.method_ == method) return approx;
+      } catch (const std::exception&) {
+        // Checksum passed but the payload does not decode (schema drift
+        // within one format version — a bug, not disk rot). Fall through
+        // to the refit; the publish below overwrites the bad artifact.
+      }
+    }
+    Approximator approx = fit(op, method, options);
+    try {
+      store->publish(key, approx.to_json().dump());
+    } catch (const std::exception&) {
+      // A failed publish (I/O error, injected cache_write fault) costs
+      // only the next cold fit — never the request.
+    }
+    return approx;
+  }
+  return fit(op, method, options);
+}
 
 Approximator Approximator::fit(Op op, Method method,
                                const FitOptions& options) {
@@ -131,7 +202,7 @@ MultiRangeUnit Approximator::make_multirange_unit(
   return MultiRangeUnit(quantized(input, param_bits), range);
 }
 
-void Approximator::save(const std::string& path) const {
+Json Approximator::to_json() const {
   Json j = Json::object();
   j["op"] = Json(op_info(op_).name);
   j["method"] = Json(static_cast<int>(method_));
@@ -146,11 +217,10 @@ void Approximator::save(const std::string& path) const {
     scales.push_back(std::move(entry));
   }
   j["scale_tables"] = std::move(scales);
-  write_file(path, j.dump());
+  return j;
 }
 
-Approximator Approximator::load(const std::string& path) {
-  const Json j = Json::parse(read_file(path));
+Approximator Approximator::from_json(const Json& j) {
   Approximator approx;
   approx.op_ = op_from_name(j.at("op").as_string());
   approx.method_ = static_cast<Method>(j.at("method").as_int());
@@ -166,6 +236,16 @@ Approximator Approximator::load(const std::string& path) {
     }
   }
   return approx;
+}
+
+void Approximator::save(const std::string& path) const {
+  // Atomic publish: a crash mid-save must not leave a truncated document
+  // that only fails at next load.
+  write_file_atomic(path, to_json().dump());
+}
+
+Approximator Approximator::load(const std::string& path) {
+  return from_json(Json::parse(read_file(path)));
 }
 
 }  // namespace gqa

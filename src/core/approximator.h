@@ -18,6 +18,8 @@
 #include "kernel/int_pwl_unit.h"
 #include "kernel/multirange_unit.h"
 #include "nnlut/nn_lut.h"
+#include "util/artifact_store.h"
+#include "util/json.h"
 
 namespace gqa {
 
@@ -49,6 +51,28 @@ class Approximator {
   /// Fits `op` with `method`. Deterministic in (op, method, options).
   [[nodiscard]] static Approximator fit(Op op, Method method,
                                         const FitOptions& options = {});
+
+  /// Cache-first fit: consults `store` (when non-null) for an artifact
+  /// published under cache_key(...) and returns it decoded; on miss,
+  /// quarantine, or injected `cache_read` fault it falls back to fit() and
+  /// publishes the fresh result back, so a wiped or corrupted cache
+  /// self-heals. Cache write failures (including injected `cache_write`
+  /// faults) are swallowed — caching is an optimization, never a
+  /// requirement. Bit-identical to fit() in every case: fit() is
+  /// deterministic in the key and the artifact payload round-trips the
+  /// full fitted state (tables serialize via the exact %.17g / integer
+  /// fast-path repr, which round-trips doubles losslessly).
+  [[nodiscard]] static Approximator fit_cached(
+      Op op, Method method, const FitOptions& options,
+      const ArtifactStore* store, int input_bits = 8,
+      const std::vector<int>& scale_exps = {});
+
+  /// Content address for (op, method, full fit config, bus width,
+  /// deployment scale grid): any knob that changes fit() output changes
+  /// the key, so a config change can never alias a stale artifact.
+  [[nodiscard]] static ArtifactKey cache_key(
+      Op op, Method method, const FitOptions& options, int input_bits,
+      const std::vector<int>& scale_exps);
 
   /// Wraps an externally produced table (e.g. loaded from disk).
   [[nodiscard]] static Approximator from_table(Op op, Method method,
@@ -82,6 +106,12 @@ class Approximator {
   [[nodiscard]] MultiRangeUnit make_multirange_unit(
       int input_bits = 8, int param_bits = 8,
       std::optional<MultiRangeConfig> config = std::nullopt) const;
+
+  /// Full fitted state as a JSON document (op, method, lambda, FP + fxp
+  /// tables, per-scale champion archive) — the artifact-store payload and
+  /// the save()/load() file body. from_json(to_json()) is lossless.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static Approximator from_json(const Json& j);
 
   void save(const std::string& path) const;
   [[nodiscard]] static Approximator load(const std::string& path);

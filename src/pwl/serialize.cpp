@@ -113,7 +113,10 @@ QuantizedPwlTable quantized_from_json(const Json& j) {
 }
 
 void save_pwl(const PwlTable& table, const std::string& path) {
-  write_file(path, pwl_to_json(table).dump());
+  // Atomic publish (temp + flush + rename): a crash mid-save leaves the
+  // previous artifact intact instead of a truncated document that only
+  // fails at next load. Carries the `cache_write` chaos point.
+  write_file_atomic(path, pwl_to_json(table).dump());
 }
 
 PwlTable load_pwl(const std::string& path) {
@@ -125,7 +128,8 @@ PwlTable load_pwl(const std::string& path) {
 }
 
 void save_quantized(const QuantizedPwlTable& table, const std::string& path) {
-  write_file(path, quantized_to_json(table).dump());
+  // Same atomic-publish contract as save_pwl.
+  write_file_atomic(path, quantized_to_json(table).dump());
 }
 
 QuantizedPwlTable load_quantized(const std::string& path) {

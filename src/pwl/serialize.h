@@ -14,6 +14,12 @@
 // paths also carry the `load` fault-injection point
 // (src/util/fault_injection.h) so chaos runs can exercise artifact-load
 // failures deterministically.
+//
+// Write semantics: the save paths publish crash-safely through
+// write_file_atomic (write to temp → flush → atomic rename), so a crash —
+// or an injected `cache_write` fault — mid-save never leaves a truncated
+// artifact behind: readers see the previous file content or the new one,
+// never a torn intermediate.
 #pragma once
 
 #include <string>

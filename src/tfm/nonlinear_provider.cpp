@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/artifact_store.h"
 #include "util/contracts.h"
 #include "util/fault_injection.h"
 
@@ -12,20 +13,30 @@ NonlinearProvider NonlinearProvider::exact() { return NonlinearProvider{}; }
 NonlinearProvider::NonlinearProvider(const NonlinearProvider& other)
     : method_(other.method_),
       replaced_(other.replaced_),
-      entries_(other.entries_),
-      approx_(other.approx_) {}
+      fit_options_(other.fit_options_) {
+  // The target is still under construction (unshared), so taking both
+  // locks cannot form a cycle; the source's lock is required because its
+  // approx_ map fills lazily under concurrent evaluation.
+  MutexLock self(cache_mutex_);
+  MutexLock source(other.cache_mutex_);
+  approx_ = other.approx_;
+}
 
 // Like any assignment, replaces the target's logical state: callers must
 // externally ensure no thread is evaluating on *this (references served
 // from the old caches die here). Reading `other` concurrently stays safe —
-// only its immutable logical state is touched.
+// its lazily fitted tables are copied under its cache lock.
 NonlinearProvider& NonlinearProvider::operator=(
     const NonlinearProvider& other) {
   if (this == &other) return *this;
   method_ = other.method_;
   replaced_ = other.replaced_;
-  entries_ = other.entries_;
-  approx_ = other.approx_;
+  fit_options_ = other.fit_options_;
+  std::map<Op, Approximator> fitted;
+  {
+    MutexLock source(other.cache_mutex_);
+    fitted = other.approx_;
+  }
   // memory_order_relaxed: per the contract above, no thread evaluates on
   // *this during assignment, so nothing is published here — the store only
   // has to be visible to whoever later synchronizes with this thread. The
@@ -34,6 +45,7 @@ NonlinearProvider& NonlinearProvider::operator=(
   // momentarily uncontended.
   warm_.store(nullptr, std::memory_order_relaxed);
   MutexLock lock(cache_mutex_);
+  approx_ = std::move(fitted);
   warm_snapshots_.clear();
   unit_cache_.clear();
   multirange_cache_.clear();
@@ -43,16 +55,31 @@ NonlinearProvider& NonlinearProvider::operator=(
 NonlinearProvider NonlinearProvider::with_method(Method method,
                                                  std::set<Op> replaced,
                                                  int entries) {
+  // No eager fitting: each op resolves on first use through approx_for's
+  // cache-first fit-or-load, so constructing a provider is cheap and
+  // warm_up_deployment() is the one place deployment pays fit latency.
   NonlinearProvider p;
   p.method_ = method;
   p.replaced_ = std::move(replaced);
-  p.entries_ = entries;
-  FitOptions options;
-  options.entries = entries;
-  for (Op op : p.replaced_) {
-    p.approx_.emplace(op, Approximator::fit(op, method, options));
-  }
+  p.fit_options_.entries = entries;
   return p;
+}
+
+const Approximator& NonlinearProvider::approx_for(Op op) const {
+  const auto it = approx_.find(op);
+  if (it != approx_.end()) return it->second;
+  GQA_EXPECTS_MSG(method_.has_value(),
+                  "approx_for on the exact backend (op not replaced)");
+  // Cache-first fit-or-load against the process artifact store
+  // (GQA_CACHE_DIR): a hit skips the fit entirely; a miss or quarantined
+  // artifact falls back to an in-process fit whose result is published
+  // back, self-healing the cache. Bit-identical either way — the only
+  // serving-visible difference is latency.
+  const std::shared_ptr<const ArtifactStore> store = ArtifactStore::process();
+  Approximator approx = Approximator::fit_cached(
+      op, *method_, fit_options_, store.get(), /*input_bits=*/8,
+      deployment_scale_exps());
+  return approx_.emplace(op, std::move(approx)).first->second;
 }
 
 std::vector<int> NonlinearProvider::deployment_scale_exps() {
@@ -107,7 +134,7 @@ void NonlinearProvider::warm_up(const std::set<Op>& ops,
   bool grew = false;
   for (Op op : ops) {
     if (!replaces(op)) continue;
-    const Approximator& approx = approx_.at(op);
+    const Approximator& approx = approx_for(op);  // cache-first fit-or-load
     if (!op_info(op).scale_dependent) {
       const int key = static_cast<int>(op);
       if (next->multirange.find(key) == next->multirange.end()) {
@@ -144,7 +171,7 @@ const IntPwlUnit& NonlinearProvider::unit_for(Op op, int scale_exp) const {
   MutexLock lock(cache_mutex_);
   const auto it = unit_cache_.find(key);
   if (it != unit_cache_.end()) return it->second;
-  const Approximator& approx = approx_.at(op);
+  const Approximator& approx = approx_for(op);
   return unit_cache_.emplace(key, approx.make_unit(scale_exp)).first->second;
 }
 
@@ -156,7 +183,7 @@ const MultiRangeUnit& NonlinearProvider::multirange_for(Op op) const {
   MutexLock lock(cache_mutex_);
   const auto it = multirange_cache_.find(static_cast<int>(op));
   if (it != multirange_cache_.end()) return it->second;
-  const Approximator& approx = approx_.at(op);
+  const Approximator& approx = approx_for(op);
   return multirange_cache_
       .emplace(static_cast<int>(op), approx.make_multirange_unit())
       .first->second;

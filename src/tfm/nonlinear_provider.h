@@ -35,6 +35,11 @@ class NonlinearProvider {
   /// pwl backend: `replaced` ops go through `method`-fitted kernels, all
   /// other ops stay exact — reproducing the per-row replacements of
   /// Tables 4/5. `entries` matches the paper's 8-entry deployment.
+  ///
+  /// Construction is cheap: fitting is deferred to first use (warm_up or a
+  /// lazy cache fill), where it resolves cache-first against the process
+  /// artifact store (GQA_CACHE_DIR, util/artifact_store.h) and falls back
+  /// to an in-process fit — bit-identical either way.
   [[nodiscard]] static NonlinearProvider with_method(Method method,
                                                     std::set<Op> replaced,
                                                     int entries = 8);
@@ -69,6 +74,12 @@ class NonlinearProvider {
   /// unit any co-served model can request, so the engine and the async
   /// server share a single pre-warmed tier per provider regardless of which
   /// model op-sets it backs. Copy-free no-op when already fully warm.
+  ///
+  /// Cache-first: fitted params for ops not yet resolved are loaded from
+  /// the process artifact store when GQA_CACHE_DIR is set; on a miss or a
+  /// quarantined artifact the op is fitted in-process and the fresh params
+  /// are published back (self-healing cache). The only serving-visible
+  /// difference between a hit, a miss, and a corrupted cache is latency.
   void warm_up_deployment() const;
 
   /// exp(S·q) for an integer code with S = 2^scale_exp (Softmax numerator).
@@ -102,9 +113,11 @@ class NonlinearProvider {
   void rsqrt_fxp_batch(std::span<const std::int64_t> codes, int frac,
                        std::span<double> out) const;
 
-  /// Copies share the fitted tables but start with cold unit caches:
-  /// caches are deployment artifacts, and not copying them keeps copying
-  /// safe even while other threads evaluate on the source.
+  /// Copies take the source's fitted tables (under the source's cache
+  /// lock — fits fill in lazily, so approx_ is guarded state) but start
+  /// with cold unit caches: caches are deployment artifacts, and not
+  /// copying them keeps copying safe even while other threads evaluate on
+  /// the source.
   NonlinearProvider(const NonlinearProvider& other);
   NonlinearProvider& operator=(const NonlinearProvider& other);
 
@@ -115,6 +128,12 @@ class NonlinearProvider {
       GQA_EXCLUDES(cache_mutex_);
   [[nodiscard]] const MultiRangeUnit& multirange_for(Op op) const
       GQA_EXCLUDES(cache_mutex_);
+  /// Fit-or-load for one op (cache-first, see warm_up_deployment), filling
+  /// approx_ on first request. Caller holds cache_mutex_, which serializes
+  /// the fit and makes the returned reference stable for the provider's
+  /// lifetime (map entries are never erased while locked-in).
+  [[nodiscard]] const Approximator& approx_for(Op op) const
+      GQA_REQUIRES(cache_mutex_);
   [[nodiscard]] double act_code(Op op, std::int64_t q, int scale_exp) const;
   void act_codes(Op op, std::span<const std::int64_t> q, int scale_exp,
                  std::span<double> out) const;
@@ -132,8 +151,7 @@ class NonlinearProvider {
 
   std::optional<Method> method_;  ///< nullopt = exact backend
   std::set<Op> replaced_;
-  int entries_ = 8;
-  std::map<Op, Approximator> approx_;
+  FitOptions fit_options_;  ///< full fit config — part of the cache key
   // Unit caches are deployment artifacts, not logical state. Two tiers:
   // the warmed tier (atomically published immutable snapshots, lock-free
   // reads) and the overflow tier for lazy fills on misses, guarded by
@@ -152,6 +170,11 @@ class NonlinearProvider {
       GQA_GUARDED_BY(cache_mutex_);
   mutable std::map<int, MultiRangeUnit> multirange_cache_
       GQA_GUARDED_BY(cache_mutex_);
+  /// Fitted approximators, resolved lazily by approx_for (cache-first
+  /// fit-or-load). Guarded because any evaluating thread may be the one
+  /// that faults in the fit; entries are never erased, so references
+  /// handed out under the lock stay valid for the provider's lifetime.
+  mutable std::map<Op, Approximator> approx_ GQA_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace gqa::tfm

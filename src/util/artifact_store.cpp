@@ -1,0 +1,282 @@
+#include "util/artifact_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "util/contracts.h"
+#include "util/env.h"
+#include "util/fault_injection.h"
+#include "util/json.h"
+#include "util/serving_error.h"
+#include "util/strings.h"
+#include "util/thread_annotations.h"
+
+namespace gqa {
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  // FNV-1a 64-bit: offset basis / prime per the reference parameters.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+/// Version of the footer grammar itself (not of any payload schema — that
+/// is ArtifactKey::format_version, carried inside the key).
+constexpr int kContainerVersion = 1;
+
+std::string hex16(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
+}
+
+std::string footer_line(const ArtifactKey& key, const std::string& payload) {
+  return "GQA-ARTIFACT v" + std::to_string(kContainerVersion) +
+         " fnv1a=" + hex16(fnv1a(payload)) +
+         " bytes=" + std::to_string(payload.size()) +
+         " key=" + key.canonical();
+}
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error(what);
+}
+
+/// Splits an artifact file into payload and verified footer. Throws
+/// std::runtime_error naming the failure mode on any mismatch; on success
+/// fills `payload` (exact published bytes) and `key_out` (the canonical
+/// key string the footer claims), either of which may be null.
+void verify_text(const std::string& text, std::string* payload,
+                 std::string* key_out) {
+  if (text.empty() || text.back() != '\n') {
+    corrupt("truncated artifact: missing footer line");
+  }
+  const std::string body = text.substr(0, text.size() - 1);
+  const std::size_t split_at = body.rfind('\n');
+  if (split_at == std::string::npos) {
+    corrupt("truncated artifact: no payload/footer separator");
+  }
+  const std::string footer = body.substr(split_at + 1);
+  // The canonical key is space-free by contract, so the footer splits
+  // cleanly into exactly five space-separated fields.
+  const std::vector<std::string> fields = split(footer, ' ');
+  if (fields.size() != 5 || fields[0] != "GQA-ARTIFACT" ||
+      !fields[1].starts_with("v") || !fields[2].starts_with("fnv1a=") ||
+      !fields[3].starts_with("bytes=") || !fields[4].starts_with("key=")) {
+    corrupt("malformed artifact footer: '" + footer + "'");
+  }
+  char* end = nullptr;
+  const long version = std::strtol(fields[1].c_str() + 1, &end, 10);
+  if (*end != '\0' || version < 1 || version > kContainerVersion) {
+    corrupt("unsupported artifact container version '" + fields[1] + "'");
+  }
+  end = nullptr;
+  const std::uint64_t checksum =
+      std::strtoull(fields[2].c_str() + 6, &end, 16);
+  if (*end != '\0') corrupt("malformed artifact checksum field");
+  end = nullptr;
+  const unsigned long long bytes =
+      std::strtoull(fields[3].c_str() + 6, &end, 10);
+  if (*end != '\0') corrupt("malformed artifact length field");
+
+  const std::string_view stored(body.data(), split_at);
+  if (bytes != stored.size()) {
+    corrupt("artifact truncated: footer claims " + std::to_string(bytes) +
+            " payload bytes, file holds " + std::to_string(stored.size()));
+  }
+  if (fnv1a(stored) != checksum) {
+    corrupt("artifact checksum mismatch: payload does not hash to " +
+            fields[2].substr(6));
+  }
+  if (payload != nullptr) payload->assign(stored.data(), stored.size());
+  if (key_out != nullptr) *key_out = fields[4].substr(4);
+}
+
+void verify_file(const std::string& path, std::string* payload,
+                 std::string* key_out) {
+  verify_text(read_file(path), payload, key_out);
+}
+
+/// Renames `path` aside to a unique, never-deleted `*.corrupt` name.
+/// Best-effort: a concurrent quarantine of the same file wins the rename
+/// race and this call becomes a no-op.
+void quarantine(const std::string& path) {
+  std::error_code ec;
+  for (int n = 0; n < 1000; ++n) {
+    const std::string target =
+        n == 0 ? path + ".corrupt" : path + ".corrupt." + std::to_string(n);
+    if (std::filesystem::exists(target, ec)) continue;
+    std::filesystem::rename(path, target, ec);
+    if (!ec) return;
+  }
+}
+
+Mutex& process_mutex() {
+  static Mutex mu;
+  return mu;
+}
+
+struct ProcessState {
+  bool initialized = false;
+  std::shared_ptr<const ArtifactStore> store;
+};
+
+ProcessState& process_state() {
+  static ProcessState state;
+  return state;
+}
+
+}  // namespace
+
+std::string ArtifactKey::canonical() const {
+  return kind + "|" + identity + "|v=" + std::to_string(format_version);
+}
+
+std::string ArtifactKey::filename() const {
+  return kind + "-" + hex16(fnv1a(canonical())) + ".gqa";
+}
+
+ArtifactStore::ArtifactStore(std::string root) : root_(std::move(root)) {
+  GQA_EXPECTS_MSG(!root_.empty(), "ArtifactStore root must be non-empty");
+}
+
+std::string ArtifactStore::path_for(const ArtifactKey& key) const {
+  return root_ + "/" + key.filename();
+}
+
+void ArtifactStore::publish(const ArtifactKey& key,
+                            const std::string& payload) const {
+  GQA_EXPECTS_MSG(key.canonical().find_first_of(" \n") == std::string::npos,
+                  "ArtifactKey must be space- and newline-free");
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  write_file_atomic(path_for(key),
+                    payload + "\n" + footer_line(key, payload) + "\n");
+}
+
+std::optional<std::string> ArtifactStore::load(const ArtifactKey& key) const {
+  const std::string path = path_for(key);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return std::nullopt;
+  // The `cache_read` chaos point models an unreadable cache (stale NFS
+  // handle, permission flip). The artifact itself is healthy, so it is NOT
+  // quarantined — the caller simply degrades to an in-process fit.
+  if (fault::triggered(fault::Point::kCacheRead)) return std::nullopt;
+  try {
+    std::string payload;
+    std::string stored_key;
+    verify_file(path, &payload, &stored_key);
+    if (stored_key != key.canonical()) {
+      corrupt("artifact key mismatch: file was published under '" +
+              stored_key + "'");
+    }
+    return payload;
+  } catch (const std::exception&) {
+    // Quarantine preserves the evidence and vacates the name, so the
+    // caller's refit-and-publish self-heals the cache.
+    quarantine(path);
+    return std::nullopt;
+  }
+}
+
+std::string ArtifactStore::read_verified(const std::string& filename) const {
+  if (fault::triggered(fault::Point::kCacheRead)) {
+    fault::throw_injected(fault::Point::kCacheRead);
+  }
+  const std::string path = root_ + "/" + filename;
+  try {
+    std::string payload;
+    verify_file(path, &payload, nullptr);
+    return payload;
+  } catch (const std::exception& e) {
+    throw ServingError(ServingErrorCode::kArtifactCorrupt,
+                       "read_verified(" + path + "): " + e.what());
+  }
+}
+
+std::vector<ArtifactStatus> ArtifactStore::verify_all(bool do_quarantine) const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(root_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+
+  std::vector<ArtifactStatus> out;
+  for (const std::string& name : names) {
+    ArtifactStatus status;
+    status.filename = name;
+    if (name.find(".corrupt") != std::string::npos) {
+      status.state = ArtifactStatus::State::kQuarantined;
+      status.detail = "quarantined (preserved for inspection)";
+      out.push_back(std::move(status));
+      continue;
+    }
+    // Anything else that is not a published artifact (e.g. an in-flight
+    // *.tmp.* of a concurrent publisher) is not this store's to judge.
+    if (!name.ends_with(".gqa")) continue;
+    try {
+      verify_file(root_ + "/" + name, nullptr, nullptr);
+      status.state = ArtifactStatus::State::kValid;
+      status.detail = "ok";
+    } catch (const std::exception& e) {
+      status.state = ArtifactStatus::State::kCorrupt;
+      status.detail = e.what();
+      if (do_quarantine) {
+        quarantine(root_ + "/" + name);
+        status.detail += " (quarantined)";
+      }
+    }
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::shared_ptr<const ArtifactStore> ArtifactStore::process() {
+  MutexLock lock(process_mutex());
+  ProcessState& state = process_state();
+  if (!state.initialized) {
+    state.initialized = true;
+    const std::string dir = env_string("GQA_CACHE_DIR", "");
+    if (!dir.empty()) {
+      state.store = std::make_shared<const ArtifactStore>(dir);
+    }
+  }
+  return state.store;
+}
+
+std::shared_ptr<const ArtifactStore> ArtifactStore::exchange_process(
+    std::shared_ptr<const ArtifactStore> next) {
+  MutexLock lock(process_mutex());
+  ProcessState& state = process_state();
+  state.initialized = true;
+  std::shared_ptr<const ArtifactStore> previous = std::move(state.store);
+  state.store = std::move(next);
+  return previous;
+}
+
+CacheScope::CacheScope(const std::string& dir) {
+  // Force the env-derived store to exist first, so restoring `previous_`
+  // restores the real configuration even when this scope is the process's
+  // first cache touch.
+  (void)ArtifactStore::process();
+  previous_ = ArtifactStore::exchange_process(
+      dir.empty() ? nullptr : std::make_shared<const ArtifactStore>(dir));
+}
+
+CacheScope::~CacheScope() {
+  (void)ArtifactStore::exchange_process(std::move(previous_));
+}
+
+}  // namespace gqa

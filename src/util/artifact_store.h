@@ -1,0 +1,151 @@
+// Content-addressed, crash-safe on-disk cache for fitted LUT artifacts.
+//
+// The ROADMAP's serve-from-artifact model needs fitted PWL params to be a
+// durable artifact: fit once (offline or on first warm-up), reuse across
+// deployments. This store is the persistence layer behind
+// NonlinearProvider::warm_up_deployment()'s cache-first path (GQA_CACHE_DIR)
+// and the `gqa_lut_cli cache` subcommands.
+//
+// Keying: an ArtifactKey is (kind, identity, format version) where
+// `identity` canonically encodes everything the payload depends on — for
+// approximator artifacts that is op, method, the full fit config, the bus
+// width, and the deployment scale grid (see Approximator::cache_key). The
+// filename is derived from the FNV-1a hash of the canonical key string, so
+// a config change can never alias an old artifact.
+//
+// On-disk format (one file per artifact, "<kind>-<hash16>.gqa"):
+//
+//   <payload bytes>\n
+//   GQA-ARTIFACT v<version> fnv1a=<16 hex> bytes=<payload size> key=<canonical>\n
+//
+// The single-line footer carries the checksum over the exact payload bytes,
+// the payload length (so truncation is detected even when the truncated
+// prefix happens to be well-formed), and the canonical key (so a file moved
+// under the wrong name is rejected instead of decoded).
+//
+// Atomicity contract: publish() goes through write_file_atomic (write to a
+// unique temp in the same directory → flush → atomic rename), so a reader
+// never observes a torn artifact — it sees the old content, the new
+// content, or a miss. Concurrent writers of the same key are last-writer-
+// wins and idempotent (both write byte-identical content for a given key).
+// A crash or injected `cache_write` fault before the rename leaves NO
+// visible artifact and no leaked temp.
+//
+// Corruption handling: load() verifies the footer before returning payload
+// bytes. A checksum/version/length/key mismatch quarantines the file —
+// renamed to `<name>.corrupt` (uniquified, NEVER deleted, preserved for
+// inspection) — and reports a miss, so the caller refits and publishes a
+// fresh artifact over the now-vacant name: the cache self-heals. The strict
+// read_verified() used by `cache verify` throws typed kArtifactCorrupt
+// instead.
+//
+// Fault injection: load()/read_verified() carry the `cache_read` point
+// (load degrades to a miss, read_verified throws kArtifactCorrupt);
+// publish() inherits `cache_write` from write_file_atomic.
+//
+// Thread-safety: ArtifactStore is immutable after construction; all methods
+// are safe from any thread (atomicity of the underlying filesystem rename
+// is what makes concurrent publish/load of one key safe). process() and
+// CacheScope follow the FaultScope contract: scope changes must not race
+// in-flight cache operations — i.e. swap stores only between provider
+// lifetimes in a test.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gqa {
+
+/// FNV-1a 64-bit over raw bytes — the artifact checksum and key hash.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+/// Content address of one artifact. `identity` must be a canonical,
+/// space-free encoding of everything the payload depends on.
+struct ArtifactKey {
+  std::string kind;      ///< artifact family, e.g. "approximator"
+  std::string identity;  ///< canonical config string (no spaces/newlines)
+  int format_version = 1;
+
+  /// "<kind>|<identity>|v=<format_version>" — hashed for the filename and
+  /// embedded verbatim in the footer.
+  [[nodiscard]] std::string canonical() const;
+  /// "<kind>-<16 hex of fnv1a(canonical)>.gqa"
+  [[nodiscard]] std::string filename() const;
+};
+
+/// One row of a `cache verify` scan.
+struct ArtifactStatus {
+  enum class State {
+    kValid,        ///< footer checks out
+    kCorrupt,      ///< checksum/version/length/key mismatch or truncation
+    kQuarantined,  ///< a preserved *.corrupt file from an earlier recovery
+  };
+  std::string filename;  ///< name within the store root
+  State state = State::kValid;
+  std::string detail;  ///< human-readable status ("ok", failure reason, ...)
+};
+
+class ArtifactStore {
+ public:
+  /// A store rooted at `root` (created on first publish).
+  explicit ArtifactStore(std::string root);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+  [[nodiscard]] std::string path_for(const ArtifactKey& key) const;
+
+  /// Crash-safely publishes `payload` under `key` (see the atomicity
+  /// contract above). Throws on I/O failure or an injected `cache_write`
+  /// fault — in both cases no visible artifact is left behind.
+  void publish(const ArtifactKey& key, const std::string& payload) const;
+
+  /// Graceful load: the payload bytes exactly as published, or nullopt on
+  /// miss, injected `cache_read` fault, or corruption — corrupt files are
+  /// quarantined (renamed *.corrupt, preserved on disk) before the miss is
+  /// reported, so the name is vacant for the self-healing re-publish.
+  /// Never throws for a bad artifact.
+  [[nodiscard]] std::optional<std::string> load(const ArtifactKey& key) const;
+
+  /// Strict load for `cache verify` and tests: returns the payload or
+  /// throws typed ServingError{kArtifactCorrupt}. Never quarantines.
+  /// `filename` is resolved within the store root.
+  [[nodiscard]] std::string read_verified(const std::string& filename) const;
+
+  /// Scans every artifact under the root (lexicographic order): *.gqa
+  /// files are footer-verified, *.corrupt files are reported as
+  /// quarantined. With `quarantine` set, corrupt artifacts are renamed
+  /// aside exactly as load() would.
+  [[nodiscard]] std::vector<ArtifactStatus> verify_all(bool quarantine) const;
+
+  /// The process-wide store configured from GQA_CACHE_DIR on first use
+  /// (nullptr when unset/empty: caching disabled, fits stay in-process).
+  [[nodiscard]] static std::shared_ptr<const ArtifactStore> process();
+
+ private:
+  friend class CacheScope;
+  /// Swaps the process-wide store (test hook backing CacheScope).
+  static std::shared_ptr<const ArtifactStore> exchange_process(
+      std::shared_ptr<const ArtifactStore> next);
+
+  std::string root_;
+};
+
+/// RAII process-cache override for tests, in the FaultScope shape: points
+/// ArtifactStore::process() at `dir` ("" disables caching) on construction
+/// and restores the previous store on destruction.
+class CacheScope {
+ public:
+  explicit CacheScope(const std::string& dir);
+  ~CacheScope();
+
+  CacheScope(const CacheScope&) = delete;
+  CacheScope& operator=(const CacheScope&) = delete;
+
+ private:
+  std::shared_ptr<const ArtifactStore> previous_;
+};
+
+}  // namespace gqa

@@ -51,6 +51,10 @@ const char* point_name(Point point) {
       return "warmup";
     case Point::kLoad:
       return "load";
+    case Point::kCacheRead:
+      return "cache_read";
+    case Point::kCacheWrite:
+      return "cache_write";
   }
   return "unknown";
 }
@@ -150,10 +154,12 @@ void throw_injected(Point point) {
     case Point::kAdmission:
       throw ServingError(ServingErrorCode::kAdmissionRejected, message);
     case Point::kLoad:
+    case Point::kCacheRead:
       throw ServingError(ServingErrorCode::kArtifactCorrupt, message);
     case Point::kScheduler:
     case Point::kBackend:
     case Point::kWarmup:
+    case Point::kCacheWrite:
       break;
   }
   throw ServingError(ServingErrorCode::kBackendTransient, message);

@@ -4,11 +4,16 @@
 // chaos harness (tests/chaos_test.cpp) and the degraded-throughput bench
 // inject failures at fixed, named points compiled into the hot paths:
 //
-//   admission   gqa::Server::submit/try_submit, before a ticket is issued
-//   scheduler   a service lane, after the pick and before the forward
-//   backend     the backend forward call itself
-//   warmup      NonlinearProvider::warm_up (serving degrades to cold start)
-//   load        pwl::load_pwl / load_quantized (artifact load rejected)
+//   admission    gqa::Server::submit/try_submit, before a ticket is issued
+//   scheduler    a service lane, after the pick and before the forward
+//   backend      the backend forward call itself
+//   warmup       NonlinearProvider::warm_up (serving degrades to cold start)
+//   load         pwl::load_pwl / load_quantized (artifact load rejected)
+//   cache_read   ArtifactStore::load / read_verified (cache degrades to a
+//                miss; warm-up falls back to an in-process fit)
+//   cache_write  write_file_atomic, between the temp write and the rename
+//                (the torn-write simulation: the temp is unlinked, so no
+//                visible artifact appears and the publish fails transient)
 //
 // Each armed point fires with a configured probability from its own seeded
 // stream, so a chaos run is reproducible per (spec, request count) while
@@ -43,8 +48,10 @@ enum class Point {
   kBackend,
   kWarmup,
   kLoad,
+  kCacheRead,
+  kCacheWrite,
 };
-inline constexpr int kPointCount = 5;
+inline constexpr int kPointCount = 7;
 
 /// Stable spec/stat name of a point ("admission", "scheduler", ...).
 [[nodiscard]] const char* point_name(Point point);
@@ -117,10 +124,10 @@ class FaultInjector {
 }
 
 /// Throws the ServingError that an injected fault at `point` models
-/// (kBackendTransient for admission-queue/scheduler/backend/warmup faults
-/// — retryable by design, so chaos runs with retries still converge —
-/// except admission which throws kAdmissionRejected, and load which throws
-/// kArtifactCorrupt).
+/// (kBackendTransient for scheduler/backend/warmup/cache_write faults —
+/// retryable by design, so chaos runs with retries still converge —
+/// except admission which throws kAdmissionRejected, and load/cache_read
+/// which throw kArtifactCorrupt).
 [[noreturn]] void throw_injected(Point point);
 
 /// RAII spec override for tests: arms `spec` on construction, restores the

@@ -1,11 +1,16 @@
 #include "util/json.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault_injection.h"
 #include "util/strings.h"
 
 namespace gqa {
@@ -330,6 +335,47 @@ void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open file for writing: " + path);
   out << content;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  // The temp name must be unique per (process, call) so concurrent writers
+  // of the same path never stomp each other's temp file, and must live in
+  // the same directory as `path` so the rename stays within one filesystem
+  // (cross-device rename is not atomic — it is not even a rename).
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid())) +
+      "." + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    throw std::runtime_error("cannot open temp file for writing: " + tmp);
+  }
+  const std::size_t written =
+      content.empty() ? 0 : std::fwrite(content.data(), 1, content.size(), out);
+  // Flush through the stdio buffer and the page cache before the rename:
+  // publishing a name that points at un-flushed data would reopen the torn
+  // window the temp+rename dance exists to close.
+  const bool flushed = written == content.size() && std::fflush(out) == 0 &&
+                       ::fsync(::fileno(out)) == 0;
+  if (std::fclose(out) != 0 || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("failed writing temp file: " + tmp);
+  }
+
+  // The torn-write chaos point: a fault here models a crash after the data
+  // hit the temp file but before it was published. The contract the chaos
+  // suite asserts — no visible artifact, no leaked temp — is exactly what
+  // this branch does.
+  if (fault::triggered(fault::Point::kCacheWrite)) {
+    std::remove(tmp.c_str());
+    fault::throw_injected(fault::Point::kCacheWrite);
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot publish file (rename failed): " + path);
+  }
 }
 
 }  // namespace gqa

@@ -81,6 +81,20 @@ class Json {
 [[nodiscard]] std::string read_file(const std::string& path);
 
 /// Writes a string to a file; throws std::runtime_error on failure.
+/// NOT crash-safe: a crash mid-write leaves a truncated file at `path`.
+/// Artifact writers must use write_file_atomic instead.
 void write_file(const std::string& path, const std::string& content);
+
+/// Crash-safe publish: writes to a unique temp file in the same directory,
+/// flushes it to disk, then atomically renames it over `path`. Readers
+/// never observe a torn file — they see either the old content or the new
+/// content, and concurrent writers of the same path are last-writer-wins.
+/// Throws std::runtime_error on I/O failure (the temp file is removed, so
+/// a failed publish leaves no visible artifact). Carries the `cache_write`
+/// fault-injection point (util/fault_injection.h) between the temp write
+/// and the rename: under an armed chaos spec this throws a transient
+/// ServingError with the temp file already unlinked — the torn-write
+/// simulation the chaos suite asserts on.
+void write_file_atomic(const std::string& path, const std::string& content);
 
 }  // namespace gqa

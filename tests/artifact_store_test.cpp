@@ -1,0 +1,506 @@
+// Conformance suite for the crash-safe persistent LUT artifact store
+// (util/artifact_store.h) and its cache-first integration with the fitting
+// pipeline (Approximator::fit_cached) and the serving provider
+// (NonlinearProvider::warm_up_deployment).
+//
+// The contracts pinned here are the tentpole's acceptance criteria:
+//   - atomic publish: an injected fault between the temp write and the
+//     rename (the torn-write simulation) leaves NO visible artifact and no
+//     leaked temp file;
+//   - corrupt-on-disk recovery: checksum/truncation/key mismatches
+//     quarantine the file (*.corrupt, preserved — never deleted) and
+//     degrade to a refit whose result is bit-identical to a cold fit;
+//   - concurrent readers/writers: every load observes a complete payload,
+//     never a torn intermediate (runs under the TSan `concurrency` label);
+//   - cache-hit == cold-fit bit-identity at every supported bus width.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/approximator.h"
+#include "tfm/nonlinear_provider.h"
+#include "util/artifact_store.h"
+#include "util/env.h"
+#include "util/fault_injection.h"
+#include "util/json.h"
+#include "util/serving_error.h"
+
+namespace gqa {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh empty store root per test; removed on destruction. Artifact-store
+/// tests never share a directory, so parallel ctest runs cannot collide.
+struct TempStoreDir {
+  explicit TempStoreDir(const std::string& tag)
+      : path("/tmp/gqa_astore_" + tag + "_" +
+             std::to_string(static_cast<long long>(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempStoreDir() { fs::remove_all(path); }
+  std::string path;
+};
+
+std::vector<std::string> files_in(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+int count_matching(const std::string& dir, const std::string& needle) {
+  int n = 0;
+  for (const std::string& name : files_in(dir)) {
+    if (name.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+/// Published artifacts only — quarantined files are `*.gqa.corrupt[.N]`,
+/// so a substring match on ".gqa" would double-count them.
+int count_artifacts(const std::string& dir) {
+  int n = 0;
+  for (const std::string& name : files_in(dir)) {
+    if (name.ends_with(".gqa")) ++n;
+  }
+  return n;
+}
+
+ArtifactKey test_key(const std::string& tag = "t") {
+  return ArtifactKey{"testkind", "tag=" + tag, 1};
+}
+
+void flip_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.get(c);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(c == 'X' ? 'Y' : 'X');
+}
+
+/// Cheap-but-real GA fit config so bit-identity tests stay fast.
+FitOptions cheap_fit() {
+  FitOptions options;
+  options.entries = 4;
+  options.ga_restarts = 1;
+  options.ga_generations = 2;
+  return options;
+}
+
+TEST(Fnv1a, MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(ArtifactKey, CanonicalFormAndDistinctFilenames) {
+  const ArtifactKey key = Approximator::cache_key(
+      Op::kGelu, Method::kGqaRm, cheap_fit(), 8, {-14, 4});
+  EXPECT_EQ(key.kind, "approximator");
+  EXPECT_TRUE(key.canonical().find("op=GELU") != std::string::npos);
+  EXPECT_TRUE(key.canonical().find("bus=8") != std::string::npos);
+  EXPECT_TRUE(key.canonical().find(' ') == std::string::npos)
+      << key.canonical();
+  EXPECT_TRUE(key.filename().ends_with(".gqa"));
+
+  // Any knob change must change the address: op, method, a fit option,
+  // the bus width, the grid, and the format version all re-key.
+  std::vector<std::string> names = {key.filename()};
+  names.push_back(Approximator::cache_key(Op::kExp, Method::kGqaRm,
+                                          cheap_fit(), 8, {-14, 4})
+                      .filename());
+  names.push_back(Approximator::cache_key(Op::kGelu, Method::kNnLut,
+                                          cheap_fit(), 8, {-14, 4})
+                      .filename());
+  FitOptions tweaked = cheap_fit();
+  tweaked.lambda = 6;
+  names.push_back(
+      Approximator::cache_key(Op::kGelu, Method::kGqaRm, tweaked, 8, {-14, 4})
+          .filename());
+  names.push_back(Approximator::cache_key(Op::kGelu, Method::kGqaRm,
+                                          cheap_fit(), 16, {-14, 4})
+                      .filename());
+  names.push_back(Approximator::cache_key(Op::kGelu, Method::kGqaRm,
+                                          cheap_fit(), 8, {-14, 3})
+                      .filename());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ArtifactStore, PublishLoadRoundTripAndLastWriterWins) {
+  TempStoreDir dir("roundtrip");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key = test_key();
+
+  EXPECT_FALSE(store.load(key).has_value());  // miss on empty store
+
+  const std::string payload = "{\"x\": 1}\nwith\nnewlines";
+  store.publish(key, payload);
+  const auto loaded = store.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, payload);  // exact bytes, footer stripped
+
+  // Republishing the same key is last-writer-wins, never a torn mix.
+  const std::string payload2 = "{\"x\": 2}";
+  store.publish(key, payload2);
+  EXPECT_EQ(store.load(key).value(), payload2);
+  EXPECT_EQ(count_artifacts(dir.path), 1);
+}
+
+TEST(ArtifactStore, InjectedWriteFaultLeavesNoArtifactAndNoTemp) {
+  TempStoreDir dir("tornwrite");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key = test_key();
+  {
+    fault::FaultScope chaos{"cache_write:1.0:11"};
+    try {
+      store.publish(key, "payload");
+      FAIL() << "publish under an armed cache_write fault must throw";
+    } catch (const ServingError& e) {
+      EXPECT_EQ(e.code(), ServingErrorCode::kBackendTransient);
+    }
+  }
+  // The torn-write contract: nothing visible, nothing leaked.
+  EXPECT_TRUE(files_in(dir.path).empty()) << files_in(dir.path).front();
+  EXPECT_FALSE(store.load(key).has_value());
+
+  // The same publish succeeds once the fault clears.
+  store.publish(key, "payload");
+  EXPECT_EQ(store.load(key).value(), "payload");
+}
+
+TEST(ArtifactStore, InjectedWriteFaultPreservesPreviousArtifact) {
+  TempStoreDir dir("tornover");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key = test_key();
+  store.publish(key, "old");
+  {
+    fault::FaultScope chaos{"cache_write:1.0:12"};
+    EXPECT_THROW(store.publish(key, "new"), ServingError);
+  }
+  // Readers keep seeing the previous complete artifact.
+  EXPECT_EQ(store.load(key).value(), "old");
+}
+
+TEST(ArtifactStore, CorruptArtifactQuarantinedPreservedAndSelfHealed) {
+  TempStoreDir dir("quarantine");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key = test_key();
+  store.publish(key, "payload-one");
+  flip_byte(store.path_for(key), 3);
+
+  EXPECT_FALSE(store.load(key).has_value());  // corrupt => miss
+  // ...and the evidence is preserved under *.corrupt, with the published
+  // name vacated for the self-healing republish.
+  EXPECT_FALSE(fs::exists(store.path_for(key)));
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 1);
+
+  store.publish(key, "payload-two");
+  EXPECT_EQ(store.load(key).value(), "payload-two");
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 1);  // never deleted
+
+  // A second corruption quarantines under a uniquified name.
+  flip_byte(store.path_for(key), 3);
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 2);
+}
+
+TEST(ArtifactStore, TruncationDetectedEvenWhenFooterSurvives) {
+  TempStoreDir dir("truncate");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key = test_key();
+  store.publish(key, "0123456789");
+
+  // Drop payload bytes but keep the (still well-formed) footer line: the
+  // length field must catch what the line parser alone would miss.
+  const std::string text = read_file(store.path_for(key));
+  const std::size_t cut = text.find('\n');
+  ASSERT_NE(cut, std::string::npos);
+  write_file(store.path_for(key), text.substr(4));
+  EXPECT_FALSE(store.load(key).has_value());
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 1);
+}
+
+TEST(ArtifactStore, KeyMismatchIsCorruptNotDecoded) {
+  TempStoreDir dir("keymismatch");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key_a = test_key("a");
+  const ArtifactKey key_b = test_key("b");
+  store.publish(key_a, "payload-for-a");
+  // A checksum-valid file parked under the wrong name (operator mv, hash
+  // collision) must not be served as key_b's artifact.
+  fs::copy_file(store.path_for(key_a), store.path_for(key_b));
+  EXPECT_FALSE(store.load(key_b).has_value());
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 1);
+  EXPECT_EQ(store.load(key_a).value(), "payload-for-a");  // a is untouched
+}
+
+TEST(ArtifactStore, InjectedReadFaultDegradesToMissWithoutQuarantine) {
+  TempStoreDir dir("readfault");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key = test_key();
+  store.publish(key, "healthy");
+  {
+    fault::FaultScope chaos{"cache_read:1.0:13"};
+    EXPECT_FALSE(store.load(key).has_value());
+  }
+  // The artifact was healthy — an unreadable cache must not destroy it.
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 0);
+  EXPECT_EQ(store.load(key).value(), "healthy");
+}
+
+TEST(ArtifactStore, ReadVerifiedThrowsTypedArtifactCorrupt) {
+  TempStoreDir dir("strict");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key = test_key();
+  store.publish(key, "payload");
+  EXPECT_EQ(store.read_verified(key.filename()), "payload");
+
+  flip_byte(store.path_for(key), 2);
+  try {
+    (void)store.read_verified(key.filename());
+    FAIL() << "read_verified on a corrupt artifact must throw";
+  } catch (const ServingError& e) {
+    EXPECT_EQ(e.code(), ServingErrorCode::kArtifactCorrupt);
+  }
+  // Strict reads never quarantine — `cache verify` without --quarantine
+  // must be a pure report.
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 0);
+
+  // The injected read fault surfaces as the same typed error.
+  fault::FaultScope chaos{"cache_read:1.0:14"};
+  try {
+    (void)store.read_verified(key.filename());
+    FAIL() << "read_verified under an armed cache_read fault must throw";
+  } catch (const ServingError& e) {
+    EXPECT_EQ(e.code(), ServingErrorCode::kArtifactCorrupt);
+  }
+}
+
+TEST(ArtifactStore, VerifyAllReportsAndOptionallyQuarantines) {
+  TempStoreDir dir("verifyall");
+  const ArtifactStore store(dir.path);
+  store.publish(test_key("good"), "good-payload");
+  store.publish(test_key("bad"), "bad-payload");
+  flip_byte(store.path_for(test_key("bad")), 1);
+
+  std::vector<ArtifactStatus> report = store.verify_all(false);
+  ASSERT_EQ(report.size(), 2U);
+  int valid = 0;
+  int corrupt = 0;
+  for (const ArtifactStatus& status : report) {
+    if (status.state == ArtifactStatus::State::kValid) ++valid;
+    if (status.state == ArtifactStatus::State::kCorrupt) ++corrupt;
+  }
+  EXPECT_EQ(valid, 1);
+  EXPECT_EQ(corrupt, 1);
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 0);  // report-only
+
+  report = store.verify_all(true);
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 1);
+
+  // After quarantining, the scan shows the preserved file as quarantined
+  // and no remaining corruption.
+  report = store.verify_all(false);
+  int quarantined = 0;
+  corrupt = 0;
+  for (const ArtifactStatus& status : report) {
+    if (status.state == ArtifactStatus::State::kQuarantined) ++quarantined;
+    if (status.state == ArtifactStatus::State::kCorrupt) ++corrupt;
+  }
+  EXPECT_EQ(quarantined, 1);
+  EXPECT_EQ(corrupt, 0);
+}
+
+TEST(ArtifactStore, ConcurrentReadersAndWritersNeverObserveTornArtifacts) {
+  TempStoreDir dir("concurrent");
+  const ArtifactStore store(dir.path);
+  const ArtifactKey key = test_key();
+  // Two well-known payloads (different lengths, so a torn mix of the two
+  // files cannot accidentally verify).
+  const std::string payload_a(512, 'a');
+  const std::string payload_b(1031, 'b');
+  store.publish(key, payload_a);
+
+  const int threads =
+      std::max(2, static_cast<int>(env_int("GQA_TEST_THREADS", 4)));
+  const int kIters = 60;
+  std::vector<std::thread> workers;
+  std::atomic<int> torn{0};
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if (t % 2 == 0) {
+          store.publish(key, (i % 2 == 0) ? payload_a : payload_b);
+        } else if (const auto got = store.load(key)) {
+          if (*got != payload_a && *got != payload_b) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(torn.load(), 0);
+  // Nothing was ever quarantined: every observed file was complete.
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 0);
+  const auto last = store.load(key);
+  ASSERT_TRUE(last.has_value());
+  EXPECT_TRUE(*last == payload_a || *last == payload_b);
+}
+
+TEST(FitCached, CacheHitIsBitIdenticalToColdFitAtEveryBusWidth) {
+  TempStoreDir dir("fitcache");
+  const ArtifactStore store(dir.path);
+  const std::vector<int> grid = tfm::NonlinearProvider::deployment_scale_exps();
+  const FitOptions options = cheap_fit();
+
+  for (const int bus : {8, 16}) {
+    const Approximator cold = Approximator::fit(Op::kGelu, Method::kGqaRm,
+                                                options);
+    // First call fits and publishes; second call must be served from disk.
+    (void)Approximator::fit_cached(Op::kGelu, Method::kGqaRm, options, &store,
+                                   bus, grid);
+    const ArtifactKey key =
+        Approximator::cache_key(Op::kGelu, Method::kGqaRm, options, bus, grid);
+    ASSERT_TRUE(store.load(key).has_value());
+    const Approximator warm = Approximator::fit_cached(
+        Op::kGelu, Method::kGqaRm, options, &store, bus, grid);
+
+    // Full fitted state survives the round trip...
+    EXPECT_EQ(warm.fxp_table().breakpoints, cold.fxp_table().breakpoints);
+    EXPECT_EQ(warm.fxp_table().slopes, cold.fxp_table().slopes);
+    EXPECT_EQ(warm.fxp_table().intercepts, cold.fxp_table().intercepts);
+    EXPECT_EQ(warm.fp_table().breakpoints, cold.fp_table().breakpoints);
+    EXPECT_EQ(warm.lambda(), cold.lambda());
+
+    // ...and the deployed unit is bit-identical across the whole bus, at
+    // this width, for every deployment scale (per-scale champion archive
+    // included).
+    for (const int e : {-8, -3, 0}) {
+      const IntPwlUnit cold_unit = cold.make_unit(e, bus);
+      const IntPwlUnit warm_unit = warm.make_unit(e, bus);
+      const std::int64_t lo = cold_unit.table().input.qmin();
+      const std::int64_t hi = cold_unit.table().input.qmax();
+      const std::int64_t stride = bus > 8 ? 257 : 1;
+      for (std::int64_t q = lo; q <= hi; q += stride) {
+        ASSERT_EQ(cold_unit.eval_code(q), warm_unit.eval_code(q))
+            << "bus=" << bus << " e=" << e << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(FitCached, MultirangeOpsRoundTripBitIdentically) {
+  TempStoreDir dir("fitmr");
+  const ArtifactStore store(dir.path);
+  const FitOptions options = cheap_fit();
+  const Approximator cold = Approximator::fit(Op::kRsqrt, Method::kGqaRm,
+                                              options);
+  (void)Approximator::fit_cached(Op::kRsqrt, Method::kGqaRm, options, &store,
+                                 8, {});
+  const Approximator warm =
+      Approximator::fit_cached(Op::kRsqrt, Method::kGqaRm, options, &store,
+                               8, {});
+  const MultiRangeUnit cold_unit = cold.make_multirange_unit();
+  const MultiRangeUnit warm_unit = warm.make_multirange_unit();
+  for (std::int64_t code = 1; code <= 4096; code += 7) {
+    ASSERT_EQ(cold_unit.eval_fxp(code, 10), warm_unit.eval_fxp(code, 10))
+        << "code=" << code;
+  }
+}
+
+TEST(Provider, WarmUpDeploymentIsCacheFirstAndSelfHealing) {
+  TempStoreDir dir("provider");
+  CacheScope cache(dir.path);
+
+  // Cold reference: the same deterministic fit, computed without a store.
+  const Approximator cold =
+      Approximator::fit(Op::kGelu, Method::kGqaRm, FitOptions{});
+
+  // First provider fits in-process and publishes.
+  const tfm::NonlinearProvider first =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  first.warm_up_deployment();
+  ASSERT_EQ(count_artifacts(dir.path), 1);
+  const std::string artifact =
+      dir.path + "/" + files_in(dir.path).front();
+
+  // Second provider must serve from the cache, bit-identical to both the
+  // publisher and the storeless cold fit.
+  const tfm::NonlinearProvider second =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  second.warm_up_deployment();
+  const IntPwlUnit cold_unit = cold.make_unit(-3);
+  for (std::int64_t q = -128; q <= 127; ++q) {
+    ASSERT_EQ(first.gelu_code(q, -3), second.gelu_code(q, -3)) << q;
+    ASSERT_EQ(second.gelu_code(q, -3), cold_unit.eval_real_from_code(q)) << q;
+  }
+
+  // Corrupt the artifact on disk: the next warm-up must quarantine it,
+  // refit bit-identically, and republish — no serving-visible error.
+  flip_byte(artifact, 5);
+  const tfm::NonlinearProvider healed =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  healed.warm_up_deployment();
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 1);  // evidence preserved
+  EXPECT_EQ(count_artifacts(dir.path), 1);      // fresh republish
+  for (std::int64_t q = -128; q <= 127; ++q) {
+    ASSERT_EQ(healed.gelu_code(q, -3), cold_unit.eval_real_from_code(q)) << q;
+  }
+  // And the republished artifact is valid again for the next consumer.
+  const tfm::NonlinearProvider fourth =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  fourth.warm_up_deployment();
+  EXPECT_EQ(count_matching(dir.path, ".corrupt"), 1);
+}
+
+TEST(Provider, LazyEvaluationWithoutWarmupAlsoResolvesCacheFirst) {
+  TempStoreDir dir("lazy");
+  CacheScope cache(dir.path);
+  // No warm_up at all: the first eval faults in the fit (publishing it),
+  // and a second provider's first eval loads it — identical results.
+  const tfm::NonlinearProvider first =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kExp});
+  const double y = first.exp_code(-17, -4);
+  EXPECT_EQ(count_artifacts(dir.path), 1);
+  const tfm::NonlinearProvider second =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kExp});
+  EXPECT_EQ(second.exp_code(-17, -4), y);
+}
+
+TEST(Provider, CopiesCarryLazilyFittedState) {
+  TempStoreDir dir("copy");
+  CacheScope cache(dir.path);
+  const tfm::NonlinearProvider source =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  source.warm_up_deployment();
+  const tfm::NonlinearProvider copy(source);  // copy after lazy fill
+  tfm::NonlinearProvider assigned = tfm::NonlinearProvider::exact();
+  assigned = source;
+  for (std::int64_t q = -128; q <= 127; q += 5) {
+    ASSERT_EQ(copy.gelu_code(q, -3), source.gelu_code(q, -3));
+    ASSERT_EQ(assigned.gelu_code(q, -3), source.gelu_code(q, -3));
+  }
+}
+
+}  // namespace
+}  // namespace gqa

@@ -10,23 +10,34 @@
 // (open -> fail-fast shed -> half-open probe -> close/re-open), the
 // exactly-once deadline expiry of stale backlog entries, transient-retry
 // bookkeeping, warm-up fault degradation, and the fail-loud spec grammar.
+// The ChaosCache suite arms the cache_read/cache_write points against the
+// persistent artifact store (util/artifact_store.h): injected faults at
+// either point — and corruption on disk — must never yield a torn or
+// silently-wrong artifact, only a bit-identical in-process refit.
 // The suite runs in the TSan CI job (label: concurrency) at two
 // GQA_TEST_THREADS widths, and once more in the ASan job with an armed
 // GQA_FAULT_SPEC (every deterministic test shields itself with
 // FaultScope, so an env-armed injector only feeds the randomized trials).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/approximator.h"
 #include "eval/server.h"
+#include "tfm/nonlinear_provider.h"
+#include "util/artifact_store.h"
 #include "util/contracts.h"
 #include "util/env.h"
 #include "util/fault_injection.h"
@@ -523,6 +534,151 @@ TEST(ChaosWarmup, InjectedWarmupFaultDegradesRegistrationToColdServing) {
   // Registration survived the failed warm-up and serving is unaffected.
   EXPECT_EQ(server.wait(server.submit(0, id_image(3))).data(),
             toy_forward(id_image(3), 8).data());
+}
+
+/// Fresh cache root per ChaosCache test, removed on destruction.
+struct ChaosCacheDir {
+  explicit ChaosCacheDir(const std::string& tag)
+      : path("/tmp/gqa_chaos_cache_" + tag + "_" +
+             std::to_string(static_cast<long long>(::getpid()))) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ChaosCacheDir() { std::filesystem::remove_all(path); }
+
+  [[nodiscard]] int count_suffix(const std::string& suffix) const {
+    int n = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(path)) {
+      if (entry.path().filename().string().ends_with(suffix)) ++n;
+    }
+    return n;
+  }
+
+  std::string path;
+};
+
+void corrupt_one_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put('#');
+}
+
+TEST(ChaosCache, WriteFaultDuringWarmupIsInvisibleBeyondTheMissingArtifact) {
+  fault::FaultScope chaos{"cache_write:1.0:61"};
+  ChaosCacheDir dir("write");
+  CacheScope cache(dir.path);
+  // Cold reference, fitted with no store in play.
+  const Approximator cold =
+      Approximator::fit(Op::kGelu, Method::kGqaRm, FitOptions{});
+
+  const tfm::NonlinearProvider provider =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  provider.warm_up_deployment();  // publish fails; warm-up must not
+
+  // The failed publish left nothing behind — no artifact, no torn temp —
+  // and the injector actually fired at the cache_write point.
+  EXPECT_EQ(dir.count_suffix(".gqa"), 0);
+  EXPECT_TRUE(std::filesystem::is_empty(dir.path));
+  EXPECT_GE(
+      fault::FaultInjector::instance().injected(fault::Point::kCacheWrite),
+      1U);
+  // Serving is bit-identical to the storeless cold fit.
+  const IntPwlUnit unit = cold.make_unit(-3);
+  for (std::int64_t q = -128; q <= 127; ++q) {
+    ASSERT_EQ(provider.gelu_code(q, -3), unit.eval_real_from_code(q)) << q;
+  }
+}
+
+TEST(ChaosCache, ReadFaultDegradesToRefitWithoutQuarantine) {
+  fault::FaultScope quiet{""};
+  ChaosCacheDir dir("read");
+  CacheScope cache(dir.path);
+  // Publish a healthy artifact first.
+  const tfm::NonlinearProvider publisher =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  publisher.warm_up_deployment();
+  ASSERT_EQ(dir.count_suffix(".gqa"), 1);
+
+  std::uint64_t fired = 0;
+  {
+    // An unreadable cache (I/O fault on load) degrades to an in-process
+    // refit; the healthy on-disk artifact must NOT be quarantined.
+    fault::FaultScope chaos{"cache_read:1.0:62"};
+    const tfm::NonlinearProvider degraded =
+        tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+    degraded.warm_up_deployment();
+    fired =
+        fault::FaultInjector::instance().injected(fault::Point::kCacheRead);
+    for (std::int64_t q = -128; q <= 127; ++q) {
+      ASSERT_EQ(degraded.gelu_code(q, -3), publisher.gelu_code(q, -3)) << q;
+    }
+  }
+  EXPECT_GE(fired, 1U);
+  EXPECT_EQ(dir.count_suffix(".corrupt"), 0);
+  EXPECT_EQ(dir.count_suffix(".gqa"), 1);
+}
+
+TEST(ChaosCache, ServerWarmWithCorruptedCacheQuarantinesRepublishesServes) {
+  fault::FaultScope quiet{""};
+  ChaosCacheDir dir("server");
+  CacheScope cache(dir.path);
+  // Publish, then corrupt the artifact on disk behind the store's back.
+  {
+    const tfm::NonlinearProvider publisher =
+        tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+    publisher.warm_up_deployment();
+  }
+  ASSERT_EQ(dir.count_suffix(".gqa"), 1);
+  std::string artifact;
+  for (const auto& entry : std::filesystem::directory_iterator(dir.path)) {
+    artifact = entry.path().string();
+  }
+  corrupt_one_byte(artifact, 7);
+
+  // A fresh provider behind a warm_provider server: registration warms the
+  // shared provider, which must quarantine the corrupt artifact, refit
+  // bit-identically, republish, and serve with no visible error.
+  const tfm::NonlinearProvider provider =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  ServerOptions options;
+  options.num_threads = 2;
+  options.warm_provider = true;
+  options.scheduler.breaker_threshold = 0;
+  Server server(provider, options);
+  server.register_forward("gelu-sum", [&provider](const tfm::Tensor& image,
+                                                  tfm::Workspace*) {
+    tfm::QTensor out(tfm::Shape{1, 4}, QuantParams{1.0, 16, true});
+    for (int i = 0; i < 4; ++i) {
+      const auto q = static_cast<std::int64_t>(i * 16 - 32);
+      out.data()[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(
+          provider.gelu_code(q, -3) * 1024.0 +
+          static_cast<double>(image.data()[0]));
+    }
+    return out;
+  });
+
+  EXPECT_EQ(dir.count_suffix(".corrupt"), 1);  // evidence preserved
+  EXPECT_EQ(dir.count_suffix(".gqa"), 1);      // republished
+  const Approximator cold =
+      Approximator::fit(Op::kGelu, Method::kGqaRm, FitOptions{});
+  const IntPwlUnit unit = cold.make_unit(-3);
+  const tfm::QTensor got = server.wait(server.submit(0, id_image(1)));
+  for (int i = 0; i < 4; ++i) {
+    const auto q = static_cast<std::int64_t>(i * 16 - 32);
+    const auto want = static_cast<std::int32_t>(
+        unit.eval_real_from_code(q) * 1024.0 +
+        static_cast<double>(id_image(1).data()[0]));
+    EXPECT_EQ(got.data()[static_cast<std::size_t>(i)], want) << i;
+  }
+  // And the republished artifact is valid: the next consumer loads it.
+  const tfm::NonlinearProvider next =
+      tfm::NonlinearProvider::with_method(Method::kGqaRm, {Op::kGelu});
+  next.warm_up_deployment();
+  EXPECT_EQ(dir.count_suffix(".corrupt"), 1);  // no new quarantine
+  for (std::int64_t q = -128; q <= 127; ++q) {
+    ASSERT_EQ(next.gelu_code(q, -3), unit.eval_real_from_code(q)) << q;
+  }
 }
 
 TEST(ChaosSpec, MalformedSpecsFailLoudly) {

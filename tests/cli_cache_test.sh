@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end test for the `gqa_lut_cli cache` subcommands, registered as
+# the `cli_cache` ctest. Drives the full artifact lifecycle through the
+# CLI: warm (fit + publish) -> hit -> verify-ok -> corrupt-on-disk ->
+# verify-reports-corrupt (file preserved) -> --quarantine (renamed aside,
+# never deleted) -> re-warm self-heals.
+#
+# $1 = path to the gqa_lut_cli binary.
+set -u
+cli="$1"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+fails=0
+
+check() {
+  local name="$1" want_code="$2" got_code="$3" pattern="$4" out="$5"
+  if [ "$got_code" -ne "$want_code" ]; then
+    echo "cli-cache: FAIL [$name] exit $got_code, wanted $want_code" >&2
+    echo "$out" >&2
+    fails=1
+  elif [ -n "$pattern" ] && ! printf '%s\n' "$out" | grep -qE -- "$pattern"; then
+    echo "cli-cache: FAIL [$name] output missing /$pattern/:" >&2
+    echo "$out" >&2
+    fails=1
+  fi
+}
+
+# Cheap fit config so the test stays fast; the flags flow into the cache
+# key, so both warms below address the same artifact.
+warm="cache warm gelu --generations 2 --restarts 1 --entries 4 --dir $tmp"
+
+out=$($cli $warm 2>&1); check cold-warm 0 $? 'fitted and published' "$out"
+out=$($cli $warm 2>&1); check warm-hit 0 $? 'cache hit' "$out"
+
+count=$(ls "$tmp"/*.gqa 2>/dev/null | wc -l)
+if [ "$count" -ne 1 ]; then
+  echo "cli-cache: FAIL expected exactly 1 artifact, found $count" >&2
+  fails=1
+fi
+artifact=$(ls "$tmp"/*.gqa)
+
+out=$($cli cache verify "$tmp" 2>&1)
+check verify-ok 0 $? '1 valid, 0 corrupt, 0 quarantined' "$out"
+
+# Flip one payload byte: the checksum must catch it.
+printf 'X' | dd of="$artifact" bs=1 seek=40 conv=notrunc status=none
+
+out=$($cli cache verify "$tmp" 2>&1)
+check verify-corrupt 1 $? '0 valid, 1 corrupt, 0 quarantined' "$out"
+if [ ! -f "$artifact" ]; then
+  echo "cli-cache: FAIL verify without --quarantine moved the artifact" >&2
+  fails=1
+fi
+
+out=$($cli cache verify "$tmp" --quarantine 2>&1)
+check quarantine 1 $? '0 valid, 1 corrupt' "$out"
+if [ -f "$artifact" ] || [ ! -f "$artifact.corrupt" ]; then
+  echo "cli-cache: FAIL --quarantine did not rename the corrupt artifact" \
+       "aside" >&2
+  fails=1
+fi
+
+# Quarantined files are reported but do not fail the scan...
+out=$($cli cache verify "$tmp" 2>&1)
+check verify-after-quarantine 0 $? '0 valid, 0 corrupt, 1 quarantined' "$out"
+
+# ...and a re-warm self-heals the vacated name, preserving the evidence.
+out=$($cli $warm 2>&1); check reheal 0 $? 'fitted and published' "$out"
+out=$($cli cache verify "$tmp" 2>&1)
+check verify-healed 0 $? '1 valid, 0 corrupt, 1 quarantined' "$out"
+
+if [ "$fails" -eq 0 ]; then
+  echo "cli-cache: OK (warm, hit, verify, quarantine, self-heal)"
+fi
+exit $fails

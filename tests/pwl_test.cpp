@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "numerics/nonlinear.h"
@@ -346,6 +347,71 @@ TEST(Serialize, IntactFilesStillLoadAfterHardening) {
   EXPECT_EQ(back.slopes, t.slopes);
   EXPECT_EQ(back.intercepts, t.intercepts);
   std::remove(path.c_str());
+}
+
+TEST(Serialize, QuantizedRoundTripAcrossBusWidths) {
+  // Every supported input bus width (wide buses > 16 exercise the unit's
+  // comparator fallback) at both LUT storage widths round-trips through a
+  // file bit-exactly.
+  const std::string path = "/tmp/gqa_qt_bus_test.json";
+  for (const int bus : {4, 8, 12, 16, 24, 32}) {
+    for (const int param_bits : {8, 16}) {
+      const QuantizedPwlTable qt = quantize_table(
+          simple_table(), QuantParams{0.25, bus, true}, 5, param_bits);
+      save_quantized(qt, path);
+      const QuantizedPwlTable back = load_quantized(path);
+      EXPECT_EQ(back.k_code, qt.k_code) << "bus=" << bus;
+      EXPECT_EQ(back.b_code, qt.b_code) << "bus=" << bus;
+      EXPECT_EQ(back.p_code, qt.p_code) << "bus=" << bus;
+      EXPECT_EQ(back.param_fmt, qt.param_fmt) << "bus=" << bus;
+      EXPECT_EQ(back.input, qt.input) << "bus=" << bus;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SavesAreAtomicUnderInjectedWriteFault) {
+  namespace fs = std::filesystem;
+  // Dedicated scratch dir so "nothing left behind" is a trivial scan.
+  const std::string dir = "/tmp/gqa_pwl_atomic_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string pwl_path = dir + "/table.json";
+  const std::string qt_path = dir + "/quantized.json";
+  const PwlTable t = simple_table();
+  const QuantizedPwlTable qt =
+      quantize_table(t, QuantParams{0.25, 8, true}, 5, 8);
+
+  {
+    // Fresh paths: a failed save must create nothing — no destination
+    // file, no orphaned temp.
+    fault::FaultScope chaos{"cache_write:1.0:41"};
+    EXPECT_THROW(save_pwl(t, pwl_path), ServingError);
+    EXPECT_THROW(save_quantized(qt, qt_path), ServingError);
+    EXPECT_TRUE(fs::is_empty(dir));
+  }
+
+  // Populate, then fail an overwrite: readers keep the previous intact
+  // artifact (the failed temp is discarded before the rename).
+  save_pwl(t, pwl_path);
+  PwlTable updated = t;
+  updated.slopes[0] = 0.5;
+  {
+    fault::FaultScope chaos{"cache_write:1.0:42"};
+    EXPECT_THROW(save_pwl(updated, pwl_path), ServingError);
+  }
+  EXPECT_EQ(load_pwl(pwl_path).slopes, t.slopes);
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1);  // just the intact artifact, no temp leftovers
+
+  // Fault cleared: the overwrite publishes normally.
+  save_pwl(updated, pwl_path);
+  EXPECT_EQ(load_pwl(pwl_path).slopes, updated.slopes);
+  fs::remove_all(dir);
 }
 
 TEST(Serialize, InjectedLoadFaultSurfacesAsArtifactCorrupt) {

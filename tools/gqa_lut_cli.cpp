@@ -5,14 +5,20 @@
 //   gqa_lut_cli eval    <file.json> [--scale-exp E]
 //   gqa_lut_cli verilog <file.json> --scale-exp E [--out unit.v]
 //   gqa_lut_cli ops
+//   gqa_lut_cli cache warm   <op> [fit flags] [--dir D]
+//   gqa_lut_cli cache verify [dir] [--quarantine]
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/approximator.h"
 #include "eval/protocol.h"
 #include "hw/verilog_emitter.h"
+#include "tfm/nonlinear_provider.h"
+#include "util/artifact_store.h"
+#include "util/env.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -27,7 +33,12 @@ int usage() {
       "                       [--lambda L] [--out file.json]\n"
       "  gqa_lut_cli eval <file.json> [--scale-exp E]\n"
       "  gqa_lut_cli verilog <file.json> --scale-exp E [--out unit.v]\n"
-      "  gqa_lut_cli ops\n");
+      "  gqa_lut_cli ops\n"
+      "  gqa_lut_cli cache warm <op> [--method rm|norm|nnlut] [--entries N]\n"
+      "                         [--lambda L] [--generations G] [--restarts R]\n"
+      "                         [--dir D]   (default: $GQA_CACHE_DIR)\n"
+      "  gqa_lut_cli cache verify [dir] [--quarantine]\n"
+      "                         exit 0: all artifacts valid; exit 1: corrupt\n");
   return 2;
 }
 
@@ -112,6 +123,97 @@ int cmd_verilog(int argc, char** argv) {
   return 0;
 }
 
+/// `cache warm` pre-fits one op into an artifact store (the offline
+/// equivalent of NonlinearProvider::warm_up_deployment's publish path);
+/// `cache verify` scans a store, reports per-artifact checksum/version
+/// status, and optionally quarantines corrupt files. verify exits 0 when
+/// every published artifact is valid and 1 when any is corrupt, so scripts
+/// can gate on cache health.
+int cmd_cache(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string sub = argv[2];
+  const std::vector<int> grid = tfm::NonlinearProvider::deployment_scale_exps();
+
+  if (sub == "warm") {
+    if (argc < 4) return usage();
+    const Op op = op_from_name(argv[3]);
+    const auto flags = parse_flags(argc, argv, 4);
+    FitOptions options;
+    Method method = Method::kGqaRm;
+    if (flags.count("method")) method = method_from(flags.at("method"));
+    if (flags.count("entries")) options.entries = std::stoi(flags.at("entries"));
+    if (flags.count("lambda")) options.lambda = std::stoi(flags.at("lambda"));
+    if (flags.count("generations")) {
+      options.ga_generations = std::stoi(flags.at("generations"));
+    }
+    if (flags.count("restarts")) {
+      options.ga_restarts = std::stoi(flags.at("restarts"));
+    }
+    const std::string dir = flags.count("dir") ? flags.at("dir")
+                                               : env_string("GQA_CACHE_DIR", "");
+    if (dir.empty()) {
+      std::fprintf(stderr,
+                   "cache warm: no cache dir (pass --dir or set "
+                   "GQA_CACHE_DIR)\n");
+      return 2;
+    }
+    const ArtifactStore store(dir);
+    const ArtifactKey key =
+        Approximator::cache_key(op, method, options, 8, grid);
+    const bool hit = store.load(key).has_value();
+    (void)Approximator::fit_cached(op, method, options, &store, 8, grid);
+    std::printf("%s: %s -> %s\n", hit ? "cache hit" : "fitted and published",
+                op_info(op).name.c_str(), store.path_for(key).c_str());
+    return 0;
+  }
+
+  if (sub == "verify") {
+    std::string dir;
+    bool quarantine = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quarantine") == 0) {
+        quarantine = true;
+      } else {
+        dir = argv[i];
+      }
+    }
+    if (dir.empty()) dir = env_string("GQA_CACHE_DIR", "");
+    if (dir.empty()) {
+      std::fprintf(stderr,
+                   "cache verify: no cache dir (pass one or set "
+                   "GQA_CACHE_DIR)\n");
+      return 2;
+    }
+    const ArtifactStore store(dir);
+    int valid = 0;
+    int corrupt = 0;
+    int quarantined = 0;
+    for (const ArtifactStatus& status : store.verify_all(quarantine)) {
+      const char* label = "ok";
+      switch (status.state) {
+        case ArtifactStatus::State::kValid:
+          ++valid;
+          break;
+        case ArtifactStatus::State::kCorrupt:
+          label = "CORRUPT";
+          ++corrupt;
+          break;
+        case ArtifactStatus::State::kQuarantined:
+          label = "quarantined";
+          ++quarantined;
+          break;
+      }
+      std::printf("%-11s %s  %s\n", label, status.filename.c_str(),
+                  status.detail.c_str());
+    }
+    std::printf("cache verify: %d valid, %d corrupt, %d quarantined in %s\n",
+                valid, corrupt, quarantined, dir.c_str());
+    return corrupt > 0 ? 1 : 0;
+  }
+
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +223,7 @@ int main(int argc, char** argv) {
     if (cmd == "fit") return cmd_fit(argc, argv);
     if (cmd == "eval") return cmd_eval(argc, argv);
     if (cmd == "verilog") return cmd_verilog(argc, argv);
+    if (cmd == "cache") return cmd_cache(argc, argv);
     if (cmd == "ops") {
       for (Op op : all_ops()) {
         const OpInfo& info = op_info(op);

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo-invariant linter, registered as the `invariant_lint` ctest (label:
-# lint) and run in CI. Four rules, each one a cross-cutting invariant that
+# lint) and run in CI. Five rules, each one a cross-cutting invariant that
 # no single compiler diagnostic can enforce:
 #
 #  R1  Every GQA_* environment variable src/ actually reads (env_int /
@@ -18,6 +18,9 @@
 #  R4  No naked std::thread construction and no detach() outside src/util/
 #      — threads are owned through ScopedThread / ThreadPool
 #      (util/thread_pool.h) so every thread has a join point.
+#  R5  Every enumerator of fault::Point (src/util/fault_injection.h) must
+#      appear in docs/ARCHITECTURE.md — the chaos-harness injection-point
+#      map must not go stale when a fault point is added.
 #
 # Exit: non-zero with one pointed message per violation. GQA_LINT_ROOT
 # overrides the repo root (used by lint_selftest.sh for fixture trees).
@@ -39,13 +42,15 @@ for var in $env_vars; do
   fi
 done
 
-# --- R2: doc enum tables fresh ------------------------------------------
+# --- R2/R5: doc enum tables fresh ---------------------------------------
 # Pull the enumerator names out of the `enum class <Name>` block and demand
-# each one appears somewhere in docs/ARCHITECTURE.md.
+# each one appears somewhere in docs/ARCHITECTURE.md. The rule prefix is a
+# parameter so serving-lifecycle enums (R2) and chaos fault points (R5)
+# fail with their own rule id.
 check_enum_documented() {
-  local enum_name="$1" header="$2"
+  local rule="$1" enum_name="$2" header="$3"
   if [ ! -f "$header" ]; then
-    fail "R2: expected $header to define $enum_name, but it is missing"
+    fail "$rule: expected $header to define $enum_name, but it is missing"
     return
   fi
   local enumerators
@@ -54,19 +59,19 @@ check_enum_documented() {
     f && /};/ {f=0}
     f {print}' "$header" | grep -oE '\bk[A-Z][A-Za-z0-9]*' | sort -u)
   if [ -z "$enumerators" ]; then
-    fail "R2: could not extract enumerators of $enum_name from $header"
+    fail "$rule: could not extract enumerators of $enum_name from $header"
     return
   fi
   local e
   for e in $enumerators; do
     if ! grep -q -- "$e" docs/ARCHITECTURE.md; then
-      fail "R2: $enum_name::$e ($header) is missing from" \
+      fail "$rule: $enum_name::$e ($header) is missing from" \
            "docs/ARCHITECTURE.md — update the $enum_name table"
     fi
   done
 }
-check_enum_documented TicketStatus src/eval/server.h
-check_enum_documented ServingErrorCode src/util/serving_error.h
+check_enum_documented R2 TicketStatus src/eval/server.h
+check_enum_documented R2 ServingErrorCode src/util/serving_error.h
 
 # --- R3: concurrency tests labeled --------------------------------------
 labeled=$(awk '/set\(GQA_CONCURRENCY_TESTS/{f=1;next} f&&/\)/{f=0} f{print $1}' \
@@ -97,6 +102,9 @@ while IFS= read -r hit; do
        "point and outlive shutdown: $hit"
 done < <(grep -rnE '\.detach\(\)' src/ --include='*.cpp' --include='*.h' \
   | grep -v '^src/util/' || true)
+
+# --- R5: fault-injection point map fresh --------------------------------
+check_enum_documented R5 Point src/util/fault_injection.h
 
 if [ "$status" -eq 0 ]; then
   echo "invariant-lint: OK"

@@ -11,6 +11,7 @@
 #   unlabeled-conc-test new test uses ThreadPool, unlabeled -> R3 fires
 #   undocumented-env    new env_int("GQA_...") read in src/ -> R1 fires
 #   naked-thread        std::thread + detach outside util/  -> R4 fires
+#   stale-fault-map     drop a fault::Point enumerator row  -> R5 fires
 #
 # plus the control: an unmodified copy must pass (the linter must not
 # cry wolf on the real tree).
@@ -90,7 +91,12 @@ void leak_a_thread() {
 EOF
 expect_fail naked-thread 'R4: naked std::thread' "$dir"
 
+# --- stale fault-point map: drop every line mentioning kCacheWrite -------
+dir=$(make_fixture stale-fault-map)
+sed -i '/kCacheWrite/d' "$dir/docs/ARCHITECTURE.md"
+expect_fail stale-fault-map 'R5: Point::kCacheWrite' "$dir"
+
 if [ "$fails" -eq 0 ]; then
-  echo "lint-selftest: OK (4 violation classes fire, control passes)"
+  echo "lint-selftest: OK (5 violation classes fire, control passes)"
 fi
 exit $fails
