@@ -4,6 +4,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -12,6 +14,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -106,6 +109,59 @@ inline FaultyStreamResult serve_stream_faulty(
   }
   server.drain();  // every callback has run when drain returns
   out.failed = failed.load();
+  return out;
+}
+
+/// Outcome of one open-loop streaming pass (run_stream_open_loop): the
+/// push ledger (ticket -> source image index, in push order), every frame
+/// the stream actually served keyed by ticket (for the bit-identity gate
+/// against serial forwards), the count of frames resolved with a
+/// ServingError instead (dropped/superseded/expired), and the wall time of
+/// the pass including the close() drain.
+struct StreamOpenLoopResult {
+  std::vector<std::pair<Server::Ticket, std::size_t>> pushed;
+  std::map<Server::Ticket, tfm::QTensor> served;
+  std::size_t dropped = 0;
+  double wall_ms = 0.0;
+};
+
+/// The open-loop frame source of the stream-serving benches: pushes
+/// `frames` frames (cycling through `images`) into one streaming session
+/// at a fixed offered cadence REGARDLESS of service progress — the
+/// real-time video shape, where a slow server does not slow the camera —
+/// and lets the stream's drop policy shed whatever the server cannot
+/// absorb. close() drains per the stream's drain_policy, so when this
+/// returns every pushed frame has resolved exactly once.
+inline StreamOpenLoopResult run_stream_open_loop(
+    Server& server, int model_id, const std::vector<tfm::Tensor>& images,
+    std::size_t frames, std::chrono::microseconds interval,
+    const StreamOptions& options) {
+  StreamOpenLoopResult out;
+  std::mutex mutex;
+  Server::StreamSession stream = server.open_stream(
+      model_id, options,
+      [&out, &mutex](Server::Ticket ticket, tfm::QTensor result,
+                     std::exception_ptr error) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (error == nullptr) {
+          out.served.emplace(ticket, std::move(result));
+        } else {
+          ++out.dropped;
+        }
+      });
+  Timer timer;
+  auto next_push = std::chrono::steady_clock::now();
+  for (std::size_t f = 0; f < frames; ++f) {
+    const std::size_t idx = f % images.size();
+    if (const std::optional<Server::Ticket> ticket =
+            stream.push_frame(images[idx])) {
+      out.pushed.emplace_back(*ticket, idx);
+    }
+    next_push += interval;
+    std::this_thread::sleep_until(next_push);
+  }
+  stream.close();
+  out.wall_ms = timer.milliseconds();
   return out;
 }
 

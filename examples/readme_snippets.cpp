@@ -90,6 +90,23 @@ int main() {
                 });
   server.drain();                               // callbacks done on return
 
+  // --- README "Streaming sessions: real-time frames with drop policies"
+  // block ---
+  gqa::StreamOptions stream_cfg;
+  stream_cfg.frame_interval = std::chrono::milliseconds(33);  // ~30fps feed
+  stream_cfg.drop_policy = gqa::DropPolicy::kDropOldest;  // shed, don't lag
+  auto stream = server.open_stream(
+      seg_id, stream_cfg,
+      [](gqa::Server::Ticket, tfm::QTensor frame_logits,
+         std::exception_ptr dropped) {  // nullptr unless the frame dropped
+        if (dropped == nullptr) {
+          std::printf("frame: %zu logit codes\n", frame_logits.data().size());
+        }
+      });
+  auto frame_ticket = stream.push_frame(image);  // never blocks; nullopt
+  stream.close();  // drains per drain_policy; callbacks done on return
+  (void)frame_ticket;
+
   // --- README "Fault-tolerant serving: deadlines, retries, circuit
   // breakers" block ---
   gqa::SubmitOptions policy;

@@ -80,6 +80,26 @@
 //     is idempotent and safe to call concurrently from several threads;
 //     the destructor calls it.
 //
+// Streaming sessions (docs/ARCHITECTURE.md "Streaming sessions" has the
+// full data flow): open_stream(model_id, StreamOptions, callback) returns
+// a StreamSession handle; push_frame() enqueues into a fixed-capacity
+// per-stream RingBuffer (util/ring_buffer.h) instead of the global
+// admission queue, so a camera thread never blocks on serving backpressure
+// — it sheds its own stale frames instead. The scheduler's WRR pick treats
+// each live stream as one more backlog source of its model (rotating
+// fairly between the admission backlog and the model's streams), at most
+// one frame of a stream is in flight at a time, and results are delivered
+// IN FRAME ORDER through the stream's callback regardless of internal
+// completion order. Every frame resolves exactly once: served (bit-identical
+// to a serial forward of that frame), or dropped per
+// StreamOptions::drop_policy (kDropOldest ring overwrite, kDropLate
+// pre-start expiry via the deadline machinery above, kCoalesce
+// newest-wins) with a classified ServingError. close() on the session
+// drains or cancels pending frames per StreamOptions::drain_policy and
+// blocks until the stream's last delivery has happened; shutdown() with
+// open streams does the same for all of them — no delivery ever happens
+// after shutdown() returns.
+//
 // Callback threading contract: a submit-time callback runs exactly once on
 // the service lane that completed (or expired/shed/cancelled) the request,
 // after the result left the ticket table — poll() reads kConsumed from
@@ -106,6 +126,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -116,6 +137,7 @@
 #include "tfm/nonlinear_provider.h"
 #include "tfm/tensor.h"
 #include "tfm/workspace.h"
+#include "util/ring_buffer.h"
 #include "util/serving_error.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -193,6 +215,51 @@ struct SubmitOptions {
   /// (backoff * 2^(attempt-1)) and clipped to the remaining deadline. The
   /// sleep occupies the service lane, so keep it small.
   std::chrono::milliseconds backoff{0};
+};
+
+/// How a stream sheds load when frames arrive faster than they are served.
+/// Applied exactly once per frame: a dropped frame resolves with the
+/// listed ServingError and never starts; a started frame is never killed.
+enum class DropPolicy {
+  /// The ring displaces its oldest pending frame on push (kFrameSuperseded,
+  /// counted in Stats::frames_dropped). The default: bounded lag, every
+  /// frame that starts is served.
+  kDropOldest,
+  /// Pending frames whose deadline passes are expired before they start
+  /// (kDeadlineExpired, counted in Stats::deadline_expired AND
+  /// Stats::deadline_misses), reusing the request deadline machinery.
+  /// Capacity overflow still displaces the oldest (kFrameSuperseded).
+  kDropLate,
+  /// Only the newest pending frame is served: when a lane picks from the
+  /// stream (and on every scheduler sweep), older pending frames resolve
+  /// kFrameSuperseded (counted in Stats::frames_coalesced). The
+  /// live-preview policy — minimum staleness, maximum frame shedding.
+  kCoalesce,
+};
+
+/// Per-stream knobs, fixed at open_stream() for the stream's lifetime.
+struct StreamOptions {
+  /// Expected frame cadence. When `deadline` is zero, each frame's
+  /// deadline is one frame_interval from its push — "a frame is stale once
+  /// its successor is due". Zero with a zero deadline means frames never
+  /// expire.
+  std::chrono::milliseconds frame_interval{0};
+  /// Explicit per-frame deadline measured from push_frame(); overrides the
+  /// frame_interval-derived one when nonzero.
+  std::chrono::milliseconds deadline{0};
+  /// What happens to pending frames when the stream falls behind.
+  DropPolicy drop_policy = DropPolicy::kDropOldest;
+  /// Pending-frame ring capacity (>= 1). 0 reads the
+  /// GQA_STREAM_RING_CAPACITY env var (default 8).
+  std::size_t ring_capacity = 0;
+  /// Retry policy for kBackendTransient frame failures, same semantics as
+  /// SubmitOptions::max_attempts/backoff.
+  int max_attempts = 1;
+  std::chrono::milliseconds backoff{0};
+  /// What close()/shutdown() does with this stream's pending frames:
+  /// kFinishAdmitted serves them, kCancelPending resolves them kCancelled.
+  /// Frames already on a lane always finish.
+  DrainPolicy drain_policy = DrainPolicy::kFinishAdmitted;
 };
 
 enum class TicketStatus {
@@ -273,6 +340,68 @@ class Server {
   std::optional<Ticket> try_submit(int model_id, tfm::Tensor image,
                                    SubmitOptions options, Callback callback);
 
+  /// Stream identifiers are dense and issued in open order (1, 2, ...).
+  using StreamId = std::uint64_t;
+
+  /// Lightweight handle for a stream opened with open_stream(): a
+  /// (server, id) pair, copyable, with every operation delegating to the
+  /// server. The handle has no destructor side effects — close() is
+  /// explicit — and must not be used after the server is destroyed.
+  class StreamSession {
+   public:
+    StreamSession() = default;
+
+    /// Enqueues one frame into the stream's ring and returns its ticket,
+    /// or nullopt when the stream (or server) is closing — never blocks
+    /// and never fails for capacity reasons (a full ring displaces its
+    /// oldest pending frame per the drop policy). Throws ContractViolation
+    /// only for an empty frame. Safe from any thread, including
+    /// concurrently with close().
+    std::optional<Ticket> push_frame(tfm::Tensor frame) {
+      return server_->push_frame(id_, std::move(frame));
+    }
+
+    /// Stops admission on this stream, resolves pending frames per
+    /// StreamOptions::drain_policy, and BLOCKS until the stream's last
+    /// callback has returned. Idempotent; must not be called from the
+    /// stream's own callback (self-deadlock, like wait()/drain()).
+    void close() { server_->close_stream(id_); }
+
+    [[nodiscard]] StreamId id() const { return id_; }
+
+   private:
+    friend class Server;
+    StreamSession(Server* server, StreamId id) : server_(server), id_(id) {}
+
+    Server* server_ = nullptr;
+    StreamId id_ = 0;
+  };
+
+  /// Opens a streaming session on `model_id`. The callback is required
+  /// (stream results have no waiter path) and is invoked exactly once per
+  /// pushed frame IN FRAME ORDER on a service lane: served frames get the
+  /// bit-identical forward result, dropped frames get the classified
+  /// ServingError of their drop policy. The submit-callback threading
+  /// contract applies unchanged; close_stream()/StreamSession::close() is
+  /// banned from the callback like wait()/drain()/shutdown(). Throws
+  /// ContractViolation on an unregistered model_id, invalid options, or a
+  /// shut-down server.
+  [[nodiscard]] StreamSession open_stream(int model_id, StreamOptions options,
+                                          Callback callback)
+      GQA_EXCLUDES(mutex_);
+
+  /// See StreamSession::push_frame. A frame ticket behaves like a callback
+  /// ticket for poll(): kPending until the frame resolves, kConsumed from
+  /// then on (delivery is imminent and in order). An injected
+  /// stream_admission fault resolves the frame kAdmissionRejected through
+  /// the same in-order path — the ticket is still issued.
+  std::optional<Ticket> push_frame(StreamId stream, tfm::Tensor frame)
+      GQA_EXCLUDES(mutex_);
+
+  /// See StreamSession::close. Unknown/already-closed ids return
+  /// immediately (close is idempotent, and shutdown() reaps all streams).
+  void close_stream(StreamId stream) GQA_EXCLUDES(mutex_);
+
   /// Lifecycle of a ticket issued by submit()/try_submit(). A callback
   /// ticket never reads kReady or kDeadlineExpired: it goes kPending ->
   /// kConsumed when the callback has been invoked.
@@ -316,6 +445,20 @@ class Server {
     /// Faults the server's own injection points (admission, scheduler,
     /// backend) fired — 0 whenever GQA_FAULT_SPEC is unset.
     std::uint64_t faults_injected = 0;
+    /// Stream frames dropped before service: ring displacement under
+    /// kDropOldest/kDropLate plus injected stream_admission rejections.
+    /// Coalesce supersessions are counted separately below.
+    std::uint64_t frames_dropped = 0;
+    /// Stream frames superseded by a newer frame under kCoalesce.
+    std::uint64_t frames_coalesced = 0;
+    /// Stream frames that missed their deadline: expired pre-start under
+    /// kDropLate (also counted in deadline_expired) or started after their
+    /// deadline under the other policies (served late, never killed).
+    std::uint64_t deadline_misses = 0;
+    /// Streams currently open (a gauge, not a counter): incremented by
+    /// open_stream, decremented when a closed stream's last delivery is
+    /// done.
+    std::uint64_t streams_open = 0;
     /// Requests handed to a lane, per model_id — the observable the QoS
     /// conformance harness checks ratios on (expired, shed, and cancelled
     /// requests never start, so they are not counted here).
@@ -337,6 +480,15 @@ class Server {
     /// Set when this dispatch is a half-open breaker probe: its outcome
     /// decides whether the breaker closes or re-opens.
     bool probe = false;
+    /// Nonzero for stream frames (stream ids start at 1): the request
+    /// lives in its stream's ring, not the admission backlog, and resolves
+    /// through the stream's in-order delivery path.
+    StreamId stream_id = 0;
+    /// Position in the stream's push order — the delivery sequencer key.
+    std::uint64_t frame_index = 0;
+    /// A payload-less dispatcher wake-up (push_frame with no open span):
+    /// opens a service span but never enters a backlog.
+    bool kick = false;
   };
   struct Registered {
     std::string name;
@@ -370,6 +522,36 @@ class Server {
     Callback callback;  ///< null when a wait()er owns the slot
     std::exception_ptr error;
   };
+  /// One resolved frame parked until its in-order delivery slot comes up:
+  /// the sequencer (pump_stream_deliveries) releases parked records in
+  /// frame_index order, so a frame completed out of order (or dropped
+  /// while an earlier one is still on a lane) waits here.
+  struct FrameDelivery {
+    Ticket ticket = 0;
+    Callback callback;
+    std::optional<tfm::QTensor> result;
+    std::exception_ptr error;
+  };
+  /// Per-stream state (guarded by mutex_; the ring has its own internal
+  /// lock, always acquired under mutex_ on the server side). Invariant:
+  /// every frame index in [0, next_frame) is in exactly one place — the
+  /// ring (pending), on a lane (busy covers at most one), parked, or
+  /// already delivered (index < next_delivery).
+  struct Stream {
+    StreamId id = 0;
+    int model_id = 0;
+    StreamOptions options;
+    Callback callback;
+    std::unique_ptr<RingBuffer<Request>> ring;
+    std::uint64_t next_frame = 0;     ///< next push's frame_index
+    std::uint64_t next_delivery = 0;  ///< first undelivered frame_index
+    /// Resolved-but-undelivered frames, keyed by frame_index (ordered map:
+    /// the sequencer walks it from the front).
+    std::map<std::uint64_t, FrameDelivery> parked;
+    bool delivering = false;  ///< a lane holds the delivery baton
+    bool busy = false;        ///< a frame of this stream is on a lane
+    bool closing = false;     ///< close_stream() called; admission refused
+  };
   /// Per-model circuit-breaker state machine: kClosed counts consecutive
   /// final backend failures; kOpen sheds fail-fast until the cooldown
   /// elapses; kHalfOpen lets exactly one probe through and closes or
@@ -396,10 +578,14 @@ class Server {
       GQA_EXCLUDES(mutex_);
   /// Scheduler core (mutex_ held): refills the per-model backlog from the
   /// admission queue, applies the drain policy, expires stale entries,
-  /// sheds open-breaker backlogs, enforces max_inflight, and picks the
-  /// next request by weighted round-robin.
+  /// applies stream drop policies, sheds open-breaker backlogs (and stream
+  /// rings), enforces max_inflight, and picks the next request by weighted
+  /// round-robin over models, rotating within a model across its admission
+  /// backlog and live streams. Streams with head-ready parked deliveries
+  /// are appended to `pump` for the calling lane to drain post-unlock.
   [[nodiscard]] std::optional<Request> next_request_locked(
-      std::vector<Resolution>& resolved) GQA_REQUIRES(mutex_);
+      std::vector<Resolution>& resolved, std::vector<StreamId>& pump)
+      GQA_REQUIRES(mutex_);
   void cancel_backlog_locked(std::vector<Resolution>& resolved)
       GQA_REQUIRES(mutex_);
   /// Resolves one backlog entry without service (mutex_ held): waiter
@@ -409,17 +595,67 @@ class Server {
                                 std::exception_ptr error,
                                 std::vector<Resolution>& resolved)
       GQA_REQUIRES(mutex_);
-  /// Applies breaker policy to model m's backlog (mutex_ held): sheds
-  /// while open (pre-cooldown), transitions open -> half-open after the
-  /// cooldown. Returns true when the model may dispatch right now.
+  /// Applies breaker policy to model m's backlog and stream rings (mutex_
+  /// held): sheds while open (pre-cooldown), transitions open -> half-open
+  /// after the cooldown. Returns true when the model may dispatch right
+  /// now.
   [[nodiscard]] bool breaker_admits_locked(std::size_t m,
                                            Clock::time_point now,
-                                           std::vector<Resolution>& resolved)
+                                           std::vector<Resolution>& resolved,
+                                           std::vector<StreamId>& pump)
       GQA_REQUIRES(mutex_);
   /// Breaker bookkeeping for a served request's outcome (mutex_ held).
   void record_outcome_locked(const Request& request, const Slot& filled)
       GQA_REQUIRES(mutex_);
   void complete(const Request& request, Slot&& filled) GQA_EXCLUDES(mutex_);
+  /// Stream-frame completion: parks the outcome at its frame_index, frees
+  /// the stream for its next pick, and pumps in-order deliveries.
+  void complete_stream_frame(const Request& request, Slot&& filled)
+      GQA_EXCLUDES(mutex_);
+  /// Applies the stream's drop policy to its pending ring (mutex_ held):
+  /// cancels everything when the stream is draining under kCancelPending,
+  /// expires late frames under kDropLate, supersedes stale ones under
+  /// kCoalesce. Exactly-once: a popped frame is resolved immediately.
+  void sweep_stream_locked(Stream& stream, Clock::time_point now,
+                           std::vector<StreamId>& pump) GQA_REQUIRES(mutex_);
+  /// Resolves one never-started stream frame (mutex_ held): moves its
+  /// callback out of the ticket table and parks the error at its
+  /// frame_index for in-order delivery.
+  void resolve_frame_locked(Stream& stream, Request frame,
+                            std::exception_ptr error,
+                            std::vector<StreamId>& pump) GQA_REQUIRES(mutex_);
+  /// True when model m can dispatch something right now: nonempty
+  /// admission backlog, or an idle stream with pending frames.
+  [[nodiscard]] bool model_work_locked(std::size_t m) GQA_REQUIRES(mutex_);
+  /// Picks model m's next request, rotating across its sources (admission
+  /// backlog first, then each live stream) from the per-model cursor.
+  [[nodiscard]] std::optional<Request> take_from_model_locked(
+      std::size_t m, Clock::time_point now, std::vector<StreamId>& pump)
+      GQA_REQUIRES(mutex_);
+  /// Pops the stream's next serveable frame after applying its drop
+  /// policy at pick time (expired fronts under kDropLate, stale frames
+  /// under kCoalesce resolve here, exactly once).
+  [[nodiscard]] std::optional<Request> take_stream_frame_locked(
+      Stream& stream, Clock::time_point now, std::vector<StreamId>& pump)
+      GQA_REQUIRES(mutex_);
+  /// Queues the stream for a post-unlock delivery pump when its next
+  /// in-order record is parked and no lane holds the delivery baton.
+  void maybe_queue_pump_locked(Stream& stream, std::vector<StreamId>& pump)
+      GQA_REQUIRES(mutex_);
+  /// Delivers the stream's consecutive head-ready parked records in frame
+  /// order. One lane at a time holds the stream's delivery baton
+  /// (Stream::delivering); callbacks run outside the lock; reaps the
+  /// stream when closing and fully delivered.
+  void pump_stream_deliveries(StreamId id) GQA_EXCLUDES(mutex_);
+  /// Erases a fully-drained closing stream and wakes close_stream()
+  /// waiters. No-op unless every pushed frame has been delivered.
+  void maybe_reap_stream_locked(StreamId id) GQA_REQUIRES(mutex_);
+  /// True when any stream has pending frames or undelivered parked
+  /// records — the dispatcher's keep-the-span-open condition.
+  [[nodiscard]] bool stream_work_pending_locked() GQA_REQUIRES(mutex_);
+  /// Wakes the dispatcher with a kick request when no span is active, so
+  /// stream work pushed into an idle server starts immediately.
+  void ensure_span_locked() GQA_REQUIRES(mutex_);
   void deliver_callback(Callback callback, Ticket ticket, tfm::QTensor result,
                         std::exception_ptr error) GQA_EXCLUDES(mutex_);
   std::optional<Ticket> admit(int model_id, tfm::Tensor image, bool blocking,
@@ -464,6 +700,20 @@ class Server {
   /// the scheduler lock — deliberately not atomics)
   std::vector<Breaker> breakers_ GQA_GUARDED_BY(mutex_);
   int wrr_cursor_ GQA_GUARDED_BY(mutex_) = 0;
+  /// Live streams by id, and each model's stream ids (the extra WRR
+  /// sources). Streams are erased only by maybe_reap_stream_locked.
+  std::unordered_map<StreamId, Stream> streams_ GQA_GUARDED_BY(mutex_);
+  std::vector<std::vector<StreamId>> model_streams_ GQA_GUARDED_BY(mutex_);
+  /// Per-model rotation cursor over [backlog, stream, stream, ...], so no
+  /// single source monopolizes the model's WRR credits.
+  std::vector<std::size_t> source_cursor_ GQA_GUARDED_BY(mutex_);
+  StreamId next_stream_id_ GQA_GUARDED_BY(mutex_) = 1;
+  /// Frames pending across all stream rings (rings are size-tracked here
+  /// under mutex_ so the scheduler's dry check is one comparison).
+  std::size_t stream_backlog_total_ GQA_GUARDED_BY(mutex_) = 0;
+  /// True while a service span is running; push_frame into a spanless
+  /// server kicks the dispatcher instead of relying on a future admission.
+  bool span_active_ GQA_GUARDED_BY(mutex_) = false;
   /// started, not yet resolved
   std::size_t inflight_ GQA_GUARDED_BY(mutex_) = 0;
   bool stopping_ GQA_GUARDED_BY(mutex_) = false;

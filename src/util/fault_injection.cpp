@@ -55,6 +55,8 @@ const char* point_name(Point point) {
       return "cache_read";
     case Point::kCacheWrite:
       return "cache_write";
+    case Point::kStreamAdmission:
+      return "stream_admission";
   }
   return "unknown";
 }
@@ -152,6 +154,7 @@ void throw_injected(Point point) {
       std::string("injected fault at point '") + point_name(point) + "'";
   switch (point) {
     case Point::kAdmission:
+    case Point::kStreamAdmission:
       throw ServingError(ServingErrorCode::kAdmissionRejected, message);
     case Point::kLoad:
     case Point::kCacheRead:

@@ -14,6 +14,10 @@
 //   cache_write  write_file_atomic, between the temp write and the rename
 //                (the torn-write simulation: the temp is unlinked, so no
 //                visible artifact appears and the publish fails transient)
+//   stream_admission  gqa::Server::push_frame, after the ticket is issued
+//                (the frame is admitted but immediately resolved
+//                kAdmissionRejected through the in-order stream delivery
+//                path, so chaos drops still hit the ledger exactly once)
 //
 // Each armed point fires with a configured probability from its own seeded
 // stream, so a chaos run is reproducible per (spec, request count) while
@@ -50,8 +54,9 @@ enum class Point {
   kLoad,
   kCacheRead,
   kCacheWrite,
+  kStreamAdmission,
 };
-inline constexpr int kPointCount = 7;
+inline constexpr int kPointCount = 8;
 
 /// Stable spec/stat name of a point ("admission", "scheduler", ...).
 [[nodiscard]] const char* point_name(Point point);
@@ -126,8 +131,8 @@ class FaultInjector {
 /// Throws the ServingError that an injected fault at `point` models
 /// (kBackendTransient for scheduler/backend/warmup/cache_write faults —
 /// retryable by design, so chaos runs with retries still converge —
-/// except admission which throws kAdmissionRejected, and load/cache_read
-/// which throw kArtifactCorrupt).
+/// except admission/stream_admission which throw kAdmissionRejected, and
+/// load/cache_read which throw kArtifactCorrupt).
 [[noreturn]] void throw_injected(Point point);
 
 /// RAII spec override for tests: arms `spec` on construction, restores the

@@ -1,0 +1,151 @@
+// Fixed-capacity MPMC ring buffer with overwrite-oldest admission.
+//
+// This is the per-stream frame mailbox behind gqa::Server's StreamSession
+// API (docs/ARCHITECTURE.md "Streaming sessions"). It differs from
+// BoundedQueue in exactly one way that matters for real-time serving:
+// push() never blocks and never fails for capacity reasons. When the ring
+// is full the OLDEST pending item is displaced and handed back to the
+// caller, who must resolve it (the server reports it kFrameSuperseded) —
+// so a producer that outruns the consumer sheds its own stale work instead
+// of stalling the camera thread or growing without bound.
+//
+// Every operation is try_* (no condition variables): the server performs
+// all ring operations while already holding its scheduler mutex and parks
+// on its own cv, so a second blocking primitive here would only add a
+// lock-ordering hazard. Standalone users (see tests/ring_buffer_test.cpp)
+// spin with std::this_thread::yield.
+//
+// Displacement accounting contract: for any interleaving of concurrent
+// push/pop calls, every accepted item is returned EXACTLY once — either by
+// a pop-side call or inside a PushResult::displaced — and overwritten()
+// counts the displacements. The MPMC hammer test asserts this union.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/contracts.h"
+#include "util/thread_annotations.h"
+
+namespace gqa {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// What push() did with the item (and with the item it evicted).
+  struct PushResult {
+    /// False iff the ring was closed; the pushed item was then discarded.
+    bool accepted = false;
+    /// The oldest pending item, when the push displaced it (ring full).
+    std::optional<T> displaced;
+  };
+
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity) {
+    GQA_EXPECTS_MSG(capacity >= 1, "RingBuffer capacity must be >= 1");
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  /// Inserts at the back; when full, displaces the front (oldest) item
+  /// into the result instead of blocking or rejecting. Never fails except
+  /// after close().
+  PushResult push(T item) GQA_EXCLUDES(mutex_) {
+    PushResult result;
+    MutexLock lock(mutex_);
+    if (closed_) return result;
+    result.accepted = true;
+    if (count_ == capacity_) {
+      result.displaced = std::move(*slots_[head_]);
+      slots_[head_] = std::move(item);
+      head_ = next(head_);
+      ++overwritten_;
+    } else {
+      slots_[(head_ + count_) % capacity_] = std::move(item);
+      ++count_;
+    }
+    return result;
+  }
+
+  /// Pops the oldest item, or nullopt when empty.
+  std::optional<T> try_pop() GQA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (count_ == 0) return std::nullopt;
+    return pop_front_locked();
+  }
+
+  /// Pops the oldest item iff `pred(oldest)` holds. Used by the server's
+  /// kDropLate sweep: expire front frames while their deadline has passed,
+  /// stopping at the first live one without disturbing it.
+  template <typename Pred>
+  std::optional<T> try_pop_if(Pred pred) GQA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (count_ == 0) return std::nullopt;
+    if (!pred(*slots_[head_])) return std::nullopt;
+    return pop_front_locked();
+  }
+
+  /// Pops oldest items until at most `keep` newest remain, returning the
+  /// popped items in FIFO order. kCoalesce uses keep == 1 ("everything but
+  /// the newest is stale"); keep == 0 drains the ring.
+  std::vector<T> pop_all_but(std::size_t keep) GQA_EXCLUDES(mutex_) {
+    std::vector<T> popped;
+    MutexLock lock(mutex_);
+    while (count_ > keep) popped.push_back(pop_front_locked());
+    return popped;
+  }
+
+  /// Drains the ring in FIFO order.
+  std::vector<T> try_pop_all() GQA_EXCLUDES(mutex_) { return pop_all_but(0); }
+
+  /// Refuses further pushes. Idempotent; pending items remain poppable.
+  void close() GQA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    closed_ = true;
+  }
+
+  [[nodiscard]] bool closed() const GQA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const GQA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return count_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Number of items displaced by full-ring pushes over the ring's life.
+  [[nodiscard]] std::uint64_t overwritten() const GQA_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return overwritten_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t next(std::size_t pos) const {
+    return (pos + 1) % capacity_;
+  }
+
+  T pop_front_locked() GQA_REQUIRES(mutex_) {
+    T item = std::move(*slots_[head_]);
+    slots_[head_].reset();
+    head_ = next(head_);
+    --count_;
+    return item;
+  }
+
+  const std::size_t capacity_;
+  mutable Mutex mutex_;
+  std::vector<std::optional<T>> slots_ GQA_GUARDED_BY(mutex_);
+  std::size_t head_ GQA_GUARDED_BY(mutex_) = 0;
+  std::size_t count_ GQA_GUARDED_BY(mutex_) = 0;
+  std::uint64_t overwritten_ GQA_GUARDED_BY(mutex_) = 0;
+  bool closed_ GQA_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace gqa

@@ -20,6 +20,8 @@ const char* serving_error_name(ServingErrorCode code) {
       return "admission_rejected";
     case ServingErrorCode::kArtifactCorrupt:
       return "artifact_corrupt";
+    case ServingErrorCode::kFrameSuperseded:
+      return "frame_superseded";
   }
   return "unknown";
 }

@@ -13,8 +13,9 @@
 //     fails the request on the first occurrence.
 //   - kBackendTransient and kBackendFailed count toward a model's
 //     consecutive-failure streak (the circuit breaker's trip condition);
-//     kDeadlineExpired, kModelUnavailable, and kCancelled never do — they
-//     are scheduler decisions, not evidence about the model's health.
+//     kDeadlineExpired, kModelUnavailable, kCancelled, and
+//     kFrameSuperseded never do — they are scheduler decisions, not
+//     evidence about the model's health.
 //   - serving_error_code() maps any exception_ptr into the taxonomy:
 //     ServingError keeps its code, everything else is kBackendFailed.
 #pragma once
@@ -47,6 +48,11 @@ enum class ServingErrorCode {
   /// unsupported version, or a table that fails validation. Never returns
   /// a bogus table.
   kArtifactCorrupt,
+  /// A stream frame was displaced by a newer frame before it started
+  /// (ring overwrite under DropPolicy::kDropOldest/kDropLate, or a
+  /// coalesce sweep under DropPolicy::kCoalesce). A scheduler decision
+  /// like kCancelled: never counts toward a breaker streak.
+  kFrameSuperseded,
 };
 
 /// Stable lowercase name of a code ("deadline_expired", ...), for messages

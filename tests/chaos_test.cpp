@@ -14,6 +14,10 @@
 // persistent artifact store (util/artifact_store.h): injected faults at
 // either point — and corruption on disk — must never yield a torn or
 // silently-wrong artifact, only a bit-identical in-process refit.
+// The ChaosStream suite arms the stream_admission point (plus backend
+// faults) against streaming sessions: every pushed frame must still hit
+// the stream's callback ledger exactly once, in frame order, and
+// close_stream() racing pushers under faults must drain cleanly.
 // The suite runs in the TSan CI job (label: concurrency) at two
 // GQA_TEST_THREADS widths, and once more in the ASan job with an armed
 // GQA_FAULT_SPEC (every deterministic test shields itself with
@@ -22,6 +26,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -31,6 +36,7 @@
 #include <future>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -679,6 +685,171 @@ TEST(ChaosCache, ServerWarmWithCorruptedCacheQuarantinesRepublishesServes) {
   for (std::int64_t q = -128; q <= 127; ++q) {
     ASSERT_EQ(next.gelu_code(q, -3), unit.eval_real_from_code(q)) << q;
   }
+}
+
+TEST(ChaosStream, AdmissionAndBackendFaultsHitTheStreamLedgerExactlyOnce) {
+  // stream_admission fires AFTER the ticket is issued, so a faulted frame
+  // still resolves — kAdmissionRejected through the in-order delivery path
+  // — and backend faults ride the per-frame retry budget. Whatever mix of
+  // faults, retries, and ring displacement a seed produces, every pushed
+  // frame reaches the callback exactly once and in frame order.
+  fault::FaultScope chaos{"stream_admission:0.3:77,backend:0.2:78"};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 2;
+  options.warm_provider = false;
+  options.scheduler.breaker_threshold = 0;
+  Server server(nl, options);
+  server.register_forward("toy",
+                          [](const tfm::Tensor& image, tfm::Workspace*) {
+                            return toy_forward(image, /*salt=*/5);
+                          });
+
+  ChaosLedger ledger;
+  std::vector<Server::Ticket> delivered_order;
+  std::mutex order_mutex;
+  StreamOptions so;
+  so.ring_capacity = 8;
+  so.max_attempts = 2;
+  so.backoff = milliseconds{1};
+  Server::StreamSession stream = server.open_stream(
+      0, so,
+      [&](Server::Ticket ticket, tfm::QTensor result,
+          std::exception_ptr error) {
+        {
+          std::lock_guard<std::mutex> lock(order_mutex);
+          delivered_order.push_back(ticket);
+        }
+        ledger.record(ticket, result, error);
+      });
+
+  const int kFrames = 80;
+  std::vector<Server::Ticket> pushed;
+  std::map<Server::Ticket, int> frame_of;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::optional<Server::Ticket> t = stream.push_frame(id_image(i));
+    ASSERT_TRUE(t.has_value());  // a faulted push still issues its ticket
+    pushed.push_back(*t);
+    frame_of[*t] = i;
+  }
+  stream.close();
+
+  std::lock_guard<std::mutex> lock(ledger.mutex);
+  {
+    std::lock_guard<std::mutex> order_lock(order_mutex);
+    EXPECT_EQ(delivered_order, pushed);  // exactly once, in frame order
+  }
+  for (const auto& [ticket, count] : ledger.deliveries) {
+    EXPECT_EQ(count, 1) << "ticket=" << ticket;
+  }
+  for (const auto& [ticket, data] : ledger.results) {
+    EXPECT_EQ(data, toy_forward(id_image(frame_of.at(ticket)), 5).data())
+        << "ticket=" << ticket;
+  }
+  std::uint64_t admission_rejected = 0;
+  std::uint64_t superseded = 0;
+  for (const auto& [ticket, code] : ledger.errors) {
+    EXPECT_TRUE(code == ServingErrorCode::kAdmissionRejected ||
+                code == ServingErrorCode::kBackendTransient ||
+                code == ServingErrorCode::kFrameSuperseded)
+        << "ticket=" << ticket << " code=" << serving_error_name(code);
+    admission_rejected += (code == ServingErrorCode::kAdmissionRejected);
+    superseded += (code == ServingErrorCode::kFrameSuperseded);
+  }
+  const fault::FaultInjector& injector = fault::FaultInjector::instance();
+  EXPECT_EQ(admission_rejected,
+            injector.injected(fault::Point::kStreamAdmission));
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kFrames));
+  // Dropped = ring displacements + injected admission rejections, and the
+  // stream-drop ledger agrees with the server's counter.
+  EXPECT_EQ(stats.frames_dropped, superseded + admission_rejected);
+  EXPECT_EQ(stats.faults_injected,
+            injector.injected(fault::Point::kStreamAdmission) +
+                injector.injected(fault::Point::kBackend));
+  EXPECT_EQ(stats.streams_open, 0U);
+  EXPECT_EQ(stats.callback_errors, 0U);
+}
+
+TEST(ChaosStream, CloseRacingConcurrentPushersUnderFaultsDrainsCleanly) {
+  // Several pusher threads hammer one kCancelPending stream while the main
+  // thread closes it mid-stream, with admission and backend faults armed.
+  // Admission atomically stops at the close; every frame that WAS admitted
+  // resolves exactly once (served, faulted, displaced, or cancelled) in
+  // ticket order, and close() returns only after the last delivery.
+  fault::FaultScope chaos{"stream_admission:0.2:81,backend:0.3:82"};
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 4;
+  options.warm_provider = false;
+  options.scheduler.breaker_threshold = 0;
+  Server server(nl, options);
+  server.register_forward("toy",
+                          [](const tfm::Tensor& image, tfm::Workspace*) {
+                            std::this_thread::sleep_for(
+                                std::chrono::microseconds(100));
+                            return toy_forward(image, /*salt=*/5);
+                          });
+
+  ChaosLedger ledger;
+  std::vector<Server::Ticket> delivered_order;
+  std::mutex shared_mutex;  // guards delivered_order and accepted
+  std::vector<Server::Ticket> accepted;
+  StreamOptions so;
+  so.ring_capacity = 4;
+  so.drain_policy = DrainPolicy::kCancelPending;
+  Server::StreamSession stream = server.open_stream(
+      0, so,
+      [&](Server::Ticket ticket, tfm::QTensor result,
+          std::exception_ptr error) {
+        {
+          std::lock_guard<std::mutex> lock(shared_mutex);
+          delivered_order.push_back(ticket);
+        }
+        ledger.record(ticket, result, error);
+      });
+
+  std::vector<std::thread> pushers;
+  for (int p = 0; p < 3; ++p) {
+    pushers.emplace_back([&, p] {
+      for (int i = 0; i < 40; ++i) {
+        const std::optional<Server::Ticket> t =
+            stream.push_frame(id_image(p * 40 + i));
+        if (!t.has_value()) return;  // the stream is closing: stop pushing
+        std::lock_guard<std::mutex> lock(shared_mutex);
+        accepted.push_back(*t);
+      }
+    });
+  }
+  std::this_thread::sleep_for(milliseconds{5});
+  stream.close();  // races the pushers; blocks until the last delivery
+  for (std::thread& p : pushers) p.join();
+  stream.close();  // idempotent
+
+  std::lock_guard<std::mutex> lock(ledger.mutex);
+  std::lock_guard<std::mutex> shared_lock(shared_mutex);
+  // Multi-threaded pushers have no global push order, but tickets are
+  // issued under the server lock, so in-frame-order delivery means the
+  // delivered sequence is exactly the sorted accepted set.
+  std::vector<Server::Ticket> expected = accepted;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(delivered_order, expected);
+  for (const auto& [ticket, count] : ledger.deliveries) {
+    EXPECT_EQ(count, 1) << "ticket=" << ticket;
+  }
+  for (const auto& [ticket, code] : ledger.errors) {
+    EXPECT_TRUE(code == ServingErrorCode::kAdmissionRejected ||
+                code == ServingErrorCode::kBackendTransient ||
+                code == ServingErrorCode::kFrameSuperseded ||
+                code == ServingErrorCode::kCancelled)
+        << "ticket=" << ticket << " code=" << serving_error_name(code);
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, accepted.size());
+  EXPECT_EQ(stats.completed, accepted.size());
+  EXPECT_EQ(stats.streams_open, 0U);
+  EXPECT_EQ(stats.callback_errors, 0U);
 }
 
 TEST(ChaosSpec, MalformedSpecsFailLoudly) {

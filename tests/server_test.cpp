@@ -13,6 +13,7 @@
 #include <chrono>
 #include <future>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -293,6 +294,75 @@ TEST(Server, ConcurrentShutdownFromSeveralThreadsIsIdempotent) {
     EXPECT_EQ(refs[i].data(), server.wait(tickets[i]).data()) << "ticket " << i;
   }
   EXPECT_THROW((void)server.submit(id, images.front()), ContractViolation);
+  server.shutdown();  // still idempotent afterwards
+}
+
+TEST(Server, ShutdownWithOpenStreamsIsIdempotentAndDeliversNothingAfter) {
+  // Regression for the streaming tentpole: racing shutdown() calls while
+  // streams are still open (with frames pending under BOTH drain policies)
+  // must resolve every pushed frame, reap every stream, and return only
+  // after the last stream callback — no delivery may ever happen after any
+  // shutdown() call has returned, and no dispatcher or stream state leaks.
+  // Runs under TSan in CI.
+  const tfm::NonlinearProvider nl = tfm::NonlinearProvider::exact();
+  ServerOptions options;
+  options.num_threads = 2;
+  options.warm_provider = false;
+  Server server(nl, options);
+  const int id = server.register_forward(
+      "slow", [](const tfm::Tensor&, tfm::Workspace*) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        return tfm::QTensor{};
+      });
+
+  std::atomic<bool> shutdown_returned{false};
+  std::atomic<int> late_deliveries{0};
+  std::atomic<int> delivered{0};
+  const auto counting_callback = [&](Server::Ticket, tfm::QTensor,
+                                     std::exception_ptr) {
+    if (shutdown_returned.load()) ++late_deliveries;
+    ++delivered;
+  };
+
+  StreamOptions finish;  // default drain: serve what was admitted
+  StreamOptions cancel;
+  cancel.drain_policy = DrainPolicy::kCancelPending;
+  std::vector<Server::StreamSession> streams;
+  streams.push_back(server.open_stream(id, finish, counting_callback));
+  streams.push_back(server.open_stream(id, finish, counting_callback));
+  streams.push_back(server.open_stream(id, cancel, counting_callback));
+  int pushed = 0;
+  const tfm::Tensor image(tfm::Shape{1, 4, 4});
+  for (int round = 0; round < 4; ++round) {
+    for (Server::StreamSession& s : streams) {
+      pushed += s.push_frame(image).has_value() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(pushed, 12);  // nothing was closing yet
+
+  constexpr int kStoppers = 4;
+  std::vector<std::thread> stoppers;
+  for (int s = 0; s < kStoppers; ++s) {
+    stoppers.emplace_back([&] {
+      server.shutdown();
+      // Any caller's return means the drain is complete — deliveries
+      // observed after this store are contract violations.
+      shutdown_returned.store(true);
+    });
+  }
+  for (std::thread& t : stoppers) t.join();
+
+  EXPECT_EQ(late_deliveries.load(), 0);
+  EXPECT_EQ(delivered.load(), pushed);  // every frame resolved exactly once
+  for (Server::StreamSession& s : streams) {
+    EXPECT_EQ(s.push_frame(image), std::nullopt);  // admission is gone
+    s.close();  // reaped streams make close a no-op, not a hang
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(pushed));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(pushed));
+  EXPECT_EQ(stats.streams_open, 0U);
+  EXPECT_EQ(stats.callback_errors, 0U);
   server.shutdown();  // still idempotent afterwards
 }
 

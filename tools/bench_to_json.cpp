@@ -18,7 +18,12 @@
 //            (eval/server.h) against the serial loops, and its
 //            `coserve_continuous` entry pits the continuous-batching
 //            scheduler's streaming-callback client against a lockstep
-//            batch-at-a-time client on the same server — same gates.
+//            batch-at-a-time client on the same server — same gates; its
+//            `serve_stream` entry drives a streaming session
+//            (Server::open_stream) with an open-loop fixed-rate frame
+//            source at 0.5x/1x/2x the measured capacity, reporting
+//            sustained fps, drop counts, and deadline-miss rate, gated on
+//            served frames being bit-identical to serial forwards.
 //
 // Every expected section must be emitted: a skipped or failed section is
 // reported and the tool exits non-zero, so a stale BENCH_*.json can never
@@ -30,11 +35,14 @@
 //        GQA_BENCH_THREADS (default 4) lanes for the threaded forwards;
 //        GQA_SERVE_SCENES (default 12) images per serving dispatch.
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <functional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "../bench/bench_util.h"
@@ -668,6 +676,98 @@ Json serve_degraded_section(const tfm::SegformerB0Like& seg,
   return j;
 }
 
+/// Open-loop streaming sessions (Server::open_stream): a fixed-rate frame
+/// source pushed at 0.5x/1x/2x the measured single-stream capacity (the
+/// median serial forward time — a stream delivers in frame order with one
+/// frame in flight, so lanes do not multiply its capacity). The real-time
+/// figure of merit is what a viewer actually gets: sustained fps, how
+/// much the drop policy shed, and the deadline-miss rate. Gate: every
+/// frame the stream served must be bit-identical to a serial forward of
+/// the same image — load shedding must never corrupt what IS delivered.
+Json serve_stream_section(const tfm::SegformerB0Like& seg,
+                          const std::vector<tfm::Tensor>& images, int reps,
+                          bool& bit_identical) {
+  const auto nl = tfm::NonlinearProvider::with_method(
+      Method::kGqaRm, {Op::kExp, Op::kGelu, Op::kDiv, Op::kRsqrt});
+
+  // Serial references double as the capacity measurement. Untimed warm
+  // pass first: the provider fits its LUT units lazily on first use, and
+  // timing the fits would inflate the capacity estimate.
+  for (const tfm::Tensor& img : images) (void)seg.forward_int(img, nl);
+  std::vector<std::vector<std::int32_t>> refs;
+  std::vector<double> frame_times;
+  for (const tfm::Tensor& img : images) {
+    Timer timer;
+    refs.push_back(seg.forward_int(img, nl).data());
+    frame_times.push_back(timer.milliseconds());
+  }
+  const double frame_ms = median(frame_times);
+  const double capacity_fps = 1e3 / frame_ms;
+
+  Server server(nl, {});
+  const int model = server.register_model(seg, "segformer");
+  StreamOptions so;
+  so.drop_policy = DropPolicy::kDropOldest;
+  so.deadline =
+      std::chrono::milliseconds(static_cast<std::int64_t>(2.0 * frame_ms) + 1);
+  const std::size_t frames = std::min<std::size_t>(
+      std::max<std::size_t>(2 * images.size(), 8), 32);
+  const int rounds = std::max(reps, 3);
+
+  Json j = Json::object();
+  j["capacity_fps"] = Json(capacity_fps);
+  j["serial_frame_ms"] = Json(frame_ms);
+  j["drop_policy"] = Json("drop_oldest");
+  j["frames_per_round"] = Json(static_cast<int>(frames));
+  j["rounds"] = Json(rounds);
+  bool identical = true;
+  const std::pair<const char*, double> rates[] = {
+      {"under_capacity", 0.5}, {"at_capacity", 1.0}, {"over_capacity", 2.0}};
+  for (const auto& [key, rate] : rates) {
+    const double offered_fps = rate * capacity_fps;
+    const auto interval = std::chrono::microseconds(
+        static_cast<std::int64_t>(1e6 / offered_fps));
+    const Server::Stats before = server.stats();
+    std::vector<double> fps;
+    std::size_t pushed = 0, served = 0;
+    for (int rep = 0; rep < rounds; ++rep) {
+      const bench::StreamOpenLoopResult run =
+          bench::run_stream_open_loop(server, model, images, frames,
+                                      interval, so);
+      fps.push_back(static_cast<double>(run.served.size()) /
+                    (run.wall_ms * 1e-3));
+      pushed += run.pushed.size();
+      served += run.served.size();
+      for (const auto& [ticket, idx] : run.pushed) {
+        const auto it = run.served.find(ticket);
+        if (it != run.served.end()) {
+          identical = identical && it->second.data() == refs[idx];
+        }
+      }
+    }
+    const Server::Stats after = server.stats();
+    const std::uint64_t dropped = after.frames_dropped - before.frames_dropped;
+    const std::uint64_t coalesced =
+        after.frames_coalesced - before.frames_coalesced;
+    const std::uint64_t misses =
+        after.deadline_misses - before.deadline_misses;
+    Json r = Json::object();
+    r["offered_fps"] = Json(offered_fps);
+    r["sustained_fps"] = Json(median(fps));
+    r["pushed"] = Json(static_cast<int>(pushed));
+    r["served"] = Json(static_cast<int>(served));
+    r["dropped"] = Json(static_cast<double>(dropped));
+    r["coalesced"] = Json(static_cast<double>(coalesced));
+    r["deadline_misses"] = Json(static_cast<double>(misses));
+    r["deadline_miss_pct"] = Json(
+        100.0 * static_cast<double>(misses) / static_cast<double>(pushed));
+    j[key] = std::move(r);
+  }
+  j["bit_identical"] = Json(identical);
+  bit_identical = bit_identical && identical;
+  return j;
+}
+
 Json serve_report(int reps, bool& bit_identical) {
   // Full default (B0-like) model sizes at 64x64: the deployment shape, and
   // the regime where activation buffers are big enough for the workspace
@@ -710,6 +810,8 @@ Json serve_report(int reps, bool& bit_identical) {
   j["serve_degraded"] =
       serve_degraded_section(segformer, efficientvit, images, reps,
                              bit_identical);
+  j["serve_stream"] = serve_stream_section(segformer, images, reps,
+                                           bit_identical);
   return j;
 }
 
@@ -727,7 +829,8 @@ int main(int argc, char** argv) {
       "fit",     "fit_cache",
       "kernel",  "model",
       "serve",   "coserve",
-      "coserve_continuous", "serve_degraded"};
+      "coserve_continuous", "serve_degraded",
+      "serve_stream"};
   std::vector<std::string> emitted;
   bool all_identical = true;
 
@@ -758,7 +861,8 @@ int main(int argc, char** argv) {
   emit_artifact("model", "BENCH_model.json", {},
                 [&] { return model_report(reps); });
   emit_artifact("serve", "BENCH_serve.json",
-                {"coserve", "coserve_continuous", "serve_degraded"},
+                {"coserve", "coserve_continuous", "serve_degraded",
+                 "serve_stream"},
                 [&] { return serve_report(reps, all_identical); });
 
   const std::vector<std::string> missing = missing_entries(expected, emitted);

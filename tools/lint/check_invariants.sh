@@ -6,10 +6,10 @@
 #  R1  Every GQA_* environment variable src/ actually reads (env_int /
 #      env_string / env_flag call sites) must appear in README.md — an env
 #      knob that exists only in code is invisible to operators.
-#  R2  Every enumerator of TicketStatus (src/eval/server.h) and
-#      ServingErrorCode (src/util/serving_error.h) must appear in
-#      docs/ARCHITECTURE.md — the doc's lifecycle/error tables must not go
-#      stale when an enumerator is added.
+#  R2  Every enumerator of TicketStatus and DropPolicy (src/eval/server.h)
+#      and ServingErrorCode (src/util/serving_error.h) must appear in
+#      docs/ARCHITECTURE.md — the doc's lifecycle/error/drop-policy tables
+#      must not go stale when an enumerator is added.
 #  R3  Every test source under tests/ that touches a concurrency primitive
 #      (std::thread, std::atomic, ThreadPool, global_pool, BoundedQueue,
 #      gqa::Server) must be listed in GQA_CONCURRENCY_TESTS in
@@ -71,6 +71,7 @@ check_enum_documented() {
   done
 }
 check_enum_documented R2 TicketStatus src/eval/server.h
+check_enum_documented R2 DropPolicy src/eval/server.h
 check_enum_documented R2 ServingErrorCode src/util/serving_error.h
 
 # --- R3: concurrency tests labeled --------------------------------------
