@@ -1,0 +1,191 @@
+// SIMD kernel dispatch throughput: the dense-table PWL eval and the integer
+// row kernels timed under the scalar oracle vs the runtime-dispatched
+// backend (kernel/dispatch.h), per bus width. Every row is checksum-gated:
+// the dispatched outputs must be bit-identical to the scalar oracle's, and
+// any divergence exits non-zero (CI runs this in smoke mode as the
+// dispatch-layer bit-identity gate).
+//
+// On hosts without a SIMD backend the dispatched column equals the scalar
+// column (speedup ~1.0) and the gate passes trivially — the table's
+// "Backend" header says which case you are looking at.
+//
+// Env knobs: GQA_BENCH_REPS (default 5) best-of rounds per timing,
+//            GQA_KERNEL_BACKEND pins the dispatched backend under test.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/approximator.h"
+#include "kernel/dispatch.h"
+#include "kernel/int_pwl_unit.h"
+#include "util/rng.h"
+
+using namespace gqa;
+
+namespace {
+
+constexpr std::size_t kBatch = 8192;
+constexpr int kLoops = 64;
+
+/// Best-of-N wall time of `fn` in milliseconds.
+template <typename Fn>
+double time_best_ms(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer timer;
+    fn();
+    best = std::min(best, timer.milliseconds());
+  }
+  return best;
+}
+
+struct Row {
+  double scalar_ms = 0.0;
+  double simd_ms = 0.0;
+  bool identical = false;
+};
+
+void add_row(TablePrinter& table, const char* name, const Row& r,
+             bool& all_ok) {
+  const double items = static_cast<double>(kBatch) * kLoops;
+  table.add_row({name, fixed(r.scalar_ms * 1e6 / items, 2),
+                 fixed(r.simd_ms * 1e6 / items, 2),
+                 fixed(r.scalar_ms / r.simd_ms, 2),
+                 r.identical ? "yes" : "NO"});
+  all_ok = all_ok && r.identical;
+}
+
+Row pwl_row(const IntPwlUnit& unit, std::int64_t code_lo, std::int64_t code_hi,
+            const std::string& dispatched, int reps) {
+  std::vector<std::int64_t> codes(kBatch);
+  std::int64_t q = code_lo;
+  const std::int64_t step = 1 + (code_hi - code_lo) / 512;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    codes[i] = q;
+    q = q >= code_hi ? code_lo : std::min(q + step, code_hi);
+  }
+  std::vector<double> out(kBatch), ref(kBatch);
+  const auto run = [&] {
+    for (int l = 0; l < kLoops; ++l) unit.eval_reals_from_codes(codes, out);
+  };
+  Row r;
+  {
+    kernel::BackendScope scope("scalar");
+    r.scalar_ms = time_best_ms(reps, run);
+    ref = out;
+  }
+  {
+    kernel::BackendScope scope(dispatched);
+    r.simd_ms = time_best_ms(reps, run);
+  }
+  r.identical = ref == out;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int reps = static_cast<int>(env_int("GQA_BENCH_REPS", 5));
+  const std::string dispatched = kernel::active().name;
+  const kernel::KernelOps& ops = kernel::active().ops;
+
+  TablePrinter table({"Kernel", "Scalar ns/item", "Dispatched ns/item",
+                      "Speedup", "Bit-identical"});
+  table.set_title("SIMD kernel dispatch (backend: " + dispatched + ")");
+  bool all_ok = true;
+
+  const Approximator gelu = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  add_row(table, "PWL eval INT8",
+          pwl_row(gelu.make_unit(-4), -128, 127, dispatched, reps), all_ok);
+  add_row(table, "PWL eval INT16",
+          pwl_row(gelu.make_unit(-10, 16), -32768, 32767, dispatched, reps),
+          all_ok);
+
+  Rng rng(0x51DB);
+  std::vector<std::int32_t> acts(kBatch);
+  std::vector<std::int8_t> weights(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    acts[i] = static_cast<std::int32_t>(rng.uniform_int(-32768, 32767));
+    weights[i] = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  {
+    Row r;
+    std::int64_t scalar_sum = 0, simd_sum = 0;
+    r.scalar_ms = time_best_ms(reps, [&] {
+      scalar_sum = 0;
+      for (int l = 0; l < kLoops; ++l) {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          scalar_sum += static_cast<std::int64_t>(acts[i]) * weights[i];
+        }
+      }
+    });
+    r.simd_ms = r.scalar_ms;
+    r.identical = true;
+    if (ops.dot_i32_i8 != nullptr) {
+      r.simd_ms = time_best_ms(reps, [&] {
+        simd_sum = 0;
+        for (int l = 0; l < kLoops; ++l) {
+          simd_sum += ops.dot_i32_i8(acts.data(), weights.data(), kBatch);
+        }
+      });
+      r.identical = scalar_sum == simd_sum;
+    }
+    add_row(table, "GEMM dot i32*i8", r, all_ok);
+  }
+  {
+    Row r;
+    std::int64_t scalar_sum = 0, simd_sum = 0;
+    r.scalar_ms = time_best_ms(reps, [&] {
+      scalar_sum = 0;
+      for (int l = 0; l < kLoops; ++l) {
+        for (std::size_t i = 0; i < kBatch; ++i) scalar_sum += acts[i];
+      }
+    });
+    r.simd_ms = r.scalar_ms;
+    r.identical = true;
+    if (ops.sum_i32 != nullptr) {
+      r.simd_ms = time_best_ms(reps, [&] {
+        simd_sum = 0;
+        for (int l = 0; l < kLoops; ++l) {
+          simd_sum += ops.sum_i32(acts.data(), kBatch);
+        }
+      });
+      r.identical = scalar_sum == simd_sum;
+    }
+    add_row(table, "LayerNorm row sum", r, all_ok);
+  }
+  {
+    Row r;
+    std::int32_t scalar_peak = 0, simd_peak = 0;
+    r.scalar_ms = time_best_ms(reps, [&] {
+      for (int l = 0; l < kLoops; ++l) {
+        std::int32_t peak = acts[0];
+        for (std::size_t i = 1; i < kBatch; ++i) peak = std::max(peak, acts[i]);
+        scalar_peak = peak;
+      }
+    });
+    r.simd_ms = r.scalar_ms;
+    r.identical = true;
+    if (ops.max_i32 != nullptr) {
+      r.simd_ms = time_best_ms(reps, [&] {
+        for (int l = 0; l < kLoops; ++l) {
+          simd_peak = ops.max_i32(acts.data(), kBatch);
+        }
+      });
+      r.identical = scalar_peak == simd_peak;
+    }
+    add_row(table, "Softmax row max", r, all_ok);
+  }
+
+  bench::emit(table, "simd_kernel");
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "FAIL: dispatched kernel outputs diverged from the scalar "
+                 "oracle\n");
+    return 1;
+  }
+  return 0;
+}

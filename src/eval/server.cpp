@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "kernel/dispatch.h"
 #include "util/contracts.h"
 #include "util/env.h"
 #include "util/fault_injection.h"
@@ -479,7 +480,9 @@ std::size_t Server::model_count() const {
 
 Server::Stats Server::stats() const {
   MutexLock lock(mutex_);
-  return stats_;
+  Stats out = stats_;
+  out.kernel_backend = kernel::active().name;
+  return out;
 }
 
 void Server::dispatch_loop() {

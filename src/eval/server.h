@@ -463,6 +463,10 @@ class Server {
     /// conformance harness checks ratios on (expired, shed, and cancelled
     /// requests never start, so they are not counted here).
     std::vector<std::uint64_t> started_per_model;
+    /// Name of the active kernel dispatch backend (kernel/dispatch.h) the
+    /// forwards ran on — `scalar`, `avx2`, ... — so serving records and
+    /// bench headers can say what ISA produced the (bit-identical) codes.
+    std::string kernel_backend;
   };
   [[nodiscard]] Stats stats() const GQA_EXCLUDES(mutex_);
 

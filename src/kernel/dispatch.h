@@ -1,0 +1,152 @@
+// Runtime-dispatched SIMD kernel backends (modeled on ggml-cpu's arch
+// dispatch): every integer hot path keeps its scalar loop verbatim as the
+// oracle, and a backend may vectorize it behind a function table. A null
+// entry in the table means "use the scalar oracle" — so the `scalar`
+// backend is simply the all-null table and the call sites fall through to
+// the loops that have always been there.
+//
+// Selection happens once, at first use: the highest-priority backend whose
+// capability probe (cpuid / HWCAP) passes wins, unless GQA_KERNEL_BACKEND
+// pins a specific backend by name (`scalar`, `avx2`, `neon`, or `auto`).
+// Naming a backend the host cannot run fails loudly (ContractViolation) —
+// a silent scalar fallback would make "I benchmarked AVX2" a lie.
+//
+// Bit-identity contract: a backend op must produce exactly the bytes the
+// scalar oracle produces, for every input the call site is allowed to pass.
+// Integer reductions reorder freely (integer addition is associative in the
+// no-overflow domain the buses guarantee); floating-point reductions may
+// NOT be vectorized (FP addition is not associative), which is why the
+// Softmax exp-sum and all requantizer math stay scalar. The differential
+// suite (tests/simd_kernel_test.cpp) and the checksum-gated kernel_simd
+// bench section enforce the contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numerics/saturate.h"
+
+namespace gqa::kernel {
+
+/// Flattened, trivially-copyable view of an IntPwlUnit's deployment
+/// artifacts, rebuilt per call from the owning unit (never stored — the
+/// unit's vectors may relocate when the unit is copied or moved).
+///
+/// Eligibility invariants the unit guarantees before handing out a view:
+///  - `seg_of_code` is the dense code->segment table (input bus <= 16 bits)
+///    padded with 3 trailing bytes so 4-byte vector gathers never read
+///    out of bounds;
+///  - slope codes fit int32 (param width <= 32), so a 32x32->64 multiply
+///    is exact;
+///  - |accumulator| < 2^50, so the int64->double conversion trick in the
+///    AVX2 lanes is exact.
+struct PwlTableView {
+  const std::uint8_t* seg_of_code = nullptr;
+  const std::int64_t* k_code = nullptr;
+  const std::int64_t* b_aligned = nullptr;
+  /// Per-code slope/intercept tables (k_of_code[q-code_lo] ==
+  /// k_code[seg_of_code[q-code_lo]], same for b): present only for small
+  /// buses, where they let a SIMD lane gather its parameters directly from
+  /// the code index — two independent gathers instead of the dependent
+  /// segment-then-parameter gather chain. Null on larger buses (the memory
+  /// cost is 16 bytes per code); kernels must fall back to seg_of_code.
+  const std::int64_t* k_of_code = nullptr;
+  const std::int64_t* b_of_code = nullptr;
+  std::int64_t code_lo = 0;
+  BusBounds in;   ///< input-bus clamp/contract bounds
+  BusBounds acc;  ///< accumulator saturation bounds
+  double acc_scale = 0.0;
+};
+
+/// Function table of one backend. Null entry == "scalar oracle handles it".
+struct KernelOps {
+  /// IntPwlUnit::eval_codes body: contract-checks each code against the
+  /// input bus (throwing the same ContractViolation as the oracle), then
+  /// gathers segment/slope/intercept and saturating-adds into `out`.
+  void (*pwl_eval_codes)(const PwlTableView&, const std::int64_t* q,
+                         std::int64_t* out, std::size_t n) = nullptr;
+  /// IntPwlUnit::eval_reals_from_codes body (same contract check; output is
+  /// double(acc) * acc_scale, a single-rounded elementwise multiply).
+  void (*pwl_eval_reals)(const PwlTableView&, const std::int64_t* q,
+                         double* out, std::size_t n) = nullptr;
+  /// IntPwlUnit::eval_reals_from_codes_saturated body (over-range codes
+  /// clamp to the input bus instead of failing the precondition).
+  void (*pwl_eval_reals_sat)(const PwlTableView&, const std::int64_t* q,
+                             double* out, std::size_t n) = nullptr;
+  /// Σ a[i]·w[i] with int64 accumulation (Linear/attention GEMM rows).
+  std::int64_t (*dot_i32_i8)(const std::int32_t* a, const std::int8_t* w,
+                             std::size_t n) = nullptr;
+  /// acc[i] += w·x[i] over an int64 plane (1x1 conv channel accumulation).
+  void (*axpy_i64_i32)(std::int64_t* acc, const std::int32_t* x,
+                       std::int32_t w, std::size_t n) = nullptr;
+  /// Σ x[i] widened to int64 (LayerNorm row sum).
+  std::int64_t (*sum_i32)(const std::int32_t* x, std::size_t n) = nullptr;
+  /// Σ (dim·x[i] − sum)² — the D-scaled centered second moment of a
+  /// LayerNorm row. Caller guarantees |dim·x − sum| fits int32.
+  std::int64_t (*ssq_centered_i32)(const std::int32_t* x, std::int64_t dim,
+                                   std::int64_t sum, std::size_t n) = nullptr;
+  /// Row max (Softmax peak); n >= 1.
+  std::int32_t (*max_i32)(const std::int32_t* x, std::size_t n) = nullptr;
+  /// out[i] = int64(x[i]) − sub (Softmax max-subtracted differences).
+  void (*sub_scalar_widen_i32)(const std::int32_t* x, std::int32_t sub,
+                               std::int64_t* out, std::size_t n) = nullptr;
+};
+
+/// One registered backend: a stable name (lint rule R6 demands it appear in
+/// the docs/ARCHITECTURE.md backend table), a runtime capability probe, and
+/// the op table.
+struct KernelBackend {
+  const char* name;
+  bool (*probe)();
+  KernelOps ops;
+};
+
+#if defined(__x86_64__) || defined(_M_X64)
+/// AVX2 backend descriptor, defined in dispatch_avx2.cpp (the only TU
+/// compiled with -mavx2; the CPUID probe gates execution at runtime).
+extern const KernelBackend kAvx2Backend;
+#endif
+#if defined(__ARM_NEON)
+/// NEON registration stub, defined in dispatch_neon.cpp.
+extern const KernelBackend kNeonBackend;
+#endif
+
+/// All compiled-in backends, highest dispatch priority first; `scalar` is
+/// always present and always last.
+[[nodiscard]] const std::vector<const KernelBackend*>& registry();
+
+/// The always-available all-null-ops oracle backend.
+[[nodiscard]] const KernelBackend& scalar_backend();
+
+/// True when the backend's capability probe passes on this host.
+[[nodiscard]] bool backend_available(const KernelBackend& backend);
+
+/// The backend hot paths dispatch through. Resolved on first call from
+/// GQA_KERNEL_BACKEND (default `auto` = best available); later reads are a
+/// single atomic load.
+[[nodiscard]] const KernelBackend& active();
+
+/// Resolves a backend by name. `auto` picks the highest-priority backend
+/// whose probe passes; a concrete name must name a registered backend that
+/// is available on this host, else ContractViolation.
+[[nodiscard]] const KernelBackend& resolve_backend(const std::string& name);
+
+/// RAII override of the active backend (tests and the kernel_simd bench
+/// flip between `scalar` and the dispatched backend with this). The swap is
+/// an atomic store — data-race free — but scopes are not meant to nest
+/// concurrently: establish the scope before fanning work out.
+class BackendScope {
+ public:
+  explicit BackendScope(const std::string& name);
+  ~BackendScope();
+
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  const KernelBackend* previous_;
+};
+
+}  // namespace gqa::kernel

@@ -1,0 +1,23 @@
+// NEON backend registration stub, compiled only on ARM targets that define
+// __ARM_NEON. The op table is intentionally empty for now — every call site
+// falls through to the scalar oracle — so the backend exists as a named,
+// probeable dispatch target (and a place to land real NEON kernels) without
+// claiming vector coverage it does not have. The differential suite treats
+// an all-null backend as trivially conformant.
+#include "kernel/dispatch.h"
+
+#if defined(__ARM_NEON)
+
+namespace gqa::kernel {
+
+const KernelBackend kNeonBackend{
+    .name = "neon",
+    // __ARM_NEON is a compile-time guarantee on AArch64 (NEON is mandatory
+    // in ARMv8-A), so the probe is unconditional.
+    .probe = [] { return true; },
+    .ops = KernelOps{},
+};
+
+}  // namespace gqa::kernel
+
+#endif  // __ARM_NEON

@@ -13,6 +13,18 @@ namespace {
 /// Dense code->segment tables stay affordable up to a 16-bit input bus.
 constexpr int kMaxDenseTableBits = 16;
 
+/// SIMD lanes convert the accumulator to double via the 2^52+2^51 trick,
+/// exact only for |acc| < 2^51; cap eligibility one bit under that.
+constexpr int kMaxSimdAccBits = 50;
+
+/// Slope codes must fit int32 for the exact 32x32->64 lane multiply.
+constexpr int kMaxSimdParamBits = 32;
+
+/// Per-code slope/intercept tables cost 16 bytes per code; cap them at
+/// 2048 entries (<= 11-bit buses, 32 KiB) so an INT8 unit pays 4 KiB for
+/// gather-chain-free SIMD while INT16 units stay on the segment table.
+constexpr std::size_t kMaxPerCodeParamEntries = 2048;
+
 }  // namespace
 
 IntPwlUnit::IntPwlUnit(QuantizedPwlTable table, IntPwlUnitConfig config)
@@ -34,22 +46,43 @@ IntPwlUnit::IntPwlUnit(QuantizedPwlTable table, IntPwlUnitConfig config)
                              : shift_round(b, -shift_s_));
   }
 
+  in_bounds_ = bus_bounds(table_.input.bits, table_.input.is_signed);
+  acc_bounds_ = bus_bounds(config_.acc_bits, /*is_signed=*/true);
+
   // Flatten the comparator chain into a direct-mapped segment table over
   // the whole input bus (the hardware resolves all comparators in parallel;
   // the software model resolves them all ahead of time).
   if (table_.input.bits <= kMaxDenseTableBits &&
       table_.entries() <= 256) {
-    code_lo_ = int_min(table_.input.bits, table_.input.is_signed);
-    const std::int64_t code_hi =
-        int_max(table_.input.bits, table_.input.is_signed);
-    seg_of_code_.resize(static_cast<std::size_t>(code_hi - code_lo_ + 1));
+    code_lo_ = in_bounds_.lo;
+    const std::int64_t code_hi = in_bounds_.hi;
+    dense_entries_ = static_cast<std::size_t>(code_hi - code_lo_ + 1);
+    // 3 trailing padding bytes: SIMD backends gather the 1-byte entries
+    // with 4-byte loads, which must not run past the allocation at the
+    // last code.
+    seg_of_code_.resize(dense_entries_ + 3);
     std::size_t seg = 0;
     for (std::int64_t q = code_lo_; q <= code_hi; ++q) {
       while (seg < table_.p_code.size() && q >= table_.p_code[seg]) ++seg;
       seg_of_code_[static_cast<std::size_t>(q - code_lo_)] =
           static_cast<std::uint8_t>(seg);
     }
+    // Small buses additionally precompute per-code parameters, so SIMD
+    // lanes gather slope and intercept straight from the code index (two
+    // independent gathers, no segment-then-parameter dependency chain).
+    // Pure precomputation: k_of_code_[i] IS k_code[seg_of_code_[i]].
+    if (dense_entries_ <= kMaxPerCodeParamEntries) {
+      k_of_code_.resize(dense_entries_);
+      b_of_code_.resize(dense_entries_);
+      for (std::size_t i = 0; i < dense_entries_; ++i) {
+        k_of_code_[i] = table_.k_code[seg_of_code_[i]];
+        b_of_code_[i] = b_aligned_[seg_of_code_[i]];
+      }
+    }
   }
+  simd_eligible_ = dense_entries_ > 0 &&
+                   table_.param_fmt.width <= kMaxSimdParamBits &&
+                   config_.acc_bits <= kMaxSimdAccBits;
 }
 
 std::int64_t IntPwlUnit::eval_code(std::int64_t q) const {
@@ -63,6 +96,12 @@ std::int64_t IntPwlUnit::eval_code(std::int64_t q) const {
 void IntPwlUnit::eval_codes(std::span<const std::int64_t> q,
                             std::span<std::int64_t> out) const {
   GQA_EXPECTS(q.size() == out.size());
+  if (simd_eligible_) {
+    if (const auto fn = kernel::active().ops.pwl_eval_codes) {
+      fn(simd_view(), q.data(), out.data(), q.size());
+      return;
+    }
+  }
   const std::int64_t* k_code = table_.k_code.data();
   const std::int64_t* b_aligned = b_aligned_.data();
   const int acc_bits = config_.acc_bits;
@@ -80,6 +119,12 @@ void IntPwlUnit::eval_codes(std::span<const std::int64_t> q,
 void IntPwlUnit::eval_reals_from_codes(std::span<const std::int64_t> q,
                                        std::span<double> out) const {
   GQA_EXPECTS(q.size() == out.size());
+  if (simd_eligible_) {
+    if (const auto fn = kernel::active().ops.pwl_eval_reals) {
+      fn(simd_view(), q.data(), out.data(), q.size());
+      return;
+    }
+  }
   const std::int64_t* k_code = table_.k_code.data();
   const std::int64_t* b_aligned = b_aligned_.data();
   const int acc_bits = config_.acc_bits;
@@ -100,14 +145,23 @@ void IntPwlUnit::eval_reals_from_codes(std::span<const std::int64_t> q,
 void IntPwlUnit::eval_reals_from_codes_saturated(
     std::span<const std::int64_t> q, std::span<double> out) const {
   GQA_EXPECTS(q.size() == out.size());
+  if (simd_eligible_) {
+    if (const auto fn = kernel::active().ops.pwl_eval_reals_sat) {
+      fn(simd_view(), q.data(), out.data(), q.size());
+      return;
+    }
+  }
   const std::int64_t* k_code = table_.k_code.data();
   const std::int64_t* b_aligned = b_aligned_.data();
   const int acc_bits = config_.acc_bits;
-  const int in_bits = table_.input.bits;
-  const bool in_signed = table_.input.is_signed;
+  // Both the dense-table path here and the >16-bit binary-search fallback
+  // (segment_of -> QuantizedPwlTable::segment_index) funnel the over-range
+  // clamp through the same bus_bounds/clamp_to_bus helper as the SIMD
+  // lanes — one source of truth for the saturation edge.
+  const BusBounds in = in_bounds_;
   const double acc_scale = acc_scale_;
   for (std::size_t n = 0; n < q.size(); ++n) {
-    const std::int64_t code = saturate(q[n], in_bits, in_signed);
+    const std::int64_t code = clamp_to_bus(q[n], in);
     const std::size_t i = segment_of(code);
     out[n] = static_cast<double>(sat_add(k_code[i] * code, b_aligned[i],
                                          acc_bits)) *

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "kernel/dispatch.h"
 #include "pwl/quantized_table.h"
 
 namespace gqa {
@@ -65,11 +66,30 @@ class IntPwlUnit {
 
  private:
   [[nodiscard]] std::size_t segment_of(std::int64_t q) const {
-    if (!seg_of_code_.empty()) {
+    if (dense_entries_ > 0) {
       return static_cast<std::size_t>(
           seg_of_code_[static_cast<std::size_t>(q - code_lo_)]);
     }
     return static_cast<std::size_t>(table_.segment_index(q));  // wide buses
+  }
+
+  /// View over the dense deployment artifacts for a dispatched SIMD kernel.
+  /// Built per call (the vectors may relocate when the unit is copied), and
+  /// only meaningful when simd_eligible_ is true.
+  [[nodiscard]] kernel::PwlTableView simd_view() const {
+    kernel::PwlTableView view;
+    view.seg_of_code = seg_of_code_.data();
+    view.k_code = table_.k_code.data();
+    view.b_aligned = b_aligned_.data();
+    if (!k_of_code_.empty()) {
+      view.k_of_code = k_of_code_.data();
+      view.b_of_code = b_of_code_.data();
+    }
+    view.code_lo = code_lo_;
+    view.in = in_bounds_;
+    view.acc = acc_bounds_;
+    view.acc_scale = acc_scale_;
+    return view;
   }
 
   QuantizedPwlTable table_;
@@ -80,9 +100,24 @@ class IntPwlUnit {
   // shift-aligned once (the barrel shift depends only on the segment), and
   // the comparator chain is flattened into a dense code->segment table over
   // the full input bus (<= 2^16 entries for the paper's INT8/INT16 buses).
+  // The table carries 3 trailing padding bytes so 4-byte SIMD gathers of
+  // 1-byte entries never read past the allocation; dense_entries_ is the
+  // unpadded logical size.
   std::vector<std::int64_t> b_aligned_;
   std::vector<std::uint8_t> seg_of_code_;
+  // Per-code parameter tables for small buses (see PwlTableView::k_of_code):
+  // empty when the bus is too wide for the 16-bytes-per-code footprint.
+  std::vector<std::int64_t> k_of_code_;
+  std::vector<std::int64_t> b_of_code_;
+  std::size_t dense_entries_ = 0;
   std::int64_t code_lo_ = 0;
+  BusBounds in_bounds_{};   ///< input-bus bounds (single-source clamp)
+  BusBounds acc_bounds_{};  ///< accumulator saturation bounds
+  // True when the dense table exists and the widths satisfy the SIMD
+  // exactness invariants documented on kernel::PwlTableView; wide buses,
+  // >int32 slope codes and >50-bit accumulators always take the scalar
+  // oracle (including the >16-bit binary-search fallback).
+  bool simd_eligible_ = false;
 };
 
 }  // namespace gqa

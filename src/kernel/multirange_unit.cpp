@@ -29,15 +29,16 @@ double MultiRangeUnit::eval_fxp(std::int64_t code, int in_frac) const {
   const std::int64_t scaled = e <= 0 ? shift_round(code, -e)
                                      : sat_shl(code, e, 62);
 
-  // Align to the pwl input bus: λ fractional bits, 8/16-bit saturating.
+  // Align to the pwl input bus: λ fractional bits, 8/16-bit saturating
+  // (clamped through the shared bus_bounds helper, the same edge the pwl
+  // unit's saturated eval uses).
   const QuantizedPwlTable& t = unit_.table();
   const int lambda = t.lambda();
+  const BusBounds in = bus_bounds(t.input.bits, t.input.is_signed);
   const std::int64_t bus =
       in_frac >= lambda
-          ? saturate(shift_round(scaled, in_frac - lambda), t.input.bits,
-                     t.input.is_signed)
-          : saturate(sat_shl(scaled, lambda - in_frac, 62), t.input.bits,
-                     t.input.is_signed);
+          ? clamp_to_bus(shift_round(scaled, in_frac - lambda), in)
+          : clamp_to_bus(sat_shl(scaled, lambda - in_frac, 62), in);
 
   const double pwl_value = unit_.eval_real_from_code(bus);
   return std::ldexp(pwl_value, range_.output_exponent(e));
@@ -50,8 +51,7 @@ void MultiRangeUnit::eval_fxp_batch(std::span<const std::int64_t> codes,
   GQA_EXPECTS(in_frac >= 0 && in_frac <= 48);
   const QuantizedPwlTable& t = unit_.table();
   const int lambda = t.lambda();
-  const int in_bits = t.input.bits;
-  const bool in_signed = t.input.is_signed;
+  const BusBounds in = bus_bounds(t.input.bits, t.input.is_signed);
   const int frac_shift = in_frac - lambda;
   for (std::size_t n = 0; n < codes.size(); ++n) {
     const std::int64_t code = codes[n];
@@ -61,8 +61,8 @@ void MultiRangeUnit::eval_fxp_batch(std::span<const std::int64_t> codes,
         e <= 0 ? shift_round(code, -e) : sat_shl(code, e, 62);
     const std::int64_t bus =
         frac_shift >= 0
-            ? saturate(shift_round(scaled, frac_shift), in_bits, in_signed)
-            : saturate(sat_shl(scaled, -frac_shift, 62), in_bits, in_signed);
+            ? clamp_to_bus(shift_round(scaled, frac_shift), in)
+            : clamp_to_bus(sat_shl(scaled, -frac_shift, 62), in);
     out[n] = std::ldexp(unit_.eval_real_from_code(bus),
                         range_.output_exponent(e));
   }

@@ -20,15 +20,35 @@ namespace gqa {
                    : (std::int64_t{1} << bits) - 1;
 }
 
+/// Inclusive clamp bounds of a `bits`-wide bus. Precomputing the pair lets
+/// batched kernels (and the SIMD table views in kernel/dispatch.h) hoist the
+/// width arithmetic out of element loops while still clamping through the
+/// same single source of truth as scalar `saturate`.
+struct BusBounds {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+[[nodiscard]] constexpr BusBounds bus_bounds(int bits, bool is_signed) {
+  return BusBounds{int_min(bits, is_signed), int_max(bits, is_signed)};
+}
+
+/// Clamps `value` into `[bounds.lo, bounds.hi]` — the one saturation clamp
+/// every bus-width path (dense-table eval, the >16-bit binary-search
+/// fallback, the multi-range alignment shifts, the SIMD lanes) funnels
+/// through.
+[[nodiscard]] constexpr std::int64_t clamp_to_bus(std::int64_t value,
+                                                  BusBounds bounds) {
+  if (value < bounds.lo) return bounds.lo;
+  if (value > bounds.hi) return bounds.hi;
+  return value;
+}
+
 /// Clamps `value` into the representable range of a `bits`-wide integer.
 [[nodiscard]] inline std::int64_t saturate(std::int64_t value, int bits,
                                            bool is_signed = true) {
   GQA_EXPECTS(bits >= 1 && bits <= 62);
-  const std::int64_t lo = int_min(bits, is_signed);
-  const std::int64_t hi = int_max(bits, is_signed);
-  if (value < lo) return lo;
-  if (value > hi) return hi;
-  return value;
+  return clamp_to_bus(value, bus_bounds(bits, is_signed));
 }
 
 /// True when `value` fits a `bits`-wide integer without clipping.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "kernel/dispatch.h"
 #include "numerics/nonlinear.h"
 #include "numerics/rounding.h"
 #include "util/contracts.h"
@@ -113,15 +115,25 @@ QTensor Linear::forward_int(const QTensor& x, ThreadPool* pool,
   GQA_EXPECTS_MSG(x.params() == in_qp_, "input params differ from freeze()");
   const int n = x.shape()[0];
   QTensor y = ws_qtensor(ws, Shape{n, out_}, out_qp_);
+  // Dispatched inner product: integer accumulation reorders exactly (no
+  // overflow within the INT8xINT8->int64 domain), so the SIMD dot equals
+  // the scalar loop bit-for-bit and the bias-first order is preserved.
+  const auto dot = kernel::active().ops.dot_i32_i8;
   pooled_for(
       pool, static_cast<std::size_t>(n),
       [&](std::size_t row) {
         const int i = static_cast<int>(row);
+        const std::int32_t* xrow =
+            x.data().data() + static_cast<std::size_t>(i) * in_;
         for (int o = 0; o < out_; ++o) {
           std::int64_t acc = bq_[static_cast<std::size_t>(o)];
           const std::size_t wrow = static_cast<std::size_t>(o) * in_;
-          for (int k = 0; k < in_; ++k) {
-            acc += static_cast<std::int64_t>(x.at(i, k)) * wq_[wrow + k];
+          if (dot != nullptr) {
+            acc += dot(xrow, wq_.data() + wrow, static_cast<std::size_t>(in_));
+          } else {
+            for (int k = 0; k < in_; ++k) {
+              acc += static_cast<std::int64_t>(x.at(i, k)) * wq_[wrow + k];
+            }
           }
           y.at(i, o) = static_cast<std::int32_t>(rq_.apply(acc));
         }
@@ -213,6 +225,32 @@ QTensor Conv2d::forward_int(const QTensor& x, ThreadPool* pool,
   QTensor y = ws_qtensor(ws, Shape{out_ch_, oh, ow}, out_qp_);
   const std::size_t kk = static_cast<std::size_t>(kernel_) * kernel_;
   const std::size_t per_oc = (depthwise_ ? 1 : static_cast<std::size_t>(in_ch_)) * kk;
+  // Pointwise (1x1, stride 1, no pad, dense) convolutions are plane-wise
+  // axpy chains: per output channel, accumulate w[oc,ic]·x[ic,·] over the
+  // contiguous input planes into an int64 plane seeded with the bias. The
+  // per-pixel summation order (bias, then ic ascending) matches the scalar
+  // loop exactly, so the requantized codes are bit-identical. All other
+  // conv shapes keep the scalar loops below.
+  const auto axpy = kernel::active().ops.axpy_i64_i32;
+  if (axpy != nullptr && kernel_ == 1 && stride_ == 1 && pad_ == 0 &&
+      !depthwise_) {
+    const std::size_t plane = static_cast<std::size_t>(h) * w;
+    pooled_for(pool, static_cast<std::size_t>(out_ch_), [&](std::size_t ch) {
+      const int oc = static_cast<int>(ch);
+      std::vector<std::int64_t> acc(
+          plane, static_cast<std::int64_t>(bq_[static_cast<std::size_t>(oc)]));
+      for (int ic = 0; ic < in_ch_; ++ic) {
+        axpy(acc.data(),
+             x.data().data() + static_cast<std::size_t>(ic) * plane,
+             wq_[static_cast<std::size_t>(oc) * in_ch_ + ic], plane);
+      }
+      std::int32_t* yplane = y.data().data() + static_cast<std::size_t>(oc) * plane;
+      for (std::size_t p = 0; p < plane; ++p) {
+        yplane[p] = static_cast<std::int32_t>(rq_.apply(acc[p]));
+      }
+    }, kMinChannelsPerLane);
+    return y;
+  }
   pooled_for(pool, static_cast<std::size_t>(out_ch_), [&](std::size_t ch) {
     const int oc = static_cast<int>(ch);
     const int ic_lo = depthwise_ ? oc : 0;
@@ -307,20 +345,44 @@ QTensor LayerNorm::forward_int(const QTensor& x, const NonlinearProvider& nl,
   std::vector<std::int64_t> sums = ws_i64(ws, static_cast<std::size_t>(n));
   std::vector<std::int64_t> w_codes = ws_i64(ws, static_cast<std::size_t>(n));
   std::vector<std::int64_t> prenorm = ws_i64(ws, static_cast<std::size_t>(n));
+  // Dispatched row moments: the sum is a pure integer reduction (exact in
+  // any order); the centered second moment squares c = D·q − Σq in 32-bit
+  // lanes, so it is dispatched only when |c| provably fits int32 — i.e.
+  // 2·D·2^(bits−1) stays under the int32 ceiling. Out-of-bound widths keep
+  // the scalar loops.
+  const auto row_sum = kernel::active().ops.sum_i32;
+  auto row_ssq = kernel::active().ops.ssq_centered_i32;
+  const std::int64_t amax = std::max(-int_min(in_qp_.bits, in_qp_.is_signed),
+                                     int_max(in_qp_.bits, in_qp_.is_signed));
+  if (2 * static_cast<std::int64_t>(dim_) * amax >
+      std::numeric_limits<std::int32_t>::max()) {
+    row_ssq = nullptr;
+  }
   pooled_for(pool, static_cast<std::size_t>(n), [&](std::size_t row) {
     const int i = static_cast<int>(row);
+    const std::int32_t* xrow =
+        x.data().data() + static_cast<std::size_t>(i) * dim_;
     // Exact integer moments via the D-scaled centering trick:
     // c'_d = D·q_d − Σq  has value D·S·(x_d − μ), no mean rounding.
     std::int64_t sum = 0;
-    for (int d = 0; d < dim_; ++d) sum += x.at(i, d);
+    if (row_sum != nullptr) {
+      sum = row_sum(xrow, static_cast<std::size_t>(dim_));
+    } else {
+      for (int d = 0; d < dim_; ++d) sum += x.at(i, d);
+    }
     sums[static_cast<std::size_t>(i)] = sum;
     // W = (Σ c'²)/D³ has value S²σ²·D⁰... normalized so that
     // n_d = c'_d / (D·σ_q) with σ_q in code units; the quant scale cancels.
     std::int64_t ssq = 0;  // Σ c'² / D, rounded — fits int64 for D ≤ 4096
     std::int64_t raw = 0;
-    for (int d = 0; d < dim_; ++d) {
-      const std::int64_t c = static_cast<std::int64_t>(dim_) * x.at(i, d) - sum;
-      raw += c * c;
+    if (row_ssq != nullptr) {
+      raw = row_ssq(xrow, dim_, sum, static_cast<std::size_t>(dim_));
+    } else {
+      for (int d = 0; d < dim_; ++d) {
+        const std::int64_t c =
+            static_cast<std::int64_t>(dim_) * x.at(i, d) - sum;
+        raw += c * c;
+      }
     }
     ssq = shift_round(raw, 0) / dim_;  // Σc'²/D, exact division remainder dropped
     // Variance bus: W_code = (Σc'²/D) · 2^kVarFrac / D²  (value = σ_q²·D⁰·2^f)
@@ -410,13 +472,28 @@ QTensor Softmax::forward_int(const QTensor& rows, const NonlinearProvider& nl,
         std::vector<std::int64_t> diffs =
             ws_i64(lane_ws, static_cast<std::size_t>(m));
         std::vector<double> exps = ws_f64(lane_ws, static_cast<std::size_t>(m));
+        // Dispatched row peak (max is order-free) and max-subtracted
+        // widening; the exp sum below is a float reduction and must stay
+        // scalar (FP addition is not associative).
+        const auto row_max = kernel::active().ops.max_i32;
+        const auto sub_widen = kernel::active().ops.sub_scalar_widen_i32;
         for (std::size_t row = lo; row < hi; ++row) {
           const int i = static_cast<int>(row);
+          const std::int32_t* xrow =
+              rows.data().data() + static_cast<std::size_t>(i) * m;
           std::int32_t peak = rows.at(i, 0);
-          for (int j = 1; j < m; ++j) peak = std::max(peak, rows.at(i, j));
-          for (int j = 0; j < m; ++j) {
-            diffs[static_cast<std::size_t>(j)] =
-                static_cast<std::int64_t>(rows.at(i, j)) - peak;
+          if (row_max != nullptr) {
+            peak = row_max(xrow, static_cast<std::size_t>(m));
+          } else {
+            for (int j = 1; j < m; ++j) peak = std::max(peak, rows.at(i, j));
+          }
+          if (sub_widen != nullptr) {
+            sub_widen(xrow, peak, diffs.data(), static_cast<std::size_t>(m));
+          } else {
+            for (int j = 0; j < m; ++j) {
+              diffs[static_cast<std::size_t>(j)] =
+                  static_cast<std::int64_t>(rows.at(i, j)) - peak;
+            }
           }
           // One batched EXP pass per row: the pwl unit is resolved once and
           // the whole row streams through its dense segment table.

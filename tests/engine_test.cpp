@@ -7,6 +7,7 @@
 // serial mIoU exactly.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <thread>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "eval/engine.h"
 #include "eval/scene.h"
 #include "eval/segtask.h"
+#include "kernel/dispatch.h"
 #include "tfm/models/efficientvit.h"
 #include "tfm/models/segformer.h"
 #include "tfm/workspace.h"
@@ -117,6 +119,49 @@ TEST(InferenceEngine, SegformerBatchBitIdenticalAt1248Threads) {
 TEST(InferenceEngine, EfficientViTBatchBitIdenticalAt1248Threads) {
   const std::vector<tfm::Tensor> images = test_images(6, 32);
   expect_engine_matches_serial(frozen_efficientvit(images.front()), images);
+}
+
+TEST(InferenceEngine, ForwardsBitIdenticalUnderEveryKernelBackend) {
+  // End-to-end gate for the SIMD dispatch layer: a full quantized forward
+  // through both models must produce byte-identical codes under every
+  // runnable backend and the scalar oracle — the differential suite checks
+  // the kernels in isolation, this checks them composed through real
+  // Linear/Conv/LayerNorm/Softmax call sites.
+  const std::vector<tfm::Tensor> images = test_images(3, 32);
+  const tfm::SegformerB0Like segformer = frozen_segformer(images.front());
+  const tfm::EfficientViTB0Like evit = frozen_efficientvit(images.front());
+  EngineOptions options;
+  options.num_threads = 2;
+  const InferenceEngine engine(options);
+
+  auto run_all = [&] {
+    const tfm::NonlinearProvider nl = full_provider_cold();
+    std::vector<std::vector<std::int32_t>> out;
+    for (const tfm::QTensor& t : engine.forward_int(segformer, images, nl)) {
+      out.push_back(t.data());
+    }
+    for (const tfm::QTensor& t : engine.forward_int(evit, images, nl)) {
+      out.push_back(t.data());
+    }
+    return out;
+  };
+
+  std::vector<std::vector<std::int32_t>> reference;
+  {
+    kernel::BackendScope scope("scalar");
+    reference = run_all();
+  }
+  bool ran_simd = false;
+  for (const kernel::KernelBackend* backend : kernel::registry()) {
+    if (!kernel::backend_available(*backend)) continue;
+    kernel::BackendScope scope(backend->name);
+    EXPECT_EQ(reference, run_all()) << backend->name;
+    if (std::string(backend->name) != "scalar") ran_simd = true;
+  }
+  if (!ran_simd) {
+    GTEST_SKIP() << "only the scalar oracle is runnable on this host; "
+                    "differential coverage was scalar-vs-scalar";
+  }
 }
 
 TEST(InferenceEngine, ReusedEngineServesRepeatedDispatches) {

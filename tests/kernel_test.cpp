@@ -150,6 +150,48 @@ TEST(IntPwlUnit, WideBusFallbackEquivalentToDenseTableAtAndBelow16Bits) {
   }
 }
 
+TEST(IntPwlUnit, SaturatedEvalClampsIdenticallyOnDenseAndFallbackPaths) {
+  // Both saturated entry points — the dense-table path (<=16-bit bus) and
+  // the binary-search fallback (>16-bit bus) — now clamp through the one
+  // shared helper (numerics/saturate.h clamp_to_bus). Pin the contract at
+  // the exact saturation edges: a saturated eval of an over-range code must
+  // equal a plain eval of the clamped code, on both paths, at the edge, one
+  // past it, and far beyond it.
+  const double scale = 0.25;
+  const IntPwlUnit dense(
+      quantize_table(gelu_like_table(), QuantParams{scale, 16, true}, 5, 8));
+  const IntPwlUnit wide(
+      quantize_table(gelu_like_table(), QuantParams{scale, 18, true}, 5, 8));
+  struct Case {
+    const IntPwlUnit* unit;
+    int bits;
+  };
+  for (const Case c : {Case{&dense, 16}, Case{&wide, 18}}) {
+    const BusBounds bus = bus_bounds(c.bits, true);
+    const std::vector<std::int64_t> probes = {
+        bus.lo,     bus.hi,     bus.lo - 1,
+        bus.hi + 1, bus.lo + 1, bus.hi - 1,
+        std::int64_t{1} << 40,  -(std::int64_t{1} << 40)};
+    std::vector<double> sat(probes.size());
+    c.unit->eval_reals_from_codes_saturated(probes, sat);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      const std::int64_t clamped = clamp_to_bus(probes[i], bus);
+      EXPECT_EQ(sat[i], c.unit->eval_real_from_code(clamped))
+          << "bits=" << c.bits << " q=" << probes[i];
+    }
+  }
+  // The two units share fitted parameters (same table, same scale), so at
+  // the 16-bit edges — where dense saturates and wide is still in range —
+  // the saturated outputs must coincide bit-for-bit.
+  const std::vector<std::int64_t> edges = {int_min(16, true),
+                                           int_max(16, true)};
+  std::vector<double> dense_sat(edges.size());
+  std::vector<double> wide_sat(edges.size());
+  dense.eval_reals_from_codes_saturated(edges, dense_sat);
+  wide.eval_reals_from_codes_saturated(edges, wide_sat);
+  EXPECT_EQ(dense_sat, wide_sat);
+}
+
 TEST(IntPwlUnit, ApproximatesTheFunction) {
   const Approximator approx = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
   const IntPwlUnit unit = approx.make_unit(-4);

@@ -16,6 +16,7 @@
 #include "eval/protocol.h"
 #include "gqa/gqa_lut.h"
 #include "gqa/objective.h"
+#include "kernel/dispatch.h"
 #include "kernel/int_pwl_unit.h"
 #include "kernel/multirange_unit.h"
 #include "pwl/fit_grid.h"
@@ -545,6 +546,81 @@ TEST(ThreadedForward, SoftmaxBitIdentical) {
       [&](ThreadPool* pool) {
         return tfm::Softmax::forward_int(qx, full_provider(), pool);
       },
+      "Softmax int");
+}
+
+// ------------------------------------------------- kernel backend parity --
+
+/// Runs `forward()` under the scalar oracle and then under every runnable
+/// registered backend, asserting byte-identical results — the ThreadedForward
+/// equivalence cases re-run across GQA_KERNEL_BACKEND values.
+template <typename Fn>
+void expect_backend_invariant(const Fn& forward, const char* what) {
+  const auto reference = [&] {
+    kernel::BackendScope scope("scalar");
+    return forward();
+  }();
+  for (const kernel::KernelBackend* backend : kernel::registry()) {
+    if (!kernel::backend_available(*backend)) continue;
+    kernel::BackendScope scope(backend->name);
+    const auto got = forward();
+    ASSERT_EQ(reference.shape(), got.shape()) << what;
+    EXPECT_EQ(reference.data(), got.data())
+        << what << " diverges under kernel backend " << backend->name;
+  }
+}
+
+TEST(KernelBackendParity, LinearForwardBitIdenticalUnderEveryBackend) {
+  Rng rng = eq_rng();
+  tfm::Linear lin(21, 16, rng);  // in=21: every GEMM row ends in a tail
+  tfm::Tensor x = tfm::Tensor::randn(tfm::Shape{13, 21}, rng, 1.0);
+  (void)lin.calibrate(x);
+  const QuantParams in_qp{x.amax() / 127.0, 8, true};
+  (void)lin.freeze(in_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qx = tfm::QTensor::quantize(x, in_qp);
+  expect_backend_invariant([&] { return lin.forward_int(qx, nullptr); },
+                           "Linear int");
+}
+
+TEST(KernelBackendParity, ConvForwardsBitIdenticalUnderEveryBackend) {
+  Rng rng = eq_rng();
+  // Pointwise conv rides the channel-axpy fast path; the 3x3 conv stays on
+  // the general loop — both must be backend-invariant.
+  tfm::Conv2d pointwise(5, 7, 1, 1, 0, rng);
+  tfm::Conv2d general(4, 6, 3, 1, 1, rng);
+  tfm::Tensor xp = tfm::Tensor::randn(tfm::Shape{5, 9, 9}, rng, 1.0);
+  tfm::Tensor xg = tfm::Tensor::randn(tfm::Shape{4, 9, 9}, rng, 1.0);
+  (void)pointwise.calibrate(xp);
+  (void)general.calibrate(xg);
+  const QuantParams qp_p{xp.amax() / 127.0, 8, true};
+  const QuantParams qp_g{xg.amax() / 127.0, 8, true};
+  (void)pointwise.freeze(qp_p, tfm::QuantPolicy{});
+  (void)general.freeze(qp_g, tfm::QuantPolicy{});
+  const tfm::QTensor qxp = tfm::QTensor::quantize(xp, qp_p);
+  const tfm::QTensor qxg = tfm::QTensor::quantize(xg, qp_g);
+  expect_backend_invariant(
+      [&] { return pointwise.forward_int(qxp, nullptr); }, "Conv2d 1x1 int");
+  expect_backend_invariant(
+      [&] { return general.forward_int(qxg, nullptr); }, "Conv2d 3x3 int");
+}
+
+TEST(KernelBackendParity, LayerNormAndSoftmaxBitIdenticalUnderEveryBackend) {
+  Rng rng = eq_rng();
+  tfm::LayerNorm ln(33, rng);  // dim=33: row sums end in a vector tail
+  tfm::Tensor xl = tfm::Tensor::randn(tfm::Shape{11, 33}, rng, 1.5);
+  (void)ln.calibrate(xl);
+  const QuantParams ln_qp{xl.amax() / 127.0, 8, true};
+  (void)ln.freeze(ln_qp, tfm::QuantPolicy{});
+  const tfm::QTensor qxl = tfm::QTensor::quantize(xl, ln_qp);
+  expect_backend_invariant(
+      [&] { return ln.forward_int(qxl, full_provider(), nullptr); },
+      "LayerNorm int");
+
+  tfm::Tensor xs = tfm::Tensor::randn(tfm::Shape{9, 13}, rng, 2.0);
+  const QuantParams sm_qp = make_po2_params(xs.amax() / 127.0, 8);
+  const tfm::QTensor qxs = tfm::QTensor::quantize(xs, sm_qp);
+  expect_backend_invariant(
+      [&] { return tfm::Softmax::forward_int(qxs, full_provider(), nullptr); },
       "Softmax int");
 }
 

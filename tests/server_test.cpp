@@ -20,6 +20,7 @@
 
 #include "eval/scene.h"
 #include "eval/server.h"
+#include "kernel/dispatch.h"
 #include "tfm/models/efficientvit.h"
 #include "tfm/models/segformer.h"
 #include "util/contracts.h"
@@ -143,6 +144,55 @@ TEST(Server, MixedModelAsyncServingBitIdenticalAt1248Lanes) {
       EXPECT_EQ(stats.submitted, tickets.size());
       EXPECT_EQ(stats.completed, tickets.size());
     }
+  }
+}
+
+TEST(Server, ServingBitIdenticalUnderEveryKernelBackendAndReportsIt) {
+  // Re-run the mixed-model serving parity gate under each runnable kernel
+  // backend: results must match the scalar oracle's serial loop byte for
+  // byte, and Stats must report which backend actually served the requests
+  // (so BENCH_kernel.json / ops dashboards never guess).
+  const std::vector<tfm::Tensor> images = test_images(3, 32);
+  const tfm::SegformerB0Like seg = frozen_segformer(images.front());
+  const tfm::EfficientViTB0Like evit = frozen_efficientvit(images.front());
+
+  std::vector<tfm::QTensor> seg_ref, evit_ref;
+  {
+    kernel::BackendScope scope("scalar");
+    const tfm::NonlinearProvider serial_nl = full_provider_cold();
+    for (const tfm::Tensor& img : images) {
+      seg_ref.push_back(seg.forward_int(img, serial_nl));
+      evit_ref.push_back(evit.forward_int(img, serial_nl));
+    }
+  }
+
+  bool ran_simd = false;
+  for (const kernel::KernelBackend* backend : kernel::registry()) {
+    if (!kernel::backend_available(*backend)) continue;
+    kernel::BackendScope scope(backend->name);
+    const tfm::NonlinearProvider nl = full_provider_cold();
+    ServerOptions options;
+    options.num_threads = 2;
+    Server server(nl, options);
+    const int seg_id = server.register_model(seg, "segformer");
+    const int evit_id = server.register_model(evit, "efficientvit");
+    std::vector<Server::Ticket> seg_tickets, evit_tickets;
+    for (const tfm::Tensor& img : images) {
+      seg_tickets.push_back(server.submit(seg_id, img));
+      evit_tickets.push_back(server.submit(evit_id, img));
+    }
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      EXPECT_EQ(seg_ref[i].data(), server.wait(seg_tickets[i]).data())
+          << backend->name << " segformer image " << i;
+      EXPECT_EQ(evit_ref[i].data(), server.wait(evit_tickets[i]).data())
+          << backend->name << " efficientvit image " << i;
+    }
+    EXPECT_EQ(server.stats().kernel_backend, std::string(backend->name));
+    if (std::string(backend->name) != "scalar") ran_simd = true;
+  }
+  if (!ran_simd) {
+    GTEST_SKIP() << "only the scalar oracle is runnable on this host; "
+                    "serving parity was scalar-vs-scalar";
   }
 }
 

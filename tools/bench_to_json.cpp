@@ -53,6 +53,7 @@
 #include "eval/server.h"
 #include "gqa/gqa_lut.h"
 #include "gqa/objective.h"
+#include "kernel/dispatch.h"
 #include "tfm/models/efficientvit.h"
 #include "tfm/models/segformer.h"
 #include "tfm/nonlinear_provider.h"
@@ -233,7 +234,147 @@ Json fit_report(int reps, bool& bit_identical) {
   return j;
 }
 
-Json kernel_report(int reps) {
+/// SIMD dispatch microbenchmarks: the dense-table PWL eval (per bus width)
+/// and the integer row kernels timed under the scalar oracle and under the
+/// dispatched backend. Every row is checksum-gated — the dispatched outputs
+/// must equal the scalar oracle's bit for bit, so a throughput win can
+/// never hide a numerics change. On hosts where the dispatched backend IS
+/// scalar, rows report speedup 1.0 and the gate passes trivially.
+Json kernel_simd_section(int reps, bool& bit_identical) {
+  constexpr std::size_t kBatch = 4096;
+  constexpr int kLoops = 64;
+  const double items = static_cast<double>(kBatch) * kLoops;
+  const std::string dispatched = kernel::active().name;
+  const kernel::KernelOps& ops = kernel::active().ops;
+
+  Json j = Json::object();
+  j["kernel_backend"] = Json(dispatched);
+
+  const auto op_json = [&](double scalar_ms, double simd_ms, bool identical) {
+    Json r = Json::object();
+    r["scalar_ns_per_item"] = Json(scalar_ms * 1e6 / items);
+    r["dispatched_ns_per_item"] = Json(simd_ms * 1e6 / items);
+    r["speedup"] = Json(scalar_ms / simd_ms);
+    r["bit_identical"] = Json(identical);
+    bit_identical = bit_identical && identical;
+    return r;
+  };
+
+  // Dense-table PWL eval, per bus width (the Table 1 INT8 row and the
+  // W16A16 hardware row).
+  const Approximator gelu = Approximator::fit(Op::kGelu, Method::kGqaRm, {});
+  const auto pwl_row = [&](const IntPwlUnit& unit, std::int64_t code_lo,
+                           std::int64_t code_hi) {
+    std::vector<std::int64_t> codes(kBatch);
+    std::int64_t q = code_lo;
+    const std::int64_t step = 1 + (code_hi - code_lo) / 512;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      codes[i] = q;
+      q = q >= code_hi ? code_lo : std::min(q + step, code_hi);
+    }
+    std::vector<double> out(kBatch), ref(kBatch);
+    const auto run = [&] {
+      for (int l = 0; l < kLoops; ++l) unit.eval_reals_from_codes(codes, out);
+    };
+    double scalar_ms = 0.0, simd_ms = 0.0;
+    {
+      kernel::BackendScope scope("scalar");
+      scalar_ms = time_best_ms(reps, run);
+      ref = out;
+    }
+    {
+      kernel::BackendScope scope(dispatched);
+      simd_ms = time_best_ms(reps, run);
+    }
+    bool identical = true;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      identical = identical && ref[i] == out[i];
+    }
+    return op_json(scalar_ms, simd_ms, identical);
+  };
+  j["pwl_eval_int8"] = pwl_row(gelu.make_unit(-4), -128, 127);
+  j["pwl_eval_int16"] = pwl_row(gelu.make_unit(-10, 16), -32768, 32767);
+
+  // Integer row kernels against inline scalar reference loops (the loops
+  // the oracle call sites run when the op-table entry is null).
+  Rng rng(0x51DB);
+  std::vector<std::int32_t> acts(kBatch);
+  std::vector<std::int8_t> weights(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    acts[i] = static_cast<std::int32_t>(rng.uniform_int(-32768, 32767));
+    weights[i] = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  {
+    std::int64_t scalar_sum = 0, simd_sum = 0;
+    const double scalar_ms = time_best_ms(reps, [&] {
+      scalar_sum = 0;
+      for (int l = 0; l < kLoops; ++l) {
+        for (std::size_t i = 0; i < kBatch; ++i) {
+          scalar_sum += static_cast<std::int64_t>(acts[i]) * weights[i];
+        }
+      }
+    });
+    double simd_ms = scalar_ms;
+    bool identical = true;
+    if (ops.dot_i32_i8 != nullptr) {
+      simd_ms = time_best_ms(reps, [&] {
+        simd_sum = 0;
+        for (int l = 0; l < kLoops; ++l) {
+          simd_sum += ops.dot_i32_i8(acts.data(), weights.data(), kBatch);
+        }
+      });
+      identical = scalar_sum == simd_sum;
+    }
+    j["dot_i32_i8"] = op_json(scalar_ms, simd_ms, identical);
+  }
+  {
+    std::int64_t scalar_sum = 0, simd_sum = 0;
+    const double scalar_ms = time_best_ms(reps, [&] {
+      scalar_sum = 0;
+      for (int l = 0; l < kLoops; ++l) {
+        for (std::size_t i = 0; i < kBatch; ++i) scalar_sum += acts[i];
+      }
+    });
+    double simd_ms = scalar_ms;
+    bool identical = true;
+    if (ops.sum_i32 != nullptr) {
+      simd_ms = time_best_ms(reps, [&] {
+        simd_sum = 0;
+        for (int l = 0; l < kLoops; ++l) {
+          simd_sum += ops.sum_i32(acts.data(), kBatch);
+        }
+      });
+      identical = scalar_sum == simd_sum;
+    }
+    j["sum_i32"] = op_json(scalar_ms, simd_ms, identical);
+  }
+  {
+    std::int32_t scalar_peak = 0, simd_peak = 0;
+    const double scalar_ms = time_best_ms(reps, [&] {
+      for (int l = 0; l < kLoops; ++l) {
+        std::int32_t peak = acts[0];
+        for (std::size_t i = 1; i < kBatch; ++i) {
+          peak = std::max(peak, acts[i]);
+        }
+        scalar_peak = peak;
+      }
+    });
+    double simd_ms = scalar_ms;
+    bool identical = true;
+    if (ops.max_i32 != nullptr) {
+      simd_ms = time_best_ms(reps, [&] {
+        for (int l = 0; l < kLoops; ++l) {
+          simd_peak = ops.max_i32(acts.data(), kBatch);
+        }
+      });
+      identical = scalar_peak == simd_peak;
+    }
+    j["max_i32"] = op_json(scalar_ms, simd_ms, identical);
+  }
+  return j;
+}
+
+Json kernel_report(int reps, bool& bit_identical) {
   constexpr std::size_t kBatch = 4096;
   constexpr int kLoops = 64;
 
@@ -283,6 +424,7 @@ Json kernel_report(int reps) {
   j["unit_per_code_ns_per_item"] = Json(unit_scalar_ms * 1e6 / items);
   j["unit_batched_ns_per_item"] = Json(unit_batch_ms * 1e6 / items);
   j["unit_batch_speedup"] = Json(unit_scalar_ms / unit_batch_ms);
+  j["kernel_simd"] = kernel_simd_section(reps, bit_identical);
   return j;
 }
 
@@ -827,10 +969,10 @@ int main(int argc, char** argv) {
   // pretending to be fresh.
   const std::vector<std::string> expected = {
       "fit",     "fit_cache",
-      "kernel",  "model",
-      "serve",   "coserve",
-      "coserve_continuous", "serve_degraded",
-      "serve_stream"};
+      "kernel",  "kernel_simd",
+      "model",   "serve",
+      "coserve", "coserve_continuous",
+      "serve_degraded", "serve_stream"};
   std::vector<std::string> emitted;
   bool all_identical = true;
 
@@ -856,8 +998,8 @@ int main(int argc, char** argv) {
 
   emit_artifact("fit", "BENCH_fit.json", {"fit_cache"},
                 [&] { return fit_report(reps, all_identical); });
-  emit_artifact("kernel", "BENCH_kernel.json", {},
-                [&] { return kernel_report(reps); });
+  emit_artifact("kernel", "BENCH_kernel.json", {"kernel_simd"},
+                [&] { return kernel_report(reps, all_identical); });
   emit_artifact("model", "BENCH_model.json", {},
                 [&] { return model_report(reps); });
   emit_artifact("serve", "BENCH_serve.json",

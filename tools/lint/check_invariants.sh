@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Repo-invariant linter, registered as the `invariant_lint` ctest (label:
-# lint) and run in CI. Five rules, each one a cross-cutting invariant that
+# lint) and run in CI. Six rules, each one a cross-cutting invariant that
 # no single compiler diagnostic can enforce:
 #
 #  R1  Every GQA_* environment variable src/ actually reads (env_int /
@@ -21,6 +21,10 @@
 #  R5  Every enumerator of fault::Point (src/util/fault_injection.h) must
 #      appear in docs/ARCHITECTURE.md — the chaos-harness injection-point
 #      map must not go stale when a fault point is added.
+#  R6  Every kernel backend registered in src/kernel/dispatch*.cpp (the
+#      `.name = "<backend>"` designated initializers) must appear in the
+#      docs/ARCHITECTURE.md backend table — a backend operators can select
+#      via GQA_KERNEL_BACKEND must not be undocumented.
 #
 # Exit: non-zero with one pointed message per violation. GQA_LINT_ROOT
 # overrides the repo root (used by lint_selftest.sh for fixture trees).
@@ -106,6 +110,19 @@ done < <(grep -rnE '\.detach\(\)' src/ --include='*.cpp' --include='*.h' \
 
 # --- R5: fault-injection point map fresh --------------------------------
 check_enum_documented R5 Point src/util/fault_injection.h
+
+# --- R6: kernel backends documented --------------------------------------
+# Registered backends use designated initializers (`.name = "avx2"`), which
+# is the one greppable declaration every dispatch TU shares.
+backend_names=$(grep -rhoE '\.name = "[a-z0-9_]+"' src/kernel/dispatch*.cpp \
+  2>/dev/null | grep -oE '"[a-z0-9_]+"' | tr -d '"' | sort -u)
+for backend in $backend_names; do
+  if ! grep -q -- "\`$backend\`" docs/ARCHITECTURE.md; then
+    fail "R6: kernel backend '$backend' (src/kernel/dispatch*.cpp) is" \
+         "missing from docs/ARCHITECTURE.md — update the kernel-dispatch" \
+         "backend table"
+  fi
+done
 
 if [ "$status" -eq 0 ]; then
   echo "invariant-lint: OK"

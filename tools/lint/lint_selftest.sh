@@ -12,6 +12,7 @@
 #   undocumented-env    new env_int("GQA_...") read in src/ -> R1 fires
 #   naked-thread        std::thread + detach outside util/  -> R4 fires
 #   stale-fault-map     drop a fault::Point enumerator row  -> R5 fires
+#   stale-backend-table drop a kernel backend's doc rows    -> R6 fires
 #
 # plus the control: an unmodified copy must pass (the linter must not
 # cry wolf on the real tree).
@@ -96,7 +97,12 @@ dir=$(make_fixture stale-fault-map)
 sed -i '/kCacheWrite/d' "$dir/docs/ARCHITECTURE.md"
 expect_fail stale-fault-map 'R5: Point::kCacheWrite' "$dir"
 
+# --- stale backend table: drop every line mentioning `avx2` --------------
+dir=$(make_fixture stale-backend-table)
+sed -i '/`avx2`/d' "$dir/docs/ARCHITECTURE.md"
+expect_fail stale-backend-table "R6: kernel backend 'avx2'" "$dir"
+
 if [ "$fails" -eq 0 ]; then
-  echo "lint-selftest: OK (5 violation classes fire, control passes)"
+  echo "lint-selftest: OK (6 violation classes fire, control passes)"
 fi
 exit $fails
